@@ -1,0 +1,80 @@
+"""Shared benchmark infrastructure: result recording and table rendering.
+
+Every benchmark file computes its experiment's data once (module-scoped
+fixture), registers the paper-style table with :func:`record_table`, and
+wraps its headline timed operations in pytest-benchmark calls.  At session
+end the collected tables are printed and written to
+``benchmarks/results/experiments.json`` — the source for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+_TABLES: Dict[str, dict] = {}
+
+
+def record_table(experiment: str, title: str, columns: List[str],
+                 rows: List[dict], notes: str = "") -> None:
+    """Register one experiment's results for printing and persistence."""
+    _TABLES[experiment] = {
+        "title": title,
+        "columns": columns,
+        "rows": rows,
+        "notes": notes,
+    }
+
+
+def render_table(experiment: str) -> str:
+    table = _TABLES[experiment]
+    columns = table["columns"]
+    widths = [len(c) for c in columns]
+    rendered_rows = []
+    for row in table["rows"]:
+        cells = []
+        for index, column in enumerate(columns):
+            value = row.get(column, "")
+            if isinstance(value, float):
+                cell = "%.3f" % value
+            else:
+                cell = str(value)
+            widths[index] = max(widths[index], len(cell))
+            cells.append(cell)
+        rendered_rows.append(cells)
+    lines = ["", "%s — %s" % (experiment, table["title"])]
+    lines.append("  ".join(c.ljust(w) for c, w in zip(columns, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for cells in rendered_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(cells, widths)))
+    if table["notes"]:
+        lines.append("note: %s" % table["notes"])
+    return "\n".join(lines)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _flush_results():
+    yield
+    if not _TABLES:
+        return
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, "experiments.json")
+    existing = {}
+    if os.path.exists(path):
+        try:
+            with open(path) as handle:
+                existing = json.load(handle)
+        except (ValueError, OSError):
+            existing = {}
+    existing.update(_TABLES)
+    with open(path, "w") as handle:
+        json.dump(existing, handle, indent=2, sort_keys=True)
+    print()
+    for experiment in sorted(_TABLES):
+        print(render_table(experiment))
+    print("\n[benchmarks] results merged into %s" % path)

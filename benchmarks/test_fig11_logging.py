@@ -1,0 +1,64 @@
+"""Figure 11 — logging times for regions of varying size (PARSEC, 4 threads).
+
+The paper sweeps main-thread region lengths from 10M to 1B instructions
+over eight 4-threaded PARSEC runs and shows logging wall-clock time
+growing with region length (seconds to a couple of minutes).  Scaled to
+the interpreted substrate, we sweep 2k..32k and expect the same shape:
+roughly linear growth, a few-x spread across kernels.
+"""
+
+import pytest
+
+from benchmarks.conftest import record_table
+from benchmarks.harness import measure_parsec_region
+from repro.workloads import PARSEC_KERNELS
+
+LENGTHS = (2_000, 8_000, 32_000)
+
+_ROWS = []
+_EXPECTED = len(PARSEC_KERNELS) * len(LENGTHS)
+
+#: Replay-time results captured here too, consumed by test_fig12_replay.
+SHARED_RESULTS = []
+
+
+@pytest.mark.parametrize("length", LENGTHS)
+@pytest.mark.parametrize("kernel", sorted(PARSEC_KERNELS))
+def test_fig11_logging_time(benchmark, kernel, length):
+    result = benchmark.pedantic(
+        lambda: measure_parsec_region(kernel, length),
+        rounds=1, iterations=1)
+    row = {key: value for key, value in result.items()
+           if not key.startswith("_")}
+    _ROWS.append(row)
+    SHARED_RESULTS.append(row)
+
+    # The region really contains `length` main-thread instructions plus
+    # the other threads' concurrent work (paper: 3-4x with 4 threads).
+    assert result["total_instructions"] >= length
+    assert 1.5 <= result["total_instructions"] / length <= 4.6
+
+    if len(_ROWS) == _EXPECTED:
+        rows = sorted(_ROWS, key=lambda r: (r["kernel"], r["length_main"]))
+        record_table(
+            "fig11",
+            "Logging times (wall clock) for regions of varying sizes, "
+            "PARSEC-like kernels, 4 threads",
+            ["kernel", "kind", "length_main", "total_instructions",
+             "logging_time_sec", "pinball_bytes"],
+            rows,
+            notes=("Paper: 10M-1B instruction regions log in seconds to "
+                   "~2 minutes, growing with length. Scaled sweep "
+                   "2k/8k/32k; check the per-kernel growth is roughly "
+                   "linear in region length."))
+        # Shape assertion: logging time grows with region length for
+        # every kernel (allowing timer noise at the smallest sizes).
+        by_kernel = {}
+        for row in rows:
+            by_kernel.setdefault(row["kernel"], []).append(
+                (row["length_main"], row["logging_time_sec"]))
+        for kernel_name, series in by_kernel.items():
+            series.sort()
+            assert series[-1][1] > series[0][1], (
+                "logging time did not grow with region length for %s"
+                % kernel_name)

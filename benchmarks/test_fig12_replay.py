@@ -1,0 +1,63 @@
+"""Figure 12 — replay times for the pinballs of varying region sizes.
+
+Companion to Figure 11: replaying the recorded pinballs takes the same
+order of time as logging (the paper notes logging is somewhat more
+expensive than replay, but both grow with region length).
+"""
+
+import pytest
+
+from benchmarks.conftest import record_table
+from benchmarks.harness import measure_parsec_region
+from repro.workloads import PARSEC_KERNELS
+
+LENGTHS = (2_000, 8_000, 32_000)
+
+_ROWS = []
+_EXPECTED = len(PARSEC_KERNELS) * len(LENGTHS)
+
+
+@pytest.mark.parametrize("length", LENGTHS)
+@pytest.mark.parametrize("kernel", sorted(PARSEC_KERNELS))
+def test_fig12_replay_time(benchmark, kernel, length):
+    # Record once (untimed here), then benchmark the replay.
+    result = measure_parsec_region(kernel, length)
+    pinball = result["_pinball"]
+    program = result["_program"]
+
+    from repro.pinplay import replay
+    machine, _run = benchmark.pedantic(
+        lambda: replay(pinball, program), rounds=1, iterations=1)
+
+    row = {key: value for key, value in result.items()
+           if not key.startswith("_")}
+    _ROWS.append(row)
+
+    if len(_ROWS) == _EXPECTED:
+        rows = sorted(_ROWS, key=lambda r: (r["kernel"], r["length_main"]))
+        record_table(
+            "fig12",
+            "Replay times (wall clock) for pinballs of regions of "
+            "varying sizes, PARSEC-like kernels, 4 threads",
+            ["kernel", "kind", "length_main", "total_instructions",
+             "replay_time_sec", "logging_time_sec"],
+            rows,
+            notes=("Paper: replay grows with region length and is "
+                   "cheaper than logging (logging carries the tracing "
+                   "tool; replay only injects)."))
+        # Shape assertions: replay grows with length per kernel, and on
+        # aggregate logging costs at least as much as replay.
+        by_kernel = {}
+        total_log = total_replay = 0.0
+        for row in rows:
+            by_kernel.setdefault(row["kernel"], []).append(
+                (row["length_main"], row["replay_time_sec"]))
+            total_log += row["logging_time_sec"]
+            total_replay += row["replay_time_sec"]
+        for kernel_name, series in by_kernel.items():
+            series.sort()
+            assert series[-1][1] > series[0][1], (
+                "replay time did not grow with region length for %s"
+                % kernel_name)
+        assert total_log > total_replay, (
+            "logging should cost more than replay overall")

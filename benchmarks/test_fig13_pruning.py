@@ -1,0 +1,61 @@
+"""Figure 13 — slice-size reduction from removing spurious dependences.
+
+The paper measures the average reduction in dynamic slice sizes (10
+slices per program) when save/restore pairs are pruned, on five SPECOMP
+2001 programs, for regions of 1M and 10M instructions, with MaxSave=10:
+9.49% average for 1M regions and 6.31% for 10M.
+
+Scaled sweep: two region lengths with the same 10-slices-per-kernel
+methodology on the five call-dense SPECOMP-like kernels.  The expected
+shape: a consistently positive reduction, averaging in the single-digit
+to tens of percent range.
+"""
+
+import pytest
+
+from benchmarks.conftest import record_table
+from benchmarks.harness import measure_pruning
+from repro.workloads import SPECOMP_KERNELS
+
+LENGTHS = (3_000, 12_000)
+
+_ROWS = []
+_EXPECTED = len(SPECOMP_KERNELS) * len(LENGTHS)
+
+
+@pytest.mark.parametrize("length", LENGTHS)
+@pytest.mark.parametrize("kernel", sorted(SPECOMP_KERNELS))
+def test_fig13_pruning_reduction(benchmark, kernel, length):
+    row = benchmark.pedantic(
+        lambda: measure_pruning(kernel, length, slices=10, max_save=10),
+        rounds=1, iterations=1)
+    _ROWS.append(row)
+
+    # Pruning must only ever shrink slices, and these call-dense kernels
+    # must actually exhibit verified save/restore pairs.
+    assert row["avg_pruned_size"] <= row["avg_unpruned_size"]
+    assert row["verified_pairs"] > 0
+    assert row["avg_reduction_pct"] >= 0
+
+    if len(_ROWS) == _EXPECTED:
+        rows = sorted(_ROWS, key=lambda r: (r["kernel"], r["length_main"]))
+        by_length = {}
+        for row_ in rows:
+            by_length.setdefault(row_["length_main"], []).append(
+                row_["avg_reduction_pct"])
+        averages = {length_: round(sum(vals) / len(vals), 2)
+                    for length_, vals in by_length.items()}
+        record_table(
+            "fig13",
+            "Removal of spurious dependences: average %% reduction in "
+            "slice sizes over 10 slices (SPECOMP-like kernels, MaxSave=10)",
+            ["kernel", "length_main", "slices", "avg_unpruned_size",
+             "avg_pruned_size", "avg_reduction_pct", "verified_pairs"],
+            rows,
+            notes=("Paper: 9.49%% average reduction for 1M regions, "
+                   "6.31%% for 10M. Measured averages per length: %r — "
+                   "positive reductions, same order of magnitude."
+                   % averages))
+        # Shape: overall average reduction is positive and non-trivial.
+        overall = [r["avg_reduction_pct"] for r in rows]
+        assert sum(overall) / len(overall) > 1.0

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Exposing a hard-to-reproduce bug with Maple, then debugging it.
+
+The bug: a classic unlocked read-modify-write (lost update).  Under the
+round-robin-ish schedules a normal run produces, the two increments never
+interleave and the program always passes — the "programmer hit it once
+but cannot reproduce it" situation.  Maple's profiler observes the
+benign interleavings, predicts the untested ones, and the active
+scheduler forces them — under the PinPlay logger, so the first failing
+run is captured in a pinball ready for cyclic debugging (paper Section 6,
+"Integration with Maple").
+
+Run:  python examples/maple_expose.py
+"""
+
+from repro import Machine, RoundRobinScheduler, SlicingSession, compile_source, replay
+from repro.maple import expose_and_record
+
+SOURCE = r"""
+int hits;
+int worker(int unused) {
+    hits = hits + 1;       // unlocked read-modify-write
+    return 0;
+}
+int main() {
+    int a; int b;
+    a = spawn(worker, 0);
+    b = spawn(worker, 0);
+    join(a);
+    join(b);
+    assert(hits == 2, 99); // lost update -> hits == 1
+    return 0;
+}
+"""
+
+
+def main():
+    program = compile_source(SOURCE, name="lost-update")
+
+    print("Plain runs never fail (the bug hides):")
+    for trial in range(5):
+        machine = Machine(program, scheduler=RoundRobinScheduler())
+        machine.run(max_steps=100_000)
+        print("  run %d: %s" % (
+            trial + 1, "FAILED" if machine.failure else "passed"))
+
+    print("\nMaple: profile, predict untested interleavings, force them...")
+    result = expose_and_record(program, profile_seeds=range(4),
+                               max_active_runs=50)
+    assert result.exposed, "Maple could not expose the bug"
+    print("exposed by: %s" % result.exposed_by)
+    if result.iroot is not None:
+        print("forced iRoot: %s" % result.iroot.describe(program))
+    print("profiling runs: %d, active-scheduler runs: %d (of %d candidates)"
+          % (result.profile_runs, result.active_runs, result.candidates))
+
+    print("\nThe recorded pinball replays the failure deterministically:")
+    for trial in range(3):
+        machine, run = replay(result.pinball, program)
+        print("  replay %d: failure code %r at tid %d"
+              % (trial + 1, run.failure["code"], run.failure["tid"]))
+
+    print("\nSlice of the failing assert:")
+    session = SlicingSession(result.pinball, program)
+    dslice = session.slice_for(session.failure_criterion())
+    for func, line in sorted(dslice.source_statements(),
+                             key=lambda fl: (fl[0] or "", fl[1] or 0)):
+        if func:
+            print("   %s:%s" % (func, line))
+    print("\nOnly ONE worker's increment reaches the final value of hits —")
+    print("the slice itself shows the other update was lost.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+"""Static binary analysis: code discovery, CFGs, post-dominators.
+
+This is the analog of the paper's "static analyzer based on Pin's static
+code discovery library" (Section 5.1 / Figure 10).  It builds an
+*approximate* control-flow graph per function — approximate because
+indirect jumps (``ijmp``, from switch jump tables) have statically unknown
+successors — and supports **dynamic refinement**: as the tracer observes
+indirect-jump targets at replay time, edges are added and the immediate
+post-dominator information is recomputed.  Refined post-dominators are what
+make dynamic control dependences (and hence slices) precise.
+"""
+
+from repro.analysis.cfg import CFG, BasicBlock, build_cfg
+from repro.analysis.dominators import (
+    compute_ipostdoms,
+    postdominators_brute_force,
+)
+from repro.analysis.registry import CfgRegistry
+
+__all__ = [
+    "BasicBlock",
+    "CFG",
+    "CfgRegistry",
+    "build_cfg",
+    "compute_ipostdoms",
+    "postdominators_brute_force",
+]

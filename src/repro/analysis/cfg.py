@@ -1,0 +1,220 @@
+"""Control-flow graph construction with indirect-jump refinement.
+
+The static pass discovers leaders and basic blocks from the instruction
+stream alone.  Crucially — and deliberately, to reproduce the paper's
+Section 5.1 imprecision — it does *not* inspect jump-table data, so an
+``ijmp`` initially has **no successors** in the static CFG, exactly like
+"the statically constructed CFG will be missing control flow edges" in
+Figure 7.  :meth:`CFG.add_indirect_target` adds observed targets at replay
+time, splitting blocks when a target lands mid-block, and invalidates the
+post-dominator cache.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.isa.instructions import Imm, Opcode
+from repro.isa.program import Function, Program
+
+#: Virtual exit node id (all returning/halting blocks flow here).
+EXIT_BLOCK = -1
+
+
+class BasicBlock:
+    """Half-open address range ``[start, end)`` of straight-line code."""
+
+    __slots__ = ("id", "start", "end", "succs", "preds")
+
+    def __init__(self, block_id: int, start: int, end: int) -> None:
+        self.id = block_id
+        self.start = start
+        self.end = end
+        self.succs: Set[int] = set()
+        self.preds: Set[int] = set()
+
+    def __repr__(self) -> str:
+        return "<BB%d [%d,%d) -> %s>" % (
+            self.id, self.start, self.end, sorted(self.succs))
+
+
+class CFG:
+    """Per-function CFG over code addresses, with dynamic refinement."""
+
+    def __init__(self, program: Program, function: Function) -> None:
+        self.program = program
+        self.function = function
+        self.blocks: Dict[int, BasicBlock] = {}
+        self._block_of_addr: Dict[int, int] = {}
+        self.entry_block: int = 0
+        #: Indirect-jump targets observed so far: ijmp addr -> set of targets.
+        self.indirect_targets: Dict[int, Set[int]] = {}
+        self._ipostdom_cache: Optional[Dict[int, Optional[int]]] = None
+        self._build()
+
+    # -- construction ---------------------------------------------------------
+
+    def _terminator_kind(self, addr: int) -> Optional[str]:
+        instr = self.program.instructions[addr]
+        op = instr.op
+        if op in (Opcode.JMP,):
+            return "jmp"
+        if op in (Opcode.BR, Opcode.BRZ):
+            return "branch"
+        if op == Opcode.IJMP:
+            return "ijmp"
+        if op in (Opcode.RET, Opcode.HALT):
+            return "exit"
+        return None
+
+    def _static_target(self, addr: int) -> int:
+        instr = self.program.instructions[addr]
+        if instr.op == Opcode.JMP:
+            return int(instr.operands[0].value)
+        return int(instr.operands[1].value)
+
+    def _build(self) -> None:
+        function = self.function
+        start, end = function.entry, function.end
+        leaders: Set[int] = {start}
+        for addr in range(start, end):
+            kind = self._terminator_kind(addr)
+            if kind is None:
+                continue
+            if addr + 1 < end:
+                leaders.add(addr + 1)
+            if kind in ("jmp", "branch"):
+                target = self._static_target(addr)
+                if start <= target < end:
+                    leaders.add(target)
+        ordered = sorted(leaders)
+        for index, block_start in enumerate(ordered):
+            block_end = ordered[index + 1] if index + 1 < len(ordered) else end
+            block = BasicBlock(len(self.blocks), block_start, block_end)
+            self.blocks[block.id] = block
+            for addr in range(block_start, block_end):
+                self._block_of_addr[addr] = block.id
+        self.entry_block = self._block_of_addr[start]
+        for block in list(self.blocks.values()):
+            self._connect(block)
+
+    def _connect(self, block: BasicBlock) -> None:
+        """(Re)compute successors of ``block`` from its last instruction."""
+        last = block.end - 1
+        kind = self._terminator_kind(last)
+        start, end = self.function.entry, self.function.end
+        succs: Set[int] = set()
+        if kind is None:
+            # Falls through (possible after a block split).
+            if block.end < end:
+                succs.add(self._block_of_addr[block.end])
+            else:
+                succs.add(EXIT_BLOCK)
+        elif kind == "jmp":
+            target = self._static_target(last)
+            succs.add(self._block_of_addr.get(target, EXIT_BLOCK)
+                      if start <= target < end else EXIT_BLOCK)
+        elif kind == "branch":
+            target = self._static_target(last)
+            succs.add(self._block_of_addr.get(target, EXIT_BLOCK)
+                      if start <= target < end else EXIT_BLOCK)
+            if block.end < end:
+                succs.add(self._block_of_addr[block.end])
+            else:
+                succs.add(EXIT_BLOCK)
+        elif kind == "ijmp":
+            # Statically unknown; only dynamically observed targets.
+            for target in self.indirect_targets.get(last, ()):
+                if start <= target < end:
+                    succs.add(self._block_of_addr[target])
+        elif kind == "exit":
+            succs.add(EXIT_BLOCK)
+        for old in block.succs - succs:
+            if old != EXIT_BLOCK:
+                self.blocks[old].preds.discard(block.id)
+        block.succs = succs
+        for succ in succs:
+            if succ != EXIT_BLOCK:
+                self.blocks[succ].preds.add(block.id)
+
+    # -- queries -----------------------------------------------------------------
+
+    def block_of(self, addr: int) -> BasicBlock:
+        return self.blocks[self._block_of_addr[addr]]
+
+    def block_count(self) -> int:
+        return len(self.blocks)
+
+    def edges(self) -> List[Tuple[int, int]]:
+        result = []
+        for block in self.blocks.values():
+            for succ in block.succs:
+                result.append((block.id, succ))
+        return sorted(result)
+
+    # -- dynamic refinement ----------------------------------------------------------
+
+    def add_indirect_target(self, ijmp_addr: int, target: int) -> bool:
+        """Record an observed indirect-jump target; True if the CFG changed."""
+        targets = self.indirect_targets.setdefault(ijmp_addr, set())
+        if target in targets:
+            return False
+        targets.add(target)
+        if not self.function.contains(target):
+            return False
+        self._split_at(target)
+        source = self.blocks[self._block_of_addr[ijmp_addr]]
+        self._connect(source)
+        self._ipostdom_cache = None
+        return True
+
+    def _split_at(self, addr: int) -> None:
+        """Make ``addr`` a block leader, splitting its block if needed."""
+        block = self.blocks[self._block_of_addr[addr]]
+        if block.start == addr:
+            return
+        new_block = BasicBlock(len(self.blocks), addr, block.end)
+        self.blocks[new_block.id] = new_block
+        for a in range(addr, block.end):
+            self._block_of_addr[a] = new_block.id
+        block.end = addr
+        # The new block inherits the old successors; the old block now
+        # falls through (its last instruction is no longer a terminator).
+        new_block.succs = set(block.succs)
+        for succ in new_block.succs:
+            if succ != EXIT_BLOCK:
+                successor = self.blocks[succ]
+                successor.preds.discard(block.id)
+                successor.preds.add(new_block.id)
+        block.succs = set()
+        self._connect(block)
+        self._ipostdom_cache = None
+
+    # -- post-dominators ----------------------------------------------------------------
+
+    def ipostdoms(self) -> Dict[int, Optional[int]]:
+        """Immediate post-dominator block per block (cached until refined).
+
+        ``None`` means only the virtual exit post-dominates the block.
+        """
+        if self._ipostdom_cache is None:
+            from repro.analysis.dominators import compute_ipostdoms
+            self._ipostdom_cache = compute_ipostdoms(self)
+        return self._ipostdom_cache
+
+    def ipostdom_addr(self, branch_addr: int) -> Optional[int]:
+        """Address where ``branch_addr``'s control-dependence region ends.
+
+        Returns the start address of the branch's block's immediate
+        post-dominator, or None when the region extends to function exit.
+        """
+        block_id = self._block_of_addr[branch_addr]
+        ipd = self.ipostdoms().get(block_id)
+        if ipd is None or ipd == EXIT_BLOCK:
+            return None
+        return self.blocks[ipd].start
+
+
+def build_cfg(program: Program, function_name: str) -> CFG:
+    """Build the (approximate) static CFG for one function."""
+    return CFG(program, program.functions[function_name])

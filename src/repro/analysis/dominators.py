@@ -1,0 +1,142 @@
+"""Post-dominator computation on function CFGs.
+
+Post-dominators are dominators of the *reverse* CFG rooted at the virtual
+exit node.  We use the classic iterative data-flow algorithm of Cooper,
+Harvey and Kennedy ("A simple, fast dominance algorithm") on a reverse
+post-order of the reversed graph; a brute-force fixed-point definition is
+provided for property testing.
+
+Blocks that cannot reach the exit (e.g. an infinite loop) get ``None``:
+their control-dependence regions only end at frame exit, which is how the
+dynamic control-dependence tracker treats a missing post-dominator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.analysis import cfg as cfg_mod
+
+
+def _reverse_postorder_on_reverse(cfg) -> List[int]:
+    """Reverse post-order over the reversed CFG, from the virtual exit."""
+    exit_preds = [block.id for block in cfg.blocks.values()
+                  if cfg_mod.EXIT_BLOCK in block.succs]
+    visited: Set[int] = set()
+    postorder: List[int] = []
+    # Iterative DFS over reversed edges (succ -> pred direction of reverse
+    # graph == preds in the original graph), starting from exit's preds.
+    for root in exit_preds:
+        if root in visited:
+            continue
+        stack = [(root, iter(sorted(cfg.blocks[root].preds)))]
+        visited.add(root)
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for pred in it:
+                if pred not in visited:
+                    visited.add(pred)
+                    stack.append((pred, iter(sorted(cfg.blocks[pred].preds))))
+                    advanced = True
+                    break
+            if not advanced:
+                postorder.append(node)
+                stack.pop()
+    return list(reversed(postorder))
+
+
+def compute_ipostdoms(cfg) -> Dict[int, Optional[int]]:
+    """Immediate post-dominator per block id.
+
+    The virtual exit is the root; a block whose only post-dominator is the
+    exit maps to :data:`~repro.analysis.cfg.EXIT_BLOCK`; unreachable-from-
+    exit blocks map to ``None``.
+    """
+    order = _reverse_postorder_on_reverse(cfg)
+    index_of = {block_id: i for i, block_id in enumerate(order)}
+    EXIT = cfg_mod.EXIT_BLOCK
+    idom: Dict[int, Optional[int]] = {EXIT: EXIT}
+
+    def intersect(a: int, b: int) -> int:
+        # Walk up the (post-)dominator tree; EXIT is the root with the
+        # smallest virtual index.
+        def index(n: int) -> int:
+            return -1 if n == EXIT else index_of[n]
+        while a != b:
+            while index(a) > index(b):
+                a = idom[a]
+            while index(b) > index(a):
+                b = idom[b]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for block_id in order:
+            block = cfg.blocks[block_id]
+            new_idom: Optional[int] = None
+            for succ in sorted(block.succs):
+                if succ == EXIT or succ in idom:
+                    candidate = succ
+                    if new_idom is None:
+                        new_idom = candidate
+                    else:
+                        new_idom = intersect(new_idom, candidate)
+            if new_idom is not None and idom.get(block_id) != new_idom:
+                idom[block_id] = new_idom
+                changed = True
+
+    result: Dict[int, Optional[int]] = {}
+    for block_id in cfg.blocks:
+        value = idom.get(block_id)
+        result[block_id] = value if value is not None else None
+    return result
+
+
+def postdominators_brute_force(cfg) -> Dict[int, Set[int]]:
+    """All post-dominators per block, by fixed point over the definition.
+
+    ``b`` post-dominates ``a`` iff every path from ``a`` to the exit passes
+    through ``b``.  Successors that cannot reach the exit contribute no
+    paths, so they are excluded from the meet — matching the iterative
+    algorithm's treatment of diverging branches.  Nodes that cannot reach
+    the exit at all map to the empty set (undefined post-dominance).
+
+    Used only by property tests to validate :func:`compute_ipostdoms`.
+    """
+    EXIT = cfg_mod.EXIT_BLOCK
+    nodes = list(cfg.blocks.keys())
+
+    # Which nodes can reach the exit?
+    reaches: Set[int] = set()
+    changed = True
+    while changed:
+        changed = False
+        for node in nodes:
+            if node in reaches:
+                continue
+            succs = cfg.blocks[node].succs
+            if EXIT in succs or succs & reaches:
+                reaches.add(node)
+                changed = True
+
+    universe = reaches | {EXIT}
+    pdom: Dict[int, Set[int]] = {EXIT: {EXIT}}
+    for node in nodes:
+        pdom[node] = set(universe) | {node} if node in reaches else set()
+    changed = True
+    while changed:
+        changed = False
+        for node in nodes:
+            if node not in reaches:
+                continue
+            meet = set(universe)
+            for succ in cfg.blocks[node].succs:
+                if succ == EXIT or succ in reaches:
+                    meet &= pdom[succ]
+            new = {node} | meet
+            if new != pdom[node]:
+                pdom[node] = new
+                changed = True
+    return pdom

@@ -1,0 +1,332 @@
+"""Command-line interface: the DrDebug toolchain as a terminal tool.
+
+Subcommands mirror the workflow::
+
+    python -m repro run prog.mc                      # plain execution
+    python -m repro record prog.mc -o bug.pinball    # log (opt: expose)
+    python -m repro replay prog.mc bug.pinball       # deterministic replay
+    python -m repro slice prog.mc bug.pinball --failure
+    python -m repro races prog.mc bug.pinball        # HB race detection
+    python -m repro debug prog.mc bug.pinball -x "break main" -x run
+    python -m repro disasm prog.mc
+
+Programs are MiniC source files; pinballs are the zlib-compressed JSON
+files produced by ``record``.  The program name stored in a pinball is the
+source file's stem, so replaying requires the matching source.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional, Sequence
+
+from repro.debugger import DrDebugCLI, DrDebugSession
+from repro.detect import detect_races
+from repro.isa import disassemble
+from repro.lang import CompileError, compile_source
+from repro.maple import expose_and_record
+from repro.pinplay import Pinball, RegionSpec, record_region, replay
+from repro.slicing import SliceOptions, SlicingSession
+from repro.vm import Machine, RandomScheduler, RoundRobinScheduler
+
+
+def _load_program(path: str):
+    with open(path) as handle:
+        source = handle.read()
+    name = os.path.splitext(os.path.basename(path))[0]
+    return compile_source(source, name=name), source
+
+
+def _parse_inputs(text: Optional[str]) -> List[int]:
+    if not text:
+        return []
+    return [int(token) for token in text.split(",") if token.strip()]
+
+
+def _scheduler(args):
+    if args.seed is None:
+        return RoundRobinScheduler()
+    return RandomScheduler(seed=args.seed, switch_prob=args.switch_prob)
+
+
+def cmd_run(args) -> int:
+    program, _source = _load_program(args.program)
+    machine = Machine(program, scheduler=_scheduler(args),
+                      inputs=_parse_inputs(args.inputs),
+                      rand_seed=args.rand_seed)
+    result = machine.run(max_steps=args.max_steps)
+    for value in machine.output:
+        print(value)
+    if machine.failure is not None:
+        print("ASSERTION FAILURE: code %s in thread %d"
+              % (machine.failure["code"], machine.failure["tid"]),
+              file=sys.stderr)
+        return 1
+    print("[%s: %d instructions retired]" % (result.reason, result.retired),
+          file=sys.stderr)
+    return machine.exit_code or 0
+
+
+def cmd_record(args) -> int:
+    program, _source = _load_program(args.program)
+    region = RegionSpec(skip=args.skip, length=args.length)
+    inputs = _parse_inputs(args.inputs)
+
+    if args.expose:
+        if args.maple:
+            result = expose_and_record(program, inputs=inputs,
+                                       profile_seeds=range(4),
+                                       max_active_runs=args.expose,
+                                       region=region)
+            if not result.exposed:
+                print("no failure exposed (profiling + %d active runs)"
+                      % result.active_runs, file=sys.stderr)
+                return 1
+            pinball = result.pinball
+            print("exposed by %s%s" % (
+                result.exposed_by,
+                "" if result.iroot is None
+                else " forcing %s" % result.iroot.describe(program)),
+                file=sys.stderr)
+        else:
+            pinball = None
+            for seed in range(args.expose):
+                candidate = record_region(
+                    program,
+                    RandomScheduler(seed=seed,
+                                    switch_prob=args.switch_prob),
+                    region, inputs=inputs, rand_seed=args.rand_seed)
+                if candidate.meta.get("failure"):
+                    pinball = candidate
+                    print("failure exposed with seed %d" % seed,
+                          file=sys.stderr)
+                    break
+            if pinball is None:
+                print("no failure in %d seeds" % args.expose,
+                      file=sys.stderr)
+                return 1
+    else:
+        pinball = record_region(program, _scheduler(args), region,
+                                inputs=inputs, rand_seed=args.rand_seed)
+
+    size = pinball.save(args.output)
+    print("wrote %s: %d instructions, %d bytes, failure=%r"
+          % (args.output, pinball.total_instructions, size,
+             (pinball.meta.get("failure") or {}).get("code")))
+    return 0
+
+
+def cmd_replay(args) -> int:
+    program, _source = _load_program(args.program)
+    pinball = Pinball.load(args.pinball)
+    machine, result = replay(pinball, program, verify=not args.no_verify)
+    for value in machine.output:
+        print(value)
+    print("[replayed %d steps, reason=%s, failure=%r]"
+          % (pinball.total_steps, result.reason,
+             (result.failure or {}).get("code")), file=sys.stderr)
+    return 0 if result.failure is None else 1
+
+
+def cmd_slice(args) -> int:
+    program, _source = _load_program(args.program)
+    pinball = Pinball.load(args.pinball)
+    session = SlicingSession(pinball, program, SliceOptions(
+        prune_save_restore=not args.no_prune,
+        refine_cfg=not args.no_refine))
+    if args.var:
+        dslice = session.slice_for_global(args.var)
+    else:
+        dslice = session.slice_for(session.failure_criterion())
+    print("slice: %d instances, %d threads" % (
+        len(dslice), len(dslice.threads())))
+    for func, line in sorted(dslice.source_statements(),
+                             key=lambda fl: (fl[0] or "", fl[1] or 0)):
+        if func is not None:
+            print("  %s:%s" % (func, line))
+    if args.output:
+        dslice.save(args.output)
+        print("slice saved to %s" % args.output)
+    if args.slice_pinball:
+        slice_pb = session.make_slice_pinball(dslice)
+        size = slice_pb.save(args.slice_pinball)
+        print("slice pinball: kept %d of %d instructions, %d bytes -> %s"
+              % (slice_pb.meta["kept_instructions"],
+                 slice_pb.meta["region_instructions"], size,
+                 args.slice_pinball))
+    return 0
+
+
+def cmd_dual(args) -> int:
+    program, _source = _load_program(args.program)
+    failing = Pinball.load(args.failing)
+    passing = Pinball.load(args.passing)
+    from repro.slicing import dual_slice
+    failing_session = SlicingSession(failing, program)
+    passing_session = SlicingSession(passing, program)
+    if args.var:
+        failing_slice = failing_session.slice_for_global(args.var)
+        passing_slice = passing_session.slice_for_global(args.var)
+    else:
+        failing_slice = failing_session.slice_for(
+            failing_session.failure_criterion())
+        criterion = failing_session.collector.store.get(
+            failing_session.failure_criterion())
+        passing_slice = passing_session.slice_for(
+            passing_session.last_instance_at_line(criterion.line))
+    print(dual_slice(failing_slice, passing_slice).describe())
+    return 0
+
+
+def cmd_races(args) -> int:
+    program, _source = _load_program(args.program)
+    pinball = Pinball.load(args.pinball)
+    races = detect_races(pinball, program,
+                         globals_only=not args.all_memory)
+    for race in races:
+        print(race.describe(program))
+    print("[%d unique racy site pairs]" % len(races), file=sys.stderr)
+    return 0 if not races else 2
+
+
+def cmd_debug(args) -> int:
+    program, source = _load_program(args.program)
+    pinball = Pinball.load(args.pinball)
+    session = DrDebugSession(pinball, program, source=source)
+    if args.reverse:
+        session.enable_reverse_debugging(args.checkpoint_interval)
+    cli = DrDebugCLI(session)
+    for command in args.execute or []:
+        print("(drdebug) %s" % command)
+        print(cli.execute(command))
+        if cli.done:
+            return 0
+    if args.execute and not args.interactive:
+        return 0
+    # Interactive REPL.
+    while not cli.done:
+        try:
+            line = input("(drdebug) ")
+        except EOFError:
+            break
+        output = cli.execute(line)
+        if output:
+            print(output)
+    return 0
+
+
+def cmd_disasm(args) -> int:
+    program, _source = _load_program(args.program)
+    print(disassemble(program, args.function))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DrDebug: deterministic replay based cyclic debugging "
+                    "with dynamic slicing")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common_run_args(p):
+        p.add_argument("program", help="MiniC source file")
+        p.add_argument("--seed", type=int, default=None,
+                       help="random-scheduler seed (default: round-robin)")
+        p.add_argument("--switch-prob", type=float, default=0.2)
+        p.add_argument("--inputs", help="comma-separated input() values")
+        p.add_argument("--rand-seed", type=int, default=0)
+
+    run = sub.add_parser("run", help="execute a program")
+    common_run_args(run)
+    run.add_argument("--max-steps", type=int, default=10_000_000)
+    run.set_defaults(func=cmd_run)
+
+    record = sub.add_parser("record", help="log an execution into a pinball")
+    common_run_args(record)
+    record.add_argument("-o", "--output", required=True)
+    record.add_argument("--skip", type=int, default=0,
+                        help="main-thread instructions to fast-forward")
+    record.add_argument("--length", type=int, default=None,
+                        help="main-thread region length")
+    record.add_argument("--expose", type=int, default=0, metavar="N",
+                        help="search up to N seeds for a failing schedule")
+    record.add_argument("--maple", action="store_true",
+                        help="with --expose: use Maple active scheduling")
+    record.set_defaults(func=cmd_record)
+
+    rep = sub.add_parser("replay", help="deterministically replay a pinball")
+    rep.add_argument("program")
+    rep.add_argument("pinball")
+    rep.add_argument("--no-verify", action="store_true")
+    rep.set_defaults(func=cmd_replay)
+
+    sl = sub.add_parser("slice", help="compute a dynamic slice")
+    sl.add_argument("program")
+    sl.add_argument("pinball")
+    sl.add_argument("--var", help="slice for a global variable "
+                                  "(default: the recorded failure)")
+    sl.add_argument("-o", "--output", help="save the slice as JSON")
+    sl.add_argument("--slice-pinball", help="relog into a slice pinball")
+    sl.add_argument("--no-prune", action="store_true",
+                    help="disable save/restore pruning")
+    sl.add_argument("--no-refine", action="store_true",
+                    help="disable indirect-jump CFG refinement")
+    sl.set_defaults(func=cmd_slice)
+
+    dual = sub.add_parser(
+        "dual", help="diff a failing run's slice against a passing run's")
+    dual.add_argument("program")
+    dual.add_argument("failing", help="pinball of the failing run")
+    dual.add_argument("passing", help="pinball of a passing run")
+    dual.add_argument("--var", help="slice this global in both runs "
+                                    "(default: the failing run's failure "
+                                    "and the same line in the passing run)")
+    dual.set_defaults(func=cmd_dual)
+
+    races = sub.add_parser("races", help="happens-before race detection")
+    races.add_argument("program")
+    races.add_argument("pinball")
+    races.add_argument("--all-memory", action="store_true",
+                       help="watch heap and stacks too, not just globals")
+    races.set_defaults(func=cmd_races)
+
+    debug = sub.add_parser("debug", help="gdb-style replay debugger")
+    debug.add_argument("program")
+    debug.add_argument("pinball")
+    debug.add_argument("-x", "--execute", action="append", metavar="CMD",
+                       help="run a debugger command (repeatable)")
+    debug.add_argument("-i", "--interactive", action="store_true",
+                       help="drop into the REPL after -x commands")
+    debug.add_argument("--reverse", action="store_true",
+                       help="enable checkpoint-based reverse debugging")
+    debug.add_argument("--checkpoint-interval", type=int, default=500)
+    debug.set_defaults(func=cmd_debug)
+
+    dis = sub.add_parser("disasm", help="disassemble a compiled program")
+    dis.add_argument("program")
+    dis.add_argument("--function", default=None)
+    dis.set_defaults(func=cmd_disasm)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except CompileError as exc:
+        print("compile error: %s" % exc, file=sys.stderr)
+        return 64
+    except FileNotFoundError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 66
+    except ValueError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 65
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,92 @@
+"""Breakpoint bookkeeping: user-level breakpoints over code addresses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.isa.program import Program
+
+
+class BreakpointError(Exception):
+    """Unknown location, duplicate id, etc."""
+
+
+@dataclass
+class Breakpoint:
+    number: int
+    func: Optional[str]
+    line: Optional[int]
+    addrs: Set[int] = field(default_factory=set)
+    enabled: bool = True
+    hit_count: int = 0
+
+    def describe(self) -> str:
+        location = self.func or "?"
+        if self.line is not None:
+            location += ":%d" % self.line
+        state = "" if self.enabled else " (disabled)"
+        return "breakpoint %d at %s, addrs %s, hits %d%s" % (
+            self.number, location, sorted(self.addrs), self.hit_count, state)
+
+
+class BreakpointTable:
+    """Resolves source locations to addresses and tracks the active set."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self._by_number: Dict[int, Breakpoint] = {}
+        self._next_number = 1
+
+    def add(self, func: Optional[str] = None,
+            line: Optional[int] = None,
+            addr: Optional[int] = None) -> Breakpoint:
+        """``break func``, ``break line``, ``break func:line`` or raw addr."""
+        addrs: Set[int] = set()
+        if addr is not None:
+            addrs.add(addr)
+        elif line is not None:
+            candidates = self.program.addresses_of_line(line, func)
+            if not candidates:
+                raise BreakpointError(
+                    "no code at line %d%s" % (
+                        line, "" if func is None else " in %s" % func))
+            # Break at the first instruction attributed to the line.
+            addrs.add(min(candidates))
+        elif func is not None:
+            function = self.program.functions.get(func)
+            if function is None:
+                raise BreakpointError("unknown function %r" % func)
+            addrs.add(function.entry)
+        else:
+            raise BreakpointError("breakpoint needs a location")
+        bp = Breakpoint(self._next_number, func, line, addrs)
+        self._by_number[bp.number] = bp
+        self._next_number += 1
+        return bp
+
+    def remove(self, number: int) -> None:
+        if number not in self._by_number:
+            raise BreakpointError("no breakpoint %d" % number)
+        del self._by_number[number]
+
+    def enable(self, number: int, enabled: bool = True) -> None:
+        if number not in self._by_number:
+            raise BreakpointError("no breakpoint %d" % number)
+        self._by_number[number].enabled = enabled
+
+    def active_addrs(self) -> Set[int]:
+        addrs: Set[int] = set()
+        for bp in self._by_number.values():
+            if bp.enabled:
+                addrs.update(bp.addrs)
+        return addrs
+
+    def breakpoint_at(self, addr: int) -> Optional[Breakpoint]:
+        for bp in self._by_number.values():
+            if bp.enabled and addr in bp.addrs:
+                return bp
+        return None
+
+    def all(self) -> List[Breakpoint]:
+        return [self._by_number[n] for n in sorted(self._by_number)]

@@ -1,0 +1,139 @@
+"""Checkpoint-based reverse debugging over deterministic replay.
+
+The paper's Section 8 sketches how DrDebug could support reverse
+debugging: "by recording multiple pinballs and then replaying forward
+using the right pinball.  Doing this using PinPlay's user-level
+check-pointing feature can be much more efficient than using operating
+system features."  This module implements exactly that scheme:
+
+* while the debugger replays a pinball forward, a
+  :class:`CheckpointManager` snapshots the full architectural state every
+  ``interval`` scheduler steps (plus the replay bookkeeping a restart
+  needs: schedule position, syscall-injection cursors, the step clock,
+  output length, exclusion-arrival counters);
+* a reverse command rewinds to the latest checkpoint at or before the
+  target step and replays forward the remaining distance — determinism
+  guarantees the machine arrives in the *identical* state it had when it
+  first passed that step.
+
+Cost model: one reverse command costs at most ``interval`` forward steps
+of re-execution, against ``interval``-granularity snapshot memory — the
+same trade every checkpointing reverse debugger makes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa.program import Program
+from repro.pinplay.pinball import Pinball
+from repro.pinplay.replayer import SyscallInjector
+from repro.vm.machine import Machine, MachineSnapshot
+from repro.vm.scheduler import RecordedScheduler
+
+
+class Checkpoint:
+    """Everything needed to restart replay from one point."""
+
+    __slots__ = ("steps_done", "snapshot", "injector_consumed",
+                 "global_seq", "output", "excl_arrivals")
+
+    def __init__(self, steps_done: int, snapshot: dict,
+                 injector_consumed: Dict[int, int], global_seq: int,
+                 output: list, excl_arrivals: Dict[Tuple[int, int], int]) -> None:
+        self.steps_done = steps_done
+        self.snapshot = snapshot
+        self.injector_consumed = injector_consumed
+        self.global_seq = global_seq
+        self.output = output
+        self.excl_arrivals = excl_arrivals
+
+
+def remaining_schedule(schedule, steps_done: int):
+    """The RLE schedule suffix after ``steps_done`` steps."""
+    remaining = []
+    to_skip = steps_done
+    for tid, count in schedule:
+        if to_skip >= count:
+            to_skip -= count
+            continue
+        remaining.append((tid, count - to_skip))
+        to_skip = 0
+    return remaining
+
+
+class CheckpointManager:
+    """Owns the checkpoints of one replayed pinball."""
+
+    def __init__(self, pinball: Pinball, program: Program,
+                 interval: int = 500) -> None:
+        if interval < 1:
+            raise ValueError("checkpoint interval must be >= 1")
+        self.pinball = pinball
+        self.program = program
+        self.interval = interval
+        self._checkpoints: List[Checkpoint] = []
+
+    def __len__(self) -> int:
+        return len(self._checkpoints)
+
+    def clear(self) -> None:
+        self._checkpoints = []
+
+    # -- capture -------------------------------------------------------------
+
+    def capture(self, machine: Machine, injector: SyscallInjector,
+                steps_done: int) -> Checkpoint:
+        """Snapshot the replay at ``steps_done`` (idempotent per step)."""
+        if (self._checkpoints
+                and self._checkpoints[-1].steps_done == steps_done):
+            return self._checkpoints[-1]
+        checkpoint = Checkpoint(
+            steps_done=steps_done,
+            snapshot=machine.snapshot().to_dict(),
+            injector_consumed=injector.consumed(),
+            global_seq=machine.global_seq,
+            output=list(machine.output),
+            excl_arrivals=dict(machine._excl_arrivals),
+        )
+        self._checkpoints.append(checkpoint)
+        return checkpoint
+
+    def due(self, steps_done: int) -> bool:
+        """Is a checkpoint due at this step count?"""
+        if not self._checkpoints:
+            return True
+        return steps_done - self._checkpoints[-1].steps_done >= self.interval
+
+    # -- restore -------------------------------------------------------------------
+
+    def latest_at_or_before(self, target_steps: int) -> Optional[Checkpoint]:
+        best = None
+        for checkpoint in self._checkpoints:
+            if checkpoint.steps_done <= target_steps:
+                best = checkpoint
+            else:
+                break
+        return best
+
+    def drop_after(self, steps: int) -> None:
+        """Forget checkpoints past ``steps`` (after rewinding)."""
+        self._checkpoints = [c for c in self._checkpoints
+                             if c.steps_done <= steps]
+
+    def restore(self, checkpoint: Checkpoint
+                ) -> Tuple[Machine, SyscallInjector]:
+        """Build a machine resumed exactly at the checkpoint."""
+        scheduler = RecordedScheduler(remaining_schedule(
+            self.pinball.schedule, checkpoint.steps_done))
+        injector = SyscallInjector(self.pinball.syscalls)
+        injector.rewind_to(checkpoint.injector_consumed)
+        machine = Machine.from_snapshot(
+            self.program, MachineSnapshot.from_dict(checkpoint.snapshot),
+            scheduler=scheduler, syscall_injector=injector.inject)
+        machine.global_seq = checkpoint.global_seq
+        machine.output = list(checkpoint.output)
+        if self.pinball.exclusions:
+            machine.install_exclusions(self.pinball.exclusions)
+            machine._excl_arrivals = dict(checkpoint.excl_arrivals)
+        return machine, injector

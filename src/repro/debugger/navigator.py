@@ -1,0 +1,122 @@
+"""Slice navigation and rendering: the KDbg GUI stand-in.
+
+The paper's KDbg extension highlights slice statements in the source pane
+and lets the user click "Activate" on a dependent statement to jump
+backwards along a concrete dependence edge.  This module provides the same
+model textually:
+
+* :meth:`SliceNavigator.render_source` — annotated source listing with
+  slice lines highlighted (``>>`` markers instead of yellow);
+* :meth:`SliceNavigator.deps` / :meth:`SliceNavigator.activate` — cursor-
+  based backward navigation over the dynamic dependence graph, exactly the
+  Activate-button interaction;
+* :meth:`SliceNavigator.render_summary` — per-thread statement summary.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.isa.program import Program
+from repro.slicing.slice import DynamicSlice, SliceNode
+
+Instance = Tuple[int, int]
+
+
+class SliceNavigator:
+    """Cursor-based browsing of a dynamic slice."""
+
+    def __init__(self, dslice: DynamicSlice, program: Program,
+                 source: Optional[str] = None) -> None:
+        self.slice = dslice
+        self.program = program
+        self.source = source
+        self.cursor: Instance = dslice.criterion
+        self._history: List[Instance] = []
+
+    # -- navigation -----------------------------------------------------------
+
+    def node(self) -> SliceNode:
+        return self.slice.node(self.cursor)
+
+    def deps(self) -> List[Tuple[Instance, str, Optional[tuple]]]:
+        """Direct dependences of the cursor (the clickable edges)."""
+        return sorted(self.slice.deps_of(self.cursor),
+                      key=lambda item: (item[0], item[1]))
+
+    def activate(self, index: int) -> SliceNode:
+        """Follow the ``index``-th dependence edge backwards."""
+        dependencies = self.deps()
+        if not 0 <= index < len(dependencies):
+            raise IndexError("no dependence %d at this node" % index)
+        self._history.append(self.cursor)
+        self.cursor = dependencies[index][0]
+        return self.node()
+
+    def back(self) -> SliceNode:
+        """Undo the last activate()."""
+        if self._history:
+            self.cursor = self._history.pop()
+        return self.node()
+
+    def goto(self, instance: Instance) -> SliceNode:
+        if tuple(instance) not in self.slice.nodes:
+            raise KeyError("instance %r not in slice" % (instance,))
+        self._history.append(self.cursor)
+        self.cursor = tuple(instance)
+        return self.node()
+
+    # -- rendering ----------------------------------------------------------------
+
+    def render_cursor(self) -> str:
+        node = self.node()
+        lines = ["at %s:%s (thread %d, instance %d, pc %d)" % (
+            node.func, node.line, node.tid, node.tindex, node.addr)]
+        if node.values:
+            values = ", ".join("%s=%r" % (k, v)
+                               for k, v in sorted(node.values.items(),
+                                                  key=lambda kv: str(kv[0])))
+            lines.append("  writes: %s" % values)
+        for index, (producer, kind, loc) in enumerate(self.deps()):
+            target = self.slice.nodes.get(tuple(producer))
+            where = ("%s:%s" % (target.func, target.line)
+                     if target is not None else "<outside slice>")
+            what = ""
+            if loc is not None:
+                what = " via %s" % (loc[2] if loc[0] == "r"
+                                    else "mem[%d]" % loc[1])
+            lines.append("  [%d] %s dependence on thread %d %s%s"
+                         % (index, kind, producer[0], where, what))
+        return "\n".join(lines)
+
+    def render_source(self) -> str:
+        """Annotated source listing; slice lines carry a ``>>`` marker."""
+        if self.source is None:
+            return "<no source text available>"
+        slice_lines = self.slice.lines()
+        cursor_line = self.node().line
+        rendered = []
+        for number, text in enumerate(self.source.splitlines(), start=1):
+            if number == cursor_line:
+                marker = "=>"
+            elif number in slice_lines:
+                marker = ">>"
+            else:
+                marker = "  "
+            rendered.append("%s %4d  %s" % (marker, number, text))
+        return "\n".join(rendered)
+
+    def render_summary(self) -> str:
+        by_thread = {}
+        for node in self.slice.nodes.values():
+            by_thread.setdefault(node.tid, set()).add(
+                (node.func, node.line))
+        lines = ["slice of %d instances over %d threads (criterion %s)"
+                 % (len(self.slice), len(by_thread),
+                    list(self.slice.criterion))]
+        for tid in sorted(by_thread):
+            statements = sorted(
+                "%s:%s" % (func, line)
+                for func, line in by_thread[tid] if func is not None)
+            lines.append("  thread %d: %s" % (tid, ", ".join(statements)))
+        return "\n".join(lines)

@@ -1,0 +1,61 @@
+"""Sparse vector clocks for happens-before tracking."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+
+class VectorClock:
+    """A sparse map tid -> logical time; missing entries are 0."""
+
+    __slots__ = ("_times",)
+
+    def __init__(self, times: Dict[int, int] = None) -> None:
+        self._times = dict(times or {})
+
+    def get(self, tid: int) -> int:
+        return self._times.get(tid, 0)
+
+    def set(self, tid: int, value: int) -> None:
+        if value:
+            self._times[tid] = value
+        else:
+            self._times.pop(tid, None)
+
+    def tick(self, tid: int) -> int:
+        """Increment ``tid``'s component; returns the new value."""
+        value = self._times.get(tid, 0) + 1
+        self._times[tid] = value
+        return value
+
+    def join(self, other: "VectorClock") -> None:
+        """Pointwise maximum, in place."""
+        for tid, value in other._times.items():
+            if value > self._times.get(tid, 0):
+                self._times[tid] = value
+
+    def copy(self) -> "VectorClock":
+        return VectorClock(self._times)
+
+    def happens_before(self, other: "VectorClock") -> bool:
+        """True iff self <= other pointwise and self != other."""
+        le = all(value <= other.get(tid)
+                 for tid, value in self._times.items())
+        return le and self._times != other._times
+
+    def concurrent_with(self, other: "VectorClock") -> bool:
+        return (not self.happens_before(other)
+                and not other.happens_before(self)
+                and self._times != other._times)
+
+    def items(self) -> Iterator[Tuple[int, int]]:
+        return iter(sorted(self._times.items()))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VectorClock):
+            return NotImplemented
+        return self._times == other._times
+
+    def __repr__(self) -> str:
+        inner = ", ".join("%d:%d" % kv for kv in sorted(self._times.items()))
+        return "VC{%s}" % inner

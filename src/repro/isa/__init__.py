@@ -1,0 +1,61 @@
+"""A small register-based instruction set: the reproduction's "x86".
+
+This package defines the machine model every other layer builds on.  It is
+deliberately shaped like the subset of x86 that matters to DrDebug:
+
+* instructions define and use both *registers* and *memory*, so dynamic
+  slicing must track register-to-memory dependences (Section 5.2 of the
+  paper);
+* ``switch`` statements compile to jump tables dispatched through an
+  *indirect jump*, the source of control-dependence imprecision the paper
+  fixes via dynamic CFG refinement (Section 5.1);
+* functions save and restore callee-saved registers with ``push``/``pop``
+  pairs at entry/exit, the source of spurious data dependences the paper
+  prunes (Section 5.2).
+
+The public surface is:
+
+* :class:`~repro.isa.instructions.Instr` and the operand classes
+  (:class:`~repro.isa.instructions.Reg`, :class:`~repro.isa.instructions.Imm`,
+  :class:`~repro.isa.instructions.Mem`, :class:`~repro.isa.instructions.Label`)
+* :class:`~repro.isa.program.Program` / :class:`~repro.isa.program.Function`,
+  the linked code image with symbol and line debug information
+* :func:`~repro.isa.assembler.assemble` for writing programs in textual
+  assembly (used heavily by tests)
+* :func:`~repro.isa.disassembler.disassemble` for human-readable listings
+"""
+
+from repro.isa.instructions import (
+    BINARY_OPS,
+    COMPARE_OPS,
+    Imm,
+    Instr,
+    Label,
+    Mem,
+    Opcode,
+    Reg,
+    UNARY_OPS,
+)
+from repro.isa.program import DataDef, Function, GlobalVar, Program
+from repro.isa.assembler import AsmError, assemble
+from repro.isa.disassembler import disassemble, format_instr
+
+__all__ = [
+    "AsmError",
+    "BINARY_OPS",
+    "COMPARE_OPS",
+    "DataDef",
+    "Function",
+    "GlobalVar",
+    "Imm",
+    "Instr",
+    "Label",
+    "Mem",
+    "Opcode",
+    "Program",
+    "Reg",
+    "UNARY_OPS",
+    "assemble",
+    "disassemble",
+    "format_instr",
+]

@@ -1,0 +1,230 @@
+"""Textual assembler for the mini-ISA.
+
+Used by tests and small examples that want precise control over the
+instruction stream (e.g. to construct a specific save/restore or
+indirect-jump shape).  Syntax, one item per line::
+
+    .global counter 1            ; one word, zero initialised
+    .global table 4 = 1 2 3 4    ; with initialiser
+    .data jt = case_a case_b     ; jump table of code labels
+
+    func main                    ; or: func max(a, b)
+        mov   r0, 10
+    loop:
+        sub   r0, r0, 1 @7       ; @N attaches source line 7
+        br    r0, loop
+        halt
+
+Comments start with ``;`` or ``#``.  Arithmetic mnemonics are the subops
+themselves (``add r0, r1, 2``), and syscalls are ``sys print``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.isa.instructions import (
+    ALL_REGISTERS,
+    BINARY_OPS,
+    Imm,
+    Instr,
+    Label,
+    Mem,
+    Opcode,
+    Reg,
+    UNARY_OPS,
+)
+from repro.isa.program import DataDef, Function, GlobalVar, Program
+
+
+class AsmError(Exception):
+    """Raised on any assembly syntax or resolution problem."""
+
+    def __init__(self, message: str, lineno: Optional[int] = None) -> None:
+        if lineno is not None:
+            message = "line %d: %s" % (lineno, message)
+        super().__init__(message)
+        self.lineno = lineno
+
+
+_MEM_RE = re.compile(r"^\[\s*(\w+)\s*(?:([+-])\s*(\d+)\s*)?\]$")
+_FUNC_RE = re.compile(r"^func\s+(\w+)\s*(?:\(([^)]*)\))?$")
+_LINE_TAG_RE = re.compile(r"@(\d+)\s*$")
+
+_NO_OPERAND_OPS = {Opcode.RET, Opcode.HALT, Opcode.NOP}
+_PLAIN_OPS = {
+    Opcode.MOV, Opcode.LD, Opcode.ST, Opcode.LEA, Opcode.JMP, Opcode.BR,
+    Opcode.BRZ, Opcode.IJMP, Opcode.CALL, Opcode.ICALL, Opcode.PUSH,
+    Opcode.POP,
+}
+
+
+def assemble(source: str, name: str = "a.out", entry: str = "main") -> Program:
+    """Assemble ``source`` into a linked :class:`Program`."""
+    program = Program(name=name)
+    program.entry_function = entry
+    labels_by_function: Dict[str, Dict[str, int]] = {}
+    current: Optional[Function] = None
+
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        line = _strip_comment(raw).strip()
+        if not line:
+            continue
+        if line.startswith(".global"):
+            program.add_global(_parse_global(line, lineno))
+            continue
+        if line.startswith(".data"):
+            program.add_data(_parse_data(line, lineno))
+            continue
+        match = _FUNC_RE.match(line)
+        if match:
+            fname, params = match.group(1), match.group(2)
+            current = Function(name=fname)
+            if params:
+                current.params = [p.strip() for p in params.split(",") if p.strip()]
+            program.add_function(current)
+            labels_by_function[fname] = {}
+            continue
+        if current is None:
+            raise AsmError("instruction outside function: %r" % (line,), lineno)
+        if line.endswith(":") and " " not in line:
+            label = line[:-1]
+            if label in labels_by_function[current.name]:
+                raise AsmError("duplicate label %r" % (label,), lineno)
+            labels_by_function[current.name][label] = len(current.instrs)
+            continue
+        current.instrs.append(_parse_instr(line, lineno))
+
+    if entry not in program.functions:
+        raise AsmError("entry function %r not defined" % (entry,))
+    return program.link(labels_by_function)
+
+
+def _strip_comment(line: str) -> str:
+    for marker in (";", "#"):
+        index = line.find(marker)
+        if index >= 0:
+            line = line[:index]
+    return line
+
+
+def _parse_global(line: str, lineno: int) -> GlobalVar:
+    body, init = _split_init(line)
+    parts = body.split()
+    if len(parts) not in (2, 3):
+        raise AsmError("bad .global: %r" % (line,), lineno)
+    name = parts[1]
+    size = int(parts[2]) if len(parts) == 3 else 1
+    values = None
+    if init is not None:
+        values = [_parse_number(tok, lineno) for tok in init.split()]
+        if len(values) > size:
+            raise AsmError(".global initialiser longer than size", lineno)
+    return GlobalVar(name=name, size=size, init=values)
+
+
+def _parse_data(line: str, lineno: int) -> DataDef:
+    body, init = _split_init(line)
+    parts = body.split()
+    if len(parts) != 2 or init is None:
+        raise AsmError("bad .data (needs '= values'): %r" % (line,), lineno)
+    values: List[Union[int, float, Label]] = []
+    for token in init.split():
+        try:
+            values.append(_parse_number(token, lineno))
+        except AsmError:
+            values.append(Label(token))
+    return DataDef(name=parts[1], values=values)
+
+
+def _split_init(line: str) -> Tuple[str, Optional[str]]:
+    if "=" in line:
+        body, init = line.split("=", 1)
+        return body.strip(), init.strip()
+    return line, None
+
+
+def _parse_number(token: str, lineno: int) -> Union[int, float]:
+    try:
+        if any(ch in token for ch in ".eE") and not token.lstrip("+-").isdigit():
+            return float(token)
+        return int(token, 0)
+    except ValueError:
+        raise AsmError("not a number: %r" % (token,), lineno)
+
+
+def _parse_operand(token: str, lineno: int):
+    token = token.strip()
+    if token in ALL_REGISTERS:
+        return Reg(token)
+    match = _MEM_RE.match(token)
+    if match:
+        base, sign, offset = match.groups()
+        if base not in ALL_REGISTERS:
+            raise AsmError("bad memory base %r" % (base,), lineno)
+        off = int(offset) if offset else 0
+        if sign == "-":
+            off = -off
+        return Mem(Reg(base), off)
+    try:
+        return Imm(_parse_number(token, lineno))
+    except AsmError:
+        pass
+    if re.match(r"^\w+$", token):
+        return Label(token)
+    raise AsmError("bad operand %r" % (token,), lineno)
+
+
+def _parse_instr(line: str, lineno: int) -> Instr:
+    source_line: Optional[int] = None
+    tag = _LINE_TAG_RE.search(line)
+    if tag:
+        source_line = int(tag.group(1))
+        line = line[: tag.start()].rstrip()
+
+    parts = line.split(None, 1)
+    mnemonic = parts[0]
+    operand_text = parts[1] if len(parts) > 1 else ""
+    operands = tuple(
+        _parse_operand(tok, lineno)
+        for tok in operand_text.split(",") if tok.strip()
+    ) if operand_text else ()
+
+    if mnemonic in BINARY_OPS:
+        if len(operands) != 3:
+            raise AsmError("%s needs 3 operands" % mnemonic, lineno)
+        return Instr(Opcode.BINOP, operands, subop=mnemonic, line=source_line)
+    if mnemonic in UNARY_OPS:
+        if len(operands) != 2:
+            raise AsmError("%s needs 2 operands" % mnemonic, lineno)
+        return Instr(Opcode.UNOP, operands, subop=mnemonic, line=source_line)
+    if mnemonic == Opcode.SYS:
+        sysname = operand_text.strip()
+        if not re.match(r"^\w+$", sysname or ""):
+            raise AsmError("sys needs a syscall name", lineno)
+        return Instr(Opcode.SYS, (), subop=sysname, line=source_line)
+    if mnemonic in _NO_OPERAND_OPS:
+        if operands:
+            raise AsmError("%s takes no operands" % mnemonic, lineno)
+        return Instr(mnemonic, (), line=source_line)
+    if mnemonic in _PLAIN_OPS:
+        instr = Instr(mnemonic, operands, line=source_line)
+        _check_arity(instr, lineno)
+        return instr
+    raise AsmError("unknown mnemonic %r" % (mnemonic,), lineno)
+
+
+_ARITY = {
+    Opcode.MOV: 2, Opcode.LD: 2, Opcode.ST: 2, Opcode.LEA: 2,
+    Opcode.JMP: 1, Opcode.BR: 2, Opcode.BRZ: 2, Opcode.IJMP: 1,
+    Opcode.CALL: 1, Opcode.ICALL: 1, Opcode.PUSH: 1, Opcode.POP: 1,
+}
+
+
+def _check_arity(instr: Instr, lineno: int) -> None:
+    expected = _ARITY[instr.op]
+    if len(instr.operands) != expected:
+        raise AsmError(
+            "%s expects %d operands, got %d"
+            % (instr.op, expected, len(instr.operands)), lineno)

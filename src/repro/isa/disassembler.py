@@ -1,0 +1,80 @@
+"""Human-readable listings of linked programs.
+
+Two output modes:
+
+* the default listing has addresses and source-line comments in the margin
+  — the debugging aid;
+* ``assembleable=True`` produces output in exactly the dialect
+  :mod:`repro.isa.assembler` accepts, with jump-table data resolved to
+  absolute addresses and line debug info carried as ``@N`` tags, so a
+  listing can be reassembled into a behaviourally identical program
+  (property-tested in ``tests/properties/test_roundtrip.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.isa.instructions import Instr, Label
+from repro.isa.program import Program
+
+
+def format_instr(instr: Instr, with_addr: bool = True,
+                 assembleable: bool = False) -> str:
+    """Render one instruction, e.g. ``"  12: add r0, r0, 1   ; line 7"``."""
+    text = str(instr)
+    if assembleable:
+        if instr.line is not None:
+            text += " @%d" % instr.line
+        return text
+    prefix = "%4d: " % instr.addr if with_addr and instr.addr >= 0 else ""
+    suffix = ""
+    if instr.line is not None:
+        suffix = "   ; line %d" % instr.line
+    if instr.comment:
+        suffix += "  # %s" % instr.comment
+    return prefix + text + suffix
+
+
+def disassemble(program: Program, function: Optional[str] = None,
+                assembleable: bool = False) -> str:
+    """Render a whole program (or one function) as an assembly listing."""
+    lines = []
+    for var in program.globals.values():
+        init = ""
+        if var.init is not None:
+            init = " = " + " ".join(str(v) for v in var.init)
+        entry = ".global %s %d%s" % (var.name, var.size, init)
+        if not assembleable:
+            entry += "   ; @%d" % var.addr
+        lines.append(entry)
+    for data in program.data_defs.values():
+        values = []
+        for value in data.values:
+            if assembleable and isinstance(value, Label):
+                resolved = program.resolve_symbol(value.name)
+                values.append(str(resolved if resolved is not None else 0))
+            else:
+                values.append(str(value))
+        entry = ".data %s = %s" % (data.name, " ".join(values))
+        if not assembleable:
+            entry += "   ; @%d" % data.addr
+        lines.append(entry)
+    if lines:
+        lines.append("")
+
+    for func in program.functions.values():
+        if function is not None and func.name != function:
+            continue
+        params = ""
+        if func.params:
+            params = "(%s)" % ", ".join(func.params)
+        header = "func %s%s" % (func.name, params)
+        if not assembleable:
+            header += "   ; entry %d" % func.entry
+        lines.append(header)
+        for instr in func.instrs:
+            lines.append("    " + format_instr(
+                instr, assembleable=assembleable))
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"

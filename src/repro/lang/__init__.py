@@ -1,0 +1,37 @@
+"""MiniC: a small C-like language compiled to the mini-ISA.
+
+The workloads, bug analogs, and examples are all written in MiniC rather
+than raw assembly, because the paper's two precision problems only arise in
+*compiled* code:
+
+* ``switch`` statements with dense integer cases lower to a jump table
+  dispatched through an indirect jump (``ijmp``), so the statically built
+  CFG misses successor edges (paper Section 5.1, Figure 7);
+* scalar locals are register-allocated into callee-saved registers
+  ``r4``..``r7``, which functions save and restore with ``push``/``pop``
+  pairs at entry/exit, creating the spurious save/restore data dependences
+  the paper prunes (Section 5.2, Figure 8).
+
+Language summary::
+
+    int g;  float f;  int table[8];          // globals (arrays allowed)
+    int worker(int arg) {                    // functions, int/float params
+        int i; int acc = 0;                  // locals (regs or stack)
+        for (i = 0; i < arg; i = i + 1) {    // for / while / if / switch
+            acc = acc + table[i % 8];
+        }
+        return acc;                          // expressions: full C operator
+    }                                        //   set incl. && || ! & * (ptr)
+
+Builtins map 1:1 to VM syscalls: ``spawn(fn, arg)``, ``join(tid)``,
+``lock(&m)``, ``unlock(&m)``, ``print(v)``, ``input()``, ``rand(n)``,
+``time()``, ``malloc(n)``, ``free(p)``, ``assert(cond, code)``,
+``yield()``, ``sleep(n)``, ``exit(code)``.
+"""
+
+from repro.lang.errors import CompileError
+from repro.lang.frontend import compile_source
+from repro.lang.lexer import tokenize
+from repro.lang.parser import parse
+
+__all__ = ["CompileError", "compile_source", "parse", "tokenize"]

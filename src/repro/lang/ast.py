@@ -1,0 +1,201 @@
+"""MiniC abstract syntax tree node definitions.
+
+Every node carries the source line it starts on; the code generator copies
+that line onto every instruction it emits for the node, building the line
+table the debugger and statement-level slicer rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+Number = Union[int, float]
+
+
+# --------------------------------------------------------------------------
+# Expressions
+# --------------------------------------------------------------------------
+
+@dataclass
+class Expr:
+    line: int = 0
+
+
+@dataclass
+class NumberLit(Expr):
+    value: Number = 0
+
+
+@dataclass
+class VarRef(Expr):
+    name: str = ""
+
+
+@dataclass
+class Index(Expr):
+    """``base[index]`` — base is an array variable or pointer expression."""
+    base: Optional[Expr] = None
+    index: Optional[Expr] = None
+
+
+@dataclass
+class Unary(Expr):
+    """``-e``, ``!e``, ``*e`` (deref), ``&lvalue`` (address-of), ``~e``."""
+    op: str = ""
+    operand: Optional[Expr] = None
+
+
+@dataclass
+class Binary(Expr):
+    op: str = ""
+    left: Optional[Expr] = None
+    right: Optional[Expr] = None
+
+
+@dataclass
+class Call(Expr):
+    """A user-function call or builtin (spawn/lock/print/...)."""
+    name: str = ""
+    args: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class FuncRef(Expr):
+    """A bare function name used as a value (e.g. ``spawn(worker, 1)``)."""
+    name: str = ""
+
+
+@dataclass
+class Conditional(Expr):
+    """``cond ? a : b``."""
+    cond: Optional[Expr] = None
+    then: Optional[Expr] = None
+    otherwise: Optional[Expr] = None
+
+
+# --------------------------------------------------------------------------
+# Statements
+# --------------------------------------------------------------------------
+
+@dataclass
+class Stmt:
+    line: int = 0
+
+
+@dataclass
+class Block(Stmt):
+    body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class LocalDecl(Stmt):
+    """``int x;`` / ``int x = e;`` / ``int a[10];`` inside a function."""
+    type_name: str = "int"
+    name: str = ""
+    array_size: Optional[int] = None
+    init: Optional[Expr] = None
+
+
+@dataclass
+class Assign(Stmt):
+    """``target = value`` where target is VarRef, Index, or Unary('*').
+
+    ``op`` carries the compound-assignment operator (``"+"`` for ``+=``
+    and so on); None for a plain assignment.  ``x++`` / ``x--`` desugar to
+    compound assignments with a literal 1.
+    """
+    target: Optional[Expr] = None
+    value: Optional[Expr] = None
+    op: Optional[str] = None
+
+
+@dataclass
+class DoWhile(Stmt):
+    """``do body while (cond);`` — body executes at least once."""
+    body: Optional[Stmt] = None
+    cond: Optional[Expr] = None
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Optional[Expr] = None
+
+
+@dataclass
+class If(Stmt):
+    cond: Optional[Expr] = None
+    then: Optional[Stmt] = None
+    otherwise: Optional[Stmt] = None
+
+
+@dataclass
+class While(Stmt):
+    cond: Optional[Expr] = None
+    body: Optional[Stmt] = None
+
+
+@dataclass
+class For(Stmt):
+    init: Optional[Stmt] = None
+    cond: Optional[Expr] = None
+    step: Optional[Stmt] = None
+    body: Optional[Stmt] = None
+
+
+@dataclass
+class SwitchCase:
+    """One ``case value:`` arm; ``value is None`` is the default arm."""
+    value: Optional[int] = None
+    body: List[Stmt] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class Switch(Stmt):
+    scrutinee: Optional[Expr] = None
+    cases: List[SwitchCase] = field(default_factory=list)
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+# --------------------------------------------------------------------------
+# Top level
+# --------------------------------------------------------------------------
+
+@dataclass
+class GlobalDecl:
+    """``int g;`` / ``float f = 1.5;`` / ``int a[8] = {1,2,3};``"""
+    type_name: str = "int"
+    name: str = ""
+    array_size: Optional[int] = None
+    init: Optional[List[Number]] = None
+    line: int = 0
+
+
+@dataclass
+class FuncDef:
+    name: str = ""
+    return_type: str = "int"
+    params: List[Tuple[str, str]] = field(default_factory=list)  # (type, name)
+    body: Optional[Block] = None
+    line: int = 0
+
+
+@dataclass
+class TranslationUnit:
+    globals: List[GlobalDecl] = field(default_factory=list)
+    functions: List[FuncDef] = field(default_factory=list)

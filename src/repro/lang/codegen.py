@@ -1,0 +1,677 @@
+"""MiniC code generator: AST to linked mini-ISA program.
+
+Calling convention (see :mod:`repro.lang.symbols` for layout):
+
+* caller pushes arguments right-to-left, executes ``call``, then pops the
+  arguments with ``add sp, sp, nargs``; the result arrives in ``r0``;
+* callee prologue: ``push fp; mov fp, sp; sub sp, sp, n_stack;
+  push r4..r7`` (only the callee-saved registers the function uses);
+* callee epilogue (single exit point): ``pop r7..r4; mov sp, fp; pop fp;
+  ret``.
+
+The prologue/epilogue pushes/pops are exactly the *save/restore pairs*
+whose spurious dependences the slicer prunes (paper Section 5.2) — note
+``push fp``/``pop fp`` forms a pair too.
+
+Expression evaluation uses ``r0``..``r2`` as a register stack with ``r3``
+as spill scratch; when an expression is deeper than three live values, the
+generator spills to the machine stack, so arbitrarily deep expressions
+compile.  Dense integer ``switch`` statements lower to a data-segment jump
+table dispatched with ``ijmp`` (paper Section 5.1); sparse ones lower to a
+compare chain.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.isa.instructions import Imm, Instr, Label, Mem, Opcode, Reg
+from repro.isa.program import DataDef, Function, GlobalVar, Program
+from repro.lang import ast
+from repro.lang.errors import CompileError
+from repro.lang.symbols import FunctionLayout, LocalSlot, layout_function
+
+#: Syscall builtins: name -> (number of args, produces result).
+BUILTINS = {
+    "spawn": (2, True),
+    "join": (1, True),
+    "lock": (1, False),
+    "unlock": (1, False),
+    "print": (1, False),
+    "input": (0, True),
+    "rand": (1, True),
+    "time": (0, True),
+    "malloc": (1, True),
+    "free": (1, False),
+    "assert": (2, False),
+    "yield": (0, False),
+    "sleep": (1, False),
+    "barrier": (2, False),
+    "exit": (1, False),
+}
+
+#: Switch lowers to a jump table when it has at least this many cases ...
+JUMP_TABLE_MIN_CASES = 3
+#: ... and the table would be at most this many times larger than the cases.
+JUMP_TABLE_MAX_SPARSITY = 3
+
+_EVAL_REGS = ("r0", "r1", "r2")
+_SCRATCH = "r3"
+
+_BINOP_MAP = {
+    "+": "add", "-": "sub", "*": "mul", "/": "div", "%": "mod",
+    "&": "and", "|": "or", "^": "xor", "<<": "shl", ">>": "shr",
+    "==": "eq", "!=": "ne", "<": "lt", "<=": "le", ">": "gt", ">=": "ge",
+}
+
+
+class _FunctionCompiler:
+    """Compiles one function body into an instruction list."""
+
+    def __init__(self, module: "ModuleCompiler", func: ast.FuncDef) -> None:
+        self.module = module
+        self.func = func
+        self.layout: FunctionLayout = layout_function(func)
+        self.instrs: List[Instr] = []
+        self.labels: Dict[str, int] = {}
+        self._label_counter = 0
+        self._cur_line = func.line
+        #: Stack of (break_label, continue_label-or-None).
+        self._loop_stack: List[Tuple[str, Optional[str]]] = []
+        self.epilogue_label = self._new_label("epilogue")
+
+    # -- emission helpers ---------------------------------------------------
+
+    def emit(self, op: str, *operands, subop: Optional[str] = None) -> Instr:
+        instr = Instr(op, tuple(operands), subop=subop, line=self._cur_line)
+        self.instrs.append(instr)
+        return instr
+
+    def _new_label(self, hint: str = "L") -> str:
+        label = "%s_%d" % (hint, self._label_counter)
+        self._label_counter += 1
+        return label
+
+    def _place_label(self, label: str) -> None:
+        if label in self.labels:
+            raise CompileError("internal: duplicate label %r" % label)
+        self.labels[label] = len(self.instrs)
+
+    def _reg(self, depth: int) -> Reg:
+        return Reg(_EVAL_REGS[min(depth, len(_EVAL_REGS) - 1)])
+
+    # -- top level -----------------------------------------------------------
+
+    def compile(self) -> Function:
+        body = self.func.body or ast.Block()
+        self._cur_line = self.func.line
+        # Prologue.
+        self.emit(Opcode.PUSH, Reg("fp"))
+        self.emit(Opcode.MOV, Reg("fp"), Reg("sp"))
+        if self.layout.stack_words:
+            self.emit(Opcode.BINOP, Reg("sp"), Reg("sp"),
+                      Imm(self.layout.stack_words), subop="sub")
+        for reg in self.layout.used_callee_saved:
+            self.emit(Opcode.PUSH, Reg(reg))
+        # Body.
+        self._stmt(body)
+        # Fall-through return value 0.
+        self._cur_line = None
+        self.emit(Opcode.MOV, Reg("r0"), Imm(0))
+        # Epilogue.
+        self._place_label(self.epilogue_label)
+        for reg in reversed(self.layout.used_callee_saved):
+            self.emit(Opcode.POP, Reg(reg))
+        self.emit(Opcode.MOV, Reg("sp"), Reg("fp"))
+        self.emit(Opcode.POP, Reg("fp"))
+        self.emit(Opcode.RET)
+
+        function = Function(
+            name=self.func.name,
+            instrs=self.instrs,
+            params=[name for name in self.layout.params],
+        )
+        for slot in self.layout.slots.values():
+            if slot.storage == "reg":
+                function.reg_locals[slot.name] = slot.reg
+            else:
+                function.local_offsets[slot.name] = slot.offset
+        return function
+
+    # -- statements ------------------------------------------------------------
+
+    def _stmt(self, stmt: ast.Stmt) -> None:
+        self._cur_line = stmt.line or self._cur_line
+        if isinstance(stmt, ast.Block):
+            for child in stmt.body:
+                self._stmt(child)
+        elif isinstance(stmt, ast.LocalDecl):
+            if stmt.init is not None:
+                self._assign_to_name(stmt.name, stmt.init, stmt.line)
+        elif isinstance(stmt, ast.Assign):
+            self._assign(stmt)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._eval(stmt.expr, 0)
+        elif isinstance(stmt, ast.If):
+            self._if(stmt)
+        elif isinstance(stmt, ast.While):
+            self._while(stmt)
+        elif isinstance(stmt, ast.DoWhile):
+            self._do_while(stmt)
+        elif isinstance(stmt, ast.For):
+            self._for(stmt)
+        elif isinstance(stmt, ast.Switch):
+            self._switch(stmt)
+        elif isinstance(stmt, ast.Break):
+            if not self._loop_stack:
+                raise CompileError("break outside loop/switch", stmt.line)
+            self.emit(Opcode.JMP, Label(self._loop_stack[-1][0]))
+        elif isinstance(stmt, ast.Continue):
+            target = None
+            for break_label, continue_label in reversed(self._loop_stack):
+                if continue_label is not None:
+                    target = continue_label
+                    break
+            if target is None:
+                raise CompileError("continue outside loop", stmt.line)
+            self.emit(Opcode.JMP, Label(target))
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._eval(stmt.value, 0)
+            else:
+                self.emit(Opcode.MOV, Reg("r0"), Imm(0))
+            self.emit(Opcode.JMP, Label(self.epilogue_label))
+        else:
+            raise CompileError("unsupported statement %r" % type(stmt).__name__,
+                               stmt.line)
+
+    def _assign(self, stmt: ast.Assign) -> None:
+        target = stmt.target
+        if isinstance(target, ast.VarRef):
+            value = stmt.value
+            if stmt.op is not None:
+                # Compound assignment to a name: re-reading the name is a
+                # pure load, so plain desugaring is exact.
+                value = ast.Binary(line=stmt.line, op=stmt.op,
+                                   left=target, right=value)
+            self._assign_to_name(target.name, value, stmt.line)
+            return
+        if isinstance(target, ast.Index):
+            addr_eval = lambda depth: self._eval_addr_index(target, depth)
+        elif isinstance(target, ast.Unary) and target.op == "*":
+            addr_eval = lambda depth: self._eval(target.operand, depth)
+        else:
+            raise CompileError("bad assignment target", stmt.line)
+        if stmt.op is None:
+            # value in r0, element address in r1.
+            self._eval(stmt.value, 0)
+            addr_eval(1)
+            self.emit(Opcode.ST, Mem(Reg("r1")), Reg("r0"))
+            return
+        # Compound assignment through memory: the address (and any side
+        # effects in it) must be evaluated exactly once.
+        subop = _BINOP_MAP.get(stmt.op)
+        if subop is None:
+            raise CompileError("unknown operator %r=" % stmt.op, stmt.line)
+        addr_eval(0)
+        self.emit(Opcode.PUSH, Reg("r0"))
+        self._eval(stmt.value, 0)
+        self.emit(Opcode.POP, Reg("r1"))
+        self.emit(Opcode.LD, Reg("r2"), Mem(Reg("r1")))
+        self.emit(Opcode.BINOP, Reg("r0"), Reg("r2"), Reg("r0"),
+                  subop=subop)
+        self.emit(Opcode.ST, Mem(Reg("r1")), Reg("r0"))
+
+    def _assign_to_name(self, name: str, value: ast.Expr, line: int) -> None:
+        slot = self.layout.slots.get(name)
+        self._eval(value, 0)
+        if slot is not None:
+            if slot.storage == "reg":
+                self.emit(Opcode.MOV, Reg(slot.reg), Reg("r0"))
+            else:
+                if slot.array_size is not None:
+                    raise CompileError("cannot assign to array %r" % name, line)
+                self.emit(Opcode.ST, Mem(Reg("fp"), slot.offset), Reg("r0"))
+            return
+        var = self.module.global_vars.get(name)
+        if var is not None:
+            if var.is_array:
+                raise CompileError("cannot assign to array %r" % name, line)
+            self.emit(Opcode.LEA, Reg(_SCRATCH), Label(name))
+            self.emit(Opcode.ST, Mem(Reg(_SCRATCH)), Reg("r0"))
+            return
+        raise CompileError("assignment to unknown variable %r" % name, line)
+
+    def _if(self, stmt: ast.If) -> None:
+        else_label = self._new_label("else")
+        end_label = self._new_label("endif")
+        self._eval(stmt.cond, 0)
+        self.emit(Opcode.BRZ, Reg("r0"),
+                  Label(else_label if stmt.otherwise else end_label))
+        self._stmt(stmt.then)
+        if stmt.otherwise is not None:
+            self.emit(Opcode.JMP, Label(end_label))
+            self._place_label(else_label)
+            self._stmt(stmt.otherwise)
+        self._place_label(end_label)
+
+    def _while(self, stmt: ast.While) -> None:
+        head = self._new_label("while")
+        end = self._new_label("endwhile")
+        self._place_label(head)
+        self._cur_line = stmt.line
+        self._eval(stmt.cond, 0)
+        self.emit(Opcode.BRZ, Reg("r0"), Label(end))
+        self._loop_stack.append((end, head))
+        self._stmt(stmt.body)
+        self._loop_stack.pop()
+        self.emit(Opcode.JMP, Label(head))
+        self._place_label(end)
+
+    def _do_while(self, stmt: ast.DoWhile) -> None:
+        head = self._new_label("do")
+        cond_label = self._new_label("docond")
+        end = self._new_label("enddo")
+        self._place_label(head)
+        self._loop_stack.append((end, cond_label))
+        self._stmt(stmt.body)
+        self._loop_stack.pop()
+        self._place_label(cond_label)
+        self._cur_line = stmt.line
+        self._eval(stmt.cond, 0)
+        self.emit(Opcode.BR, Reg("r0"), Label(head))
+        self._place_label(end)
+
+    def _for(self, stmt: ast.For) -> None:
+        head = self._new_label("for")
+        step_label = self._new_label("forstep")
+        end = self._new_label("endfor")
+        if stmt.init is not None:
+            self._stmt(stmt.init)
+        self._place_label(head)
+        if stmt.cond is not None:
+            self._cur_line = stmt.line
+            self._eval(stmt.cond, 0)
+            self.emit(Opcode.BRZ, Reg("r0"), Label(end))
+        self._loop_stack.append((end, step_label))
+        self._stmt(stmt.body)
+        self._loop_stack.pop()
+        self._place_label(step_label)
+        if stmt.step is not None:
+            self._cur_line = stmt.line
+            self._stmt(stmt.step)
+        self.emit(Opcode.JMP, Label(head))
+        self._place_label(end)
+
+    # -- switch ----------------------------------------------------------------
+
+    def _switch(self, stmt: ast.Switch) -> None:
+        end = self._new_label("endswitch")
+        values = [case.value for case in stmt.cases if case.value is not None]
+        has_default = any(case.value is None for case in stmt.cases)
+        case_labels = {}
+        default_label = end
+        for case in stmt.cases:
+            label = self._new_label(
+                "case_%s" % ("default" if case.value is None else case.value))
+            case_labels[id(case)] = label
+            if case.value is None:
+                default_label = label
+
+        use_table = (
+            len(values) >= JUMP_TABLE_MIN_CASES
+            and len(set(values)) == len(values)
+            and (max(values) - min(values) + 1)
+            <= JUMP_TABLE_MAX_SPARSITY * len(values))
+
+        self._eval(stmt.scrutinee, 0)
+        if use_table:
+            self._emit_jump_table(stmt, values, case_labels, default_label)
+        else:
+            for case in stmt.cases:
+                if case.value is None:
+                    continue
+                self.emit(Opcode.BINOP, Reg("r1"), Reg("r0"),
+                          Imm(case.value), subop="eq")
+                self.emit(Opcode.BR, Reg("r1"),
+                          Label(case_labels[id(case)]))
+            self.emit(Opcode.JMP, Label(default_label))
+
+        # Bodies in source order; fallthrough is preserved.
+        self._loop_stack.append((end, None))
+        for case in stmt.cases:
+            self._place_label(case_labels[id(case)])
+            for child in case.body:
+                self._stmt(child)
+        self._loop_stack.pop()
+        self._place_label(end)
+
+    def _emit_jump_table(self, stmt: ast.Switch, values: List[int],
+                         case_labels: Dict[int, str],
+                         default_label: str) -> None:
+        low = min(values)
+        high = max(values)
+        table_name = "__jt_%s_%d" % (self.func.name, self.module.next_table_id())
+        # Table entries: fully qualified code labels; holes go to default.
+        label_for_value = {}
+        for case in stmt.cases:
+            if case.value is not None:
+                label_for_value[case.value] = case_labels[id(case)]
+        entries = []
+        for value in range(low, high + 1):
+            local = label_for_value.get(value, default_label)
+            entries.append(Label("%s.%s" % (self.func.name, local)))
+        self.module.program.add_data(DataDef(name=table_name, values=entries))
+
+        # r0 holds the scrutinee.  Normalize, bounds-check, dispatch.
+        self.emit(Opcode.BINOP, Reg("r0"), Reg("r0"), Imm(low), subop="sub")
+        self.emit(Opcode.BINOP, Reg("r1"), Reg("r0"), Imm(0), subop="lt")
+        self.emit(Opcode.BR, Reg("r1"), Label(default_label))
+        self.emit(Opcode.BINOP, Reg("r1"), Reg("r0"),
+                  Imm(high - low + 1), subop="ge")
+        self.emit(Opcode.BR, Reg("r1"), Label(default_label))
+        self.emit(Opcode.LEA, Reg("r1"), Label(table_name))
+        self.emit(Opcode.BINOP, Reg("r1"), Reg("r1"), Reg("r0"), subop="add")
+        self.emit(Opcode.LD, Reg("r1"), Mem(Reg("r1")))
+        self.emit(Opcode.IJMP, Reg("r1"))
+
+    # -- expressions --------------------------------------------------------------
+
+    def _eval(self, expr: ast.Expr, depth: int) -> None:
+        """Evaluate ``expr`` into ``r{min(depth, 2)}``."""
+        self._cur_line = expr.line or self._cur_line
+        target = self._reg(depth)
+        if isinstance(expr, ast.NumberLit):
+            self.emit(Opcode.MOV, target, Imm(expr.value))
+        elif isinstance(expr, ast.VarRef):
+            self._eval_varref(expr, target)
+        elif isinstance(expr, ast.Index):
+            self._eval_addr_index(expr, depth)
+            self.emit(Opcode.LD, target, Mem(target))
+        elif isinstance(expr, ast.Unary):
+            self._eval_unary(expr, depth)
+        elif isinstance(expr, ast.Binary):
+            self._eval_binary(expr, depth)
+        elif isinstance(expr, ast.Conditional):
+            self._eval_conditional(expr, depth)
+        elif isinstance(expr, ast.Call):
+            self._eval_call(expr, depth)
+        else:
+            raise CompileError("unsupported expression %r" % type(expr).__name__,
+                               expr.line)
+
+    def _eval_varref(self, expr: ast.VarRef, target: Reg) -> None:
+        slot = self.layout.slots.get(expr.name)
+        if slot is not None:
+            if slot.storage == "reg":
+                self.emit(Opcode.MOV, target, Reg(slot.reg))
+            elif slot.array_size is not None:
+                # Array name decays to its base address.
+                self.emit(Opcode.BINOP, target, Reg("fp"), Imm(slot.offset),
+                          subop="add")
+            else:
+                self.emit(Opcode.LD, target, Mem(Reg("fp"), slot.offset))
+            return
+        var = self.module.global_vars.get(expr.name)
+        if var is not None:
+            self.emit(Opcode.LEA, target, Label(expr.name))
+            if not var.is_array:
+                self.emit(Opcode.LD, target, Mem(target))
+            return
+        if expr.name in self.module.function_names:
+            self.emit(Opcode.LEA, target, Label(expr.name))
+            return
+        raise CompileError("unknown variable %r" % expr.name, expr.line)
+
+    def _eval_addr_index(self, expr: ast.Index, depth: int) -> None:
+        """Element address of ``base[index]`` into ``r{min(depth,2)}``."""
+        target = self._reg(depth)
+        self._eval_addr_base(expr.base, depth)
+        if (isinstance(expr.index, ast.NumberLit)
+                and isinstance(expr.index.value, int)):
+            if expr.index.value:
+                self.emit(Opcode.BINOP, target, target,
+                          Imm(expr.index.value), subop="add")
+            return
+        self._eval_spillsafe(expr.index, depth, lambda dest, a, b: self.emit(
+            Opcode.BINOP, dest, a, b, subop="add"))
+
+    def _eval_addr_base(self, base: ast.Expr, depth: int) -> None:
+        """Base address of an indexable expression into ``r{min(depth,2)}``."""
+        target = self._reg(depth)
+        if isinstance(base, ast.VarRef):
+            slot = self.layout.slots.get(base.name)
+            if slot is not None:
+                if slot.storage == "reg":
+                    # A register scalar used as a pointer base.
+                    self.emit(Opcode.MOV, target, Reg(slot.reg))
+                elif slot.array_size is not None:
+                    self.emit(Opcode.BINOP, target, Reg("fp"),
+                              Imm(slot.offset), subop="add")
+                else:
+                    self.emit(Opcode.LD, target, Mem(Reg("fp"), slot.offset))
+                return
+            var = self.module.global_vars.get(base.name)
+            if var is not None:
+                self.emit(Opcode.LEA, target, Label(base.name))
+                if not var.is_array:
+                    # A scalar global used as a pointer: load its value.
+                    self.emit(Opcode.LD, target, Mem(target))
+                return
+            raise CompileError("unknown variable %r" % base.name, base.line)
+        # Arbitrary pointer expression.
+        self._eval(base, depth)
+
+    def _eval_addr_of(self, expr: ast.Expr, depth: int) -> None:
+        """``&expr`` — the address of an lvalue into ``r{min(depth,2)}``."""
+        target = self._reg(depth)
+        if isinstance(expr, ast.VarRef):
+            slot = self.layout.slots.get(expr.name)
+            if slot is not None:
+                if slot.storage == "reg":
+                    raise CompileError(
+                        "internal: address taken of register local %r"
+                        % expr.name, expr.line)
+                self.emit(Opcode.BINOP, target, Reg("fp"), Imm(slot.offset),
+                          subop="add")
+                return
+            if expr.name in self.module.global_vars:
+                self.emit(Opcode.LEA, target, Label(expr.name))
+                return
+            raise CompileError("unknown variable %r" % expr.name, expr.line)
+        if isinstance(expr, ast.Index):
+            self._eval_addr_index(expr, depth)
+            return
+        if isinstance(expr, ast.Unary) and expr.op == "*":
+            self._eval(expr.operand, depth)
+            return
+        raise CompileError("cannot take address of this expression", expr.line)
+
+    def _eval_unary(self, expr: ast.Unary, depth: int) -> None:
+        target = self._reg(depth)
+        if expr.op == "&":
+            self._eval_addr_of(expr.operand, depth)
+            return
+        if expr.op == "*":
+            self._eval(expr.operand, depth)
+            self.emit(Opcode.LD, target, Mem(target))
+            return
+        self._eval(expr.operand, depth)
+        if expr.op == "-":
+            self.emit(Opcode.UNOP, target, target, subop="neg")
+        elif expr.op == "!":
+            self.emit(Opcode.UNOP, target, target, subop="not")
+        elif expr.op == "~":
+            self.emit(Opcode.BINOP, target, target, Imm(-1), subop="xor")
+        else:
+            raise CompileError("unknown unary %r" % expr.op, expr.line)
+
+    def _eval_binary(self, expr: ast.Binary, depth: int) -> None:
+        target = self._reg(depth)
+        if expr.op == "&&":
+            done = self._new_label("andend")
+            self._eval(expr.left, depth)
+            self.emit(Opcode.BINOP, target, target, Imm(0), subop="ne")
+            self.emit(Opcode.BRZ, target, Label(done))
+            self._eval(expr.right, depth)
+            self.emit(Opcode.BINOP, target, target, Imm(0), subop="ne")
+            self._place_label(done)
+            return
+        if expr.op == "||":
+            done = self._new_label("orend")
+            self._eval(expr.left, depth)
+            self.emit(Opcode.BINOP, target, target, Imm(0), subop="ne")
+            self.emit(Opcode.BR, target, Label(done))
+            self._eval(expr.right, depth)
+            self.emit(Opcode.BINOP, target, target, Imm(0), subop="ne")
+            self._place_label(done)
+            return
+        subop = _BINOP_MAP.get(expr.op)
+        if subop is None:
+            raise CompileError("unknown operator %r" % expr.op, expr.line)
+        # Constant right operand: use an immediate, the common fast shape.
+        if isinstance(expr.right, ast.NumberLit):
+            self._eval(expr.left, depth)
+            self.emit(Opcode.BINOP, target, target, Imm(expr.right.value),
+                      subop=subop)
+            return
+        self._eval(expr.left, depth)
+        self._eval_spillsafe(expr.right, depth, lambda dest, a, b: self.emit(
+            Opcode.BINOP, dest, a, b, subop=subop))
+
+    def _eval_spillsafe(self, right: ast.Expr, depth: int, combine) -> None:
+        """Evaluate ``right`` while ``r{min(depth,2)}`` holds the live left
+        value, then call ``combine(dest_reg, left_src, right_src)``.
+
+        Below the register-stack limit the right operand lands in the next
+        eval register.  At the limit, the left value is spilled to the
+        machine stack and reloaded into the scratch register — the compiled
+        code stays correct at any expression depth.
+        """
+        left = self._reg(depth)
+        if depth < len(_EVAL_REGS) - 1:
+            right_reg = self._reg(depth + 1)
+            self._eval(right, depth + 1)
+            combine(left, left, right_reg)
+            return
+        self.emit(Opcode.PUSH, left)
+        self._eval(right, depth)        # right value now in `left`'s register
+        self.emit(Opcode.LD, Reg(_SCRATCH), Mem(Reg("sp")))
+        self.emit(Opcode.BINOP, Reg("sp"), Reg("sp"), Imm(1), subop="add")
+        combine(left, Reg(_SCRATCH), left)
+
+    def _eval_conditional(self, expr: ast.Conditional, depth: int) -> None:
+        target = self._reg(depth)
+        else_label = self._new_label("ternelse")
+        end_label = self._new_label("ternend")
+        self._eval(expr.cond, depth)
+        self.emit(Opcode.BRZ, target, Label(else_label))
+        self._eval(expr.then, depth)
+        self.emit(Opcode.JMP, Label(end_label))
+        self._place_label(else_label)
+        self._eval(expr.otherwise, depth)
+        self._place_label(end_label)
+
+    # -- calls ----------------------------------------------------------------------
+
+    def _eval_call(self, expr: ast.Call, depth: int) -> None:
+        target = self._reg(depth)
+        builtin = BUILTINS.get(expr.name)
+        if builtin is not None:
+            self._eval_builtin(expr, depth, builtin)
+            return
+        if expr.name not in self.module.function_names:
+            raise CompileError("call to unknown function %r" % expr.name,
+                               expr.line)
+        live = [Reg(name) for name in _EVAL_REGS[:min(depth, len(_EVAL_REGS))]
+                if name != target.name]
+        for reg in live:
+            self.emit(Opcode.PUSH, reg)
+        # Args right-to-left so arg 0 ends at the top of the stack.
+        for arg in reversed(expr.args):
+            self._eval(arg, 0)
+            self.emit(Opcode.PUSH, Reg("r0"))
+        self.emit(Opcode.CALL, Label(expr.name))
+        if expr.args:
+            self.emit(Opcode.BINOP, Reg("sp"), Reg("sp"),
+                      Imm(len(expr.args)), subop="add")
+        if target.name != "r0":
+            self.emit(Opcode.MOV, target, Reg("r0"))
+        for reg in reversed(live):
+            self.emit(Opcode.POP, reg)
+
+    def _eval_builtin(self, expr: ast.Call, depth: int,
+                      builtin: Tuple[int, bool]) -> None:
+        nargs, has_result = builtin
+        if len(expr.args) != nargs:
+            raise CompileError(
+                "%s() takes %d argument(s), got %d"
+                % (expr.name, nargs, len(expr.args)), expr.line)
+        target = self._reg(depth)
+        live = [Reg(name) for name in _EVAL_REGS[:min(depth, len(_EVAL_REGS))]
+                if name != target.name]
+        for reg in live:
+            self.emit(Opcode.PUSH, reg)
+        # Arguments go to r0..r{n-1}; evaluate right-to-left through the
+        # stack so earlier arg registers are not clobbered.
+        if nargs == 1:
+            self._eval(expr.args[0], 0)
+        elif nargs == 2:
+            self._eval(expr.args[1], 0)
+            self.emit(Opcode.PUSH, Reg("r0"))
+            self._eval(expr.args[0], 0)
+            self.emit(Opcode.POP, Reg("r1"))
+        # spawn's first argument must be a function name.
+        if expr.name == "spawn":
+            first = expr.args[0]
+            is_func = (isinstance(first, ast.VarRef)
+                       and first.name in self.module.function_names)
+            if not is_func and not isinstance(first, (ast.Index, ast.Unary)):
+                raise CompileError("spawn() needs a function or pointer",
+                                   expr.line)
+        self.emit(Opcode.SYS, subop=expr.name)
+        if has_result and target.name != "r0":
+            self.emit(Opcode.MOV, target, Reg("r0"))
+        for reg in reversed(live):
+            self.emit(Opcode.POP, reg)
+
+
+class ModuleCompiler:
+    """Compiles a full translation unit into a linked :class:`Program`."""
+
+    def __init__(self, unit: ast.TranslationUnit, name: str = "a.out") -> None:
+        self.unit = unit
+        self.program = Program(name=name)
+        self.global_vars: Dict[str, GlobalVar] = {}
+        self.function_names = {func.name for func in unit.functions}
+        self._table_id = 0
+
+    def next_table_id(self) -> int:
+        self._table_id += 1
+        return self._table_id
+
+    def compile(self) -> Program:
+        for decl in self.unit.globals:
+            size = decl.array_size or 1
+            init = None
+            if decl.init is not None:
+                if len(decl.init) > size:
+                    raise CompileError(
+                        "initialiser longer than array %r" % decl.name,
+                        decl.line)
+                init = list(decl.init)
+            var = GlobalVar(name=decl.name, size=size, init=init,
+                            is_array=decl.array_size is not None)
+            self.program.add_global(var)
+            self.global_vars[decl.name] = var
+
+        labels_by_function: Dict[str, Dict[str, int]] = {}
+        for func in self.unit.functions:
+            compiler = _FunctionCompiler(self, func)
+            function = compiler.compile()
+            self.program.add_function(function)
+            labels_by_function[func.name] = compiler.labels
+
+        if "main" not in self.program.functions:
+            raise CompileError("no main() function")
+        return self.program.link(labels_by_function)

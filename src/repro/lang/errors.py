@@ -1,0 +1,20 @@
+"""Compilation error type shared by the MiniC lexer, parser and codegen."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class CompileError(Exception):
+    """A MiniC compilation failure with source position information."""
+
+    def __init__(self, message: str, line: Optional[int] = None,
+                 col: Optional[int] = None) -> None:
+        location = ""
+        if line is not None:
+            location = " at line %d" % line
+            if col is not None:
+                location += ":%d" % col
+        super().__init__(message + location)
+        self.line = line
+        self.col = col

@@ -1,0 +1,18 @@
+"""One-call MiniC frontend: source text to a linked, runnable program."""
+
+from __future__ import annotations
+
+from repro.isa.program import Program
+from repro.lang.codegen import ModuleCompiler
+from repro.lang.parser import parse
+
+
+def compile_source(source: str, name: str = "a.out") -> Program:
+    """Compile MiniC ``source`` into a linked :class:`Program`.
+
+    Raises :class:`~repro.lang.errors.CompileError` on any lexical,
+    syntactic, or semantic problem; the error message carries the source
+    line.
+    """
+    unit = parse(source)
+    return ModuleCompiler(unit, name=name).compile()

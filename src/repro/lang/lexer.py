@@ -1,0 +1,157 @@
+"""MiniC lexer: source text to a token stream.
+
+Tokens carry line/column for error reporting and — more importantly here —
+for the debug line table: every emitted instruction is attributed to the
+source line of the statement it implements, which is what statement-level
+slices and debugger breakpoints key on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Union
+
+from repro.lang.errors import CompileError
+
+KEYWORDS = frozenset((
+    "int", "float", "void", "if", "else", "while", "do", "for", "switch",
+    "case", "default", "break", "continue", "return",
+))
+
+#: Multi-character operators, longest first so maximal munch works.
+_MULTI_OPS = (
+    "<<=", ">>=",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+    "++", "--",
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+)
+_SINGLE_OPS = "+-*/%<>=!&|^~(){}[];,?:"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str                      # "ident" | "int" | "float" | "kw" | "op" | "eof"
+    text: str
+    value: Union[int, float, None]
+    line: int
+    col: int
+
+    def __repr__(self) -> str:
+        return "Token(%s, %r, line %d)" % (self.kind, self.text, self.line)
+
+
+def tokenize(source: str) -> List[Token]:
+    """Lex ``source`` into a token list terminated by an ``eof`` token."""
+    tokens: List[Token] = []
+    line = 1
+    col = 1
+    index = 0
+    length = len(source)
+
+    def error(message: str) -> CompileError:
+        return CompileError(message, line, col)
+
+    while index < length:
+        ch = source[index]
+        # Whitespace.
+        if ch == "\n":
+            line += 1
+            col = 1
+            index += 1
+            continue
+        if ch in " \t\r":
+            index += 1
+            col += 1
+            continue
+        # Comments.
+        if source.startswith("//", index):
+            end = source.find("\n", index)
+            index = length if end < 0 else end
+            continue
+        if source.startswith("/*", index):
+            end = source.find("*/", index + 2)
+            if end < 0:
+                raise error("unterminated block comment")
+            skipped = source[index:end + 2]
+            newlines = skipped.count("\n")
+            if newlines:
+                line += newlines
+                col = len(skipped) - skipped.rfind("\n")
+            else:
+                col += len(skipped)
+            index = end + 2
+            continue
+        # Numbers (int and float literals; leading digit or ".5" form).
+        if ch.isdigit() or (ch == "." and index + 1 < length
+                            and source[index + 1].isdigit()):
+            start = index
+            seen_dot = False
+            seen_exp = False
+            while index < length:
+                c = source[index]
+                if c.isdigit():
+                    index += 1
+                elif c == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    index += 1
+                elif c in "eE" and not seen_exp and index > start:
+                    seen_exp = True
+                    index += 1
+                    if index < length and source[index] in "+-":
+                        index += 1
+                elif c == "x" and index == start + 1 and source[start] == "0":
+                    # Hex literal.
+                    index += 1
+                    while index < length and source[index] in "0123456789abcdefABCDEF":
+                        index += 1
+                    break
+                else:
+                    break
+            if index < length and (source[index] == "."
+                                   or source[index].isalpha()
+                                   or source[index] == "_"):
+                raise error("bad numeric literal %r"
+                            % source[start:index + 1])
+            text = source[start:index]
+            try:
+                if text.startswith("0x") or text.startswith("0X"):
+                    value: Union[int, float] = int(text, 16)
+                    kind = "int"
+                elif seen_dot or seen_exp:
+                    value = float(text)
+                    kind = "float"
+                else:
+                    value = int(text)
+                    kind = "int"
+            except ValueError:
+                raise error("bad numeric literal %r" % text)
+            tokens.append(Token(kind, text, value, line, col))
+            col += len(text)
+            continue
+        # Identifiers / keywords.
+        if ch.isalpha() or ch == "_":
+            start = index
+            while index < length and (source[index].isalnum()
+                                      or source[index] == "_"):
+                index += 1
+            text = source[start:index]
+            kind = "kw" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, None, line, col))
+            col += len(text)
+            continue
+        # Operators and punctuation.
+        matched = None
+        for op in _MULTI_OPS:
+            if source.startswith(op, index):
+                matched = op
+                break
+        if matched is None and ch in _SINGLE_OPS:
+            matched = ch
+        if matched is None:
+            raise error("unexpected character %r" % ch)
+        tokens.append(Token("op", matched, None, line, col))
+        index += len(matched)
+        col += len(matched)
+
+    tokens.append(Token("eof", "", None, line, col))
+    return tokens

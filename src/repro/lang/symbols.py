@@ -1,0 +1,163 @@
+"""Symbol resolution and storage layout for MiniC functions.
+
+Storage classes, chosen per local:
+
+* **register** — scalar locals whose address is never taken are promoted to
+  callee-saved registers ``r4``..``r7`` in declaration order (first four).
+  Functions save/restore exactly the callee-saved registers they use, with
+  ``push``/``pop`` pairs in the prologue/epilogue — the save/restore pairs
+  of paper Section 5.2.
+* **stack** — arrays, address-taken scalars, and overflow locals live in
+  the frame at ``fp - k``.
+* **param** — arguments are pushed by the caller and addressed at
+  ``fp + 2 + i`` (``fp`` slot 0 holds the saved frame pointer, slot 1 the
+  return address).
+
+The eval registers ``r0``..``r2`` (with ``r3`` as spill scratch) are
+caller-clobbered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.lang import ast
+from repro.lang.errors import CompileError
+
+#: Callee-saved registers available for register-allocated locals.
+CALLEE_SAVED = ("r4", "r5", "r6", "r7")
+
+#: First argument slot relative to fp (0: saved fp, 1: return address).
+PARAM_BASE_OFFSET = 2
+
+
+@dataclass
+class LocalSlot:
+    """Where one local lives."""
+
+    name: str
+    storage: str                 # "reg" | "stack" | "param"
+    reg: Optional[str] = None    # for "reg"
+    offset: int = 0              # fp-relative, for "stack"/"param"
+    array_size: Optional[int] = None
+    type_name: str = "int"
+
+
+@dataclass
+class FunctionLayout:
+    """Complete storage layout of one function."""
+
+    name: str
+    slots: Dict[str, LocalSlot] = field(default_factory=dict)
+    used_callee_saved: List[str] = field(default_factory=list)
+    stack_words: int = 0
+    params: List[str] = field(default_factory=list)
+
+
+def _collect_decls(stmt: ast.Stmt, out: List[ast.LocalDecl]) -> None:
+    if isinstance(stmt, ast.Block):
+        for child in stmt.body:
+            _collect_decls(child, out)
+    elif isinstance(stmt, ast.LocalDecl):
+        out.append(stmt)
+    elif isinstance(stmt, ast.If):
+        if stmt.then:
+            _collect_decls(stmt.then, out)
+        if stmt.otherwise:
+            _collect_decls(stmt.otherwise, out)
+    elif isinstance(stmt, ast.While):
+        if stmt.body:
+            _collect_decls(stmt.body, out)
+    elif isinstance(stmt, ast.DoWhile):
+        if stmt.body:
+            _collect_decls(stmt.body, out)
+    elif isinstance(stmt, ast.For):
+        if stmt.init:
+            _collect_decls(stmt.init, out)
+        if stmt.body:
+            _collect_decls(stmt.body, out)
+    elif isinstance(stmt, ast.Switch):
+        for case in stmt.cases:
+            for child in case.body:
+                _collect_decls(child, out)
+
+
+def _walk_address_taken(func: ast.FuncDef) -> Set[str]:
+    """Names whose address is taken with ``&`` anywhere in the function."""
+    taken: Set[str] = set()
+
+    def walk(node) -> None:
+        if isinstance(node, ast.Unary) and node.op == "&":
+            target = node.operand
+            if isinstance(target, ast.VarRef):
+                taken.add(target.name)
+            elif (isinstance(target, ast.Index)
+                  and isinstance(target.base, ast.VarRef)):
+                taken.add(target.base.name)
+        for value in vars(node).values():
+            if isinstance(value, (ast.Expr, ast.Stmt)):
+                walk(value)
+            elif isinstance(value, ast.SwitchCase):
+                for child in value.body:
+                    walk(child)
+            elif isinstance(value, list):
+                for item in value:
+                    if isinstance(item, (ast.Expr, ast.Stmt)):
+                        walk(item)
+                    elif isinstance(item, ast.SwitchCase):
+                        for child in item.body:
+                            walk(child)
+    if func.body is not None:
+        walk(func.body)
+    return taken
+
+
+def layout_function(func: ast.FuncDef) -> FunctionLayout:
+    """Compute the storage layout for ``func``.
+
+    Raises :class:`CompileError` on duplicate locals or param shadowing.
+    """
+    layout = FunctionLayout(name=func.name)
+    taken = _walk_address_taken(func)
+
+    for index, (ptype, pname) in enumerate(func.params):
+        if pname in layout.slots:
+            raise CompileError("duplicate parameter %r" % pname, func.line)
+        layout.slots[pname] = LocalSlot(
+            name=pname, storage="param",
+            offset=PARAM_BASE_OFFSET + index, type_name=ptype)
+        layout.params.append(pname)
+
+    decls: List[ast.LocalDecl] = []
+    if func.body is not None:
+        _collect_decls(func.body, decls)
+
+    free_regs = list(CALLEE_SAVED)
+    cursor = 1
+    for decl in decls:
+        if decl.name in layout.slots:
+            raise CompileError(
+                "duplicate local %r in %s" % (decl.name, func.name), decl.line)
+        if (decl.array_size is None and decl.name not in taken and free_regs):
+            reg = free_regs.pop(0)
+            layout.slots[decl.name] = LocalSlot(
+                name=decl.name, storage="reg", reg=reg,
+                type_name=decl.type_name)
+            layout.used_callee_saved.append(reg)
+        elif decl.array_size is None:
+            layout.slots[decl.name] = LocalSlot(
+                name=decl.name, storage="stack", offset=-cursor,
+                type_name=decl.type_name)
+            cursor += 1
+        else:
+            if decl.array_size <= 0:
+                raise CompileError(
+                    "array %r must have positive size" % decl.name, decl.line)
+            base_offset = -(cursor + decl.array_size - 1)
+            layout.slots[decl.name] = LocalSlot(
+                name=decl.name, storage="stack", offset=base_offset,
+                array_size=decl.array_size, type_name=decl.type_name)
+            cursor += decl.array_size
+    layout.stack_words = cursor - 1
+    return layout

@@ -1,0 +1,112 @@
+"""Maple's active scheduling phase: force a predicted interleaving.
+
+The :class:`ActiveScheduler` realizes one idiom-1 iRoot by thread-priority
+control, like Maple's active scheduler (which "runs the program on a
+single processor and controls thread execution by changing scheduling
+priorities"):
+
+* until the iRoot's *first* access has executed, any thread whose next
+  instruction is the *second* access site is held back (not scheduled) as
+  long as another thread can run;
+* a give-up budget bounds the delay, so an unrealizable candidate cannot
+  livelock the run (Maple's timeout analog).
+
+The companion :class:`ActiveSchedulerWatch` tool tells the scheduler when
+the first access actually executed.  Crucially — this is the DrDebug
+integration the paper describes — the scheduler works under the PinPlay
+logger: the forced schedule is recorded like any other, so the exposed bug
+is captured in an ordinary pinball.  (The instrumentation-ordering care the
+paper needed between Maple and the logger reduces here to the watch tool
+being independent of the logger tool.)
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.maple.idioms import IRoot
+from repro.vm.hooks import InstrEvent, Tool
+from repro.vm.scheduler import Scheduler
+
+
+class ActiveSchedulerWatch(Tool):
+    """Reports executions of the iRoot's access sites to the scheduler."""
+
+    wants_instr_events = True
+
+    def __init__(self, iroot: IRoot) -> None:
+        self.iroot = iroot
+        self.first_done_by: Optional[int] = None
+        self.second_done_by: Optional[int] = None
+        self.realized = False
+
+    def on_instr(self, event: InstrEvent) -> None:
+        if event.addr == self.iroot.first.pc and self.first_done_by is None:
+            self.first_done_by = event.tid
+        elif (event.addr == self.iroot.second.pc
+              and self.first_done_by is not None
+              and self.second_done_by is None):
+            self.second_done_by = event.tid
+            if event.tid != self.first_done_by:
+                self.realized = True
+
+
+class ActiveScheduler(Scheduler):
+    """Priority-controlled scheduler steering toward one iRoot."""
+
+    def __init__(self, watch: ActiveSchedulerWatch,
+                 give_up_budget: int = 10_000,
+                 base_quantum: int = 20) -> None:
+        self.watch = watch
+        self.give_up_budget = give_up_budget
+        self.base_quantum = base_quantum
+        self.delays = 0
+        self.gave_up = False
+        self._machine = None
+        self._remaining = base_quantum
+        self._current: Optional[int] = None
+
+    def attach(self, machine) -> None:
+        self._machine = machine
+
+    def _is_held(self, tid: int) -> bool:
+        """Should ``tid`` be delayed right now?"""
+        if self.gave_up or self.watch.first_done_by is not None:
+            return False
+        thread = self._machine.threads.get(tid)
+        return thread is not None and thread.pc == self.iroot_second_pc
+
+    @property
+    def iroot_second_pc(self) -> int:
+        return self.watch.iroot.second.pc
+
+    def pick(self, runnable: Sequence[int], last: Optional[int]) -> int:
+        eligible = [tid for tid in runnable if not self._is_held(tid)]
+        if not eligible:
+            # Everyone runnable sits at the second access: we must run one
+            # (otherwise we livelock); count it against the budget.
+            self.delays += 1
+            if self.delays >= self.give_up_budget:
+                self.gave_up = True
+            return runnable[0]
+        if len(eligible) != len(runnable):
+            self.delays += 1
+            if self.delays >= self.give_up_budget:
+                self.gave_up = True
+        # Round-robin among the eligible for fairness.
+        if (last in eligible and last == self._current
+                and self._remaining > 0):
+            return last
+        if last is None or last not in eligible:
+            return eligible[0]
+        for tid in eligible:
+            if tid > last:
+                return tid
+        return eligible[0]
+
+    def commit(self, tid: int) -> None:
+        if tid == self._current:
+            self._remaining -= 1
+        else:
+            self._current = tid
+            self._remaining = self.base_quantum - 1

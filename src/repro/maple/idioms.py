@@ -1,0 +1,49 @@
+"""iRoot definitions: the interleaving idioms Maple profiles and forces.
+
+We implement idiom-1 from the Maple paper — two accesses to the same
+shared location from different threads, at least one a write, in a
+specific order.  An :class:`IRoot` is the *static* pattern (instruction
+addresses); realizing it means executing ``first`` before ``second`` from
+different threads at runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MemAccess:
+    """A static memory access site."""
+
+    pc: int
+    is_write: bool
+
+    def describe(self, program=None) -> str:
+        kind = "W" if self.is_write else "R"
+        location = "pc %d" % self.pc
+        if program is not None:
+            line = program.line_of(self.pc)
+            func = program.function_at(self.pc)
+            location = "%s:%s (pc %d)" % (
+                func.name if func else "?", line, self.pc)
+        return "%s@%s" % (kind, location)
+
+
+@dataclass(frozen=True)
+class IRoot:
+    """Idiom-1 iRoot: ``first`` happens immediately before ``second``
+    on the same shared location, from different threads."""
+
+    first: MemAccess
+    second: MemAccess
+
+    def conflicts(self) -> bool:
+        return self.first.is_write or self.second.is_write
+
+    def reversed(self) -> "IRoot":
+        return IRoot(first=self.second, second=self.first)
+
+    def describe(self, program=None) -> str:
+        return "%s -> %s" % (self.first.describe(program),
+                             self.second.describe(program))

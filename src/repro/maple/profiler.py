@@ -1,0 +1,95 @@
+"""Maple's profiling phase: observe interleavings, predict untested ones.
+
+Each profiling run executes the program under a differently-seeded random
+scheduler while a tool records, for every shared address, the ordered
+pairs of static access sites that executed back-to-back from different
+threads (with at least one write) — the *observed* iRoots.  Predicted
+iRoots are the reversals of observed ones that no run has exhibited yet;
+those are the candidate interleavings the active scheduler will force.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.isa.program import Program
+from repro.maple.idioms import IRoot, MemAccess
+from repro.vm.hooks import InstrEvent, Tool
+from repro.vm.machine import Machine
+from repro.vm.scheduler import RandomScheduler
+
+
+class ProfilerTool(Tool):
+    """Records observed idiom-1 iRoots during one run."""
+
+    wants_instr_events = True
+
+    def __init__(self, shared_limit: Optional[int] = None) -> None:
+        #: Only addresses below this count as interesting (defaults to all).
+        self.shared_limit = shared_limit
+        self.observed: Set[IRoot] = set()
+        #: addr -> (tid, pc, is_write) of the last access.
+        self._last: Dict[int, Tuple[int, int, bool]] = {}
+
+    def _access(self, tid: int, pc: int, addr: int, is_write: bool) -> None:
+        if self.shared_limit is not None and addr >= self.shared_limit:
+            return
+        last = self._last.get(addr)
+        if last is not None:
+            last_tid, last_pc, last_write = last
+            if last_tid != tid and (last_write or is_write):
+                self.observed.add(IRoot(
+                    first=MemAccess(last_pc, last_write),
+                    second=MemAccess(pc, is_write)))
+        self._last[addr] = (tid, pc, is_write)
+
+    def on_instr(self, event: InstrEvent) -> None:
+        for addr, _value in event.mem_reads:
+            self._access(event.tid, event.addr, addr, False)
+        for addr, _value in event.mem_writes:
+            self._access(event.tid, event.addr, addr, True)
+
+
+class InterleavingProfiler:
+    """Runs the profiling phase over several seeds."""
+
+    def __init__(self, program: Program, inputs: Sequence = (),
+                 globals_only: bool = True) -> None:
+        self.program = program
+        self.inputs = list(inputs)
+        # Restricting to the globals segment keeps candidate sets focused
+        # on program-level shared state (heap/stack races would need the
+        # full limit — pass globals_only=False for those).
+        self.shared_limit = program.data_size if globals_only else None
+        self.observed: Set[IRoot] = set()
+        self.failing_seed: Optional[int] = None
+
+    def run(self, seeds: Sequence[int],
+            switch_prob: float = 0.1,
+            max_steps: int = 2_000_000) -> Set[IRoot]:
+        """Profile under each seed; returns all observed iRoots.
+
+        If a run happens to fail naturally, its seed is remembered in
+        :attr:`failing_seed` (no active scheduling needed then).
+        """
+        for seed in seeds:
+            tool = ProfilerTool(self.shared_limit)
+            machine = Machine(
+                self.program,
+                scheduler=RandomScheduler(seed=seed, switch_prob=switch_prob),
+                tools=[tool], inputs=self.inputs)
+            machine.run(max_steps=max_steps)
+            self.observed.update(tool.observed)
+            if machine.failure is not None and self.failing_seed is None:
+                self.failing_seed = seed
+        return self.observed
+
+    def predicted(self) -> List[IRoot]:
+        """Untested orderings: reversals of observed iRoots not yet seen."""
+        candidates = []
+        for iroot in sorted(self.observed,
+                            key=lambda r: (r.first.pc, r.second.pc)):
+            reverse = iroot.reversed()
+            if reverse not in self.observed and reverse.conflicts():
+                candidates.append(reverse)
+        return candidates

@@ -1,0 +1,36 @@
+"""PinPlay analog: record, deterministically replay, and relog executions.
+
+The three tools of the paper's substrate, reimplemented over our VM:
+
+* :func:`~repro.pinplay.logger.record_region` — the **logger**.  Fast-forwards
+  (minimal instrumentation) to a region of interest, snapshots the full
+  architectural state, then records everything nondeterministic while the
+  region executes: the schedule, nondeterministic syscall results, and the
+  shared-memory access order.  The result is a :class:`~repro.pinplay.pinball.Pinball`.
+* :func:`~repro.pinplay.replayer.replay` — the **replayer**.  Re-executes a
+  pinball exactly: same interleaving, same syscall results, same final
+  state (verified by hash).  Analysis tools (the dynamic slicer, the
+  debugger) attach to the replay.
+* :func:`~repro.pinplay.relogger.relog` — the **relogger**.  Replays a region
+  pinball while excluding the instruction instances outside a slice,
+  detecting the side effects of excluded code, and emits a *slice pinball*
+  whose replay skips the excluded code entirely and injects the side
+  effects (paper Section 4).
+"""
+
+from repro.pinplay.pinball import Pinball
+from repro.pinplay.regions import RegionSpec
+from repro.pinplay.logger import LoggerTool, record_region
+from repro.pinplay.replayer import SyscallInjector, replay, replay_machine
+from repro.pinplay.relogger import relog
+
+__all__ = [
+    "LoggerTool",
+    "Pinball",
+    "RegionSpec",
+    "SyscallInjector",
+    "record_region",
+    "relog",
+    "replay",
+    "replay_machine",
+]

@@ -1,0 +1,179 @@
+"""The PinPlay-style logger: capture a region of execution into a pinball.
+
+Two phases, exactly as in the paper:
+
+1. **Fast-forward** — run with *no* tools attached (the VM skips event
+   construction entirely, the analog of Pin-only speed) until the main
+   thread has retired ``skip`` instructions.
+2. **Record** — snapshot the full architectural state, reset region-relative
+   counters, attach the :class:`LoggerTool`, and run until the main thread
+   retires ``length`` instructions, a failure symptom fires, or the program
+   ends.  The tool records the schedule, nondeterministic syscall results,
+   shared-memory access-order edges, and per-thread instruction counts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa.program import Program
+from repro.pinplay.pinball import Pinball, state_hash
+from repro.pinplay.regions import RegionSpec
+from repro.vm.hooks import InstrEvent, SyscallEvent, Tool
+from repro.vm.machine import Machine
+from repro.vm.scheduler import Scheduler, ScheduleRecorder
+from repro.vm.syscalls import NONDET_SYSCALLS
+from repro.vm.thread import ThreadStatus
+
+MAIN_TID = 0
+
+
+class LoggerTool(Tool):
+    """Records everything replay needs while a region executes."""
+
+    wants_instr_events = True
+
+    def __init__(self) -> None:
+        self.schedule = ScheduleRecorder()
+        self.syscalls: Dict[int, List[Tuple[str, object]]] = {}
+        #: (from_tid, from_tindex, to_tid, to_tindex, addr, kind)
+        self.mem_order: List[Tuple[int, int, int, int, int, str]] = []
+        # Per-address bookkeeping, bounded per address by thread count:
+        # the last write, and the *last read per thread* since that write
+        # (transitively earlier reads are ordered by program order, so one
+        # RAW edge per (write epoch, reading thread) and one WAR edge per
+        # (write, previously-reading thread) suffice for a correct order).
+        self._last_writer: Dict[int, Tuple[int, int]] = {}
+        self._readers_since_write: Dict[int, Dict[int, int]] = {}
+        self._seen_by: Dict[int, int] = {}   # addr -> sole tid, or -2 = shared
+        self.thread_creates: List[Tuple[int, Optional[int], int]] = []
+
+    def on_step(self, tid: int) -> None:
+        self.schedule.record(tid)
+
+    def on_syscall(self, event: SyscallEvent) -> None:
+        if event.name in NONDET_SYSCALLS:
+            self.syscalls.setdefault(event.tid, []).append(
+                (event.name, event.result))
+
+    def on_thread_start(self, tid, parent, start_pc, arg) -> None:
+        self.thread_creates.append((tid, parent, start_pc))
+
+    def _mark(self, addr: int, tid: int) -> bool:
+        """Record that ``tid`` touched ``addr``; True if addr is shared."""
+        owner = self._seen_by.get(addr)
+        if owner is None:
+            self._seen_by[addr] = tid
+            return False
+        if owner == tid:
+            return False
+        if owner != -2:
+            self._seen_by[addr] = -2
+        return True
+
+    def on_instr(self, event: InstrEvent) -> None:
+        tid = event.tid
+        tindex = event.tindex
+        for addr, _value in event.mem_reads:
+            shared = self._mark(addr, tid)
+            readers = self._readers_since_write.setdefault(addr, {})
+            if shared and tid not in readers:
+                writer = self._last_writer.get(addr)
+                if writer is not None and writer[0] != tid:
+                    self.mem_order.append(
+                        (writer[0], writer[1], tid, tindex, addr, "raw"))
+            readers[tid] = tindex
+        for addr, _value in event.mem_writes:
+            shared = self._mark(addr, tid)
+            if shared:
+                writer = self._last_writer.get(addr)
+                if writer is not None and writer[0] != tid:
+                    self.mem_order.append(
+                        (writer[0], writer[1], tid, tindex, addr, "waw"))
+                for reader_tid, reader_tindex in self._readers_since_write.get(
+                        addr, {}).items():
+                    if reader_tid != tid:
+                        self.mem_order.append(
+                            (reader_tid, reader_tindex, tid, tindex, addr,
+                             "war"))
+            self._last_writer[addr] = (tid, tindex)
+            if addr in self._readers_since_write:
+                self._readers_since_write[addr] = {}
+
+
+def _fast_forward(machine: Machine, skip: int) -> None:
+    """Advance until the main thread has retired ``skip`` instructions."""
+    main = machine.threads[MAIN_TID]
+    while not machine.finished and main.instr_count < skip:
+        if main.status == ThreadStatus.FINISHED:
+            break
+        machine.run(max_steps=skip - main.instr_count)
+
+
+def record_region(program: Program,
+                  scheduler: Scheduler,
+                  region: Optional[RegionSpec] = None,
+                  inputs=(), rand_seed: int = 0,
+                  extra_tools=()) -> Pinball:
+    """Log a region of a fresh run of ``program`` into a pinball.
+
+    ``scheduler`` drives the interleaving of the *recording* run (e.g. a
+    seeded :class:`~repro.vm.scheduler.RandomScheduler` to shake out a
+    race).  ``extra_tools`` attach additional analyses to the recorded
+    region (used by the Maple integration).
+    """
+    region = region or RegionSpec()
+    machine = Machine(program, scheduler=scheduler, inputs=inputs,
+                      rand_seed=rand_seed)
+    if region.skip:
+        _fast_forward(machine, region.skip)
+
+    machine.reset_counters()
+    snapshot = machine.snapshot().to_dict()
+    output_start = len(machine.output)
+    tool = LoggerTool()
+    machine.add_tool(tool)
+    for extra in extra_tools:
+        machine.add_tool(extra)
+
+    main = machine.threads[MAIN_TID]
+    end_reason = "program_end"
+    while True:
+        if machine.finished:
+            end_reason = ("failure" if machine.failure is not None
+                          else "program_end")
+            break
+        if region.length is not None:
+            remaining = region.length - main.instr_count
+            if remaining <= 0:
+                end_reason = "length_reached"
+                break
+            if main.status == ThreadStatus.FINISHED:
+                end_reason = "main_finished"
+                break
+            machine.run(max_steps=remaining)
+        else:
+            machine.run()
+
+    counts = {str(tid): thread.instr_count
+              for tid, thread in machine.threads.items()}
+    meta = {
+        "kind": "whole" if region.is_whole_program else "region",
+        "skip": region.skip,
+        "length": region.length,
+        "end_reason": end_reason,
+        "failure": machine.failure,
+        "thread_instr_counts": counts,
+        "schedule_steps": tool.schedule.total(),
+        "output": list(machine.output[output_start:]),
+        "final_state_hash": state_hash(machine),
+        "exit_code": machine.exit_code,
+    }
+    return Pinball(
+        program_name=program.name,
+        snapshot=snapshot,
+        schedule=tool.schedule.runs,
+        syscalls=tool.syscalls,
+        mem_order=tool.mem_order,
+        meta=meta,
+    )

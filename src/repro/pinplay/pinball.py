@@ -1,0 +1,148 @@
+"""The pinball: everything needed to deterministically replay an execution.
+
+A pinball captures one *region* of one run of one program:
+
+* ``snapshot`` — full architectural state at region entry (memory image,
+  all thread contexts, lock table, RNG state, pending inputs);
+* ``schedule`` — the run-length-encoded interleaving, one entry per
+  scheduler step (including lock attempts that blocked);
+* ``syscalls`` — per-thread ordered results of nondeterministic syscalls
+  (``input``/``rand``/``time``) to inject during replay;
+* ``mem_order`` — the shared-memory access-order edges (RAW/WAW/WAR across
+  threads) the dynamic slicer uses to build the global trace — "already
+  available in a pinball, as it is needed for replay" (paper Section 3);
+* ``exclusions`` — for *slice pinballs* only: the dynamic code-exclusion
+  records with their side-effect injections (paper Section 4);
+* ``meta`` — bookkeeping: region bounds, per-thread instruction counts,
+  failure record, expected output, and a final-state hash the replayer can
+  verify against.
+
+Pinballs serialize to zlib-compressed JSON; :meth:`Pinball.save` returns
+the on-disk byte size, which is what the Table 2/3 "Space" columns report.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import zlib
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+class Pinball:
+    """A recorded execution region; see module docstring for the fields."""
+
+    FORMAT_VERSION = 1
+
+    def __init__(self,
+                 program_name: str,
+                 snapshot: dict,
+                 schedule: Sequence[Tuple[int, int]],
+                 syscalls: Dict[int, List[Tuple[str, object]]],
+                 mem_order: Sequence[Tuple[int, int, int, int, int, str]] = (),
+                 exclusions: Sequence[dict] = (),
+                 meta: Optional[dict] = None) -> None:
+        self.program_name = program_name
+        self.snapshot = snapshot
+        self.schedule = [(int(t), int(c)) for t, c in schedule]
+        self.syscalls = {int(t): [(str(n), v) for n, v in log]
+                         for t, log in syscalls.items()}
+        self.mem_order = [tuple(edge) for edge in mem_order]
+        self.exclusions = list(exclusions)
+        self.meta = dict(meta or {})
+
+    # -- derived quantities ---------------------------------------------------
+
+    @property
+    def kind(self) -> str:
+        return self.meta.get("kind", "region")
+
+    @property
+    def total_steps(self) -> int:
+        return sum(count for _, count in self.schedule)
+
+    @property
+    def total_instructions(self) -> int:
+        """Instructions retired in the region, across all threads."""
+        counts = self.meta.get("thread_instr_counts", {})
+        return sum(int(v) for v in counts.values())
+
+    def thread_instructions(self, tid: int) -> int:
+        counts = self.meta.get("thread_instr_counts", {})
+        return int(counts.get(str(tid), counts.get(tid, 0)))
+
+    # -- serialization -----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "format_version": self.FORMAT_VERSION,
+            "program_name": self.program_name,
+            "snapshot": self.snapshot,
+            "schedule": [list(entry) for entry in self.schedule],
+            "syscalls": {str(tid): [[name, value] for name, value in log]
+                         for tid, log in self.syscalls.items()},
+            "mem_order": [list(edge) for edge in self.mem_order],
+            "exclusions": self.exclusions,
+            "meta": self.meta,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Pinball":
+        if payload.get("format_version") != cls.FORMAT_VERSION:
+            raise ValueError("unsupported pinball format %r"
+                             % payload.get("format_version"))
+        return cls(
+            program_name=payload["program_name"],
+            snapshot=payload["snapshot"],
+            schedule=[tuple(entry) for entry in payload["schedule"]],
+            syscalls={int(tid): [tuple(entry) for entry in log]
+                      for tid, log in payload["syscalls"].items()},
+            mem_order=[tuple(edge) for edge in payload["mem_order"]],
+            exclusions=payload.get("exclusions", []),
+            meta=payload.get("meta", {}),
+        )
+
+    def to_bytes(self, compress: bool = True) -> bytes:
+        raw = json.dumps(self.to_dict(), separators=(",", ":")).encode("utf-8")
+        return zlib.compress(raw, level=6) if compress else raw
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "Pinball":
+        try:
+            raw = zlib.decompress(blob)
+        except zlib.error:
+            raw = blob
+        return cls.from_dict(json.loads(raw.decode("utf-8")))
+
+    def save(self, path: str, compress: bool = True) -> int:
+        """Write to ``path``; returns the stored size in bytes."""
+        blob = self.to_bytes(compress=compress)
+        with open(path, "wb") as handle:
+            handle.write(blob)
+        return os.path.getsize(path)
+
+    @classmethod
+    def load(cls, path: str) -> "Pinball":
+        with open(path, "rb") as handle:
+            return cls.from_bytes(handle.read())
+
+    def size_bytes(self, compress: bool = True) -> int:
+        """In-memory serialized size (no file needed)."""
+        return len(self.to_bytes(compress=compress))
+
+
+def state_hash(machine) -> str:
+    """Hash of guest-visible machine state, for replay verification.
+
+    Covers memory contents and every live thread's registers and pc — if a
+    replay reproduces this hash, it reproduced the architectural state.
+    """
+    digest = hashlib.sha256()
+    for addr, value in machine.memory.nonzero_items():
+        digest.update(("%d=%r;" % (addr, value)).encode())
+    for tid, thread in sorted(machine.threads.items()):
+        digest.update(("T%d@%d:%s;" % (tid, thread.pc, thread.status)).encode())
+        for name, value in sorted(thread.regs.items()):
+            digest.update(("%s=%r," % (name, value)).encode())
+    return digest.hexdigest()

@@ -1,0 +1,39 @@
+"""Region specifications: which part of an execution a pinball captures.
+
+The paper (and PinPlay) describe regions with a *skip* and a *length*
+counted in main-thread instructions; logging may also end early at a
+failure symptom or at program end.  ``skip=0, length=None`` captures the
+whole execution — the "novice programmer" configuration of Table 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class RegionSpec:
+    """A region: skip ``skip`` main-thread instructions, then record up to
+    ``length`` more (None = to program end), stopping early at a failure
+    when ``stop_at_failure`` is set."""
+
+    skip: int = 0
+    length: Optional[int] = None
+    stop_at_failure: bool = True
+
+    def __post_init__(self) -> None:
+        if self.skip < 0:
+            raise ValueError("skip must be >= 0")
+        if self.length is not None and self.length <= 0:
+            raise ValueError("length must be positive (or None)")
+
+    @property
+    def is_whole_program(self) -> bool:
+        return self.skip == 0 and self.length is None
+
+    def describe(self) -> str:
+        if self.is_whole_program:
+            return "whole program"
+        length = "to end" if self.length is None else "length %d" % self.length
+        return "skip %d, %s (main thread)" % (self.skip, length)

@@ -1,0 +1,110 @@
+"""The PinPlay-style replayer: deterministic re-execution of a pinball.
+
+Replay restores the pinball's architectural snapshot, follows its recorded
+schedule step-for-step (:class:`~repro.vm.scheduler.RecordedScheduler`),
+and injects recorded results for nondeterministic syscalls.  For slice
+pinballs, the machine additionally skips excluded code regions and injects
+their side effects.
+
+``verify=True`` checks the final state hash against the one recorded at
+logging time — the replay-determinism guarantee the whole DrDebug workflow
+rests on ("the programmer observes the exact same program state during
+multiple debug sessions").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.isa.program import Program
+from repro.pinplay.pinball import Pinball, state_hash
+from repro.vm.errors import ReplayDivergence
+from repro.vm.hooks import Tool
+from repro.vm.machine import Machine, MachineSnapshot, RunResult
+from repro.vm.scheduler import RecordedScheduler
+
+
+class SyscallInjector:
+    """Feeds recorded nondeterministic syscall results back during replay."""
+
+    def __init__(self, syscalls: Dict[int, Sequence[Tuple[str, object]]]) -> None:
+        self._full = {int(tid): list(log) for tid, log in syscalls.items()}
+        self._queues = {tid: deque(log) for tid, log in self._full.items()}
+
+    def inject(self, name: str, tid: int) -> Optional[object]:
+        queue = self._queues.get(tid)
+        if not queue:
+            raise ReplayDivergence(
+                "tid %d executed nondeterministic syscall %r beyond the "
+                "recorded log" % (tid, name))
+        recorded_name, value = queue.popleft()
+        if recorded_name != name:
+            raise ReplayDivergence(
+                "tid %d syscall order diverged: recorded %r, executing %r"
+                % (tid, recorded_name, name))
+        return value
+
+    @property
+    def drained(self) -> bool:
+        return all(not queue for queue in self._queues.values())
+
+    # -- checkpoint support (reverse debugging) ---------------------------
+
+    def consumed(self) -> Dict[int, int]:
+        """How many results each thread has consumed so far."""
+        return {tid: len(self._full[tid]) - len(queue)
+                for tid, queue in self._queues.items()}
+
+    def rewind_to(self, consumed: Dict[int, int]) -> None:
+        """Reset the queues to a previously captured consumption state."""
+        for tid, log in self._full.items():
+            start = int(consumed.get(tid, 0))
+            self._queues[tid] = deque(log[start:])
+
+
+def replay_machine(pinball: Pinball, program: Program,
+                   tools: Sequence[Tool] = ()) -> Machine:
+    """Build a machine primed to replay ``pinball`` (without running it).
+
+    The debugger uses this to drive replay interactively (breakpoints,
+    stepping); batch analyses use :func:`replay` instead.
+    """
+    if program.name != pinball.program_name:
+        raise ReplayDivergence(
+            "pinball was recorded for %r, not %r"
+            % (pinball.program_name, program.name))
+    scheduler = RecordedScheduler(pinball.schedule)
+    injector = SyscallInjector(pinball.syscalls)
+    machine = Machine.from_snapshot(
+        program, MachineSnapshot.from_dict(pinball.snapshot),
+        scheduler=scheduler, tools=tools,
+        syscall_injector=injector.inject)
+    if pinball.exclusions:
+        machine.install_exclusions(pinball.exclusions)
+    return machine
+
+
+def replay(pinball: Pinball, program: Program,
+           tools: Sequence[Tool] = (),
+           verify: bool = True) -> Tuple[Machine, RunResult]:
+    """Replay ``pinball`` to the end of its recorded schedule.
+
+    Returns the finished machine and the run result.  With ``verify``,
+    raises :class:`ReplayDivergence` if the final state hash does not match
+    the hash recorded at logging time (skipped for slice pinballs, whose
+    excluded code legitimately leaves different dead state behind).
+    """
+    machine = replay_machine(pinball, program, tools=tools)
+    result = machine.run(max_steps=pinball.total_steps)
+    if verify and not pinball.exclusions:
+        expected = pinball.meta.get("final_state_hash")
+        if expected is not None and state_hash(machine) != expected:
+            raise ReplayDivergence(
+                "replay of %r diverged: final state hash mismatch"
+                % pinball.program_name)
+        expected_output = pinball.meta.get("output")
+        if expected_output is not None and list(machine.output) != list(
+                expected_output):
+            raise ReplayDivergence("replay output diverged")
+    return machine, result

@@ -1,0 +1,153 @@
+"""High-level slicing sessions: replay a pinball once, slice many times.
+
+This is the workflow of paper Figure 4: replay the region pinball with the
+slicing pintool attached (collecting traces — the expensive part, done
+once), then answer interactive slice queries, and finally turn a chosen
+slice into a slice pinball via the relogger.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.isa.program import Program
+from repro.pinplay.pinball import Pinball
+from repro.pinplay.relogger import relog
+from repro.pinplay.replayer import replay
+from repro.slicing.global_trace import GlobalTrace, merge_traces
+from repro.slicing.options import SliceOptions
+from repro.slicing.slice import DynamicSlice
+from repro.slicing.slicer import BackwardSlicer
+from repro.slicing.trace import Instance, Location
+from repro.slicing.tracer import TraceCollector
+
+
+class SlicingSession:
+    """Owns the traced replay of one region pinball and serves slices."""
+
+    def __init__(self, pinball: Pinball, program: Program,
+                 options: Optional[SliceOptions] = None) -> None:
+        self.pinball = pinball
+        self.program = program
+        self.options = options or SliceOptions()
+        started = time.perf_counter()
+        self.collector = TraceCollector(program, self.options)
+        self.machine, self.replay_result = replay(
+            pinball, program, tools=[self.collector], verify=False)
+        self.trace_time = time.perf_counter() - started
+
+        started = time.perf_counter()
+        self.gtrace: GlobalTrace = merge_traces(
+            self.collector.store, pinball.mem_order)
+        self.slicer = BackwardSlicer(
+            self.gtrace,
+            verified_restores=self.collector.save_restore.verified,
+            options=self.options)
+        self.preprocess_time = time.perf_counter() - started
+        self.last_slice_time = 0.0
+
+    # -- criterion resolution ----------------------------------------------------
+
+    def failure_criterion(self) -> Instance:
+        """The instance of the recorded failure symptom (assert)."""
+        failure = self.pinball.meta.get("failure")
+        if not failure:
+            raise ValueError("pinball records no failure")
+        return (int(failure["tid"]), int(failure["tindex"]))
+
+    def last_instance_at_line(self, line: int,
+                              tid: Optional[int] = None) -> Instance:
+        """The latest executed instance attributed to source ``line``."""
+        best: Optional[Instance] = None
+        best_gpos = -1
+        for thread_id, records in self.collector.store.by_thread.items():
+            if tid is not None and thread_id != tid:
+                continue
+            for record in records:
+                if record.line == line and record.gpos > best_gpos:
+                    best_gpos = record.gpos
+                    best = record.instance
+        if best is None:
+            raise ValueError("line %d was never executed%s" % (
+                line, "" if tid is None else " by tid %d" % tid))
+        return best
+
+    def last_write_to_global(self, name: str,
+                             tid: Optional[int] = None) -> Instance:
+        """The latest instance that wrote global variable ``name``."""
+        var = self.program.globals.get(name)
+        if var is None:
+            raise ValueError("unknown global %r" % name)
+        addrs = set(range(var.addr, var.addr + max(1, var.size)))
+        best: Optional[Instance] = None
+        best_gpos = -1
+        for thread_id, records in self.collector.store.by_thread.items():
+            if tid is not None and thread_id != tid:
+                continue
+            for record in records:
+                if record.gpos > best_gpos and any(
+                        a in addrs for a in record.mdefs):
+                    best_gpos = record.gpos
+                    best = record.instance
+        if best is None:
+            raise ValueError("global %r was never written" % name)
+        return best
+
+    def global_location(self, name: str) -> Location:
+        var = self.program.globals.get(name)
+        if var is None:
+            raise ValueError("unknown global %r" % name)
+        return ("m", var.addr)
+
+    def last_reads(self, count: int) -> List[Instance]:
+        """The last ``count`` memory-reading instances across all threads.
+
+        This mirrors the paper's slicing-overhead experiment, which slices
+        "the last 10 read instructions (spread across five threads)".
+        """
+        result: List[Instance] = []
+        for record in reversed(self.gtrace.order):
+            if record.muses:
+                result.append(record.instance)
+                if len(result) >= count:
+                    break
+        return result
+
+    # -- slicing --------------------------------------------------------------------
+
+    def slice_for(self, criterion: Instance,
+                  locations: Optional[Sequence[Location]] = None
+                  ) -> DynamicSlice:
+        started = time.perf_counter()
+        result = self.slicer.slice(criterion, locations)
+        self.last_slice_time = time.perf_counter() - started
+        return result
+
+    def slice_for_global(self, name: str,
+                         criterion: Optional[Instance] = None) -> DynamicSlice:
+        """Slice for the value of global ``name`` as of ``criterion``
+        (default: the last write to it)."""
+        if criterion is None:
+            criterion = self.last_write_to_global(name)
+        return self.slice_for(criterion, [self.global_location(name)])
+
+    # -- slice pinball -----------------------------------------------------------------
+
+    def make_slice_pinball(self, dslice: DynamicSlice) -> Pinball:
+        """Run the relogger to produce the slice pinball for ``dslice``."""
+        return relog(self.pinball, self.program, dslice.to_keep())
+
+    # -- reporting ----------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        return {
+            "trace_records": self.collector.store.total_records(),
+            "trace_time_sec": self.trace_time,
+            "preprocess_time_sec": self.preprocess_time,
+            "mem_order_edges": len(self.pinball.mem_order),
+            "cfg_refinements": self.collector.registry.refinements,
+            "verified_save_restore_pairs":
+                self.collector.save_restore.pair_count,
+            "threads": self.collector.store.threads(),
+        }

@@ -1,0 +1,96 @@
+"""Online dynamic control-dependence detection (Xin & Zhang, ISSTA'07).
+
+Per thread, a stack of open control regions.  Executing a conditional
+branch or indirect jump opens a region that closes when control reaches the
+branch's immediate post-dominator *in the same call frame*; a call opens a
+region for the whole callee frame (so callee instructions are transitively
+control dependent on the call site, as in the paper's Figure 8 discussion).
+The controlling instance of each executed instruction is the top of the
+stack.
+
+Precision depends entirely on the post-dominator information supplied by
+the :class:`~repro.analysis.registry.CfgRegistry`: with an unrefined CFG,
+indirect-jump regions are wrong and control dependences go missing —
+exactly the Section 5.1 imprecision.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.registry import CfgRegistry
+from repro.isa.instructions import Opcode
+from repro.vm.hooks import InstrEvent
+
+Instance = Tuple[int, int]
+
+
+class _Region:
+    __slots__ = ("frame_id", "inst", "end_addr")
+
+    def __init__(self, frame_id: int, inst: Instance,
+                 end_addr: Optional[int]) -> None:
+        self.frame_id = frame_id
+        self.inst = inst
+        self.end_addr = end_addr   # None: closes at frame exit
+
+
+class ControlDepTracker:
+    """Tracks the dynamic control-dependence parent of each instruction."""
+
+    def __init__(self, registry: CfgRegistry) -> None:
+        self.registry = registry
+        self._stacks: Dict[int, List[_Region]] = {}
+
+    def on_event(self, event: InstrEvent,
+                 callee_frame_id: Optional[int]) -> Optional[Instance]:
+        """Process one retired instruction; returns its controlling instance.
+
+        ``callee_frame_id`` must be the new frame's id for call
+        instructions (the caller reads it off the thread after execution)
+        and None otherwise.
+        """
+        tid = event.tid
+        frame = event.frame_id
+        stack = self._stacks.setdefault(tid, [])
+
+        # Close regions that end at this address in this frame.
+        while (stack and stack[-1].frame_id == frame
+               and stack[-1].end_addr == event.addr):
+            stack.pop()
+
+        cd = stack[-1].inst if stack else None
+
+        op = event.instr.op
+        if op == Opcode.IJMP and not self._ijmp_has_targets(event.addr):
+            # No CFG successors known for this indirect jump: prior tools
+            # compute no post-dominator and hence open no region — control
+            # dependences on the jump go *missing*, the exact Section 5.1
+            # imprecision (reproduced when refinement is disabled).
+            op = None
+        if op in (Opcode.BR, Opcode.BRZ, Opcode.IJMP):
+            end_addr = self.registry.region_end_addr(event.addr)
+            region = _Region(frame, (tid, event.tindex), end_addr)
+            # Merge-with-top (Xin-Zhang): a region ending at the same point
+            # in the same frame is superseded by the newer branch instance.
+            if (stack and stack[-1].frame_id == frame
+                    and stack[-1].end_addr == end_addr):
+                stack[-1] = region
+            else:
+                stack.append(region)
+        elif op in (Opcode.CALL, Opcode.ICALL):
+            stack.append(_Region(
+                callee_frame_id if callee_frame_id is not None else frame,
+                (tid, event.tindex), None))
+        elif op == Opcode.RET:
+            # Close every region of the frame being exited.
+            while stack and stack[-1].frame_id == frame:
+                stack.pop()
+        return cd
+
+    def _ijmp_has_targets(self, addr: int) -> bool:
+        cfg = self.registry.cfg_for_addr(addr)
+        return bool(cfg.indirect_targets.get(addr))
+
+    def depth(self, tid: int) -> int:
+        return len(self._stacks.get(tid, ()))

@@ -1,0 +1,69 @@
+"""Dual slicing: contrast a failing run's slice with a passing run's.
+
+The paper's related work cites Weeratunge et al. (ISSTA'10), who analyze
+concurrency bugs "by leveraging both passing and failing runs".  On our
+substrate the idea is direct: record both runs as pinballs, slice the same
+criterion in each, and diff at the *statement* level (dynamic instances
+are not comparable across runs, statements are).  Statements that feed the
+value only in the failing run are the bug candidates; statements only in
+the passing run show the computation the failure bypassed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Tuple
+
+from repro.slicing.slice import DynamicSlice
+
+Statement = Tuple[Optional[str], Optional[int]]   # (function, line)
+
+
+@dataclass(frozen=True)
+class DualSliceResult:
+    """Statement-level comparison of two slices of the same criterion."""
+
+    failing_only: FrozenSet[Statement]
+    passing_only: FrozenSet[Statement]
+    common: FrozenSet[Statement]
+
+    @property
+    def suspicious(self) -> FrozenSet[Statement]:
+        """The primary output: statements implicated only in the failure."""
+        return self.failing_only
+
+    def describe(self) -> str:
+        def block(title, statements):
+            lines = ["%s:" % title]
+            for func, line in sorted(
+                    statements, key=lambda fl: (fl[0] or "", fl[1] or 0)):
+                lines.append("  %s:%s" % (func, line))
+            if len(lines) == 1:
+                lines.append("  (none)")
+            return "\n".join(lines)
+
+        return "\n".join([
+            block("only in the FAILING slice (bug candidates)",
+                  self.failing_only),
+            block("only in the passing slice (bypassed computation)",
+                  self.passing_only),
+            block("common to both", self.common),
+        ])
+
+
+def _statements(dslice: DynamicSlice) -> FrozenSet[Statement]:
+    return frozenset(
+        (func, line) for func, line in dslice.source_statements()
+        if func is not None and line is not None)
+
+
+def dual_slice(failing: DynamicSlice, passing: DynamicSlice
+               ) -> DualSliceResult:
+    """Diff two slices of corresponding criteria from two runs."""
+    failing_statements = _statements(failing)
+    passing_statements = _statements(passing)
+    return DualSliceResult(
+        failing_only=failing_statements - passing_statements,
+        passing_only=passing_statements - failing_statements,
+        common=failing_statements & passing_statements,
+    )

@@ -1,0 +1,105 @@
+"""Combined global trace construction (paper Section 3, step ii).
+
+Merges the per-thread local traces into one total order that respects
+
+* program order within each thread, and
+* the shared-memory access-order edges (RAW/WAW/WAR across threads)
+  recorded in the pinball.
+
+The merge is a Kahn-style topological sort that *clusters* per-thread runs:
+it keeps emitting from the current thread until the next record has an
+unsatisfied cross-thread dependency, then rotates — the locality heuristic
+the paper describes for the LP algorithm ("we always try to cluster traces
+for each thread to the extent possible").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.slicing.trace import TraceRecord, TraceStore
+
+Edge = Tuple[int, int, int, int, int, str]
+
+
+class GlobalTraceError(Exception):
+    """The access-order edges were inconsistent (cyclic) — cannot happen
+    for edges recorded from a real execution."""
+
+
+class GlobalTrace:
+    """The merged total order, with per-record global positions filled in."""
+
+    def __init__(self, order: List[TraceRecord], store: TraceStore) -> None:
+        self.order = order
+        self.store = store
+
+    def __len__(self) -> int:
+        return len(self.order)
+
+    def record_at(self, gpos: int) -> TraceRecord:
+        return self.order[gpos]
+
+    def record_of(self, instance: Tuple[int, int]) -> TraceRecord:
+        return self.store.get(instance)
+
+    def verify_topological(self, edges: Sequence[Edge]) -> bool:
+        """Check the order honors program order and every edge (for tests)."""
+        last_by_thread: Dict[int, int] = {}
+        for gpos, record in enumerate(self.order):
+            if record.gpos != gpos:
+                return False
+            previous = last_by_thread.get(record.tid, -1)
+            if record.tindex != previous + 1:
+                return False
+            last_by_thread[record.tid] = record.tindex
+        for from_tid, from_tindex, to_tid, to_tindex, _addr, _kind in edges:
+            frm = self.store.get((from_tid, from_tindex))
+            to = self.store.get((to_tid, to_tindex))
+            if frm.gpos >= to.gpos:
+                return False
+        return True
+
+
+def merge_traces(store: TraceStore, edges: Sequence[Edge]) -> GlobalTrace:
+    """Topologically merge per-thread traces honoring ``edges``.
+
+    Each edge ``(from_tid, from_tindex, to_tid, to_tindex, addr, kind)``
+    constrains the *from* instance to precede the *to* instance.
+    """
+    incoming: Dict[Tuple[int, int], List[Tuple[int, int]]] = {}
+    for from_tid, from_tindex, to_tid, to_tindex, _addr, _kind in edges:
+        incoming.setdefault((to_tid, to_tindex), []).append(
+            (from_tid, from_tindex))
+
+    tids = store.threads()
+    cursor: Dict[int, int] = {tid: 0 for tid in tids}
+    lengths: Dict[int, int] = {tid: store.thread_length(tid) for tid in tids}
+    total = sum(lengths.values())
+    order: List[TraceRecord] = []
+    current = 0
+    stalled = 0
+    while len(order) < total:
+        tid = tids[current]
+        emitted_here = 0
+        while cursor[tid] < lengths[tid]:
+            deps = incoming.get((tid, cursor[tid]))
+            if deps is not None and any(
+                    cursor[from_tid] <= from_tindex
+                    for from_tid, from_tindex in deps):
+                break
+            record = store.by_thread[tid][cursor[tid]]
+            record.gpos = len(order)
+            order.append(record)
+            cursor[tid] += 1
+            emitted_here += 1
+        if emitted_here:
+            stalled = 0
+        else:
+            stalled += 1
+            if stalled >= len(tids):
+                raise GlobalTraceError(
+                    "access-order edges form a cycle; remaining cursors: %r"
+                    % cursor)
+        current = (current + 1) % len(tids)
+    return GlobalTrace(order, store)

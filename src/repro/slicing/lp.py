@@ -1,0 +1,55 @@
+"""Limited Preprocessing (LP) over the global trace (Zhang et al., ICSE'03).
+
+The global trace is divided into fixed-size blocks; each block's summary is
+the set of locations the block defines.  The backward traversal consults
+the summary before descending into a block and skips blocks that define
+none of the currently wanted locations — for criterion-local slices over
+long traces most blocks are skipped, which is what makes interactive
+slicing practical (the paper adopted this algorithm for the same reason).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Sequence, Set
+
+from repro.slicing.trace import Location, TraceRecord
+
+
+class TraceBlock:
+    """Summary of global-trace positions ``[start, end)``."""
+
+    __slots__ = ("start", "end", "defs")
+
+    def __init__(self, start: int, end: int, defs: Set[Location]) -> None:
+        self.start = start
+        self.end = end
+        self.defs = defs
+
+    def may_define(self, wanted: Set[Location]) -> bool:
+        if len(wanted) < len(self.defs):
+            return any(loc in self.defs for loc in wanted)
+        return any(loc in wanted for loc in self.defs)
+
+    def __repr__(self) -> str:
+        return "<TraceBlock [%d,%d) %d defs>" % (
+            self.start, self.end, len(self.defs))
+
+
+def build_blocks(order: Sequence[TraceRecord],
+                 block_size: int) -> List[TraceBlock]:
+    """Partition the global trace into blocks with def-set summaries."""
+    blocks: List[TraceBlock] = []
+    for start in range(0, len(order), block_size):
+        end = min(start + block_size, len(order))
+        defs: Set[Location] = set()
+        for position in range(start, end):
+            record = order[position]
+            for location in record.def_locations():
+                defs.add(location)
+        blocks.append(TraceBlock(start, end, defs))
+    return blocks
+
+
+def block_index_for(blocks: List[TraceBlock], gpos: int,
+                    block_size: int) -> int:
+    return min(gpos // block_size, len(blocks) - 1) if blocks else -1

@@ -1,0 +1,41 @@
+"""Slicing configuration knobs, including the paper's precision features.
+
+Every ablation benchmark flips one of these:
+
+* ``refine_cfg`` — dynamic CFG refinement with observed indirect-jump
+  targets (Section 5.1).  Off = the imprecise baseline of Figure 7.
+* ``discover_jump_tables`` — an extra, oracle-ish mode our substrate makes
+  possible: statically read switch jump tables so the CFG is complete from
+  the start (real x86 static analysis cannot do this in general, which is
+  the whole point of Section 5.1; useful as the precision upper bound).
+* ``prune_save_restore`` / ``max_save`` — save/restore pair detection and
+  spurious-dependence bypassing (Section 5.2); ``max_save`` is the paper's
+  MaxSave tunable (10 in their Figure 13 experiments).
+* ``block_size`` — the LP trace-block granularity of Zhang et al.
+* ``track_stack_pointer`` — whether ``sp`` participates in register
+  def/use chains.  Off by default: stack-slot dependences are already
+  tracked precisely through memory addresses, and threading every push/pop
+  through ``sp`` would chain all stack operations together (the same
+  engineering choice practical binary slicers make).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SliceOptions:
+    refine_cfg: bool = True
+    discover_jump_tables: bool = False
+    prune_save_restore: bool = True
+    max_save: int = 10
+    block_size: int = 1024
+    track_stack_pointer: bool = False
+    record_values: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_save < 0:
+            raise ValueError("max_save must be >= 0")
+        if self.block_size < 1:
+            raise ValueError("block_size must be >= 1")

@@ -1,0 +1,141 @@
+"""Save/restore pair detection (paper Section 5.2).
+
+Two phases, exactly as the paper describes:
+
+* **Static candidates** — the first ``MaxSave`` ``push`` instructions at a
+  function's entry are potential *saves*; the ``pop`` instructions in the
+  window before each ``ret`` are potential *restores*.  No compiler
+  cooperation: this works on any binary our ISA can express.
+* **Dynamic verification** — a candidate pair is a verified save/restore
+  for a dynamic frame iff the save copied register ``r`` to stack slot
+  ``s`` at frame entry and the restore copied *the same value* from ``s``
+  back to ``r`` at frame exit.
+
+The verified pairs feed the slicer's bypass: a data dependence resolved to
+a verified restore is redirected to the definition reaching the matching
+save, eliminating the spurious chains of Figure 8.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.isa.instructions import Opcode, Reg
+from repro.isa.program import Function, Program
+from repro.vm.hooks import InstrEvent
+
+Instance = Tuple[int, int]
+
+#: How many non-push instructions the candidate scan tolerates before
+#: giving up (prologues interleave ``mov fp, sp`` / ``sub sp`` with pushes).
+_SCAN_SLACK = 4
+
+
+def find_static_candidates(program: Program,
+                           max_save: int) -> Tuple[Set[int], Set[int]]:
+    """Candidate save/restore instruction addresses across the program."""
+    saves: Set[int] = set()
+    restores: Set[int] = set()
+    for function in program.functions.values():
+        saves.update(_scan_saves(program, function, max_save))
+        restores.update(_scan_restores(program, function, max_save))
+    return saves, restores
+
+
+def _scan_saves(program: Program, function: Function,
+                max_save: int) -> List[int]:
+    found: List[int] = []
+    if max_save <= 0:
+        return found
+    slack = _SCAN_SLACK
+    for addr in range(function.entry, function.end):
+        instr = program.instructions[addr]
+        if instr.op == Opcode.PUSH and isinstance(instr.operands[0], Reg):
+            found.append(addr)
+            if len(found) >= max_save:
+                break
+        elif instr.is_control_transfer():
+            break
+        else:
+            slack -= 1
+            if slack < 0:
+                break
+    return found
+
+
+def _scan_restores(program: Program, function: Function,
+                   max_save: int) -> List[int]:
+    found: List[int] = []
+    if max_save <= 0:
+        return found
+    for ret_addr in range(function.entry, function.end):
+        if program.instructions[ret_addr].op != Opcode.RET:
+            continue
+        slack = _SCAN_SLACK
+        count = 0
+        for addr in range(ret_addr - 1, function.entry - 1, -1):
+            instr = program.instructions[addr]
+            if instr.op == Opcode.POP:
+                found.append(addr)
+                count += 1
+                if count >= max_save:
+                    break
+            elif instr.is_control_transfer():
+                break
+            else:
+                slack -= 1
+                if slack < 0:
+                    break
+    return found
+
+
+class SaveRestoreDetector:
+    """Verifies candidate pairs dynamically as the trace is collected."""
+
+    def __init__(self, program: Program, max_save: int) -> None:
+        self.max_save = max_save
+        if max_save > 0:
+            self.save_addrs, self.restore_addrs = find_static_candidates(
+                program, max_save)
+        else:
+            self.save_addrs, self.restore_addrs = set(), set()
+        #: (tid, frame_id) -> reg -> (save_tindex, stack_addr, value)
+        self._open: Dict[Tuple[int, int], Dict[str, Tuple[int, int, object]]] = {}
+        #: restore instance -> matching save instance.
+        self.verified: Dict[Instance, Instance] = {}
+        #: All instances participating in a verified pair (for reporting).
+        self.pair_count = 0
+
+    def on_event(self, event: InstrEvent) -> None:
+        if not self.max_save:
+            return
+        addr = event.addr
+        if addr in self.save_addrs and event.instr.op == Opcode.PUSH:
+            reg = event.instr.operands[0].name
+            if not event.mem_writes:
+                return
+            stack_addr, value = event.mem_writes[0]
+            key = (event.tid, event.frame_id)
+            self._open.setdefault(key, {})[reg] = (
+                event.tindex, stack_addr, value)
+        elif addr in self.restore_addrs and event.instr.op == Opcode.POP:
+            reg = event.instr.operands[0].name
+            if not event.mem_reads:
+                return
+            stack_addr, value = event.mem_reads[0]
+            key = (event.tid, event.frame_id)
+            frame_saves = self._open.get(key)
+            if not frame_saves:
+                return
+            saved = frame_saves.get(reg)
+            if saved is None:
+                return
+            save_tindex, save_stack_addr, save_value = saved
+            if save_stack_addr == stack_addr and save_value == value:
+                self.verified[(event.tid, event.tindex)] = (
+                    event.tid, save_tindex)
+                self.pair_count += 1
+                del frame_saves[reg]
+        elif event.instr.op == Opcode.RET:
+            # Frame is gone; drop its open saves.
+            self._open.pop((event.tid, event.frame_id), None)

@@ -1,0 +1,137 @@
+"""The dynamic slice data structure: nodes, dependence edges, navigation.
+
+A :class:`DynamicSlice` is self-contained (it copies the per-node debug
+info out of the trace records), so it can be saved, reloaded in a later
+debug session — slices stay valid across sessions thanks to PinPlay's
+repeatability guarantee — browsed backwards along dependence edges (the
+KDbg-style navigation), and converted into the keep-sets the relogger
+needs to build a slice pinball.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+Instance = Tuple[int, int]
+
+
+class SliceNode:
+    """One instruction instance included in the slice."""
+
+    __slots__ = ("tid", "tindex", "addr", "line", "func", "values")
+
+    def __init__(self, tid: int, tindex: int, addr: int,
+                 line: Optional[int], func: Optional[str],
+                 values: Optional[dict] = None) -> None:
+        self.tid = tid
+        self.tindex = tindex
+        self.addr = addr
+        self.line = line
+        self.func = func
+        self.values = values
+
+    @property
+    def instance(self) -> Instance:
+        return (self.tid, self.tindex)
+
+    def __repr__(self) -> str:
+        return "<SliceNode %d:%d %s:%s pc=%d>" % (
+            self.tid, self.tindex, self.func, self.line, self.addr)
+
+
+class DynamicSlice:
+    """A computed backward dynamic slice."""
+
+    def __init__(self, criterion: Instance,
+                 nodes: Dict[Instance, SliceNode],
+                 edges: List[Tuple[Instance, Instance, str, Optional[tuple]]],
+                 stats: Optional[dict] = None) -> None:
+        self.criterion = criterion
+        self.nodes = nodes
+        #: ``(consumer, producer, kind, location)`` — consumer *depends on*
+        #: producer via a data ("data") or control ("control") dependence.
+        self.edges = edges
+        self.stats = dict(stats or {})
+        self._deps: Optional[Dict[Instance, List]] = None
+
+    # -- queries -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __contains__(self, instance: Instance) -> bool:
+        return tuple(instance) in self.nodes
+
+    def instances(self) -> List[Instance]:
+        return sorted(self.nodes)
+
+    def node(self, instance: Instance) -> SliceNode:
+        return self.nodes[tuple(instance)]
+
+    def deps_of(self, instance: Instance) -> List[Tuple[Instance, str, Optional[tuple]]]:
+        """Producers this instance directly depends on (backward edges)."""
+        if self._deps is None:
+            self._deps = {}
+            for consumer, producer, kind, loc in self.edges:
+                self._deps.setdefault(consumer, []).append(
+                    (producer, kind, loc))
+        return self._deps.get(tuple(instance), [])
+
+    def source_statements(self) -> Set[Tuple[Optional[str], Optional[int]]]:
+        """The (function, line) statements the slice touches."""
+        return {(node.func, node.line) for node in self.nodes.values()}
+
+    def lines(self) -> Set[int]:
+        return {node.line for node in self.nodes.values()
+                if node.line is not None}
+
+    def threads(self) -> Set[int]:
+        return {tid for tid, _ in self.nodes}
+
+    def to_keep(self) -> Dict[int, Set[int]]:
+        """Keep-sets for the relogger: tid -> instruction indices kept."""
+        keep: Dict[int, Set[int]] = {}
+        for tid, tindex in self.nodes:
+            keep.setdefault(tid, set()).add(tindex)
+        return keep
+
+    # -- serialization ----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "criterion": list(self.criterion),
+            "nodes": [
+                [node.tid, node.tindex, node.addr, node.line, node.func]
+                for node in self.nodes.values()
+            ],
+            "edges": [
+                [list(consumer), list(producer), kind,
+                 list(loc) if loc is not None else None]
+                for consumer, producer, kind, loc in self.edges
+            ],
+            "stats": self.stats,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "DynamicSlice":
+        nodes = {}
+        for tid, tindex, addr, line, func in payload["nodes"]:
+            node = SliceNode(tid, tindex, addr, line, func)
+            nodes[node.instance] = node
+        edges = [
+            (tuple(consumer), tuple(producer), kind,
+             tuple(loc) if loc is not None else None)
+            for consumer, producer, kind, loc in payload["edges"]
+        ]
+        return cls(tuple(payload["criterion"]), nodes, edges,
+                   payload.get("stats"))
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle)
+
+    @classmethod
+    def load(cls, path: str) -> "DynamicSlice":
+        with open(path) as handle:
+            return cls.from_dict(json.load(handle))

@@ -1,0 +1,156 @@
+"""Backward dynamic slicing over the global trace (Section 3, step iii).
+
+One backward scan from the criterion position resolves data dependences:
+the *wanted* map holds, per location, the consumers still looking for their
+reaching definition; the first definition encountered below a consumer's
+position is, by construction of the scan order, the latest one — the
+dynamic reaching definition.  Control dependences come for free: every
+trace record carries its controlling instance, so adding a node chains its
+control parents directly without scanning.
+
+LP block summaries let the scan skip blocks that define none of the wanted
+locations.  Save/restore bypassing (Section 5.2) redirects a dependence
+that resolves to a verified *restore* to instead search below the matching
+*save*, so spurious save/restore chains never enter the slice.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.slicing.global_trace import GlobalTrace
+from repro.slicing.lp import TraceBlock, build_blocks
+from repro.slicing.options import SliceOptions
+from repro.slicing.slice import DynamicSlice, SliceNode
+from repro.slicing.trace import Instance, Location, TraceRecord
+
+
+class BackwardSlicer:
+    """Computes backward dynamic slices over one global trace."""
+
+    def __init__(self, gtrace: GlobalTrace,
+                 verified_restores: Optional[Dict[Instance, Instance]] = None,
+                 options: Optional[SliceOptions] = None) -> None:
+        self.gtrace = gtrace
+        self.options = options or SliceOptions()
+        self.restores = dict(verified_restores or {})
+        self.blocks: List[TraceBlock] = build_blocks(
+            gtrace.order, self.options.block_size)
+
+    # -- public API -----------------------------------------------------------
+
+    def slice(self, criterion: Instance,
+              locations: Optional[Sequence[Location]] = None) -> DynamicSlice:
+        """Backward slice from ``criterion``.
+
+        With ``locations`` the slice tracks those specific locations as of
+        (and including) the criterion instruction; otherwise it tracks the
+        criterion instruction's own uses — "the statements that played a
+        role in the computation of the value".
+        """
+        crit_rec = self.gtrace.record_of(criterion)
+        stats = {
+            "scanned_records": 0,
+            "skipped_blocks": 0,
+            "visited_blocks": 0,
+            "bypassed_deps": 0,
+            "unresolved_locations": 0,
+        }
+        nodes: Dict[Instance, SliceNode] = {}
+        edges: List[Tuple[Instance, Instance, str, Optional[tuple]]] = []
+        # location -> list of (before_gpos, consumer_instance)
+        wanted: Dict[Location, List[Tuple[int, Instance]]] = {}
+
+        def add_node(record: TraceRecord) -> None:
+            """Insert a record and chain its control-dependence parents."""
+            stack = [record]
+            while stack:
+                rec = stack.pop()
+                if rec.instance in nodes:
+                    continue
+                nodes[rec.instance] = SliceNode(
+                    rec.tid, rec.tindex, rec.addr, rec.line, rec.func,
+                    rec.values)
+                for loc in rec.use_locations():
+                    wanted.setdefault(loc, []).append(
+                        (rec.gpos, rec.instance))
+                if rec.cd is not None:
+                    edges.append((rec.instance, rec.cd, "control", None))
+                    stack.append(self.gtrace.record_of(rec.cd))
+
+        add_node(crit_rec)
+        if locations is not None:
+            for loc in locations:
+                wanted.setdefault(tuple(loc), []).append(
+                    (crit_rec.gpos + 1, crit_rec.instance))
+
+        self._scan(crit_rec.gpos, wanted, nodes, edges, add_node, stats)
+        stats["unresolved_locations"] = len(wanted)
+        stats["nodes"] = len(nodes)
+        stats["edges"] = len(edges)
+        return DynamicSlice(crit_rec.instance, nodes, edges, stats)
+
+    # -- the backward scan ---------------------------------------------------------
+
+    def _scan(self, start_pos: int, wanted, nodes, edges, add_node,
+              stats) -> None:
+        order = self.gtrace.order
+        prune = self.options.prune_save_restore and bool(self.restores)
+        block_size = self.options.block_size
+        start_block = start_pos // block_size if order else -1
+        for block_index in range(min(start_block, len(self.blocks) - 1),
+                                 -1, -1):
+            if not wanted:
+                break
+            block = self.blocks[block_index]
+            if not block.may_define(set(wanted)):
+                stats["skipped_blocks"] += 1
+                continue
+            stats["visited_blocks"] += 1
+            hi = min(block.end - 1, start_pos)
+            for position in range(hi, block.start - 1, -1):
+                if not wanted:
+                    break
+                record = order[position]
+                stats["scanned_records"] += 1
+                self._match_defs(record, position, wanted, nodes, edges,
+                                 add_node, stats, prune)
+
+    def _match_defs(self, record: TraceRecord, position: int, wanted,
+                    nodes, edges, add_node, stats, prune: bool) -> None:
+        for loc in record.def_locations():
+            entries = wanted.get(loc)
+            if not entries:
+                continue
+            matched = [entry for entry in entries if entry[0] > position]
+            if not matched:
+                continue
+            remaining = [entry for entry in entries if entry[0] <= position]
+            if (prune and loc[0] == "r"
+                    and record.instance in self.restores):
+                # Verified restore: bypass it.  The consumers' reaching
+                # definition is whatever defined the register before the
+                # matching save — resume the search below the save.
+                save_instance = self.restores[record.instance]
+                save_gpos = self.gtrace.record_of(save_instance).gpos
+                redirected = [(save_gpos, consumer)
+                              for _before, consumer in matched]
+                stats["bypassed_deps"] += len(matched)
+                new_entries = remaining + redirected
+                if new_entries:
+                    wanted[loc] = new_entries
+                else:
+                    del wanted[loc]
+                continue
+            # Commit the shrunken entry list *before* expanding the node:
+            # add_node may append fresh entries for this same location
+            # (e.g. ``add r0, r0, 1`` both defines and uses r0), and those
+            # must survive.
+            if remaining:
+                wanted[loc] = remaining
+            else:
+                del wanted[loc]
+            for _before, consumer in matched:
+                edges.append((consumer, record.instance, "data", loc))
+            if record.instance not in nodes:
+                add_node(record)

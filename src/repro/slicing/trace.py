@@ -1,0 +1,92 @@
+"""Per-thread local execution traces (paper Section 3, step i).
+
+One :class:`TraceRecord` per retired instruction carries exactly what the
+backward slicer needs: which registers and memory addresses the instance
+defined and used, its dynamic control-dependence parent, and source debug
+information.  Locations are encoded as:
+
+* registers: ``("r", tid, name)`` — registers are per-thread state;
+* memory: ``("m", addr)`` — shared across threads.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+Instance = Tuple[int, int]          # (tid, tindex)
+Location = tuple                     # ("r", tid, name) | ("m", addr)
+
+
+class TraceRecord:
+    """One executed instruction instance in a thread's local trace."""
+
+    __slots__ = ("tid", "tindex", "addr", "line", "func",
+                 "rdefs", "ruses", "mdefs", "muses", "cd", "gpos", "values")
+
+    def __init__(self, tid: int, tindex: int, addr: int,
+                 line: Optional[int], func: Optional[str],
+                 rdefs: Tuple[str, ...], ruses: Tuple[str, ...],
+                 mdefs: Tuple[int, ...], muses: Tuple[int, ...],
+                 cd: Optional[Instance],
+                 values: Optional[dict] = None) -> None:
+        self.tid = tid
+        self.tindex = tindex
+        self.addr = addr
+        self.line = line
+        self.func = func
+        self.rdefs = rdefs
+        self.ruses = ruses
+        self.mdefs = mdefs
+        self.muses = muses
+        self.cd = cd           # controlling instance, or None
+        self.gpos = -1         # position in the merged global trace
+        self.values = values   # optional written-value map for display
+
+    @property
+    def instance(self) -> Instance:
+        return (self.tid, self.tindex)
+
+    def def_locations(self) -> Iterator[Location]:
+        for name in self.rdefs:
+            yield ("r", self.tid, name)
+        for addr in self.mdefs:
+            yield ("m", addr)
+
+    def use_locations(self) -> Iterator[Location]:
+        for name in self.ruses:
+            yield ("r", self.tid, name)
+        for addr in self.muses:
+            yield ("m", addr)
+
+    def __repr__(self) -> str:
+        return ("<TraceRecord %d:%d pc=%d line=%s defs=%s/%s uses=%s/%s>"
+                % (self.tid, self.tindex, self.addr, self.line,
+                   self.rdefs, self.mdefs, self.ruses, self.muses))
+
+
+class TraceStore:
+    """Per-thread record lists, indexable by (tid, tindex)."""
+
+    def __init__(self) -> None:
+        self.by_thread: Dict[int, List[TraceRecord]] = {}
+
+    def append(self, record: TraceRecord) -> None:
+        self.by_thread.setdefault(record.tid, []).append(record)
+
+    def get(self, instance: Instance) -> TraceRecord:
+        tid, tindex = instance
+        return self.by_thread[tid][tindex]
+
+    def thread_length(self, tid: int) -> int:
+        return len(self.by_thread.get(tid, ()))
+
+    def total_records(self) -> int:
+        return sum(len(records) for records in self.by_thread.values())
+
+    def threads(self) -> List[int]:
+        return sorted(self.by_thread)
+
+    def __contains__(self, instance: Instance) -> bool:
+        tid, tindex = instance
+        records = self.by_thread.get(tid)
+        return records is not None and 0 <= tindex < len(records)

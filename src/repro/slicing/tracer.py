@@ -1,0 +1,128 @@
+"""Trace collection during pinball replay (the slicing "pintool").
+
+Attached to a replay, this tool builds the per-thread local traces while
+running the two online analyses that determine slice precision:
+
+* CFG refinement from observed indirect-jump targets (Section 5.1) feeding
+  the Xin-Zhang control-dependence tracker;
+* dynamic save/restore pair verification (Section 5.2).
+
+With ``discover_jump_tables`` the tracer instead primes every CFG from the
+switch jump tables before execution — the precision upper bound that real
+x86 static analysis cannot reach (useful for ablations).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.analysis.registry import CfgRegistry
+from repro.isa.instructions import Imm, Opcode
+from repro.isa.program import Program
+from repro.slicing.control_dep import ControlDepTracker
+from repro.slicing.options import SliceOptions
+from repro.slicing.save_restore import SaveRestoreDetector
+from repro.slicing.trace import TraceRecord, TraceStore
+from repro.vm.hooks import InstrEvent, Tool
+
+
+def prime_jump_tables(registry: CfgRegistry, program: Program) -> int:
+    """Statically read switch jump tables into the CFGs; returns edge count.
+
+    Recognizes the code generator's dispatch idiom: an ``ijmp`` whose
+    target register was loaded from a table whose base came from
+    ``lea rX, <table>`` within the preceding few instructions.
+    """
+    image = program.initial_data_image()
+    table_ranges = [(d.addr, d.addr + len(d.values)) for d in
+                    program.data_defs.values()]
+    added = 0
+    for function in program.functions.values():
+        for addr in range(function.entry, function.end):
+            if program.instructions[addr].op != Opcode.IJMP:
+                continue
+            base = None
+            for back in range(addr - 1, max(function.entry, addr - 6) - 1, -1):
+                instr = program.instructions[back]
+                if (instr.op == Opcode.LEA
+                        and isinstance(instr.operands[1], Imm)):
+                    base = int(instr.operands[1].value)
+                    break
+            if base is None:
+                continue
+            for start, end in table_ranges:
+                if start <= base < end:
+                    cfg = registry.cfg(function.name)
+                    for slot in range(start, end):
+                        target = int(image.get(slot, 0))
+                        if cfg.add_indirect_target(addr, target):
+                            added += 1
+                    break
+    return added
+
+
+class TraceCollector(Tool):
+    """Collects per-thread traces plus precision metadata during replay."""
+
+    wants_instr_events = True
+
+    def __init__(self, program: Program,
+                 options: Optional[SliceOptions] = None) -> None:
+        self.program = program
+        self.options = options or SliceOptions()
+        self.registry = CfgRegistry(program, refine=self.options.refine_cfg)
+        if self.options.discover_jump_tables:
+            prime_jump_tables(self.registry, program)
+        self.control = ControlDepTracker(self.registry)
+        self.save_restore = SaveRestoreDetector(
+            program, self.options.max_save
+            if self.options.prune_save_restore else 0)
+        self.store = TraceStore()
+        self._machine = None
+
+    def on_start(self, machine) -> None:
+        self._machine = machine
+
+    def on_instr(self, event: InstrEvent) -> None:
+        instr = event.instr
+        op = instr.op
+
+        # Refine the CFG with the observed indirect-jump target *before*
+        # the control tracker asks for this jump's region end.
+        if op == Opcode.IJMP and self.options.refine_cfg:
+            target = int(event.reg_reads[0][1])
+            self.registry.observe_indirect_jump(event.addr, target)
+
+        callee_frame_id = None
+        if op in (Opcode.CALL, Opcode.ICALL):
+            frames = self._machine.threads[event.tid].frames
+            callee_frame_id = frames[-1].frame_id if frames else None
+        cd = self.control.on_event(event, callee_frame_id)
+
+        track_sp = self.options.track_stack_pointer
+        rdefs = _dedupe(name for name, _ in event.reg_writes
+                        if track_sp or name != "sp")
+        ruses = _dedupe(name for name, _ in event.reg_reads
+                        if track_sp or name != "sp")
+        mdefs = _dedupe(addr for addr, _ in event.mem_writes)
+        muses = _dedupe(addr for addr, _ in event.mem_reads)
+
+        values = None
+        if self.options.record_values:
+            values = {}
+            for name, value in event.reg_writes:
+                values[name] = value
+            for addr, value in event.mem_writes:
+                values[addr] = value
+
+        self.store.append(TraceRecord(
+            tid=event.tid, tindex=event.tindex, addr=event.addr,
+            line=instr.line, func=instr.func,
+            rdefs=rdefs, ruses=ruses, mdefs=mdefs, muses=muses,
+            cd=cd, values=values))
+
+        self.save_restore.on_event(event)
+
+
+def _dedupe(items) -> Tuple:
+    return tuple(dict.fromkeys(items))

@@ -1,0 +1,43 @@
+"""Exception types raised by the VM and the replay machinery."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class VMError(Exception):
+    """A machine-level fault: bad address, bad opcode, stack overflow."""
+
+    def __init__(self, message: str, tid: Optional[int] = None,
+                 pc: Optional[int] = None) -> None:
+        location = ""
+        if tid is not None:
+            location += " [tid %d" % tid
+            if pc is not None:
+                location += " pc %d" % pc
+            location += "]"
+        super().__init__(message + location)
+        self.tid = tid
+        self.pc = pc
+
+
+class AssertionFailure(VMError):
+    """The guest program's ``assert`` syscall failed — the bug *symptom*.
+
+    DrDebug's whole workflow starts from one of these: the logger captures
+    the execution region ending at the failure point, and slices are
+    computed for values at the failing statement.
+    """
+
+
+class DeadlockError(VMError):
+    """All live threads are blocked; nothing can make progress."""
+
+
+class ReplayDivergence(VMError):
+    """Deterministic replay observed state inconsistent with the pinball.
+
+    This should never happen for a well-formed pinball; it indicates either
+    pinball corruption or a VM nondeterminism bug, and is checked by the
+    replay-determinism property tests.
+    """

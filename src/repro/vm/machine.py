@@ -1,0 +1,780 @@
+"""The interpreter core: a multi-threaded machine with analysis hooks.
+
+One :class:`Machine` executes one linked :class:`~repro.isa.program.Program`.
+Every scheduler step runs a single instruction of a single thread, so any
+interleaving a real multiprocessor could produce at instruction granularity
+is reachable — which is what lets seeded random schedules expose the data
+races in the bug workloads, and what lets a recorded schedule reproduce
+them exactly.
+
+Design notes relevant to replay determinism:
+
+* All guest-visible nondeterminism funnels through three syscalls
+  (``input``, ``rand``, ``time``) and the scheduler.  The machine exposes a
+  ``syscall_injector`` so the replayer can substitute recorded results.
+* Blocked lock/join attempts consume a scheduler step without retiring an
+  instruction; they are part of the recorded schedule so record and replay
+  agree step-for-step.
+* :meth:`Machine.snapshot` captures the complete architectural state and is
+  the "initial state" section of a region pinball.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.isa.instructions import Imm, Instr, Mem, Opcode, Reg
+from repro.isa.program import Program
+from repro.vm.errors import AssertionFailure, DeadlockError, VMError
+from repro.vm.hooks import InstrEvent, SyscallEvent, Tool
+from repro.vm.memory import ADDRESS_SPACE_TOP, STACK_SIZE, Memory
+from repro.vm.scheduler import RoundRobinScheduler, Scheduler
+from repro.vm.syscalls import BLOCK, NONDET_SYSCALLS, SYSCALLS
+from repro.vm.thread import EXIT_SENTINEL, ThreadContext, ThreadStatus
+
+Word = Union[int, float]
+
+_LCG_MULT = 6364136223846793005
+_LCG_INC = 1442695040888963407
+_LCG_MASK = (1 << 64) - 1
+
+
+class Lcg:
+    """A 64-bit LCG: the machine's deterministic, serializable RNG."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.state = (seed ^ 0x9E3779B97F4A7C15) & _LCG_MASK
+
+    def next(self, bound: int) -> int:
+        self.state = (self.state * _LCG_MULT + _LCG_INC) & _LCG_MASK
+        return (self.state >> 33) % bound
+
+
+@dataclass
+class RunResult:
+    """Outcome of a :meth:`Machine.run` call."""
+
+    reason: str               # "done" | "exit" | "limit" | "stop"
+    steps: int                # scheduler steps taken in this call
+    retired: int              # instructions actually retired in this call
+    failure: Optional[dict]   # assertion-failure record, if any
+
+
+class MachineSnapshot:
+    """Complete architectural state; the pinball's initial-state section."""
+
+    def __init__(self, payload: dict) -> None:
+        self.payload = payload
+
+    def to_dict(self) -> dict:
+        return self.payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "MachineSnapshot":
+        return cls(payload)
+
+
+class Machine:
+    """Interpreter for one program run (or one replayed region)."""
+
+    def __init__(self, program: Program,
+                 scheduler: Optional[Scheduler] = None,
+                 tools: Sequence[Tool] = (),
+                 inputs: Sequence[Word] = (),
+                 rand_seed: int = 0,
+                 syscall_injector: Optional[Callable[[str, int], Optional[Word]]] = None,
+                 start_main: bool = True) -> None:
+        self.program = program
+        self.instructions = program.instructions
+        self.memory = Memory(heap_base=program.data_size)
+        self.memory.load_image(program.initial_data_image())
+        self.scheduler = scheduler or RoundRobinScheduler()
+        self.scheduler.attach(self)
+        self.tools: List[Tool] = list(tools)
+        self.threads: Dict[int, ThreadContext] = {}
+        self.locks: Dict[int, Optional[int]] = {}
+        #: addr -> {"gen": int, "waiting": set[tid], "released": set[tid]}
+        self.barriers: Dict[int, dict] = {}
+        self.next_tid = 0
+        self.global_seq = 0
+        self.output: List[Word] = []
+        self.failure: Optional[dict] = None
+        self.exit_code: Optional[int] = None
+        self.stop_request = False
+        self.breakpoints: set = set()
+        self._bp_skip = False
+        #: Exclusion-skip support for slice pinballs: (tid, pc) ->
+        #: {arrival_index: exclusion record}; see install_exclusions().
+        self._excl_watch: Dict[Tuple[int, int], Dict[int, dict]] = {}
+        self._excl_arrivals: Dict[Tuple[int, int], int] = {}
+        self.skipped_exclusions = 0
+        self.rng = Lcg(rand_seed)
+        self.inputs: List[Word] = list(inputs)
+        self.input_pos = 0
+        self.syscall_injector = syscall_injector
+        self._time_base = 1_000_000
+        self._last_clock = 0
+        self._exit_requested = False
+        self._last_tid: Optional[int] = None
+        self._started = False
+        self._cur_mem_writes: Optional[List[Tuple[int, Word]]] = None
+        self._instr_tools: List[Tool] = []
+        self._syscall_tools: List[Tool] = []
+        self._step_tools: List[Tool] = []
+        self._lifecycle_tools: List[Tool] = []
+        if start_main:
+            entry = program.resolve_symbol(program.entry_function)
+            if entry is None:
+                raise VMError("no entry function %r" % program.entry_function)
+            self.create_thread(entry, 0, parent=None, notify=False)
+
+    # -- tool management -----------------------------------------------------
+
+    def add_tool(self, tool: Tool) -> Tool:
+        self.tools.append(tool)
+        if self._started:
+            self._index_tools()
+            tool.on_start(self)
+        return tool
+
+    def _index_tools(self) -> None:
+        self._instr_tools = [t for t in self.tools if t.wants_instr_events]
+        self._syscall_tools = [
+            t for t in self.tools
+            if type(t).on_syscall is not Tool.on_syscall]
+        self._step_tools = [
+            t for t in self.tools if type(t).on_step is not Tool.on_step]
+        self._lifecycle_tools = [
+            t for t in self.tools
+            if type(t).on_thread_start is not Tool.on_thread_start
+            or type(t).on_thread_exit is not Tool.on_thread_exit]
+
+    # -- thread management -----------------------------------------------------
+
+    def create_thread(self, func_addr: int, arg: Word,
+                      parent: Optional[int], notify: bool = True) -> ThreadContext:
+        tid = self.next_tid
+        self.next_tid += 1
+        stack_base = ADDRESS_SPACE_TOP - 64 - tid * STACK_SIZE
+        thread = ThreadContext(tid, func_addr, stack_base)
+        function = self.program.function_at(func_addr)
+        func_name = function.name if function else "<anon>"
+        # Caller-style setup: arg then return-address sentinel on the stack.
+        sp = thread.regs["sp"]
+        sp -= 1
+        self.memory.write(sp, arg)
+        arg_addr = sp
+        sp -= 1
+        self.memory.write(sp, EXIT_SENTINEL)
+        thread.regs["sp"] = sp
+        thread.push_frame(func_name, -1, EXIT_SENTINEL)
+        self.threads[tid] = thread
+        self.scheduler.on_thread_created(tid)
+        # Attribute the argument write to the spawning instruction so the
+        # slicer sees the parent->child dependence through the arg slot.
+        if self._cur_mem_writes is not None:
+            self._cur_mem_writes.append((arg_addr, arg))
+        if notify and self._lifecycle_tools:
+            for tool in self._lifecycle_tools:
+                tool.on_thread_start(tid, parent, func_addr, arg)
+        return thread
+
+    def _finish_thread(self, thread: ThreadContext) -> None:
+        thread.status = ThreadStatus.FINISHED
+        thread.exit_value = thread.regs["r0"]
+        self.scheduler.on_thread_finished(thread.tid)
+        self.wake_blocked(("join", thread.tid))
+        for tool in self._lifecycle_tools:
+            tool.on_thread_exit(thread.tid, thread.exit_value)
+
+    def barrier_arrive(self, addr: int, needed: int, thread):
+        """One thread arrives at barrier ``addr`` expecting ``needed``.
+
+        Returns None (proceed) or the BLOCK sentinel.  The n-th arrival
+        marks the other waiters *released* and wakes them; a released
+        thread's retry passes straight through (generation semantics, so
+        the barrier is immediately reusable)."""
+        from repro.vm.syscalls import BLOCK
+        state = self.barriers.setdefault(
+            addr, {"gen": 0, "waiting": set(), "released": set()})
+        if thread.tid in state["released"]:
+            state["released"].discard(thread.tid)
+            return None
+        state["waiting"].add(thread.tid)
+        if len(state["waiting"]) >= needed:
+            state["released"] = set(state["waiting"]) - {thread.tid}
+            state["waiting"] = set()
+            state["gen"] += 1
+            self.wake_blocked(("barrier", addr))
+            return None
+        thread.block_reason = ("barrier", addr)
+        return BLOCK
+
+    def wake_blocked(self, reason: tuple) -> None:
+        for thread in self.threads.values():
+            if (thread.status == ThreadStatus.BLOCKED
+                    and thread.block_reason == reason):
+                thread.status = ThreadStatus.RUNNABLE
+                thread.block_reason = None
+
+    def _wake_sleepers(self) -> None:
+        for thread in self.threads.values():
+            if (thread.status == ThreadStatus.BLOCKED and thread.block_reason
+                    and thread.block_reason[0] == "sleep"
+                    and thread.block_reason[1] <= self.global_seq):
+                thread.status = ThreadStatus.RUNNABLE
+                thread.block_reason = None
+
+    def runnable_tids(self) -> List[int]:
+        self._wake_sleepers()
+        return [tid for tid, thread in sorted(self.threads.items())
+                if thread.status == ThreadStatus.RUNNABLE]
+
+    def live_threads(self) -> List[int]:
+        return [tid for tid, thread in sorted(self.threads.items())
+                if thread.status != ThreadStatus.FINISHED]
+
+    # -- nondeterminism sources --------------------------------------------------
+
+    def next_input(self) -> Word:
+        if self.input_pos < len(self.inputs):
+            value = self.inputs[self.input_pos]
+            self.input_pos += 1
+            return value
+        return 0
+
+    def clock(self) -> int:
+        candidate = self._time_base + self.global_seq + self.rng.next(7)
+        self._last_clock = max(candidate, self._last_clock + 1)
+        return self._last_clock
+
+    def record_failure(self, code: int, thread: ThreadContext) -> None:
+        self.failure = {
+            "tid": thread.tid,
+            "pc": thread.pc - 1,   # pc already advanced past the sys instr
+            "code": code,
+            "seq": self.global_seq,
+            "tindex": thread.instr_count,
+        }
+        self._exit_requested = True
+        self.exit_code = 1
+
+    def request_exit(self, code: int) -> None:
+        self._exit_requested = True
+        self.exit_code = code
+
+    # -- main loop -----------------------------------------------------------------
+
+    @property
+    def finished(self) -> bool:
+        if self._exit_requested:
+            return True
+        return all(t.status == ThreadStatus.FINISHED
+                   for t in self.threads.values())
+
+    def run(self, max_steps: Optional[int] = None) -> RunResult:
+        """Run until program end, exit/failure, ``max_steps``, or stop request."""
+        if not self._started:
+            self._started = True
+            self._index_tools()
+            for tool in self.tools:
+                tool.on_start(self)
+            for tid, thread in sorted(self.threads.items()):
+                for tool in self._lifecycle_tools:
+                    tool.on_thread_start(tid, None, thread.pc, 0)
+        steps = 0
+        retired = 0
+        reason = "done"
+        while True:
+            if self._exit_requested:
+                reason = "exit"
+                break
+            if max_steps is not None and steps >= max_steps:
+                reason = "limit"
+                break
+            if self.stop_request:
+                self.stop_request = False
+                reason = "stop"
+                break
+            intended = self.scheduler.intended()
+            if intended is not None:
+                thread = self.threads.get(intended)
+                if (thread is not None
+                        and thread.status == ThreadStatus.BLOCKED
+                        and thread.block_reason
+                        and thread.block_reason[0] == "sleep"):
+                    # The replay schedule runs this thread now, so it was
+                    # awake at this point in the recorded run; step-clock
+                    # sleep deadlines do not survive step removal (slice
+                    # pinballs), so the schedule is authoritative.
+                    thread.status = ThreadStatus.RUNNABLE
+                    thread.block_reason = None
+            runnable = self.runnable_tids()
+            if not runnable:
+                if self.finished:
+                    reason = "done"
+                    break
+                # If nothing is runnable but some thread is sleeping,
+                # fast-forward the step clock to the earliest wake-up
+                # (deterministic: replay reaches the same state and takes
+                # the same jump).  Only sleeper-free blockage is deadlock.
+                wakes = [t.block_reason[1] for t in self.threads.values()
+                         if t.status == ThreadStatus.BLOCKED
+                         and t.block_reason and t.block_reason[0] == "sleep"]
+                if wakes:
+                    self.global_seq = max(self.global_seq, min(wakes))
+                    self._wake_sleepers()
+                    continue
+                raise DeadlockError(
+                    "deadlock: %d threads blocked" % len(self.live_threads()))
+            tid = self.scheduler.pick(runnable, self._last_tid)
+            thread = self.threads[tid]
+            if thread.pc in self.breakpoints and not self._bp_skip:
+                self.stop_request = False
+                reason = "breakpoint"
+                break
+            self._bp_skip = False
+            if self._excl_watch and self._try_exclusion_skip(thread):
+                self.scheduler.commit(tid)
+                self._last_tid = tid
+                for tool in self._step_tools:
+                    tool.on_step(tid)
+                steps += 1
+                self.global_seq += 1
+                continue
+            self.scheduler.commit(tid)
+            self._last_tid = tid
+            for tool in self._step_tools:
+                tool.on_step(tid)
+            if self._step_thread(thread):
+                retired += 1
+            steps += 1
+            self.global_seq += 1
+        for tool in self.tools:
+            tool.on_finish(self)
+        return RunResult(reason=reason, steps=steps, retired=retired,
+                         failure=self.failure)
+
+    def step_over_breakpoint(self) -> None:
+        """Allow the next step to execute even if it sits on a breakpoint."""
+        self._bp_skip = True
+
+    # -- exclusion regions (slice pinball replay) ---------------------------------
+
+    def install_exclusions(self, exclusions: Sequence[dict]) -> None:
+        """Arm code-exclusion skips for slice-pinball replay.
+
+        Each record (produced by the relogger) describes one dynamic run of
+        excluded instructions::
+
+            {"tid": int, "start_pc": int, "start_arrival": int,
+             "end_pc": int, "regs": [[name, value], ...],
+             "mem": [[addr, value], ...], "frames": [frame snapshots]}
+
+        When thread ``tid`` *arrives* at ``start_pc`` for the
+        ``start_arrival``-th time (arrivals count both normal executions of
+        that pc and skips), the machine teleports the thread to ``end_pc``
+        and injects the recorded register/memory side effects — the
+        excluded code is never executed, which is what makes slice-pinball
+        replay fast (paper Section 4, Figure 6).
+        """
+        for record in exclusions:
+            key = (int(record["tid"]), int(record["start_pc"]))
+            self._excl_watch.setdefault(key, {})[
+                int(record["start_arrival"])] = record
+
+    def _try_exclusion_skip(self, thread) -> bool:
+        key = (thread.tid, thread.pc)
+        by_arrival = self._excl_watch.get(key)
+        if by_arrival is None:
+            return False
+        arrival = self._excl_arrivals.get(key, 0) + 1
+        self._excl_arrivals[key] = arrival
+        record = by_arrival.get(arrival)
+        if record is None:
+            return False
+        for name, value in record["regs"]:
+            thread.regs[name] = value
+        for addr, value in record["mem"]:
+            self.memory.write(int(addr), value)
+        if record.get("frames") is not None:
+            from repro.vm.thread import Frame
+            thread.frames = [
+                Frame(func=f["func"], call_addr=f["call_addr"],
+                      return_addr=f["return_addr"], frame_id=f["frame_id"],
+                      fp_at_entry=f["fp_at_entry"])
+                for f in record["frames"]]
+        thread.pc = int(record["end_pc"])
+        self.skipped_exclusions += 1
+        return True
+
+    # -- single instruction ----------------------------------------------------------
+
+    def _step_thread(self, thread: ThreadContext) -> bool:
+        """Execute one instruction of ``thread``; False if it blocked."""
+        pc = thread.pc
+        if not 0 <= pc < len(self.instructions):
+            raise VMError("pc out of range", tid=thread.tid, pc=pc)
+        instr = self.instructions[pc]
+        tracing = bool(self._instr_tools)
+        reg_reads: Optional[List[Tuple[str, Word]]] = [] if tracing else None
+        reg_writes: Optional[List[Tuple[str, Word]]] = [] if tracing else None
+        mem_reads: Optional[List[Tuple[int, Word]]] = [] if tracing else None
+        mem_writes: Optional[List[Tuple[int, Word]]] = [] if tracing else None
+        self._cur_mem_writes = mem_writes
+        # Frame id *before* execution: a call instruction belongs to the
+        # caller's frame (the control-dependence tracker relies on this).
+        frame_id = thread.frames[-1].frame_id if thread.frames else -1
+
+        retired = self._execute(thread, instr, pc, reg_reads, reg_writes,
+                                mem_reads, mem_writes)
+        self._cur_mem_writes = None
+        if not retired:
+            return False
+        if tracing:
+            event = InstrEvent(
+                seq=self.global_seq,
+                tid=thread.tid,
+                tindex=thread.instr_count,
+                addr=pc,
+                instr=instr,
+                reg_reads=tuple(reg_reads),
+                reg_writes=tuple(reg_writes),
+                mem_reads=tuple(mem_reads),
+                mem_writes=tuple(mem_writes),
+                frame_id=frame_id,
+            )
+            for tool in self._instr_tools:
+                tool.on_instr(event)
+        thread.instr_count += 1
+        return True
+
+    # Operand evaluation helpers -----------------------------------------------------
+
+    def _reg_read(self, thread, name, reg_reads) -> Word:
+        value = thread.regs[name]
+        if reg_reads is not None:
+            reg_reads.append((name, value))
+        return value
+
+    def _reg_write(self, thread, name, value, reg_writes) -> None:
+        thread.regs[name] = value
+        if reg_writes is not None:
+            reg_writes.append((name, value))
+
+    def _src(self, thread, operand, reg_reads) -> Word:
+        if isinstance(operand, Reg):
+            return self._reg_read(thread, operand.name, reg_reads)
+        if isinstance(operand, Imm):
+            return operand.value
+        raise VMError("bad source operand %r" % (operand,), tid=thread.tid)
+
+    def _mem_addr(self, thread, operand: Mem, reg_reads) -> int:
+        base = self._reg_read(thread, operand.base.name, reg_reads)
+        return int(base) + operand.offset
+
+    def _load(self, addr: int, mem_reads) -> Word:
+        value = self.memory.read(addr)
+        if mem_reads is not None:
+            mem_reads.append((addr, value))
+        return value
+
+    def _store(self, addr: int, value: Word, mem_writes) -> None:
+        self.memory.write(addr, value)
+        if mem_writes is not None:
+            mem_writes.append((addr, value))
+
+    # The interpreter proper ------------------------------------------------------------
+
+    def _execute(self, thread, instr, pc, reg_reads, reg_writes,
+                 mem_reads, mem_writes) -> bool:
+        op = instr.op
+        ops = instr.operands
+
+        if op == Opcode.MOV:
+            value = self._src(thread, ops[1], reg_reads)
+            self._reg_write(thread, ops[0].name, value, reg_writes)
+            thread.pc = pc + 1
+        elif op == Opcode.LD:
+            addr = self._mem_addr(thread, ops[1], reg_reads)
+            value = self._load(addr, mem_reads)
+            self._reg_write(thread, ops[0].name, value, reg_writes)
+            thread.pc = pc + 1
+        elif op == Opcode.ST:
+            addr = self._mem_addr(thread, ops[0], reg_reads)
+            value = self._src(thread, ops[1], reg_reads)
+            self._store(addr, value, mem_writes)
+            thread.pc = pc + 1
+        elif op == Opcode.LEA:
+            target = ops[1]
+            value = target.value if isinstance(target, Imm) else self._src(
+                thread, target, reg_reads)
+            self._reg_write(thread, ops[0].name, value, reg_writes)
+            thread.pc = pc + 1
+        elif op == Opcode.BINOP:
+            a = self._src(thread, ops[1], reg_reads)
+            b = self._src(thread, ops[2], reg_reads)
+            value = _apply_binop(instr.subop, a, b, thread, pc)
+            self._reg_write(thread, ops[0].name, value, reg_writes)
+            thread.pc = pc + 1
+        elif op == Opcode.UNOP:
+            a = self._src(thread, ops[1], reg_reads)
+            value = _apply_unop(instr.subop, a)
+            self._reg_write(thread, ops[0].name, value, reg_writes)
+            thread.pc = pc + 1
+        elif op == Opcode.JMP:
+            thread.pc = int(ops[0].value)
+        elif op == Opcode.BR:
+            cond = self._reg_read(thread, ops[0].name, reg_reads)
+            thread.pc = int(ops[1].value) if cond != 0 else pc + 1
+        elif op == Opcode.BRZ:
+            cond = self._reg_read(thread, ops[0].name, reg_reads)
+            thread.pc = int(ops[1].value) if cond == 0 else pc + 1
+        elif op == Opcode.IJMP:
+            target = int(self._reg_read(thread, ops[0].name, reg_reads))
+            self._check_code_addr(target, thread)
+            thread.pc = target
+        elif op in (Opcode.CALL, Opcode.ICALL):
+            if op == Opcode.CALL:
+                target = int(ops[0].value)
+            else:
+                target = int(self._reg_read(thread, ops[0].name, reg_reads))
+            self._check_code_addr(target, thread)
+            sp = int(self._reg_read(thread, "sp", reg_reads)) - 1
+            if sp <= thread.stack_limit:
+                raise VMError("stack overflow", tid=thread.tid, pc=pc)
+            self._store(sp, pc + 1, mem_writes)
+            self._reg_write(thread, "sp", sp, reg_writes)
+            function = self.program.function_at(target)
+            thread.push_frame(function.name if function else "<anon>",
+                              pc, pc + 1)
+            thread.pc = target
+        elif op == Opcode.RET:
+            sp = int(self._reg_read(thread, "sp", reg_reads))
+            ret_addr = int(self._load(sp, mem_reads))
+            self._reg_write(thread, "sp", sp + 1, reg_writes)
+            thread.pop_frame()
+            if ret_addr == EXIT_SENTINEL:
+                thread.pc = pc + 1
+                self._finish_thread(thread)
+            else:
+                self._check_code_addr(ret_addr, thread)
+                thread.pc = ret_addr
+        elif op == Opcode.PUSH:
+            value = self._src(thread, ops[0], reg_reads)
+            sp = int(self._reg_read(thread, "sp", reg_reads)) - 1
+            if sp <= thread.stack_limit:
+                raise VMError("stack overflow", tid=thread.tid, pc=pc)
+            self._store(sp, value, mem_writes)
+            self._reg_write(thread, "sp", sp, reg_writes)
+            thread.pc = pc + 1
+        elif op == Opcode.POP:
+            sp = int(self._reg_read(thread, "sp", reg_reads))
+            value = self._load(sp, mem_reads)
+            self._reg_write(thread, ops[0].name, value, reg_writes)
+            self._reg_write(thread, "sp", sp + 1, reg_writes)
+            thread.pc = pc + 1
+        elif op == Opcode.SYS:
+            return self._do_syscall(thread, instr, pc, reg_reads, reg_writes)
+        elif op == Opcode.HALT:
+            thread.pc = pc + 1
+            self.request_exit(0)
+        elif op == Opcode.NOP:
+            thread.pc = pc + 1
+        else:
+            raise VMError("unimplemented opcode %r" % op,
+                          tid=thread.tid, pc=pc)
+        return True
+
+    def _check_code_addr(self, target: int, thread) -> None:
+        if not 0 <= target < len(self.instructions):
+            raise VMError("control transfer to bad address %d" % target,
+                          tid=thread.tid, pc=thread.pc)
+
+    def _do_syscall(self, thread, instr, pc, reg_reads, reg_writes) -> bool:
+        name = instr.subop
+        handler = SYSCALLS.get(name)
+        if handler is None:
+            raise VMError("unknown syscall %r" % name,
+                          tid=thread.tid, pc=pc)
+        args = tuple(thread.regs["r%d" % i] for i in range(4))
+        if reg_reads is not None:
+            for index in range(4):
+                reg_reads.append(("r%d" % index, args[index]))
+        thread.pc = pc + 1
+
+        injected = False
+        if name in NONDET_SYSCALLS and self.syscall_injector is not None:
+            result = self.syscall_injector(name, thread.tid)
+            if result is not None:
+                injected = True
+            else:
+                result = handler(self, thread)
+        else:
+            result = handler(self, thread)
+
+        if result is BLOCK:
+            thread.pc = pc           # retry when woken
+            thread.status = ThreadStatus.BLOCKED
+            return False
+        if result is not None:
+            self._reg_write(thread, "r0", result, reg_writes)
+        if self._syscall_tools:
+            event = SyscallEvent(
+                seq=self.global_seq, tid=thread.tid,
+                tindex=thread.instr_count, addr=pc, name=name,
+                args=args, result=result, injected=injected)
+            for tool in self._syscall_tools:
+                tool.on_syscall(event)
+        return True
+
+    # -- snapshot / restore -----------------------------------------------------------
+
+    def snapshot(self) -> MachineSnapshot:
+        """Full architectural state, JSON-serializable."""
+        return MachineSnapshot({
+            "program": self.program.name,
+            "memory": self.memory.snapshot(),
+            "threads": [t.snapshot() for _, t in sorted(self.threads.items())],
+            "locks": [[addr, owner] for addr, owner in sorted(self.locks.items())],
+            "barriers": [
+                [addr, state["gen"], sorted(state["waiting"]),
+                 sorted(state["released"])]
+                for addr, state in sorted(self.barriers.items())],
+            "next_tid": self.next_tid,
+            "rng_state": self.rng.state,
+            "inputs": list(self.inputs),
+            "input_pos": self.input_pos,
+            "time_base": self._time_base,
+            "last_clock": self._last_clock,
+            "last_tid": self._last_tid,
+        })
+
+    @classmethod
+    def from_snapshot(cls, program: Program, snap: MachineSnapshot,
+                      scheduler: Optional[Scheduler] = None,
+                      tools: Sequence[Tool] = (),
+                      syscall_injector=None) -> "Machine":
+        payload = snap.to_dict()
+        machine = cls(program, scheduler=scheduler, tools=tools,
+                      syscall_injector=syscall_injector, start_main=False)
+        machine.memory = Memory.from_snapshot(payload["memory"])
+        machine.threads = {}
+        for tsnap in payload["threads"]:
+            thread = ThreadContext.from_snapshot(tsnap)
+            machine.threads[thread.tid] = thread
+        machine.locks = {
+            int(addr): (int(owner) if owner is not None else None)
+            for addr, owner in payload["locks"]}
+        machine.barriers = {
+            int(addr): {"gen": int(gen),
+                        "waiting": {int(t) for t in waiting},
+                        "released": {int(t) for t in released}}
+            for addr, gen, waiting, released in payload.get("barriers", [])}
+        machine.next_tid = payload["next_tid"]
+        machine.rng.state = payload["rng_state"]
+        machine.inputs = list(payload["inputs"])
+        machine.input_pos = payload["input_pos"]
+        machine._time_base = payload["time_base"]
+        machine._last_clock = payload.get("last_clock", 0)
+        machine._last_tid = payload.get("last_tid")
+        return machine
+
+    def reset_counters(self) -> None:
+        """Zero region-relative counters (at the start of a logged region).
+
+        Deliberately does NOT touch ``_last_tid``: the scheduler must
+        continue seamlessly across the region boundary, or the recorded
+        region would diverge from the same seed's uninterrupted run.
+        Pending sleep deadlines are rebased to the new clock for the same
+        reason.  Call this *before* snapshotting so the snapshot is
+        consistent with a region-relative step clock.
+        """
+        elapsed = self.global_seq
+        self.global_seq = 0
+        for thread in self.threads.values():
+            thread.instr_count = 0
+            if (thread.status == ThreadStatus.BLOCKED and thread.block_reason
+                    and thread.block_reason[0] == "sleep"):
+                wake = max(0, thread.block_reason[1] - elapsed)
+                thread.block_reason = ("sleep", wake)
+
+    # -- debugger conveniences ----------------------------------------------------------
+
+    def read_global(self, name: str) -> Word:
+        var = self.program.globals.get(name)
+        if var is None:
+            raise VMError("unknown global %r" % name)
+        return self.memory.read(var.addr)
+
+    def read_local(self, tid: int, name: str) -> Word:
+        thread = self.threads[tid]
+        frame = thread.current_frame()
+        if frame is None:
+            raise VMError("thread %d has no frames" % tid)
+        function = self.program.functions.get(frame.func)
+        if function is None:
+            raise VMError("unknown function %r" % (frame.func,))
+        if name in function.reg_locals:
+            return thread.regs[function.reg_locals[name]]
+        if name in function.local_offsets:
+            offset = function.local_offsets[name]
+            return self.memory.read(int(thread.regs["fp"]) + offset)
+        raise VMError("unknown local %r in %s" % (name, frame.func))
+
+
+def _apply_binop(subop: str, a: Word, b: Word, thread, pc) -> Word:
+    if subop == "add":
+        return a + b
+    if subop == "sub":
+        return a - b
+    if subop == "mul":
+        return a * b
+    if subop == "div":
+        if b == 0:
+            raise VMError("division by zero", tid=thread.tid, pc=pc)
+        if isinstance(a, int) and isinstance(b, int):
+            quotient = abs(a) // abs(b)
+            return quotient if (a >= 0) == (b >= 0) else -quotient
+        return a / b
+    if subop == "mod":
+        if b == 0:
+            raise VMError("modulo by zero", tid=thread.tid, pc=pc)
+        return int(a) - int(b) * (abs(int(a)) // abs(int(b))) * (
+            1 if (a >= 0) == (b >= 0) else -1)
+    if subop == "and":
+        return int(a) & int(b)
+    if subop == "or":
+        return int(a) | int(b)
+    if subop == "xor":
+        return int(a) ^ int(b)
+    if subop == "shl":
+        return int(a) << int(b)
+    if subop == "shr":
+        return int(a) >> int(b)
+    if subop == "eq":
+        return int(a == b)
+    if subop == "ne":
+        return int(a != b)
+    if subop == "lt":
+        return int(a < b)
+    if subop == "le":
+        return int(a <= b)
+    if subop == "gt":
+        return int(a > b)
+    if subop == "ge":
+        return int(a >= b)
+    raise VMError("unknown binop %r" % subop, tid=thread.tid, pc=pc)
+
+
+def _apply_unop(subop: str, a: Word) -> Word:
+    if subop == "neg":
+        return -a
+    if subop == "not":
+        return int(not a)
+    if subop == "int":
+        return int(a)
+    if subop == "float":
+        return float(a)
+    raise VMError("unknown unop %r" % subop)

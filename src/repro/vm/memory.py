@@ -1,0 +1,112 @@
+"""Flat word-addressed data memory with a simple heap allocator.
+
+Memory is sparse (a dict of non-zero words): guest programs address a large
+space but touch little of it, and sparse storage makes snapshots for region
+pinballs cheap.  The heap allocator is a bump allocator with a free list —
+deterministic given a deterministic allocation order, which replay
+guarantees.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple, Union
+
+from repro.vm.errors import VMError
+
+Word = Union[int, float]
+
+#: Top of the data address space; thread stacks are carved from just below.
+ADDRESS_SPACE_TOP = 1 << 22
+#: Words reserved per thread stack.
+STACK_SIZE = 1 << 14
+
+
+class Memory:
+    """Sparse word memory plus heap allocation state."""
+
+    def __init__(self, heap_base: int) -> None:
+        self._words: Dict[int, Word] = {}
+        self.heap_base = heap_base
+        self.heap_next = heap_base
+        # Free list: size -> list of base addresses available for reuse.
+        self._free: Dict[int, List[int]] = {}
+        # Block sizes for free(); addr -> size.
+        self._block_sizes: Dict[int, int] = {}
+
+    # -- word access --------------------------------------------------------
+
+    def read(self, addr: int) -> Word:
+        if addr <= 0 or addr >= ADDRESS_SPACE_TOP:
+            raise VMError("bad read address %d" % addr)
+        return self._words.get(addr, 0)
+
+    def write(self, addr: int, value: Word) -> None:
+        if addr <= 0 or addr >= ADDRESS_SPACE_TOP:
+            raise VMError("bad write address %d" % addr)
+        if value == 0 and not isinstance(value, float):
+            self._words.pop(addr, None)
+        else:
+            self._words[addr] = value
+
+    def load_image(self, image: Dict[int, Word]) -> None:
+        for addr, value in image.items():
+            self.write(addr, value)
+
+    # -- heap ----------------------------------------------------------------
+
+    def malloc(self, size: int) -> int:
+        """Allocate ``size`` words; returns base address (never 0)."""
+        if size <= 0:
+            size = 1
+        bucket = self._free.get(size)
+        if bucket:
+            addr = bucket.pop()
+        else:
+            addr = self.heap_next
+            self.heap_next += size
+            if self.heap_next >= ADDRESS_SPACE_TOP - STACK_SIZE * 64:
+                raise VMError("heap exhausted")
+        self._block_sizes[addr] = size
+        return addr
+
+    def free(self, addr: int) -> None:
+        size = self._block_sizes.pop(addr, None)
+        if size is None:
+            raise VMError("free of unallocated address %d" % addr)
+        self._free.setdefault(size, []).append(addr)
+
+    # -- snapshot / restore ----------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-serializable state for region pinballs (pair lists, since
+        JSON cannot carry int-keyed dicts)."""
+        return {
+            "words": sorted(self._words.items()),
+            "heap_base": self.heap_base,
+            "heap_next": self.heap_next,
+            "free": sorted((size, sorted(addrs))
+                           for size, addrs in self._free.items()),
+            "block_sizes": sorted(self._block_sizes.items()),
+        }
+
+    @classmethod
+    def from_snapshot(cls, snap: dict) -> "Memory":
+        memory = cls(heap_base=snap["heap_base"])
+        memory._words = {int(addr): value for addr, value in snap["words"]}
+        memory.heap_next = snap["heap_next"]
+        memory._free = {int(size): [int(a) for a in addrs]
+                        for size, addrs in snap["free"]}
+        memory._block_sizes = {int(addr): int(size)
+                               for addr, size in snap["block_sizes"]}
+        return memory
+
+    def nonzero_items(self) -> Iterator[Tuple[int, Word]]:
+        return iter(sorted(self._words.items()))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Memory):
+            return NotImplemented
+        return self._words == other._words
+
+    def __len__(self) -> int:
+        return len(self._words)

@@ -1,0 +1,195 @@
+"""Thread schedulers: the VM's single biggest source of nondeterminism.
+
+The machine asks the scheduler for a tid before every instruction, so the
+interleaving is at single-instruction granularity — fine enough for any
+data race to manifest.  Schedulers provided:
+
+* :class:`RoundRobinScheduler` — deterministic quantum-based rotation.
+* :class:`RandomScheduler` — seeded random preemption; different seeds give
+  different interleavings, which is how tests shake out races.
+* :class:`RecordedScheduler` — follows the run-length-encoded schedule from
+  a pinball; this is what makes replay deterministic.
+* :class:`PriorityScheduler` — strict priorities with dynamic updates; the
+  Maple-style active scheduler uses it to force target interleavings.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.vm.errors import ReplayDivergence
+
+
+class Scheduler:
+    """Interface: pick the next thread to run one instruction."""
+
+    def pick(self, runnable: Sequence[int], last: Optional[int]) -> int:
+        """Return the tid to run next.
+
+        ``runnable`` is the sorted list of runnable tids (never empty);
+        ``last`` is the previously run tid (or None at start).  The machine
+        may *discard* a pick (e.g. the chosen thread sits on a breakpoint),
+        so replay-critical schedulers must only consume state in
+        :meth:`commit`.
+        """
+        raise NotImplementedError
+
+    def commit(self, tid: int) -> None:
+        """The machine confirms ``tid`` actually took the step."""
+
+    def attach(self, machine) -> None:
+        """Called once by the machine that will use this scheduler.
+
+        Schedulers that need to inspect thread state (e.g. the Maple-style
+        active scheduler peeking at upcoming pcs) keep the reference."""
+
+    def intended(self) -> Optional[int]:
+        """The tid this scheduler will pick next, if predetermined.
+
+        Only replay schedulers return a value.  The machine uses it to
+        wake a sleeping thread the schedule is about to run: a recorded
+        step implies the thread was awake at this point in the original
+        run, and sleep deadlines measured in global steps shift when a
+        slice pinball drops excluded steps."""
+        return None
+
+    def on_thread_created(self, tid: int) -> None:
+        """Notification hook; schedulers may ignore it."""
+
+    def on_thread_finished(self, tid: int) -> None:
+        """Notification hook; schedulers may ignore it."""
+
+
+class RoundRobinScheduler(Scheduler):
+    """Run each thread for ``quantum`` instructions, then rotate."""
+
+    def __init__(self, quantum: int = 50) -> None:
+        if quantum < 1:
+            raise ValueError("quantum must be >= 1")
+        self.quantum = quantum
+        self._remaining = quantum
+        self._current: Optional[int] = None
+
+    def pick(self, runnable: Sequence[int], last: Optional[int]) -> int:
+        if (last is not None and last in runnable and last == self._current
+                and self._remaining > 0):
+            return last
+        if last is None or last not in runnable:
+            return runnable[0]
+        # Rotate: next runnable tid greater than last, else wrap.
+        for tid in runnable:
+            if tid > last:
+                return tid
+        return runnable[0]
+
+    def commit(self, tid: int) -> None:
+        if tid == self._current:
+            self._remaining -= 1
+        else:
+            self._current = tid
+            self._remaining = self.quantum - 1
+
+
+class RandomScheduler(Scheduler):
+    """Seeded random preemption with probability ``switch_prob`` per step."""
+
+    def __init__(self, seed: int = 0, switch_prob: float = 0.05) -> None:
+        self._rng = random.Random(seed)
+        self.switch_prob = switch_prob
+        self.seed = seed
+
+    def pick(self, runnable: Sequence[int], last: Optional[int]) -> int:
+        if (last is not None and last in runnable
+                and self._rng.random() >= self.switch_prob):
+            return last
+        return runnable[self._rng.randrange(len(runnable))]
+
+
+class RecordedScheduler(Scheduler):
+    """Replay a run-length-encoded schedule ``[(tid, count), ...]``.
+
+    Raises :class:`ReplayDivergence` if the recorded tid is not runnable —
+    which, for a well-formed pinball replayed on the same program, cannot
+    happen (the property tests assert this).
+    """
+
+    def __init__(self, schedule: Sequence[Tuple[int, int]]) -> None:
+        self._schedule: List[Tuple[int, int]] = [
+            (int(tid), int(count)) for tid, count in schedule]
+        self._index = 0
+        self._used = 0
+
+    def _current_entry(self) -> Optional[Tuple[int, int]]:
+        while self._index < len(self._schedule):
+            tid, count = self._schedule[self._index]
+            if self._used < count:
+                return tid, count
+            self._index += 1
+            self._used = 0
+        return None
+
+    def pick(self, runnable: Sequence[int], last: Optional[int]) -> int:
+        entry = self._current_entry()
+        if entry is None:
+            raise ReplayDivergence("recorded schedule exhausted")
+        tid, _ = entry
+        if tid not in runnable:
+            raise ReplayDivergence(
+                "recorded tid %d not runnable (runnable=%s)"
+                % (tid, list(runnable)))
+        return tid
+
+    def commit(self, tid: int) -> None:
+        entry = self._current_entry()
+        if entry is None or entry[0] != tid:
+            raise ReplayDivergence(
+                "commit of tid %d does not match schedule" % tid)
+        self._used += 1
+
+    def intended(self) -> Optional[int]:
+        entry = self._current_entry()
+        return entry[0] if entry is not None else None
+
+    @property
+    def exhausted(self) -> bool:
+        return self._current_entry() is None
+
+
+class PriorityScheduler(Scheduler):
+    """Strict-priority scheduling with dynamically adjustable priorities.
+
+    Higher number wins; ties broken by lower tid.  The Maple active
+    scheduler manipulates priorities (and an optional per-step callback)
+    to steer execution toward a predicted buggy interleaving.
+    """
+
+    def __init__(self, priorities: Optional[Dict[int, int]] = None,
+                 before_pick: Optional[Callable[[Sequence[int]], None]] = None) -> None:
+        self.priorities: Dict[int, int] = dict(priorities or {})
+        self.before_pick = before_pick
+
+    def set_priority(self, tid: int, priority: int) -> None:
+        self.priorities[tid] = priority
+
+    def pick(self, runnable: Sequence[int], last: Optional[int]) -> int:
+        if self.before_pick is not None:
+            self.before_pick(runnable)
+        return max(runnable, key=lambda tid: (self.priorities.get(tid, 0), -tid))
+
+
+class ScheduleRecorder:
+    """Accumulates an RLE schedule ``[(tid, count), ...]`` as steps happen."""
+
+    def __init__(self) -> None:
+        self.runs: List[Tuple[int, int]] = []
+
+    def record(self, tid: int) -> None:
+        if self.runs and self.runs[-1][0] == tid:
+            last_tid, count = self.runs[-1]
+            self.runs[-1] = (last_tid, count + 1)
+        else:
+            self.runs.append((tid, 1))
+
+    def total(self) -> int:
+        return sum(count for _, count in self.runs)

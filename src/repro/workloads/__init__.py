@@ -1,0 +1,34 @@
+"""Workload programs for the evaluation, all written in MiniC.
+
+Three families, matching the paper's experimental setup:
+
+* :mod:`~repro.workloads.bugs` — analogs of the three real data-race bugs
+  of Table 1 (pbzip2, Aget, Mozilla), with a controllable warm-up phase so
+  both the whole-program regions of Table 3 and the buggy regions of
+  Table 2 are meaningful;
+* :mod:`~repro.workloads.parsec` — eight multithreaded kernels standing in
+  for the PARSEC apps/kernels of Figures 11, 12 and 14, with a ``units``
+  parameter that scales the main-thread region length;
+* :mod:`~repro.workloads.specomp` — five call-dense numeric kernels
+  standing in for the SPECOMP programs of Figure 13 (deep call chains
+  maximize save/restore pairs, the pruning opportunity).
+"""
+
+from repro.workloads.bugs import BUG_WORKLOADS, BugWorkload, get_bug
+from repro.workloads.parsec import PARSEC_KERNELS, ParsecKernel, get_parsec
+from repro.workloads.specomp import SPECOMP_KERNELS, SpecOmpKernel, get_specomp
+from repro.workloads.util import PhaseMarkerTool, find_marker_skip
+
+__all__ = [
+    "BUG_WORKLOADS",
+    "BugWorkload",
+    "PARSEC_KERNELS",
+    "ParsecKernel",
+    "PhaseMarkerTool",
+    "SPECOMP_KERNELS",
+    "SpecOmpKernel",
+    "find_marker_skip",
+    "get_bug",
+    "get_parsec",
+    "get_specomp",
+]

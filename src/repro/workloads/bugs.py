@@ -1,0 +1,280 @@
+"""Analogs of the three real concurrency bugs of Table 1.
+
+Each workload reproduces the *shape* of the original bug — the threads
+involved, the unsynchronized accesses, the root cause and the symptom —
+on our substrate:
+
+* **pbzip2** — "a data race on variable ``fifo->mut`` between the main
+  thread and the compressor threads": main tears the queue down while
+  compressor threads still use it (use-after-destroy).
+* **Aget** — "a data race on variable ``bwritten`` between downloader
+  threads and the signal handler thread": the handler does an unlocked
+  read-modify-write of the progress counter, losing concurrent locked
+  updates.
+* **mozilla** — "one thread destroys a hash table, and another thread
+  crashes in ``js_SweepScriptFilenames`` when accessing this hash table".
+
+Every program has a ``warmup`` parameter: the instructions executed before
+the racy phase, standing in for all the execution a novice programmer
+records when capturing from program start (Table 3) versus a focused buggy
+region (Table 2).  Phase-boundary markers are printed so the buggy-region
+skip can be measured with :func:`~repro.workloads.util.find_marker_skip`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.isa.program import Program
+from repro.lang import compile_source
+from repro.pinplay.logger import record_region
+from repro.pinplay.pinball import Pinball
+from repro.pinplay.regions import RegionSpec
+from repro.vm.scheduler import RandomScheduler
+from repro.workloads.util import (
+    MARKER_RACY_PHASE,
+    MARKER_WARMUP_DONE,
+    find_marker_skip,
+)
+
+
+@dataclass
+class BugWorkload:
+    """One buggy program, plus what's needed to expose and region it."""
+
+    name: str
+    description: str
+    bug_analog_of: str
+    source_template: str
+    failure_code: int
+    #: Default scale parameters substituted into the template.
+    defaults: dict = field(default_factory=dict)
+    switch_prob: float = 0.25
+
+    def source(self, warmup: Optional[int] = None, **overrides) -> str:
+        params = dict(self.defaults)
+        if warmup is not None:
+            params["warmup"] = warmup
+        params.update(overrides)
+        return self.source_template % params
+
+    def build(self, warmup: Optional[int] = None, **overrides) -> Program:
+        return compile_source(self.source(warmup, **overrides),
+                              name=self.name)
+
+    def expose(self, program: Program, seeds=range(64),
+               region: Optional[RegionSpec] = None
+               ) -> Tuple[Optional[Pinball], Optional[int]]:
+        """Search seeds for a failing schedule; record it as a pinball.
+
+        Returns (pinball, seed); (None, None) if no seed failed.
+        """
+        for seed in seeds:
+            pinball = record_region(
+                program,
+                RandomScheduler(seed=seed, switch_prob=self.switch_prob),
+                region or RegionSpec())
+            failure = pinball.meta.get("failure")
+            if failure and failure["code"] == self.failure_code:
+                return pinball, seed
+        return None, None
+
+    def buggy_region_skip(self, program: Program, seed: int) -> int:
+        """Measure the skip that starts the region at the racy phase."""
+        skip = find_marker_skip(
+            program,
+            RandomScheduler(seed=seed, switch_prob=self.switch_prob),
+            marker=MARKER_RACY_PHASE)
+        if skip is None:
+            raise RuntimeError("racy-phase marker not reached")
+        return skip
+
+
+_PBZIP2_SOURCE = r"""
+int fifo_q[64];
+int fifo_head; int fifo_tail;
+int fifo_mut;
+int fifo_valid;
+int consumed;
+int warmup_sink;
+
+int compressor(int iters) {
+    int i; int v;
+    for (i = 0; i < iters; i = i + 1) {
+        assert(fifo_valid == 1, 101);
+        lock(&fifo_mut);
+        if (fifo_head < fifo_tail) {
+            v = fifo_q[fifo_head %% 64];
+            fifo_head = fifo_head + 1;
+            consumed = consumed + v;
+        }
+        unlock(&fifo_mut);
+        yield();
+    }
+    return 0;
+}
+
+int main() {
+    int t1; int t2; int i;
+    for (i = 0; i < %(warmup)d; i = i + 1) {
+        warmup_sink = warmup_sink + (i ^ (i >> 3));
+    }
+    print(-1000001);
+    fifo_valid = 1;
+    for (i = 0; i < 48; i = i + 1) {
+        fifo_q[i %% 64] = i + 1;
+        fifo_tail = fifo_tail + 1;
+    }
+    print(-1000002);
+    t1 = spawn(compressor, %(iters)d);
+    t2 = spawn(compressor, %(iters)d);
+    for (i = 0; i < %(teardown_work)d; i = i + 1) {
+        warmup_sink = warmup_sink + i;
+    }
+    fifo_valid = 0;
+    fifo_mut = -1;
+    join(t1);
+    join(t2);
+    print(consumed);
+    return 0;
+}
+"""
+
+_AGET_SOURCE = r"""
+int bwritten;
+int bw_mut;
+int warmup_sink;
+
+int downloader(int iters) {
+    int i;
+    for (i = 0; i < iters; i = i + 1) {
+        lock(&bw_mut);
+        bwritten = bwritten + 1;
+        unlock(&bw_mut);
+    }
+    return 0;
+}
+
+int sighandler(int rounds) {
+    int i; int tmp;
+    for (i = 0; i < rounds; i = i + 1) {
+        tmp = bwritten;
+        sleep(%(handler_window)d);
+        bwritten = tmp;
+        yield();
+    }
+    return 0;
+}
+
+int main() {
+    int d1; int d2; int h; int i;
+    for (i = 0; i < %(warmup)d; i = i + 1) {
+        warmup_sink = warmup_sink + (i * 3 %% 17);
+    }
+    print(-1000001);
+    print(-1000002);
+    d1 = spawn(downloader, %(iters)d);
+    d2 = spawn(downloader, %(iters)d);
+    h = spawn(sighandler, %(handler_rounds)d);
+    join(d1);
+    join(d2);
+    join(h);
+    print(bwritten);
+    assert(bwritten == 2 * %(iters)d, 102);
+    return 0;
+}
+"""
+
+_MOZILLA_SOURCE = r"""
+int script_table[32];
+int table_alive;
+int sweep_sum;
+int warmup_sink;
+
+int destroyer(int work) {
+    int i; int spin;
+    spin = 0;
+    for (i = 0; i < work; i = i + 1) {
+        spin = spin + (i & 31);
+    }
+    table_alive = 0;
+    for (i = 0; i < 32; i = i + 1) {
+        script_table[i] = -7777;
+    }
+    return spin;
+}
+
+int sweeper(int unused) {
+    int i; int v;
+    for (i = 0; i < 32; i = i + 1) {
+        v = script_table[i];
+        assert(table_alive == 1, 103);
+        sweep_sum = sweep_sum + v;
+        yield();
+    }
+    return 0;
+}
+
+int main() {
+    int td; int ts; int i;
+    for (i = 0; i < %(warmup)d; i = i + 1) {
+        warmup_sink = warmup_sink + (i & 255);
+    }
+    print(-1000001);
+    table_alive = 1;
+    for (i = 0; i < 32; i = i + 1) {
+        script_table[i] = i * i;
+    }
+    print(-1000002);
+    td = spawn(destroyer, %(destroy_work)d);
+    ts = spawn(sweeper, 0);
+    join(td);
+    join(ts);
+    print(sweep_sum);
+    return 0;
+}
+"""
+
+
+BUG_WORKLOADS = {
+    "pbzip2": BugWorkload(
+        name="pbzip2",
+        description="Parallel file compressor (analog of ver. 0.9.4)",
+        bug_analog_of=("Data race on fifo->mut between main thread and the "
+                       "compressor threads (use of the queue mutex after "
+                       "main destroys it)"),
+        source_template=_PBZIP2_SOURCE,
+        failure_code=101,
+        defaults={"warmup": 400, "iters": 30, "teardown_work": 120},
+    ),
+    "aget": BugWorkload(
+        name="aget",
+        description="Parallel downloader (analog of ver. 0.57)",
+        bug_analog_of=("Data race on bwritten between downloader threads "
+                       "and the signal handler thread (handler's unlocked "
+                       "read-modify-write loses locked updates)"),
+        source_template=_AGET_SOURCE,
+        failure_code=102,
+        defaults={"warmup": 400, "iters": 20, "handler_rounds": 1,
+                  "handler_window": 10},
+    ),
+    "mozilla": BugWorkload(
+        name="mozilla",
+        description="Web browser JS engine (analog of ver. 1.9.1)",
+        bug_analog_of=("Data race on rt->scriptFilenameTable: one thread "
+                       "destroys the hash table, another crashes sweeping "
+                       "it (js_SweepScriptFilenames)"),
+        source_template=_MOZILLA_SOURCE,
+        failure_code=103,
+        defaults={"warmup": 400, "destroy_work": 60},
+    ),
+}
+
+
+def get_bug(name: str) -> BugWorkload:
+    try:
+        return BUG_WORKLOADS[name]
+    except KeyError:
+        raise KeyError("unknown bug workload %r (have: %s)"
+                       % (name, sorted(BUG_WORKLOADS)))

@@ -1,0 +1,359 @@
+"""PARSEC-like multithreaded kernels (Figures 11, 12, 14 substrate).
+
+Eight kernels standing in for the five "apps" and three "kernels" the
+paper evaluates (PARSEC 2.1, 4-threaded runs, 'native' input).  Each
+kernel follows the paper's measurement setup:
+
+* ``nthreads`` guest threads are all active inside the measured region
+  (main participates as worker 0, so a region of length *L* main-thread
+  instructions contains roughly ``nthreads``×*L* instructions in total —
+  the paper reports 3-4x for 4 threads);
+* ``units`` scales the per-thread work linearly, which is how the
+  region-length sweeps (10M..1B instructions in the paper; scaled down
+  for an interpreted substrate) are produced;
+* work is mostly thread-local array computation, with occasional shared
+  accumulator updates under a lock — the access pattern that keeps
+  pinballs small relative to region length.
+
+The computations are *themed* after the originals (option pricing for
+blackscholes, annealing swaps for canneal, chunk hashing for dedup, ...)
+so their instruction mixes differ; they are not the original algorithms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.isa.program import Program
+from repro.lang import compile_source
+
+
+@dataclass
+class ParsecKernel:
+    """One scalable multithreaded kernel."""
+
+    name: str
+    kind: str                    # "app" | "kernel", as PARSEC classifies
+    description: str
+    source_template: str
+    defaults: dict = field(default_factory=dict)
+
+    def source(self, units: int = 50, nthreads: int = 4, **overrides) -> str:
+        params = dict(self.defaults)
+        params.update({"units": units, "nworkers": nthreads - 1})
+        params.update(overrides)
+        return self.source_template % params
+
+    def build(self, units: int = 50, nthreads: int = 4,
+              **overrides) -> Program:
+        return compile_source(self.source(units, nthreads, **overrides),
+                              name=self.name)
+
+
+_COMMON_MAIN = r"""
+int main() {
+    int tids[8];
+    int i; int acc;
+    for (i = 0; i < %(nworkers)d; i = i + 1) {
+        tids[i] = spawn(worker, i + 1);
+    }
+    acc = worker(0);
+    for (i = 0; i < %(nworkers)d; i = i + 1) {
+        acc = acc + join(tids[i]);
+    }
+    print(acc);
+    return 0;
+}
+"""
+
+_BLACKSCHOLES = r"""
+float prices[256];
+float results[256];
+int total_mut;
+float total;
+
+float price_one(float s, float k, float t) {
+    float d1; float d2; float v;
+    d1 = (s / k + t * 0.02) / (t * 0.3);
+    d2 = d1 - t * 0.3;
+    v = s * d1 - k * d2;
+    if (v < 0.0) { v = 0.0 - v; }
+    return v;
+}
+
+int worker(int wid) {
+    int u; int i; float sum;
+    sum = 0.0;
+    for (u = 0; u < %(units)d; u = u + 1) {
+        i = (u * 7 + wid * 31) %% 256;
+        prices[i] = 10.0 + i;
+        results[i] = price_one(prices[i], 12.5, 1.0 + u %% 4);
+        sum = sum + results[i];
+    }
+    lock(&total_mut);
+    total = total + sum;
+    unlock(&total_mut);
+    return 1;
+}
+""" + _COMMON_MAIN
+
+_BODYTRACK = r"""
+int particles[128];
+int weights[128];
+int best_mut;
+int best;
+
+int likelihood(int p, int obs) {
+    int d;
+    d = p - obs;
+    if (d < 0) { d = 0 - d; }
+    return 1000 - d;
+}
+
+int worker(int wid) {
+    int u; int i; int w; int localbest;
+    localbest = 0;
+    for (u = 0; u < %(units)d; u = u + 1) {
+        i = (u + wid * 16) %% 128;
+        particles[i] = (particles[i] * 13 + u) %% 997;
+        w = likelihood(particles[i], 500);
+        weights[i] = w;
+        if (w > localbest) { localbest = w; }
+    }
+    lock(&best_mut);
+    if (localbest > best) { best = localbest; }
+    unlock(&best_mut);
+    return 1;
+}
+""" + _COMMON_MAIN
+
+_CANNEAL = r"""
+int netlist[256];
+int cost_mut;
+int cost;
+
+int swap_gain(int a, int b) {
+    int ca; int cb;
+    ca = netlist[a %% 256];
+    cb = netlist[b %% 256];
+    return ca - cb;
+}
+
+int worker(int wid) {
+    int u; int a; int b; int gain; int localcost;
+    localcost = 0;
+    for (u = 0; u < %(units)d; u = u + 1) {
+        a = rand(256);
+        b = rand(256);
+        gain = swap_gain(a, b);
+        if (gain > 0) {
+            netlist[a %% 256] = netlist[b %% 256];
+            localcost = localcost + gain;
+        } else {
+            localcost = localcost - gain;
+        }
+    }
+    lock(&cost_mut);
+    cost = cost + localcost;
+    unlock(&cost_mut);
+    return 1;
+}
+""" + _COMMON_MAIN
+
+_DEDUP = r"""
+int chunks[128];
+int table[64];
+int dup_mut;
+int dups;
+
+int hash_chunk(int v) {
+    int h;
+    h = v * 2654435761;
+    h = (h ^ (h >> 13)) & 1048575;
+    return h;
+}
+
+int worker(int wid) {
+    int u; int i; int h; int slot; int localdups;
+    localdups = 0;
+    for (u = 0; u < %(units)d; u = u + 1) {
+        i = (u * 3 + wid * 41) %% 128;
+        chunks[i] = u * 17 + wid;
+        h = hash_chunk(chunks[i]);
+        slot = h %% 64;
+        if (table[slot] == h) {
+            localdups = localdups + 1;
+        } else {
+            table[slot] = h;
+        }
+    }
+    lock(&dup_mut);
+    dups = dups + localdups;
+    unlock(&dup_mut);
+    return 1;
+}
+""" + _COMMON_MAIN
+
+_FERRET = r"""
+int db[256];
+int query[16];
+int rank_mut;
+int rank_total;
+
+int distance(int base, int q) {
+    int i; int d; int sum;
+    sum = 0;
+    for (i = 0; i < 4; i = i + 1) {
+        d = db[(base + i) %% 256] - query[(q + i) %% 16];
+        if (d < 0) { d = 0 - d; }
+        sum = sum + d;
+    }
+    return sum;
+}
+
+int worker(int wid) {
+    int u; int best; int d; int localsum;
+    localsum = 0;
+    for (u = 0; u < %(units)d; u = u + 1) {
+        db[(u + wid * 61) %% 256] = u * 5 + wid;
+        d = distance(u %% 256, wid);
+        best = d %% 100;
+        localsum = localsum + best;
+    }
+    lock(&rank_mut);
+    rank_total = rank_total + localsum;
+    unlock(&rank_mut);
+    return 1;
+}
+""" + _COMMON_MAIN
+
+_FLUIDANIMATE = r"""
+float grid[256];
+int cell_mut;
+float momentum;
+
+int worker(int wid) {
+    int u; int i; float nb; float localm;
+    localm = 0.0;
+    for (u = 0; u < %(units)d; u = u + 1) {
+        i = (u + wid * 64) %% 254 + 1;
+        nb = (grid[i - 1] + grid[i + 1]) * 0.5;
+        grid[i] = grid[i] * 0.9 + nb * 0.1 + 0.001;
+        localm = localm + grid[i];
+    }
+    lock(&cell_mut);
+    momentum = momentum + localm;
+    unlock(&cell_mut);
+    return 1;
+}
+""" + _COMMON_MAIN
+
+_STREAMCLUSTER = r"""
+int points[256];
+int centers[8];
+int assign_mut;
+int moved;
+
+int nearest(int p) {
+    int c; int best; int bestd; int d;
+    best = 0;
+    bestd = 1000000;
+    for (c = 0; c < 8; c = c + 1) {
+        d = points[p] - centers[c];
+        if (d < 0) { d = 0 - d; }
+        if (d < bestd) { bestd = d; best = c; }
+    }
+    return best;
+}
+
+int worker(int wid) {
+    int u; int p; int c; int localmoved;
+    localmoved = 0;
+    for (u = 0; u < %(units)d; u = u + 1) {
+        p = (u + wid * 64) %% 256;
+        points[p] = (points[p] + u * 7) %% 4096;
+        c = nearest(p);
+        if (c != points[p] %% 8) { localmoved = localmoved + 1; }
+    }
+    lock(&assign_mut);
+    moved = moved + localmoved;
+    unlock(&assign_mut);
+    return 1;
+}
+""" + _COMMON_MAIN
+
+_SWAPTIONS = r"""
+float rates[64];
+int sum_mut;
+float price_sum;
+
+float simulate_path(int seed, float r0) {
+    float r; int i;
+    r = r0;
+    for (i = 0; i < 3; i = i + 1) {
+        r = r + (seed %% 7) * 0.001 - 0.002;
+        if (r < 0.0) { r = 0.001; }
+    }
+    return r;
+}
+
+int worker(int wid) {
+    int u; int s; float r; float localsum;
+    localsum = 0.0;
+    for (u = 0; u < %(units)d; u = u + 1) {
+        s = rand(1000);
+        rates[(u + wid) %% 64] = 0.05 + (s %% 10) * 0.001;
+        r = simulate_path(s, rates[(u + wid) %% 64]);
+        localsum = localsum + r;
+    }
+    lock(&sum_mut);
+    price_sum = price_sum + localsum;
+    unlock(&sum_mut);
+    return 1;
+}
+""" + _COMMON_MAIN
+
+
+PARSEC_KERNELS: Dict[str, ParsecKernel] = {
+    "blackscholes": ParsecKernel(
+        "blackscholes", "app",
+        "Black-Scholes option pricing over a portfolio",
+        _BLACKSCHOLES),
+    "bodytrack": ParsecKernel(
+        "bodytrack", "app",
+        "Particle-filter body tracking (likelihood weighting)",
+        _BODYTRACK),
+    "canneal": ParsecKernel(
+        "canneal", "kernel",
+        "Simulated-annealing netlist placement (randomized swaps)",
+        _CANNEAL),
+    "dedup": ParsecKernel(
+        "dedup", "kernel",
+        "Chunk hashing and deduplication pipeline",
+        _DEDUP),
+    "ferret": ParsecKernel(
+        "ferret", "app",
+        "Content-based similarity search (feature distances)",
+        _FERRET),
+    "fluidanimate": ParsecKernel(
+        "fluidanimate", "app",
+        "Grid-based fluid simulation (neighbor relaxation)",
+        _FLUIDANIMATE),
+    "streamcluster": ParsecKernel(
+        "streamcluster", "kernel",
+        "Online k-median clustering (nearest-center assignment)",
+        _STREAMCLUSTER),
+    "swaptions": ParsecKernel(
+        "swaptions", "app",
+        "Monte-Carlo swaption pricing (HJM-style paths)",
+        _SWAPTIONS),
+}
+
+
+def get_parsec(name: str) -> ParsecKernel:
+    try:
+        return PARSEC_KERNELS[name]
+    except KeyError:
+        raise KeyError("unknown PARSEC kernel %r (have: %s)"
+                       % (name, sorted(PARSEC_KERNELS)))

@@ -1,0 +1,254 @@
+"""SPECOMP-like call-dense numeric kernels (Figure 13 substrate).
+
+Five kernels standing in for ammp, apsi, galgel, mgrid and wupwise from
+SPECOMP 2001.  What matters for the Figure 13 experiment is not the exact
+physics but the *code shape*: hot loops that keep loop-carried values in
+callee-saved registers while calling helper functions two or three levels
+deep.  Every such call saves and restores the registers the callee uses,
+so a backward slice that crosses the call returns through save/restore
+pairs — the spurious-dependence source the pruning of Section 5.2 removes.
+
+Each kernel runs the main thread plus one worker (the paper used the
+'medium'/'test' OpenMP configurations; thread count is not the variable of
+interest for Figure 13) and scales linearly in ``units``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.isa.program import Program
+from repro.lang import compile_source
+
+
+@dataclass
+class SpecOmpKernel:
+    name: str
+    description: str
+    source_template: str
+    defaults: dict = field(default_factory=dict)
+
+    def source(self, units: int = 40, **overrides) -> str:
+        params = dict(self.defaults)
+        params.update({"units": units})
+        params.update(overrides)
+        return self.source_template % params
+
+    def build(self, units: int = 40, **overrides) -> Program:
+        return compile_source(self.source(units, **overrides),
+                              name=self.name)
+
+
+_SPMD_MAIN = r"""
+int main() {
+    int t; int acc;
+    t = spawn(worker, 1);
+    acc = worker(0);
+    acc = acc + join(t);
+    print(acc);
+    return 0;
+}
+"""
+
+_AMMP = r"""
+int atoms[128];
+int forces[128];
+int energy;
+
+int pair_force(int a, int b) {
+    int d; int f;
+    d = atoms[a %% 128] - atoms[b %% 128];
+    if (d < 0) { d = 0 - d; }
+    f = 1000 / (d + 1);
+    return f;
+}
+
+int accumulate(int i, int f) {
+    int old;
+    old = forces[i %% 128];
+    forces[i %% 128] = old + f;
+    return old + f;
+}
+
+int worker(int wid) {
+    int u; int i; int f; int e; int nb;
+    e = 0;
+    for (u = 0; u < %(units)d; u = u + 1) {
+        i = (u + wid * 64) %% 128;
+        atoms[i] = (atoms[i] + u * 3 + 7) %% 512;
+        nb = (i + 1) %% 128;
+        f = pair_force(i, nb);
+        e = e + accumulate(i, f);
+    }
+    energy = energy + e;
+    return e %% 1000;
+}
+""" + _SPMD_MAIN
+
+_APSI = r"""
+float temp[128];
+float wind[128];
+float pollution;
+
+float advect(int i, float dt) {
+    float flux;
+    flux = wind[i %% 128] * dt;
+    return flux * 0.5;
+}
+
+float diffuse(int i, float coeff) {
+    float lap;
+    lap = temp[(i + 1) %% 128] - temp[i %% 128] * 2.0
+        + temp[(i + 127) %% 128];
+    return lap * coeff;
+}
+
+int worker(int wid) {
+    int u; int i; float dt; float delta; float acc;
+    dt = 0.1;
+    acc = 0.0;
+    for (u = 0; u < %(units)d; u = u + 1) {
+        i = (u + wid * 64) %% 128;
+        wind[i] = 1.0 + (u %% 5) * 0.2;
+        delta = advect(i, dt) + diffuse(i, 0.01);
+        temp[i] = temp[i] + delta;
+        acc = acc + delta;
+    }
+    pollution = pollution + acc;
+    return u;
+}
+""" + _SPMD_MAIN
+
+_GALGEL = r"""
+float velocity[128];
+float vorticity[128];
+float circulation;
+
+float curl(int i) {
+    float c;
+    c = velocity[(i + 1) %% 128] - velocity[(i + 127) %% 128];
+    return c * 0.5;
+}
+
+float galerkin_coeff(int mode, float v) {
+    float basis;
+    basis = (mode %% 8) * 0.125;
+    return v * basis + 0.001;
+}
+
+float project(int i, int mode) {
+    float c; float g;
+    c = curl(i);
+    g = galerkin_coeff(mode, c);
+    return g;
+}
+
+int worker(int wid) {
+    int u; int i; float w; float acc;
+    acc = 0.0;
+    for (u = 0; u < %(units)d; u = u + 1) {
+        i = (u + wid * 64) %% 128;
+        velocity[i] = velocity[i] * 0.95 + 0.05 * (u %% 9);
+        w = project(i, u);
+        vorticity[i] = w;
+        acc = acc + w;
+    }
+    circulation = circulation + acc;
+    return u;
+}
+""" + _SPMD_MAIN
+
+_MGRID = r"""
+float fine[130];
+float coarse[66];
+float residual_norm;
+
+float restrict_point(int i) {
+    float r;
+    r = fine[2 * (i %% 64) + 1] * 0.5
+      + fine[2 * (i %% 64)] * 0.25
+      + fine[2 * (i %% 64) + 2] * 0.25;
+    return r;
+}
+
+float relax_point(int i, float rhs) {
+    float nb;
+    nb = (coarse[i %% 64] + coarse[(i %% 64) + 2]) * 0.5;
+    return nb + rhs * 0.1;
+}
+
+float vcycle_step(int i) {
+    float r; float c;
+    r = restrict_point(i);
+    c = relax_point(i, r);
+    return c;
+}
+
+int worker(int wid) {
+    int u; int i; float v; float acc;
+    acc = 0.0;
+    for (u = 0; u < %(units)d; u = u + 1) {
+        i = (u + wid * 32) %% 64;
+        fine[i * 2 + 1] = fine[i * 2 + 1] * 0.9 + 0.01 * (u %% 11);
+        v = vcycle_step(i);
+        coarse[(i %% 64) + 1] = v;
+        acc = acc + v;
+    }
+    residual_norm = residual_norm + acc;
+    return u;
+}
+""" + _SPMD_MAIN
+
+_WUPWISE = r"""
+int su3[144];
+int plaquette;
+
+int gamma_mul(int a, int b) {
+    int p;
+    p = (su3[a %% 144] * su3[b %% 144] + 1) %% 65536;
+    return p;
+}
+
+int wilson_term(int site) {
+    int fwd; int bwd;
+    fwd = gamma_mul(site, site + 1);
+    bwd = gamma_mul(site + 143, site);
+    return (fwd + bwd) %% 65536;
+}
+
+int worker(int wid) {
+    int u; int s; int w; int acc;
+    acc = 0;
+    for (u = 0; u < %(units)d; u = u + 1) {
+        s = (u + wid * 72) %% 144;
+        su3[s] = (su3[s] * 5 + u + 3) %% 65536;
+        w = wilson_term(s);
+        acc = (acc + w) %% 1000000;
+    }
+    plaquette = plaquette + acc;
+    return acc %% 1000;
+}
+""" + _SPMD_MAIN
+
+
+SPECOMP_KERNELS: Dict[str, SpecOmpKernel] = {
+    "ammp": SpecOmpKernel(
+        "ammp", "Molecular dynamics (pairwise forces)", _AMMP),
+    "apsi": SpecOmpKernel(
+        "apsi", "Air pollution / meteorology (advection-diffusion)", _APSI),
+    "galgel": SpecOmpKernel(
+        "galgel", "Fluid dynamics via Galerkin projection", _GALGEL),
+    "mgrid": SpecOmpKernel(
+        "mgrid", "Multigrid solver (restrict/relax V-cycle steps)", _MGRID),
+    "wupwise": SpecOmpKernel(
+        "wupwise", "Lattice QCD (Wilson-Dirac operator)", _WUPWISE),
+}
+
+
+def get_specomp(name: str) -> SpecOmpKernel:
+    try:
+        return SPECOMP_KERNELS[name]
+    except KeyError:
+        raise KeyError("unknown SPECOMP kernel %r (have: %s)"
+                       % (name, sorted(SPECOMP_KERNELS)))

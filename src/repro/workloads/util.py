@@ -1,0 +1,55 @@
+"""Workload helpers: phase markers for locating buggy regions.
+
+The bug workloads print distinctive sentinel values at phase boundaries
+(end of warm-up, start of the racy phase).  ``find_marker_skip`` measures
+the main thread's instruction count at a marker under a given seed, which
+becomes the ``skip`` of a buggy-region :class:`~repro.pinplay.regions.RegionSpec`
+— the reproduction of "fast-forward to the buggy region".  Measuring is
+cheap: it only listens to syscall events, no per-instruction tracing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.isa.program import Program
+from repro.vm.hooks import SyscallEvent, Tool
+from repro.vm.machine import Machine
+from repro.vm.scheduler import Scheduler
+
+#: Sentinel printed when the warm-up phase completes.
+MARKER_WARMUP_DONE = -1000001
+#: Sentinel printed right before the racy phase begins.
+MARKER_RACY_PHASE = -1000002
+
+
+class PhaseMarkerTool(Tool):
+    """Records the main-thread instruction count at each marker print."""
+
+    def __init__(self) -> None:
+        self.marks: Dict[int, int] = {}
+
+    def on_syscall(self, event: SyscallEvent) -> None:
+        if event.name == "print" and event.tid == 0:
+            value = event.args[0]
+            if isinstance(value, int) and value <= MARKER_WARMUP_DONE + 10:
+                self.marks.setdefault(int(value), event.tindex)
+
+
+def find_marker_skip(program: Program, scheduler: Scheduler,
+                     marker: int = MARKER_WARMUP_DONE,
+                     inputs: Sequence = (),
+                     max_steps: int = 50_000_000) -> Optional[int]:
+    """Main-thread instruction count when ``marker`` is printed, or None.
+
+    Run this with a scheduler configured identically (same type, same
+    seed) to the one you will pass to the logger: the measured count is
+    then a valid ``skip`` for that recording run, because execution is a
+    pure function of the scheduling seed and inputs.
+    """
+    tool = PhaseMarkerTool()
+    machine = Machine(program, scheduler=scheduler, tools=[tool],
+                      inputs=inputs)
+    machine.run(max_steps=max_steps)
+    count = tool.marks.get(marker)
+    return count + 1 if count is not None else None

@@ -1,0 +1,199 @@
+"""Unit tests for CFG construction and indirect-jump refinement."""
+
+import pytest
+
+from repro.analysis import build_cfg
+from repro.analysis.cfg import EXIT_BLOCK
+from repro.isa import assemble
+from repro.isa.instructions import Opcode
+from repro.lang import compile_source
+
+
+def cfg_of(source, func, lang="asm"):
+    program = assemble(source) if lang == "asm" else compile_source(source)
+    return program, build_cfg(program, func)
+
+
+class TestBasicBlocks:
+    def test_straight_line_single_block(self):
+        program, cfg = cfg_of("""
+func main
+  mov r0, 1
+  add r0, r0, 1
+  halt
+""", "main")
+        assert cfg.block_count() == 1
+        block = cfg.blocks[0]
+        assert block.succs == {EXIT_BLOCK}
+
+    def test_branch_splits_blocks(self):
+        program, cfg = cfg_of("""
+func main
+  mov r0, 1
+  br r0, yes
+  mov r1, 0
+  halt
+yes:
+  mov r1, 1
+  halt
+""", "main")
+        assert cfg.block_count() == 3
+        entry = cfg.block_of(0)
+        assert len(entry.succs) == 2
+
+    def test_loop_back_edge(self):
+        program, cfg = cfg_of("""
+func main
+  mov r0, 5
+loop:
+  sub r0, r0, 1
+  br r0, loop
+  halt
+""", "main")
+        loop_block = cfg.block_of(1)
+        assert loop_block.id in loop_block.succs
+
+    def test_call_is_fallthrough(self):
+        program, cfg = cfg_of("""
+func f
+  ret
+func main
+  call f
+  halt
+""", "main")
+        entry = program.functions["main"].entry
+        block = cfg.block_of(entry)
+        # call does not end a block edge-wise... it falls through.
+        assert EXIT_BLOCK in block.succs or len(block.succs) == 1
+
+    def test_preds_consistent_with_succs(self):
+        program, cfg = cfg_of("""
+func main
+  mov r0, 1
+  br r0, a
+  jmp b
+a:
+  nop
+b:
+  halt
+""", "main")
+        for block in cfg.blocks.values():
+            for succ in block.succs:
+                if succ != EXIT_BLOCK:
+                    assert block.id in cfg.blocks[succ].preds
+
+
+class TestIndirectJumps:
+    SOURCE = """
+.data jt = c0 c1 c2
+func main
+  mov r0, 1
+  lea r1, jt
+  add r1, r1, r0
+  ld r1, [r1]
+  ijmp r1
+c0:
+  nop
+  jmp end
+c1:
+  nop
+  jmp end
+c2:
+  nop
+end:
+  halt
+"""
+
+    def test_static_ijmp_has_no_successors(self):
+        program, cfg = cfg_of(self.SOURCE, "main")
+        ijmp_addr = next(i.addr for i in program.instructions
+                         if i.op == Opcode.IJMP)
+        block = cfg.block_of(ijmp_addr)
+        assert block.succs == set()
+
+    def test_refinement_adds_edges(self):
+        program, cfg = cfg_of(self.SOURCE, "main")
+        ijmp_addr = next(i.addr for i in program.instructions
+                         if i.op == Opcode.IJMP)
+        target = program.resolve_symbol("main.c1")
+        assert cfg.add_indirect_target(ijmp_addr, target)
+        block = cfg.block_of(ijmp_addr)
+        assert cfg.block_of(target).id in block.succs
+
+    def test_refinement_idempotent(self):
+        program, cfg = cfg_of(self.SOURCE, "main")
+        ijmp_addr = next(i.addr for i in program.instructions
+                         if i.op == Opcode.IJMP)
+        target = program.resolve_symbol("main.c0")
+        assert cfg.add_indirect_target(ijmp_addr, target)
+        assert not cfg.add_indirect_target(ijmp_addr, target)
+
+    def test_refinement_splits_midblock_target(self):
+        # A fallthrough case label is not a static leader; refinement must
+        # split its containing block.
+        source = """
+.data jt = c0 c1
+func main
+  mov r0, 0
+  lea r1, jt
+  add r1, r1, r0
+  ld r1, [r1]
+  ijmp r1
+c0:
+  nop
+c1:
+  nop
+  halt
+"""
+        program, cfg = cfg_of(source, "main")
+        ijmp_addr = next(i.addr for i in program.instructions
+                         if i.op == Opcode.IJMP)
+        c1 = program.resolve_symbol("main.c1")
+        before = cfg.block_count()
+        cfg.add_indirect_target(ijmp_addr, c1)
+        assert cfg.block_count() == before + 1
+        assert cfg.block_of(c1).start == c1
+        # Fallthrough from the split-off c0 block into c1's block.
+        c0 = program.resolve_symbol("main.c0")
+        assert cfg.block_of(c1).id in cfg.block_of(c0).succs
+
+    def test_refinement_invalidates_ipostdom_cache(self):
+        program, cfg = cfg_of(self.SOURCE, "main")
+        ijmp_addr = next(i.addr for i in program.instructions
+                         if i.op == Opcode.IJMP)
+        assert cfg.ipostdom_addr(ijmp_addr) is None
+        for label in ("c0", "c1", "c2"):
+            cfg.add_indirect_target(
+                ijmp_addr, program.resolve_symbol("main." + label))
+        end = program.resolve_symbol("main.end")
+        assert cfg.ipostdom_addr(ijmp_addr) == end
+
+
+class TestMiniCCfg:
+    def test_every_function_gets_a_cfg(self):
+        source = """
+int f(int x) { if (x) { return 1; } return 2; }
+int main() { return f(3); }
+"""
+        program = compile_source(source)
+        for name in program.functions:
+            cfg = build_cfg(program, name)
+            assert cfg.block_count() >= 1
+
+    def test_if_else_diamond(self):
+        source = """
+int main() {
+    int x; int y;
+    x = input();
+    if (x) { y = 1; } else { y = 2; }
+    print(y);
+    return 0;
+}
+"""
+        program = compile_source(source)
+        cfg = build_cfg(program, "main")
+        branches = [i for i in program.functions["main"].instrs
+                    if i.op in (Opcode.BR, Opcode.BRZ)]
+        assert branches
+        # The branch's region ends at the join point, not at exit.
+        assert cfg.ipostdom_addr(branches[0].addr) is not None

@@ -1,0 +1,70 @@
+"""Unit tests for the whole-program CFG registry."""
+
+import pytest
+
+from repro.analysis import CfgRegistry
+from repro.isa.instructions import Opcode
+from repro.lang import compile_source
+
+SOURCE = """
+int f(int x) {
+    int r;
+    switch (x) {
+        case 0: r = 1; break;
+        case 1: r = 2; break;
+        case 2: r = 3; break;
+    }
+    return r;
+}
+int g(int x) { if (x) { return 1; } return 2; }
+int main() { return f(1) + g(2); }
+"""
+
+
+def ijmp_addr(program, func="f"):
+    return next(i.addr for i in program.functions[func].instrs
+                if i.op == Opcode.IJMP)
+
+
+class TestRegistry:
+    def test_lazy_construction_and_caching(self):
+        program = compile_source(SOURCE)
+        registry = CfgRegistry(program)
+        cfg1 = registry.cfg("f")
+        cfg2 = registry.cfg_for_addr(program.functions["f"].entry)
+        assert cfg1 is cfg2
+
+    def test_unknown_address_rejected(self):
+        program = compile_source(SOURCE)
+        registry = CfgRegistry(program)
+        with pytest.raises(KeyError):
+            registry.cfg_for_addr(10_000)
+
+    def test_observe_refines_and_counts(self):
+        program = compile_source(SOURCE)
+        registry = CfgRegistry(program)
+        addr = ijmp_addr(program)
+        target = program.functions["f"].entry + 13  # any in-function addr
+        # Use a real case target from the jump table.
+        table = next(d for d in program.data_defs.values())
+        image = program.initial_data_image()
+        target = int(image.get(table.addr, 0))
+        assert registry.observe_indirect_jump(addr, target)
+        assert registry.refinements == 1
+        assert not registry.observe_indirect_jump(addr, target)
+        assert registry.refinements == 1
+
+    def test_refinement_disabled(self):
+        program = compile_source(SOURCE)
+        registry = CfgRegistry(program, refine=False)
+        addr = ijmp_addr(program)
+        assert not registry.observe_indirect_jump(addr, 0)
+        assert registry.refinements == 0
+
+    def test_region_end_addr_for_branch(self):
+        program = compile_source(SOURCE)
+        registry = CfgRegistry(program)
+        branch = next(i.addr for i in program.functions["g"].instrs
+                      if i.op in (Opcode.BR, Opcode.BRZ))
+        end = registry.region_end_addr(branch)
+        assert end is None or isinstance(end, int)

@@ -1,0 +1,73 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang import compile_source
+from repro.pinplay import RegionSpec, record_region
+from repro.vm import Machine, RandomScheduler, RoundRobinScheduler
+
+
+def run_minic(source: str, scheduler=None, inputs=(), rand_seed=0,
+              max_steps=2_000_000, name="test"):
+    """Compile and run a MiniC program; returns the finished machine."""
+    program = compile_source(source, name=name)
+    machine = Machine(program, scheduler=scheduler or RoundRobinScheduler(),
+                      inputs=inputs, rand_seed=rand_seed)
+    machine.run(max_steps=max_steps)
+    return machine
+
+
+def run_and_output(source: str, **kwargs):
+    """Compile, run, and return the output list."""
+    return run_minic(source, **kwargs).output
+
+
+#: The paper's Figure 5 analog: T2 assumes an atomic region, T1 races on x.
+FIG5_SOURCE = r"""
+int x; int y; int z;
+
+int thread1(int unused) {
+    z = 1;
+    x = z + 1;
+    y = x + 1;
+    return 0;
+}
+
+int thread2(int unused) {
+    int k;
+    k = 5;
+    k = k + x;
+    assert(k == 5, 13);
+    return 0;
+}
+
+int main() {
+    int a; int b;
+    a = spawn(thread1, 0);
+    b = spawn(thread2, 0);
+    join(a);
+    join(b);
+    return 0;
+}
+"""
+
+
+def expose_failure(source: str, seeds=range(64), switch_prob=0.4,
+                   region=None, name="buggy"):
+    """Find a seed whose schedule trips the program's assert; record it."""
+    program = compile_source(source, name=name)
+    for seed in seeds:
+        pinball = record_region(
+            program, RandomScheduler(seed=seed, switch_prob=switch_prob),
+            region or RegionSpec())
+        if pinball.meta.get("failure"):
+            return program, pinball, seed
+    raise AssertionError("no seed exposed the failure")
+
+
+@pytest.fixture(scope="session")
+def fig5():
+    """(program, failing pinball, seed) for the Figure 5 race."""
+    return expose_failure(FIG5_SOURCE, name="fig5")

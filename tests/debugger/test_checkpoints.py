@@ -1,0 +1,100 @@
+"""Unit tests for the checkpoint manager itself."""
+
+import pytest
+
+from repro.debugger.checkpoints import CheckpointManager, remaining_schedule
+from repro.lang import compile_source
+from repro.pinplay import RegionSpec, record_region
+from repro.pinplay.pinball import state_hash
+from repro.pinplay.replayer import SyscallInjector
+from repro.vm import RoundRobinScheduler
+from repro.vm.machine import Machine, MachineSnapshot
+from repro.vm.scheduler import RecordedScheduler
+
+SOURCE = """
+int g;
+int main() {
+    int i;
+    for (i = 0; i < 40; i = i + 1) {
+        g = g + rand(3);
+    }
+    print(g);
+    return 0;
+}
+"""
+
+
+@pytest.fixture
+def recorded():
+    program = compile_source(SOURCE, name="cp")
+    pinball = record_region(program, RoundRobinScheduler(), RegionSpec(),
+                            rand_seed=9)
+    return program, pinball
+
+
+def fresh_replay(pinball, program):
+    scheduler = RecordedScheduler(pinball.schedule)
+    injector = SyscallInjector(pinball.syscalls)
+    machine = Machine.from_snapshot(
+        program, MachineSnapshot.from_dict(pinball.snapshot),
+        scheduler=scheduler, syscall_injector=injector.inject)
+    return machine, injector
+
+
+class TestCapture:
+    def test_interval_validation(self, recorded):
+        program, pinball = recorded
+        with pytest.raises(ValueError):
+            CheckpointManager(pinball, program, interval=0)
+
+    def test_capture_is_idempotent_per_step(self, recorded):
+        program, pinball = recorded
+        manager = CheckpointManager(pinball, program, interval=10)
+        machine, injector = fresh_replay(pinball, program)
+        manager.capture(machine, injector, 0)
+        manager.capture(machine, injector, 0)
+        assert len(manager) == 1
+
+    def test_due_follows_interval(self, recorded):
+        program, pinball = recorded
+        manager = CheckpointManager(pinball, program, interval=10)
+        machine, injector = fresh_replay(pinball, program)
+        assert manager.due(0)
+        manager.capture(machine, injector, 0)
+        assert not manager.due(5)
+        assert manager.due(10)
+
+
+class TestRestore:
+    def test_restored_machine_continues_identically(self, recorded):
+        program, pinball = recorded
+        manager = CheckpointManager(pinball, program, interval=10)
+        machine, injector = fresh_replay(pinball, program)
+        machine.run(max_steps=60)
+        manager.capture(machine, injector, 60)
+        machine.run(max_steps=pinball.total_steps - 60)
+        final_hash = state_hash(machine)
+        final_output = list(machine.output)
+
+        checkpoint = manager.latest_at_or_before(60)
+        restored, _injector = manager.restore(checkpoint)
+        restored.run(max_steps=pinball.total_steps - 60)
+        assert state_hash(restored) == final_hash
+        assert restored.output == final_output
+
+    def test_latest_at_or_before_selection(self, recorded):
+        program, pinball = recorded
+        manager = CheckpointManager(pinball, program, interval=10)
+        machine, injector = fresh_replay(pinball, program)
+        for steps in (0, 25, 50):
+            manager.capture(machine, injector, steps)
+        assert manager.latest_at_or_before(24).steps_done == 0
+        assert manager.latest_at_or_before(25).steps_done == 25
+        assert manager.latest_at_or_before(999).steps_done == 50
+        manager.drop_after(25)
+        assert manager.latest_at_or_before(999).steps_done == 25
+
+    def test_latest_before_any_is_none(self, recorded):
+        program, pinball = recorded
+        manager = CheckpointManager(pinball, program, interval=10)
+        assert manager.latest_at_or_before(5) is None

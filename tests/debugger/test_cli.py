@@ -1,0 +1,128 @@
+"""Tests for the gdb-style command interpreter."""
+
+import pytest
+
+from repro.debugger import DrDebugCLI, DrDebugSession
+from repro.lang import compile_source
+from repro.pinplay import RegionSpec, record_region
+from repro.vm import RoundRobinScheduler
+
+from tests.conftest import FIG5_SOURCE
+
+PROGRAM = """
+int g;
+int main() {
+    int x;
+    x = 4;
+    g = x * 10;
+    return 0;
+}
+"""
+
+
+@pytest.fixture
+def cli():
+    program = compile_source(PROGRAM, name="cli-test")
+    pinball = record_region(program, RoundRobinScheduler(), RegionSpec())
+    return DrDebugCLI(DrDebugSession(pinball, program, source=PROGRAM))
+
+
+@pytest.fixture
+def fig5_cli(fig5):
+    program, pinball, _seed = fig5
+    return DrDebugCLI(DrDebugSession(pinball, program, source=FIG5_SOURCE))
+
+
+class TestBasicCommands:
+    def test_empty_and_unknown(self, cli):
+        assert cli.execute("") == ""
+        assert "undefined command" in cli.execute("flubber")
+
+    def test_break_run_print(self, cli):
+        assert "breakpoint 1" in cli.execute("break 6")
+        assert "hit breakpoint" in cli.execute("run")
+        assert cli.execute("print x") == "x = 4"
+        assert cli.execute("print g") == "g = 0"
+        assert "finished" in cli.execute("continue")
+        assert cli.execute("print g") == "g = 40"
+
+    def test_break_forms(self, cli):
+        assert "breakpoint" in cli.execute("break main")
+        assert "breakpoint" in cli.execute("break main:6")
+        assert "error" in cli.execute("break")
+        assert "error" in cli.execute("break nofunc")
+
+    def test_info_break_and_delete(self, cli):
+        cli.execute("break 6")
+        assert "breakpoint 1" in cli.execute("info break")
+        assert "deleted" in cli.execute("delete 1")
+        assert cli.execute("info break") == "no breakpoints"
+
+    def test_enable_disable(self, cli):
+        cli.execute("break 6")
+        assert "disabled" in cli.execute("disable 1")
+        assert "finished" in cli.execute("run")
+        assert "enabled" in cli.execute("enable 1")
+        assert "hit breakpoint" in cli.execute("run")
+
+    def test_stepi_and_where(self, cli):
+        cli.execute("run")  # runs to end; restart for stepping
+        cli.execute("restart")
+        assert "stepped 3" in cli.execute("stepi 3")
+        assert "thread 0" in cli.execute("where")
+
+    def test_info_threads_and_thread_switch(self, fig5_cli):
+        fig5_cli.execute("break thread2")
+        fig5_cli.execute("run")
+        output = fig5_cli.execute("info threads")
+        assert "thread 0" in output and "thread 2" in output
+        assert "focused thread 1" in fig5_cli.execute("thread 1")
+
+    def test_backtrace(self, cli):
+        cli.execute("break 6")
+        cli.execute("run")
+        assert "#0 main" in cli.execute("bt")
+
+    def test_quit(self, cli):
+        cli.execute("quit")
+        assert cli.done
+
+    def test_error_reported_not_raised(self, cli):
+        cli.execute("restart")
+        assert "error" in cli.execute("print nope")
+        assert "error" in cli.execute("delete 99")
+
+
+class TestSliceCommands:
+    def test_slice_failure_summary(self, fig5_cli):
+        output = fig5_cli.execute("slice-failure")
+        assert "instruction instances" in output
+        assert "thread1:6" in output    # the racy root cause
+
+    def test_slice_for_variable(self, fig5_cli):
+        output = fig5_cli.execute("slice x at 6 thread 1")
+        assert "slice:" in output
+
+    def test_slice_info_rendering(self, fig5_cli):
+        fig5_cli.execute("slice-failure")
+        output = fig5_cli.execute("slice-info")
+        assert "criterion" in output
+        assert "thread 1" in output
+
+    def test_slice_save_load(self, fig5_cli, tmp_path):
+        fig5_cli.execute("slice-failure")
+        path = str(tmp_path / "s.json")
+        assert "saved" in fig5_cli.execute("slice-save %s" % path)
+        assert "slice:" in fig5_cli.execute("slice-load %s" % path)
+
+    def test_slice_pinball_and_replay_flow(self, fig5_cli):
+        fig5_cli.execute("slice-failure")
+        output = fig5_cli.execute("slice-pinball")
+        assert "instructions kept" in output
+        assert "slice pinball" in fig5_cli.execute("slice-replay")
+        stepped = fig5_cli.execute("slice-step")
+        assert "slice step" in stepped or "finished" in stepped
+
+    def test_slice_commands_need_slice(self, cli):
+        assert "error" in cli.execute("slice-save /tmp/x.json")
+        assert "no slice" in cli.execute("slice-info")

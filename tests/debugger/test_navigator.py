@@ -1,0 +1,95 @@
+"""Tests for the slice navigator (KDbg stand-in)."""
+
+import pytest
+
+from repro.debugger import SliceNavigator
+from repro.slicing import SlicingSession
+
+from tests.conftest import FIG5_SOURCE
+
+
+@pytest.fixture
+def navigator(fig5):
+    program, pinball, _seed = fig5
+    session = SlicingSession(pinball, program)
+    dslice = session.slice_for(session.failure_criterion())
+    return SliceNavigator(dslice, program, source=FIG5_SOURCE)
+
+
+class TestNavigation:
+    def test_cursor_starts_at_criterion(self, navigator):
+        assert navigator.cursor == navigator.slice.criterion
+
+    def test_activate_follows_edges_backwards(self, navigator):
+        deps = navigator.deps()
+        assert deps
+        node = navigator.activate(0)
+        assert navigator.cursor == deps[0][0]
+        assert node.instance == deps[0][0]
+
+    def test_back_undoes_activate(self, navigator):
+        start = navigator.cursor
+        navigator.activate(0)
+        navigator.back()
+        assert navigator.cursor == start
+
+    def test_back_at_start_is_noop(self, navigator):
+        start = navigator.cursor
+        navigator.back()
+        assert navigator.cursor == start
+
+    def test_activate_out_of_range(self, navigator):
+        with pytest.raises(IndexError):
+            navigator.activate(999)
+
+    def test_goto_slice_member(self, navigator):
+        target = next(iter(navigator.slice.nodes))
+        navigator.goto(target)
+        assert navigator.cursor == target
+
+    def test_goto_non_member_rejected(self, navigator):
+        with pytest.raises(KeyError):
+            navigator.goto((99, 99))
+
+    def test_walk_to_root_cause(self, navigator):
+        # Walking data edges backwards from the failed assert must reach
+        # thread1 (the racy writer) within a few hops.
+        seen_threads = {navigator.node().tid}
+        frontier = [navigator.cursor]
+        visited = set()
+        while frontier:
+            cursor = frontier.pop()
+            if cursor in visited:
+                continue
+            visited.add(cursor)
+            for producer, _kind, _loc in navigator.slice.deps_of(cursor):
+                seen_threads.add(producer[0])
+                frontier.append(producer)
+        assert 1 in seen_threads
+
+
+class TestRendering:
+    def test_render_cursor_shows_deps(self, navigator):
+        text = navigator.render_cursor()
+        assert "at thread2:" in text
+        assert "[0]" in text
+
+    def test_render_source_markers(self, navigator):
+        text = navigator.render_source()
+        marked = [line for line in text.splitlines()
+                  if line.startswith(">>") or line.startswith("=>")]
+        assert marked
+        # The racy line in thread1 is highlighted.
+        assert any("x = z + 1" in line for line in marked)
+
+    def test_render_source_without_source(self, fig5):
+        program, pinball, _seed = fig5
+        session = SlicingSession(pinball, program)
+        dslice = session.slice_for(session.failure_criterion())
+        navigator = SliceNavigator(dslice, program, source=None)
+        assert "no source" in navigator.render_source()
+
+    def test_render_summary(self, navigator):
+        text = navigator.render_summary()
+        assert "thread 1:" in text
+        assert "thread 2:" in text

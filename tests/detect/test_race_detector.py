@@ -1,0 +1,205 @@
+"""Tests for the happens-before race detector."""
+
+import pytest
+
+from repro.detect import detect_races
+from repro.lang import compile_source
+from repro.pinplay import RegionSpec, record_region
+from repro.vm import RandomScheduler, RoundRobinScheduler
+
+from tests.conftest import FIG5_SOURCE
+
+
+def record(source, seed=0, switch_prob=0.3, name="race-test"):
+    program = compile_source(source, name=name)
+    pinball = record_region(
+        program, RandomScheduler(seed=seed, switch_prob=switch_prob),
+        RegionSpec())
+    return program, pinball
+
+
+RACY = """
+int shared;
+int writer(int v) {
+    shared = v;
+    return 0;
+}
+int main() {
+    int a; int b;
+    a = spawn(writer, 1);
+    b = spawn(writer, 2);
+    join(a); join(b);
+    print(shared);
+    return 0;
+}
+"""
+
+LOCKED = """
+int shared; int m;
+int writer(int v) {
+    lock(&m);
+    shared = shared + v;
+    unlock(&m);
+    return 0;
+}
+int main() {
+    int a; int b;
+    a = spawn(writer, 1);
+    b = spawn(writer, 2);
+    join(a); join(b);
+    print(shared);
+    return 0;
+}
+"""
+
+
+class TestDetection:
+    def test_unsynchronized_writes_detected(self):
+        program, pinball = record(RACY)
+        races = detect_races(pinball, program)
+        assert races
+        assert any(r.kind == "write-write" for r in races)
+        shared_addr = program.globals["shared"].addr
+        assert any(r.addr == shared_addr for r in races)
+
+    def test_lock_protected_accesses_are_clean(self):
+        program, pinball = record(LOCKED)
+        races = detect_races(pinball, program)
+        shared_addr = program.globals["shared"].addr
+        assert not [r for r in races if r.addr == shared_addr], races
+
+    def test_spawn_establishes_order(self):
+        # Parent writes before spawn; child reads: ordered, no race.
+        source = """
+int cfg;
+int child(int unused) {
+    print(cfg);
+    return 0;
+}
+int main() {
+    cfg = 7;
+    join(spawn(child, 0));
+    return 0;
+}
+"""
+        program, pinball = record(source)
+        assert detect_races(pinball, program) == []
+
+    def test_join_establishes_order(self):
+        # Child writes; parent reads after join: ordered, no race.
+        source = """
+int out;
+int child(int unused) {
+    out = 42;
+    return 0;
+}
+int main() {
+    join(spawn(child, 0));
+    print(out);
+    return 0;
+}
+"""
+        program, pinball = record(source)
+        assert detect_races(pinball, program) == []
+
+    def test_read_write_race_detected(self):
+        source = """
+int flag;
+int reader(int unused) {
+    print(flag);
+    return 0;
+}
+int main() {
+    int t;
+    t = spawn(reader, 0);
+    flag = 1;
+    join(t);
+    return 0;
+}
+"""
+        program, pinball = record(source)
+        races = detect_races(pinball, program)
+        assert races
+        kinds = {r.kind for r in races}
+        assert kinds & {"read-write", "write-read"}
+
+    def test_fig5_race_found_on_x(self, fig5):
+        program, pinball, _seed = fig5
+        races = detect_races(pinball, program)
+        x_addr = program.globals["x"].addr
+        x_races = [r for r in races if r.addr == x_addr]
+        assert x_races
+        # Both endpoints exist in the trace and cross threads.
+        for race in x_races:
+            assert race.first_instance[0] != race.second_instance[0]
+
+    def test_reports_deduplicated_by_site(self):
+        source = """
+int shared;
+int writer(int n) {
+    int i;
+    for (i = 0; i < 20; i = i + 1) { shared = shared + 1; }
+    return 0;
+}
+int main() {
+    int a; int b;
+    a = spawn(writer, 0);
+    b = spawn(writer, 0);
+    join(a); join(b);
+    return 0;
+}
+"""
+        program, pinball = record(source)
+        races = detect_races(pinball, program)
+        # 20x20 dynamic conflicts collapse to a handful of static pairs.
+        assert 0 < len(races) <= 6
+        assert len({r.site_pair() for r in races}) == len(races)
+
+
+class TestReporting:
+    def test_describe_names_the_variable(self):
+        program, pinball = record(RACY)
+        races = detect_races(pinball, program)
+        text = races[0].describe(program)
+        assert "shared" in text
+        assert "writer" in text
+
+    def test_describe_array_element(self):
+        source = """
+int table[4];
+int writer(int i) {
+    table[2] = i;
+    return 0;
+}
+int main() {
+    int a; int b;
+    a = spawn(writer, 1);
+    b = spawn(writer, 2);
+    join(a); join(b);
+    return 0;
+}
+"""
+        program, pinball = record(source)
+        races = detect_races(pinball, program)
+        assert races
+        assert "table[2]" in races[0].describe(program)
+
+    def test_race_endpoints_are_sliceable(self, fig5):
+        """The integration the docstring promises: race endpoints work
+        as slicing criteria."""
+        from repro.slicing import SlicingSession
+        program, pinball, _seed = fig5
+        races = detect_races(pinball, program)
+        session = SlicingSession(pinball, program)
+        race = races[0]
+        dslice = session.slice_for(race.second_instance)
+        assert race.second_instance in dslice
+
+
+class TestDeterminism:
+    def test_same_pinball_same_races(self):
+        program, pinball = record(RACY, seed=5)
+        first = detect_races(pinball, program)
+        second = detect_races(pinball, program)
+        assert [r.site_pair() for r in first] == [
+            r.site_pair() for r in second]

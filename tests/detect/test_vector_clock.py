@@ -1,0 +1,78 @@
+"""Unit and property tests for vector clocks."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.detect import VectorClock
+
+
+def vc(**kwargs):
+    return VectorClock({int(k[1:]): v for k, v in kwargs.items()})
+
+
+class TestBasics:
+    def test_empty_defaults_to_zero(self):
+        assert VectorClock().get(5) == 0
+
+    def test_tick(self):
+        clock = VectorClock()
+        assert clock.tick(1) == 1
+        assert clock.tick(1) == 2
+        assert clock.get(1) == 2
+
+    def test_join_is_pointwise_max(self):
+        a = vc(t0=3, t1=1)
+        b = vc(t1=5, t2=2)
+        a.join(b)
+        assert a.get(0) == 3 and a.get(1) == 5 and a.get(2) == 2
+
+    def test_copy_is_independent(self):
+        a = vc(t0=1)
+        b = a.copy()
+        b.tick(0)
+        assert a.get(0) == 1 and b.get(0) == 2
+
+    def test_set_zero_clears(self):
+        a = vc(t0=1)
+        a.set(0, 0)
+        assert a == VectorClock()
+
+
+class TestOrdering:
+    def test_happens_before(self):
+        assert vc(t0=1).happens_before(vc(t0=2))
+        assert vc(t0=1).happens_before(vc(t0=1, t1=1))
+        assert not vc(t0=2).happens_before(vc(t0=1))
+        assert not vc(t0=1).happens_before(vc(t0=1))   # equal: not HB
+
+    def test_concurrent(self):
+        assert vc(t0=1).concurrent_with(vc(t1=1))
+        assert not vc(t0=1).concurrent_with(vc(t0=2))
+        assert not vc(t0=1).concurrent_with(vc(t0=1))
+
+
+clock_strategy = st.dictionaries(
+    st.integers(0, 4), st.integers(1, 10), max_size=4
+).map(VectorClock)
+
+
+class TestProperties:
+    @given(clock_strategy, clock_strategy)
+    @settings(max_examples=200, deadline=None)
+    def test_trichotomy(self, a, b):
+        relations = [a.happens_before(b), b.happens_before(a),
+                     a.concurrent_with(b), a == b]
+        assert sum(relations) == 1
+
+    @given(clock_strategy, clock_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_join_upper_bound(self, a, b):
+        joined = a.copy()
+        joined.join(b)
+        assert a == joined or a.happens_before(joined)
+        assert b == joined or b.happens_before(joined)
+
+    @given(clock_strategy, clock_strategy, clock_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_transitivity(self, a, b, c):
+        if a.happens_before(b) and b.happens_before(c):
+            assert a.happens_before(c)

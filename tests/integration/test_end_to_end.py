@@ -1,0 +1,161 @@
+"""End-to-end workflows: the full DrDebug pipeline on real bug analogs.
+
+These follow the paper's Figure 2 / Figure 4 narrative literally:
+capture the buggy region → cyclic replay debugging → dynamic slice →
+slice pinball → execution-slice stepping; plus the Maple entry point.
+"""
+
+import pytest
+
+from repro.debugger import DrDebugCLI, DrDebugSession
+from repro.maple import expose_and_record
+from repro.pinplay import RegionSpec, record_region, replay
+from repro.slicing import SlicingSession
+from repro.vm import RandomScheduler
+from repro.workloads import get_bug
+
+
+@pytest.fixture(scope="module")
+def pbzip2_case():
+    workload = get_bug("pbzip2")
+    program = workload.build(warmup=300)
+    pinball, seed = workload.expose(program, seeds=range(48))
+    assert pinball is not None
+    return workload, program, pinball, seed
+
+
+class TestFullPipeline:
+    def test_capture_replay_slice_step(self, pbzip2_case):
+        workload, program, pinball, seed = pbzip2_case
+
+        # 1. The whole-program pinball reproduces the failure.
+        machine, result = replay(pinball, program)
+        assert result.failure["code"] == workload.failure_code
+
+        # 2. Focused buggy region: skip the warm-up, still catch the bug.
+        skip = workload.buggy_region_skip(program, seed)
+        region_pb = record_region(
+            program,
+            RandomScheduler(seed=seed, switch_prob=workload.switch_prob),
+            RegionSpec(skip=skip))
+        assert region_pb.meta["failure"] is not None
+        assert region_pb.total_instructions < pinball.total_instructions
+
+        # 3. Slice the failure; the root cause (main's teardown write to
+        #    fifo_valid) must be in the slice, in another thread.
+        session = SlicingSession(region_pb, program)
+        dslice = session.slice_for(session.failure_criterion())
+        slice_threads = dslice.threads()
+        failing_tid = region_pb.meta["failure"]["tid"]
+        assert failing_tid in slice_threads
+        assert 0 in slice_threads, "main's teardown missing from slice"
+
+        # 4. Relog to a slice pinball; replay skips excluded code but
+        #    reproduces the failure.
+        slice_pb = session.make_slice_pinball(dslice)
+        assert (slice_pb.meta["kept_instructions"]
+                < region_pb.total_instructions)
+        sliced_machine, sliced_result = replay(slice_pb, program,
+                                               verify=False)
+        assert sliced_result.failure is not None
+        assert sliced_result.failure["code"] == workload.failure_code
+        assert sliced_machine.skipped_exclusions > 0
+
+    def test_cyclic_debugging_with_cli(self, pbzip2_case):
+        workload, program, pinball, _seed = pbzip2_case
+        cli = DrDebugCLI(DrDebugSession(pinball, program,
+                                        source=workload.source()))
+        # Iteration 1: watch the compressor hit the assert.
+        cli.execute("break compressor")
+        first_stop = cli.execute("run")
+        assert "hit breakpoint" in first_stop
+        fifo_valid_1 = cli.execute("print fifo_valid")
+        # Iteration 2: identical world.
+        second_stop = cli.execute("run")
+        assert second_stop == first_stop
+        assert cli.execute("print fifo_valid") == fifo_valid_1
+
+    def test_slice_cli_workflow(self, pbzip2_case, tmp_path):
+        workload, program, pinball, _seed = pbzip2_case
+        cli = DrDebugCLI(DrDebugSession(pinball, program,
+                                        source=workload.source()))
+        summary = cli.execute("slice-failure")
+        assert "instruction instances" in summary
+        path = str(tmp_path / "bug.slice.json")
+        cli.execute("slice-save %s" % path)
+        assert "kept" in cli.execute("slice-pinball")
+        cli.execute("slice-replay")
+        stepped = 0
+        for _ in range(200):
+            out = cli.execute("slice-step")
+            if "finished" in out:
+                break
+            stepped += 1
+        assert stepped > 0
+
+    def test_pinball_files_are_portable(self, pbzip2_case, tmp_path):
+        """A pinball saved to disk replays in a fresh 'session' (paper:
+        pinballs can move between developers)."""
+        from repro.pinplay import Pinball
+        workload, program, pinball, _seed = pbzip2_case
+        path = str(tmp_path / "bug.pinball")
+        size = pinball.save(path)
+        assert size > 0
+        # Fresh compile of the same source stands in for another machine.
+        fresh_program = workload.build(warmup=300)
+        loaded = Pinball.load(path)
+        machine, result = replay(loaded, fresh_program)
+        assert result.failure["code"] == workload.failure_code
+
+
+class TestMapleIntegration:
+    def test_maple_pinball_feeds_whole_pipeline(self):
+        """Maple exposes a bug, records it; DrDebug slices it."""
+        from repro.lang import compile_source
+        source = """
+int x;
+int bump(int unused) {
+    x = x + 1;
+    return 0;
+}
+int main() {
+    int a; int b;
+    a = spawn(bump, 0);
+    b = spawn(bump, 0);
+    join(a);
+    join(b);
+    assert(x == 2, 11);
+    return 0;
+}
+"""
+        program = compile_source(source, name="maple-e2e")
+        result = expose_and_record(program, profile_seeds=range(3),
+                                   max_active_runs=40)
+        assert result.exposed
+        session = SlicingSession(result.pinball, program)
+        dslice = session.slice_for(session.failure_criterion())
+        # The slice tells the lost-update story: the final (wrong) value of
+        # x flows from exactly one bump thread — the other's increment was
+        # overwritten and is correctly absent — plus main's assert.
+        threads = dslice.threads()
+        assert 0 in threads
+        assert len({1, 2} & threads) == 1
+
+
+class TestAllBugsThroughPipeline:
+    @pytest.mark.parametrize("name", ["pbzip2", "aget", "mozilla"])
+    def test_slice_pinball_reproduces_failure(self, name):
+        workload = get_bug(name)
+        program = workload.build(warmup=120)
+        pinball, _seed = workload.expose(program, seeds=range(48))
+        assert pinball is not None
+        session = SlicingSession(pinball, program)
+        dslice = session.slice_for(session.failure_criterion())
+        slice_pb = session.make_slice_pinball(dslice)
+        machine, result = replay(slice_pb, program, verify=False)
+        assert result.failure is not None
+        assert result.failure["code"] == workload.failure_code
+        # Execution slicing actually skipped work.
+        assert machine.skipped_exclusions > 0
+        assert (slice_pb.meta["kept_instructions"]
+                < slice_pb.meta["region_instructions"])

@@ -1,0 +1,224 @@
+"""Unit tests for the textual assembler."""
+
+import pytest
+
+from repro.isa import AsmError, assemble
+from repro.isa.instructions import Imm, Mem, Opcode, Reg
+from repro.vm import Machine
+
+
+def asm_run(source, **kwargs):
+    machine = Machine(assemble(source), **kwargs)
+    machine.run(max_steps=100_000)
+    return machine
+
+
+class TestParsing:
+    def test_minimal_program(self):
+        program = assemble("func main\n  halt\n")
+        assert len(program) == 1
+        assert program.instructions[0].op == Opcode.HALT
+
+    def test_globals_layout(self):
+        program = assemble("""
+.global a 1
+.global b 3
+func main
+  halt
+""")
+        assert program.globals["b"].addr == program.globals["a"].addr + 1
+        assert program.globals["b"].size == 3
+
+    def test_global_with_init(self):
+        program = assemble("""
+.global tbl 3 = 5 6 7
+func main
+  halt
+""")
+        image = program.initial_data_image()
+        base = program.globals["tbl"].addr
+        assert [image[base + i] for i in range(3)] == [5, 6, 7]
+
+    def test_data_with_labels(self):
+        program = assemble("""
+.data jt = c0 c1
+func main
+c0:
+  nop
+c1:
+  halt
+""")
+        image = program.initial_data_image()
+        base = program.data_defs["jt"].addr
+        # c0 is address 0 (stored as 0 -> omitted from the sparse image).
+        assert image.get(base, 0) == 0
+        assert image[base + 1] == 1
+
+    def test_labels_resolve_within_function(self):
+        program = assemble("""
+func main
+  mov r0, 3
+loop:
+  sub r0, r0, 1
+  br r0, loop
+  halt
+""")
+        br = program.instructions[2]
+        assert isinstance(br.operands[1], Imm)
+        assert br.operands[1].value == 1
+
+    def test_memory_operands(self):
+        program = assemble("""
+func main
+  ld r0, [fp+2]
+  st [fp-1], r0
+  ld r1, [sp]
+  halt
+""")
+        ld = program.instructions[0]
+        assert ld.operands[1] == Mem(Reg("fp"), 2)
+        st = program.instructions[1]
+        assert st.operands[0] == Mem(Reg("fp"), -1)
+
+    def test_line_tags(self):
+        program = assemble("""
+func main
+  mov r0, 1 @42
+  halt
+""")
+        assert program.instructions[0].line == 42
+
+    def test_comments_stripped(self):
+        program = assemble("""
+; leading comment
+func main
+  mov r0, 1   ; trailing
+  halt        # hash comment
+""")
+        assert len(program) == 2
+
+    def test_function_params_recorded(self):
+        program = assemble("""
+func helper(a, b)
+  ret
+func main
+  halt
+""")
+        assert program.functions["helper"].params == ["a", "b"]
+
+    def test_float_immediates(self):
+        program = assemble("""
+func main
+  mov r0, 1.5
+  halt
+""")
+        assert program.instructions[0].operands[1].value == 1.5
+
+    def test_negative_immediates(self):
+        program = assemble("""
+func main
+  mov r0, -7
+  halt
+""")
+        assert program.instructions[0].operands[1].value == -7
+
+
+class TestErrors:
+    def test_instruction_outside_function(self):
+        with pytest.raises(AsmError):
+            assemble("mov r0, 1\n")
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AsmError):
+            assemble("func main\n  xyzzy r0\n")
+
+    def test_bad_arity(self):
+        with pytest.raises(AsmError):
+            assemble("func main\n  mov r0\n")
+        with pytest.raises(AsmError):
+            assemble("func main\n  add r0, r1\n")
+
+    def test_missing_entry(self):
+        with pytest.raises(AsmError):
+            assemble("func helper\n  ret\n")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AsmError):
+            assemble("func main\nx:\nx:\n  halt\n")
+
+    def test_unresolved_symbol(self):
+        with pytest.raises(Exception):
+            assemble("func main\n  jmp nowhere\n  halt\n")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(AsmError) as excinfo:
+            assemble("func main\n  bogus r0\n")
+        assert "line 2" in str(excinfo.value)
+
+
+class TestExecution:
+    def test_arithmetic(self):
+        machine = asm_run("""
+func main
+  mov r0, 10
+  mul r0, r0, 3
+  sub r0, r0, 5
+  sys print
+  halt
+""")
+        assert machine.output == [25]
+
+    def test_loop(self):
+        machine = asm_run("""
+func main
+  mov r0, 0
+  mov r1, 5
+loop:
+  add r0, r0, r1
+  sub r1, r1, 1
+  br r1, loop
+  sys print
+  halt
+""")
+        assert machine.output == [15]
+
+    def test_call_ret(self):
+        machine = asm_run("""
+func double
+  push fp
+  mov fp, sp
+  ld r0, [fp+2]
+  add r0, r0, r0
+  mov sp, fp
+  pop fp
+  ret
+
+func main
+  mov r0, 21
+  push r0
+  call double
+  add sp, sp, 1
+  sys print
+  halt
+""")
+        assert machine.output == [42]
+
+    def test_indirect_jump_through_table(self):
+        machine = asm_run("""
+.data jt = case0 case1
+func main
+  mov r0, 1
+  lea r1, jt
+  add r1, r1, r0
+  ld r1, [r1]
+  ijmp r1
+case0:
+  mov r0, 100
+  sys print
+  halt
+case1:
+  mov r0, 200
+  sys print
+  halt
+""")
+        assert machine.output == [200]

@@ -1,0 +1,71 @@
+"""Disassembler round-trip and formatting tests."""
+
+from repro.isa import assemble, disassemble, format_instr
+from repro.isa.instructions import Imm, Instr, Opcode, Reg
+
+SOURCE = """
+.global counter 1
+.data jt = main
+
+func helper(a)
+  push fp
+  mov fp, sp
+  ld r0, [fp+2]
+  add r0, r0, 1 @5
+  mov sp, fp
+  pop fp
+  ret
+
+func main
+  mov r0, 41
+  push r0
+  call helper
+  add sp, sp, 1
+  sys print
+  halt
+"""
+
+
+class TestDisassemble:
+    def test_contains_all_functions(self):
+        text = disassemble(assemble(SOURCE))
+        assert "func helper(a)" in text
+        assert "func main" in text
+
+    def test_contains_globals_and_data(self):
+        text = disassemble(assemble(SOURCE))
+        assert ".global counter 1" in text
+        assert ".data jt" in text
+
+    def test_single_function_filter(self):
+        text = disassemble(assemble(SOURCE), "main")
+        assert "func main" in text
+        assert "func helper" not in text
+
+    def test_line_annotations_present(self):
+        text = disassemble(assemble(SOURCE))
+        assert "; line 5" in text
+
+    def test_addresses_in_margin(self):
+        program = assemble(SOURCE)
+        text = disassemble(program)
+        entry = program.functions["main"].entry
+        assert "%4d: " % entry in text
+
+
+class TestFormatInstr:
+    def test_basic(self):
+        instr = Instr(Opcode.MOV, (Reg("r0"), Imm(5)), addr=12)
+        assert format_instr(instr) == "  12: mov r0, 5"
+
+    def test_without_addr(self):
+        instr = Instr(Opcode.HALT, ())
+        assert format_instr(instr, with_addr=False) == "halt"
+
+    def test_with_line(self):
+        instr = Instr(Opcode.NOP, (), line=3, addr=0)
+        assert "; line 3" in format_instr(instr)
+
+    def test_with_comment(self):
+        instr = Instr(Opcode.NOP, (), comment="spill", addr=0)
+        assert "# spill" in format_instr(instr)

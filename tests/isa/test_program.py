@@ -1,0 +1,140 @@
+"""Unit tests for the Program container: linking, symbols, debug info."""
+
+import pytest
+
+from repro.isa.instructions import Imm, Instr, Label, Opcode, Reg
+from repro.isa.program import (
+    DataDef,
+    Function,
+    GLOBAL_BASE,
+    GlobalVar,
+    LinkError,
+    Program,
+)
+
+
+def make_simple_program():
+    program = Program("demo")
+    main = Function("main", instrs=[
+        Instr(Opcode.MOV, (Reg("r0"), Imm(1)), line=10),
+        Instr(Opcode.CALL, (Label("helper"),), line=11),
+        Instr(Opcode.HALT, (), line=12),
+    ])
+    helper = Function("helper", instrs=[
+        Instr(Opcode.RET, (), line=20),
+    ])
+    program.add_function(main)
+    program.add_function(helper)
+    program.add_global(GlobalVar("g", size=2, init=[7, 8]))
+    return program
+
+
+class TestLinking:
+    def test_addresses_assigned_in_order(self):
+        program = make_simple_program().link()
+        assert [i.addr for i in program.instructions] == [0, 1, 2, 3]
+        assert program.functions["main"].entry == 0
+        assert program.functions["helper"].entry == 3
+
+    def test_call_label_resolved(self):
+        program = make_simple_program().link()
+        call = program.instructions[1]
+        assert isinstance(call.operands[0], Imm)
+        assert call.operands[0].value == 3
+
+    def test_func_attribute_set(self):
+        program = make_simple_program().link()
+        assert program.instructions[0].func == "main"
+        assert program.instructions[3].func == "helper"
+
+    def test_globals_after_reserved_base(self):
+        program = make_simple_program().link()
+        assert program.globals["g"].addr == GLOBAL_BASE
+        assert program.data_size == GLOBAL_BASE + 2
+
+    def test_initial_data_image(self):
+        program = make_simple_program().link()
+        image = program.initial_data_image()
+        assert image[GLOBAL_BASE] == 7
+        assert image[GLOBAL_BASE + 1] == 8
+
+    def test_double_link_rejected(self):
+        program = make_simple_program().link()
+        with pytest.raises(LinkError):
+            program.link()
+
+    def test_duplicate_function_rejected(self):
+        program = Program()
+        program.add_function(Function("f"))
+        with pytest.raises(LinkError):
+            program.add_function(Function("f"))
+
+    def test_duplicate_global_rejected(self):
+        program = Program()
+        program.add_global(GlobalVar("g"))
+        with pytest.raises(LinkError):
+            program.add_global(GlobalVar("g"))
+
+    def test_unresolved_label_raises(self):
+        program = Program()
+        program.add_function(Function("main", instrs=[
+            Instr(Opcode.JMP, (Label("nowhere"),)),
+        ]))
+        with pytest.raises(LinkError):
+            program.link()
+
+    def test_local_labels_scoped_per_function(self):
+        program = Program()
+        program.add_function(Function("main", instrs=[
+            Instr(Opcode.JMP, (Label("l"),)),
+            Instr(Opcode.HALT, ()),
+        ]))
+        program.add_function(Function("other", instrs=[
+            Instr(Opcode.JMP, (Label("l"),)),
+            Instr(Opcode.RET, ()),
+        ]))
+        program.link({"main": {"l": 1}, "other": {"l": 1}})
+        assert program.instructions[0].operands[0].value == 1
+        assert program.instructions[2].operands[0].value == 3
+
+    def test_data_def_labels_resolved_in_image(self):
+        program = Program()
+        program.add_function(Function("main", instrs=[
+            Instr(Opcode.HALT, ()),
+        ]))
+        program.add_data(DataDef("jt", values=[Label("main")]))
+        program.link()
+        image = program.initial_data_image()
+        # main is at code address 0, stored values of 0 are omitted.
+        assert image.get(program.data_defs["jt"].addr, 0) == 0
+
+
+class TestQueries:
+    def test_function_at(self):
+        program = make_simple_program().link()
+        assert program.function_at(0).name == "main"
+        assert program.function_at(3).name == "helper"
+        assert program.function_at(99) is None
+
+    def test_line_of(self):
+        program = make_simple_program().link()
+        assert program.line_of(0) == 10
+        assert program.line_of(3) == 20
+        assert program.line_of(99) is None
+
+    def test_addresses_of_line(self):
+        program = make_simple_program().link()
+        assert program.addresses_of_line(11) == [1]
+        assert program.addresses_of_line(11, "helper") == []
+
+    def test_resolve_symbol_order(self):
+        program = make_simple_program().link()
+        assert program.resolve_symbol("main") == 0
+        assert program.resolve_symbol("g") == GLOBAL_BASE
+        assert program.resolve_symbol("nope") is None
+
+    def test_function_contains(self):
+        program = make_simple_program().link()
+        main = program.functions["main"]
+        assert main.contains(0) and main.contains(2)
+        assert not main.contains(3)

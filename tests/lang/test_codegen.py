@@ -1,0 +1,202 @@
+"""Code-generation structure tests: the compiled shape, not just results.
+
+These pin down the properties later layers rely on: switch jump tables
+dispatch through ``ijmp``, prologues/epilogues form save/restore pairs,
+locals are register-allocated unless address-taken, and line debug info
+survives compilation.
+"""
+
+import pytest
+
+from repro.isa.instructions import Opcode
+from repro.lang import CompileError, compile_source
+from repro.lang.symbols import CALLEE_SAVED, layout_function
+from repro.lang.parser import parse
+
+
+def instrs_of(source, func):
+    return compile_source(source).functions[func].instrs
+
+
+class TestSwitchLowering:
+    DENSE = """
+int f(int x) {
+    int r;
+    switch (x) {
+        case 0: r = 1; break;
+        case 1: r = 2; break;
+        case 2: r = 3; break;
+    }
+    return r;
+}
+int main() { return f(1); }
+"""
+    SPARSE = """
+int f(int x) {
+    int r;
+    switch (x) {
+        case 0: r = 1; break;
+        case 100: r = 2; break;
+        case 1000: r = 3; break;
+    }
+    return r;
+}
+int main() { return f(1); }
+"""
+
+    def test_dense_switch_uses_jump_table(self):
+        ops = [i.op for i in instrs_of(self.DENSE, "f")]
+        assert Opcode.IJMP in ops
+
+    def test_dense_switch_emits_table_data(self):
+        program = compile_source(self.DENSE)
+        assert any(name.startswith("__jt_f") for name in program.data_defs)
+
+    def test_sparse_switch_uses_compare_chain(self):
+        ops = [i.op for i in instrs_of(self.SPARSE, "f")]
+        assert Opcode.IJMP not in ops
+
+    def test_jump_table_covers_holes_with_default(self):
+        source = """
+int f(int x) {
+    int r;
+    switch (x) {
+        case 0: r = 1; break;
+        case 2: r = 3; break;
+        case 4: r = 5; break;
+        default: r = -1;
+    }
+    return r;
+}
+int main() { return 0; }
+"""
+        program = compile_source(source)
+        table = next(d for name, d in program.data_defs.items()
+                     if name.startswith("__jt_f"))
+        assert len(table.values) == 5  # 0..4 inclusive
+
+
+class TestPrologueEpilogue:
+    SOURCE = """
+int f(int a) {
+    int x; int y;
+    x = a + 1;
+    y = x * 2;
+    return y;
+}
+int main() { return f(1); }
+"""
+
+    def test_prologue_saves_fp_and_callee_saved(self):
+        instrs = instrs_of(self.SOURCE, "f")
+        assert instrs[0].op == Opcode.PUSH
+        assert instrs[0].operands[0].name == "fp"
+        pushed = [i.operands[0].name for i in instrs[:8]
+                  if i.op == Opcode.PUSH]
+        assert "r4" in pushed and "r5" in pushed
+
+    def test_epilogue_restores_in_reverse(self):
+        instrs = instrs_of(self.SOURCE, "f")
+        pops = [i.operands[0].name for i in instrs if i.op == Opcode.POP]
+        assert pops[-1] == "fp"
+        assert pops[:-1] == ["r5", "r4"]
+
+    def test_single_ret(self):
+        instrs = instrs_of(self.SOURCE, "f")
+        assert sum(1 for i in instrs if i.op == Opcode.RET) == 1
+        assert instrs[-1].op == Opcode.RET
+
+
+class TestLocalAllocation:
+    def test_scalars_in_registers(self):
+        unit = parse("int f() { int a; int b; return a + b; } int main() {}")
+        layout = layout_function(unit.functions[0])
+        assert layout.slots["a"].storage == "reg"
+        assert layout.slots["b"].storage == "reg"
+        assert layout.slots["a"].reg in CALLEE_SAVED
+
+    def test_address_taken_forces_stack(self):
+        unit = parse("int f() { int a; lock(&a); return a; } int main() {}")
+        layout = layout_function(unit.functions[0])
+        assert layout.slots["a"].storage == "stack"
+
+    def test_arrays_on_stack(self):
+        unit = parse("int f() { int a[4]; return a[0]; } int main() {}")
+        layout = layout_function(unit.functions[0])
+        assert layout.slots["a"].storage == "stack"
+        assert layout.stack_words == 4
+
+    def test_register_overflow_to_stack(self):
+        source = ("int f() { int a; int b; int c; int d; int e; int g; "
+                  "return a; } int main() {}")
+        layout = layout_function(parse(source).functions[0])
+        storages = [layout.slots[n].storage for n in "abcdeg"]
+        assert storages.count("reg") == len(CALLEE_SAVED)
+        assert storages.count("stack") == 2
+
+    def test_params_at_positive_offsets(self):
+        unit = parse("int f(int a, int b) { return a; } int main() {}")
+        layout = layout_function(unit.functions[0])
+        assert layout.slots["a"].offset == 2
+        assert layout.slots["b"].offset == 3
+
+    def test_duplicate_local_rejected(self):
+        with pytest.raises(CompileError):
+            compile_source("int f() { int a; int a; return 0; } int main() {}")
+
+
+class TestDebugInfo:
+    def test_lines_attached_to_instructions(self):
+        source = "int main() {\n  int x;\n  x = 1;\n  return x;\n}\n"
+        program = compile_source(source)
+        lines = {i.line for i in program.functions["main"].instrs}
+        assert 3 in lines and 4 in lines
+
+    def test_reg_locals_in_debug_info(self):
+        program = compile_source(
+            "int main() { int x; x = 1; return x; }")
+        assert "x" in program.functions["main"].reg_locals
+
+    def test_stack_locals_in_debug_info(self):
+        program = compile_source(
+            "int main() { int a[2]; a[0] = 1; return a[0]; }")
+        assert "a" in program.functions["main"].local_offsets
+
+
+class TestErrors:
+    def test_unknown_variable(self):
+        with pytest.raises(CompileError):
+            compile_source("int main() { return nope; }")
+
+    def test_unknown_function(self):
+        with pytest.raises(CompileError):
+            compile_source("int main() { return nope(); }")
+
+    def test_builtin_arity(self):
+        with pytest.raises(CompileError):
+            compile_source("int main() { print(1, 2); return 0; }")
+
+    def test_break_outside_loop(self):
+        with pytest.raises(CompileError):
+            compile_source("int main() { break; }")
+
+    def test_continue_outside_loop(self):
+        with pytest.raises(CompileError):
+            compile_source("int main() { continue; }")
+
+    def test_continue_in_switch_requires_loop(self):
+        with pytest.raises(CompileError):
+            compile_source(
+                "int main() { switch (1) { case 1: continue; } return 0; }")
+
+    def test_no_main(self):
+        with pytest.raises(CompileError):
+            compile_source("int f() { return 0; }")
+
+    def test_assign_to_array_name(self):
+        with pytest.raises(CompileError):
+            compile_source("int a[3]; int main() { a = 1; return 0; }")
+
+    def test_spawn_needs_function(self):
+        with pytest.raises(CompileError):
+            compile_source("int main() { return spawn(5, 0); }")

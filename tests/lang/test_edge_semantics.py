@@ -1,0 +1,212 @@
+"""Edge-case semantics: interactions between language features."""
+
+import pytest
+
+from tests.conftest import run_and_output, run_minic
+
+
+class TestNestedConstructs:
+    def test_switch_inside_loop_break_scopes_to_switch(self):
+        source = """
+int main() {
+    int i; int s;
+    s = 0;
+    for (i = 0; i < 4; i = i + 1) {
+        switch (i) {
+            case 0: s += 1; break;   // breaks the switch, not the loop
+            case 1: s += 10; break;
+            default: s += 100;
+        }
+    }
+    print(s);
+    return 0;
+}
+"""
+        assert run_and_output(source) == [1 + 10 + 100 + 100]
+
+    def test_continue_inside_switch_targets_loop(self):
+        source = """
+int main() {
+    int i; int s;
+    s = 0;
+    for (i = 0; i < 5; i = i + 1) {
+        switch (i % 2) {
+            case 0: continue;
+        }
+        s += i;
+    }
+    print(s);
+    return 0;
+}
+"""
+        assert run_and_output(source) == [1 + 3]
+
+    def test_nested_ternaries_in_call_args(self):
+        source = """
+int pick(int a, int b) { return a * 10 + b; }
+int main() {
+    print(pick(1 < 2 ? 3 : 4, 5 > 6 ? 7 : 8));
+    return 0;
+}
+"""
+        assert run_and_output(source) == [38]
+
+    def test_call_in_condition(self):
+        source = """
+int counter;
+int bump() { counter += 1; return counter; }
+int main() {
+    while (bump() < 4) { }
+    print(counter);
+    return 0;
+}
+"""
+        assert run_and_output(source) == [4]
+
+    def test_recursion_with_switch(self):
+        source = """
+int collatz_steps(int n, int depth) {
+    if (n == 1) { return depth; }
+    switch (n % 2) {
+        case 0: return collatz_steps(n / 2, depth + 1);
+        case 1: return collatz_steps(3 * n + 1, depth + 1);
+    }
+    return -1;
+}
+int main() { print(collatz_steps(6, 0)); return 0; }
+"""
+        # 6 -> 3 -> 10 -> 5 -> 16 -> 8 -> 4 -> 2 -> 1 : 8 steps
+        assert run_and_output(source) == [8]
+
+
+class TestPointersAndArrays:
+    def test_pointer_walk_with_compound_assign(self):
+        source = """
+int a[5] = {1, 2, 3, 4, 5};
+int main() {
+    int p; int s; int i;
+    p = a;
+    s = 0;
+    for (i = 0; i < 5; i++) {
+        s += *(p + i);
+    }
+    print(s);
+    return 0;
+}
+"""
+        assert run_and_output(source) == [15]
+
+    def test_array_of_function_results(self):
+        source = """
+int sq(int x) { return x * x; }
+int main() {
+    int a[4]; int i; int s;
+    for (i = 0; i < 4; i++) { a[i] = sq(i); }
+    s = 0;
+    for (i = 0; i < 4; i++) { s += a[i]; }
+    print(s);
+    return 0;
+}
+"""
+        assert run_and_output(source) == [0 + 1 + 4 + 9]
+
+    def test_heap_linked_chain(self):
+        """malloc'd two-word cells: [value, next] — a linked list."""
+        source = """
+int main() {
+    int head; int node; int prev; int i; int s;
+    head = 0;
+    for (i = 1; i <= 4; i++) {
+        node = malloc(2);
+        *node = i * i;
+        node[1] = head;
+        head = node;
+    }
+    s = 0;
+    node = head;
+    while (node != 0) {
+        s += *node;
+        node = node[1];
+    }
+    print(s);
+    return 0;
+}
+"""
+        assert run_and_output(source) == [1 + 4 + 9 + 16]
+
+    def test_swap_through_pointers(self):
+        source = """
+int swap(int p, int q) {
+    int t;
+    t = *p;
+    *p = *q;
+    *q = t;
+    return 0;
+}
+int main() {
+    int a; int b;
+    a = 1; b = 2;
+    swap(&a, &b);
+    print(a); print(b);
+    return 0;
+}
+"""
+        assert run_and_output(source) == [2, 1]
+
+
+class TestThreadsEdge:
+    def test_thread_spawning_threads(self):
+        source = """
+int total; int m;
+int leaf(int v) {
+    lock(&m);
+    total += v;
+    unlock(&m);
+    return 0;
+}
+int middle(int v) {
+    int a; int b;
+    a = spawn(leaf, v);
+    b = spawn(leaf, v * 10);
+    join(a); join(b);
+    return 0;
+}
+int main() {
+    int t;
+    t = spawn(middle, 1);
+    join(t);
+    print(total);
+    return 0;
+}
+"""
+        assert run_and_output(source) == [11]
+
+    def test_many_threads(self):
+        source = """
+int total; int m;
+int worker(int v) {
+    lock(&m);
+    total += v;
+    unlock(&m);
+    return 0;
+}
+int main() {
+    int tids[8]; int i;
+    for (i = 0; i < 8; i++) { tids[i] = spawn(worker, i + 1); }
+    for (i = 0; i < 8; i++) { join(tids[i]); }
+    print(total);
+    return 0;
+}
+"""
+        assert run_and_output(source) == [36]
+
+    def test_exit_value_through_join_chain(self):
+        source = """
+int triple(int v) { return v * 3; }
+int relay(int v) { return join(spawn(triple, v)) + 1; }
+int main() {
+    print(join(spawn(relay, 5)));
+    return 0;
+}
+"""
+        assert run_and_output(source) == [16]

@@ -1,0 +1,172 @@
+"""Tests for the C-flavoured language extensions: compound assignment,
+increment/decrement statements, and do-while."""
+
+import pytest
+
+from repro.lang import CompileError, compile_source, parse
+from repro.lang import ast
+
+from tests.conftest import run_and_output
+
+
+class TestParsing:
+    def test_compound_assign_carries_op(self):
+        unit = parse("int main() { int x; x += 2; }")
+        stmt = unit.functions[0].body.body[1]
+        assert isinstance(stmt, ast.Assign)
+        assert stmt.op == "+"
+
+    def test_increment_desugars(self):
+        unit = parse("int main() { int x; x++; x--; }")
+        inc, dec = unit.functions[0].body.body[1:3]
+        assert inc.op == "+" and isinstance(inc.value, ast.NumberLit)
+        assert dec.op == "-"
+
+    def test_do_while_node(self):
+        unit = parse("int main() { int x; do { x++; } while (x < 3); }")
+        stmt = unit.functions[0].body.body[1]
+        assert isinstance(stmt, ast.DoWhile)
+        assert stmt.body is not None and stmt.cond is not None
+
+    def test_do_while_requires_semicolon(self):
+        with pytest.raises(CompileError):
+            parse("int main() { do { } while (1) }")
+
+    def test_all_compound_ops_accepted(self):
+        for op in ("+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+                   "<<=", ">>="):
+            parse("int main() { int x; x %s 1; }" % op)
+
+
+class TestSemantics:
+    def test_compound_on_globals(self):
+        source = """
+int g = 10;
+int main() {
+    g += 7;  print(g);
+    g *= 2;  print(g);
+    return 0;
+}
+"""
+        assert run_and_output(source) == [17, 34]
+
+    def test_compound_on_array_elements(self):
+        source = """
+int a[3] = {1, 2, 3};
+int main() {
+    a[1] += 10;
+    a[2] <<= 3;
+    print(a[0]); print(a[1]); print(a[2]);
+    return 0;
+}
+"""
+        assert run_and_output(source) == [1, 12, 24]
+
+    def test_compound_through_pointer(self):
+        source = """
+int g = 5;
+int main() {
+    int p;
+    p = &g;
+    *p += 100;
+    print(g);
+    return 0;
+}
+"""
+        assert run_and_output(source) == [105]
+
+    def test_address_side_effects_once(self):
+        """`a[f()] += 1` must evaluate f() exactly once."""
+        source = """
+int a[4];
+int calls;
+int f() { calls++; return 1; }
+int main() {
+    a[f()] += 9;
+    print(a[1]);
+    print(calls);
+    return 0;
+}
+"""
+        assert run_and_output(source) == [9, 1]
+
+    def test_increment_in_for_step(self):
+        source = """
+int main() {
+    int i; int s;
+    s = 0;
+    for (i = 0; i < 5; i++) { s += i; }
+    print(s);
+    return 0;
+}
+"""
+        assert run_and_output(source) == [10]
+
+    def test_do_while_runs_at_least_once(self):
+        source = """
+int main() {
+    int n;
+    n = 0;
+    do { n++; } while (0);
+    print(n);
+    return 0;
+}
+"""
+        assert run_and_output(source) == [1]
+
+    def test_do_while_loops_until_false(self):
+        source = """
+int main() {
+    int n; int s;
+    n = 0; s = 0;
+    do { n++; s += n; } while (n < 4);
+    print(n); print(s);
+    return 0;
+}
+"""
+        assert run_and_output(source) == [4, 10]
+
+    def test_do_while_break_and_continue(self):
+        source = """
+int main() {
+    int n; int s;
+    n = 0; s = 0;
+    do {
+        n++;
+        if (n % 2 == 0) { continue; }
+        if (n > 7) { break; }
+        s += n;
+    } while (n < 100);
+    print(s);
+    return 0;
+}
+"""
+        # odd n <= 7: 1 + 3 + 5 + 7
+        assert run_and_output(source) == [16]
+
+    def test_nested_do_while(self):
+        source = """
+int main() {
+    int i; int j; int c;
+    c = 0; i = 0;
+    do {
+        j = 0;
+        do { j++; c++; } while (j < 3);
+        i++;
+    } while (i < 2);
+    print(c);
+    return 0;
+}
+"""
+        assert run_and_output(source) == [6]
+
+    def test_compound_float(self):
+        source = """
+float f = 1.5;
+int main() {
+    f *= 4.0;
+    print(f);
+    return 0;
+}
+"""
+        assert run_and_output(source) == [6.0]

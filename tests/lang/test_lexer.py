@@ -1,0 +1,96 @@
+"""Unit tests for the MiniC lexer."""
+
+import pytest
+
+from repro.lang.errors import CompileError
+from repro.lang.lexer import tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)[:-1]]
+
+
+class TestBasics:
+    def test_empty(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1 and tokens[0].kind == "eof"
+
+    def test_identifiers_and_keywords(self):
+        tokens = tokenize("int foo while bar")
+        assert [t.kind for t in tokens[:-1]] == ["kw", "ident", "kw", "ident"]
+
+    def test_int_literals(self):
+        tokens = tokenize("0 42 123456")
+        assert [t.value for t in tokens[:-1]] == [0, 42, 123456]
+        assert all(t.kind == "int" for t in tokens[:-1])
+
+    def test_hex_literals(self):
+        tokens = tokenize("0x10 0xff")
+        assert [t.value for t in tokens[:-1]] == [16, 255]
+
+    def test_float_literals(self):
+        tokens = tokenize("1.5 0.25 2e3 1.5e-2")
+        assert [t.value for t in tokens[:-1]] == [1.5, 0.25, 2000.0, 0.015]
+        assert all(t.kind == "float" for t in tokens[:-1])
+
+    def test_multi_char_operators(self):
+        assert texts("<= >= == != && || << >>") == [
+            "<=", ">=", "==", "!=", "&&", "||", "<<", ">>"]
+
+    def test_compound_assignment_operators(self):
+        assert texts("+= -= *= /= %= &= |= ^= <<= >>= ++ --") == [
+            "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+            "<<=", ">>=", "++", "--"]
+
+    def test_maximal_munch(self):
+        # Longest operator wins: "<<=" is one token, like C.
+        assert texts("a<<=b") == ["a", "<<=", "b"]
+        assert texts("a+ +b") == ["a", "+", "+", "b"]
+        assert texts("a++b") == ["a", "++", "b"]
+
+    def test_single_char_operators(self):
+        assert texts("+ - * / % & | ^ ~ ! ( ) { } [ ] ; , ? :") == [
+            "+", "-", "*", "/", "%", "&", "|", "^", "~", "!",
+            "(", ")", "{", "}", "[", "]", ";", ",", "?", ":"]
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert texts("a // comment here\nb") == ["a", "b"]
+
+    def test_block_comment(self):
+        assert texts("a /* x\ny */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(CompileError):
+            tokenize("a /* never closed")
+
+
+class TestPositions:
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb\n\nc")
+        assert [t.line for t in tokens[:-1]] == [1, 2, 4]
+
+    def test_line_numbers_after_block_comment(self):
+        tokens = tokenize("/* one\ntwo */ x")
+        assert tokens[0].line == 2
+
+    def test_columns(self):
+        tokens = tokenize("ab cd")
+        assert tokens[0].col == 1
+        assert tokens[1].col == 4
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(CompileError) as excinfo:
+            tokenize("a $ b")
+        assert "line 1" in str(excinfo.value)
+
+    def test_bad_number(self):
+        with pytest.raises(CompileError):
+            tokenize("1.2.3")

@@ -1,0 +1,202 @@
+"""Unit tests for the MiniC parser (AST shapes and error reporting)."""
+
+import pytest
+
+from repro.lang import ast, parse
+from repro.lang.errors import CompileError
+
+
+def parse_main(body):
+    unit = parse("int main() { %s }" % body)
+    return unit.functions[0].body.body
+
+
+class TestTopLevel:
+    def test_globals_and_functions(self):
+        unit = parse("""
+int g;
+float f = 1.5;
+int arr[4] = {1, 2, 3};
+int main() { return 0; }
+""")
+        assert [g.name for g in unit.globals] == ["g", "f", "arr"]
+        assert unit.globals[1].init == [1.5]
+        assert unit.globals[2].array_size == 4
+        assert unit.globals[2].init == [1, 2, 3]
+        assert unit.functions[0].name == "main"
+
+    def test_function_params(self):
+        unit = parse("int f(int a, float b) { return 0; } int main() {}")
+        assert unit.functions[0].params == [("int", "a"), ("float", "b")]
+
+    def test_negative_global_init(self):
+        unit = parse("int g = -5; int main() {}")
+        assert unit.globals[0].init == [-5]
+
+
+class TestStatements:
+    def test_local_decl_with_init(self):
+        stmts = parse_main("int x = 3;")
+        assert isinstance(stmts[0], ast.LocalDecl)
+        assert stmts[0].name == "x"
+        assert isinstance(stmts[0].init, ast.NumberLit)
+
+    def test_local_array_decl(self):
+        stmts = parse_main("int a[10];")
+        assert stmts[0].array_size == 10
+
+    def test_assignment(self):
+        stmts = parse_main("x = 1;")
+        assert isinstance(stmts[0], ast.Assign)
+        assert isinstance(stmts[0].target, ast.VarRef)
+
+    def test_indexed_assignment(self):
+        stmts = parse_main("a[i+1] = 2;")
+        assert isinstance(stmts[0].target, ast.Index)
+
+    def test_deref_assignment(self):
+        stmts = parse_main("*p = 2;")
+        assert isinstance(stmts[0].target, ast.Unary)
+        assert stmts[0].target.op == "*"
+
+    def test_if_else(self):
+        stmts = parse_main("if (x) { y = 1; } else { y = 2; }")
+        node = stmts[0]
+        assert isinstance(node, ast.If)
+        assert node.otherwise is not None
+
+    def test_if_without_else(self):
+        stmts = parse_main("if (x) y = 1;")
+        assert stmts[0].otherwise is None
+
+    def test_while(self):
+        stmts = parse_main("while (x < 10) { x = x + 1; }")
+        assert isinstance(stmts[0], ast.While)
+
+    def test_for_full(self):
+        stmts = parse_main("for (i = 0; i < 5; i = i + 1) { s = s + i; }")
+        node = stmts[0]
+        assert isinstance(node, ast.For)
+        assert node.init is not None and node.cond is not None
+        assert node.step is not None
+
+    def test_for_empty_clauses(self):
+        stmts = parse_main("for (;;) { break; }")
+        node = stmts[0]
+        assert node.init is None and node.cond is None and node.step is None
+
+    def test_break_continue_return(self):
+        stmts = parse_main("while (1) { break; } while (1) { continue; } return 5;")
+        assert isinstance(stmts[0].body.body[0], ast.Break)
+        assert isinstance(stmts[1].body.body[0], ast.Continue)
+        assert isinstance(stmts[2], ast.Return)
+        assert isinstance(stmts[2].value, ast.NumberLit)
+
+    def test_switch(self):
+        stmts = parse_main("""
+switch (x) {
+    case 1: a = 1; break;
+    case -2: a = 2; break;
+    default: a = 0;
+}
+""")
+        node = stmts[0]
+        assert isinstance(node, ast.Switch)
+        assert [c.value for c in node.cases] == [1, -2, None]
+        assert len(node.cases[0].body) == 2  # assignment + break
+
+    def test_switch_fallthrough_bodies(self):
+        stmts = parse_main("switch (x) { case 1: case 2: a = 1; }")
+        node = stmts[0]
+        assert node.cases[0].body == []
+        assert len(node.cases[1].body) == 1
+
+    def test_nested_blocks(self):
+        stmts = parse_main("{ { x = 1; } }")
+        assert isinstance(stmts[0], ast.Block)
+
+
+class TestExpressions:
+    def expr(self, text):
+        stmts = parse_main("x = %s;" % text)
+        return stmts[0].value
+
+    def test_precedence_mul_over_add(self):
+        node = self.expr("1 + 2 * 3")
+        assert node.op == "+"
+        assert node.right.op == "*"
+
+    def test_precedence_compare_over_and(self):
+        node = self.expr("a < b && c > d")
+        assert node.op == "&&"
+        assert node.left.op == "<"
+
+    def test_left_associativity(self):
+        node = self.expr("1 - 2 - 3")
+        assert node.op == "-"
+        assert node.left.op == "-"
+
+    def test_parentheses(self):
+        node = self.expr("(1 + 2) * 3")
+        assert node.op == "*"
+        assert node.left.op == "+"
+
+    def test_unary_chain(self):
+        node = self.expr("-!x")
+        assert node.op == "-"
+        assert node.operand.op == "!"
+
+    def test_address_and_deref(self):
+        node = self.expr("*(&y + 1)")
+        assert node.op == "*"
+        assert node.operand.op == "+"
+        assert node.operand.left.op == "&"
+
+    def test_ternary(self):
+        node = self.expr("a ? b : c")
+        assert isinstance(node, ast.Conditional)
+
+    def test_ternary_right_assoc(self):
+        node = self.expr("a ? b : c ? d : e")
+        assert isinstance(node.otherwise, ast.Conditional)
+
+    def test_call_with_args(self):
+        node = self.expr("f(1, g(2), h())")
+        assert isinstance(node, ast.Call)
+        assert len(node.args) == 3
+        assert isinstance(node.args[1], ast.Call)
+
+    def test_indexing_chain(self):
+        node = self.expr("a[1][2]")
+        assert isinstance(node, ast.Index)
+        assert isinstance(node.base, ast.Index)
+
+    def test_shift_and_bitops(self):
+        node = self.expr("a | b ^ c & d << 2")
+        assert node.op == "|"
+        assert node.right.op == "^"
+        assert node.right.right.op == "&"
+        assert node.right.right.right.op == "<<"
+
+
+class TestErrors:
+    def test_missing_semicolon(self):
+        with pytest.raises(CompileError):
+            parse("int main() { x = 1 }")
+
+    def test_bad_case_label(self):
+        with pytest.raises(CompileError):
+            parse("int main() { switch (x) { case y: break; } }")
+
+    def test_statement_before_case(self):
+        with pytest.raises(CompileError):
+            parse("int main() { switch (x) { a = 1; } }")
+
+    def test_bad_type(self):
+        with pytest.raises(CompileError):
+            parse("string main() { }")
+
+    def test_error_has_line(self):
+        with pytest.raises(CompileError) as excinfo:
+            parse("int main() {\n  x = ;\n}")
+        assert "line 2" in str(excinfo.value)

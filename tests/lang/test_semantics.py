@@ -1,0 +1,431 @@
+"""Execution-based semantics tests: compiled MiniC behaves like C."""
+
+import pytest
+
+from tests.conftest import run_and_output, run_minic
+
+
+def out1(expr, decls=""):
+    """Run ``print(expr)`` in main and return the single printed value."""
+    source = "%s\nint main() { print(%s); return 0; }" % (decls, expr)
+    output = run_and_output(source)
+    assert len(output) == 1
+    return output[0]
+
+
+class TestArithmetic:
+    def test_basic(self):
+        assert out1("1 + 2 * 3 - 4") == 3
+
+    def test_precedence_with_parens(self):
+        assert out1("(1 + 2) * (3 + 4)") == 21
+
+    def test_division_truncates_toward_zero(self):
+        assert out1("7 / 2") == 3
+        assert out1("-7 / 2") == -3
+        assert out1("7 / -2") == -3
+
+    def test_modulo_sign_follows_dividend(self):
+        assert out1("7 % 3") == 1
+        assert out1("-7 % 3") == -1
+        assert out1("7 % -3") == 1
+
+    def test_bitwise(self):
+        assert out1("12 & 10") == 8
+        assert out1("12 | 10") == 14
+        assert out1("12 ^ 10") == 6
+        assert out1("~0") == -1
+
+    def test_shifts(self):
+        assert out1("3 << 4") == 48
+        assert out1("48 >> 4") == 3
+
+    def test_comparisons(self):
+        assert out1("3 < 5") == 1
+        assert out1("5 < 3") == 0
+        assert out1("3 <= 3") == 1
+        assert out1("3 == 3") == 1
+        assert out1("3 != 3") == 0
+        assert out1("5 >= 6") == 0
+
+    def test_unary(self):
+        assert out1("-(3 + 4)") == -7
+        assert out1("!0") == 1
+        assert out1("!7") == 0
+
+    def test_float_arithmetic(self):
+        assert out1("1.5 + 2.5") == 4.0
+        assert abs(out1("1.0 / 4.0") - 0.25) < 1e-12
+
+    def test_deep_expression_spills(self):
+        # Deeper than the 3-register eval stack: forces spill paths.
+        expr = "((1+2)*(3+4)) + ((5+6)*(7+8)) + ((9+10)*(11+12))"
+        assert out1(expr) == 21 + 165 + 437
+
+    def test_very_deep_nesting(self):
+        expr = "1"
+        for i in range(2, 12):
+            expr = "(%s + %d)" % (expr, i)
+        assert out1(expr) == sum(range(1, 12))
+
+
+class TestShortCircuit:
+    def test_and_or_values(self):
+        assert out1("1 && 2") == 1
+        assert out1("0 && 2") == 0
+        assert out1("0 || 3") == 1
+        assert out1("0 || 0") == 0
+
+    def test_and_short_circuits(self):
+        # Division by zero on the right must not execute.
+        source = """
+int main() {
+    int z;
+    z = 0;
+    print(z != 0 && 10 / z > 0);
+    return 0;
+}
+"""
+        assert run_and_output(source) == [0]
+
+    def test_or_short_circuits(self):
+        source = """
+int main() {
+    int z;
+    z = 0;
+    print(z == 0 || 10 / z > 0);
+    return 0;
+}
+"""
+        assert run_and_output(source) == [1]
+
+
+class TestControlFlow:
+    def test_if_else_chain(self):
+        source = """
+int grade(int s) {
+    if (s >= 90) { return 4; }
+    else if (s >= 80) { return 3; }
+    else if (s >= 70) { return 2; }
+    else { return 0; }
+}
+int main() {
+    print(grade(95)); print(grade(85)); print(grade(72)); print(grade(10));
+    return 0;
+}
+"""
+        assert run_and_output(source) == [4, 3, 2, 0]
+
+    def test_while_loop(self):
+        source = """
+int main() {
+    int i; int s;
+    s = 0; i = 1;
+    while (i <= 10) { s = s + i; i = i + 1; }
+    print(s);
+    return 0;
+}
+"""
+        assert run_and_output(source) == [55]
+
+    def test_for_with_break_continue(self):
+        source = """
+int main() {
+    int i; int s;
+    s = 0;
+    for (i = 0; i < 100; i = i + 1) {
+        if (i % 2 == 0) { continue; }
+        if (i > 10) { break; }
+        s = s + i;
+    }
+    print(s);
+    return 0;
+}
+"""
+        assert run_and_output(source) == [1 + 3 + 5 + 7 + 9]
+
+    def test_nested_loops(self):
+        source = """
+int main() {
+    int i; int j; int s;
+    s = 0;
+    for (i = 0; i < 4; i = i + 1) {
+        for (j = 0; j < 4; j = j + 1) {
+            if (j > i) { break; }
+            s = s + 1;
+        }
+    }
+    print(s);
+    return 0;
+}
+"""
+        assert run_and_output(source) == [1 + 2 + 3 + 4]
+
+    def test_switch_dense(self):
+        source = """
+int f(int x) {
+    switch (x) {
+        case 0: return 10;
+        case 1: return 11;
+        case 2: return 12;
+        default: return -1;
+    }
+}
+int main() {
+    print(f(0)); print(f(2)); print(f(5)); print(f(-3));
+    return 0;
+}
+"""
+        assert run_and_output(source) == [10, 12, -1, -1]
+
+    def test_switch_fallthrough(self):
+        source = """
+int main() {
+    int r;
+    r = 0;
+    switch (1) {
+        case 0: r = r + 1;
+        case 1: r = r + 10;
+        case 2: r = r + 100;
+        break;
+        case 3: r = r + 1000;
+    }
+    print(r);
+    return 0;
+}
+"""
+        assert run_and_output(source) == [110]
+
+    def test_ternary(self):
+        assert out1("5 > 3 ? 10 : 20") == 10
+        assert out1("5 < 3 ? 10 : 20") == 20
+
+
+class TestFunctions:
+    def test_recursion_fib(self):
+        source = """
+int fib(int n) {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+int main() { print(fib(12)); return 0; }
+"""
+        assert run_and_output(source) == [144]
+
+    def test_mutual_recursion(self):
+        source = """
+int is_odd(int n);
+int is_even(int n) {
+    if (n == 0) { return 1; }
+    return is_odd(n - 1);
+}
+int is_odd(int n) {
+    if (n == 0) { return 0; }
+    return is_even(n - 1);
+}
+int main() { print(is_even(10)); print(is_odd(10)); return 0; }
+"""
+        # Forward declarations are not supported; rewrite without them.
+        source = """
+int helper(int n, int want_even) {
+    if (n == 0) { return want_even; }
+    return helper(n - 1, 1 - want_even);
+}
+int main() { print(helper(10, 1)); print(helper(9, 1)); return 0; }
+"""
+        assert run_and_output(source) == [1, 0]
+
+    def test_multiple_args(self):
+        source = """
+int f(int a, int b, int c) { return a * 100 + b * 10 + c; }
+int main() { print(f(1, 2, 3)); return 0; }
+"""
+        assert run_and_output(source) == [123]
+
+    def test_fall_off_end_returns_zero(self):
+        source = "int f() { } int main() { print(f() + 7); return 0; }"
+        assert run_and_output(source) == [7]
+
+    def test_locals_preserved_across_calls(self):
+        # Caller's register locals must survive the callee (save/restore).
+        source = """
+int clobber(int n) {
+    int a; int b; int c; int d;
+    a = n; b = n + 1; c = n + 2; d = n + 3;
+    return a + b + c + d;
+}
+int main() {
+    int x; int y;
+    x = 5;
+    y = clobber(100);
+    print(x);
+    print(y);
+    return 0;
+}
+"""
+        assert run_and_output(source) == [5, 406]
+
+    def test_deep_call_chain(self):
+        source = """
+int f3(int x) { int t; t = x * 2; return t + 1; }
+int f2(int x) { int t; t = f3(x) + 3; return t; }
+int f1(int x) { int t; t = f2(x) * f3(x); return t; }
+int main() { print(f1(4)); return 0; }
+"""
+        assert run_and_output(source) == [(4 * 2 + 1 + 3) * (4 * 2 + 1)]
+
+
+class TestArraysAndPointers:
+    def test_global_array(self):
+        source = """
+int a[5];
+int main() {
+    int i;
+    for (i = 0; i < 5; i = i + 1) { a[i] = i * i; }
+    print(a[0] + a[1] + a[2] + a[3] + a[4]);
+    return 0;
+}
+"""
+        assert run_and_output(source) == [30]
+
+    def test_global_array_initializer(self):
+        source = """
+int a[4] = {10, 20, 30, 40};
+int main() { print(a[2]); return 0; }
+"""
+        assert run_and_output(source) == [30]
+
+    def test_local_array(self):
+        source = """
+int main() {
+    int a[3]; int i; int s;
+    for (i = 0; i < 3; i = i + 1) { a[i] = i + 1; }
+    s = a[0] * a[1] * a[2];
+    print(s);
+    return 0;
+}
+"""
+        assert run_and_output(source) == [6]
+
+    def test_pointer_to_global(self):
+        source = """
+int g;
+int main() {
+    int p;
+    p = &g;
+    *p = 42;
+    print(g);
+    return 0;
+}
+"""
+        assert run_and_output(source) == [42]
+
+    def test_pointer_to_local(self):
+        source = """
+int main() {
+    int x; int p;
+    x = 1;
+    p = &x;
+    *p = 99;
+    print(x);
+    return 0;
+}
+"""
+        assert run_and_output(source) == [99]
+
+    def test_pointer_arithmetic_into_array(self):
+        source = """
+int a[4] = {5, 6, 7, 8};
+int main() {
+    int p;
+    p = &a[1];
+    print(*p);
+    print(*(p + 2));
+    return 0;
+}
+"""
+        assert run_and_output(source) == [6, 8]
+
+    def test_malloc_free(self):
+        source = """
+int main() {
+    int p; int q;
+    p = malloc(4);
+    *p = 11;
+    p[1] = 22;
+    print(*p + p[1]);
+    free(p);
+    q = malloc(4);
+    print(q == p);
+    return 0;
+}
+"""
+        # The freed block is reused by the next same-size allocation.
+        assert run_and_output(source) == [33, 1]
+
+
+class TestBuiltins:
+    def test_input_stream(self):
+        source = """
+int main() {
+    print(input() + input());
+    print(input());
+    return 0;
+}
+"""
+        assert run_and_output(source, inputs=[10, 20, 30]) == [30, 30]
+
+    def test_input_exhausted_returns_zero(self):
+        source = "int main() { print(input()); return 0; }"
+        assert run_and_output(source, inputs=[]) == [0]
+
+    def test_rand_bounded_and_deterministic(self):
+        source = """
+int main() {
+    int i;
+    for (i = 0; i < 20; i = i + 1) { print(rand(10)); }
+    return 0;
+}
+"""
+        first = run_and_output(source, rand_seed=5)
+        second = run_and_output(source, rand_seed=5)
+        assert first == second
+        assert all(0 <= v < 10 for v in first)
+        assert run_and_output(source, rand_seed=6) != first
+
+    def test_exit_stops_program(self):
+        source = """
+int main() {
+    print(1);
+    exit(3);
+    print(2);
+    return 0;
+}
+"""
+        machine = run_minic(source)
+        assert machine.output == [1]
+        assert machine.exit_code == 3
+
+    def test_assert_failure_recorded(self):
+        source = "int main() { assert(1 == 2, 77); return 0; }"
+        machine = run_minic(source)
+        assert machine.failure is not None
+        assert machine.failure["code"] == 77
+
+    def test_assert_pass_is_noop(self):
+        source = "int main() { assert(1 == 1, 77); print(5); return 0; }"
+        machine = run_minic(source)
+        assert machine.failure is None
+        assert machine.output == [5]
+
+    def test_time_is_monotonic(self):
+        source = """
+int main() {
+    int a; int b;
+    a = time();
+    b = time();
+    print(b >= a);
+    return 0;
+}
+"""
+        assert run_and_output(source) == [1]

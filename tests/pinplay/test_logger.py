@@ -1,0 +1,141 @@
+"""Unit tests for the logger: regions, schedules, syscall/memory capture."""
+
+import pytest
+
+from repro.lang import compile_source
+from repro.pinplay import RegionSpec, record_region, replay
+from repro.vm import Machine, RandomScheduler, RoundRobinScheduler
+
+
+LOOP_PROGRAM = """
+int total;
+int main() {
+    int i;
+    for (i = 0; i < 200; i = i + 1) { total = total + i; }
+    print(total);
+    return 0;
+}
+"""
+
+RACY_PROGRAM = """
+int shared; int mtx;
+int worker(int n) {
+    int i;
+    for (i = 0; i < n; i = i + 1) {
+        lock(&mtx);
+        shared = shared + 1;
+        unlock(&mtx);
+    }
+    return 0;
+}
+int main() {
+    int a; int b;
+    a = spawn(worker, 20);
+    b = spawn(worker, 20);
+    join(a); join(b);
+    print(shared);
+    return 0;
+}
+"""
+
+
+class TestWholeProgram:
+    def test_captures_end_reason_and_output(self):
+        program = compile_source(LOOP_PROGRAM)
+        pinball = record_region(program, RoundRobinScheduler(), RegionSpec())
+        assert pinball.meta["end_reason"] == "program_end"
+        assert pinball.meta["output"] == [sum(range(200))]
+        assert pinball.kind == "whole"
+
+    def test_schedule_steps_match_meta(self):
+        program = compile_source(LOOP_PROGRAM)
+        pinball = record_region(program, RoundRobinScheduler(), RegionSpec())
+        assert pinball.total_steps == pinball.meta["schedule_steps"]
+
+    def test_nondet_syscalls_recorded_per_thread(self):
+        source = """
+int main() {
+    print(input() + input());
+    print(rand(50));
+    print(time());
+    return 0;
+}
+"""
+        program = compile_source(source)
+        pinball = record_region(program, RoundRobinScheduler(), RegionSpec(),
+                                inputs=[3, 4], rand_seed=2)
+        names = [name for name, _ in pinball.syscalls[0]]
+        assert names == ["input", "input", "rand", "time"]
+
+    def test_mem_order_edges_on_shared_counter(self):
+        program = compile_source(RACY_PROGRAM)
+        pinball = record_region(
+            program, RandomScheduler(seed=1, switch_prob=0.3), RegionSpec())
+        assert len(pinball.mem_order) > 0
+        kinds = {edge[5] for edge in pinball.mem_order}
+        assert kinds <= {"raw", "waw", "war"}
+        # Every edge crosses threads.
+        assert all(edge[0] != edge[2] for edge in pinball.mem_order)
+
+    def test_no_mem_order_edges_single_thread(self):
+        program = compile_source(LOOP_PROGRAM)
+        pinball = record_region(program, RoundRobinScheduler(), RegionSpec())
+        assert pinball.mem_order == []
+
+
+class TestRegions:
+    def test_skip_starts_region_later(self):
+        program = compile_source(LOOP_PROGRAM)
+        whole = record_region(program, RoundRobinScheduler(), RegionSpec())
+        program2 = compile_source(LOOP_PROGRAM)
+        partial = record_region(program2, RoundRobinScheduler(),
+                                RegionSpec(skip=500))
+        assert (partial.thread_instructions(0)
+                == whole.thread_instructions(0) - 500)
+
+    def test_skip_snapshot_contains_progress(self):
+        program = compile_source(LOOP_PROGRAM)
+        pinball = record_region(program, RoundRobinScheduler(),
+                                RegionSpec(skip=500))
+        # The snapshot's thread already sits mid-loop, not at entry.
+        thread_snap = pinball.snapshot["threads"][0]
+        assert thread_snap["pc"] > 0
+
+    def test_length_bounds_main_thread(self):
+        program = compile_source(LOOP_PROGRAM)
+        pinball = record_region(program, RoundRobinScheduler(),
+                                RegionSpec(skip=100, length=300))
+        assert pinball.meta["end_reason"] == "length_reached"
+        assert pinball.thread_instructions(0) == 300
+
+    def test_region_ends_at_failure(self):
+        source = """
+int main() {
+    int i;
+    for (i = 0; i < 1000; i = i + 1) {
+        assert(i < 50, 5);
+    }
+    return 0;
+}
+"""
+        program = compile_source(source)
+        pinball = record_region(program, RoundRobinScheduler(), RegionSpec())
+        assert pinball.meta["end_reason"] == "failure"
+        assert pinball.meta["failure"]["code"] == 5
+
+    def test_whole_region_replayable_after_skip(self):
+        program = compile_source(LOOP_PROGRAM)
+        pinball = record_region(program, RoundRobinScheduler(),
+                                RegionSpec(skip=500))
+        machine, result = replay(pinball, program)
+        assert machine.output == pinball.meta["output"]
+
+    def test_region_spec_validation(self):
+        with pytest.raises(ValueError):
+            RegionSpec(skip=-1)
+        with pytest.raises(ValueError):
+            RegionSpec(length=0)
+
+    def test_region_spec_describe(self):
+        assert RegionSpec().describe() == "whole program"
+        assert "skip 5" in RegionSpec(skip=5, length=10).describe()

@@ -1,0 +1,106 @@
+"""Unit tests for the pinball format and serialization."""
+
+import os
+
+import pytest
+
+from repro.pinplay import Pinball
+from repro.pinplay.pinball import state_hash
+from repro.vm import Machine
+from repro.lang import compile_source
+
+
+def make_pinball(**meta):
+    return Pinball(
+        program_name="demo",
+        snapshot={"memory": {"words": [], "heap_base": 10, "heap_next": 10,
+                             "free": [], "block_sizes": []},
+                  "threads": [], "locks": [], "next_tid": 1,
+                  "rng_state": 5, "inputs": [1, 2], "input_pos": 0,
+                  "time_base": 0},
+        schedule=[(0, 10), (1, 5)],
+        syscalls={0: [("input", 1), ("rand", 3)]},
+        mem_order=[(0, 1, 1, 2, 16, "raw")],
+        meta=dict({"kind": "region",
+                   "thread_instr_counts": {"0": 10, "1": 5}}, **meta),
+    )
+
+
+class TestDerived:
+    def test_total_steps(self):
+        assert make_pinball().total_steps == 15
+
+    def test_total_instructions(self):
+        assert make_pinball().total_instructions == 15
+
+    def test_thread_instructions(self):
+        pb = make_pinball()
+        assert pb.thread_instructions(0) == 10
+        assert pb.thread_instructions(1) == 5
+        assert pb.thread_instructions(9) == 0
+
+    def test_kind(self):
+        assert make_pinball().kind == "region"
+        assert make_pinball(kind="slice").kind == "slice"
+
+
+class TestSerialization:
+    def test_dict_roundtrip(self):
+        pb = make_pinball()
+        clone = Pinball.from_dict(pb.to_dict())
+        assert clone.schedule == pb.schedule
+        assert clone.syscalls == pb.syscalls
+        assert clone.mem_order == pb.mem_order
+        assert clone.meta == pb.meta
+
+    def test_bytes_roundtrip_compressed(self):
+        pb = make_pinball()
+        clone = Pinball.from_bytes(pb.to_bytes(compress=True))
+        assert clone.schedule == pb.schedule
+
+    def test_bytes_roundtrip_uncompressed(self):
+        pb = make_pinball()
+        clone = Pinball.from_bytes(pb.to_bytes(compress=False))
+        assert clone.schedule == pb.schedule
+
+    def test_compression_shrinks(self):
+        pb = make_pinball()
+        pb.schedule = [(0, 1)] * 2000
+        assert pb.size_bytes(compress=True) < pb.size_bytes(compress=False)
+
+    def test_save_load_file(self, tmp_path):
+        pb = make_pinball()
+        path = str(tmp_path / "x.pinball")
+        size = pb.save(path)
+        assert size == os.path.getsize(path)
+        clone = Pinball.load(path)
+        assert clone.program_name == "demo"
+
+    def test_unknown_format_version_rejected(self):
+        payload = make_pinball().to_dict()
+        payload["format_version"] = 99
+        with pytest.raises(ValueError):
+            Pinball.from_dict(payload)
+
+    def test_syscall_tids_are_ints_after_roundtrip(self):
+        pb = Pinball.from_bytes(make_pinball().to_bytes())
+        assert set(pb.syscalls.keys()) == {0}
+
+
+class TestStateHash:
+    def test_hash_stable_for_same_state(self):
+        program = compile_source("int g; int main() { g = 3; return 0; }")
+        m1 = Machine(program)
+        m1.run()
+        m2 = Machine(compile_source(
+            "int g; int main() { g = 3; return 0; }"))
+        m2.run()
+        assert state_hash(m1) == state_hash(m2)
+
+    def test_hash_differs_on_memory_change(self):
+        program = compile_source("int g; int main() { g = 3; return 0; }")
+        machine = Machine(program)
+        machine.run()
+        before = state_hash(machine)
+        machine.memory.write(16, 999)
+        assert state_hash(machine) != before

@@ -1,0 +1,124 @@
+"""Unit tests for deterministic replay."""
+
+import pytest
+
+from repro.lang import compile_source
+from repro.pinplay import (
+    Pinball,
+    RegionSpec,
+    SyscallInjector,
+    record_region,
+    replay,
+    replay_machine,
+)
+from repro.pinplay.pinball import state_hash
+from repro.vm import RandomScheduler, ReplayDivergence, RoundRobinScheduler
+
+NONDET_PROGRAM = """
+int shared; int mtx;
+int worker(int n) {
+    int i;
+    for (i = 0; i < n; i = i + 1) {
+        lock(&mtx);
+        shared = shared + rand(5);
+        unlock(&mtx);
+    }
+    return 0;
+}
+int main() {
+    int a; int b;
+    a = spawn(worker, 15);
+    b = spawn(worker, 15);
+    print(input());
+    join(a); join(b);
+    print(shared);
+    print(time());
+    return 0;
+}
+"""
+
+
+def record(seed=3, **kwargs):
+    program = compile_source(NONDET_PROGRAM)
+    pinball = record_region(
+        program, RandomScheduler(seed=seed, switch_prob=0.2),
+        RegionSpec(), inputs=[42], rand_seed=seed, **kwargs)
+    return program, pinball
+
+
+class TestReplay:
+    def test_output_and_state_reproduced(self):
+        program, pinball = record()
+        machine, result = replay(pinball, program)
+        assert machine.output == pinball.meta["output"]
+        assert state_hash(machine) == pinball.meta["final_state_hash"]
+
+    def test_replay_injects_rather_than_recomputes(self):
+        # A replay machine starts with rand_seed=0 and no inputs; only
+        # injection can reproduce the recorded values.
+        program, pinball = record(seed=9)
+        machine, _ = replay(pinball, program)
+        assert machine.output == pinball.meta["output"]
+
+    def test_replay_twice_identical(self):
+        program, pinball = record()
+        m1, _ = replay(pinball, program)
+        m2, _ = replay(pinball, program)
+        assert m1.output == m2.output
+        assert state_hash(m1) == state_hash(m2)
+
+    def test_wrong_program_rejected(self):
+        program, pinball = record()
+        other = compile_source("int main() { return 0; }", name="other")
+        with pytest.raises(ReplayDivergence):
+            replay(pinball, other)
+
+    def test_tampered_snapshot_detected(self):
+        program, pinball = record()
+        # Corrupt one memory word in the initial snapshot.
+        words = pinball.snapshot["memory"]["words"]
+        words.append([999, 12345])
+        with pytest.raises(ReplayDivergence):
+            replay(pinball, program, verify=True)
+
+    def test_verify_can_be_disabled(self):
+        program, pinball = record()
+        pinball.snapshot["memory"]["words"].append([999, 12345])
+        machine, _ = replay(pinball, program, verify=False)
+        assert machine.memory.read(999) == 12345
+
+    def test_failure_reproduced_on_replay(self, fig5):
+        program, pinball, _seed = fig5
+        machine, result = replay(pinball, program)
+        assert result.failure is not None
+        assert result.failure == pinball.meta["failure"]
+
+    def test_replay_machine_allows_partial_runs(self):
+        program, pinball = record()
+        machine = replay_machine(pinball, program)
+        machine.run(max_steps=10)
+        machine.run(max_steps=pinball.total_steps - 10)
+        assert machine.output == pinball.meta["output"]
+
+
+class TestSyscallInjector:
+    def test_in_order_injection(self):
+        injector = SyscallInjector({0: [("input", 1), ("rand", 2)]})
+        assert injector.inject("input", 0) == 1
+        assert injector.inject("rand", 0) == 2
+        assert injector.drained
+
+    def test_order_divergence_detected(self):
+        injector = SyscallInjector({0: [("input", 1)]})
+        with pytest.raises(ReplayDivergence):
+            injector.inject("rand", 0)
+
+    def test_exhaustion_detected(self):
+        injector = SyscallInjector({0: []})
+        with pytest.raises(ReplayDivergence):
+            injector.inject("input", 0)
+
+    def test_per_thread_queues_independent(self):
+        injector = SyscallInjector({0: [("input", 1)], 1: [("input", 9)]})
+        assert injector.inject("input", 1) == 9
+        assert injector.inject("input", 0) == 1

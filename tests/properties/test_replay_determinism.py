@@ -1,0 +1,152 @@
+"""Property tests for the central invariant: replay is exact.
+
+For arbitrary scheduling seeds, preemption rates, inputs, and region
+bounds, recording an execution and replaying its pinball must reproduce
+the output, the failure (if any), and the full architectural state hash.
+This is the paper's repeatability guarantee, on which slices-across-
+sessions and cyclic debugging both rest.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.lang import compile_source
+from repro.pinplay import Pinball, RegionSpec, record_region, replay
+from repro.pinplay.pinball import state_hash
+from repro.vm import RandomScheduler
+
+from tests.conftest import FIG5_SOURCE
+
+#: A menagerie of concurrency shapes: racy counters, locks, sleeps,
+#: nondeterministic syscalls, producer/consumer.
+PROGRAMS = {
+    "racy-counter": """
+int x;
+int bump(int n) {
+    int i;
+    for (i = 0; i < n; i = i + 1) { x = x + 1; }
+    return x;
+}
+int main() {
+    int a; int b;
+    a = spawn(bump, 12);
+    b = spawn(bump, 12);
+    join(a); join(b);
+    print(x);
+    return 0;
+}
+""",
+    "locked-counter": """
+int x; int m;
+int bump(int n) {
+    int i;
+    for (i = 0; i < n; i = i + 1) {
+        lock(&m);
+        x = x + 1;
+        unlock(&m);
+    }
+    return 0;
+}
+int main() {
+    int a; int b;
+    a = spawn(bump, 8);
+    b = spawn(bump, 8);
+    join(a); join(b);
+    print(x);
+    return 0;
+}
+""",
+    "nondet-soup": """
+int acc;
+int worker(int n) {
+    int i;
+    for (i = 0; i < n; i = i + 1) {
+        acc = acc + rand(7) + input();
+        sleep(i % 3);
+    }
+    return acc;
+}
+int main() {
+    int t;
+    t = spawn(worker, 6);
+    acc = acc + time() % 13;
+    print(join(t));
+    print(acc);
+    return 0;
+}
+""",
+    "fig5": FIG5_SOURCE,
+}
+
+
+@st.composite
+def scenario(draw):
+    name = draw(st.sampled_from(sorted(PROGRAMS)))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    switch_prob = draw(st.sampled_from([0.02, 0.1, 0.3, 0.6]))
+    inputs = draw(st.lists(st.integers(-5, 5), max_size=10))
+    rand_seed = draw(st.integers(min_value=0, max_value=1_000))
+    return name, seed, switch_prob, inputs, rand_seed
+
+
+class TestWholeProgramReplay:
+    @given(scenario())
+    @settings(max_examples=40, deadline=None)
+    def test_replay_reproduces_everything(self, scn):
+        name, seed, switch_prob, inputs, rand_seed = scn
+        program = compile_source(PROGRAMS[name], name=name)
+        pinball = record_region(
+            program, RandomScheduler(seed=seed, switch_prob=switch_prob),
+            RegionSpec(), inputs=inputs, rand_seed=rand_seed)
+        machine, result = replay(pinball, program)   # verify=True inside
+        assert machine.output == pinball.meta["output"]
+        assert state_hash(machine) == pinball.meta["final_state_hash"]
+        assert (result.failure is None) == (pinball.meta["failure"] is None)
+
+    @given(scenario())
+    @settings(max_examples=20, deadline=None)
+    def test_pinball_serialization_preserves_replay(self, scn):
+        name, seed, switch_prob, inputs, rand_seed = scn
+        program = compile_source(PROGRAMS[name], name=name)
+        pinball = record_region(
+            program, RandomScheduler(seed=seed, switch_prob=switch_prob),
+            RegionSpec(), inputs=inputs, rand_seed=rand_seed)
+        clone = Pinball.from_bytes(pinball.to_bytes())
+        machine, _result = replay(clone, program)
+        assert machine.output == pinball.meta["output"]
+
+
+class TestRegionReplay:
+    @given(st.integers(min_value=0, max_value=10_000),
+           st.integers(min_value=1, max_value=400),
+           st.integers(min_value=10, max_value=300))
+    @settings(max_examples=25, deadline=None)
+    def test_arbitrary_regions_replay_exactly(self, seed, skip, length):
+        program = compile_source(PROGRAMS["racy-counter"], name="regions")
+        pinball = record_region(
+            program, RandomScheduler(seed=seed, switch_prob=0.2),
+            RegionSpec(skip=skip, length=length))
+        machine, _result = replay(pinball, program)
+        assert state_hash(machine) == pinball.meta["final_state_hash"]
+        # The region retired exactly what the log says.
+        for tid, thread in machine.threads.items():
+            assert thread.instr_count == pinball.thread_instructions(tid)
+
+    @given(st.integers(min_value=0, max_value=500))
+    @settings(max_examples=15, deadline=None)
+    def test_region_is_suffix_consistent_with_whole_run(self, seed):
+        """Recording with a skip then replaying yields the same final
+        state as the uninterrupted run under the same seed."""
+        program = compile_source(PROGRAMS["locked-counter"], name="suffix")
+        whole = record_region(
+            program, RandomScheduler(seed=seed, switch_prob=0.15),
+            RegionSpec())
+        partial = record_region(
+            program, RandomScheduler(seed=seed, switch_prob=0.15),
+            RegionSpec(skip=50))
+        machine, _ = replay(partial, program)
+        # The region ends in the same final state as the whole run...
+        assert state_hash(machine) == whole.meta["final_state_hash"]
+        # ...and, if the region is nonempty, the final print matches
+        # (a skip past program end legitimately records an empty region).
+        if partial.total_steps > 0:
+            assert machine.output[-1:] == whole.meta["output"][-1:]

@@ -1,0 +1,168 @@
+"""Property tests on dynamic-slice invariants.
+
+For random schedules of a racy program and random criteria:
+
+* the slice is *closed*: every control parent and every data producer of a
+  slice node is itself a slice node;
+* slicing is deterministic and a fixpoint (re-slicing the criterion over
+  the same trace yields the same node set);
+* pruning and LP block size never change what matters (pruning only
+  shrinks; block size changes nothing);
+* the criterion is always in its own slice, and all nodes precede it in
+  the global order.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.lang import compile_source
+from repro.pinplay import RegionSpec, record_region
+from repro.slicing import SliceOptions, SlicingSession
+from repro.vm import RandomScheduler
+
+from tests.conftest import FIG5_SOURCE
+
+RACY_MIX = """
+int a; int b; int m;
+int left(int n) {
+    int i;
+    for (i = 0; i < n; i = i + 1) {
+        lock(&m);
+        a = a + b;
+        unlock(&m);
+    }
+    return a;
+}
+int right(int n) {
+    int i;
+    for (i = 0; i < n; i = i + 1) {
+        b = b + 1;
+        yield();
+    }
+    return b;
+}
+int main() {
+    int t1; int t2;
+    b = 1;
+    t1 = spawn(left, 5);
+    t2 = spawn(right, 7);
+    join(t1); join(t2);
+    print(a); print(b);
+    return 0;
+}
+"""
+
+
+def make_session(seed, options=None):
+    program = compile_source(RACY_MIX, name="racy-mix")
+    pinball = record_region(
+        program, RandomScheduler(seed=seed, switch_prob=0.3), RegionSpec())
+    return SlicingSession(pinball, program, options or SliceOptions())
+
+
+class TestClosure:
+    @given(st.integers(min_value=0, max_value=200),
+           st.integers(min_value=1, max_value=30))
+    @settings(max_examples=25, deadline=None)
+    def test_slice_closed_under_dependences(self, seed, nth_read):
+        session = make_session(seed)
+        reads = session.last_reads(nth_read)
+        criterion = reads[-1]
+        dslice = session.slice_for(criterion)
+
+        assert criterion in dslice
+        store = session.collector.store
+        for instance in dslice.nodes:
+            record = store.get(instance)
+            if record.cd is not None:
+                assert record.cd in dslice, "control parent escaped slice"
+        for consumer, producer, _kind, _loc in dslice.edges:
+            assert consumer in dslice
+            assert producer in dslice
+
+    @given(st.integers(min_value=0, max_value=200))
+    @settings(max_examples=15, deadline=None)
+    def test_all_nodes_precede_criterion(self, seed):
+        session = make_session(seed)
+        criterion = session.last_reads(1)[0]
+        dslice = session.slice_for(criterion)
+        crit_gpos = session.collector.store.get(criterion).gpos
+        for instance in dslice.nodes:
+            assert session.collector.store.get(instance).gpos <= crit_gpos
+
+
+class TestDeterminismAndFixpoint:
+    @given(st.integers(min_value=0, max_value=200))
+    @settings(max_examples=15, deadline=None)
+    def test_reslicing_is_identical(self, seed):
+        session = make_session(seed)
+        criterion = session.last_reads(3)[-1]
+        first = session.slice_for(criterion)
+        second = session.slice_for(criterion)
+        assert set(first.nodes) == set(second.nodes)
+        assert len(first.edges) == len(second.edges)
+
+    @given(st.integers(min_value=0, max_value=200))
+    @settings(max_examples=10, deadline=None)
+    def test_two_sessions_agree(self, seed):
+        """Slices survive across debug sessions (PinPlay repeatability)."""
+        s1 = make_session(seed)
+        s2 = make_session(seed)
+        criterion = s1.last_reads(1)[0]
+        assert set(s1.slice_for(criterion).nodes) == set(
+            s2.slice_for(criterion).nodes)
+
+
+class TestOptionInvariants:
+    @given(st.integers(min_value=0, max_value=100),
+           st.sampled_from([1, 16, 256, 8192]))
+    @settings(max_examples=15, deadline=None)
+    def test_block_size_is_pure_performance(self, seed, block_size):
+        baseline = make_session(seed)
+        variant = make_session(
+            seed, SliceOptions(block_size=block_size))
+        criterion = baseline.last_reads(1)[0]
+        assert set(baseline.slice_for(criterion).nodes) == set(
+            variant.slice_for(criterion).nodes)
+
+    @given(st.integers(min_value=0, max_value=100))
+    @settings(max_examples=15, deadline=None)
+    def test_pruning_only_shrinks(self, seed):
+        pruned_session = make_session(
+            seed, SliceOptions(prune_save_restore=True))
+        unpruned_session = make_session(
+            seed, SliceOptions(prune_save_restore=False))
+        criterion = pruned_session.last_reads(1)[0]
+        pruned = pruned_session.slice_for(criterion)
+        unpruned = unpruned_session.slice_for(criterion)
+        assert set(pruned.nodes) <= set(unpruned.nodes)
+        assert criterion in pruned
+
+    @given(st.integers(min_value=0, max_value=100))
+    @settings(max_examples=10, deadline=None)
+    def test_refinement_only_grows(self, seed):
+        refined = make_session(seed, SliceOptions(refine_cfg=True))
+        unrefined = make_session(seed, SliceOptions(refine_cfg=False))
+        criterion = refined.last_reads(1)[0]
+        assert set(unrefined.slice_for(criterion).nodes) <= set(
+            refined.slice_for(criterion).nodes)
+
+
+class TestSlicePinballFidelity:
+    @given(st.integers(min_value=0, max_value=60))
+    @settings(max_examples=8, deadline=None)
+    def test_slice_replay_preserves_failure(self, seed):
+        """If the region pinball failed, the slice pinball for the failure
+        slice must fail identically when replayed."""
+        from repro.pinplay import replay
+        program = compile_source(FIG5_SOURCE, name="fig5-prop")
+        pinball = record_region(
+            program, RandomScheduler(seed=seed, switch_prob=0.4),
+            RegionSpec())
+        if pinball.meta.get("failure") is None:
+            return  # benign schedule; nothing to check
+        session = SlicingSession(pinball, program)
+        dslice = session.slice_for(session.failure_criterion())
+        slice_pb = session.make_slice_pinball(dslice)
+        machine, result = replay(slice_pb, program, verify=False)
+        assert result.failure is not None
+        assert result.failure["code"] == pinball.meta["failure"]["code"]

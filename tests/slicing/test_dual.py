@@ -1,0 +1,100 @@
+"""Tests for dual slicing (failing-vs-passing slice comparison)."""
+
+import pytest
+
+from repro.lang import compile_source
+from repro.pinplay import RegionSpec, record_region
+from repro.slicing import SlicingSession, dual_slice
+from repro.vm import RandomScheduler, RoundRobinScheduler
+
+BRANCHY = """
+int out; int bias;
+int main() {
+    int c;
+    c = input();
+    bias = 10;
+    if (c) {
+        out = bias - 10;
+    } else {
+        out = bias + 10;
+    }
+    assert(out > 0, 5);
+    return 0;
+}
+"""
+
+
+def session_for_input(value):
+    program = compile_source(BRANCHY, name="dual")
+    pinball = record_region(program, RoundRobinScheduler(), RegionSpec(),
+                            inputs=[value])
+    return SlicingSession(pinball, program), pinball
+
+
+class TestInputDependentBug:
+    def test_failing_only_pinpoints_buggy_assignment(self):
+        failing_session, failing_pb = session_for_input(1)
+        passing_session, passing_pb = session_for_input(0)
+        assert failing_pb.meta["failure"] is not None
+        assert passing_pb.meta["failure"] is None
+
+        failing = failing_session.slice_for_global("out")
+        passing = passing_session.slice_for_global("out")
+        result = dual_slice(failing, passing)
+
+        fail_lines = {line for _f, line in result.failing_only}
+        pass_lines = {line for _f, line in result.passing_only}
+        assert 8 in fail_lines        # out = bias - 10: the bug candidate
+        assert 10 in pass_lines       # out = bias + 10: bypassed
+        common_lines = {line for _f, line in result.common}
+        assert 5 in common_lines      # c = input() feeds both via the if
+        assert 6 in common_lines      # bias = 10 feeds both
+
+    def test_describe_renders_all_sections(self):
+        failing_session, _ = session_for_input(1)
+        passing_session, _ = session_for_input(0)
+        result = dual_slice(failing_session.slice_for_global("out"),
+                            passing_session.slice_for_global("out"))
+        text = result.describe()
+        assert "FAILING" in text
+        assert "passing" in text
+        assert "common" in text
+
+    def test_identical_runs_have_empty_diff(self):
+        session_a, _ = session_for_input(0)
+        session_b, _ = session_for_input(0)
+        result = dual_slice(session_a.slice_for_global("out"),
+                            session_b.slice_for_global("out"))
+        assert result.failing_only == frozenset()
+        assert result.passing_only == frozenset()
+        assert result.common
+
+
+class TestScheduleDependentBug:
+    def test_racy_vs_benign_schedule(self, fig5):
+        """The racy write shows up only in the failing schedule's slice."""
+        program, failing_pb, _seed = fig5
+        # Find a benign schedule of the same program.
+        from tests.conftest import FIG5_SOURCE
+        passing_pb = None
+        for seed in range(100):
+            candidate = record_region(
+                program, RandomScheduler(seed=seed, switch_prob=0.4),
+                RegionSpec())
+            if candidate.meta["failure"] is None:
+                passing_pb = candidate
+                break
+        assert passing_pb is not None
+
+        failing_session = SlicingSession(failing_pb, program)
+        passing_session = SlicingSession(passing_pb, program)
+        # Same criterion in both runs: the value of k after line 14
+        # (k = k + x) in thread 2 — in the failing run it absorbed the
+        # racy x, in the passing run it did not.
+        failing = failing_session.slice_for(
+            failing_session.last_instance_at_line(14, tid=2))
+        passing = passing_session.slice_for(
+            passing_session.last_instance_at_line(14, tid=2))
+        result = dual_slice(failing, passing)
+        fail_only_funcs = {func for func, _l in result.failing_only}
+        assert "thread1" in fail_only_funcs   # the racy writer

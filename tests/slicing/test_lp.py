@@ -1,0 +1,52 @@
+"""Unit tests for Limited Preprocessing block summaries."""
+
+from repro.slicing.lp import TraceBlock, build_blocks
+from repro.slicing.trace import TraceRecord
+
+
+def record(tid, tindex, rdefs=(), mdefs=()):
+    return TraceRecord(tid=tid, tindex=tindex, addr=0, line=None, func="f",
+                       rdefs=tuple(rdefs), ruses=(), mdefs=tuple(mdefs),
+                       muses=(), cd=None)
+
+
+class TestBuildBlocks:
+    def test_partitioning(self):
+        order = [record(0, i) for i in range(10)]
+        blocks = build_blocks(order, block_size=4)
+        assert [(b.start, b.end) for b in blocks] == [(0, 4), (4, 8), (8, 10)]
+
+    def test_exact_multiple(self):
+        order = [record(0, i) for i in range(8)]
+        blocks = build_blocks(order, block_size=4)
+        assert [(b.start, b.end) for b in blocks] == [(0, 4), (4, 8)]
+
+    def test_empty_trace(self):
+        assert build_blocks([], block_size=4) == []
+
+    def test_summaries_collect_defs(self):
+        order = [
+            record(0, 0, rdefs=("r0",)),
+            record(0, 1, mdefs=(100,)),
+            record(1, 0, rdefs=("r0",)),
+        ]
+        blocks = build_blocks(order, block_size=10)
+        assert blocks[0].defs == {
+            ("r", 0, "r0"), ("m", 100), ("r", 1, "r0")}
+
+
+class TestMayDefine:
+    def test_hit_and_miss(self):
+        block = TraceBlock(0, 4, {("m", 100), ("r", 0, "r0")})
+        assert block.may_define({("m", 100)})
+        assert block.may_define({("r", 0, "r0"), ("m", 999)})
+        assert not block.may_define({("m", 999)})
+        assert not block.may_define(set())
+
+    def test_symmetric_over_set_sizes(self):
+        # Both branches of the size heuristic must agree.
+        big = {("m", i) for i in range(100)}
+        block = TraceBlock(0, 4, big)
+        assert block.may_define({("m", 5)})
+        small_block = TraceBlock(0, 4, {("m", 5)})
+        assert small_block.may_define(big)

@@ -1,0 +1,31 @@
+"""Tests for slicing options validation and defaults."""
+
+import pytest
+
+from repro.slicing import SliceOptions
+
+
+class TestValidation:
+    def test_defaults_match_paper_configuration(self):
+        options = SliceOptions()
+        assert options.refine_cfg            # Section 5.1 on
+        assert options.prune_save_restore    # Section 5.2 on
+        assert options.max_save == 10        # the paper's MaxSave
+        assert not options.discover_jump_tables
+        assert not options.track_stack_pointer
+
+    def test_negative_max_save_rejected(self):
+        with pytest.raises(ValueError):
+            SliceOptions(max_save=-1)
+
+    def test_zero_block_size_rejected(self):
+        with pytest.raises(ValueError):
+            SliceOptions(block_size=0)
+
+    def test_frozen(self):
+        options = SliceOptions()
+        with pytest.raises(Exception):
+            options.max_save = 5
+
+    def test_max_save_zero_is_valid_disable(self):
+        assert SliceOptions(max_save=0).max_save == 0

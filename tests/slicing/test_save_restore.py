@@ -1,0 +1,147 @@
+"""Unit tests for save/restore pair detection."""
+
+from repro.lang import compile_source
+from repro.pinplay import RegionSpec, record_region, replay
+from repro.slicing import SliceOptions, TraceCollector
+from repro.slicing.save_restore import find_static_candidates
+from repro.isa.instructions import Opcode
+from repro.vm import RoundRobinScheduler
+
+SOURCE = """
+int g;
+int leaf(int a) {
+    int x; int y;
+    x = a + 1;
+    y = x * 2;
+    return y;
+}
+int main() {
+    int r;
+    r = leaf(5);
+    g = r;
+    return 0;
+}
+"""
+
+
+def collect(source, max_save=10, inputs=()):
+    program = compile_source(source)
+    pinball = record_region(program, RoundRobinScheduler(), RegionSpec(),
+                            inputs=inputs)
+    collector = TraceCollector(
+        program, SliceOptions(max_save=max_save))
+    replay(pinball, program, tools=[collector], verify=False)
+    return program, collector
+
+
+class TestStaticCandidates:
+    def test_prologue_pushes_found(self):
+        program = compile_source(SOURCE)
+        saves, restores = find_static_candidates(program, max_save=10)
+        leaf = program.functions["leaf"]
+        leaf_pushes = [i.addr for i in leaf.instrs if i.op == Opcode.PUSH]
+        # The prologue pushes (fp, r4, r5) are all candidates.
+        assert set(leaf_pushes[:3]) <= saves
+
+    def test_epilogue_pops_found(self):
+        program = compile_source(SOURCE)
+        _saves, restores = find_static_candidates(program, max_save=10)
+        leaf = program.functions["leaf"]
+        leaf_pops = [i.addr for i in leaf.instrs if i.op == Opcode.POP]
+        assert set(leaf_pops) <= restores
+
+    def test_max_save_zero_disables(self):
+        program = compile_source(SOURCE)
+        saves, restores = find_static_candidates(program, max_save=0)
+        assert saves == set() and restores == set()
+
+    def test_max_save_limits_window(self):
+        program = compile_source(SOURCE)
+        saves_1, _ = find_static_candidates(program, max_save=1)
+        saves_10, _ = find_static_candidates(program, max_save=10)
+        assert len(saves_1) < len(saves_10)
+
+
+class TestDynamicVerification:
+    def test_pairs_verified_per_call(self):
+        program, collector = collect(SOURCE)
+        detector = collector.save_restore
+        # leaf saves/restores fp, r4, r5; main saves/restores fp, r4.
+        assert detector.pair_count >= 4
+
+    def test_pair_links_restore_to_save(self):
+        program, collector = collect(SOURCE)
+        for restore, save in collector.save_restore.verified.items():
+            assert restore[0] == save[0]         # same thread
+            assert save[1] < restore[1]          # save precedes restore
+            save_rec = collector.store.get(save)
+            restore_rec = collector.store.get(restore)
+            assert program.instructions[save_rec.addr].op == Opcode.PUSH
+            assert program.instructions[restore_rec.addr].op == Opcode.POP
+
+    def test_clobbered_register_not_verified(self):
+        # A function that pushes a register, overwrites the stack slot,
+        # and pops a different value: the pair must NOT verify.
+        from repro.isa import assemble
+        source = """
+func tricky
+  push fp
+  mov fp, sp
+  push r4
+  mov r3, 99
+  st [sp], r3
+  pop r4
+  mov sp, fp
+  pop fp
+  ret
+func main
+  mov r4, 7
+  call tricky
+  halt
+"""
+        program = assemble(source)
+        pinball = record_region(program, RoundRobinScheduler(), RegionSpec())
+        collector = TraceCollector(program, SliceOptions())
+        replay(pinball, program, tools=[collector], verify=False)
+        tricky = program.functions["tricky"]
+        r4_pop = next(i.addr for i in tricky.instrs
+                      if i.op == Opcode.POP and i.operands[0].name == "r4")
+        verified_restore_addrs = {
+            collector.store.get(restore).addr
+            for restore in collector.save_restore.verified}
+        assert r4_pop not in verified_restore_addrs
+
+    def test_recursion_pairs_per_frame(self):
+        source = """
+int fact(int n) {
+    int t;
+    if (n < 2) { return 1; }
+    t = fact(n - 1);
+    return n * t;
+}
+int main() { return fact(4); }
+"""
+        program, collector = collect(source)
+        # 4 dynamic calls to fact + 1 to main, each verifying fp and r4.
+        assert collector.save_restore.pair_count >= 8
+
+    def test_multithreaded_pairs_tracked_independently(self):
+        source = """
+int g;
+int work(int n) {
+    int x;
+    x = n * 2;
+    return x;
+}
+int main() {
+    int t;
+    t = spawn(work, 3);
+    g = work(4);
+    join(t);
+    return 0;
+}
+"""
+        program, collector = collect(source)
+        tids = {restore[0]
+                for restore in collector.save_restore.verified}
+        assert {0, 1} <= tids

@@ -1,0 +1,216 @@
+"""Unit tests for the backward slicer's mechanics."""
+
+import pytest
+
+from repro.lang import compile_source
+from repro.pinplay import RegionSpec, record_region
+from repro.slicing import SliceOptions, SlicingSession
+
+STRAIGHT_LINE = """
+int a; int b; int c; int unrelated;
+int main() {
+    a = 3;
+    unrelated = 99;
+    b = a + 4;
+    unrelated = unrelated + 1;
+    c = b * 2;
+    return 0;
+}
+"""
+
+
+def session_for(source, inputs=(), options=None, name="slicer-test"):
+    program = compile_source(source, name=name)
+    from repro.vm import RoundRobinScheduler
+    pinball = record_region(program, RoundRobinScheduler(), RegionSpec(),
+                            inputs=inputs)
+    return SlicingSession(pinball, program, options or SliceOptions())
+
+
+def slice_lines(dslice):
+    return {node.line for node in dslice.nodes.values()
+            if node.line is not None}
+
+
+class TestDataChains:
+    def test_transitive_data_dependences(self):
+        session = session_for(STRAIGHT_LINE)
+        dslice = session.slice_for_global("c")
+        lines = slice_lines(dslice)
+        assert {4, 6, 8} <= lines          # a = 3; b = a + 4; c = b * 2
+
+    def test_unrelated_statements_excluded(self):
+        session = session_for(STRAIGHT_LINE)
+        dslice = session.slice_for_global("c")
+        lines = slice_lines(dslice)
+        assert 5 not in lines and 7 not in lines
+
+    def test_slice_for_intermediate_value(self):
+        session = session_for(STRAIGHT_LINE)
+        dslice = session.slice_for_global("b")
+        lines = slice_lines(dslice)
+        assert {4, 6} <= lines
+        assert 8 not in lines              # c's computation is downstream
+
+    def test_redefinition_uses_latest_def(self):
+        source = """
+int x; int y;
+int main() {
+    x = 1;
+    x = 2;
+    y = x;
+    return 0;
+}
+"""
+        session = session_for(source)
+        dslice = session.slice_for_global("y")
+        lines = slice_lines(dslice)
+        assert 5 in lines                  # x = 2 reaches y
+        assert 4 not in lines              # x = 1 is dead
+
+    def test_self_referential_update_chain(self):
+        source = """
+int s;
+int main() {
+    int i;
+    s = 0;
+    for (i = 0; i < 3; i = i + 1) {
+        s = s + i;
+    }
+    return 0;
+}
+"""
+        session = session_for(source)
+        dslice = session.slice_for_global("s")
+        # All three loop iterations' updates are in the slice.
+        updates = [inst for inst in dslice.nodes.values()
+                   if inst.line == 7]
+        assert len({(u.tid, u.tindex) for u in updates}) >= 3
+
+
+class TestCriterionForms:
+    def test_failure_criterion(self, fig5):
+        program, pinball, _seed = fig5
+        session = SlicingSession(pinball, program)
+        criterion = session.failure_criterion()
+        rec = session.collector.store.get(criterion)
+        assert program.instructions[rec.addr].subop == "assert"
+
+    def test_failure_criterion_requires_failure(self):
+        session = session_for(STRAIGHT_LINE)
+        with pytest.raises(ValueError):
+            session.failure_criterion()
+
+    def test_last_reads(self):
+        session = session_for(STRAIGHT_LINE)
+        reads = session.last_reads(3)
+        assert len(reads) == 3
+        for instance in reads:
+            assert session.collector.store.get(instance).muses
+
+    def test_unknown_global_rejected(self):
+        session = session_for(STRAIGHT_LINE)
+        with pytest.raises(ValueError):
+            session.slice_for_global("nope")
+        with pytest.raises(ValueError):
+            session.global_location("nope")
+
+    def test_line_never_executed_rejected(self):
+        session = session_for(STRAIGHT_LINE)
+        with pytest.raises(ValueError):
+            session.last_instance_at_line(9999)
+
+
+class TestLpBlockSkipping:
+    def test_small_blocks_skip_irrelevant_work(self):
+        # A relevant definition, a long irrelevant middle, and a criterion
+        # at the end: the scan must skip the middle blocks (they define
+        # neither `early`'s address nor any then-wanted register).
+        source = """
+int early; int junk; int result;
+int main() {
+    int i;
+    early = 7;
+    for (i = 0; i < 400; i = i + 1) {
+        junk = junk + i;
+    }
+    result = early + 1;
+    return 0;
+}
+"""
+        session = session_for(
+            source, options=SliceOptions(block_size=64))
+        dslice = session.slice_for_global("result")
+        assert dslice.stats["skipped_blocks"] > 0
+        # The loop must not be in the slice, the early def must be.
+        assert 7 not in slice_lines(dslice)
+        assert 5 in slice_lines(dslice)
+
+    def test_block_size_does_not_change_slice(self):
+        source = STRAIGHT_LINE
+        nodes_by_block_size = []
+        for block_size in (1, 7, 64, 4096):
+            session = session_for(
+                source, options=SliceOptions(block_size=block_size))
+            dslice = session.slice_for_global("c")
+            nodes_by_block_size.append(set(dslice.nodes))
+        assert all(n == nodes_by_block_size[0]
+                   for n in nodes_by_block_size)
+
+
+class TestSliceStats:
+    def test_stats_populated(self):
+        session = session_for(STRAIGHT_LINE)
+        dslice = session.slice_for_global("c")
+        for key in ("scanned_records", "skipped_blocks", "visited_blocks",
+                    "bypassed_deps", "nodes", "edges"):
+            assert key in dslice.stats
+        assert dslice.stats["nodes"] == len(dslice)
+
+    def test_unresolved_locations_for_initial_state(self):
+        # Reading an uninitialised global: its value comes from initial
+        # state, so the use is never resolved inside the trace.
+        source = """
+int never_written; int y;
+int main() {
+    y = never_written + 1;
+    return 0;
+}
+"""
+        session = session_for(source)
+        dslice = session.slice_for_global("y")
+        assert dslice.stats["unresolved_locations"] >= 1
+
+    def test_session_stats(self):
+        session = session_for(STRAIGHT_LINE)
+        stats = session.stats()
+        assert stats["trace_records"] > 0
+        assert stats["trace_time_sec"] >= 0
+        assert stats["threads"] == [0]
+
+
+class TestSerializationAndNavigation:
+    def test_slice_roundtrip(self, tmp_path):
+        from repro.slicing import DynamicSlice
+        session = session_for(STRAIGHT_LINE)
+        dslice = session.slice_for_global("c")
+        path = str(tmp_path / "slice.json")
+        dslice.save(path)
+        loaded = DynamicSlice.load(path)
+        assert set(loaded.nodes) == set(dslice.nodes)
+        assert loaded.criterion == dslice.criterion
+        assert len(loaded.edges) == len(dslice.edges)
+
+    def test_to_keep_covers_nodes(self):
+        session = session_for(STRAIGHT_LINE)
+        dslice = session.slice_for_global("c")
+        keep = dslice.to_keep()
+        assert sum(len(v) for v in keep.values()) == len(dslice)
+
+    def test_deps_navigation(self):
+        session = session_for(STRAIGHT_LINE)
+        dslice = session.slice_for_global("c")
+        criterion_deps = dslice.deps_of(dslice.criterion)
+        # The criterion's producers are all slice members.
+        for producer, _kind, _loc in criterion_deps:
+            assert producer in dslice

@@ -1,0 +1,125 @@
+"""Direct unit tests for the trace collector's record construction."""
+
+import pytest
+
+from repro.lang import compile_source
+from repro.pinplay import RegionSpec, record_region, replay
+from repro.slicing import SliceOptions, TraceCollector
+from repro.vm import RoundRobinScheduler
+
+SOURCE = """
+int g;
+int main() {
+    int x;
+    x = 3;
+    g = x + 4;
+    return 0;
+}
+"""
+
+
+def collect(options=None, source=SOURCE):
+    program = compile_source(source, name="tracer-test")
+    pinball = record_region(program, RoundRobinScheduler(), RegionSpec())
+    collector = TraceCollector(program, options or SliceOptions())
+    replay(pinball, program, tools=[collector], verify=False)
+    return program, collector
+
+
+class TestStackPointerPolicy:
+    def test_sp_excluded_by_default(self):
+        program, collector = collect()
+        for record in collector.store.by_thread[0]:
+            assert "sp" not in record.rdefs
+            assert "sp" not in record.ruses
+
+    def test_sp_included_when_requested(self):
+        program, collector = collect(
+            SliceOptions(track_stack_pointer=True))
+        has_sp = any(
+            "sp" in record.rdefs or "sp" in record.ruses
+            for record in collector.store.by_thread[0])
+        assert has_sp
+
+    def test_fp_always_tracked(self):
+        program, collector = collect()
+        has_fp = any("fp" in record.rdefs
+                     for record in collector.store.by_thread[0])
+        assert has_fp
+
+
+class TestValueRecording:
+    def test_values_recorded_by_default(self):
+        program, collector = collect()
+        g_addr = program.globals["g"].addr
+        writes = [record for record in collector.store.by_thread[0]
+                  if g_addr in record.mdefs]
+        assert writes
+        assert writes[-1].values[g_addr] == 7
+
+    def test_values_omitted_when_disabled(self):
+        program, collector = collect(SliceOptions(record_values=False))
+        for record in collector.store.by_thread[0]:
+            assert record.values is None
+
+
+class TestRecordShape:
+    def test_tindex_matches_position(self):
+        program, collector = collect()
+        for tid, records in collector.store.by_thread.items():
+            for index, record in enumerate(records):
+                assert record.tid == tid
+                assert record.tindex == index
+
+    def test_line_and_func_attribution(self):
+        program, collector = collect()
+        lines = {record.line for record in collector.store.by_thread[0]
+                 if record.line is not None}
+        assert {5, 6} <= lines
+        assert all(record.func == "main"
+                   for record in collector.store.by_thread[0])
+
+    def test_defs_and_uses_deduplicated(self):
+        source = "int main() { int x; x = 1; x = x + x; return x; }"
+        program, collector = collect(source=source)
+        for record in collector.store.by_thread[0]:
+            assert len(record.ruses) == len(set(record.ruses))
+            assert len(record.rdefs) == len(set(record.rdefs))
+
+    def test_trace_covers_exactly_the_region(self):
+        program = compile_source(SOURCE, name="tracer-test")
+        pinball = record_region(program, RoundRobinScheduler(),
+                                RegionSpec(skip=4, length=6))
+        collector = TraceCollector(program, SliceOptions())
+        replay(pinball, program, tools=[collector], verify=False)
+        assert (collector.store.thread_length(0)
+                == pinball.thread_instructions(0) == 6)
+
+
+class TestSpawnArgDependence:
+    def test_parent_to_child_edge_through_arg_slot(self):
+        """The spawn's argument write is attributed to the spawning
+        instruction, so slices cross the parent->child boundary."""
+        source = """
+int out;
+int child(int v) {
+    out = v * 2;
+    return 0;
+}
+int main() {
+    int secret;
+    secret = 21;
+    join(spawn(child, secret));
+    return 0;
+}
+"""
+        from repro.slicing import SlicingSession
+        program = compile_source(source, name="spawn-arg")
+        pinball = record_region(program, RoundRobinScheduler(), RegionSpec())
+        session = SlicingSession(pinball, program)
+        dslice = session.slice_for_global("out")
+        funcs_lines = {(node.func, node.line)
+                       for node in dslice.nodes.values()}
+        # The child's computation AND main's spawn-with-secret are there.
+        assert any(func == "child" for func, _l in funcs_lines)
+        assert any(func == "main" for func, _l in funcs_lines)

@@ -1,0 +1,217 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+
+RACY_SOURCE = """
+int x;
+int bump(int unused) {
+    x = x + 1;
+    return 0;
+}
+int main() {
+    int a; int b;
+    a = spawn(bump, 0);
+    b = spawn(bump, 0);
+    join(a);
+    join(b);
+    print(x);
+    assert(x == 2, 9);
+    return 0;
+}
+"""
+
+CLEAN_SOURCE = """
+int main() {
+    int i; int s;
+    s = 0;
+    for (i = 1; i <= 10; i = i + 1) { s = s + i; }
+    print(s);
+    return 0;
+}
+"""
+
+
+@pytest.fixture
+def racy_file(tmp_path):
+    path = tmp_path / "racy.mc"
+    path.write_text(RACY_SOURCE)
+    return str(path)
+
+
+@pytest.fixture
+def clean_file(tmp_path):
+    path = tmp_path / "clean.mc"
+    path.write_text(CLEAN_SOURCE)
+    return str(path)
+
+
+@pytest.fixture
+def racy_pinball(racy_file, tmp_path):
+    out = str(tmp_path / "racy.pinball")
+    code = main(["record", racy_file, "-o", out, "--expose", "64",
+                 "--switch-prob", "0.3"])
+    assert code == 0
+    return out
+
+
+class TestRun:
+    def test_clean_program(self, clean_file, capsys):
+        assert main(["run", clean_file]) == 0
+        assert "55" in capsys.readouterr().out
+
+    def test_failing_program_exit_code(self, racy_file):
+        # Round-robin never loses the update: passes.
+        assert main(["run", racy_file]) == 0
+
+    def test_inputs_flag(self, tmp_path, capsys):
+        path = tmp_path / "in.mc"
+        path.write_text("int main() { print(input() + input()); return 0; }")
+        assert main(["run", str(path), "--inputs", "4,5"]) == 0
+        assert "9" in capsys.readouterr().out
+
+    def test_compile_error_exit_code(self, tmp_path, capsys):
+        path = tmp_path / "bad.mc"
+        path.write_text("int main() { this is not minic }")
+        assert main(["run", str(path)]) == 64
+
+
+class TestRecordReplay:
+    def test_record_and_replay_roundtrip(self, clean_file, tmp_path, capsys):
+        out = str(tmp_path / "clean.pinball")
+        assert main(["record", clean_file, "-o", out]) == 0
+        assert os.path.exists(out)
+        capsys.readouterr()
+        assert main(["replay", clean_file, out]) == 0
+        assert "55" in capsys.readouterr().out
+
+    def test_expose_records_failure(self, racy_pinball, racy_file, capsys):
+        capsys.readouterr()
+        code = main(["replay", racy_file, racy_pinball])
+        assert code == 1            # failure reproduced
+        assert "failure" in capsys.readouterr().err
+
+    def test_expose_gives_up_on_clean_program(self, clean_file, tmp_path):
+        out = str(tmp_path / "never.pinball")
+        assert main(["record", clean_file, "-o", out, "--expose", "3"]) == 1
+
+    def test_maple_expose(self, racy_file, tmp_path, capsys):
+        out = str(tmp_path / "maple.pinball")
+        code = main(["record", racy_file, "-o", out,
+                     "--expose", "40", "--maple"])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "exposed by" in err
+
+    def test_region_flags(self, clean_file, tmp_path, capsys):
+        out = str(tmp_path / "region.pinball")
+        assert main(["record", clean_file, "-o", out,
+                     "--skip", "10", "--length", "20"]) == 0
+        assert "20 instructions" in capsys.readouterr().out
+
+
+class TestSlice:
+    def test_failure_slice(self, racy_file, racy_pinball, capsys):
+        capsys.readouterr()
+        assert main(["slice", racy_file, racy_pinball]) == 0
+        out = capsys.readouterr().out
+        assert "slice:" in out
+        assert "bump:" in out       # the racy increment is in the slice
+
+    def test_variable_slice_with_outputs(self, racy_file, racy_pinball,
+                                         tmp_path, capsys):
+        slice_json = str(tmp_path / "x.slice.json")
+        slice_pb = str(tmp_path / "x.slice.pinball")
+        assert main(["slice", racy_file, racy_pinball, "--var", "x",
+                     "-o", slice_json, "--slice-pinball", slice_pb]) == 0
+        assert os.path.exists(slice_json)
+        assert os.path.exists(slice_pb)
+        payload = json.load(open(slice_json))
+        assert payload["nodes"]
+
+    def test_unknown_variable(self, racy_file, racy_pinball):
+        assert main(["slice", racy_file, racy_pinball,
+                     "--var", "nope"]) == 65
+
+
+class TestDual:
+    def test_dual_diff_of_input_dependent_bug(self, tmp_path, capsys):
+        source = """
+int out; int bias;
+int main() {
+    int c;
+    c = input();
+    bias = 10;
+    if (c) { out = bias - 10; } else { out = bias + 10; }
+    assert(out > 0, 5);
+    return 0;
+}
+"""
+        path = tmp_path / "branchy.mc"
+        path.write_text(source)
+        failing = str(tmp_path / "fail.pb")
+        passing = str(tmp_path / "pass.pb")
+        main(["record", str(path), "-o", failing, "--inputs", "1"])
+        main(["record", str(path), "-o", passing, "--inputs", "0"])
+        capsys.readouterr()
+        assert main(["dual", str(path), failing, passing,
+                     "--var", "out"]) == 0
+        out = capsys.readouterr().out
+        assert "FAILING" in out
+        assert "main:7" in out
+
+
+class TestRaces:
+    def test_racy_program_reports(self, racy_file, racy_pinball, capsys):
+        capsys.readouterr()
+        assert main(["races", racy_file, racy_pinball]) == 2
+        out = capsys.readouterr().out
+        assert "race on x" in out
+
+    def test_clean_program_silent(self, clean_file, tmp_path, capsys):
+        out = str(tmp_path / "clean.pinball")
+        main(["record", clean_file, "-o", out])
+        capsys.readouterr()
+        assert main(["races", clean_file, out]) == 0
+
+
+class TestDebug:
+    def test_scripted_session(self, racy_file, racy_pinball, capsys):
+        capsys.readouterr()
+        code = main(["debug", racy_file, racy_pinball,
+                     "-x", "break bump", "-x", "run", "-x", "print x",
+                     "-x", "info threads"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "hit breakpoint" in out
+        assert "x = " in out
+
+    def test_scripted_reverse_session(self, racy_file, racy_pinball,
+                                      capsys):
+        capsys.readouterr()
+        code = main(["debug", racy_file, racy_pinball, "--reverse",
+                     "--checkpoint-interval", "16",
+                     "-x", "run", "-x", "rsi 5", "-x", "where"])
+        assert code == 0
+        assert "backwards" in capsys.readouterr().out
+
+    def test_quit_command_ends_script(self, racy_file, racy_pinball):
+        assert main(["debug", racy_file, racy_pinball,
+                     "-x", "quit", "-x", "run"]) == 0
+
+
+class TestDisasm:
+    def test_whole_program(self, clean_file, capsys):
+        assert main(["disasm", clean_file]) == 0
+        out = capsys.readouterr().out
+        assert "func main" in out
+
+    def test_single_function(self, racy_file, capsys):
+        assert main(["disasm", racy_file, "--function", "bump"]) == 0
+        out = capsys.readouterr().out
+        assert "func bump" in out
+        assert "func main" not in out

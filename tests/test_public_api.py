@@ -1,0 +1,50 @@
+"""The public API surface: everything advertised exists and imports."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestTopLevel:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__
+
+    def test_quickstart_snippet_names(self):
+        # The README quickstart must keep working.
+        for name in ("compile_source", "record_region", "replay",
+                     "RandomScheduler", "RegionSpec", "SlicingSession",
+                     "DrDebugSession", "DrDebugCLI", "expose_and_record",
+                     "detect_races"):
+            assert hasattr(repro, name), name
+
+
+SUBPACKAGES = [
+    "repro.isa", "repro.lang", "repro.vm", "repro.pinplay",
+    "repro.analysis", "repro.slicing", "repro.debugger", "repro.maple",
+    "repro.detect", "repro.workloads", "repro.cli",
+]
+
+
+class TestSubpackages:
+    @pytest.mark.parametrize("module_name", SUBPACKAGES)
+    def test_imports_cleanly(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module is not None
+
+    @pytest.mark.parametrize("module_name", [
+        m for m in SUBPACKAGES if m != "repro.cli"])
+    def test_all_exports_exist(self, module_name):
+        module = importlib.import_module(module_name)
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), "%s.%s" % (module_name, name)
+
+    @pytest.mark.parametrize("module_name", SUBPACKAGES)
+    def test_has_module_docstring(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module.__doc__ and len(module.__doc__) > 40, module_name

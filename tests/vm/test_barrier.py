@@ -1,0 +1,172 @@
+"""Tests for the barrier syscall and its interactions."""
+
+import pytest
+
+from repro.lang import compile_source
+from repro.pinplay import RegionSpec, record_region, replay
+from repro.vm import DeadlockError, Machine, RandomScheduler
+
+from tests.conftest import run_minic
+
+PHASED = """
+int bar;
+int phase1[4];
+int saw_all[4];
+
+int worker(int slot) {
+    phase1[slot] = slot + 10;
+    barrier(&bar, 3);
+    // After the barrier, everyone must see all phase-1 writes.
+    if (phase1[0] == 10 && phase1[1] == 11 && phase1[2] == 12) {
+        saw_all[slot] = 1;
+    }
+    return 0;
+}
+
+int main() {
+    int a; int b;
+    a = spawn(worker, 1);
+    b = spawn(worker, 2);
+    worker(0);
+    join(a); join(b);
+    print(saw_all[0] + saw_all[1] + saw_all[2]);
+    return 0;
+}
+"""
+
+
+class TestBarrierSemantics:
+    def test_all_threads_see_phase_one(self):
+        for seed in range(8):
+            machine = run_minic(
+                PHASED,
+                scheduler=RandomScheduler(seed=seed, switch_prob=0.3))
+            assert machine.output == [3], (seed, machine.output)
+
+    def test_reusable_across_rounds(self):
+        source = """
+int bar; int rounds;
+int worker(int unused) {
+    int i;
+    for (i = 0; i < 5; i = i + 1) {
+        barrier(&bar, 2);
+    }
+    return 0;
+}
+int main() {
+    int t;
+    t = spawn(worker, 0);
+    worker(0);
+    join(t);
+    print(1);
+    return 0;
+}
+"""
+        for seed in range(6):
+            machine = run_minic(
+                source,
+                scheduler=RandomScheduler(seed=seed, switch_prob=0.3))
+            assert machine.output == [1]
+
+    def test_single_thread_barrier_is_noop(self):
+        source = """
+int bar;
+int main() {
+    barrier(&bar, 1);
+    print(7);
+    return 0;
+}
+"""
+        assert run_minic(source).output == [7]
+
+    def test_insufficient_threads_deadlocks(self):
+        source = """
+int bar;
+int main() {
+    barrier(&bar, 2);
+    return 0;
+}
+"""
+        with pytest.raises(DeadlockError):
+            run_minic(source)
+
+    def test_invalid_count_faults(self):
+        from repro.vm import VMError
+        source = """
+int bar;
+int main() {
+    barrier(&bar, 0);
+    return 0;
+}
+"""
+        with pytest.raises(VMError):
+            run_minic(source)
+
+
+class TestBarrierReplay:
+    def test_barrier_program_replays_exactly(self):
+        program = compile_source(PHASED, name="barrier-replay")
+        pinball = record_region(
+            program, RandomScheduler(seed=3, switch_prob=0.3), RegionSpec())
+        machine, _result = replay(pinball, program)
+        assert machine.output == pinball.meta["output"]
+
+    def test_snapshot_mid_barrier_round(self):
+        """A region recorded while threads sit inside a barrier must
+        restore and replay the release correctly."""
+        program = compile_source(PHASED, name="barrier-snap")
+        pinball = record_region(
+            program, RandomScheduler(seed=3, switch_prob=0.3),
+            RegionSpec(skip=30))   # likely mid-round for some thread
+        machine, _result = replay(pinball, program)
+        assert machine.output == pinball.meta["output"]
+
+
+class TestBarrierHappensBefore:
+    def test_barrier_orders_conflicting_accesses(self):
+        """Writes before the barrier and reads after it don't race."""
+        from repro.detect import detect_races
+        source = """
+int bar; int data;
+int writer(int unused) {
+    data = 42;
+    barrier(&bar, 2);
+    return 0;
+}
+int main() {
+    int t;
+    t = spawn(writer, 0);
+    barrier(&bar, 2);
+    print(data);
+    return 0;
+}
+"""
+        program = compile_source(source, name="barrier-hb")
+        pinball = record_region(
+            program, RandomScheduler(seed=1, switch_prob=0.3), RegionSpec())
+        races = detect_races(pinball, program)
+        data_addr = program.globals["data"].addr
+        assert not [r for r in races if r.addr == data_addr], races
+
+    def test_without_barrier_same_accesses_race(self):
+        from repro.detect import detect_races
+        source = """
+int data;
+int writer(int unused) {
+    data = 42;
+    return 0;
+}
+int main() {
+    int t;
+    t = spawn(writer, 0);
+    print(data);
+    join(t);
+    return 0;
+}
+"""
+        program = compile_source(source, name="no-barrier")
+        pinball = record_region(
+            program, RandomScheduler(seed=1, switch_prob=0.3), RegionSpec())
+        races = detect_races(pinball, program)
+        data_addr = program.globals["data"].addr
+        assert [r for r in races if r.addr == data_addr]

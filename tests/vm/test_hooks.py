@@ -1,0 +1,94 @@
+"""Tests for the tool subscription machinery."""
+
+from repro.isa import assemble
+from repro.vm import Machine, Tool
+
+
+PROGRAM = """
+func main
+  mov r0, 1
+  sys print
+  halt
+"""
+
+
+class TestSubscriptionIndexing:
+    def test_only_overriders_get_callbacks(self):
+        calls = []
+
+        class StepOnly(Tool):
+            def on_step(self, tid):
+                calls.append("step")
+
+        class SyscallOnly(Tool):
+            def on_syscall(self, event):
+                calls.append("syscall")
+
+        class Passive(Tool):
+            pass
+
+        machine = Machine(assemble(PROGRAM),
+                          tools=[StepOnly(), SyscallOnly(), Passive()])
+        machine.run()
+        assert "step" in calls
+        assert "syscall" in calls
+
+    def test_add_tool_after_start(self):
+        events = []
+
+        class Late(Tool):
+            wants_instr_events = True
+            def on_instr(self, event):
+                events.append(event.addr)
+
+        machine = Machine(assemble(PROGRAM))
+        machine.run(max_steps=1)
+        machine.add_tool(Late())
+        machine.run()
+        # The late tool sees only the remaining instructions.
+        assert events and 0 not in events
+
+    def test_on_start_and_finish_called_once(self):
+        lifecycle = []
+
+        class Watcher(Tool):
+            def on_start(self, machine):
+                lifecycle.append("start")
+            def on_finish(self, machine):
+                lifecycle.append("finish")
+
+        machine = Machine(assemble(PROGRAM), tools=[Watcher()])
+        machine.run(max_steps=1)
+        machine.run()
+        assert lifecycle[0] == "start"
+        assert lifecycle.count("start") == 1
+        # on_finish fires at the end of each run() call.
+        assert lifecycle.count("finish") == 2
+
+    def test_event_ordering_step_before_instr(self):
+        order = []
+
+        class Both(Tool):
+            wants_instr_events = True
+            def on_step(self, tid):
+                order.append("step")
+            def on_instr(self, event):
+                order.append("instr")
+
+        machine = Machine(assemble(PROGRAM), tools=[Both()])
+        machine.run(max_steps=2)
+        assert order[:4] == ["step", "instr", "step", "instr"]
+
+    def test_instr_events_carry_sequence_numbers(self):
+        seqs = []
+
+        class SeqWatch(Tool):
+            wants_instr_events = True
+            def on_instr(self, event):
+                seqs.append((event.seq, event.tid, event.tindex))
+
+        machine = Machine(assemble(PROGRAM), tools=[SeqWatch()])
+        machine.run()
+        assert [s for s, _t, _i in seqs] == sorted(
+            s for s, _t, _i in seqs)
+        assert [i for _s, _t, i in seqs] == list(range(len(seqs)))

@@ -1,0 +1,388 @@
+"""Unit tests for the interpreter core: threads, locks, hooks, snapshots."""
+
+import pytest
+
+from repro.isa import assemble
+from repro.vm import (
+    DeadlockError,
+    Machine,
+    RoundRobinScheduler,
+    Tool,
+    VMError,
+)
+from repro.vm.machine import MachineSnapshot
+from repro.vm.thread import ThreadStatus
+
+from tests.conftest import run_minic
+
+
+COUNTER_RACE = """
+int counter;
+int mtx;
+int worker(int n) {
+    int i;
+    for (i = 0; i < n; i = i + 1) {
+        lock(&mtx);
+        counter = counter + 1;
+        unlock(&mtx);
+    }
+    return counter;
+}
+int main() {
+    int a; int b;
+    a = spawn(worker, 25);
+    b = spawn(worker, 25);
+    join(a);
+    join(b);
+    print(counter);
+    return 0;
+}
+"""
+
+
+class TestThreads:
+    def test_spawn_join_counts(self):
+        machine = run_minic(COUNTER_RACE)
+        assert machine.output == [50]
+
+    def test_join_returns_exit_value(self):
+        source = """
+int child(int n) { return n * 3; }
+int main() {
+    int t;
+    t = spawn(child, 14);
+    print(join(t));
+    return 0;
+}
+"""
+        assert run_minic(source).output == [42]
+
+    def test_join_already_finished_thread(self):
+        source = """
+int child(int n) { return n; }
+int main() {
+    int t; int i;
+    t = spawn(child, 9);
+    for (i = 0; i < 500; i = i + 1) { yield(); }
+    print(join(t));
+    return 0;
+}
+"""
+        assert run_minic(source).output == [9]
+
+    def test_join_unknown_tid_faults(self):
+        source = "int main() { return join(99); }"
+        with pytest.raises(VMError):
+            run_minic(source)
+
+    def test_main_return_does_not_kill_others(self):
+        source = """
+int g;
+int child(int n) {
+    int i;
+    for (i = 0; i < 10; i = i + 1) { g = g + 1; }
+    print(g);
+    return 0;
+}
+int main() {
+    spawn(child, 0);
+    return 0;
+}
+"""
+        machine = run_minic(source)
+        assert machine.output == [10]
+
+    def test_thread_stacks_disjoint(self):
+        source = """
+int out[4];
+int child(int slot) {
+    int local[8];
+    int i;
+    for (i = 0; i < 8; i = i + 1) { local[i] = slot * 100 + i; }
+    out[slot] = local[7];
+    return 0;
+}
+int main() {
+    int a; int b;
+    a = spawn(child, 1);
+    b = spawn(child, 2);
+    join(a); join(b);
+    print(out[1]); print(out[2]);
+    return 0;
+}
+"""
+        assert run_minic(source).output == [107, 207]
+
+
+class TestLocks:
+    def test_mutual_exclusion_under_preemption(self):
+        from repro.vm import RandomScheduler
+        for seed in range(5):
+            machine = run_minic(
+                COUNTER_RACE,
+                scheduler=RandomScheduler(seed=seed, switch_prob=0.3))
+            assert machine.output == [50], "lost update despite lock"
+
+    def test_unlock_not_held_faults(self):
+        source = """
+int m;
+int main() { unlock(&m); return 0; }
+"""
+        with pytest.raises(VMError):
+            run_minic(source)
+
+    def test_recursive_lock_faults(self):
+        source = """
+int m;
+int main() { lock(&m); lock(&m); return 0; }
+"""
+        with pytest.raises(VMError):
+            run_minic(source)
+
+    def test_deadlock_detected(self):
+        source = """
+int m1; int m2;
+int child(int unused) {
+    lock(&m2);
+    sleep(50);
+    lock(&m1);
+    unlock(&m1); unlock(&m2);
+    return 0;
+}
+int main() {
+    int t;
+    lock(&m1);
+    t = spawn(child, 0);
+    sleep(100);
+    lock(&m2);
+    unlock(&m2); unlock(&m1);
+    join(t);
+    return 0;
+}
+"""
+        with pytest.raises(DeadlockError):
+            run_minic(source)
+
+    def test_lock_handoff_wakes_waiter(self):
+        source = """
+int m; int order[2]; int pos;
+int child(int unused) {
+    lock(&m);
+    order[pos] = 2;
+    pos = pos + 1;
+    unlock(&m);
+    return 0;
+}
+int main() {
+    int t;
+    lock(&m);
+    t = spawn(child, 0);
+    sleep(30);
+    order[pos] = 1;
+    pos = pos + 1;
+    unlock(&m);
+    join(t);
+    print(order[0]); print(order[1]);
+    return 0;
+}
+"""
+        assert run_minic(source).output == [1, 2]
+
+
+class TestRunControl:
+    def test_max_steps_limit(self):
+        source = "int main() { while (1) { } return 0; }"
+        machine = run_minic(source, max_steps=1000)
+        assert not machine.finished
+
+    def test_stop_request(self):
+        program = assemble("""
+func main
+  mov r0, 0
+loop:
+  add r0, r0, 1
+  jmp loop
+""")
+        class Stopper(Tool):
+            wants_instr_events = True
+            def __init__(self):
+                self.count = 0
+            def on_instr(self, event):
+                self.count += 1
+                if self.count >= 10:
+                    machine.stop_request = True
+        stopper = Stopper()
+        machine = Machine(program, tools=[stopper])
+        result = machine.run()
+        assert result.reason == "stop"
+        assert stopper.count == 10
+
+    def test_breakpoint_stops_before_execution(self):
+        program = assemble("""
+func main
+  mov r0, 1
+  mov r1, 2
+  halt
+""")
+        machine = Machine(program)
+        machine.breakpoints = {1}
+        result = machine.run()
+        assert result.reason == "breakpoint"
+        assert machine.threads[0].pc == 1
+        assert machine.threads[0].regs["r1"] == 0
+        machine.step_over_breakpoint()
+        result = machine.run()
+        assert result.reason == "exit"
+        assert machine.threads[0].regs["r1"] == 2
+
+    def test_pc_out_of_range_faults(self):
+        program = assemble("""
+func main
+  mov r0, 999
+  ijmp r0
+""")
+        with pytest.raises(VMError):
+            Machine(program).run()
+
+    def test_division_by_zero_faults(self):
+        with pytest.raises(VMError):
+            run_minic("int main() { int z; z = 0; return 1 / z; }")
+
+    def test_stack_overflow_detected(self):
+        source = """
+int recurse(int n) { return recurse(n + 1); }
+int main() { return recurse(0); }
+"""
+        with pytest.raises(VMError) as excinfo:
+            run_minic(source, max_steps=10_000_000)
+        assert "stack overflow" in str(excinfo.value)
+
+
+class TestTools:
+    def test_instr_events_have_def_use_values(self):
+        program = assemble("""
+.global g 1
+func main
+  mov r0, 7
+  lea r1, g
+  st [r1], r0
+  ld r2, [r1]
+  halt
+""")
+        events = []
+        class Collector(Tool):
+            wants_instr_events = True
+            def on_instr(self, event):
+                events.append(event)
+        Machine(program, tools=[Collector()]).run()
+        store = events[2]
+        addr = program.globals["g"].addr
+        assert store.mem_writes == ((addr, 7),)
+        load = events[3]
+        assert load.mem_reads == ((addr, 7),)
+        assert ("r2", 7) in load.reg_writes
+
+    def test_syscall_events(self):
+        seen = []
+        class SysWatch(Tool):
+            def on_syscall(self, event):
+                seen.append((event.name, event.result))
+        program = assemble("""
+func main
+  mov r0, 5
+  sys print
+  sys input
+  halt
+""")
+        machine = Machine(program, tools=[SysWatch()], inputs=[42])
+        machine.run()
+        assert ("print", None) in seen
+        assert ("input", 42) in seen
+
+    def test_thread_lifecycle_events(self):
+        starts = []
+        exits = []
+        class Lifecycle(Tool):
+            def on_thread_start(self, tid, parent, start_pc, arg):
+                starts.append((tid, parent))
+            def on_thread_exit(self, tid, exit_value):
+                exits.append(tid)
+        source = """
+int child(int n) { return 0; }
+int main() { join(spawn(child, 0)); return 0; }
+"""
+        from repro.lang import compile_source
+        machine = Machine(compile_source(source), tools=[Lifecycle()])
+        machine.run()
+        assert (1, 0) in starts
+        assert 1 in exits
+
+    def test_no_instr_tools_means_no_event_overhead(self):
+        # White-box: the tracing path allocates per-instruction tuples;
+        # without subscribers the machine should not call on_instr at all.
+        class Passive(Tool):
+            wants_instr_events = False
+            def on_instr(self, event):
+                raise AssertionError("should never be called")
+        program = assemble("func main\n  mov r0, 1\n  halt\n")
+        Machine(program, tools=[Passive()]).run()
+
+
+class TestSnapshot:
+    def test_snapshot_restore_resumes_identically(self):
+        source = """
+int main() {
+    int i; int s;
+    s = 0;
+    for (i = 0; i < 100; i = i + 1) { s = s + i; }
+    print(s);
+    return 0;
+}
+"""
+        from repro.lang import compile_source
+        program = compile_source(source)
+        machine = Machine(program)
+        machine.run(max_steps=150)
+        snap = machine.snapshot()
+        machine.run()
+        expected = list(machine.output)
+
+        import json
+        payload = json.loads(json.dumps(snap.to_dict()))
+        restored = Machine.from_snapshot(
+            program, MachineSnapshot.from_dict(payload))
+        restored.run()
+        assert restored.output == expected
+
+    def test_reset_counters(self):
+        machine = run_minic("int main() { print(1); return 0; }",
+                            max_steps=10)
+        machine.reset_counters()
+        assert machine.global_seq == 0
+        assert all(t.instr_count == 0 for t in machine.threads.values())
+
+
+class TestVariableAccess:
+    def test_read_global(self):
+        machine = run_minic("int g; int main() { g = 5; return 0; }")
+        assert machine.read_global("g") == 5
+
+    def test_read_local_register(self):
+        program_src = """
+int main() {
+    int x;
+    x = 77;
+    while (1) { yield(); }
+    return 0;
+}
+"""
+        from repro.lang import compile_source
+        program = compile_source(program_src)
+        machine = Machine(program)
+        machine.run(max_steps=200)
+        assert machine.read_local(0, "x") == 77
+
+    def test_read_unknown_global_faults(self):
+        machine = run_minic("int main() { return 0; }")
+        with pytest.raises(VMError):
+            machine.read_global("nope")

@@ -1,0 +1,110 @@
+"""Unit tests for the sparse memory and heap allocator."""
+
+import pytest
+
+from repro.vm.errors import VMError
+from repro.vm.memory import ADDRESS_SPACE_TOP, Memory
+
+
+@pytest.fixture
+def mem():
+    return Memory(heap_base=100)
+
+
+class TestWords:
+    def test_default_zero(self, mem):
+        assert mem.read(50) == 0
+
+    def test_write_read(self, mem):
+        mem.write(50, 7)
+        assert mem.read(50) == 7
+
+    def test_write_zero_reclaims_storage(self, mem):
+        mem.write(50, 7)
+        mem.write(50, 0)
+        assert mem.read(50) == 0
+        assert len(mem) == 0
+
+    def test_float_values(self, mem):
+        mem.write(50, 1.25)
+        assert mem.read(50) == 1.25
+
+    def test_float_zero_kept_distinct(self, mem):
+        mem.write(50, 0.0)
+        assert isinstance(mem.read(50), float)
+
+    def test_null_access_rejected(self, mem):
+        with pytest.raises(VMError):
+            mem.read(0)
+        with pytest.raises(VMError):
+            mem.write(0, 1)
+
+    def test_negative_address_rejected(self, mem):
+        with pytest.raises(VMError):
+            mem.read(-5)
+
+    def test_out_of_range_rejected(self, mem):
+        with pytest.raises(VMError):
+            mem.write(ADDRESS_SPACE_TOP, 1)
+
+
+class TestHeap:
+    def test_malloc_disjoint_blocks(self, mem):
+        a = mem.malloc(4)
+        b = mem.malloc(4)
+        assert a >= 100
+        assert abs(a - b) >= 4
+
+    def test_malloc_zero_size_allocates_one_word(self, mem):
+        a = mem.malloc(0)
+        b = mem.malloc(1)
+        assert a != b
+
+    def test_free_and_reuse(self, mem):
+        a = mem.malloc(8)
+        mem.free(a)
+        b = mem.malloc(8)
+        assert b == a
+
+    def test_free_different_size_not_reused(self, mem):
+        a = mem.malloc(8)
+        mem.free(a)
+        b = mem.malloc(4)
+        assert b != a
+
+    def test_double_free_rejected(self, mem):
+        a = mem.malloc(4)
+        mem.free(a)
+        with pytest.raises(VMError):
+            mem.free(a)
+
+    def test_free_unallocated_rejected(self, mem):
+        with pytest.raises(VMError):
+            mem.free(12345)
+
+
+class TestSnapshot:
+    def test_roundtrip(self, mem):
+        mem.write(50, 7)
+        mem.write(60, 1.5)
+        a = mem.malloc(4)
+        mem.free(a)
+        restored = Memory.from_snapshot(mem.snapshot())
+        assert restored == mem
+        assert restored.read(50) == 7
+        # Allocator state also restored: next malloc(4) reuses the block.
+        assert restored.malloc(4) == a
+
+    def test_snapshot_is_json_safe(self, mem):
+        import json
+        mem.write(50, 7)
+        mem.malloc(4)
+        payload = json.loads(json.dumps(mem.snapshot()))
+        restored = Memory.from_snapshot(payload)
+        assert restored == mem
+
+    def test_snapshot_independent_of_future_writes(self, mem):
+        mem.write(50, 7)
+        snap = mem.snapshot()
+        mem.write(50, 8)
+        assert Memory.from_snapshot(snap).read(50) == 7

@@ -1,0 +1,152 @@
+"""Unit tests for the schedulers."""
+
+import pytest
+
+from repro.vm.errors import ReplayDivergence
+from repro.vm.scheduler import (
+    PriorityScheduler,
+    RandomScheduler,
+    RecordedScheduler,
+    RoundRobinScheduler,
+    ScheduleRecorder,
+)
+
+
+def drive(scheduler, runnable_fn, steps):
+    """Run pick/commit cycles; returns the tid sequence."""
+    picked = []
+    last = None
+    for step in range(steps):
+        runnable = runnable_fn(step)
+        tid = scheduler.pick(runnable, last)
+        scheduler.commit(tid)
+        picked.append(tid)
+        last = tid
+    return picked
+
+
+class TestRoundRobin:
+    def test_quantum_rotation(self):
+        sched = RoundRobinScheduler(quantum=3)
+        picked = drive(sched, lambda s: [0, 1], 9)
+        assert picked == [0, 0, 0, 1, 1, 1, 0, 0, 0]
+
+    def test_skips_non_runnable(self):
+        sched = RoundRobinScheduler(quantum=2)
+        picked = drive(sched, lambda s: [1] if s < 4 else [0, 1], 6)
+        assert picked[:4] == [1, 1, 1, 1]
+
+    def test_wraps_around(self):
+        sched = RoundRobinScheduler(quantum=1)
+        picked = drive(sched, lambda s: [0, 1, 2], 6)
+        assert picked == [0, 1, 2, 0, 1, 2]
+
+    def test_quantum_validation(self):
+        with pytest.raises(ValueError):
+            RoundRobinScheduler(quantum=0)
+
+    def test_discarded_pick_not_consumed(self):
+        sched = RoundRobinScheduler(quantum=2)
+        first = sched.pick([0, 1], None)
+        # pick again without commit: same answer (pure until commit).
+        assert sched.pick([0, 1], None) == first
+
+
+class TestRandom:
+    def test_deterministic_per_seed(self):
+        a = drive(RandomScheduler(seed=3, switch_prob=0.5),
+                  lambda s: [0, 1, 2], 50)
+        b = drive(RandomScheduler(seed=3, switch_prob=0.5),
+                  lambda s: [0, 1, 2], 50)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = drive(RandomScheduler(seed=1, switch_prob=0.5),
+                  lambda s: [0, 1, 2], 50)
+        b = drive(RandomScheduler(seed=2, switch_prob=0.5),
+                  lambda s: [0, 1, 2], 50)
+        assert a != b
+
+    def test_only_picks_runnable(self):
+        picked = drive(RandomScheduler(seed=7, switch_prob=1.0),
+                       lambda s: [2, 5], 30)
+        assert set(picked) <= {2, 5}
+
+    def test_zero_switch_prob_sticks(self):
+        picked = drive(RandomScheduler(seed=7, switch_prob=0.0),
+                       lambda s: [0, 1], 10)
+        assert len(set(picked)) == 1
+
+
+class TestRecorded:
+    def test_follows_schedule(self):
+        sched = RecordedScheduler([(0, 2), (1, 3), (0, 1)])
+        picked = drive(sched, lambda s: [0, 1], 6)
+        assert picked == [0, 0, 1, 1, 1, 0]
+        assert sched.exhausted
+
+    def test_divergence_on_not_runnable(self):
+        sched = RecordedScheduler([(5, 1)])
+        with pytest.raises(ReplayDivergence):
+            sched.pick([0, 1], None)
+
+    def test_divergence_when_exhausted(self):
+        sched = RecordedScheduler([(0, 1)])
+        sched.commit(sched.pick([0], None))
+        with pytest.raises(ReplayDivergence):
+            sched.pick([0], 0)
+
+    def test_pick_without_commit_repeats(self):
+        sched = RecordedScheduler([(0, 1), (1, 1)])
+        assert sched.pick([0, 1], None) == 0
+        assert sched.pick([0, 1], None) == 0    # not yet committed
+        sched.commit(0)
+        assert sched.pick([0, 1], 0) == 1
+
+    def test_commit_mismatch_raises(self):
+        sched = RecordedScheduler([(0, 1)])
+        with pytest.raises(ReplayDivergence):
+            sched.commit(1)
+
+
+class TestPriority:
+    def test_highest_priority_wins(self):
+        sched = PriorityScheduler({0: 1, 1: 5, 2: 3})
+        assert drive(sched, lambda s: [0, 1, 2], 3) == [1, 1, 1]
+
+    def test_tie_breaks_by_lower_tid(self):
+        sched = PriorityScheduler({0: 2, 1: 2})
+        assert sched.pick([0, 1], None) == 0
+
+    def test_dynamic_priority_update(self):
+        sched = PriorityScheduler({0: 5, 1: 1})
+        assert sched.pick([0, 1], None) == 0
+        sched.set_priority(1, 10)
+        assert sched.pick([0, 1], 0) == 1
+
+    def test_before_pick_callback(self):
+        seen = []
+        sched = PriorityScheduler(before_pick=lambda r: seen.append(list(r)))
+        sched.pick([3, 4], None)
+        assert seen == [[3, 4]]
+
+
+class TestScheduleRecorder:
+    def test_rle_compression(self):
+        rec = ScheduleRecorder()
+        for tid in [0, 0, 0, 1, 1, 0]:
+            rec.record(tid)
+        assert rec.runs == [(0, 3), (1, 2), (0, 1)]
+        assert rec.total() == 6
+
+    def test_empty(self):
+        assert ScheduleRecorder().total() == 0
+
+    def test_roundtrip_through_recorded_scheduler(self):
+        rec = ScheduleRecorder()
+        original = [0, 1, 1, 2, 0, 0, 2]
+        for tid in original:
+            rec.record(tid)
+        sched = RecordedScheduler(rec.runs)
+        replayed = drive(sched, lambda s: [0, 1, 2], len(original))
+        assert replayed == original

@@ -1,0 +1,109 @@
+"""Unit tests for syscall behaviours not covered by the semantics tests."""
+
+import pytest
+
+from repro.vm import Machine, VMError
+from repro.vm.syscalls import NONDET_SYSCALLS
+
+from tests.conftest import run_minic
+
+
+class TestNondeterminismContract:
+    def test_nondet_set_is_exactly_three(self):
+        # The replay design depends on this: anything else added here must
+        # also be recorded by the logger and injected by the replayer.
+        assert set(NONDET_SYSCALLS) == {"input", "rand", "time"}
+
+    def test_injector_overrides_nondet_results(self):
+        from repro.lang import compile_source
+        source = "int main() { print(input()); print(rand(10)); return 0; }"
+        program = compile_source(source)
+        machine = Machine(program, inputs=[5],
+                          syscall_injector=lambda name, tid: 123)
+        machine.run()
+        assert machine.output == [123, 123]
+
+    def test_injector_not_consulted_for_deterministic_syscalls(self):
+        from repro.lang import compile_source
+        calls = []
+        def injector(name, tid):
+            calls.append(name)
+            return None
+        source = "int main() { print(7); return 0; }"
+        machine = Machine(compile_source(source), syscall_injector=injector)
+        machine.run()
+        assert calls == []   # print is deterministic
+
+    def test_injector_none_falls_back_to_live(self):
+        from repro.lang import compile_source
+        source = "int main() { print(input()); return 0; }"
+        machine = Machine(compile_source(source), inputs=[9],
+                          syscall_injector=lambda name, tid: None)
+        machine.run()
+        assert machine.output == [9]
+
+
+class TestSleep:
+    def test_sleep_delays_relative_progress(self):
+        source = """
+int order[2]; int pos;
+int fast(int unused) {
+    order[pos] = 1;
+    pos = pos + 1;
+    return 0;
+}
+int main() {
+    int t;
+    t = spawn(fast, 0);
+    sleep(200);
+    order[pos] = 2;
+    pos = pos + 1;
+    join(t);
+    print(order[0]); print(order[1]);
+    return 0;
+}
+"""
+        assert run_minic(source).output == [1, 2]
+
+    def test_sleep_zero_is_noop(self):
+        source = "int main() { sleep(0); print(1); return 0; }"
+        assert run_minic(source).output == [1]
+
+
+class TestExitAndAssert:
+    def test_exit_code_propagates(self):
+        machine = run_minic("int main() { exit(9); return 0; }")
+        assert machine.exit_code == 9
+
+    def test_failure_records_location(self):
+        source = """
+int main() {
+    assert(0, 55);
+    return 0;
+}
+"""
+        machine = run_minic(source)
+        failure = machine.failure
+        assert failure["code"] == 55
+        assert failure["tid"] == 0
+        # pc points at the sys assert instruction.
+        assert machine.program.instructions[failure["pc"]].subop == "assert"
+
+    def test_first_failure_wins(self):
+        source = """
+int main() {
+    assert(0, 1);
+    assert(0, 2);
+    return 0;
+}
+"""
+        machine = run_minic(source)
+        assert machine.failure["code"] == 1
+
+
+class TestUnknownSyscall:
+    def test_unknown_syscall_faults(self):
+        from repro.isa import assemble
+        program = assemble("func main\n  sys bogus\n  halt\n")
+        with pytest.raises(VMError):
+            Machine(program).run()

@@ -1,0 +1,78 @@
+"""Unit tests for the per-thread context."""
+
+import json
+
+from repro.vm.thread import EXIT_SENTINEL, Frame, ThreadContext, ThreadStatus
+
+
+class TestConstruction:
+    def test_initial_registers(self):
+        thread = ThreadContext(3, entry_pc=10, stack_base=1000)
+        assert thread.pc == 10
+        assert thread.regs["sp"] == 1000
+        assert thread.regs["fp"] == 1000
+        assert thread.regs["r0"] == 0
+        assert thread.status == ThreadStatus.RUNNABLE
+        assert thread.instr_count == 0
+
+    def test_stack_limit_below_base(self):
+        thread = ThreadContext(0, 0, stack_base=1 << 20)
+        assert thread.stack_limit < thread.stack_base
+
+
+class TestFrames:
+    def test_push_pop(self):
+        thread = ThreadContext(0, 0, 1000)
+        first = thread.push_frame("main", -1, EXIT_SENTINEL)
+        second = thread.push_frame("helper", 5, 6)
+        assert thread.current_frame() is second
+        assert thread.pop_frame() is second
+        assert thread.current_frame() is first
+
+    def test_frame_ids_unique(self):
+        thread = ThreadContext(0, 0, 1000)
+        ids = set()
+        for index in range(5):
+            frame = thread.push_frame("f", index, index + 1)
+            ids.add(frame.frame_id)
+            thread.pop_frame()
+        assert len(ids) == 5
+
+    def test_pop_empty_returns_none(self):
+        thread = ThreadContext(0, 0, 1000)
+        assert thread.pop_frame() is None
+        assert thread.current_frame() is None
+
+
+class TestSnapshot:
+    def test_roundtrip_preserves_everything(self):
+        thread = ThreadContext(2, 7, 5000)
+        thread.regs["r3"] = 42
+        thread.regs["sp"] = 4990
+        thread.status = ThreadStatus.BLOCKED
+        thread.block_reason = ("lock", 16)
+        thread.push_frame("main", -1, EXIT_SENTINEL)
+        thread.push_frame("g", 3, 4)
+
+        payload = json.loads(json.dumps(thread.snapshot()))
+        restored = ThreadContext.from_snapshot(payload)
+        assert restored.tid == 2
+        assert restored.pc == 7
+        assert restored.regs["r3"] == 42
+        assert restored.regs["sp"] == 4990
+        assert restored.status == ThreadStatus.BLOCKED
+        assert restored.block_reason == ("lock", 16)
+        assert [f.func for f in restored.frames] == ["main", "g"]
+
+    def test_frame_id_counter_survives(self):
+        thread = ThreadContext(0, 0, 1000)
+        thread.push_frame("a", -1, 0)
+        thread.push_frame("b", 1, 2)
+        restored = ThreadContext.from_snapshot(thread.snapshot())
+        new_frame = restored.push_frame("c", 3, 4)
+        assert new_frame.frame_id == 2
+
+    def test_snapshot_with_no_block_reason(self):
+        thread = ThreadContext(0, 0, 1000)
+        restored = ThreadContext.from_snapshot(thread.snapshot())
+        assert restored.block_reason is None

@@ -1,0 +1,181 @@
+"""Tests for the workload programs (bug analogs, PARSEC, SPECOMP)."""
+
+import pytest
+
+from repro.pinplay import RegionSpec, record_region, replay
+from repro.vm import Machine, RandomScheduler, RoundRobinScheduler
+from repro.workloads import (
+    BUG_WORKLOADS,
+    PARSEC_KERNELS,
+    SPECOMP_KERNELS,
+    find_marker_skip,
+    get_bug,
+    get_parsec,
+    get_specomp,
+)
+from repro.workloads.util import MARKER_RACY_PHASE, MARKER_WARMUP_DONE
+
+
+class TestRegistries:
+    def test_three_bugs_match_table1(self):
+        assert set(BUG_WORKLOADS) == {"pbzip2", "aget", "mozilla"}
+
+    def test_eight_parsec_kernels(self):
+        assert len(PARSEC_KERNELS) == 8
+        kinds = {k.kind for k in PARSEC_KERNELS.values()}
+        assert kinds == {"app", "kernel"}
+
+    def test_five_specomp_kernels(self):
+        assert set(SPECOMP_KERNELS) == {
+            "ammp", "apsi", "galgel", "mgrid", "wupwise"}
+
+    def test_unknown_names_rejected(self):
+        with pytest.raises(KeyError):
+            get_bug("nope")
+        with pytest.raises(KeyError):
+            get_parsec("nope")
+        with pytest.raises(KeyError):
+            get_specomp("nope")
+
+
+class TestParsecKernels:
+    @pytest.mark.parametrize("name", sorted(PARSEC_KERNELS))
+    def test_compiles_and_runs_clean(self, name):
+        kernel = get_parsec(name)
+        program = kernel.build(units=15, nthreads=4)
+        machine = Machine(program, scheduler=RoundRobinScheduler(25))
+        result = machine.run(max_steps=500_000)
+        assert machine.failure is None
+        assert result.reason in ("done", "exit")
+        assert len(machine.threads) == 4
+
+    @pytest.mark.parametrize("name", sorted(PARSEC_KERNELS))
+    def test_units_scale_instructions_linearly(self, name):
+        kernel = get_parsec(name)
+        counts = []
+        for units in (10, 20):
+            program = kernel.build(units=units, nthreads=2)
+            machine = Machine(program, scheduler=RoundRobinScheduler(25))
+            result = machine.run(max_steps=500_000)
+            counts.append(machine.threads[0].instr_count)
+        ratio = counts[1] / counts[0]
+        assert 1.5 < ratio < 2.5
+
+    def test_total_work_tracks_thread_count(self):
+        kernel = get_parsec("blackscholes")
+        program = kernel.build(units=30, nthreads=4)
+        machine = Machine(program, scheduler=RoundRobinScheduler(25))
+        machine.run(max_steps=500_000)
+        total = sum(t.instr_count for t in machine.threads.values())
+        main = machine.threads[0].instr_count
+        # The paper: total across threads is 3-4x the main-thread length.
+        assert 2.5 < total / main < 4.5
+
+    def test_kernels_deterministic_under_fixed_schedule(self):
+        kernel = get_parsec("canneal")   # uses rand()
+        outputs = []
+        for _ in range(2):
+            program = kernel.build(units=20, nthreads=2)
+            machine = Machine(program, scheduler=RoundRobinScheduler(25),
+                              rand_seed=7)
+            machine.run(max_steps=500_000)
+            outputs.append(list(machine.output))
+        assert outputs[0] == outputs[1]
+
+
+class TestSpecompKernels:
+    @pytest.mark.parametrize("name", sorted(SPECOMP_KERNELS))
+    def test_compiles_and_runs_clean(self, name):
+        kernel = get_specomp(name)
+        program = kernel.build(units=15)
+        machine = Machine(program, scheduler=RoundRobinScheduler(25))
+        result = machine.run(max_steps=500_000)
+        assert machine.failure is None
+        assert result.reason in ("done", "exit")
+
+    @pytest.mark.parametrize("name", sorted(SPECOMP_KERNELS))
+    def test_kernels_are_call_dense(self, name):
+        """Each kernel's hot loop calls helpers, generating save/restore
+        pairs — the property Figure 13 depends on."""
+        from repro.isa.instructions import Opcode
+        program = get_specomp(name).build(units=5)
+        worker = program.functions["worker"]
+        calls = [i for i in worker.instrs if i.op == Opcode.CALL]
+        assert calls, "worker has no calls"
+
+
+class TestBugWorkloads:
+    @pytest.mark.parametrize("name", sorted(BUG_WORKLOADS))
+    def test_bug_exposed_and_replayable(self, name):
+        workload = get_bug(name)
+        program = workload.build(warmup=150)
+        pinball, seed = workload.expose(program, seeds=range(48))
+        assert pinball is not None, "no seed exposed %s" % name
+        machine, result = replay(pinball, program)
+        assert result.failure is not None
+        assert result.failure["code"] == workload.failure_code
+
+    @pytest.mark.parametrize("name", sorted(BUG_WORKLOADS))
+    def test_some_schedule_is_benign(self, name):
+        """The bugs are schedule-dependent: at least one seed passes."""
+        workload = get_bug(name)
+        program = workload.build(warmup=50)
+        benign = False
+        for seed in range(60):
+            machine = Machine(
+                program,
+                scheduler=RandomScheduler(seed=seed,
+                                          switch_prob=workload.switch_prob))
+            machine.run(max_steps=1_000_000)
+            if machine.failure is None:
+                benign = True
+                break
+        assert benign, "%s fails under every schedule — not a race" % name
+
+    def test_warmup_scales_whole_program_size(self):
+        workload = get_bug("pbzip2")
+        small = workload.build(warmup=100)
+        big = workload.build(warmup=2000)
+        counts = []
+        for program in (small, big):
+            machine = Machine(program, scheduler=RoundRobinScheduler(40))
+            machine.run(max_steps=2_000_000)
+            counts.append(machine.threads[0].instr_count)
+        assert counts[1] > counts[0] + 5_000
+
+
+class TestPhaseMarkers:
+    def test_find_marker_skip(self):
+        workload = get_bug("mozilla")
+        program = workload.build(warmup=300)
+        skip = find_marker_skip(program, RoundRobinScheduler(40),
+                                marker=MARKER_WARMUP_DONE)
+        assert skip is not None
+        # The warm-up loop body is ~7 instructions per iteration.
+        assert skip > 300 * 4
+
+    def test_racy_marker_after_warmup_marker(self):
+        workload = get_bug("pbzip2")
+        program = workload.build(warmup=200)
+        warm = find_marker_skip(program, RoundRobinScheduler(40),
+                                marker=MARKER_WARMUP_DONE)
+        racy = find_marker_skip(program, RoundRobinScheduler(40),
+                                marker=MARKER_RACY_PHASE)
+        assert warm is not None and racy is not None
+        assert racy > warm
+
+    def test_buggy_region_skip_usable_for_logging(self):
+        workload = get_bug("pbzip2")
+        program = workload.build(warmup=400)
+        pinball, seed = workload.expose(program, seeds=range(48))
+        assert pinball is not None
+        skip = workload.buggy_region_skip(program, seed)
+        from repro.vm import RandomScheduler
+        region_pb = record_region(
+            program,
+            RandomScheduler(seed=seed, switch_prob=workload.switch_prob),
+            RegionSpec(skip=skip))
+        # The buggy region still captures the failure, with fewer
+        # instructions than the whole-program pinball.
+        assert region_pb.meta["failure"] is not None
+        assert region_pb.total_instructions < pinball.total_instructions
