@@ -204,6 +204,26 @@ class Instr:
             uses.extend(("r0", "r1", "r2", "r3"))
         return tuple(dict.fromkeys(uses))
 
+    # -- decode metadata (consumed by the predecode layer) ------------------
+
+    def operand_kinds(self) -> str:
+        """Operand shape string, one char per operand: r/i/m/l.
+
+        The predecoder (:mod:`repro.vm.microops`) specializes a handler
+        closure on this shape at decode time — e.g. ``mov`` with shape
+        ``"ri"`` binds an immediate-store handler, ``"rr"`` a
+        register-copy handler — instead of isinstance-testing operands in
+        the execution hot path.  Unknown shapes (``"?"``) make the
+        decoder fall back to the generic interpreter so malformed
+        programs keep their exact legacy error behavior.
+        """
+        return "".join(_OPERAND_KIND_CODES.get(type(operand), "?")
+                       for operand in self.operands)
+
+    def falls_through(self) -> bool:
+        """True if the next sequential pc is a possible successor."""
+        return self.op not in (Opcode.JMP, Opcode.IJMP, Opcode.RET)
+
     # -- classification helpers --------------------------------------------
 
     def is_branch(self) -> bool:
@@ -240,6 +260,10 @@ class Instr:
         if self.op != Opcode.SYS and self.operands:
             parts.append(", ".join(str(o) for o in self.operands))
         return " ".join(parts)
+
+
+#: Operand-kind codes for :meth:`Instr.operand_kinds`.
+_OPERAND_KIND_CODES = {Reg: "r", Imm: "i", Mem: "m", Label: "l"}
 
 
 def _reg_name(operand: Operand) -> str:

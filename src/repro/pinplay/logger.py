@@ -32,6 +32,7 @@ class LoggerTool(Tool):
     """Records everything replay needs while a region executes."""
 
     wants_instr_events = True
+    retains_instr_events = False   # edges/counts are extracted per event
 
     def __init__(self) -> None:
         self.schedule = ScheduleRecorder()
@@ -114,17 +115,21 @@ def record_region(program: Program,
                   scheduler: Scheduler,
                   region: Optional[RegionSpec] = None,
                   inputs=(), rand_seed: int = 0,
-                  extra_tools=()) -> Pinball:
+                  extra_tools=(),
+                  engine: Optional[str] = None) -> Pinball:
     """Log a region of a fresh run of ``program`` into a pinball.
 
     ``scheduler`` drives the interleaving of the *recording* run (e.g. a
     seeded :class:`~repro.vm.scheduler.RandomScheduler` to shake out a
     race).  ``extra_tools`` attach additional analyses to the recorded
-    region (used by the Maple integration).
+    region (used by the Maple integration).  ``engine`` selects the
+    interpreter (see :data:`repro.vm.machine.ENGINES`); the fast-forward
+    phase runs with no tools attached, so the predecoded engine's
+    untraced path gives it Pin-only speed.
     """
     region = region or RegionSpec()
     machine = Machine(program, scheduler=scheduler, inputs=inputs,
-                      rand_seed=rand_seed)
+                      rand_seed=rand_seed, engine=engine)
     if region.skip:
         _fast_forward(machine, region.skip)
 
@@ -176,4 +181,7 @@ def record_region(program: Program,
         syscalls=tool.syscalls,
         mem_order=tool.mem_order,
         meta=meta,
+        # The recorder structures are already canonical (int tids/counts,
+        # str names): skip the constructor's per-element re-cast pass.
+        trusted=True,
     )

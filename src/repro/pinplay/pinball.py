@@ -42,13 +42,28 @@ class Pinball:
                  syscalls: Dict[int, List[Tuple[str, object]]],
                  mem_order: Sequence[Tuple[int, int, int, int, int, str]] = (),
                  exclusions: Sequence[dict] = (),
-                 meta: Optional[dict] = None) -> None:
+                 meta: Optional[dict] = None,
+                 trusted: bool = False) -> None:
+        """``trusted=True`` skips the per-element normalization casts.
+
+        Use it only when the inputs are already in canonical form — i.e.
+        they come from this class's own serialized representation
+        (:meth:`from_dict`) or from the logger/relogger, whose recorders
+        produce typed tuples directly.  Outer containers are still
+        shallow-copied so pinballs never alias caller state.
+        """
         self.program_name = program_name
         self.snapshot = snapshot
-        self.schedule = [(int(t), int(c)) for t, c in schedule]
-        self.syscalls = {int(t): [(str(n), v) for n, v in log]
-                         for t, log in syscalls.items()}
-        self.mem_order = [tuple(edge) for edge in mem_order]
+        if trusted:
+            self.schedule = list(schedule)
+            self.syscalls = {tid: list(log)
+                             for tid, log in syscalls.items()}
+            self.mem_order = list(mem_order)
+        else:
+            self.schedule = [(int(t), int(c)) for t, c in schedule]
+            self.syscalls = {int(t): [(str(n), v) for n, v in log]
+                             for t, log in syscalls.items()}
+            self.mem_order = [tuple(edge) for edge in mem_order]
         self.exclusions = list(exclusions)
         self.meta = dict(meta or {})
 
@@ -92,15 +107,20 @@ class Pinball:
         if payload.get("format_version") != cls.FORMAT_VERSION:
             raise ValueError("unsupported pinball format %r"
                              % payload.get("format_version"))
+        # Single-pass canonicalization from the (trusted, self-produced)
+        # serialized form: the constructor's normalization casts would
+        # re-copy every schedule entry, syscall record and edge a second
+        # time, which dominates Pinball.load for long regions.
         return cls(
             program_name=payload["program_name"],
             snapshot=payload["snapshot"],
-            schedule=[tuple(entry) for entry in payload["schedule"]],
-            syscalls={int(tid): [tuple(entry) for entry in log]
+            schedule=[(int(t), int(c)) for t, c in payload["schedule"]],
+            syscalls={int(tid): [(entry[0], entry[1]) for entry in log]
                       for tid, log in payload["syscalls"].items()},
             mem_order=[tuple(edge) for edge in payload["mem_order"]],
             exclusions=payload.get("exclusions", []),
             meta=payload.get("meta", {}),
+            trusted=True,
         )
 
     def to_bytes(self, compress: bool = True) -> bytes:

@@ -67,6 +67,7 @@ class RelogTool(Tool):
     """Observes a full region replay and derives the slice pinball parts."""
 
     wants_instr_events = True
+    retains_instr_events = False   # values are copied into pending records
 
     def __init__(self, machine, program: Program,
                  keep: Dict[int, Set[int]],
@@ -149,7 +150,8 @@ class RelogTool(Tool):
 
 
 def relog(region_pinball: Pinball, program: Program,
-          keep: Dict[int, Set[int]]) -> Pinball:
+          keep: Dict[int, Set[int]],
+          engine: Optional[str] = None) -> Pinball:
     """Produce a slice pinball from ``region_pinball``.
 
     ``keep`` maps tid -> set of region-relative instruction indices that
@@ -159,7 +161,7 @@ def relog(region_pinball: Pinball, program: Program,
     counts = region_pinball.meta.get("thread_instr_counts", {})
     last_tindex = {int(tid): int(count) - 1
                    for tid, count in counts.items() if int(count) > 0}
-    machine = replay_machine(region_pinball, program)
+    machine = replay_machine(region_pinball, program, engine=engine)
     tool = RelogTool(machine, program, keep, last_tindex)
     machine.add_tool(tool)
     machine.run(max_steps=region_pinball.total_steps)
@@ -186,4 +188,7 @@ def relog(region_pinball: Pinball, program: Program,
         mem_order=(),
         exclusions=tool.exclusions,
         meta=meta,
+        # Schedule comes from our recorder and syscalls from an existing
+        # pinball: both already canonical, no re-cast pass needed.
+        trusted=True,
     )

@@ -64,11 +64,15 @@ class SyscallInjector:
 
 
 def replay_machine(pinball: Pinball, program: Program,
-                   tools: Sequence[Tool] = ()) -> Machine:
+                   tools: Sequence[Tool] = (),
+                   engine: Optional[str] = None) -> Machine:
     """Build a machine primed to replay ``pinball`` (without running it).
 
     The debugger uses this to drive replay interactively (breakpoints,
-    stepping); batch analyses use :func:`replay` instead.
+    stepping); batch analyses use :func:`replay` instead.  Replay is pure
+    re-execution: with no per-instruction tools attached the predecoded
+    engine's untraced fast path executes the whole schedule without
+    building a single event.
     """
     if program.name != pinball.program_name:
         raise ReplayDivergence(
@@ -79,7 +83,7 @@ def replay_machine(pinball: Pinball, program: Program,
     machine = Machine.from_snapshot(
         program, MachineSnapshot.from_dict(pinball.snapshot),
         scheduler=scheduler, tools=tools,
-        syscall_injector=injector.inject)
+        syscall_injector=injector.inject, engine=engine)
     if pinball.exclusions:
         machine.install_exclusions(pinball.exclusions)
     return machine
@@ -87,7 +91,8 @@ def replay_machine(pinball: Pinball, program: Program,
 
 def replay(pinball: Pinball, program: Program,
            tools: Sequence[Tool] = (),
-           verify: bool = True) -> Tuple[Machine, RunResult]:
+           verify: bool = True,
+           engine: Optional[str] = None) -> Tuple[Machine, RunResult]:
     """Replay ``pinball`` to the end of its recorded schedule.
 
     Returns the finished machine and the run result.  With ``verify``,
@@ -95,7 +100,7 @@ def replay(pinball: Pinball, program: Program,
     the hash recorded at logging time (skipped for slice pinballs, whose
     excluded code legitimately leaves different dead state behind).
     """
-    machine = replay_machine(pinball, program, tools=tools)
+    machine = replay_machine(pinball, program, tools=tools, engine=engine)
     result = machine.run(max_steps=pinball.total_steps)
     if verify and not pinball.exclusions:
         expected = pinball.meta.get("final_state_hash")

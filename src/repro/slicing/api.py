@@ -27,14 +27,17 @@ class SlicingSession:
     """Owns the traced replay of one region pinball and serves slices."""
 
     def __init__(self, pinball: Pinball, program: Program,
-                 options: Optional[SliceOptions] = None) -> None:
+                 options: Optional[SliceOptions] = None,
+                 engine: Optional[str] = None) -> None:
         self.pinball = pinball
         self.program = program
         self.options = options or SliceOptions()
+        self.engine = engine
         started = time.perf_counter()
         self.collector = TraceCollector(program, self.options)
         self.machine, self.replay_result = replay(
-            pinball, program, tools=[self.collector], verify=False)
+            pinball, program, tools=[self.collector], verify=False,
+            engine=engine)
         self.trace_time = time.perf_counter() - started
 
         started = time.perf_counter()
@@ -136,7 +139,8 @@ class SlicingSession:
 
     def make_slice_pinball(self, dslice: DynamicSlice) -> Pinball:
         """Run the relogger to produce the slice pinball for ``dslice``."""
-        return relog(self.pinball, self.program, dslice.to_keep())
+        return relog(self.pinball, self.program, dslice.to_keep(),
+                     engine=self.engine)
 
     # -- reporting ----------------------------------------------------------------------
 

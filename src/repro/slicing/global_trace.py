@@ -11,13 +11,19 @@ it keeps emitting from the current thread until the next record has an
 unsatisfied cross-thread dependency, then rotates — the locality heuristic
 the paper describes for the LP algorithm ("we always try to cluster traces
 for each thread to the extent possible").
+
+For a :class:`~repro.slicing.trace.ColumnarTraceStore` the merge runs
+entirely on (tid, tindex) indices and a per-thread ``gpos`` column — no
+:class:`~repro.slicing.trace.TraceRecord` is materialized.  The resulting
+``GlobalTrace.order`` is then a lazy sequence view that materializes (and
+caches, via the store) only the records a consumer actually touches.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple, Union
 
-from repro.slicing.trace import TraceRecord, TraceStore
+from repro.slicing.trace import ColumnarTraceStore, TraceRecord, TraceStore
 
 Edge = Tuple[int, int, int, int, int, str]
 
@@ -27,10 +33,65 @@ class GlobalTraceError(Exception):
     for edges recorded from a real execution."""
 
 
+class LazyOrderView:
+    """Sequence of the merged global trace, materializing records lazily.
+
+    Record identity is shared with the store's own cache, so
+    ``gtrace.record_at(g) is gtrace.record_of(instance)`` holds exactly as
+    it does for the eager list.
+    """
+
+    __slots__ = ("_store", "_tids", "_tindexes", "_cache")
+
+    def __init__(self, store: ColumnarTraceStore,
+                 tids: List[int], tindexes: List[int]) -> None:
+        self._store = store
+        self._tids = tids
+        self._tindexes = tindexes
+        #: Per-position record cache: a repeat access (the slicer scans
+        #: the same positions across queries) is one list index, not a
+        #: store round-trip.  Holds the *same* objects as the store's own
+        #: per-thread cache, so record identity is preserved.
+        self._cache: List[object] = [None] * len(tids)
+
+    def instance_at(self, gpos: int) -> Tuple[int, int]:
+        return (self._tids[gpos], self._tindexes[gpos])
+
+    def __len__(self) -> int:
+        return len(self._tids)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(len(self)))]
+        length = len(self._tids)
+        if index < 0:
+            index += length
+        if not 0 <= index < length:
+            raise IndexError(index)
+        record = self._cache[index]
+        if record is None:
+            record = self._store.materialize(
+                self._tids[index], self._tindexes[index])
+            self._cache[index] = record
+        return record
+
+    def __iter__(self):
+        for index in range(len(self._tids)):
+            yield self[index]
+
+    def __reversed__(self):
+        for index in range(len(self._tids) - 1, -1, -1):
+            yield self[index]
+
+
+OrderSeq = Union[List[TraceRecord], LazyOrderView]
+
+
 class GlobalTrace:
     """The merged total order, with per-record global positions filled in."""
 
-    def __init__(self, order: List[TraceRecord], store: TraceStore) -> None:
+    def __init__(self, order: OrderSeq,
+                 store: Union[TraceStore, ColumnarTraceStore]) -> None:
         self.order = order
         self.store = store
 
@@ -61,16 +122,25 @@ class GlobalTrace:
         return True
 
 
-def merge_traces(store: TraceStore, edges: Sequence[Edge]) -> GlobalTrace:
+def _build_incoming(edges: Sequence[Edge]) -> Dict[Tuple[int, int],
+                                                   List[Tuple[int, int]]]:
+    incoming: Dict[Tuple[int, int], List[Tuple[int, int]]] = {}
+    for from_tid, from_tindex, to_tid, to_tindex, _addr, _kind in edges:
+        incoming.setdefault((to_tid, to_tindex), []).append(
+            (from_tid, from_tindex))
+    return incoming
+
+
+def merge_traces(store: Union[TraceStore, ColumnarTraceStore],
+                 edges: Sequence[Edge]) -> GlobalTrace:
     """Topologically merge per-thread traces honoring ``edges``.
 
     Each edge ``(from_tid, from_tindex, to_tid, to_tindex, addr, kind)``
     constrains the *from* instance to precede the *to* instance.
     """
-    incoming: Dict[Tuple[int, int], List[Tuple[int, int]]] = {}
-    for from_tid, from_tindex, to_tid, to_tindex, _addr, _kind in edges:
-        incoming.setdefault((to_tid, to_tindex), []).append(
-            (from_tid, from_tindex))
+    if isinstance(store, ColumnarTraceStore):
+        return _merge_columnar(store, edges)
+    incoming = _build_incoming(edges)
 
     tids = store.threads()
     cursor: Dict[int, int] = {tid: 0 for tid in tids}
@@ -103,3 +173,47 @@ def merge_traces(store: TraceStore, edges: Sequence[Edge]) -> GlobalTrace:
                     % cursor)
         current = (current + 1) % len(tids)
     return GlobalTrace(order, store)
+
+
+def _merge_columnar(store: ColumnarTraceStore,
+                    edges: Sequence[Edge]) -> GlobalTrace:
+    """Index-only merge: identical emission order, zero materialization."""
+    incoming = _build_incoming(edges)
+
+    tids = store.threads()
+    cursor: Dict[int, int] = {tid: 0 for tid in tids}
+    lengths: Dict[int, int] = {tid: store.thread_length(tid) for tid in tids}
+    total = sum(lengths.values())
+    order_tids: List[int] = []
+    order_tindexes: List[int] = []
+    set_gpos = store.set_gpos
+    current = 0
+    stalled = 0
+    while len(order_tids) < total:
+        tid = tids[current]
+        emitted_here = 0
+        length = lengths[tid]
+        while cursor[tid] < length:
+            position = cursor[tid]
+            if incoming:
+                deps = incoming.get((tid, position))
+                if deps is not None and any(
+                        cursor[from_tid] <= from_tindex
+                        for from_tid, from_tindex in deps):
+                    break
+            set_gpos(tid, position, len(order_tids))
+            order_tids.append(tid)
+            order_tindexes.append(position)
+            cursor[tid] = position + 1
+            emitted_here += 1
+        if emitted_here:
+            stalled = 0
+        else:
+            stalled += 1
+            if stalled >= len(tids):
+                raise GlobalTraceError(
+                    "access-order edges form a cycle; remaining cursors: %r"
+                    % cursor)
+        current = (current + 1) % len(tids)
+    return GlobalTrace(LazyOrderView(store, order_tids, order_tindexes),
+                       store)

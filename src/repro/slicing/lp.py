@@ -10,7 +10,7 @@ slicing practical (the paper adopted this algorithm for the same reason).
 
 from __future__ import annotations
 
-from typing import FrozenSet, List, Sequence, Set
+from typing import FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.slicing.trace import Location, TraceRecord
 
@@ -25,7 +25,9 @@ class TraceBlock:
         self.end = end
         self.defs = defs
 
-    def may_define(self, wanted: Set[Location]) -> bool:
+    def may_define(self, wanted) -> bool:
+        """``wanted`` is any sized container of locations supporting ``in``
+        (a set, or the slicer's wanted dict keyed by location)."""
         if len(wanted) < len(self.defs):
             return any(loc in self.defs for loc in wanted)
         return any(loc in wanted for loc in self.defs)
@@ -37,7 +39,26 @@ class TraceBlock:
 
 def build_blocks(order: Sequence[TraceRecord],
                  block_size: int) -> List[TraceBlock]:
-    """Partition the global trace into blocks with def-set summaries."""
+    """Partition the global trace into blocks with def-set summaries.
+
+    For a lazy columnar order view the summaries are computed straight
+    from the store's interned def columns — no record materialization.
+    """
+    return build_blocks_with_defs(order, block_size)[0]
+
+
+def build_blocks_with_defs(
+        order: Sequence[TraceRecord], block_size: int
+) -> Tuple[List[TraceBlock], Optional[List[tuple]]]:
+    """Like :func:`build_blocks`, also returning the per-position interned
+    def-location tuples for columnar orders (``None`` for record lists).
+
+    The slicer's backward scan uses the flat def-locs list to test each
+    scanned position against the wanted set without materializing the
+    record — records are only built for positions that actually match.
+    """
+    if getattr(order, "instance_at", None) is not None:
+        return _build_blocks_columnar(order, block_size)
     blocks: List[TraceBlock] = []
     for start in range(0, len(order), block_size):
         end = min(start + block_size, len(order))
@@ -47,7 +68,26 @@ def build_blocks(order: Sequence[TraceRecord],
             for location in record.def_locations():
                 defs.add(location)
         blocks.append(TraceBlock(start, end, defs))
-    return blocks
+    return blocks, None
+
+
+def _build_blocks_columnar(order, block_size: int):
+    store = order._store
+    def_locations_at = store.def_locations_at
+    tids = order._tids
+    tindexes = order._tindexes
+    total = len(tids)
+    def_locs: List[tuple] = [
+        def_locations_at(tids[position], tindexes[position])
+        for position in range(total)]
+    blocks: List[TraceBlock] = []
+    for start in range(0, total, block_size):
+        end = min(start + block_size, total)
+        defs: Set[Location] = set()
+        for position in range(start, end):
+            defs.update(def_locs[position])
+        blocks.append(TraceBlock(start, end, defs))
+    return blocks, def_locs
 
 
 def block_index_for(blocks: List[TraceBlock], gpos: int,

@@ -17,6 +17,10 @@ Every ablation benchmark flips one of these:
   tracked precisely through memory addresses, and threading every push/pop
   through ``sp`` would chain all stack operations together (the same
   engineering choice practical binary slicers make).
+* ``columnar`` — trace storage layout.  On (default): the interned
+  columnar store with lazy record views (the predecoded engine's hot
+  path).  Off: the seed record-per-row layout, kept as the perf
+  benchmark's measured baseline and the differential tests' reference.
 """
 
 from __future__ import annotations
@@ -33,6 +37,7 @@ class SliceOptions:
     block_size: int = 1024
     track_stack_pointer: bool = False
     record_values: bool = True
+    columnar: bool = True
 
     def __post_init__(self) -> None:
         if self.max_save < 0:

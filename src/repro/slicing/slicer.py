@@ -19,7 +19,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.slicing.global_trace import GlobalTrace
-from repro.slicing.lp import TraceBlock, build_blocks
+from repro.slicing.lp import TraceBlock, build_blocks_with_defs
 from repro.slicing.options import SliceOptions
 from repro.slicing.slice import DynamicSlice, SliceNode
 from repro.slicing.trace import Instance, Location, TraceRecord
@@ -34,8 +34,16 @@ class BackwardSlicer:
         self.gtrace = gtrace
         self.options = options or SliceOptions()
         self.restores = dict(verified_restores or {})
-        self.blocks: List[TraceBlock] = build_blocks(
+        #: ``_def_locs[gpos]`` — interned def-location tuple per position
+        #: for columnar stores (None for record-list orders): lets the
+        #: backward scan test a position against the wanted set without
+        #: materializing its record.
+        self.blocks, self._def_locs = build_blocks_with_defs(
             gtrace.order, self.options.block_size)
+        #: save-instance -> gpos memo for the save/restore bypass: the
+        #: same save is typically bypassed many times per slice, and its
+        #: global position never changes once the trace is merged.
+        self._save_gpos: Dict[Instance, int] = {}
 
     # -- public API -----------------------------------------------------------
 
@@ -61,24 +69,66 @@ class BackwardSlicer:
         # location -> list of (before_gpos, consumer_instance)
         wanted: Dict[Location, List[Tuple[int, Instance]]] = {}
 
-        def add_node(record: TraceRecord) -> None:
-            """Insert a record and chain its control-dependence parents."""
-            stack = [record]
-            while stack:
-                rec = stack.pop()
-                if rec.instance in nodes:
-                    continue
-                nodes[rec.instance] = SliceNode(
-                    rec.tid, rec.tindex, rec.addr, rec.line, rec.func,
-                    rec.values)
-                for loc in rec.use_locations():
-                    wanted.setdefault(loc, []).append(
-                        (rec.gpos, rec.instance))
-                if rec.cd is not None:
-                    edges.append((rec.instance, rec.cd, "control", None))
-                    stack.append(self.gtrace.record_of(rec.cd))
+        if self._def_locs is not None:
+            # Columnar store: the whole node-expansion loop runs on the
+            # parallel columns — no TraceRecord is materialized for slice
+            # membership, only the criterion record above.
+            store = self.gtrace.store
+            columns = store._columns
+            locations_for = store.locations_for
 
-        add_node(crit_rec)
+            def add_node(inst: Instance) -> None:
+                """Insert an instance and chain its control parents."""
+                stack = [inst]
+                while stack:
+                    inst = stack.pop()
+                    if inst in nodes:
+                        continue
+                    tid, tindex = inst
+                    cols = columns[tid]
+                    addr, line, func, _rdefs, ruses = cols.statics[tindex]
+                    _mdefs, muses, cd, values = cols.dyns[tindex]
+                    nodes[inst] = SliceNode(tid, tindex, addr, line, func,
+                                            values)
+                    gpos = cols.gpos[tindex]
+                    for loc in locations_for(tid, ruses, muses):
+                        entries = wanted.get(loc)
+                        if entries is None:
+                            wanted[loc] = [(gpos, inst)]
+                        else:
+                            entries.append((gpos, inst))
+                    if cd is not None:
+                        edges.append((inst, cd, "control", None))
+                        stack.append(cd)
+
+            add_node(crit_rec._inst)
+        else:
+            record_of = self.gtrace.record_of
+
+            def add_node(record: TraceRecord) -> None:
+                """Insert a record and chain its control-dependence parents."""
+                stack = [record]
+                while stack:
+                    rec = stack.pop()
+                    inst = rec._inst
+                    if inst in nodes:
+                        continue
+                    nodes[inst] = SliceNode(
+                        rec.tid, rec.tindex, rec.addr, rec.line, rec.func,
+                        rec.values)
+                    gpos = rec.gpos
+                    for loc in rec.use_locations():
+                        entries = wanted.get(loc)
+                        if entries is None:
+                            wanted[loc] = [(gpos, inst)]
+                        else:
+                            entries.append((gpos, inst))
+                    cd = rec.cd
+                    if cd is not None:
+                        edges.append((inst, cd, "control", None))
+                        stack.append(record_of(cd))
+
+            add_node(crit_rec)
         if locations is not None:
             for loc in locations:
                 wanted.setdefault(tuple(loc), []).append(
@@ -103,18 +153,85 @@ class BackwardSlicer:
             if not wanted:
                 break
             block = self.blocks[block_index]
-            if not block.may_define(set(wanted)):
+            # ``wanted`` is keyed by location, so the dict itself serves as
+            # the wanted-location set: no per-block set() rebuild (the set
+            # is maintained incrementally by the dict insert/delete flow).
+            if not block.may_define(wanted):
                 stats["skipped_blocks"] += 1
                 continue
             stats["visited_blocks"] += 1
             hi = min(block.end - 1, start_pos)
-            for position in range(hi, block.start - 1, -1):
-                if not wanted:
-                    break
-                record = order[position]
-                stats["scanned_records"] += 1
-                self._match_defs(record, position, wanted, nodes, edges,
-                                 add_node, stats, prune)
+            def_locs = self._def_locs
+            if def_locs is not None:
+                # Columnar: test the interned def tuple against the wanted
+                # map first; on a hit, match on (tid, tindex) indices —
+                # no record is materialized anywhere in the scan.
+                tids = order._tids
+                tindexes = order._tindexes
+                scanned = 0
+                for position in range(hi, block.start - 1, -1):
+                    if not wanted:
+                        break
+                    scanned += 1
+                    locs = def_locs[position]
+                    for loc in locs:
+                        if loc in wanted:
+                            self._match_defs_columnar(
+                                locs, (tids[position], tindexes[position]),
+                                position, wanted, nodes, edges, add_node,
+                                stats, prune)
+                            break
+                stats["scanned_records"] += scanned
+            else:
+                for position in range(hi, block.start - 1, -1):
+                    if not wanted:
+                        break
+                    record = order[position]
+                    stats["scanned_records"] += 1
+                    self._match_defs(record, position, wanted, nodes, edges,
+                                     add_node, stats, prune)
+
+    def _match_defs_columnar(self, def_locs: tuple, inst: Instance,
+                             position: int, wanted, nodes, edges, add_node,
+                             stats, prune: bool) -> None:
+        """Columnar twin of :meth:`_match_defs`: works on the interned def
+        tuple and the (tid, tindex) instance; ``add_node`` (the columnar
+        closure) takes instances, so nothing here touches a TraceRecord."""
+        for loc in def_locs:
+            entries = wanted.get(loc)
+            if not entries:
+                continue
+            matched = [entry for entry in entries if entry[0] > position]
+            if not matched:
+                continue
+            if len(matched) == len(entries):
+                remaining = []
+            else:
+                remaining = [entry for entry in entries
+                             if entry[0] <= position]
+            if prune and loc[0] == "r" and inst in self.restores:
+                save_instance = self.restores[inst]
+                save_gpos = self._save_gpos.get(save_instance)
+                if save_gpos is None:
+                    save_gpos = self.gtrace.record_of(save_instance).gpos
+                    self._save_gpos[save_instance] = save_gpos
+                redirected = [(save_gpos, consumer)
+                              for _before, consumer in matched]
+                stats["bypassed_deps"] += len(matched)
+                new_entries = remaining + redirected
+                if new_entries:
+                    wanted[loc] = new_entries
+                else:
+                    del wanted[loc]
+                continue
+            if remaining:
+                wanted[loc] = remaining
+            else:
+                del wanted[loc]
+            for _before, consumer in matched:
+                edges.append((consumer, inst, "data", loc))
+            if inst not in nodes:
+                add_node(inst)
 
     def _match_defs(self, record: TraceRecord, position: int, wanted,
                     nodes, edges, add_node, stats, prune: bool) -> None:
@@ -125,14 +242,24 @@ class BackwardSlicer:
             matched = [entry for entry in entries if entry[0] > position]
             if not matched:
                 continue
-            remaining = [entry for entry in entries if entry[0] <= position]
+            if len(matched) == len(entries):
+                # Common case: every consumer sits above this definition
+                # (control parents below the scan front are the exception),
+                # so skip the second partition pass.
+                remaining = []
+            else:
+                remaining = [entry for entry in entries
+                             if entry[0] <= position]
             if (prune and loc[0] == "r"
-                    and record.instance in self.restores):
+                    and record._inst in self.restores):
                 # Verified restore: bypass it.  The consumers' reaching
                 # definition is whatever defined the register before the
                 # matching save — resume the search below the save.
-                save_instance = self.restores[record.instance]
-                save_gpos = self.gtrace.record_of(save_instance).gpos
+                save_instance = self.restores[record._inst]
+                save_gpos = self._save_gpos.get(save_instance)
+                if save_gpos is None:
+                    save_gpos = self.gtrace.record_of(save_instance).gpos
+                    self._save_gpos[save_instance] = save_gpos
                 redirected = [(save_gpos, consumer)
                               for _before, consumer in matched]
                 stats["bypassed_deps"] += len(matched)
@@ -150,7 +277,8 @@ class BackwardSlicer:
                 wanted[loc] = remaining
             else:
                 del wanted[loc]
+            inst = record._inst
             for _before, consumer in matched:
-                edges.append((consumer, record.instance, "data", loc))
-            if record.instance not in nodes:
+                edges.append((consumer, inst, "data", loc))
+            if inst not in nodes:
                 add_node(record)

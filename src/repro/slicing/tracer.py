@@ -22,8 +22,11 @@ from repro.isa.program import Program
 from repro.slicing.control_dep import ControlDepTracker
 from repro.slicing.options import SliceOptions
 from repro.slicing.save_restore import SaveRestoreDetector
-from repro.slicing.trace import TraceRecord, TraceStore
+from repro.slicing.trace import ColumnarTraceStore, TraceRecord, TraceStore
 from repro.vm.hooks import InstrEvent, Tool
+
+_SYS_R0_DEF = ("r0",)
+_NO_REGS = ()
 
 
 def prime_jump_tables(registry: CfgRegistry, program: Program) -> int:
@@ -62,9 +65,18 @@ def prime_jump_tables(registry: CfgRegistry, program: Program) -> int:
 
 
 class TraceCollector(Tool):
-    """Collects per-thread traces plus precision metadata during replay."""
+    """Collects per-thread traces plus precision metadata during replay.
+
+    By default the trace goes into a :class:`ColumnarTraceStore` (the
+    predecoded engine's interned hot path).  ``SliceOptions(columnar=
+    False)`` selects the seed layout — one eagerly built
+    :class:`TraceRecord` per instruction in a :class:`TraceStore` — which
+    the perf benchmark uses as its measured baseline and the differential
+    tests compare against the columnar views record-for-record.
+    """
 
     wants_instr_events = True
+    retains_instr_events = False   # events are consumed synchronously
 
     def __init__(self, program: Program,
                  options: Optional[SliceOptions] = None) -> None:
@@ -77,8 +89,18 @@ class TraceCollector(Tool):
         self.save_restore = SaveRestoreDetector(
             program, self.options.max_save
             if self.options.prune_save_restore else 0)
-        self.store = TraceStore()
+        self._columnar = self.options.columnar
+        self.store = (ColumnarTraceStore() if self._columnar
+                      else TraceStore())
         self._machine = None
+        #: Per-pc cache of the interned static row part
+        #: ``(addr, line, func, rdefs, ruses)``.  Register def/use sets
+        #: are a pure function of the static instruction for every opcode
+        #: except SYS, whose r0 def depends on whether the handler
+        #: returned a result — SYS entries carry both variants and pick
+        #: per event.  Entry: ``(static, sys_static_r0, sys_static_none)``
+        #: with ``static=None`` for SYS.
+        self._row_cache: Dict[int, tuple] = {}
 
     def on_start(self, machine) -> None:
         self._machine = machine
@@ -99,6 +121,75 @@ class TraceCollector(Tool):
             callee_frame_id = frames[-1].frame_id if frames else None
         cd = self.control.on_event(event, callee_frame_id)
 
+        if self._columnar:
+            self._append_columnar(event, instr, op, cd)
+        else:
+            self._append_record(event, instr, cd)
+
+        self.save_restore.on_event(event)
+
+    # -- columnar append (hot path) ----------------------------------------
+
+    def _append_columnar(self, event, instr, op, cd) -> None:
+        store = self.store
+        addr = event.addr
+        cached = self._row_cache.get(addr)
+        if cached is None:
+            track_sp = self.options.track_stack_pointer
+            ruses = store.intern(_dedupe(
+                name for name, _ in event.reg_reads
+                if track_sp or name != "sp"))
+            if op == Opcode.SYS:
+                cached = (
+                    None,
+                    store.intern((addr, instr.line, instr.func,
+                                  _SYS_R0_DEF, ruses)),
+                    store.intern((addr, instr.line, instr.func,
+                                  _NO_REGS, ruses)),
+                )
+            else:
+                rdefs = store.intern(_dedupe(
+                    name for name, _ in event.reg_writes
+                    if track_sp or name != "sp"))
+                cached = (
+                    store.intern((addr, instr.line, instr.func,
+                                  rdefs, ruses)),
+                    None, None,
+                )
+            self._row_cache[addr] = cached
+        static = cached[0]
+        if static is None:   # SYS: r0 def present iff a result was written
+            static = cached[1] if event.reg_writes else cached[2]
+
+        mem_writes = event.mem_writes
+        if not mem_writes:
+            mdefs = _NO_REGS
+        elif len(mem_writes) == 1:
+            mdefs = store.intern((mem_writes[0][0],))
+        else:
+            mdefs = store.intern(_dedupe(a for a, _ in mem_writes))
+        mem_reads = event.mem_reads
+        if not mem_reads:
+            muses = _NO_REGS
+        elif len(mem_reads) == 1:
+            muses = store.intern((mem_reads[0][0],))
+        else:
+            muses = store.intern(_dedupe(a for a, _ in mem_reads))
+
+        values = None
+        if self.options.record_values:
+            values = {}
+            for name, value in event.reg_writes:
+                values[name] = value
+            for addr_w, value in mem_writes:
+                values[addr_w] = value
+
+        store.append_row(store.columns_for(event.tid), static,
+                         mdefs, muses, cd, values)
+
+    # -- eager record append (seed layout, benchmark baseline) -------------
+
+    def _append_record(self, event, instr, cd) -> None:
         track_sp = self.options.track_stack_pointer
         rdefs = _dedupe(name for name, _ in event.reg_writes
                         if track_sp or name != "sp")
@@ -120,8 +211,6 @@ class TraceCollector(Tool):
             line=instr.line, func=instr.func,
             rdefs=rdefs, ruses=ruses, mdefs=mdefs, muses=muses,
             cd=cd, values=values))
-
-        self.save_restore.on_event(event)
 
 
 def _dedupe(items) -> Tuple:

@@ -80,6 +80,15 @@ class Tool:
     #: Set True to receive :meth:`on_instr` with full def/use events.
     wants_instr_events = False
 
+    #: Set False to promise that :meth:`on_instr` never keeps a reference
+    #: to the event (or its def/use sequences) past its own return.  When
+    #: every subscribed tool promises this, the predecoded engine recycles
+    #: one scratch event per step instead of allocating — the def/use
+    #: sequences are then lists, identical in contents and order to the
+    #: tuples a retaining tool would see.  Leave True (the safe default)
+    #: if the tool stores events anywhere.
+    retains_instr_events = True
+
     def on_start(self, machine) -> None:
         """Called once before the first step."""
 

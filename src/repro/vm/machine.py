@@ -21,6 +21,7 @@ Design notes relevant to replay determinism:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -29,11 +30,26 @@ from repro.isa.program import Program
 from repro.vm.errors import AssertionFailure, DeadlockError, VMError
 from repro.vm.hooks import InstrEvent, SyscallEvent, Tool
 from repro.vm.memory import ADDRESS_SPACE_TOP, STACK_SIZE, Memory
+from repro.vm.microops import decode_program
 from repro.vm.scheduler import RoundRobinScheduler, Scheduler
 from repro.vm.syscalls import BLOCK, NONDET_SYSCALLS, SYSCALLS
 from repro.vm.thread import EXIT_SENTINEL, ThreadContext, ThreadStatus
 
 Word = Union[int, float]
+
+#: Execution engines: "predecoded" dispatches through per-pc micro-op
+#: closures (see :mod:`repro.vm.microops`); "legacy" is the seed
+#: if/elif interpreter, kept as the differential-testing baseline.
+ENGINES = ("predecoded", "legacy")
+
+
+def default_engine() -> str:
+    """The engine used when a Machine is built without an explicit choice.
+
+    Overridable via ``REPRO_ENGINE`` so benchmarks and CI can pin either
+    engine without threading a parameter through every entry point."""
+    engine = os.environ.get("REPRO_ENGINE", "predecoded")
+    return engine if engine in ENGINES else "predecoded"
 
 _LCG_MULT = 6364136223846793005
 _LCG_INC = 1442695040888963407
@@ -84,9 +100,25 @@ class Machine:
                  inputs: Sequence[Word] = (),
                  rand_seed: int = 0,
                  syscall_injector: Optional[Callable[[str, int], Optional[Word]]] = None,
-                 start_main: bool = True) -> None:
+                 start_main: bool = True,
+                 engine: Optional[str] = None) -> None:
         self.program = program
         self.instructions = program.instructions
+        self.engine = engine if engine is not None else default_engine()
+        if self.engine not in ENGINES:
+            raise VMError("unknown engine %r (expected one of %s)"
+                          % (self.engine, ", ".join(ENGINES)))
+        if self.engine == "predecoded":
+            self._uops_fast, self._uops_traced = decode_program(program)
+        else:
+            self._uops_fast = self._uops_traced = None
+        self._code_len = len(self.instructions)
+        #: Cached sorted runnable-tid list (predecoded engine only); None
+        #: means stale.  Every thread-status mutation site invalidates it.
+        self._runnable_cache: Optional[List[int]] = None
+        #: Tids currently blocked in a sleep; lets the hot loop skip the
+        #: all-threads sleeper scan when nobody is sleeping.
+        self._sleeping: set = set()
         self.memory = Memory(heap_base=program.data_size)
         self.memory.load_image(program.initial_data_image())
         self.scheduler = scheduler or RoundRobinScheduler()
@@ -119,6 +151,8 @@ class Machine:
         self._last_tid: Optional[int] = None
         self._started = False
         self._cur_mem_writes: Optional[List[Tuple[int, Word]]] = None
+        self._event_reuse_ok = False
+        self._scratch_event: Optional[InstrEvent] = None
         self._instr_tools: List[Tool] = []
         self._syscall_tools: List[Tool] = []
         self._step_tools: List[Tool] = []
@@ -140,6 +174,14 @@ class Machine:
 
     def _index_tools(self) -> None:
         self._instr_tools = [t for t in self.tools if t.wants_instr_events]
+        # When every subscribed tool consumes events synchronously
+        # (``retains_instr_events`` False), the predecoded traced path may
+        # recycle one scratch InstrEvent and hand over the raw def/use
+        # lists without tuple conversion.  Any tool that might retain the
+        # event (the default) forces fresh, immutable events.
+        self._event_reuse_ok = bool(self._instr_tools) and all(
+            not getattr(t, "retains_instr_events", True)
+            for t in self._instr_tools)
         self._syscall_tools = [
             t for t in self.tools
             if type(t).on_syscall is not Tool.on_syscall]
@@ -170,6 +212,7 @@ class Machine:
         thread.regs["sp"] = sp
         thread.push_frame(func_name, -1, EXIT_SENTINEL)
         self.threads[tid] = thread
+        self._runnable_cache = None
         self.scheduler.on_thread_created(tid)
         # Attribute the argument write to the spawning instruction so the
         # slicer sees the parent->child dependence through the arg slot.
@@ -182,6 +225,7 @@ class Machine:
 
     def _finish_thread(self, thread: ThreadContext) -> None:
         thread.status = ThreadStatus.FINISHED
+        self._runnable_cache = None
         thread.exit_value = thread.regs["r0"]
         self.scheduler.on_thread_finished(thread.tid)
         self.wake_blocked(("join", thread.tid))
@@ -217,19 +261,54 @@ class Machine:
                     and thread.block_reason == reason):
                 thread.status = ThreadStatus.RUNNABLE
                 thread.block_reason = None
+                self._runnable_cache = None
+                self._sleeping.discard(thread.tid)
+
+    def note_sleeper(self, tid: int) -> None:
+        """A thread just entered a sleep-block (called by ``sys_sleep``)."""
+        self._sleeping.add(tid)
+        self._runnable_cache = None
 
     def _wake_sleepers(self) -> None:
-        for thread in self.threads.values():
-            if (thread.status == ThreadStatus.BLOCKED and thread.block_reason
-                    and thread.block_reason[0] == "sleep"
-                    and thread.block_reason[1] <= self.global_seq):
-                thread.status = ThreadStatus.RUNNABLE
-                thread.block_reason = None
+        if not self._sleeping:
+            return
+        woken = []
+        for tid in self._sleeping:
+            thread = self.threads.get(tid)
+            if (thread is not None
+                    and thread.status == ThreadStatus.BLOCKED
+                    and thread.block_reason
+                    and thread.block_reason[0] == "sleep"):
+                if thread.block_reason[1] <= self.global_seq:
+                    thread.status = ThreadStatus.RUNNABLE
+                    thread.block_reason = None
+                    woken.append(tid)
+            else:
+                woken.append(tid)   # stale entry (woken elsewhere)
+        if woken:
+            self._sleeping.difference_update(woken)
+            self._runnable_cache = None
 
     def runnable_tids(self) -> List[int]:
         self._wake_sleepers()
         return [tid for tid, thread in sorted(self.threads.items())
                 if thread.status == ThreadStatus.RUNNABLE]
+
+    def _runnable_cached(self) -> List[int]:
+        """Hot-loop variant of :meth:`runnable_tids`.
+
+        Content-identical to a fresh :meth:`runnable_tids` call at every
+        step — the :class:`~repro.vm.scheduler.RandomScheduler` indexes
+        into this list, so a stale cache would silently change recorded
+        interleavings.  Every status mutation site resets the cache."""
+        if self._sleeping:
+            self._wake_sleepers()
+        cache = self._runnable_cache
+        if cache is None:
+            cache = [tid for tid, thread in sorted(self.threads.items())
+                     if thread.status == ThreadStatus.RUNNABLE]
+            self._runnable_cache = cache
+        return cache
 
     def live_threads(self) -> List[int]:
         return [tid for tid, thread in sorted(self.threads.items())
@@ -286,6 +365,24 @@ class Machine:
         steps = 0
         retired = 0
         reason = "done"
+        predecoded = self.engine == "predecoded"
+        step_thread = self._step_thread_uop if predecoded else self._step_thread
+        # External code may have mutated thread state between run() calls
+        # (debugger stepping, tests poking statuses): start from a clean
+        # cache rather than trusting one across the API boundary.
+        self._runnable_cache = None
+        # Hot-loop hoists.  All of these are only ever *reassigned* between
+        # run() calls (the debugger swaps self.breakpoints; from_snapshot
+        # rebuilds self._sleeping); within a run they are mutated in place,
+        # so per-run locals see every change while skipping an attribute
+        # load per step.
+        scheduler = self.scheduler
+        threads = self.threads
+        breakpoints = self.breakpoints
+        sleeping = self._sleeping
+        excl_watch = self._excl_watch
+        scheduler_pick = scheduler.pick
+        scheduler_commit = scheduler.commit
         while True:
             if self._exit_requested:
                 reason = "exit"
@@ -297,20 +394,34 @@ class Machine:
                 self.stop_request = False
                 reason = "stop"
                 break
-            intended = self.scheduler.intended()
-            if intended is not None:
-                thread = self.threads.get(intended)
-                if (thread is not None
-                        and thread.status == ThreadStatus.BLOCKED
-                        and thread.block_reason
-                        and thread.block_reason[0] == "sleep"):
-                    # The replay schedule runs this thread now, so it was
-                    # awake at this point in the recorded run; step-clock
-                    # sleep deadlines do not survive step removal (slice
-                    # pinballs), so the schedule is authoritative.
-                    thread.status = ThreadStatus.RUNNABLE
-                    thread.block_reason = None
-            runnable = self.runnable_tids()
+            if sleeping:
+                # Only replay schedules can demand a sleeping thread run
+                # now (sleep deadlines measured in global steps shift when
+                # a slice pinball drops excluded steps): the recorded step
+                # implies the thread was awake in the original run, so the
+                # schedule is authoritative and we wake it.
+                intended = scheduler.intended()
+                if intended is not None:
+                    thread = threads.get(intended)
+                    if (thread is not None
+                            and thread.status == ThreadStatus.BLOCKED
+                            and thread.block_reason
+                            and thread.block_reason[0] == "sleep"):
+                        thread.status = ThreadStatus.RUNNABLE
+                        thread.block_reason = None
+                        sleeping.discard(intended)
+                        self._runnable_cache = None
+                self._wake_sleepers()
+            if predecoded:
+                # Inlined _runnable_cached (sleeper wake handled above).
+                runnable = self._runnable_cache
+                if runnable is None:
+                    runnable = [tid for tid, thread in sorted(threads.items())
+                                if thread.status == ThreadStatus.RUNNABLE]
+                    self._runnable_cache = runnable
+            else:
+                runnable = [tid for tid, thread in sorted(threads.items())
+                            if thread.status == ThreadStatus.RUNNABLE]
             if not runnable:
                 if self.finished:
                     reason = "done"
@@ -328,26 +439,26 @@ class Machine:
                     continue
                 raise DeadlockError(
                     "deadlock: %d threads blocked" % len(self.live_threads()))
-            tid = self.scheduler.pick(runnable, self._last_tid)
-            thread = self.threads[tid]
-            if thread.pc in self.breakpoints and not self._bp_skip:
+            tid = scheduler_pick(runnable, self._last_tid)
+            thread = threads[tid]
+            if breakpoints and thread.pc in breakpoints and not self._bp_skip:
                 self.stop_request = False
                 reason = "breakpoint"
                 break
             self._bp_skip = False
-            if self._excl_watch and self._try_exclusion_skip(thread):
-                self.scheduler.commit(tid)
+            if excl_watch and self._try_exclusion_skip(thread):
+                scheduler_commit(tid)
                 self._last_tid = tid
                 for tool in self._step_tools:
                     tool.on_step(tid)
                 steps += 1
                 self.global_seq += 1
                 continue
-            self.scheduler.commit(tid)
+            scheduler_commit(tid)
             self._last_tid = tid
             for tool in self._step_tools:
                 tool.on_step(tid)
-            if self._step_thread(thread):
+            if step_thread(thread):
                 retired += 1
             steps += 1
             self.global_seq += 1
@@ -447,6 +558,71 @@ class Machine:
             )
             for tool in self._instr_tools:
                 tool.on_instr(event)
+        thread.instr_count += 1
+        return True
+
+    def _step_thread_uop(self, thread: ThreadContext) -> bool:
+        """Predecoded-engine step: one micro-op closure call per instruction.
+
+        Untraced (no per-instruction tool attached): no def/use lists, no
+        event object — the handler mutates machine/thread state directly.
+        Traced: the handler appends def/use pairs in exactly the order the
+        legacy interpreter would, and the resulting
+        :class:`~repro.vm.hooks.InstrEvent` is indistinguishable from the
+        seed engine's (the differential tests assert this).
+        """
+        pc = thread.pc
+        if not 0 <= pc < self._code_len:
+            raise VMError("pc out of range", tid=thread.tid, pc=pc)
+        if not self._instr_tools:
+            if self._uops_fast[pc](self, thread):
+                thread.instr_count += 1
+                return True
+            return False
+        reg_reads: List[Tuple[str, Word]] = []
+        reg_writes: List[Tuple[str, Word]] = []
+        mem_reads: List[Tuple[int, Word]] = []
+        mem_writes: List[Tuple[int, Word]] = []
+        self._cur_mem_writes = mem_writes
+        frame_id = thread.frames[-1].frame_id if thread.frames else -1
+        retired = self._uops_traced[pc](self, thread, reg_reads, reg_writes,
+                                        mem_reads, mem_writes)
+        self._cur_mem_writes = None
+        if not retired:
+            return False
+        if self._event_reuse_ok:
+            # All subscribed tools consume the event synchronously: reuse
+            # one scratch event and pass the raw lists (same contents and
+            # order as the tuples; tools only read them during on_instr).
+            event = self._scratch_event
+            if event is None:
+                event = self._scratch_event = InstrEvent(
+                    0, 0, 0, 0, None, (), (), (), (), -1)
+            event.seq = self.global_seq
+            event.tid = thread.tid
+            event.tindex = thread.instr_count
+            event.addr = pc
+            event.instr = self.instructions[pc]
+            event.reg_reads = reg_reads
+            event.reg_writes = reg_writes
+            event.mem_reads = mem_reads
+            event.mem_writes = mem_writes
+            event.frame_id = frame_id
+        else:
+            event = InstrEvent(
+                seq=self.global_seq,
+                tid=thread.tid,
+                tindex=thread.instr_count,
+                addr=pc,
+                instr=self.instructions[pc],
+                reg_reads=tuple(reg_reads),
+                reg_writes=tuple(reg_writes),
+                mem_reads=tuple(mem_reads),
+                mem_writes=tuple(mem_writes),
+                frame_id=frame_id,
+            )
+        for tool in self._instr_tools:
+            tool.on_instr(event)
         thread.instr_count += 1
         return True
 
@@ -617,6 +793,7 @@ class Machine:
         if result is BLOCK:
             thread.pc = pc           # retry when woken
             thread.status = ThreadStatus.BLOCKED
+            self._runnable_cache = None
             return False
         if result is not None:
             self._reg_write(thread, "r0", result, reg_writes)
@@ -655,15 +832,22 @@ class Machine:
     def from_snapshot(cls, program: Program, snap: MachineSnapshot,
                       scheduler: Optional[Scheduler] = None,
                       tools: Sequence[Tool] = (),
-                      syscall_injector=None) -> "Machine":
+                      syscall_injector=None,
+                      engine: Optional[str] = None) -> "Machine":
         payload = snap.to_dict()
         machine = cls(program, scheduler=scheduler, tools=tools,
-                      syscall_injector=syscall_injector, start_main=False)
+                      syscall_injector=syscall_injector, start_main=False,
+                      engine=engine)
         machine.memory = Memory.from_snapshot(payload["memory"])
         machine.threads = {}
         for tsnap in payload["threads"]:
             thread = ThreadContext.from_snapshot(tsnap)
             machine.threads[thread.tid] = thread
+        machine._sleeping = {
+            tid for tid, thread in machine.threads.items()
+            if thread.status == ThreadStatus.BLOCKED and thread.block_reason
+            and thread.block_reason[0] == "sleep"}
+        machine._runnable_cache = None
         machine.locks = {
             int(addr): (int(owner) if owner is not None else None)
             for addr, owner in payload["locks"]}

@@ -118,22 +118,33 @@ class RecordedScheduler(Scheduler):
         self._schedule: List[Tuple[int, int]] = [
             (int(tid), int(count)) for tid, count in schedule]
         self._index = 0
-        self._used = 0
+        # O(1) per-step state: the current run's tid and how many of its
+        # steps remain.  pick/commit/intended are called (at least) once
+        # per machine step, so they must not re-walk the RLE list.
+        self._cur_tid: Optional[int] = None
+        self._remaining = 0
+        self._advance()
 
-    def _current_entry(self) -> Optional[Tuple[int, int]]:
-        while self._index < len(self._schedule):
-            tid, count = self._schedule[self._index]
-            if self._used < count:
-                return tid, count
-            self._index += 1
-            self._used = 0
-        return None
+    def _advance(self) -> None:
+        """Load the next non-empty run into the O(1) cursor."""
+        schedule = self._schedule
+        index = self._index
+        while index < len(schedule):
+            tid, count = schedule[index]
+            if count > 0:
+                self._index = index
+                self._cur_tid = tid
+                self._remaining = count
+                return
+            index += 1
+        self._index = index
+        self._cur_tid = None
+        self._remaining = 0
 
     def pick(self, runnable: Sequence[int], last: Optional[int]) -> int:
-        entry = self._current_entry()
-        if entry is None:
+        tid = self._cur_tid
+        if tid is None:
             raise ReplayDivergence("recorded schedule exhausted")
-        tid, _ = entry
         if tid not in runnable:
             raise ReplayDivergence(
                 "recorded tid %d not runnable (runnable=%s)"
@@ -141,19 +152,20 @@ class RecordedScheduler(Scheduler):
         return tid
 
     def commit(self, tid: int) -> None:
-        entry = self._current_entry()
-        if entry is None or entry[0] != tid:
+        if tid != self._cur_tid:
             raise ReplayDivergence(
                 "commit of tid %d does not match schedule" % tid)
-        self._used += 1
+        self._remaining -= 1
+        if self._remaining == 0:
+            self._index += 1
+            self._advance()
 
     def intended(self) -> Optional[int]:
-        entry = self._current_entry()
-        return entry[0] if entry is not None else None
+        return self._cur_tid
 
     @property
     def exhausted(self) -> bool:
-        return self._current_entry() is None
+        return self._cur_tid is None
 
 
 class PriorityScheduler(Scheduler):

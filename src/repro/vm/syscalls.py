@@ -130,6 +130,7 @@ def sys_sleep(machine, thread) -> None:
     if steps > 0:
         thread.block_reason = ("sleep", machine.global_seq + steps)
         thread.status = ThreadStatus.BLOCKED
+        machine.note_sleeper(thread.tid)
     return None
 
 

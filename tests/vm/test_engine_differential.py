@@ -1,0 +1,303 @@
+"""Differential tests: the predecoded engine is observationally identical
+to the legacy interpreter.
+
+A seeded generator synthesizes randomized multi-threaded programs (locks,
+races, loops, branches, switches, calls, nondeterministic syscalls) and
+every program is executed under both engines with the same scheduler seed.
+The engines must agree on:
+
+* the full :class:`InstrEvent` stream — every retired instruction with its
+  complete def/use information (register and memory reads/writes with
+  values), in the same global order;
+* the scratch-event fast path — a non-retaining tool (the recycled-event
+  protocol) sees the same stream as a retaining tool;
+* the final :class:`MachineSnapshot` dict, program output and exit code;
+* recorded pinballs — schedule, syscall log, access-order edges and the
+  final state hash — including *cross* replay (a pinball recorded under
+  one engine replays verified under the other);
+* slice-pinball replay with exclusion skips (relogged pinballs teleport
+  over excluded runs and inject side effects identically);
+* the columnar trace store — record-for-record equal to the seed
+  record-per-row store, and slices computed over either layout agree.
+"""
+
+import random
+
+import pytest
+
+from repro.lang import compile_source
+from repro.pinplay import RegionSpec, record_region, relog, replay
+from repro.pinplay.pinball import state_hash
+from repro.slicing import SliceOptions, SlicingSession
+from repro.vm import RandomScheduler
+from repro.vm.hooks import Tool
+from repro.vm.machine import Machine
+
+STEP_CAP = 60_000
+
+#: 24 randomized programs for the event-stream comparison (the cheap,
+#: highest-coverage check) ...
+STREAM_SEEDS = list(range(24))
+#: ... and a subset for the heavier record/replay/slice pipelines.
+PIPELINE_SEEDS = list(range(10))
+
+
+# -- randomized program synthesis ---------------------------------------------
+
+_BINOPS = ("+", "-", "*", "&", "|", "^")
+
+
+def _worker(rng: random.Random, index: int) -> str:
+    """One worker function: a lock-protected update loop with extras."""
+    op1, op2, op3 = (rng.choice(_BINOPS) for _ in range(3))
+    c1, c2, c3 = (rng.randint(1, 9) for _ in range(3))
+    bound = rng.randint(3, 7)
+    ga, gb = rng.sample(("g0", "g1", "g2", "g3"), 2)
+    lines = [
+        "int worker%d(int n) {" % index,
+        "    int i; int t;",
+        "    t = %d;" % rng.randint(0, 5),
+        "    for (i = 0; i < n + %d; i = i + 1) {" % (bound - 3),
+        "        lock(&m);",
+        "        %s = %s %s %d;" % (ga, ga, op1, c1),
+        "        %s = %s %s (i %s %d);" % (gb, gb, op2, op3, c2),
+        "        unlock(&m);",
+    ]
+    # Racy unlocked read: generates cross-thread access-order edges.
+    lines.append("        t = t + %s;" % rng.choice((ga, gb)))
+    if rng.random() < 0.5:
+        lines += [
+            "        if (t > %d) { t = t - %d; } else { t = t + 1; }"
+            % (c3 * 10, c3),
+        ]
+    if rng.random() < 0.4:
+        lines += [
+            "        switch (i % 4) {",
+            "            case 0: t = t + %d; break;" % c1,
+            "            case 1: t = t ^ %d; break;" % c2,
+            "            case 2: t = helper(t); break;",
+            "            default: t = t - 1; break;",
+            "        }",
+        ]
+    if rng.random() < 0.4:
+        lines.append("        t = t + rand(%d);" % rng.randint(2, 6))
+    if rng.random() < 0.3:
+        lines.append("        yield();")
+    lines += [
+        "    }",
+        "    return t;",
+        "}",
+    ]
+    return "\n".join(lines)
+
+
+def generate_source(seed: int) -> str:
+    """A deterministic, seed-randomized multi-threaded program."""
+    rng = random.Random(seed)
+    nworkers = rng.randint(1, 3)
+    parts = [
+        "int g0; int g1; int g2; int g3; int m;",
+        "int helper(int v) {",
+        "    if (v %% 2) { return v + %d; }" % rng.randint(1, 5),
+        "    return v - %d;" % rng.randint(1, 5),
+        "}",
+    ]
+    for index in range(nworkers):
+        parts.append(_worker(rng, index))
+    main = [
+        "int main() {",
+        "    int x; int r;",
+        "    " + " ".join("int t%d;" % i for i in range(nworkers)),
+        "    x = input();",
+        "    g0 = x + %d;" % rng.randint(0, 9),
+        "    g1 = %d;" % rng.randint(1, 9),
+    ]
+    if rng.random() < 0.5:
+        main.append("    g2 = time() % 97;")
+    for index in range(nworkers):
+        main.append("    t%d = spawn(worker%d, %d);"
+                    % (index, index, rng.randint(2, 5)))
+    main.append("    r = helper(x);")
+    for index in range(nworkers):
+        main.append("    join(t%d);" % index)
+    main += [
+        "    print(g0); print(g1); print(g2); print(r);",
+        "    return 0;",
+        "}",
+    ]
+    parts.append("\n".join(main))
+    return "\n".join(parts)
+
+
+def build_program(seed: int):
+    return compile_source(generate_source(seed), name="diff-%d" % seed)
+
+
+# -- observation tools --------------------------------------------------------
+
+def _freeze(event) -> tuple:
+    return (event.seq, event.tid, event.tindex, event.addr,
+            tuple(event.reg_reads), tuple(event.reg_writes),
+            tuple(event.mem_reads), tuple(event.mem_writes),
+            event.frame_id)
+
+
+class RetainingLog(Tool):
+    """Default protocol: events are immutable and may be stored as-is."""
+
+    wants_instr_events = True      # retains_instr_events stays True
+
+    def __init__(self):
+        self.events = []
+        self.syscalls = []
+        self.steps = []
+
+    def on_instr(self, event):
+        self.events.append(event)   # retained: forces fresh events
+
+    def on_syscall(self, event):
+        self.syscalls.append((event.seq, event.tid, event.name,
+                              tuple(event.args), event.result))
+
+    def on_step(self, tid):
+        self.steps.append(tid)
+
+    def frozen(self):
+        return [_freeze(event) for event in self.events]
+
+
+class EagerLog(Tool):
+    """Non-retaining protocol: triggers the recycled scratch-event path."""
+
+    wants_instr_events = True
+    retains_instr_events = False
+
+    def __init__(self):
+        self.frozen_events = []
+
+    def on_instr(self, event):
+        self.frozen_events.append(_freeze(event))
+
+
+def run_machine(program, seed: int, engine: str, tool=None):
+    machine = Machine(program,
+                      scheduler=RandomScheduler(seed=seed, switch_prob=0.3),
+                      inputs=[seed % 11], rand_seed=seed, engine=engine)
+    if tool is not None:
+        machine.add_tool(tool)
+    machine.run(max_steps=STEP_CAP)
+    assert machine.finished, "randomized program %d did not terminate" % seed
+    return machine
+
+
+# -- the differential tests ---------------------------------------------------
+
+@pytest.mark.parametrize("seed", STREAM_SEEDS)
+def test_event_streams_and_final_state_match(seed):
+    program = build_program(seed)
+
+    legacy_log = RetainingLog()
+    legacy = run_machine(program, seed, "legacy", legacy_log)
+    pre_log = RetainingLog()
+    pre = run_machine(program, seed, "predecoded", pre_log)
+
+    assert legacy_log.steps == pre_log.steps
+    assert legacy_log.syscalls == pre_log.syscalls
+    assert legacy_log.frozen() == pre_log.frozen()
+    assert list(legacy.output) == list(pre.output)
+    assert legacy.exit_code == pre.exit_code
+    assert legacy.snapshot().to_dict() == pre.snapshot().to_dict()
+
+
+@pytest.mark.parametrize("seed", STREAM_SEEDS[::3])
+def test_scratch_event_path_sees_identical_stream(seed):
+    """The recycled-event fast path must be observationally identical to
+    the fresh-tuple path (same fields, same def/use contents and order)."""
+    program = build_program(seed)
+    retaining = RetainingLog()
+    run_machine(program, seed, "predecoded", retaining)
+    eager = EagerLog()
+    run_machine(program, seed, "predecoded", eager)
+    assert retaining.frozen() == eager.frozen_events
+
+
+@pytest.mark.parametrize("seed", PIPELINE_SEEDS)
+def test_recorded_pinballs_match_and_cross_replay(seed):
+    program = build_program(seed)
+    pinballs = {}
+    for engine in ("legacy", "predecoded"):
+        pinballs[engine] = record_region(
+            program, RandomScheduler(seed=seed, switch_prob=0.3),
+            RegionSpec(), inputs=[seed % 11], rand_seed=seed, engine=engine)
+    legacy_pb, pre_pb = pinballs["legacy"], pinballs["predecoded"]
+
+    assert legacy_pb.schedule == pre_pb.schedule
+    assert legacy_pb.syscalls == pre_pb.syscalls
+    assert legacy_pb.mem_order == pre_pb.mem_order
+    assert legacy_pb.snapshot == pre_pb.snapshot
+    assert (legacy_pb.meta["final_state_hash"]
+            == pre_pb.meta["final_state_hash"])
+    assert legacy_pb.meta["output"] == pre_pb.meta["output"]
+    assert (legacy_pb.meta["thread_instr_counts"]
+            == pre_pb.meta["thread_instr_counts"])
+
+    # Cross-replay: each engine's pinball replays *verified* (final state
+    # hash + output) under the other engine.
+    replay(legacy_pb, program, engine="predecoded", verify=True)
+    replay(pre_pb, program, engine="legacy", verify=True)
+
+
+@pytest.mark.parametrize("seed", PIPELINE_SEEDS)
+def test_columnar_store_matches_row_store_and_slices_agree(seed):
+    program = build_program(seed)
+    pinball = record_region(
+        program, RandomScheduler(seed=seed, switch_prob=0.3), RegionSpec(),
+        inputs=[seed % 11], rand_seed=seed)
+
+    columnar = SlicingSession(pinball, program, engine="predecoded",
+                              options=SliceOptions(columnar=True))
+    rowwise = SlicingSession(pinball, program, engine="legacy",
+                             options=SliceOptions(columnar=False))
+
+    col_store, row_store = columnar.collector.store, rowwise.collector.store
+    assert col_store.threads() == row_store.threads()
+    for tid in row_store.threads():
+        assert col_store.thread_length(tid) == row_store.thread_length(tid)
+        for tindex in range(row_store.thread_length(tid)):
+            col, row = col_store.get((tid, tindex)), row_store.get(
+                (tid, tindex))
+            for field in ("tid", "tindex", "addr", "line", "func", "rdefs",
+                          "ruses", "mdefs", "muses", "cd", "gpos", "values"):
+                assert getattr(col, field) == getattr(row, field), (
+                    "field %s differs at (%d, %d)" % (field, tid, tindex))
+            assert sorted(col.def_locations()) == sorted(row.def_locations())
+            assert sorted(col.use_locations()) == sorted(row.use_locations())
+
+    for criterion in columnar.last_reads(3):
+        col_slice = columnar.slice_for(criterion)
+        row_slice = rowwise.slice_for(criterion)
+        assert set(col_slice.nodes) == set(row_slice.nodes)
+        assert sorted(col_slice.edges) == sorted(row_slice.edges)
+
+
+@pytest.mark.parametrize("seed", PIPELINE_SEEDS)
+def test_slice_pinball_exclusion_replay_matches(seed):
+    """Relogged slice pinballs (exclusion skips + side-effect injection)
+    replay to the same machine state under both engines."""
+    program = build_program(seed)
+    pinball = record_region(
+        program, RandomScheduler(seed=seed, switch_prob=0.3), RegionSpec(),
+        inputs=[seed % 11], rand_seed=seed)
+    session = SlicingSession(pinball, program, engine="predecoded")
+    criterion = session.last_reads(1)[0]
+    dslice = session.slice_for(criterion)
+    keep = {}
+    for tid, tindex in dslice.nodes:
+        keep.setdefault(tid, set()).add(tindex)
+    slice_pb = relog(pinball, program, keep)
+
+    legacy_m, _ = replay(slice_pb, program, engine="legacy", verify=False)
+    pre_m, _ = replay(slice_pb, program, engine="predecoded", verify=False)
+    assert legacy_m.skipped_exclusions == pre_m.skipped_exclusions
+    assert list(legacy_m.output) == list(pre_m.output)
+    assert state_hash(legacy_m) == state_hash(pre_m)
