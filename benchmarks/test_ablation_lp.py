@@ -47,7 +47,8 @@ def traced():
 def test_lp_block_size(benchmark, traced, block_size):
     program, pinball = traced
     session = SlicingSession(
-        pinball, program, SliceOptions(block_size=block_size))
+        pinball, program,
+        SliceOptions(block_size=block_size, index="columnar"))
     criterion = session.last_write_to_global("result")
 
     dslice = benchmark.pedantic(

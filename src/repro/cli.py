@@ -133,15 +133,24 @@ def cmd_replay(args) -> int:
 def cmd_slice(args) -> int:
     program, _source = _load_program(args.program)
     pinball = Pinball.load(args.pinball)
-    session = SlicingSession(pinball, program, SliceOptions(
-        prune_save_restore=not args.no_prune,
-        refine_cfg=not args.no_refine))
+    option_kwargs = dict(prune_save_restore=not args.no_prune,
+                         refine_cfg=not args.no_refine)
+    if args.index:
+        option_kwargs["index"] = args.index
+    session = SlicingSession(pinball, program, SliceOptions(**option_kwargs))
     if args.var:
         dslice = session.slice_for_global(args.var)
     else:
         dslice = session.slice_for(session.failure_criterion())
     print("slice: %d instances, %d threads" % (
         len(dslice), len(dslice.threads())))
+    stats = session.stats()
+    print("[index=%s trace=%.3fs build=%.3fs query=%.3fs edges=%d "
+          "memo=%d/%d]"
+          % (stats["slice_index"], stats["trace_time_sec"],
+             stats["ddg_build_time_sec"], session.last_slice_time,
+             stats["edge_count"], stats["memo_hits"], stats["memo_misses"]),
+          file=sys.stderr)
     for func, line in sorted(dslice.source_statements(),
                              key=lambda fl: (fl[0] or "", fl[1] or 0)):
         if func is not None:
@@ -194,7 +203,10 @@ def cmd_races(args) -> int:
 def cmd_debug(args) -> int:
     program, source = _load_program(args.program)
     pinball = Pinball.load(args.pinball)
-    session = DrDebugSession(pinball, program, source=source)
+    slice_options = (SliceOptions(index=args.slice_index)
+                     if args.slice_index else None)
+    session = DrDebugSession(pinball, program, source=source,
+                             slice_options=slice_options)
     if args.reverse:
         session.enable_reverse_debugging(args.checkpoint_interval)
     cli = DrDebugCLI(session)
@@ -273,6 +285,10 @@ def build_parser() -> argparse.ArgumentParser:
                     help="disable save/restore pruning")
     sl.add_argument("--no-refine", action="store_true",
                     help="disable indirect-jump CFG refinement")
+    sl.add_argument("--index", choices=("ddg", "columnar", "rows"),
+                    default=None,
+                    help="slice-query engine (default: the build-once DDG "
+                         "index, or $REPRO_SLICE_INDEX)")
     sl.set_defaults(func=cmd_slice)
 
     dual = sub.add_parser(
@@ -302,6 +318,9 @@ def build_parser() -> argparse.ArgumentParser:
     debug.add_argument("--reverse", action="store_true",
                        help="enable checkpoint-based reverse debugging")
     debug.add_argument("--checkpoint-interval", type=int, default=500)
+    debug.add_argument("--slice-index", choices=("ddg", "columnar", "rows"),
+                       default=None,
+                       help="slice-query engine for slicing commands")
     debug.set_defaults(func=cmd_debug)
 
     dis = sub.add_parser("disasm", help="disassemble a compiled program")

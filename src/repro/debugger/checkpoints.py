@@ -23,6 +23,8 @@ same trade every checkpointing reverse debugger makes.
 
 from __future__ import annotations
 
+from bisect import bisect_right
+from itertools import accumulate
 from typing import Dict, List, Optional, Tuple
 
 from repro.isa.program import Program
@@ -50,7 +52,13 @@ class Checkpoint:
 
 
 def remaining_schedule(schedule, steps_done: int):
-    """The RLE schedule suffix after ``steps_done`` steps."""
+    """The RLE schedule suffix after ``steps_done`` steps.
+
+    Reference implementation: walks the full RLE schedule — O(|schedule|)
+    per call.  :class:`CheckpointManager` precomputes prefix sums once and
+    binary-searches the resume point instead (every rewind builds a
+    resumed scheduler, so this sits on the reverse-command hot path).
+    """
     remaining = []
     to_skip = steps_done
     for tid, count in schedule:
@@ -73,6 +81,12 @@ class CheckpointManager:
         self.program = program
         self.interval = interval
         self._checkpoints: List[Checkpoint] = []
+        #: Cumulative step counts of the RLE schedule runs: prefix[i] =
+        #: steps retired once run i is fully consumed.  Computed once; a
+        #: rewind binary-searches its resume run instead of re-walking
+        #: the whole schedule.
+        self._sched_prefix: List[int] = list(
+            accumulate(count for _tid, count in pinball.schedule))
 
     def __len__(self) -> int:
         return len(self._checkpoints)
@@ -121,11 +135,28 @@ class CheckpointManager:
         self._checkpoints = [c for c in self._checkpoints
                              if c.steps_done <= steps]
 
+    def _remaining_schedule(self, steps_done: int):
+        """Prefix-sum + binary-search twin of :func:`remaining_schedule`:
+        O(log |schedule|) per rewind instead of a full RLE walk."""
+        schedule = self.pinball.schedule
+        if steps_done <= 0:
+            return list(schedule)
+        prefix = self._sched_prefix
+        # First run whose cumulative step count exceeds steps_done; runs
+        # consumed exactly (prefix == steps_done) are skipped entirely.
+        index = bisect_right(prefix, steps_done)
+        if index >= len(schedule):
+            return []
+        consumed_before = prefix[index - 1] if index else 0
+        tid, count = schedule[index]
+        return ([(tid, count - (steps_done - consumed_before))]
+                + list(schedule[index + 1:]))
+
     def restore(self, checkpoint: Checkpoint
                 ) -> Tuple[Machine, SyscallInjector]:
         """Build a machine resumed exactly at the checkpoint."""
-        scheduler = RecordedScheduler(remaining_schedule(
-            self.pinball.schedule, checkpoint.steps_done))
+        scheduler = RecordedScheduler(
+            self._remaining_schedule(checkpoint.steps_done))
         injector = SyscallInjector(self.pinball.syscalls)
         injector.rewind_to(checkpoint.injector_consumed)
         machine = Machine.from_snapshot(

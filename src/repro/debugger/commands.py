@@ -15,6 +15,7 @@ Supported commands (a superset of what the paper's GDB extension adds)::
     slice-pinball                             relog the current slice
     slice-replay                              switch to the slice pinball
     slice-step                                step to next slice statement
+    slice-stats                               trace/index amortization stats
     restart | quit
 
 Each ``execute`` call returns the command's textual output, so the CLI is
@@ -85,6 +86,7 @@ class DrDebugCLI:
             "slice-pinball": self._cmd_slice_pinball,
             "slice-replay": self._cmd_slice_replay,
             "slice-step": self._cmd_slice_step,
+            "slice-stats": self._cmd_slice_stats,
             "restart": self._cmd_restart,
             "quit": self._cmd_quit, "q": self._cmd_quit,
         }
@@ -240,6 +242,16 @@ class DrDebugCLI:
 
     def _cmd_slice_step(self, args: List[str]) -> str:
         return self.session.slice_step()
+
+    def _cmd_slice_stats(self, args: List[str]) -> str:
+        stats = self.session.slicing_stats()
+        return ("slicing: %d trace records, index=%s\n"
+                "  trace %.3fs, preprocess %.3fs, ddg build %.3fs\n"
+                "  %d dependence edges, memo hits/misses %d/%d"
+                % (stats["trace_records"], stats["slice_index"],
+                   stats["trace_time_sec"], stats["preprocess_time_sec"],
+                   stats["ddg_build_time_sec"], stats["edge_count"],
+                   stats["memo_hits"], stats["memo_misses"]))
 
     def _summarize(self, dslice: DynamicSlice) -> str:
         statements = sorted(

@@ -411,6 +411,11 @@ class DrDebugSession:
                 self.pinball, self.program, self.slice_options)
         return self._slicing
 
+    def slicing_stats(self) -> dict:
+        """Trace + slice-index amortization stats of the slicing session
+        (builds the traced replay if no slice command ran yet)."""
+        return self.slicing.stats()
+
     def slice_at_failure(self) -> DynamicSlice:
         self.current_slice = self.slicing.slice_for(
             self.slicing.failure_criterion())

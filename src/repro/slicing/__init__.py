@@ -20,6 +20,12 @@ improvements:
    Preprocessing (LP) summaries of Zhang et al., optionally bypassing
    save/restore pairs.
 
+By default step 3 is served by the build-once CSR dependence index of
+:mod:`repro.slicing.ddg` (``SliceOptions(index="ddg")``): one pass
+compiles every dependence edge, then interactive queries are memoized
+graph traversals — the backward scans remain available as the
+``"columnar"`` and ``"rows"`` baselines.
+
 High-level entry point: :class:`~repro.slicing.api.SlicingSession`.
 """
 
@@ -27,6 +33,7 @@ from repro.slicing.options import SliceOptions
 from repro.slicing.trace import TraceRecord, TraceStore
 from repro.slicing.slice import DynamicSlice
 from repro.slicing.global_trace import GlobalTrace, merge_traces
+from repro.slicing.ddg import DependenceIndex
 from repro.slicing.slicer import BackwardSlicer
 from repro.slicing.tracer import TraceCollector
 from repro.slicing.api import SlicingSession
@@ -34,6 +41,7 @@ from repro.slicing.dual import DualSliceResult, dual_slice
 
 __all__ = [
     "BackwardSlicer",
+    "DependenceIndex",
     "DualSliceResult",
     "DynamicSlice",
     "GlobalTrace",

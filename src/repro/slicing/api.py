@@ -49,6 +49,12 @@ class SlicingSession:
             options=self.options)
         self.preprocess_time = time.perf_counter() - started
         self.last_slice_time = 0.0
+        #: Lazily built reverse indexes serving the criterion helpers
+        #: (line -> latest instance, written addr -> latest writer, read
+        #: positions).  One pass over the trace columns on first use —
+        #: interactive sessions resolve criteria repeatedly, and the seed
+        #: implementation re-scanned the whole trace per call.
+        self._criterion_index: Optional[tuple] = None
 
     # -- criterion resolution ----------------------------------------------------
 
@@ -59,22 +65,76 @@ class SlicingSession:
             raise ValueError("pinball records no failure")
         return (int(failure["tid"]), int(failure["tindex"]))
 
+    def _indexes(self) -> tuple:
+        """(line_best, line_tid_best, write_best, write_tid_best, reads)
+        reverse indexes, built once per session directly from the trace
+        columns (or records, for the row store)."""
+        if self._criterion_index is not None:
+            return self._criterion_index
+        line_best: Dict[int, Tuple[int, Instance]] = {}
+        line_tid_best: Dict[Tuple[int, int], Tuple[int, Instance]] = {}
+        write_best: Dict[int, Tuple[int, Instance]] = {}
+        write_tid_best: Dict[Tuple[int, int], Tuple[int, Instance]] = {}
+        reads: List[Tuple[int, Instance]] = []
+        store = self.collector.store
+        columns = getattr(store, "_columns", None)
+        if columns is not None:
+            rows_of = ((tid, cols.statics, cols.dyns, cols.gpos)
+                       for tid, cols in columns.items())
+            for tid, statics, dyns, gpos_col in rows_of:
+                for tindex in range(len(statics)):
+                    gpos = gpos_col[tindex]
+                    inst = (tid, tindex)
+                    line = statics[tindex][1]
+                    mdefs, muses = dyns[tindex][0], dyns[tindex][1]
+                    self._index_row(line_best, line_tid_best, write_best,
+                                    write_tid_best, reads, tid, inst, gpos,
+                                    line, mdefs, muses)
+        else:
+            for tid, records in store.by_thread.items():
+                for record in records:
+                    self._index_row(line_best, line_tid_best, write_best,
+                                    write_tid_best, reads, tid,
+                                    record.instance, record.gpos,
+                                    record.line, record.mdefs, record.muses)
+        reads.sort()
+        self._criterion_index = (line_best, line_tid_best, write_best,
+                                 write_tid_best, reads)
+        return self._criterion_index
+
+    @staticmethod
+    def _index_row(line_best, line_tid_best, write_best, write_tid_best,
+                   reads, tid, inst, gpos, line, mdefs, muses) -> None:
+        if line is not None:
+            current = line_best.get(line)
+            if current is None or gpos > current[0]:
+                line_best[line] = (gpos, inst)
+            key = (line, tid)
+            current = line_tid_best.get(key)
+            if current is None or gpos > current[0]:
+                line_tid_best[key] = (gpos, inst)
+        for addr in mdefs:
+            current = write_best.get(addr)
+            if current is None or gpos > current[0]:
+                write_best[addr] = (gpos, inst)
+            key = (addr, tid)
+            current = write_tid_best.get(key)
+            if current is None or gpos > current[0]:
+                write_tid_best[key] = (gpos, inst)
+        if muses:
+            reads.append((gpos, inst))
+
     def last_instance_at_line(self, line: int,
                               tid: Optional[int] = None) -> Instance:
         """The latest executed instance attributed to source ``line``."""
-        best: Optional[Instance] = None
-        best_gpos = -1
-        for thread_id, records in self.collector.store.by_thread.items():
-            if tid is not None and thread_id != tid:
-                continue
-            for record in records:
-                if record.line == line and record.gpos > best_gpos:
-                    best_gpos = record.gpos
-                    best = record.instance
+        line_best, line_tid_best, _writes, _tid_writes, _reads = \
+            self._indexes()
+        best = (line_best.get(line) if tid is None
+                else line_tid_best.get((line, tid)))
         if best is None:
             raise ValueError("line %d was never executed%s" % (
                 line, "" if tid is None else " by tid %d" % tid))
-        return best
+        return best[1]
 
     def last_write_to_global(self, name: str,
                              tid: Optional[int] = None) -> Instance:
@@ -82,20 +142,18 @@ class SlicingSession:
         var = self.program.globals.get(name)
         if var is None:
             raise ValueError("unknown global %r" % name)
-        addrs = set(range(var.addr, var.addr + max(1, var.size)))
-        best: Optional[Instance] = None
-        best_gpos = -1
-        for thread_id, records in self.collector.store.by_thread.items():
-            if tid is not None and thread_id != tid:
-                continue
-            for record in records:
-                if record.gpos > best_gpos and any(
-                        a in addrs for a in record.mdefs):
-                    best_gpos = record.gpos
-                    best = record.instance
+        _lines, _tid_lines, write_best, write_tid_best, _reads = \
+            self._indexes()
+        best: Optional[Tuple[int, Instance]] = None
+        for addr in range(var.addr, var.addr + max(1, var.size)):
+            candidate = (write_best.get(addr) if tid is None
+                         else write_tid_best.get((addr, tid)))
+            if candidate is not None and (best is None
+                                          or candidate[0] > best[0]):
+                best = candidate
         if best is None:
             raise ValueError("global %r was never written" % name)
-        return best
+        return best[1]
 
     def global_location(self, name: str) -> Location:
         var = self.program.globals.get(name)
@@ -109,13 +167,8 @@ class SlicingSession:
         This mirrors the paper's slicing-overhead experiment, which slices
         "the last 10 read instructions (spread across five threads)".
         """
-        result: List[Instance] = []
-        for record in reversed(self.gtrace.order):
-            if record.muses:
-                result.append(record.instance)
-                if len(result) >= count:
-                    break
-        return result
+        reads = self._indexes()[4]
+        return [inst for _gpos, inst in reads[:-count - 1:-1]]
 
     # -- slicing --------------------------------------------------------------------
 
@@ -145,7 +198,7 @@ class SlicingSession:
     # -- reporting ----------------------------------------------------------------------
 
     def stats(self) -> dict:
-        return {
+        out = {
             "trace_records": self.collector.store.total_records(),
             "trace_time_sec": self.trace_time,
             "preprocess_time_sec": self.preprocess_time,
@@ -155,3 +208,7 @@ class SlicingSession:
                 self.collector.save_restore.pair_count,
             "threads": self.collector.store.threads(),
         }
+        # Amortization counters for the build-once DDG engine (zeros for
+        # the scan engines, and until the first DDG query builds it).
+        out.update(self.slicer.index_stats())
+        return out

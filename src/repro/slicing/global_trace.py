@@ -104,6 +104,14 @@ class GlobalTrace:
     def record_of(self, instance: Tuple[int, int]) -> TraceRecord:
         return self.store.get(instance)
 
+    def gpos_of(self, instance: Tuple[int, int]) -> int:
+        """Global position of ``instance`` — O(1) column read for columnar
+        stores (no record materialization), record lookup otherwise."""
+        fast = getattr(self.store, "gpos_of", None)
+        if fast is not None:
+            return fast(instance[0], instance[1])
+        return self.store.get(instance).gpos
+
     def verify_topological(self, edges: Sequence[Edge]) -> bool:
         """Check the order honors program order and every edge (for tests)."""
         last_by_thread: Dict[int, int] = {}

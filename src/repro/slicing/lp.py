@@ -48,7 +48,8 @@ def build_blocks(order: Sequence[TraceRecord],
 
 
 def build_blocks_with_defs(
-        order: Sequence[TraceRecord], block_size: int
+        order: Sequence[TraceRecord], block_size: int,
+        force_rows: bool = False
 ) -> Tuple[List[TraceBlock], Optional[List[tuple]]]:
     """Like :func:`build_blocks`, also returning the per-position interned
     def-location tuples for columnar orders (``None`` for record lists).
@@ -56,8 +57,12 @@ def build_blocks_with_defs(
     The slicer's backward scan uses the flat def-locs list to test each
     scanned position against the wanted set without materializing the
     record — records are only built for positions that actually match.
+
+    With ``force_rows`` a lazy columnar order is summarized through its
+    materialized record views instead — the ``index="rows"`` baseline,
+    which exercises the seed record-at-a-time scan on any store layout.
     """
-    if getattr(order, "instance_at", None) is not None:
+    if not force_rows and getattr(order, "instance_at", None) is not None:
         return _build_blocks_columnar(order, block_size)
     blocks: List[TraceBlock] = []
     for start in range(0, len(order), block_size):

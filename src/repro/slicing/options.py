@@ -21,11 +21,40 @@ Every ablation benchmark flips one of these:
   columnar store with lazy record views (the predecoded engine's hot
   path).  Off: the seed record-per-row layout, kept as the perf
   benchmark's measured baseline and the differential tests' reference.
+* ``index`` — the slice-query engine:
+
+  - ``"ddg"`` (default): one pass over the trace compiles every
+    data/control/save-restore dependence into a CSR dynamic dependence
+    graph (:mod:`repro.slicing.ddg`); each query is then an int-array
+    graph traversal with memoized reachability fragments and an LRU of
+    complete slices — the build-once/query-many engine for cyclic
+    debugging.
+  - ``"columnar"``: the per-query backward scan over the interned
+    columns with LP block skipping (falls back to the record scan when
+    the trace store is row-based).
+  - ``"rows"``: the seed record-at-a-time backward scan, kept as the
+    differential tests' reference and the benchmark baseline.
+
+  The environment variable ``REPRO_SLICE_INDEX`` overrides the default
+  (used by CI to run the tier-1 suite against every engine).
+* ``slice_cache_size`` / ``closure_memo_size`` — the DDG engine's result
+  LRU (complete ``DynamicSlice`` objects keyed by criterion+locations)
+  and reachable-set fragment memo; 0 disables either cache.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import os
+from dataclasses import dataclass, field
+
+#: The recognised slice-query engines (see the module docstring).
+SLICE_INDEXES = ("ddg", "columnar", "rows")
+
+
+def _default_index() -> str:
+    """Default engine: ``REPRO_SLICE_INDEX`` if set, else the DDG index."""
+    value = os.environ.get("REPRO_SLICE_INDEX", "").strip()
+    return value if value else "ddg"
 
 
 @dataclass(frozen=True)
@@ -38,9 +67,19 @@ class SliceOptions:
     track_stack_pointer: bool = False
     record_values: bool = True
     columnar: bool = True
+    index: str = field(default_factory=_default_index)
+    slice_cache_size: int = 128
+    closure_memo_size: int = 256
 
     def __post_init__(self) -> None:
         if self.max_save < 0:
             raise ValueError("max_save must be >= 0")
         if self.block_size < 1:
             raise ValueError("block_size must be >= 1")
+        if self.index not in SLICE_INDEXES:
+            raise ValueError("index must be one of %r, got %r"
+                             % (SLICE_INDEXES, self.index))
+        if self.slice_cache_size < 0:
+            raise ValueError("slice_cache_size must be >= 0")
+        if self.closure_memo_size < 0:
+            raise ValueError("closure_memo_size must be >= 0")

@@ -1,5 +1,15 @@
 """Backward dynamic slicing over the global trace (Section 3, step iii).
 
+:class:`BackwardSlicer` is the query facade.  ``SliceOptions(index=...)``
+selects the engine:
+
+* ``"ddg"`` (default) — the build-once CSR dependence index of
+  :mod:`repro.slicing.ddg`: one pass compiles every dependence edge, then
+  each query is a memoized graph traversal touching only the slice.  The
+  engine is built lazily on the first query.
+* ``"columnar"`` / ``"rows"`` — the per-query backward scans described
+  below, kept as baselines (and as the differential tests' references).
+
 One backward scan from the criterion position resolves data dependences:
 the *wanted* map holds, per location, the consumers still looking for their
 reaching definition; the first definition encountered below a consumer's
@@ -18,6 +28,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.slicing.ddg import DependenceIndex
 from repro.slicing.global_trace import GlobalTrace
 from repro.slicing.lp import TraceBlock, build_blocks_with_defs
 from repro.slicing.options import SliceOptions
@@ -34,18 +45,62 @@ class BackwardSlicer:
         self.gtrace = gtrace
         self.options = options or SliceOptions()
         self.restores = dict(verified_restores or {})
-        #: ``_def_locs[gpos]`` — interned def-location tuple per position
-        #: for columnar stores (None for record-list orders): lets the
-        #: backward scan test a position against the wanted set without
-        #: materializing its record.
-        self.blocks, self._def_locs = build_blocks_with_defs(
-            gtrace.order, self.options.block_size)
+        self.index = self.options.index
+        self._ddg: Optional[DependenceIndex] = None
+        if self.index == "ddg":
+            # The DDG engine builds its own flat edge columns (lazily, on
+            # the first query); the LP block summaries are scan-only.
+            self.blocks: List[TraceBlock] = []
+            self._def_locs = None
+        else:
+            #: ``_def_locs[gpos]`` — interned def-location tuple per
+            #: position for columnar stores (None for record-list orders):
+            #: lets the backward scan test a position against the wanted
+            #: set without materializing its record.  ``index="rows"``
+            #: forces the record path even on a columnar store.
+            self.blocks, self._def_locs = build_blocks_with_defs(
+                gtrace.order, self.options.block_size,
+                force_rows=(self.index == "rows"))
         #: save-instance -> gpos memo for the save/restore bypass: the
         #: same save is typically bypassed many times per slice, and its
         #: global position never changes once the trace is merged.
         self._save_gpos: Dict[Instance, int] = {}
 
     # -- public API -----------------------------------------------------------
+
+    @property
+    def ddg(self) -> DependenceIndex:
+        """The compiled dependence index (built on first access)."""
+        if self._ddg is None:
+            self._ddg = DependenceIndex(self.gtrace, self.restores,
+                                        self.options)
+        return self._ddg
+
+    def index_stats(self) -> dict:
+        """Amortization counters for benchmarks / the CLI (zeros until
+        the DDG engine has been built)."""
+        out = {
+            "slice_index": self.index,
+            "ddg_build_time_sec": 0.0,
+            "edge_count": 0,
+            "memo_hits": 0,
+            "memo_misses": 0,
+            "slice_cache_hits": 0,
+            "closure_memo_hits": 0,
+            "bypassed_edges": 0,
+        }
+        if self._ddg is not None:
+            ddg = self._ddg
+            out.update(
+                ddg_build_time_sec=ddg.build_time,
+                edge_count=ddg.edge_count,
+                memo_hits=ddg.memo_hits + ddg.cache_hits,
+                memo_misses=ddg.memo_misses + ddg.cache_misses,
+                slice_cache_hits=ddg.cache_hits,
+                closure_memo_hits=ddg.memo_hits,
+                bypassed_edges=ddg.bypassed_edges,
+            )
+        return out
 
     def slice(self, criterion: Instance,
               locations: Optional[Sequence[Location]] = None) -> DynamicSlice:
@@ -56,6 +111,8 @@ class BackwardSlicer:
         criterion instruction's own uses — "the statements that played a
         role in the computation of the value".
         """
+        if self.index == "ddg":
+            return self.ddg.slice(criterion, locations)
         crit_rec = self.gtrace.record_of(criterion)
         stats = {
             "scanned_records": 0,

@@ -244,6 +244,14 @@ class ColumnarTraceStore:
             cols.cache[tindex] = record
         return record
 
+    def gpos_of(self, tid: int, tindex: int) -> int:
+        """Global position of one row without materializing its record."""
+        cols = self._columns[tid]
+        positions = cols.gpos
+        if not 0 <= tindex < len(positions):
+            raise IndexError(tindex)
+        return positions[tindex]
+
     def set_gpos(self, tid: int, tindex: int, gpos: int) -> None:
         cols = self._columns[tid]
         cols.gpos[tindex] = gpos

@@ -98,3 +98,30 @@ class TestRestore:
         program, pinball = recorded
         manager = CheckpointManager(pinball, program, interval=10)
         assert manager.latest_at_or_before(5) is None
+
+
+class TestRemainingSchedule:
+    """The prefix-sum + binary-search resume must equal the reference
+    RLE walk at every possible step offset."""
+
+    def test_prefix_sum_matches_reference_walk(self, recorded):
+        program, pinball = recorded
+        manager = CheckpointManager(pinball, program, interval=10)
+        total = sum(count for _tid, count in pinball.schedule)
+        for steps_done in range(total + 2):
+            assert (manager._remaining_schedule(steps_done)
+                    == remaining_schedule(pinball.schedule, steps_done)), (
+                "divergence at steps_done=%d" % steps_done)
+
+    def test_synthetic_run_boundaries(self, recorded):
+        program, pinball = recorded
+        schedule = [(0, 3), (1, 1), (0, 4), (2, 2)]
+        pinball.schedule = schedule
+        manager = CheckpointManager(pinball, program, interval=10)
+        assert manager._remaining_schedule(0) == schedule
+        assert manager._remaining_schedule(3) == schedule[1:]
+        assert manager._remaining_schedule(4) == schedule[2:]
+        assert manager._remaining_schedule(5) == [(0, 3), (2, 2)]
+        assert manager._remaining_schedule(8) == [(2, 2)]
+        assert manager._remaining_schedule(10) == []
+        assert manager._remaining_schedule(99) == []

@@ -1,0 +1,150 @@
+"""Differential tests: the build-once CSR dependence index ("ddg") is
+observationally identical to the backward scanners.
+
+The seeded generator from the engine differential suite synthesizes
+randomized multi-threaded programs (locks, races, loops, branches,
+switches, calls, nondeterministic syscalls).  For every program the same
+recorded region is sliced under all three index engines —
+
+* ``"ddg"``       — forward-built CSR dependence graph + memoized closures,
+* ``"columnar"``  — backward scan with LP block skipping over columns,
+* ``"rows"``      — backward scan over materialized :class:`TraceRecord`s,
+
+plus an independent row-store session (``columnar=False``), and the
+slices must agree node-for-node and edge-for-edge.  The save/restore
+bypass (paper Section 5.2) is exercised both enabled and disabled, and
+DDG-derived slice pinballs must replay (exclusion skips, side-effect
+injection) identically to scan-derived ones under both VM engines.
+"""
+
+import pytest
+
+from repro.pinplay import RegionSpec, record_region, relog, replay
+from repro.pinplay.pinball import state_hash
+from repro.slicing import BackwardSlicer, SliceOptions, SlicingSession
+from repro.vm import RandomScheduler
+from tests.vm.test_engine_differential import build_program
+
+SEEDS = list(range(12))
+
+INDEXES = ("ddg", "columnar", "rows")
+
+
+def _record(seed):
+    program = build_program(seed)
+    pinball = record_region(
+        program, RandomScheduler(seed=seed, switch_prob=0.3), RegionSpec(),
+        inputs=[seed % 11], rand_seed=seed)
+    return program, pinball
+
+
+def _assert_same_slice(reference, other, context):
+    __tracebackhide__ = True
+    assert set(reference.nodes) == set(other.nodes), (
+        "slice node sets differ (%s)" % context)
+    assert sorted(reference.edges) == sorted(other.edges), (
+        "slice edge multisets differ (%s)" % context)
+    assert reference.criterion == other.criterion
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_all_indexes_agree(seed):
+    """ddg == columnar == rows == row-store scan, for read criteria and
+    for location (global variable) queries."""
+    program, pinball = _record(seed)
+    session = SlicingSession(pinball, program)       # columnar store
+    restores = session.collector.save_restore.verified
+    slicers = {
+        index: BackwardSlicer(session.gtrace, verified_restores=restores,
+                              options=SliceOptions(index=index))
+        for index in INDEXES
+    }
+    row_session = SlicingSession(
+        pinball, program, options=SliceOptions(columnar=False, index="rows"))
+
+    queries = [(criterion, None) for criterion in session.last_reads(5)]
+    queries.append((session.last_write_to_global("g0"),
+                    [session.global_location("g0")]))
+    queries.append((session.last_write_to_global("g1"),
+                    [session.global_location("g1")]))
+
+    for criterion, locations in queries:
+        reference = slicers["ddg"].slice(criterion, locations)
+        for index in ("columnar", "rows"):
+            _assert_same_slice(
+                reference, slicers[index].slice(criterion, locations),
+                "seed=%d index=%s criterion=%r" % (seed, index, criterion))
+        _assert_same_slice(
+            reference, row_session.slice_for(criterion, locations),
+            "seed=%d row-store criterion=%r" % (seed, criterion))
+        assert (reference.stats["unresolved_locations"]
+                == slicers["columnar"].slice(criterion, locations)
+                .stats["unresolved_locations"])
+
+
+@pytest.mark.parametrize("seed", SEEDS[::4])
+def test_indexes_agree_without_save_restore_bypass(seed):
+    """Disabling the Section 5.2 bypass must change all engines in
+    lockstep (slices still identical across indexes)."""
+    program, pinball = _record(seed)
+    session = SlicingSession(
+        pinball, program, options=SliceOptions(prune_save_restore=False,
+                                               index="ddg"))
+    restores = session.collector.save_restore.verified
+    criterion = session.last_reads(1)[0]
+    reference = session.slice_for(criterion)
+    for index in ("columnar", "rows"):
+        other = BackwardSlicer(
+            session.gtrace, verified_restores=restores,
+            options=SliceOptions(prune_save_restore=False, index=index)
+        ).slice(criterion)
+        _assert_same_slice(reference, other,
+                           "seed=%d no-bypass index=%s" % (seed, index))
+
+
+@pytest.mark.parametrize("seed", SEEDS[::4])
+def test_repeated_queries_hit_caches_and_stay_identical(seed):
+    program, pinball = _record(seed)
+    session = SlicingSession(pinball, program,
+                             options=SliceOptions(index="ddg"))
+    criteria = session.last_reads(3)
+    first = [session.slice_for(c) for c in criteria]
+    again = [session.slice_for(c) for c in criteria]
+    for a, b in zip(first, again):
+        _assert_same_slice(a, b, "seed=%d repeat" % seed)
+    ddg = session.slicer.ddg
+    assert ddg.cache_hits >= len(criteria)
+    # Distinct criteria over one trace share closure fragments.
+    stats = session.stats()
+    assert stats["memo_hits"] >= len(criteria)
+
+
+@pytest.mark.parametrize("seed", SEEDS[::3])
+def test_ddg_slice_pinballs_replay_like_scan_slice_pinballs(seed):
+    """Slice pinballs relogged from DDG slices replay with the same
+    exclusion skips, output, and final state as scan-derived ones."""
+    program, pinball = _record(seed)
+    ddg_session = SlicingSession(pinball, program,
+                                 options=SliceOptions(index="ddg"))
+    scan_session = SlicingSession(pinball, program,
+                                  options=SliceOptions(index="columnar"))
+    criterion = ddg_session.last_reads(1)[0]
+    ddg_slice = ddg_session.slice_for(criterion)
+    scan_slice = scan_session.slice_for(criterion)
+    _assert_same_slice(ddg_slice, scan_slice, "seed=%d pinball" % seed)
+
+    ddg_pb = relog(pinball, program, ddg_slice.to_keep())
+    scan_pb = relog(pinball, program, scan_slice.to_keep())
+    assert ddg_pb.exclusions == scan_pb.exclusions
+    assert ddg_pb.meta["kept_instructions"] == scan_pb.meta[
+        "kept_instructions"]
+
+    machines = {}
+    for engine in ("legacy", "predecoded"):
+        machine, _ = replay(ddg_pb, program, engine=engine, verify=False)
+        machines[engine] = machine
+    scan_machine, _ = replay(scan_pb, program, verify=False)
+    for engine, machine in machines.items():
+        assert machine.skipped_exclusions == scan_machine.skipped_exclusions
+        assert list(machine.output) == list(scan_machine.output)
+        assert state_hash(machine) == state_hash(scan_machine)

@@ -29,3 +29,34 @@ class TestValidation:
 
     def test_max_save_zero_is_valid_disable(self):
         assert SliceOptions(max_save=0).max_save == 0
+
+
+class TestIndexSelection:
+    def test_default_index_is_ddg(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SLICE_INDEX", raising=False)
+        assert SliceOptions().index == "ddg"
+
+    def test_env_var_overrides_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SLICE_INDEX", "rows")
+        assert SliceOptions().index == "rows"
+        monkeypatch.setenv("REPRO_SLICE_INDEX", "columnar")
+        assert SliceOptions().index == "columnar"
+
+    def test_explicit_index_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SLICE_INDEX", "rows")
+        assert SliceOptions(index="ddg").index == "ddg"
+
+    def test_unknown_index_rejected(self):
+        with pytest.raises(ValueError):
+            SliceOptions(index="quantum")
+
+    def test_negative_cache_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            SliceOptions(slice_cache_size=-1)
+        with pytest.raises(ValueError):
+            SliceOptions(closure_memo_size=-1)
+
+    def test_zero_cache_sizes_disable(self):
+        options = SliceOptions(slice_cache_size=0, closure_memo_size=0)
+        assert options.slice_cache_size == 0
+        assert options.closure_memo_size == 0

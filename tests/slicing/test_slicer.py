@@ -139,7 +139,7 @@ int main() {
 }
 """
         session = session_for(
-            source, options=SliceOptions(block_size=64))
+            source, options=SliceOptions(block_size=64, index="columnar"))
         dslice = session.slice_for_global("result")
         assert dslice.stats["skipped_blocks"] > 0
         # The loop must not be in the slice, the early def must be.
@@ -151,7 +151,8 @@ int main() {
         nodes_by_block_size = []
         for block_size in (1, 7, 64, 4096):
             session = session_for(
-                source, options=SliceOptions(block_size=block_size))
+                source, options=SliceOptions(block_size=block_size,
+                                             index="columnar"))
             dslice = session.slice_for_global("c")
             nodes_by_block_size.append(set(dslice.nodes))
         assert all(n == nodes_by_block_size[0]
@@ -159,12 +160,23 @@ int main() {
 
 
 class TestSliceStats:
-    def test_stats_populated(self):
-        session = session_for(STRAIGHT_LINE)
+    def test_scan_stats_populated(self):
+        session = session_for(STRAIGHT_LINE,
+                              options=SliceOptions(index="columnar"))
         dslice = session.slice_for_global("c")
         for key in ("scanned_records", "skipped_blocks", "visited_blocks",
                     "bypassed_deps", "nodes", "edges"):
             assert key in dslice.stats
+        assert dslice.stats["nodes"] == len(dslice)
+
+    def test_ddg_stats_populated(self):
+        session = session_for(STRAIGHT_LINE,
+                              options=SliceOptions(index="ddg"))
+        dslice = session.slice_for_global("c")
+        for key in ("engine", "nodes", "edges", "unresolved_locations",
+                    "closure_memo_hits"):
+            assert key in dslice.stats
+        assert dslice.stats["engine"] == "ddg"
         assert dslice.stats["nodes"] == len(dslice)
 
     def test_unresolved_locations_for_initial_state(self):
