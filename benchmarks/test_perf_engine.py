@@ -15,6 +15,14 @@ process so the comparison is apples-to-apples on the same machine state:
 It also times ``Pinball`` deserialization with the trusted constructor
 path against the untrusted normalization path (the ``Pinball.load`` win).
 
+The phase wall-times reported by :class:`SlicingSession`
+(``trace_time``/``preprocess_time``) are the obs layer's span
+measurements, and each workload row carries an ``obs`` block of
+per-phase counters (instructions retired, access-order edges, syscalls
+injected, memo hits, ...) harvested from the observability registry in a
+separate *untimed* instrumented pass — so the timed sections stay
+obs-disabled and the report still explains what each phase did.
+
 Results are written to ``BENCH_engine.json`` at the repo root.  In full
 mode the run *asserts* the acceptance bars:
 
@@ -39,6 +47,7 @@ import time
 from contextlib import contextmanager
 from typing import Dict, List
 
+from repro.obs import OBS
 from repro.pinplay import (Pinball, RegionSpec, record_region, replay,
                            replay_machine)
 from repro.slicing import SliceOptions, SlicingSession
@@ -90,6 +99,40 @@ def _build(suite: str, kernel: str, params: dict):
     if suite == "parsec":
         return get_parsec(kernel).build(**params)
     return get_specomp(kernel).build(**params)
+
+
+def _layer_counters() -> Dict[str, int]:
+    """The instrumented layers' counters, dropped to the interesting set."""
+    return {name: value for name, value in OBS.counters().items()
+            if name.split(".", 1)[0] in ("vm", "pinplay", "slicing")}
+
+
+def _harvest_obs(program, pinball, engine: str, options) -> Dict[str, dict]:
+    """Per-phase obs counters from one *untimed* instrumented pass.
+
+    Runs record / untraced replay / the slicing pipeline once each with
+    the registry enabled, resetting between phases, so every BENCH row
+    can report what its timed twin actually did.  (The registry is
+    process-wide: this clears and repopulates it, which is fine for a
+    benchmark process.)
+    """
+    phases: Dict[str, dict] = {}
+    with OBS.scope(enabled=True):
+        OBS.reset()
+        record_region(program, RandomScheduler(seed=7), RegionSpec(),
+                      engine=engine)
+        phases["record"] = _layer_counters()
+        OBS.reset()
+        replay(pinball, program, engine=engine, verify=False)
+        phases["replay"] = _layer_counters()
+        OBS.reset()
+        session = SlicingSession(pinball, program, engine=engine,
+                                 options=options)
+        for criterion in session.last_reads(10):
+            session.slice_for(criterion)
+        phases["pipeline"] = _layer_counters()
+        OBS.reset()
+    return phases
 
 
 def _bench_workload(suite: str, kernel: str, params: dict) -> List[dict]:
@@ -147,6 +190,8 @@ def _bench_workload(suite: str, kernel: str, params: dict) -> List[dict]:
         (pipeline_time, trace_time, preprocess_time, slice_time,
          trace_records) = best
 
+        obs_phases = _harvest_obs(program, pinball, engine, options)
+
         rows.append({
             "suite": suite,
             "kernel": kernel,
@@ -162,6 +207,7 @@ def _bench_workload(suite: str, kernel: str, params: dict) -> List[dict]:
             "slice_time_sec": slice_time,
             "pipeline_time_sec": pipeline_time,
             "trace_records": trace_records,
+            "obs": obs_phases,
         })
     return rows
 
@@ -245,7 +291,7 @@ def test_perf_engine():
                         / totals["predecoded"]["pipeline_time_sec"])
 
     report = {
-        "schema_version": 1,
+        "schema_version": 2,      # 2: rows carry per-phase "obs" counters
         "smoke": SMOKE,
         "workloads": rows,
         "totals": totals,

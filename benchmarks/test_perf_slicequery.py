@@ -16,7 +16,11 @@ merged global trace:
 
 Per engine the benchmark reports build cost (DDG compilation / LP block
 summaries) and query throughput separately, plus the DDG memo hit rates
-that explain the amortization.  Results go to ``BENCH_slicequery.json``
+that explain the amortization.  Each row also carries an ``obs`` block —
+the slicing-layer counters (BFS visits, memo hits/misses, scanned
+records, skipped blocks) harvested from the observability registry in an
+*untimed* instrumented re-run of the same query mix, so the timed
+sections stay obs-disabled.  Results go to ``BENCH_slicequery.json``
 at the repo root.  In full mode the run *asserts* the acceptance bar:
 
 * DDG aggregate session cost (build + 50 queries) ≥ 5× cheaper than the
@@ -40,6 +44,7 @@ import time
 from contextlib import contextmanager
 from typing import Dict, List
 
+from repro.obs import OBS
 from repro.pinplay import RegionSpec, record_region
 from repro.slicing import BackwardSlicer, SliceOptions, SlicingSession
 from repro.vm import RandomScheduler
@@ -143,6 +148,22 @@ def _bench_workload(suite: str, kernel: str, params: dict) -> List[dict]:
             if index not in best or total < best[index][0]:
                 best[index] = (total, build_time, query_time,
                                slicer.index_stats())
+    # Untimed instrumented re-run of the same query mix per engine: the
+    # slicing-layer counters that explain the timings above.
+    obs_stats: Dict[str, Dict[str, int]] = {}
+    with OBS.scope(enabled=True):
+        for index in INDEXES:
+            OBS.reset()
+            slicer = BackwardSlicer(session.gtrace,
+                                    verified_restores=restores,
+                                    options=SliceOptions(index=index))
+            for criterion in queries:
+                slicer.slice(criterion)
+            obs_stats[index] = {
+                name: value for name, value in OBS.counters().items()
+                if name.startswith("slicing.")}
+        OBS.reset()
+
     rows = []
     for index in INDEXES:
         total, build_time, query_time, stats = best[index]
@@ -159,6 +180,7 @@ def _bench_workload(suite: str, kernel: str, params: dict) -> List[dict]:
             "edge_count": stats["edge_count"],
             "slice_cache_hits": stats["slice_cache_hits"],
             "closure_memo_hits": stats["closure_memo_hits"],
+            "obs": obs_stats[index],
         })
     return rows
 
@@ -193,7 +215,7 @@ def test_perf_slicequery():
                               / totals["ddg"]["query_time_sec"]),
     }
     report = {
-        "schema_version": 1,
+        "schema_version": 2,      # 2: rows carry "obs" counter blocks
         "smoke": SMOKE,
         "queries_per_workload": QUERIES,
         "distinct_criteria": CRITERIA,

@@ -27,6 +27,7 @@ from repro.detect import detect_races
 from repro.isa import disassemble
 from repro.lang import CompileError, compile_source
 from repro.maple import expose_and_record
+from repro.obs import OBS, format_report, layer_totals, run_demo_cycle
 from repro.pinplay import Pinball, RegionSpec, record_region, replay
 from repro.slicing import SliceOptions, SlicingSession
 from repro.vm import Machine, RandomScheduler, RoundRobinScheduler
@@ -235,11 +236,43 @@ def cmd_disasm(args) -> int:
     return 0
 
 
+def cmd_obs(args) -> int:
+    """``repro obs report``: demo cycle + counter summary / JSON export."""
+    if args.action != "report":
+        print("unknown obs action %r (expected: report)" % args.action,
+              file=sys.stderr)
+        return 2
+    if args.no_demo:
+        snapshot = OBS.snapshot()
+    else:
+        # One full cyclic-debugging loop (Maple exposure -> record ->
+        # replay -> slice -> slice pinball -> reverse debugging) so the
+        # report shows live counters from every instrumented layer.
+        snapshot = run_demo_cycle()
+    print(format_report(snapshot), end="")
+    totals = layer_totals(snapshot)
+    print("layer totals: "
+          + "  ".join("%s=%d" % (layer, total)
+                      for layer, total in totals.items()),
+          file=sys.stderr)
+    if args.json:
+        OBS.save(args.json)
+        print("wrote %s" % args.json, file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="DrDebug: deterministic replay based cyclic debugging "
                     "with dynamic slicing")
+    parser.add_argument("--obs", action="store_true",
+                        help="enable the observability registry "
+                             "(counters/spans across all layers; also "
+                             "enabled by REPRO_OBS=1)")
+    parser.add_argument("--obs-json", metavar="PATH", default=None,
+                        help="with --obs: export the registry snapshot "
+                             "as JSON after the command")
     sub = parser.add_subparsers(dest="command", required=True)
 
     def common_run_args(p):
@@ -328,14 +361,28 @@ def build_parser() -> argparse.ArgumentParser:
     dis.add_argument("--function", default=None)
     dis.set_defaults(func=cmd_disasm)
 
+    obs = sub.add_parser(
+        "obs", help="observability: summarize pipeline counters")
+    obs.add_argument("action", nargs="?", default="report",
+                     help="report (default): run a demo cyclic-debugging "
+                          "loop and print per-layer counters")
+    obs.add_argument("--json", metavar="PATH", default=None,
+                     help="also export the registry snapshot as JSON")
+    obs.add_argument("--no-demo", action="store_true",
+                     help="report whatever is already in the registry "
+                          "instead of running the demo cycle")
+    obs.set_defaults(func=cmd_obs)
+
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "obs", False):
+        OBS.enable()
     try:
-        return args.func(args)
+        status = args.func(args)
     except CompileError as exc:
         print("compile error: %s" % exc, file=sys.stderr)
         return 64
@@ -345,6 +392,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except ValueError as exc:
         print("error: %s" % exc, file=sys.stderr)
         return 65
+    if getattr(args, "obs", False):
+        if args.obs_json:
+            OBS.save(args.obs_json)
+            print("observability snapshot written to %s" % args.obs_json,
+                  file=sys.stderr)
+        else:
+            print(format_report(OBS.snapshot()), end="", file=sys.stderr)
+    return status
 
 
 if __name__ == "__main__":

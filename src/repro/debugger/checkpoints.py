@@ -28,6 +28,7 @@ from itertools import accumulate
 from typing import Dict, List, Optional, Tuple
 
 from repro.isa.program import Program
+from repro.obs.registry import OBS
 from repro.pinplay.pinball import Pinball
 from repro.pinplay.replayer import SyscallInjector
 from repro.vm.machine import Machine, MachineSnapshot
@@ -111,6 +112,7 @@ class CheckpointManager:
             excl_arrivals=dict(machine._excl_arrivals),
         )
         self._checkpoints.append(checkpoint)
+        OBS.add("debugger.checkpoints_captured", 1)
         return checkpoint
 
     def due(self, steps_done: int) -> bool:
@@ -155,6 +157,7 @@ class CheckpointManager:
     def restore(self, checkpoint: Checkpoint
                 ) -> Tuple[Machine, SyscallInjector]:
         """Build a machine resumed exactly at the checkpoint."""
+        OBS.add("debugger.checkpoints_restored", 1)
         scheduler = RecordedScheduler(
             self._remaining_schedule(checkpoint.steps_done))
         injector = SyscallInjector(self.pinball.syscalls)

@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from repro.debugger.breakpoints import BreakpointTable
 from repro.debugger.checkpoints import CheckpointManager
 from repro.isa.program import Program
+from repro.obs.registry import OBS
 from repro.pinplay.pinball import Pinball
 from repro.pinplay.replayer import SyscallInjector
 from repro.slicing.api import SlicingSession
@@ -90,6 +91,7 @@ class DrDebugSession:
 
     def restart(self) -> None:
         """Begin a fresh replay of the same pinball (new debug iteration)."""
+        OBS.add("debugger.restarts", 1)
         self._build_machine()
         self.machine.breakpoints = self.breakpoints.active_addrs()
         self.steps_done = 0
@@ -146,6 +148,7 @@ class DrDebugSession:
         return self.continue_()
 
     def continue_(self) -> str:
+        OBS.add("debugger.commands", 1)
         machine = self._require_machine()
         machine.breakpoints = self.breakpoints.active_addrs()
         remaining = self.pinball.total_steps - self.steps_done
@@ -165,6 +168,7 @@ class DrDebugSession:
 
     def stepi(self, count: int = 1) -> str:
         """Execute ``count`` scheduler steps (single instructions)."""
+        OBS.add("debugger.commands", 1)
         machine = self._require_machine()
         taken = 0
         for _ in range(count):
@@ -181,6 +185,7 @@ class DrDebugSession:
 
     def step(self) -> str:
         """Step the focused thread to its next source line."""
+        OBS.add("debugger.commands", 1)
         machine = self._require_machine()
         thread = machine.threads.get(self.focus_tid)
         if thread is None:
@@ -224,6 +229,15 @@ class DrDebugSession:
         manager = self._require_reverse()
         target_steps = max(0, target_steps)
         checkpoint = manager.latest_at_or_before(target_steps)
+        if OBS.enabled:
+            OBS.add("debugger.rewinds", 1)
+            resume_from = (checkpoint.steps_done
+                           if checkpoint is not None else 0)
+            # Forward re-execution distance: the real cost of this rewind.
+            OBS.observe("debugger.resume_distance",
+                        max(0, target_steps - resume_from))
+            if checkpoint is not None:
+                OBS.add("debugger.checkpoint_reuses", 1)
         if checkpoint is None:
             # No checkpoint yet (rewind before the first capture): start
             # a fresh replay and roll forward.
@@ -244,6 +258,7 @@ class DrDebugSession:
 
     def reverse_stepi(self, count: int = 1) -> str:
         """Step ``count`` scheduler steps backwards."""
+        OBS.add("debugger.reverse_commands", 1)
         before = self.steps_done
         self._rewind_to(self.steps_done - count)
         self.last_stop_reason = "reverse-stepi"
@@ -268,6 +283,7 @@ class DrDebugSession:
 
     def reverse_continue(self) -> str:
         """Run backwards to the most recent breakpoint hit."""
+        OBS.add("debugger.reverse_commands", 1)
         manager = self._require_reverse()
         target_addrs = self.breakpoints.active_addrs()
         if not target_addrs:

@@ -19,6 +19,7 @@ from repro.isa.program import Program
 from repro.maple.active_scheduler import ActiveScheduler, ActiveSchedulerWatch
 from repro.maple.idioms import IRoot
 from repro.maple.profiler import InterleavingProfiler
+from repro.obs.registry import OBS
 from repro.pinplay.logger import record_region
 from repro.pinplay.pinball import Pinball
 from repro.pinplay.regions import RegionSpec
@@ -62,6 +63,7 @@ def expose_and_record(program: Program,
                             switch_prob=switch_prob),
             region, inputs=inputs)
         if pinball.meta.get("failure"):
+            OBS.add("maple.exposed", 1)
             return MapleResult(pinball, "profiling", None,
                                profile_runs, 0, 0)
 
@@ -71,9 +73,17 @@ def expose_and_record(program: Program,
         active_runs += 1
         watch = ActiveSchedulerWatch(iroot)
         scheduler = ActiveScheduler(watch, give_up_budget=give_up_budget)
-        pinball = record_region(program, scheduler, region, inputs=inputs,
-                                extra_tools=[watch])
+        with OBS.span("maple.active_run"):
+            pinball = record_region(program, scheduler, region,
+                                    inputs=inputs, extra_tools=[watch])
+        if OBS.enabled:
+            OBS.add("maple.active_runs", 1)
+            OBS.add("maple.iroots_forced", 1)
+            OBS.add("maple.schedule_delays", scheduler.delays)
+            if scheduler.gave_up:
+                OBS.add("maple.give_ups", 1)
         if pinball.meta.get("failure"):
+            OBS.add("maple.exposed", 1)
             return MapleResult(pinball, "active", iroot,
                                profile_runs, active_runs, len(candidates))
     return MapleResult(None, None, None, profile_runs, active_runs,

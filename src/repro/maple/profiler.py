@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.isa.program import Program
 from repro.maple.idioms import IRoot, MemAccess
+from repro.obs.registry import OBS
 from repro.vm.hooks import InstrEvent, Tool
 from repro.vm.machine import Machine
 from repro.vm.scheduler import RandomScheduler
@@ -72,16 +73,25 @@ class InterleavingProfiler:
         If a run happens to fail naturally, its seed is remembered in
         :attr:`failing_seed` (no active scheduling needed then).
         """
-        for seed in seeds:
-            tool = ProfilerTool(self.shared_limit)
-            machine = Machine(
-                self.program,
-                scheduler=RandomScheduler(seed=seed, switch_prob=switch_prob),
-                tools=[tool], inputs=self.inputs)
-            machine.run(max_steps=max_steps)
-            self.observed.update(tool.observed)
-            if machine.failure is not None and self.failing_seed is None:
-                self.failing_seed = seed
+        observed_before = len(self.observed)
+        runs = 0
+        with OBS.span("maple.profile"):
+            for seed in seeds:
+                runs += 1
+                tool = ProfilerTool(self.shared_limit)
+                machine = Machine(
+                    self.program,
+                    scheduler=RandomScheduler(seed=seed,
+                                              switch_prob=switch_prob),
+                    tools=[tool], inputs=self.inputs)
+                machine.run(max_steps=max_steps)
+                self.observed.update(tool.observed)
+                if machine.failure is not None and self.failing_seed is None:
+                    self.failing_seed = seed
+        if OBS.enabled:
+            OBS.add("maple.profile_runs", runs)
+            OBS.add("maple.iroots_observed",
+                    len(self.observed) - observed_before)
         return self.observed
 
     def predicted(self) -> List[IRoot]:
@@ -92,4 +102,5 @@ class InterleavingProfiler:
             reverse = iroot.reversed()
             if reverse not in self.observed and reverse.conflicts():
                 candidates.append(reverse)
+        OBS.add("maple.iroots_predicted", len(candidates))
         return candidates

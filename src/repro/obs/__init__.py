@@ -1,0 +1,47 @@
+"""Cross-cutting observability for the DrDebug pipeline (ISSUE 3).
+
+Public surface::
+
+    from repro.obs import OBS            # the process-wide registry
+    OBS.enable()                          # or REPRO_OBS=1 / --obs
+    OBS.inc("vm.runs"); OBS.add("vm.steps", n)
+    with OBS.span("slicing.trace") as span: ...
+    OBS.snapshot(); OBS.save("obs.json")
+
+See :mod:`repro.obs.registry` for the zero-overhead-when-disabled design
+and :mod:`repro.obs.report` for the ``repro obs report`` renderer.
+"""
+
+from repro.obs.registry import (
+    NULL_COUNTER,
+    NULL_HISTOGRAM,
+    OBS,
+    Counter,
+    Histogram,
+    NullCounter,
+    NullHistogram,
+    ObsRegistry,
+    Span,
+)
+from repro.obs.report import (
+    LAYERS,
+    format_report,
+    layer_totals,
+    run_demo_cycle,
+)
+
+__all__ = [
+    "OBS",
+    "ObsRegistry",
+    "Counter",
+    "NullCounter",
+    "NULL_COUNTER",
+    "Histogram",
+    "NullHistogram",
+    "NULL_HISTOGRAM",
+    "Span",
+    "LAYERS",
+    "format_report",
+    "layer_totals",
+    "run_demo_cycle",
+]

@@ -1,0 +1,358 @@
+"""The process-wide observability registry: counters, histograms, spans.
+
+Design constraints (ISSUE 3, and the rr engineering report's lesson that
+record/replay only stays deployable when its overhead is continuously
+*measured*):
+
+* **The disabled path is near-free.**  ``OBS`` starts disabled; every
+  mutator (:meth:`ObsRegistry.add`, :meth:`~ObsRegistry.inc`,
+  :meth:`~ObsRegistry.observe`) begins with a single attribute test and
+  returns immediately — no dict lookups, no allocation.  Hot loops go one
+  step further and hoist ``OBS.enabled`` into a local once per run, then
+  flush aggregate deltas *after* the loop (see
+  :meth:`repro.vm.machine.Machine.run`), so the per-step cost with
+  observability off is at most one local-bool check.  The
+  ``benchmarks/test_perf_obs_overhead.py`` guard pins this to within 5%
+  of a build with the obs module stubbed out entirely.
+* **Metrics observe, never perturb.**  Nothing in this module feeds back
+  into guest-visible state; ``tests/obs/test_obs_differential.py`` proves
+  byte-identical event streams, snapshots, pinballs and slices with
+  observability on vs off.
+* **Spans always measure.**  A :class:`Span` takes its two
+  ``perf_counter`` readings whether or not the registry is enabled and
+  exposes the result as :attr:`Span.elapsed` — that is what lets
+  ``SlicingSession.trace_time`` / ``DependenceIndex.build_time`` keep
+  their public timing attributes while the ad-hoc ``time.perf_counter``
+  pairs they used to carry live here instead.  Only the *recording* of
+  the span (under its "/"-joined nesting path) is gated on the registry.
+
+Enabling: ``OBS.enable()`` (the CLI's ``--obs`` flag and
+``SliceOptions(obs=True)`` call this), or the environment variable
+``REPRO_OBS=1`` at import time.  ``repro obs report`` renders a summary;
+:meth:`ObsRegistry.save` exports JSON for CI artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict, List, Optional
+
+__all__ = [
+    "Counter", "NullCounter", "NULL_COUNTER",
+    "Histogram", "NullHistogram", "NULL_HISTOGRAM",
+    "Span", "ObsRegistry", "OBS",
+]
+
+_perf_counter = time.perf_counter
+
+
+class Counter:
+    """A named monotonically-growing integer."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: int = 0) -> None:
+        self.name = name
+        self.value = value
+
+    def inc(self) -> None:
+        self.value += 1
+
+    def add(self, n: int) -> None:
+        self.value += n
+
+    def __repr__(self) -> str:
+        return "Counter(%r, %d)" % (self.name, self.value)
+
+
+class NullCounter:
+    """The do-nothing counter handed out while the registry is disabled.
+
+    A module-level singleton: callers that cache the result of
+    ``OBS.counter(...)`` while disabled hold an object whose mutators are
+    empty methods — no branches, no state.
+    """
+
+    __slots__ = ()
+
+    def inc(self) -> None:
+        pass
+
+    def add(self, n: int) -> None:
+        pass
+
+    def __repr__(self) -> str:
+        return "NullCounter()"
+
+
+NULL_COUNTER = NullCounter()
+
+#: Default histogram bucket upper bounds (powers of four): wide enough
+#: for step counts and byte sizes, cheap to search linearly.
+_DEFAULT_BOUNDS = (1, 4, 16, 64, 256, 1024, 4096, 16384, 65536, 262144,
+                   1048576)
+
+
+class Histogram:
+    """A bucketed value distribution with count/total/min/max."""
+
+    __slots__ = ("name", "bounds", "buckets", "count", "total", "min", "max")
+
+    def __init__(self, name: str, bounds=_DEFAULT_BOUNDS) -> None:
+        self.name = name
+        self.bounds = tuple(bounds)
+        self.buckets = [0] * (len(self.bounds) + 1)   # +1: overflow bucket
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.buckets[index] += 1
+                return
+        self.buckets[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "bounds": list(self.bounds),
+            "buckets": list(self.buckets),
+        }
+
+
+class NullHistogram:
+    """Disabled-path twin of :class:`Histogram`."""
+
+    __slots__ = ()
+
+    def observe(self, value) -> None:
+        pass
+
+
+NULL_HISTOGRAM = NullHistogram()
+
+
+class _SpanStat:
+    """Aggregate record of one span path."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def record(self, elapsed: float) -> None:
+        self.count += 1
+        self.total += elapsed
+        if self.min is None or elapsed < self.min:
+            self.min = elapsed
+        if self.max is None or elapsed > self.max:
+            self.max = elapsed
+
+    def to_dict(self) -> dict:
+        return {"count": self.count, "total_sec": self.total,
+                "min_sec": self.min, "max_sec": self.max}
+
+
+class Span:
+    """A nested timed section.
+
+    Always measures (so ``span.elapsed`` is usable by code that needs the
+    wall time regardless of observability); records into the registry —
+    under its "/"-joined nesting path — only if the registry was enabled
+    when the span was entered.
+    """
+
+    __slots__ = ("registry", "name", "elapsed", "_path", "_started")
+
+    def __init__(self, registry: "ObsRegistry", name: str) -> None:
+        self.registry = registry
+        self.name = name
+        self.elapsed = 0.0
+        self._path: Optional[str] = None
+        self._started = 0.0
+
+    def __enter__(self) -> "Span":
+        registry = self.registry
+        if registry.enabled:
+            stack = registry._span_stack
+            path = ((stack[-1] + "/" + self.name) if stack else self.name)
+            self._path = path
+            stack.append(path)
+        self._started = _perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.elapsed = _perf_counter() - self._started
+        path = self._path
+        if path is not None:
+            registry = self.registry
+            stack = registry._span_stack
+            # Exceptions may unwind several spans out of order; pop back
+            # to (and including) this span's frame.
+            while stack:
+                if stack.pop() == path:
+                    break
+            registry._record_span(path, self.elapsed)
+            self._path = None
+
+
+class ObsRegistry:
+    """Process-wide named metrics.  See the module docstring."""
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._spans: Dict[str, _SpanStat] = {}
+        self._span_stack: List[str] = []
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Drop all recorded metrics (does not change enablement)."""
+        self._counters.clear()
+        self._histograms.clear()
+        self._spans.clear()
+        del self._span_stack[:]
+
+    class _Scope:
+        __slots__ = ("registry", "enabled", "_saved")
+
+        def __init__(self, registry, enabled):
+            self.registry = registry
+            self.enabled = enabled
+            self._saved = False
+
+        def __enter__(self):
+            self._saved = self.registry.enabled
+            self.registry.enabled = self.enabled
+            return self.registry
+
+        def __exit__(self, exc_type, exc, tb):
+            self.registry.enabled = self._saved
+
+    def scope(self, enabled: bool = True) -> "_Scope":
+        """Context manager that sets enablement and restores it on exit
+        (tests use this to avoid leaking state across cases)."""
+        return self._Scope(self, enabled)
+
+    # -- mutators ----------------------------------------------------------
+
+    def counter(self, name: str):
+        """The named :class:`Counter`, or :data:`NULL_COUNTER` while
+        disabled (no dict insert happens on the disabled path)."""
+        if not self.enabled:
+            return NULL_COUNTER
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter(name)
+        return counter
+
+    def inc(self, name: str) -> None:
+        if not self.enabled:
+            return
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter(name)
+        counter.value += 1
+
+    def add(self, name: str, n) -> None:
+        if not self.enabled:
+            return
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter(name)
+        counter.value += n
+
+    def observe(self, name: str, value) -> None:
+        if not self.enabled:
+            return
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram(name)
+        histogram.observe(value)
+
+    def histogram(self, name: str):
+        if not self.enabled:
+            return NULL_HISTOGRAM
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram(name)
+        return histogram
+
+    def span(self, name: str) -> Span:
+        return Span(self, name)
+
+    def _record_span(self, path: str, elapsed: float) -> None:
+        # No enablement check here: the gate is at span *entry* (a span
+        # that started while enabled records even if the registry was
+        # disabled before it exited — its measurement is complete).
+        stat = self._spans.get(path)
+        if stat is None:
+            stat = self._spans[path] = _SpanStat()
+        stat.record(elapsed)
+
+    # -- accessors ---------------------------------------------------------
+
+    def value(self, name: str) -> int:
+        """Current value of a counter (0 if never touched)."""
+        counter = self._counters.get(name)
+        return counter.value if counter is not None else 0
+
+    def counters(self) -> Dict[str, int]:
+        return {name: c.value for name, c in sorted(self._counters.items())}
+
+    def span_stats(self) -> Dict[str, dict]:
+        return {path: stat.to_dict()
+                for path, stat in sorted(self._spans.items())}
+
+    def snapshot(self) -> dict:
+        """JSON-serializable dump of everything recorded so far."""
+        return {
+            "schema_version": 1,
+            "enabled": self.enabled,
+            "counters": self.counters(),
+            "histograms": {name: h.to_dict()
+                           for name, h in sorted(self._histograms.items())},
+            "spans": self.span_stats(),
+        }
+
+    def save(self, path: str) -> str:
+        """Write :meth:`snapshot` as JSON to ``path``; returns the path."""
+        with open(path, "w") as handle:
+            json.dump(self.snapshot(), handle, indent=2, sort_keys=True)
+        return path
+
+
+#: The process-wide registry every layer reports into.
+OBS = ObsRegistry()
+
+if os.environ.get("REPRO_OBS", "") not in ("", "0"):
+    OBS.enable()

@@ -18,7 +18,7 @@ The three tools of the paper's substrate, reimplemented over our VM:
   effects (paper Section 4).
 """
 
-from repro.pinplay.pinball import Pinball
+from repro.pinplay.pinball import Pinball, PinballFormatError
 from repro.pinplay.regions import RegionSpec
 from repro.pinplay.logger import LoggerTool, record_region
 from repro.pinplay.replayer import SyscallInjector, replay, replay_machine
@@ -27,6 +27,7 @@ from repro.pinplay.relogger import relog
 __all__ = [
     "LoggerTool",
     "Pinball",
+    "PinballFormatError",
     "RegionSpec",
     "SyscallInjector",
     "record_region",

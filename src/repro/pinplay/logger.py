@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.isa.program import Program
+from repro.obs.registry import OBS
 from repro.pinplay.pinball import Pinball, state_hash
 from repro.pinplay.regions import RegionSpec
 from repro.vm.hooks import InstrEvent, SyscallEvent, Tool
@@ -131,7 +132,8 @@ def record_region(program: Program,
     machine = Machine(program, scheduler=scheduler, inputs=inputs,
                       rand_seed=rand_seed, engine=engine)
     if region.skip:
-        _fast_forward(machine, region.skip)
+        with OBS.span("pinplay.fast_forward"):
+            _fast_forward(machine, region.skip)
 
     machine.reset_counters()
     snapshot = machine.snapshot().to_dict()
@@ -143,22 +145,32 @@ def record_region(program: Program,
 
     main = machine.threads[MAIN_TID]
     end_reason = "program_end"
-    while True:
-        if machine.finished:
-            end_reason = ("failure" if machine.failure is not None
-                          else "program_end")
-            break
-        if region.length is not None:
-            remaining = region.length - main.instr_count
-            if remaining <= 0:
-                end_reason = "length_reached"
+    with OBS.span("pinplay.record"):
+        while True:
+            if machine.finished:
+                end_reason = ("failure" if machine.failure is not None
+                              else "program_end")
                 break
-            if main.status == ThreadStatus.FINISHED:
-                end_reason = "main_finished"
-                break
-            machine.run(max_steps=remaining)
-        else:
-            machine.run()
+            if region.length is not None:
+                remaining = region.length - main.instr_count
+                if remaining <= 0:
+                    end_reason = "length_reached"
+                    break
+                if main.status == ThreadStatus.FINISHED:
+                    end_reason = "main_finished"
+                    break
+                machine.run(max_steps=remaining)
+            else:
+                machine.run()
+
+    if OBS.enabled:
+        OBS.add("pinplay.regions_recorded", 1)
+        OBS.add("pinplay.schedule_steps", tool.schedule.total())
+        OBS.add("pinplay.schedule_runs", len(tool.schedule.runs))
+        OBS.add("pinplay.mem_order_edges", len(tool.mem_order))
+        OBS.add("pinplay.syscall_results_logged",
+                sum(len(log) for log in tool.syscalls.values()))
+        OBS.add("pinplay.thread_creates", len(tool.thread_creates))
 
     counts = {str(tid): thread.instr_count
               for tid, thread in machine.threads.items()}

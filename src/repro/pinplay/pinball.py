@@ -29,6 +29,22 @@ import os
 import zlib
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.obs.registry import OBS
+
+
+class PinballFormatError(ValueError):
+    """A blob/file is not a loadable pinball.
+
+    One clean, typed error for every way deserialization can fail —
+    truncated or corrupt compressed data, non-JSON payloads, non-object
+    JSON, wrong ``format_version``, missing required fields — instead of
+    leaking raw ``zlib``/``json``/``KeyError`` internals to callers.  The
+    message always names the offending source (file path, or
+    ``"<bytes>"`` for in-memory blobs).  Subclasses :class:`ValueError`
+    so existing ``except ValueError`` handlers (the CLI's exit-65 path)
+    keep working.
+    """
+
 
 class Pinball:
     """A recorded execution region; see module docstring for the fields."""
@@ -103,49 +119,76 @@ class Pinball:
         }
 
     @classmethod
-    def from_dict(cls, payload: dict) -> "Pinball":
-        if payload.get("format_version") != cls.FORMAT_VERSION:
-            raise ValueError("unsupported pinball format %r"
-                             % payload.get("format_version"))
+    def from_dict(cls, payload: dict, source: str = "<dict>") -> "Pinball":
+        if not isinstance(payload, dict):
+            raise PinballFormatError(
+                "%s: pinball payload must be a JSON object, got %s"
+                % (source, type(payload).__name__))
+        version = payload.get("format_version")
+        if version != cls.FORMAT_VERSION:
+            raise PinballFormatError(
+                "%s: unsupported pinball format version %r (expected %r)"
+                % (source, version, cls.FORMAT_VERSION))
         # Single-pass canonicalization from the (trusted, self-produced)
         # serialized form: the constructor's normalization casts would
         # re-copy every schedule entry, syscall record and edge a second
         # time, which dominates Pinball.load for long regions.
-        return cls(
-            program_name=payload["program_name"],
-            snapshot=payload["snapshot"],
-            schedule=[(int(t), int(c)) for t, c in payload["schedule"]],
-            syscalls={int(tid): [(entry[0], entry[1]) for entry in log]
-                      for tid, log in payload["syscalls"].items()},
-            mem_order=[tuple(edge) for edge in payload["mem_order"]],
-            exclusions=payload.get("exclusions", []),
-            meta=payload.get("meta", {}),
-            trusted=True,
-        )
+        try:
+            return cls(
+                program_name=payload["program_name"],
+                snapshot=payload["snapshot"],
+                schedule=[(int(t), int(c)) for t, c in payload["schedule"]],
+                syscalls={int(tid): [(entry[0], entry[1]) for entry in log]
+                          for tid, log in payload["syscalls"].items()},
+                mem_order=[tuple(edge) for edge in payload["mem_order"]],
+                exclusions=payload.get("exclusions", []),
+                meta=payload.get("meta", {}),
+                trusted=True,
+            )
+        except (KeyError, TypeError, ValueError, AttributeError) as exc:
+            raise PinballFormatError(
+                "%s: malformed pinball payload (%s: %s)"
+                % (source, type(exc).__name__, exc)) from exc
 
     def to_bytes(self, compress: bool = True) -> bytes:
         raw = json.dumps(self.to_dict(), separators=(",", ":")).encode("utf-8")
         return zlib.compress(raw, level=6) if compress else raw
 
     @classmethod
-    def from_bytes(cls, blob: bytes) -> "Pinball":
+    def from_bytes(cls, blob: bytes, source: str = "<bytes>") -> "Pinball":
         try:
             raw = zlib.decompress(blob)
         except zlib.error:
+            # Either an uncompressed pinball (valid: to_bytes(compress=
+            # False)) or corrupt/truncated compressed data — the JSON
+            # parse below discriminates and raises the typed error.
             raw = blob
-        return cls.from_dict(json.loads(raw.decode("utf-8")))
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise PinballFormatError(
+                "%s: not a pinball (neither valid compressed nor plain "
+                "JSON: %s)" % (source, exc)) from exc
+        pinball = cls.from_dict(payload, source=source)
+        if OBS.enabled:
+            OBS.add("pinplay.pinballs_loaded", 1)
+            OBS.add("pinplay.pinball_bytes_read", len(blob))
+        return pinball
 
     def save(self, path: str, compress: bool = True) -> int:
         """Write to ``path``; returns the stored size in bytes."""
         blob = self.to_bytes(compress=compress)
         with open(path, "wb") as handle:
             handle.write(blob)
+        if OBS.enabled:
+            OBS.add("pinplay.pinballs_saved", 1)
+            OBS.add("pinplay.pinball_bytes_written", len(blob))
         return os.path.getsize(path)
 
     @classmethod
     def load(cls, path: str) -> "Pinball":
         with open(path, "rb") as handle:
-            return cls.from_bytes(handle.read())
+            return cls.from_bytes(handle.read(), source=path)
 
     def size_bytes(self, compress: bool = True) -> int:
         """In-memory serialized size (no file needed)."""

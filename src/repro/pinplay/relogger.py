@@ -27,6 +27,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.isa.instructions import Opcode
 from repro.isa.program import Program
+from repro.obs.registry import OBS
 from repro.pinplay.pinball import Pinball
 from repro.pinplay.replayer import replay_machine
 from repro.vm.errors import ReplayDivergence
@@ -164,9 +165,16 @@ def relog(region_pinball: Pinball, program: Program,
     machine = replay_machine(region_pinball, program, engine=engine)
     tool = RelogTool(machine, program, keep, last_tindex)
     machine.add_tool(tool)
-    machine.run(max_steps=region_pinball.total_steps)
+    with OBS.span("pinplay.relog"):
+        machine.run(max_steps=region_pinball.total_steps)
 
     kept_total = sum(tool.kept_counts.values())
+    if OBS.enabled:
+        OBS.add("pinplay.relogs", 1)
+        OBS.add("pinplay.excluded_runs", len(tool.exclusions))
+        OBS.add("pinplay.kept_instructions", kept_total)
+        OBS.add("pinplay.excluded_instructions",
+                sum(tool.total_counts.values()) - kept_total)
     meta = {
         "kind": "slice",
         "parent_kind": region_pinball.kind,

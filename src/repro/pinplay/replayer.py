@@ -18,6 +18,7 @@ from collections import deque
 from typing import Dict, Optional, Sequence, Tuple
 
 from repro.isa.program import Program
+from repro.obs.registry import OBS
 from repro.pinplay.pinball import Pinball, state_hash
 from repro.vm.errors import ReplayDivergence
 from repro.vm.hooks import Tool
@@ -33,6 +34,8 @@ class SyscallInjector:
         self._queues = {tid: deque(log) for tid, log in self._full.items()}
 
     def inject(self, name: str, tid: int) -> Optional[object]:
+        if OBS.enabled:   # syscalls are sparse; one check per injection
+            OBS.inc("pinplay.syscalls_injected")
         queue = self._queues.get(tid)
         if not queue:
             raise ReplayDivergence(
@@ -101,7 +104,11 @@ def replay(pinball: Pinball, program: Program,
     excluded code legitimately leaves different dead state behind).
     """
     machine = replay_machine(pinball, program, tools=tools, engine=engine)
-    result = machine.run(max_steps=pinball.total_steps)
+    with OBS.span("pinplay.replay"):
+        result = machine.run(max_steps=pinball.total_steps)
+    if OBS.enabled:
+        OBS.add("pinplay.replays", 1)
+        OBS.add("pinplay.replayed_steps", result.steps)
     if verify and not pinball.exclusions:
         expected = pinball.meta.get("final_state_hash")
         if expected is not None and state_hash(machine) != expected:
@@ -112,4 +119,5 @@ def replay(pinball: Pinball, program: Program,
         if expected_output is not None and list(machine.output) != list(
                 expected_output):
             raise ReplayDivergence("replay output diverged")
+        OBS.add("pinplay.replay_verifications", 1)
     return machine, result

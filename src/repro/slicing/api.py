@@ -8,10 +8,10 @@ slice into a slice pinball via the relogger.
 
 from __future__ import annotations
 
-import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.isa.program import Program
+from repro.obs.registry import OBS
 from repro.pinplay.pinball import Pinball
 from repro.pinplay.relogger import relog
 from repro.pinplay.replayer import replay
@@ -33,22 +33,32 @@ class SlicingSession:
         self.program = program
         self.options = options or SliceOptions()
         self.engine = engine
-        started = time.perf_counter()
-        self.collector = TraceCollector(program, self.options)
-        self.machine, self.replay_result = replay(
-            pinball, program, tools=[self.collector], verify=False,
-            engine=engine)
-        self.trace_time = time.perf_counter() - started
+        if self.options.obs:
+            OBS.enable()
+        # The phase timers live in the observability registry now
+        # (``slicing.trace`` / ``slicing.preprocess`` spans); a Span
+        # measures whether or not the registry is enabled, so the public
+        # ``trace_time``/``preprocess_time`` attributes survive unchanged.
+        with OBS.span("slicing.trace") as trace_span:
+            self.collector = TraceCollector(program, self.options)
+            self.machine, self.replay_result = replay(
+                pinball, program, tools=[self.collector], verify=False,
+                engine=engine)
+        self.trace_time = trace_span.elapsed
 
-        started = time.perf_counter()
-        self.gtrace: GlobalTrace = merge_traces(
-            self.collector.store, pinball.mem_order)
-        self.slicer = BackwardSlicer(
-            self.gtrace,
-            verified_restores=self.collector.save_restore.verified,
-            options=self.options)
-        self.preprocess_time = time.perf_counter() - started
+        with OBS.span("slicing.preprocess") as prep_span:
+            self.gtrace: GlobalTrace = merge_traces(
+                self.collector.store, pinball.mem_order)
+            self.slicer = BackwardSlicer(
+                self.gtrace,
+                verified_restores=self.collector.save_restore.verified,
+                options=self.options)
+        self.preprocess_time = prep_span.elapsed
         self.last_slice_time = 0.0
+        if OBS.enabled:
+            OBS.add("slicing.sessions", 1)
+            OBS.add("slicing.trace_records",
+                    self.collector.store.total_records())
         #: Lazily built reverse indexes serving the criterion helpers
         #: (line -> latest instance, written addr -> latest writer, read
         #: positions).  One pass over the trace columns on first use —
@@ -175,9 +185,12 @@ class SlicingSession:
     def slice_for(self, criterion: Instance,
                   locations: Optional[Sequence[Location]] = None
                   ) -> DynamicSlice:
-        started = time.perf_counter()
-        result = self.slicer.slice(criterion, locations)
-        self.last_slice_time = time.perf_counter() - started
+        with OBS.span("slicing.query") as span:
+            result = self.slicer.slice(criterion, locations)
+        self.last_slice_time = span.elapsed
+        if OBS.enabled:
+            OBS.add("slicing.queries", 1)
+            OBS.observe("slicing.slice_nodes", len(result.nodes))
         return result
 
     def slice_for_global(self, name: str,
@@ -198,7 +211,17 @@ class SlicingSession:
     # -- reporting ----------------------------------------------------------------------
 
     def stats(self) -> dict:
+        """Session statistics.
+
+        Timing values come from the observability spans (``trace_time`` /
+        ``preprocess_time`` are their ``elapsed`` readings); the
+        index-amortization counters come from the slicer.  With the
+        registry enabled (``--obs`` / ``REPRO_OBS=1``), the same numbers
+        — plus pipeline-wide counters from every other layer — are
+        available via ``repro.obs.OBS.snapshot()``.
+        """
         out = {
+            "obs_enabled": OBS.enabled,
             "trace_records": self.collector.store.total_records(),
             "trace_time_sec": self.trace_time,
             "preprocess_time_sec": self.preprocess_time,

@@ -37,12 +37,12 @@ multi-threaded programs.
 
 from __future__ import annotations
 
-import time
 from array import array
 from bisect import bisect_left
 from collections import OrderedDict
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.obs.registry import OBS
 from repro.slicing.global_trace import GlobalTrace
 from repro.slicing.options import SliceOptions
 from repro.slicing.slice import DynamicSlice, SliceNode
@@ -81,9 +81,15 @@ class DependenceIndex:
         #: all of it is fully determined by the CSR row, and queries in a
         #: cyclic-debugging session revisit the same neighborhood.
         self._detail_cache: Dict[int, tuple] = {}
-        started = time.perf_counter()
-        self._build()
-        self.build_time = time.perf_counter() - started
+        # Span in place of the old ad-hoc perf_counter pair: it measures
+        # regardless of enablement, so ``build_time`` stays populated.
+        with OBS.span("slicing.ddg_build") as span:
+            self._build()
+        self.build_time = span.elapsed
+        if OBS.enabled:
+            OBS.add("slicing.ddg_builds", 1)
+            OBS.add("slicing.ddg_edges", self.edge_count)
+            OBS.add("slicing.ddg_nodes", self.node_count)
 
     # -- reporting -----------------------------------------------------------
 
@@ -357,11 +363,13 @@ class DependenceIndex:
             if cached is not None:
                 self._slice_cache.move_to_end(key)
                 self.cache_hits += 1
+                OBS.add("slicing.slice_cache_hits", 1)
                 return cached
         self.cache_misses += 1
 
         crit_gpos = self.gtrace.gpos_of(criterion)
         hits_before = self.memo_hits
+        misses_before = self.memo_misses
         members = set(self._closure(crit_gpos))
 
         # Location queries: track the given locations as of (and
@@ -448,6 +456,11 @@ class DependenceIndex:
             "unresolved_locations": len(unresolved_locs),
             "closure_memo_hits": self.memo_hits - hits_before,
         }
+        if OBS.enabled:
+            OBS.add("slicing.bfs_visited_nodes", len(members))
+            OBS.add("slicing.memo_hits", self.memo_hits - hits_before)
+            OBS.add("slicing.memo_misses", self.memo_misses - misses_before)
+            OBS.add("slicing.edges_walked", len(edges))
         result = DynamicSlice(crit_inst, nodes, edges, stats)
         if cache_size:
             self._slice_cache[key] = result

@@ -40,6 +40,13 @@ Every ablation benchmark flips one of these:
 * ``slice_cache_size`` / ``closure_memo_size`` — the DDG engine's result
   LRU (complete ``DynamicSlice`` objects keyed by criterion+locations)
   and reachable-set fragment memo; 0 disables either cache.
+* ``obs`` — enable the process-wide observability registry
+  (:data:`repro.obs.OBS`) for this session: per-phase spans and counters
+  across the whole pipeline (vm, pinplay, slicing, debugger, maple).
+  Defaults to the ``REPRO_OBS`` environment variable; the CLI's
+  ``--obs`` flag and ``repro obs report`` set it too.  Purely
+  observational — enabling it never changes replay or slice results
+  (``tests/obs/test_obs_differential.py``).
 """
 
 from __future__ import annotations
@@ -57,6 +64,11 @@ def _default_index() -> str:
     return value if value else "ddg"
 
 
+def _default_obs() -> bool:
+    """Default observability: the ``REPRO_OBS`` environment variable."""
+    return os.environ.get("REPRO_OBS", "") not in ("", "0")
+
+
 @dataclass(frozen=True)
 class SliceOptions:
     refine_cfg: bool = True
@@ -70,6 +82,7 @@ class SliceOptions:
     index: str = field(default_factory=_default_index)
     slice_cache_size: int = 128
     closure_memo_size: int = 256
+    obs: bool = field(default_factory=_default_obs)
 
     def __post_init__(self) -> None:
         if self.max_save < 0:

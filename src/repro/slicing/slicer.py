@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.obs.registry import OBS
 from repro.slicing.ddg import DependenceIndex
 from repro.slicing.global_trace import GlobalTrace
 from repro.slicing.lp import TraceBlock, build_blocks_with_defs
@@ -195,6 +196,12 @@ class BackwardSlicer:
         stats["unresolved_locations"] = len(wanted)
         stats["nodes"] = len(nodes)
         stats["edges"] = len(edges)
+        if OBS.enabled:
+            OBS.add("slicing.scan_queries", 1)
+            OBS.add("slicing.scanned_records", stats["scanned_records"])
+            OBS.add("slicing.skipped_blocks", stats["skipped_blocks"])
+            OBS.add("slicing.visited_blocks", stats["visited_blocks"])
+            OBS.add("slicing.edges_walked", len(edges))
         return DynamicSlice(crit_rec.instance, nodes, edges, stats)
 
     # -- the backward scan ---------------------------------------------------------

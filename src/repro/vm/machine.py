@@ -27,6 +27,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.isa.instructions import Imm, Instr, Mem, Opcode, Reg
 from repro.isa.program import Program
+from repro.obs.registry import OBS
 from repro.vm.errors import AssertionFailure, DeadlockError, VMError
 from repro.vm.hooks import InstrEvent, SyscallEvent, Tool
 from repro.vm.memory import ADDRESS_SPACE_TOP, STACK_SIZE, Memory
@@ -367,6 +368,13 @@ class Machine:
         reason = "done"
         predecoded = self.engine == "predecoded"
         step_thread = self._step_thread_uop if predecoded else self._step_thread
+        # Observability: one hoisted local; while disabled the per-step
+        # cost is a single local-bool test (context-switch counting), and
+        # everything else is aggregated from per-run deltas after the
+        # loop — no dict lookups or attribute loads in the hot path.
+        obs_on = OBS.enabled
+        obs_switches = 0
+        obs_skips_before = self.skipped_exclusions
         # External code may have mutated thread state between run() calls
         # (debugger stepping, tests poking statuses): start from a clean
         # cache rather than trusting one across the API boundary.
@@ -446,6 +454,8 @@ class Machine:
                 reason = "breakpoint"
                 break
             self._bp_skip = False
+            if obs_on and tid != self._last_tid and self._last_tid is not None:
+                obs_switches += 1
             if excl_watch and self._try_exclusion_skip(thread):
                 scheduler_commit(tid)
                 self._last_tid = tid
@@ -462,6 +472,20 @@ class Machine:
                 retired += 1
             steps += 1
             self.global_seq += 1
+        if obs_on:
+            OBS.add("vm.runs", 1)
+            OBS.add("vm.steps", steps)
+            OBS.add("vm.instructions_retired", retired)
+            if self._instr_tools:
+                OBS.add("vm.steps_traced", steps)
+            else:
+                OBS.add("vm.steps_untraced", steps)
+            OBS.add("vm.context_switches", obs_switches)
+            skips = self.skipped_exclusions - obs_skips_before
+            if skips:
+                OBS.add("vm.exclusion_skips", skips)
+            if reason == "breakpoint":
+                OBS.add("vm.breakpoint_stops", 1)
         for tool in self.tools:
             tool.on_finish(self)
         return RunResult(reason=reason, steps=steps, retired=retired,

@@ -1,0 +1,163 @@
+"""Unit tests for the observability registry itself."""
+
+import json
+
+import pytest
+
+from repro.obs import (NULL_COUNTER, NULL_HISTOGRAM, Counter, Histogram,
+                       ObsRegistry)
+
+
+@pytest.fixture
+def reg():
+    registry = ObsRegistry()
+    registry.enable()
+    return registry
+
+
+# -- counters -----------------------------------------------------------------
+
+def test_counters_accumulate(reg):
+    reg.inc("a.x")
+    reg.inc("a.x")
+    reg.add("a.y", 40)
+    reg.add("a.y", 2)
+    assert reg.value("a.x") == 2
+    assert reg.value("a.y") == 42
+    assert reg.counters() == {"a.x": 2, "a.y": 42}
+
+
+def test_counter_handle_is_live(reg):
+    counter = reg.counter("c")
+    assert isinstance(counter, Counter)
+    counter.inc()
+    counter.add(9)
+    assert reg.value("c") == 10
+
+
+def test_untouched_counter_reads_zero(reg):
+    assert reg.value("never") == 0
+
+
+def test_disabled_mutators_are_noops():
+    registry = ObsRegistry()          # starts disabled
+    registry.inc("x")
+    registry.add("x", 5)
+    registry.observe("h", 3)
+    assert registry.counters() == {}
+    assert registry.snapshot()["histograms"] == {}
+
+
+def test_disabled_counter_is_null_singleton():
+    registry = ObsRegistry()
+    assert registry.counter("x") is NULL_COUNTER
+    assert registry.histogram("h") is NULL_HISTOGRAM
+    NULL_COUNTER.inc()                # must not raise or record anything
+    NULL_COUNTER.add(7)
+    NULL_HISTOGRAM.observe(3)
+    # Crucially, no dict entry was created on the disabled path.
+    assert registry.counters() == {}
+
+
+# -- histograms ---------------------------------------------------------------
+
+def test_histogram_buckets_and_stats(reg):
+    for value in (0, 1, 5, 100, 10**7):
+        reg.observe("h", value)
+    hist = reg.histogram("h")
+    assert isinstance(hist, Histogram)
+    assert hist.count == 5
+    assert hist.min == 0 and hist.max == 10**7
+    assert hist.mean == pytest.approx((0 + 1 + 5 + 100 + 10**7) / 5)
+    data = hist.to_dict()
+    assert sum(data["buckets"]) == 5
+    assert data["buckets"][-1] == 1   # 10**7 overflows the largest bound
+    # 0 and 1 both land in the first bucket (bound 1).
+    assert data["buckets"][0] == 2
+
+
+def test_empty_histogram_mean_is_zero():
+    hist = Histogram("h")
+    assert hist.mean == 0.0
+    assert hist.to_dict()["min"] is None
+
+
+# -- spans --------------------------------------------------------------------
+
+def test_spans_nest_with_slash_paths(reg):
+    with reg.span("outer"):
+        with reg.span("inner"):
+            pass
+        with reg.span("inner"):
+            pass
+    stats = reg.span_stats()
+    assert set(stats) == {"outer", "outer/inner"}
+    assert stats["outer"]["count"] == 1
+    assert stats["outer/inner"]["count"] == 2
+    assert stats["outer"]["total_sec"] >= 0.0
+
+
+def test_span_elapsed_measured_even_when_disabled():
+    registry = ObsRegistry()          # disabled
+    with registry.span("t") as span:
+        sum(range(1000))
+    assert span.elapsed > 0.0
+    assert registry.span_stats() == {}     # ... but nothing recorded
+
+
+def test_span_stack_recovers_from_exceptions(reg):
+    with pytest.raises(RuntimeError):
+        with reg.span("a"):
+            with reg.span("b"):
+                raise RuntimeError("boom")
+    # The stack unwound fully; new spans are top-level again.
+    with reg.span("c"):
+        pass
+    assert "c" in reg.span_stats()
+    assert reg._span_stack == []
+
+
+def test_span_recording_gated_on_enablement_at_entry(reg):
+    span = reg.span("gate")
+    with span:
+        reg.disable()
+    # Entered enabled: recorded despite being disabled at exit.
+    assert "gate" in reg.span_stats()
+
+
+# -- lifecycle / export -------------------------------------------------------
+
+def test_scope_restores_enablement():
+    registry = ObsRegistry()
+    with registry.scope(enabled=True):
+        assert registry.enabled
+        registry.inc("in_scope")
+    assert not registry.enabled
+    assert registry.value("in_scope") == 1     # data survives scope exit
+
+
+def test_reset_clears_data_not_enablement(reg):
+    reg.inc("x")
+    reg.observe("h", 1)
+    with reg.span("s"):
+        pass
+    reg.reset()
+    assert reg.enabled
+    assert reg.counters() == {}
+    assert reg.span_stats() == {}
+
+
+def test_snapshot_schema_and_save_roundtrip(reg, tmp_path):
+    reg.add("vm.steps", 12)
+    reg.observe("slicing.slice_nodes", 7)
+    with reg.span("pinplay.record"):
+        pass
+    path = str(tmp_path / "obs.json")
+    assert reg.save(path) == path
+    with open(path) as handle:
+        data = json.load(handle)
+    assert data["schema_version"] == 1
+    assert data["enabled"] is True
+    assert data["counters"]["vm.steps"] == 12
+    assert data["histograms"]["slicing.slice_nodes"]["count"] == 1
+    assert data["spans"]["pinplay.record"]["count"] == 1

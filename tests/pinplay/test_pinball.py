@@ -1,10 +1,12 @@
 """Unit tests for the pinball format and serialization."""
 
+import json
 import os
+import zlib
 
 import pytest
 
-from repro.pinplay import Pinball
+from repro.pinplay import Pinball, PinballFormatError
 from repro.pinplay.pinball import state_hash
 from repro.vm import Machine
 from repro.lang import compile_source
@@ -85,6 +87,99 @@ class TestSerialization:
     def test_syscall_tids_are_ints_after_roundtrip(self):
         pb = Pinball.from_bytes(make_pinball().to_bytes())
         assert set(pb.syscalls.keys()) == {0}
+
+
+def _without(key):
+    payload = make_pinball().to_dict()
+    del payload[key]
+    return json.dumps(payload).encode()
+
+
+def _with_version(version):
+    payload = make_pinball().to_dict()
+    payload["format_version"] = version
+    return json.dumps(payload).encode()
+
+
+#: Every way a blob can fail to be a pinball, and a fragment the error
+#: message must contain.  All of them raise the one typed error.
+CORRUPT_BLOBS = [
+    ("empty", b"", "not a pinball"),
+    ("truncated-compressed",
+     lambda: make_pinball().to_bytes(compress=True)[:20], "not a pinball"),
+    ("bitflipped-compressed",
+     lambda: bytes([make_pinball().to_bytes(compress=True)[0] ^ 0xFF])
+     + make_pinball().to_bytes(compress=True)[1:], "not a pinball"),
+    ("random-binary", b"\x89PNG\r\n\x1a\n" + b"\x00\x7f" * 40,
+     "not a pinball"),
+    ("non-json-text", b"definitely not json {", "not a pinball"),
+    ("compressed-non-json", lambda: zlib.compress(b"still not json"),
+     "not a pinball"),
+    ("json-but-not-object", b"[1, 2, 3]", "must be a JSON object"),
+    ("json-scalar", b"42", "must be a JSON object"),
+    ("missing-version", lambda: _without("format_version"),
+     "unsupported pinball format version None"),
+    ("future-version", lambda: _with_version(99),
+     "unsupported pinball format version 99"),
+    ("string-version", lambda: _with_version("1"),
+     "unsupported pinball format version '1'"),
+    ("missing-schedule", lambda: _without("schedule"),
+     "malformed pinball payload"),
+    ("missing-syscalls", lambda: _without("syscalls"),
+     "malformed pinball payload"),
+    ("schedule-wrong-shape",
+     lambda: json.dumps(dict(make_pinball().to_dict(),
+                             schedule=[[1, 2, 3]])).encode(),
+     "malformed pinball payload"),
+    ("syscall-tid-not-int",
+     lambda: json.dumps(dict(make_pinball().to_dict(),
+                             syscalls={"zero": []})).encode(),
+     "malformed pinball payload"),
+]
+
+
+class TestCorruptBlobs:
+    """Table-driven: every corrupt blob raises PinballFormatError."""
+
+    @pytest.mark.parametrize(
+        "blob,fragment",
+        [pytest.param(blob, fragment, id=name)
+         for name, blob, fragment in CORRUPT_BLOBS])
+    def test_corrupt_blob_raises_typed_error(self, blob, fragment):
+        if callable(blob):
+            blob = blob()
+        with pytest.raises(PinballFormatError) as excinfo:
+            Pinball.from_bytes(blob)
+        message = str(excinfo.value)
+        assert fragment in message
+        assert "<bytes>" in message       # the source is always named
+
+    @pytest.mark.parametrize(
+        "blob,fragment",
+        [pytest.param(blob, fragment, id=name)
+         for name, blob, fragment in CORRUPT_BLOBS[:4]])
+    def test_load_names_the_file_path(self, tmp_path, blob, fragment):
+        if callable(blob):
+            blob = blob()
+        path = str(tmp_path / "corrupt.pinball")
+        with open(path, "wb") as handle:
+            handle.write(blob)
+        with pytest.raises(PinballFormatError) as excinfo:
+            Pinball.load(path)
+        assert path in str(excinfo.value)
+
+    def test_format_error_is_a_value_error(self):
+        """Existing `except ValueError` handlers (the CLI's exit-65 path)
+        keep catching deserialization failures."""
+        assert issubclass(PinballFormatError, ValueError)
+        with pytest.raises(ValueError):
+            Pinball.from_bytes(b"nope")
+
+    def test_good_blobs_still_load(self):
+        pb = make_pinball()
+        for compress in (True, False):
+            clone = Pinball.from_bytes(pb.to_bytes(compress=compress))
+            assert clone.schedule == pb.schedule
 
 
 class TestStateHash:

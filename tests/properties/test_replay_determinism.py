@@ -15,6 +15,7 @@ from repro.pinplay.pinball import state_hash
 from repro.vm import RandomScheduler
 
 from tests.conftest import FIG5_SOURCE
+from tests.support.progen import generate_source
 
 #: A menagerie of concurrency shapes: racy counters, locks, sleeps,
 #: nondeterministic syscalls, producer/consumer.
@@ -76,6 +77,12 @@ int main() {
 """,
     "fig5": FIG5_SOURCE,
 }
+
+#: Plus a few programs from the shared randomized generator — the same
+#: shapes (locks, races, switch lowering, nondet syscalls) the engine and
+#: index differential suites exercise.
+PROGRAMS.update(
+    ("progen-%d" % seed, generate_source(seed)) for seed in (0, 3, 7))
 
 
 @st.composite

@@ -1,7 +1,7 @@
 """Differential tests: the build-once CSR dependence index ("ddg") is
 observationally identical to the backward scanners.
 
-The seeded generator from the engine differential suite synthesizes
+The shared seeded generator (:mod:`tests.support.progen`) synthesizes
 randomized multi-threaded programs (locks, races, loops, branches,
 switches, calls, nondeterministic syscalls).  For every program the same
 recorded region is sliced under all three index engines —
@@ -19,11 +19,11 @@ injection) identically to scan-derived ones under both VM engines.
 
 import pytest
 
-from repro.pinplay import RegionSpec, record_region, relog, replay
+from repro.pinplay import relog, replay
 from repro.pinplay.pinball import state_hash
 from repro.slicing import BackwardSlicer, SliceOptions, SlicingSession
-from repro.vm import RandomScheduler
-from tests.vm.test_engine_differential import build_program
+
+from tests.support.progen import build_program, record_pinball
 
 SEEDS = list(range(12))
 
@@ -32,10 +32,7 @@ INDEXES = ("ddg", "columnar", "rows")
 
 def _record(seed):
     program = build_program(seed)
-    pinball = record_region(
-        program, RandomScheduler(seed=seed, switch_prob=0.3), RegionSpec(),
-        inputs=[seed % 11], rand_seed=seed)
-    return program, pinball
+    return program, record_pinball(program, seed)
 
 
 def _assert_same_slice(reference, other, context):

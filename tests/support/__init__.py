@@ -1,0 +1,1 @@
+"""Shared test-support helpers (randomized program generation etc.)."""

@@ -215,3 +215,76 @@ class TestDisasm:
         out = capsys.readouterr().out
         assert "func bump" in out
         assert "func main" not in out
+
+
+class TestObs:
+    @pytest.fixture(autouse=True)
+    def _restore_registry(self):
+        from repro.obs import OBS
+        saved = OBS.enabled
+        yield
+        OBS.enabled = saved
+        OBS.reset()
+
+    def test_obs_report_no_demo_on_empty_registry(self, capsys):
+        from repro.obs import OBS
+        OBS.disable()
+        OBS.reset()
+        assert main(["obs", "report", "--no-demo"]) == 0
+        captured = capsys.readouterr()
+        assert "observability report" in captured.out
+        assert "REPRO_OBS=1" in captured.out     # the enable hint
+        assert "layer totals" in captured.err
+
+    def test_obs_unknown_action(self, capsys):
+        assert main(["obs", "bogus"]) == 2
+        assert "unknown obs action" in capsys.readouterr().err
+
+    def test_obs_report_demo_cycle_covers_all_layers(self, tmp_path,
+                                                     capsys):
+        out_json = str(tmp_path / "obs.json")
+        assert main(["obs", "report", "--json", out_json]) == 0
+        captured = capsys.readouterr()
+        for layer in ("vm", "pinplay", "slicing", "debugger", "maple"):
+            assert "[%s]" % layer in captured.out
+        with open(out_json) as handle:
+            data = json.load(handle)
+        assert data["counters"]["vm.instructions_retired"] > 0
+
+    def test_global_obs_flag_exports_snapshot(self, clean_file, tmp_path,
+                                              capsys):
+        out_json = str(tmp_path / "run_obs.json")
+        assert main(["--obs", "--obs-json", out_json, "run",
+                     clean_file]) == 0
+        with open(out_json) as handle:
+            data = json.load(handle)
+        assert data["counters"]["vm.instructions_retired"] > 0
+        assert "snapshot written" in capsys.readouterr().err
+
+    def test_global_obs_flag_prints_report_to_stderr(self, clean_file,
+                                                     capsys):
+        assert main(["--obs", "run", clean_file]) == 0
+        captured = capsys.readouterr()
+        assert "observability report" in captured.err
+        assert "vm.instructions_retired" in captured.err
+        assert "55" in captured.out              # program output unpolluted
+
+
+class TestCorruptPinball:
+    def test_corrupt_pinball_exits_65_and_names_file(self, clean_file,
+                                                     tmp_path, capsys):
+        path = tmp_path / "bad.pinball"
+        path.write_bytes(b"definitely not a pinball")
+        assert main(["replay", clean_file, str(path)]) == 65
+        err = capsys.readouterr().err
+        assert "not a pinball" in err
+        assert "bad.pinball" in err
+
+    def test_truncated_pinball_exits_65(self, clean_file, tmp_path,
+                                        capsys, racy_pinball):
+        with open(racy_pinball, "rb") as handle:
+            blob = handle.read()
+        path = tmp_path / "trunc.pinball"
+        path.write_bytes(blob[: len(blob) // 2])
+        assert main(["replay", clean_file, str(path)]) == 65
+        assert "not a pinball" in capsys.readouterr().err

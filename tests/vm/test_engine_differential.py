@@ -1,10 +1,11 @@
 """Differential tests: the predecoded engine is observationally identical
 to the legacy interpreter.
 
-A seeded generator synthesizes randomized multi-threaded programs (locks,
-races, loops, branches, switches, calls, nondeterministic syscalls) and
-every program is executed under both engines with the same scheduler seed.
-The engines must agree on:
+The shared seeded generator (:mod:`tests.support.progen`) synthesizes
+randomized multi-threaded programs (locks, races, loops, branches,
+switches, calls, nondeterministic syscalls) and every program is executed
+under both engines with the same scheduler seed.  The engines must agree
+on:
 
 * the full :class:`InstrEvent` stream — every retired instruction with its
   complete def/use information (register and memory reads/writes with
@@ -21,19 +22,14 @@ The engines must agree on:
   record-per-row store, and slices computed over either layout agree.
 """
 
-import random
-
 import pytest
 
-from repro.lang import compile_source
-from repro.pinplay import RegionSpec, record_region, relog, replay
+from repro.pinplay import relog, replay
 from repro.pinplay.pinball import state_hash
 from repro.slicing import SliceOptions, SlicingSession
-from repro.vm import RandomScheduler
-from repro.vm.hooks import Tool
-from repro.vm.machine import Machine
 
-STEP_CAP = 60_000
+from tests.support.progen import (EagerLog, RetainingLog, build_program,
+                                  record_pinball, run_machine)
 
 #: 24 randomized programs for the event-stream comparison (the cheap,
 #: highest-coverage check) ...
@@ -41,156 +37,6 @@ STREAM_SEEDS = list(range(24))
 #: ... and a subset for the heavier record/replay/slice pipelines.
 PIPELINE_SEEDS = list(range(10))
 
-
-# -- randomized program synthesis ---------------------------------------------
-
-_BINOPS = ("+", "-", "*", "&", "|", "^")
-
-
-def _worker(rng: random.Random, index: int) -> str:
-    """One worker function: a lock-protected update loop with extras."""
-    op1, op2, op3 = (rng.choice(_BINOPS) for _ in range(3))
-    c1, c2, c3 = (rng.randint(1, 9) for _ in range(3))
-    bound = rng.randint(3, 7)
-    ga, gb = rng.sample(("g0", "g1", "g2", "g3"), 2)
-    lines = [
-        "int worker%d(int n) {" % index,
-        "    int i; int t;",
-        "    t = %d;" % rng.randint(0, 5),
-        "    for (i = 0; i < n + %d; i = i + 1) {" % (bound - 3),
-        "        lock(&m);",
-        "        %s = %s %s %d;" % (ga, ga, op1, c1),
-        "        %s = %s %s (i %s %d);" % (gb, gb, op2, op3, c2),
-        "        unlock(&m);",
-    ]
-    # Racy unlocked read: generates cross-thread access-order edges.
-    lines.append("        t = t + %s;" % rng.choice((ga, gb)))
-    if rng.random() < 0.5:
-        lines += [
-            "        if (t > %d) { t = t - %d; } else { t = t + 1; }"
-            % (c3 * 10, c3),
-        ]
-    if rng.random() < 0.4:
-        lines += [
-            "        switch (i % 4) {",
-            "            case 0: t = t + %d; break;" % c1,
-            "            case 1: t = t ^ %d; break;" % c2,
-            "            case 2: t = helper(t); break;",
-            "            default: t = t - 1; break;",
-            "        }",
-        ]
-    if rng.random() < 0.4:
-        lines.append("        t = t + rand(%d);" % rng.randint(2, 6))
-    if rng.random() < 0.3:
-        lines.append("        yield();")
-    lines += [
-        "    }",
-        "    return t;",
-        "}",
-    ]
-    return "\n".join(lines)
-
-
-def generate_source(seed: int) -> str:
-    """A deterministic, seed-randomized multi-threaded program."""
-    rng = random.Random(seed)
-    nworkers = rng.randint(1, 3)
-    parts = [
-        "int g0; int g1; int g2; int g3; int m;",
-        "int helper(int v) {",
-        "    if (v %% 2) { return v + %d; }" % rng.randint(1, 5),
-        "    return v - %d;" % rng.randint(1, 5),
-        "}",
-    ]
-    for index in range(nworkers):
-        parts.append(_worker(rng, index))
-    main = [
-        "int main() {",
-        "    int x; int r;",
-        "    " + " ".join("int t%d;" % i for i in range(nworkers)),
-        "    x = input();",
-        "    g0 = x + %d;" % rng.randint(0, 9),
-        "    g1 = %d;" % rng.randint(1, 9),
-    ]
-    if rng.random() < 0.5:
-        main.append("    g2 = time() % 97;")
-    for index in range(nworkers):
-        main.append("    t%d = spawn(worker%d, %d);"
-                    % (index, index, rng.randint(2, 5)))
-    main.append("    r = helper(x);")
-    for index in range(nworkers):
-        main.append("    join(t%d);" % index)
-    main += [
-        "    print(g0); print(g1); print(g2); print(r);",
-        "    return 0;",
-        "}",
-    ]
-    parts.append("\n".join(main))
-    return "\n".join(parts)
-
-
-def build_program(seed: int):
-    return compile_source(generate_source(seed), name="diff-%d" % seed)
-
-
-# -- observation tools --------------------------------------------------------
-
-def _freeze(event) -> tuple:
-    return (event.seq, event.tid, event.tindex, event.addr,
-            tuple(event.reg_reads), tuple(event.reg_writes),
-            tuple(event.mem_reads), tuple(event.mem_writes),
-            event.frame_id)
-
-
-class RetainingLog(Tool):
-    """Default protocol: events are immutable and may be stored as-is."""
-
-    wants_instr_events = True      # retains_instr_events stays True
-
-    def __init__(self):
-        self.events = []
-        self.syscalls = []
-        self.steps = []
-
-    def on_instr(self, event):
-        self.events.append(event)   # retained: forces fresh events
-
-    def on_syscall(self, event):
-        self.syscalls.append((event.seq, event.tid, event.name,
-                              tuple(event.args), event.result))
-
-    def on_step(self, tid):
-        self.steps.append(tid)
-
-    def frozen(self):
-        return [_freeze(event) for event in self.events]
-
-
-class EagerLog(Tool):
-    """Non-retaining protocol: triggers the recycled scratch-event path."""
-
-    wants_instr_events = True
-    retains_instr_events = False
-
-    def __init__(self):
-        self.frozen_events = []
-
-    def on_instr(self, event):
-        self.frozen_events.append(_freeze(event))
-
-
-def run_machine(program, seed: int, engine: str, tool=None):
-    machine = Machine(program,
-                      scheduler=RandomScheduler(seed=seed, switch_prob=0.3),
-                      inputs=[seed % 11], rand_seed=seed, engine=engine)
-    if tool is not None:
-        machine.add_tool(tool)
-    machine.run(max_steps=STEP_CAP)
-    assert machine.finished, "randomized program %d did not terminate" % seed
-    return machine
-
-
-# -- the differential tests ---------------------------------------------------
 
 @pytest.mark.parametrize("seed", STREAM_SEEDS)
 def test_event_streams_and_final_state_match(seed):
@@ -224,11 +70,10 @@ def test_scratch_event_path_sees_identical_stream(seed):
 @pytest.mark.parametrize("seed", PIPELINE_SEEDS)
 def test_recorded_pinballs_match_and_cross_replay(seed):
     program = build_program(seed)
-    pinballs = {}
-    for engine in ("legacy", "predecoded"):
-        pinballs[engine] = record_region(
-            program, RandomScheduler(seed=seed, switch_prob=0.3),
-            RegionSpec(), inputs=[seed % 11], rand_seed=seed, engine=engine)
+    pinballs = {
+        engine: record_pinball(program, seed, engine=engine)
+        for engine in ("legacy", "predecoded")
+    }
     legacy_pb, pre_pb = pinballs["legacy"], pinballs["predecoded"]
 
     assert legacy_pb.schedule == pre_pb.schedule
@@ -250,9 +95,7 @@ def test_recorded_pinballs_match_and_cross_replay(seed):
 @pytest.mark.parametrize("seed", PIPELINE_SEEDS)
 def test_columnar_store_matches_row_store_and_slices_agree(seed):
     program = build_program(seed)
-    pinball = record_region(
-        program, RandomScheduler(seed=seed, switch_prob=0.3), RegionSpec(),
-        inputs=[seed % 11], rand_seed=seed)
+    pinball = record_pinball(program, seed)
 
     columnar = SlicingSession(pinball, program, engine="predecoded",
                               options=SliceOptions(columnar=True))
@@ -285,9 +128,7 @@ def test_slice_pinball_exclusion_replay_matches(seed):
     """Relogged slice pinballs (exclusion skips + side-effect injection)
     replay to the same machine state under both engines."""
     program = build_program(seed)
-    pinball = record_region(
-        program, RandomScheduler(seed=seed, switch_prob=0.3), RegionSpec(),
-        inputs=[seed % 11], rand_seed=seed)
+    pinball = record_pinball(program, seed)
     session = SlicingSession(pinball, program, engine="predecoded")
     criterion = session.last_reads(1)[0]
     dslice = session.slice_for(criterion)
