@@ -1,0 +1,310 @@
+"""Debug-service throughput — parallel workers and the resident-session LRU.
+
+DrDebug's economics are record once, query many: a team attaches clients
+to one resident service and issues slice queries against a shared
+repository of recordings.  This benchmark measures the two levers the
+service adds over the single-process CLI:
+
+* **Pool parallelism** — a closed loop of client threads drives one
+  slice query per stored recording (cold pool: every query pays a full
+  traced replay + DDG build) against a 1-worker and a 4-worker pool.
+  Session builds are CPU-bound and independent, so the 4-worker pool
+  should finish the same request mix materially faster.
+* **Session residency** — the same repeated query against a 1-worker
+  pool with the index LRU enabled (hot: answered from the resident
+  session's memoized DDG) vs disabled (cold: rebuild per query).
+
+Each phase carries an ``obs`` block harvested from an *untimed*
+instrumented re-run (workers started with the observability registry
+enabled), so the timed sections stay obs-free.  Results go to
+``BENCH_serve.json`` at the repo root.  In full mode the run asserts
+the acceptance bars:
+
+* 4-worker closed-loop throughput ≥ 2× the 1-worker pool;
+* hot (LRU) per-query cost ≥ 5× cheaper than cold rebuilds.
+
+Set ``REPRO_PERF_SMOKE=1`` (CI) for a reduced-size run that checks the
+machinery and writes the JSON but skips the ratio assertions — shared
+runners are too noisy for hard perf bars.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_perf_serve.py -q -s
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from typing import Dict, List
+
+from repro.pinplay import RegionSpec, record_region
+from repro.serve import PinballStore, WorkerPool
+from repro.slicing import SlicingSession
+from repro.vm import RandomScheduler
+from repro.workloads import get_parsec, get_specomp
+
+SMOKE = os.environ.get("REPRO_PERF_SMOKE", "") not in ("", "0")
+
+try:
+    CPUS = len(os.sched_getaffinity(0))
+except AttributeError:   # pragma: no cover - non-Linux
+    CPUS = os.cpu_count() or 1
+
+#: Kernel rotation for the recording corpus; ``units`` is bumped per
+#: instance so every stored recording is a distinct program (distinct
+#: content keys, distinct sessions — a genuinely cold build each).
+if SMOKE:
+    RECORDINGS = 6
+    CLIENTS = 4
+    HOT_QUERIES = 6
+    KERNELS = [("parsec", "blackscholes", {"units": 20, "nthreads": 2})]
+else:
+    RECORDINGS = 20
+    CLIENTS = 8
+    HOT_QUERIES = 20
+    KERNELS = [
+        ("parsec", "blackscholes", {"units": 120, "nthreads": 4}),
+        ("parsec", "fluidanimate", {"units": 80, "nthreads": 4}),
+        ("specomp", "ammp", {"units": 80}),
+        ("specomp", "mgrid", {"units": 60}),
+    ]
+
+WORKER_COUNTS = (1, 4)
+BENCH_PATH = os.path.join(os.path.dirname(__file__), os.pardir,
+                          "BENCH_serve.json")
+
+
+@contextmanager
+def _quiesced():
+    gc.collect()
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()
+
+
+def _kernel_source(index: int):
+    """The ``index``-th corpus entry: (name, MiniC source text)."""
+    suite, kernel, params = KERNELS[index % len(KERNELS)]
+    workload = (get_parsec(kernel) if suite == "parsec"
+                else get_specomp(kernel))
+    # Distinct size per instance -> distinct program -> distinct key.
+    sized = dict(params, units=params["units"] + 2 * (index // len(KERNELS)))
+    name = "%s-%d" % (kernel, index)
+    return name, workload.source(**sized)
+
+
+def _build_corpus(root: str):
+    """Populate the store with RECORDINGS sized kernel workloads.
+
+    Returns one request descriptor per recording: the content keys plus
+    an explicit slice criterion (the recording's last memory read — the
+    kernels run to completion, so there is no failure to default to).
+    """
+    from repro.lang import compile_source
+
+    store = PinballStore(root)
+    requests = []
+    for index in range(RECORDINGS):
+        name, source = _kernel_source(index)
+        program = compile_source(source, name=name)
+        pinball = record_region(program, RandomScheduler(seed=index),
+                                RegionSpec())
+        source_sha = store.put_source(source, name, tags=("bench",))
+        pinball_sha = store.put_pinball(
+            pinball, tags=("bench",),
+            meta={"source_sha": source_sha, "program_name": name})
+        session = SlicingSession(pinball, program)
+        criterion = session.last_reads(1)[0]
+        requests.append({
+            "pinball": pinball_sha,
+            "source": source_sha,
+            "program_name": name,
+            "criterion": list(criterion),
+        })
+    return requests
+
+
+def _warm_processes(pool: WorkerPool) -> None:
+    """One ping per worker: pays interpreter start + module imports.
+
+    The benchmark compares *session build* parallelism, not Python
+    import latency, so process warm-up stays outside the timed window.
+    (``_execute`` performs its imports on every op, so a ping is enough.)
+    """
+    for worker in range(pool.workers):
+        pool.call("ping", {}, worker=worker, timeout=600)
+
+
+def _closed_loop(pool: WorkerPool, requests: List[dict],
+                 clients: int) -> float:
+    """Drive every request once through ``clients`` closed-loop threads.
+
+    Each thread pops the next request, waits for its response, repeats —
+    the classic closed-loop load model; returns the wall time.
+    """
+    cursor = iter(list(requests))
+    cursor_lock = threading.Lock()
+    errors: List[BaseException] = []
+
+    def run():
+        while True:
+            with cursor_lock:
+                request = next(cursor, None)
+            if request is None:
+                return
+            try:
+                # No affinity key: every request is a distinct cold
+                # recording, so least-loaded routing measures build
+                # parallelism without hash-bucket imbalance noise.
+                pool.call("slice", dict(request), timeout=600)
+            except BaseException as exc:   # noqa: BLE001 — report below
+                errors.append(exc)
+                return
+
+    threads = [threading.Thread(target=run, daemon=True)
+               for _ in range(clients)]
+    with _quiesced():
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - started
+    if errors:
+        raise errors[0]
+    return elapsed
+
+
+def _worker_obs(pool: WorkerPool) -> Dict[str, int]:
+    """Summed serve.* counters across the pool's workers."""
+    totals: Dict[str, int] = {}
+    for worker in pool.worker_stats():
+        for name, value in worker.get("counters", {}).items():
+            totals[name] = totals.get(name, 0) + value
+    return totals
+
+
+def _bench_throughput(root: str, requests: List[dict]) -> List[dict]:
+    """Phase 1: cold-pool closed-loop throughput, 1 vs 4 workers."""
+    rows = []
+    for workers in WORKER_COUNTS:
+        with WorkerPool(root, workers=workers, queue_limit=256,
+                        default_timeout=600,
+                        lru_entries=RECORDINGS) as pool:
+            _warm_processes(pool)
+            elapsed = _closed_loop(pool, requests, CLIENTS)
+            counts = pool.stats()
+        # Untimed instrumented re-run for the obs block.
+        with WorkerPool(root, workers=workers, queue_limit=256,
+                        default_timeout=600, lru_entries=RECORDINGS,
+                        obs=True) as pool:
+            _closed_loop(pool, requests, CLIENTS)
+            obs = _worker_obs(pool)
+        rows.append({
+            "phase": "throughput",
+            "workers": workers,
+            "clients": CLIENTS,
+            "requests": len(requests),
+            "wall_time_sec": elapsed,
+            "requests_per_sec": len(requests) / elapsed,
+            "pool_counts": counts,
+            "obs": obs,
+        })
+    return rows
+
+
+def _bench_session_cache(root: str, requests: List[dict]) -> List[dict]:
+    """Phase 2: repeated query, resident session (hot) vs rebuild (cold)."""
+    request = requests[0]
+    rows = []
+    for mode, lru_entries in (("hot", 4), ("cold", 0)):
+        with WorkerPool(root, workers=1, queue_limit=64,
+                        default_timeout=600,
+                        lru_entries=lru_entries) as pool:
+            # One untimed warm-up: in hot mode this builds the resident
+            # session; in cold mode it only warms the process itself.
+            _warm_processes(pool)
+            pool.call("slice", dict(request), key=request["pinball"],
+                      timeout=600)
+            with _quiesced():
+                started = time.perf_counter()
+                for _ in range(HOT_QUERIES):
+                    pool.call("slice", dict(request),
+                              key=request["pinball"], timeout=600)
+                elapsed = time.perf_counter() - started
+        with WorkerPool(root, workers=1, queue_limit=64,
+                        default_timeout=600, lru_entries=lru_entries,
+                        obs=True) as pool:
+            for _ in range(3):
+                pool.call("slice", dict(request), key=request["pinball"],
+                          timeout=600)
+            obs = _worker_obs(pool)
+        rows.append({
+            "phase": "session_cache",
+            "mode": mode,
+            "lru_entries": lru_entries,
+            "queries": HOT_QUERIES,
+            "wall_time_sec": elapsed,
+            "sec_per_query": elapsed / HOT_QUERIES,
+            "obs": obs,
+        })
+    return rows
+
+
+def test_perf_serve(tmp_path):
+    root = str(tmp_path / "store")
+    requests = _build_corpus(root)
+
+    throughput = _bench_throughput(root, requests)
+    cache = _bench_session_cache(root, requests)
+
+    by_workers = {row["workers"]: row for row in throughput}
+    by_mode = {row["mode"]: row for row in cache}
+    speedups = {
+        "throughput_4_vs_1_workers": (
+            by_workers[4]["requests_per_sec"]
+            / by_workers[1]["requests_per_sec"]),
+        "hot_vs_cold_session": (by_mode["cold"]["sec_per_query"]
+                                / by_mode["hot"]["sec_per_query"]),
+    }
+    report = {
+        "schema_version": 2,      # 2: rows carry "obs" counter blocks
+        "smoke": SMOKE,
+        "cpus": CPUS,
+        "recordings": RECORDINGS,
+        "clients": CLIENTS,
+        "phases": throughput + cache,
+        "speedups": speedups,
+    }
+    path = os.path.abspath(BENCH_PATH)
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+
+    print("\nserve speedups: 4-vs-1 workers %.2fx throughput, hot-vs-cold "
+          "resident session %.2fx per query"
+          % (speedups["throughput_4_vs_1_workers"],
+             speedups["hot_vs_cold_session"]))
+    print("wrote %s" % path)
+
+    if not SMOKE:
+        if CPUS >= 4:
+            # Session builds are CPU-bound processes: the parallelism bar
+            # only means something when there are cores to parallelize on.
+            assert speedups["throughput_4_vs_1_workers"] >= 2.0, (
+                "4-worker pool only %.2fx over 1 worker (bar: 2x)"
+                % speedups["throughput_4_vs_1_workers"])
+        else:
+            print("(%d CPU(s) available — 4-vs-1 worker bar not "
+                  "applicable on this machine)" % CPUS)
+        assert speedups["hot_vs_cold_session"] >= 5.0, (
+            "resident session only %.2fx over rebuild-per-query "
+            "(bar: 5x)" % speedups["hot_vs_cold_session"])

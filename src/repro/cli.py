@@ -9,15 +9,21 @@ Subcommands mirror the workflow::
     python -m repro races prog.mc bug.pinball        # HB race detection
     python -m repro debug prog.mc bug.pinball -x "break main" -x run
     python -m repro disasm prog.mc
+    python -m repro serve --store ./pinballs        # resident debug service
+    python -m repro client record prog.mc --expose 64
+    python -m repro client slice <key> --var x
 
 Programs are MiniC source files; pinballs are the zlib-compressed JSON
 files produced by ``record``.  The program name stored in a pinball is the
-source file's stem, so replaying requires the matching source.
+source file's stem, so replaying requires the matching source.  The
+``serve`` / ``client`` pair runs the same workflow as a long-lived TCP
+service over a content-addressed pinball store (see :mod:`repro.serve`).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from typing import List, Optional, Sequence
@@ -29,6 +35,8 @@ from repro.lang import CompileError, compile_source
 from repro.maple import expose_and_record
 from repro.obs import OBS, format_report, layer_totals, run_demo_cycle
 from repro.pinplay import Pinball, RegionSpec, record_region, replay
+from repro.serve import DebugClient, DebugServer, RpcRemoteError, run_server
+from repro.serve.server import DEFAULT_HOST, DEFAULT_PORT
 from repro.slicing import SliceOptions, SlicingSession
 from repro.vm import Machine, RandomScheduler, RoundRobinScheduler
 
@@ -261,6 +269,148 @@ def cmd_obs(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """``repro serve``: run the resident debug service until shutdown."""
+    server = DebugServer(
+        args.store, host=args.host, port=args.port, workers=args.workers,
+        queue_limit=args.queue_limit, request_timeout=args.timeout,
+        lru_entries=args.lru_entries, lru_bytes=args.lru_bytes,
+        max_request_bytes=args.max_request_bytes)
+
+    def announce(host: str, port: int) -> None:
+        print("repro debug service on %s:%d (store: %s, workers: %d)"
+              % (host, port, server.store.root, server.pool.workers),
+              file=sys.stderr)
+
+    run_server(server, port_file=args.port_file, announce=announce)
+    print("server stopped", file=sys.stderr)
+    return 0
+
+
+def _client_connect(args) -> DebugClient:
+    return DebugClient(host=args.host, port=args.port, timeout=args.timeout)
+
+
+def cmd_client(args) -> int:
+    """``repro client``: one scripted RPC against a running service."""
+    verb = args.verb
+    if verb == "call" and args.params:
+        # Validate local input before dialing out: bad JSON is a usage
+        # error (65), not a network problem.
+        try:
+            json.loads(args.params)
+        except ValueError as exc:
+            raise ValueError("params is not valid JSON: %s" % exc)
+    with _client_connect(args) as client:
+        if verb == "ping":
+            result = client.ping()
+        elif verb == "stats":
+            result = client.stats()
+        elif verb == "list":
+            result = client.list(kind=args.kind, tag=args.tag)
+        elif verb == "gc":
+            result = client.gc()
+        elif verb == "shutdown":
+            result = client.shutdown()
+        elif verb == "put":
+            with open(args.program) as handle:
+                source = handle.read()
+            with open(args.pinball, "rb") as handle:
+                blob = handle.read()
+            name = os.path.splitext(os.path.basename(args.program))[0]
+            result = client.put_recording(source, blob, program_name=name,
+                                          tags=args.tag or ())
+        elif verb == "record":
+            with open(args.program) as handle:
+                source = handle.read()
+            name = os.path.splitext(os.path.basename(args.program))[0]
+            options = {"tags": args.tag or []}
+            if args.expose:
+                options["expose"] = args.expose
+            if args.seed is not None:
+                options["seed"] = args.seed
+            options["switch_prob"] = args.switch_prob
+            options["inputs"] = _parse_inputs(args.inputs)
+            options["rand_seed"] = args.rand_seed
+            if args.skip:
+                options["skip"] = args.skip
+            if args.length is not None:
+                options["length"] = args.length
+            result = client.record(source, name, **options)
+        elif verb == "replay":
+            result = client.replay(args.key)
+        elif verb == "slice":
+            options = {}
+            if args.var:
+                options["var"] = args.var
+            if args.line is not None:
+                options["line"] = args.line
+            if args.slice_pinball:
+                options["slice_pinball"] = True
+            if args.index:
+                options["index"] = args.index
+            result = client.slice(args.key, **options)
+        elif verb == "last-reads":
+            result = client.last_reads(args.key, count=args.count)
+        elif verb == "races":
+            result = client.races(args.key, all_memory=args.all_memory)
+        elif verb == "get":
+            blob = client.get_blob(args.key)
+            with open(args.output, "wb") as handle:
+                handle.write(blob)
+            result = {"sha": args.key, "bytes": len(blob),
+                      "path": args.output}
+        elif verb == "call":
+            params = json.loads(args.params) if args.params else {}
+            result = client.call(args.method, params)
+        else:   # pragma: no cover - argparse enforces the choices
+            print("unknown client verb %r" % verb, file=sys.stderr)
+            return 2
+    if args.json:
+        print(json.dumps(result, indent=2, sort_keys=True))
+    else:
+        _print_client_result(verb, result)
+    return 0
+
+
+def _print_client_result(verb: str, result) -> None:
+    """Human-oriented rendering of one RPC result."""
+    if verb == "list":
+        for entry in result.get("entries", []):
+            print("%s  %-8s %8dB  tags=%s  %s" % (
+                entry["sha"][:16], entry["kind"], entry["size"],
+                ",".join(entry["tags"]) or "-",
+                entry.get("meta", {}).get("program_name", "")))
+        print("[%d entries]" % len(result.get("entries", [])),
+              file=sys.stderr)
+        return
+    if verb == "slice":
+        print("slice: %d instances, %d threads"
+              % (result["node_count"], result["thread_count"]))
+        for func, line in result.get("source_statements", []):
+            if func is not None:
+                print("  %s:%s" % (func, line))
+        if result.get("slice_pinball_key"):
+            print("slice pinball stored as %s"
+                  % result["slice_pinball_key"])
+        return
+    if verb == "races":
+        for race in result.get("races", []):
+            print(race["description"])
+        print("[%d unique racy site pairs]" % result["race_count"],
+              file=sys.stderr)
+        return
+    if verb == "replay":
+        for value in result.get("output", []):
+            print(value)
+        print("[replayed %d steps, reason=%s, failure=%r]"
+              % (result["steps"], result["reason"],
+                 (result.get("failure") or {}).get("code")),
+              file=sys.stderr)
+        return
+    print(json.dumps(result, indent=2, sort_keys=True))
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -373,6 +523,92 @@ def build_parser() -> argparse.ArgumentParser:
                           "instead of running the demo cycle")
     obs.set_defaults(func=cmd_obs)
 
+    serve = sub.add_parser(
+        "serve", help="run the resident debug service (JSON-RPC over TCP)")
+    serve.add_argument("--store", default=".repro-store", metavar="DIR",
+                       help="pinball repository root (default: "
+                            ".repro-store)")
+    serve.add_argument("--host", default=DEFAULT_HOST)
+    serve.add_argument("--port", type=int, default=DEFAULT_PORT,
+                       help="TCP port (0 = pick a free port; see "
+                            "--port-file)")
+    serve.add_argument("--workers", type=int, default=None,
+                       help="slice-worker processes (default: "
+                            "$REPRO_SERVE_WORKERS or 2)")
+    serve.add_argument("--queue-limit", type=int, default=64,
+                       help="max in-flight requests before backpressure "
+                            "rejection")
+    serve.add_argument("--timeout", type=float, default=120.0,
+                       help="per-request timeout in seconds")
+    serve.add_argument("--lru-entries", type=int, default=4,
+                       help="resident sessions per worker")
+    serve.add_argument("--lru-bytes", type=int, default=512 * 1024 * 1024,
+                       help="approximate session-cache bytes per worker")
+    serve.add_argument("--max-request-bytes", type=int,
+                       default=8 * 1024 * 1024,
+                       help="per-connection request-line size cap")
+    serve.add_argument("--port-file", default=None, metavar="PATH",
+                       help="write the bound port here once listening "
+                            "(for scripts using --port 0)")
+    serve.set_defaults(func=cmd_serve)
+
+    client = sub.add_parser(
+        "client", help="talk to a running debug service")
+    client.add_argument("--host", default=DEFAULT_HOST)
+    client.add_argument("--port", type=int, default=DEFAULT_PORT)
+    client.add_argument("--timeout", type=float, default=120.0)
+    client.add_argument("--json", action="store_true",
+                        help="print the raw JSON result")
+    cverbs = client.add_subparsers(dest="verb", required=True)
+    cverbs.add_parser("ping", help="liveness check")
+    cverbs.add_parser("stats", help="server/pool/store/obs statistics")
+    cverbs.add_parser("gc", help="drop untagged store entries")
+    cverbs.add_parser("shutdown", help="stop the server")
+    clist = cverbs.add_parser("list", help="list stored blobs")
+    clist.add_argument("--kind", default=None)
+    clist.add_argument("--tag", default=None)
+    cput = cverbs.add_parser(
+        "put", help="upload a program + pinball as one recording")
+    cput.add_argument("program", help="MiniC source file")
+    cput.add_argument("pinball", help="pinball file from `repro record`")
+    cput.add_argument("--tag", action="append", metavar="TAG")
+    crec = cverbs.add_parser(
+        "record", help="record server-side from source")
+    crec.add_argument("program", help="MiniC source file")
+    crec.add_argument("--seed", type=int, default=None)
+    crec.add_argument("--switch-prob", type=float, default=0.2)
+    crec.add_argument("--inputs", help="comma-separated input() values")
+    crec.add_argument("--rand-seed", type=int, default=0)
+    crec.add_argument("--skip", type=int, default=0)
+    crec.add_argument("--length", type=int, default=None)
+    crec.add_argument("--expose", type=int, default=0, metavar="N")
+    crec.add_argument("--tag", action="append", metavar="TAG")
+    crep = cverbs.add_parser("replay", help="replay a stored recording")
+    crep.add_argument("key")
+    csl = cverbs.add_parser("slice", help="slice a stored recording")
+    csl.add_argument("key")
+    csl.add_argument("--var")
+    csl.add_argument("--line", type=int, default=None)
+    csl.add_argument("--slice-pinball", action="store_true",
+                     help="store the relogged slice pinball too")
+    csl.add_argument("--index", choices=("ddg", "columnar", "rows"),
+                     default=None)
+    clr = cverbs.add_parser("last-reads",
+                            help="latest memory-reading instances")
+    clr.add_argument("key")
+    clr.add_argument("--count", type=int, default=10)
+    crc = cverbs.add_parser("races", help="race-detect a stored recording")
+    crc.add_argument("key")
+    crc.add_argument("--all-memory", action="store_true")
+    cget = cverbs.add_parser("get", help="download a stored blob")
+    cget.add_argument("key")
+    cget.add_argument("-o", "--output", required=True)
+    ccall = cverbs.add_parser("call", help="raw JSON-RPC method call")
+    ccall.add_argument("method")
+    ccall.add_argument("params", nargs="?", default=None,
+                       help="params as a JSON object")
+    client.set_defaults(func=cmd_client)
+
     return parser
 
 
@@ -386,9 +622,35 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except CompileError as exc:
         print("compile error: %s" % exc, file=sys.stderr)
         return 64
+    except KeyboardInterrupt:
+        # Ctrl-C in `repro serve` / an interactive client is a normal way
+        # to stop: exit cleanly (128 + SIGINT), no traceback.
+        print("\ninterrupted", file=sys.stderr)
+        return 130
+    except BrokenPipeError:
+        # Reader went away (e.g. `repro client list | head`).  Redirect
+        # stdout at the fd level so the interpreter's exit-time flush
+        # does not raise a secondary error, and exit 128 + SIGPIPE.
+        try:
+            devnull = os.open(os.devnull, os.O_WRONLY)
+            os.dup2(devnull, sys.stdout.fileno())
+        except OSError:
+            pass
+        return 141
+    except ConnectionRefusedError:
+        print("error: connection refused — is `repro serve` running "
+              "there?", file=sys.stderr)
+        return 69
+    except (ConnectionError, TimeoutError) as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 69
     except FileNotFoundError as exc:
         print("error: %s" % exc, file=sys.stderr)
         return 66
+    except RpcRemoteError as exc:
+        print("server error %d: %s" % (exc.code, exc.remote_message),
+              file=sys.stderr)
+        return 70
     except ValueError as exc:
         print("error: %s" % exc, file=sys.stderr)
         return 65

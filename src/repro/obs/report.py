@@ -3,9 +3,10 @@
 :func:`format_report` renders :meth:`~repro.obs.registry.ObsRegistry.snapshot`
 as the grouped text table ``repro obs report`` prints.  :func:`run_demo_cycle`
 drives one complete DrDebug cyclic-debugging loop — Maple exposure,
-record, replay, slicing, slice pinball, reverse debugging — so a single
-``repro obs report`` run exhibits nonzero counters from all five
-instrumented layers (vm, pinplay, slicing, debugger, maple).
+record, replay, slicing, slice pinball, reverse debugging, plus a pass
+through the debug service's store + session cache — so a single
+``repro obs report`` run exhibits nonzero counters from all six
+instrumented layers (vm, pinplay, slicing, debugger, maple, serve).
 """
 
 from __future__ import annotations
@@ -14,7 +15,7 @@ from repro.obs.registry import OBS
 
 #: The layer prefixes the report groups by (and the acceptance criterion
 #: checks): every one of these must show activity after a demo cycle.
-LAYERS = ("vm", "pinplay", "slicing", "debugger", "maple")
+LAYERS = ("vm", "pinplay", "slicing", "debugger", "maple", "serve")
 
 #: A lost-update atomicity bug (two unsynchronized increments): small
 #: enough to run in well under a second, racy enough that Maple's
@@ -78,6 +79,28 @@ def run_demo_cycle() -> dict:
         debug.run()
         debug.reverse_stepi(4)
         debug.continue_()
+
+        # Serve: the recording as a durable store object + a resident
+        # session answering a repeat query from the index LRU (the
+        # service's hot path, minus the TCP/process plumbing).
+        import tempfile
+
+        from repro.serve.sessions import SessionManager
+        from repro.serve.store import PinballStore
+
+        with tempfile.TemporaryDirectory() as root:
+            store = PinballStore(root)
+            source_sha = store.put_source(DEMO_SOURCE, "obs_demo",
+                                          tags=("demo",))
+            key = store.put_pinball(pinball, tags=("demo",),
+                                    meta={"source_sha": source_sha})
+            # Re-putting the identical recording dedups to the same key.
+            store.put_pinball(pinball, meta={"source_sha": source_sha})
+            manager = SessionManager(store, max_entries=2)
+            resident = manager.open(key, source_sha, "obs_demo")  # miss
+            manager.open(key, source_sha, "obs_demo")             # hit
+            resident.slice_for(resident.failure_criterion())
+            store.gc()   # nothing untagged; exercises the counter path
 
         return registry.snapshot()
 

@@ -1,0 +1,132 @@
+"""Blocking TCP client for the debug service (used by ``repro client``).
+
+A thin synchronous wrapper over the newline-delimited JSON-RPC protocol:
+connect, send one request line, read one response line, raise
+:class:`~repro.serve.rpc.RpcRemoteError` on error responses.  Network
+failures surface as the standard ``OSError`` family (the CLI maps
+``ConnectionRefusedError`` to exit code 69 / EX_UNAVAILABLE).
+"""
+
+from __future__ import annotations
+
+import base64
+import itertools
+import json
+import socket
+from typing import Optional
+
+from repro.serve import rpc
+from repro.serve.server import DEFAULT_HOST, DEFAULT_PORT
+
+
+class DebugClient:
+    """One connection to a running :class:`~repro.serve.server.DebugServer`."""
+
+    def __init__(self, host: str = DEFAULT_HOST, port: int = DEFAULT_PORT,
+                 timeout: float = 120.0,
+                 connect_timeout: float = 5.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._sock = socket.create_connection((host, port),
+                                              timeout=connect_timeout)
+        self._sock.settimeout(timeout)
+        self._file = self._sock.makefile("rwb")
+        self._ids = itertools.count(1)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "DebugClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- core call ---------------------------------------------------------
+
+    def call(self, method: str, params: Optional[dict] = None):
+        """One request/response round trip; returns the ``result``."""
+        req_id = next(self._ids)
+        frame = rpc.encode_message(
+            rpc.make_request(method, params or {}, req_id=req_id))
+        self._file.write(frame)
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ConnectionResetError(
+                "server closed the connection mid-call (%s)" % method)
+        try:
+            response = json.loads(line.decode("utf-8"))
+        except ValueError as exc:
+            raise rpc.RpcRemoteError(
+                rpc.PARSE_ERROR, "unparseable server response: %s" % exc)
+        if not isinstance(response, dict):
+            raise rpc.RpcRemoteError(
+                rpc.PARSE_ERROR, "server response is not an object")
+        if response.get("error") is not None:
+            error = response["error"]
+            raise rpc.RpcRemoteError(error.get("code", rpc.INTERNAL_ERROR),
+                                     error.get("message", "unknown error"),
+                                     error.get("data"))
+        return response.get("result")
+
+    # -- convenience verbs -------------------------------------------------
+
+    def ping(self) -> dict:
+        return self.call("ping")
+
+    def stats(self, workers: bool = True) -> dict:
+        return self.call("stats", {"workers": workers})
+
+    def shutdown(self) -> dict:
+        return self.call("shutdown")
+
+    def record(self, program_source: str, program_name: str = "program",
+               **options) -> dict:
+        params = {"program": program_source, "program_name": program_name}
+        params.update(options)
+        return self.call("record", params)
+
+    def put_recording(self, program_source: str, pinball_blob: bytes,
+                      program_name: Optional[str] = None,
+                      tags=()) -> dict:
+        params = {
+            "program": program_source,
+            "pinball": base64.b64encode(pinball_blob).decode("ascii"),
+            "tags": list(tags),
+        }
+        if program_name:
+            params["program_name"] = program_name
+        return self.call("store.put_recording", params)
+
+    def replay(self, key: str, **options) -> dict:
+        return self.call("replay", {"key": key, **options})
+
+    def slice(self, key: str, **options) -> dict:
+        return self.call("slice", {"key": key, **options})
+
+    def last_reads(self, key: str, count: int = 10) -> dict:
+        return self.call("last_reads", {"key": key, "count": count})
+
+    def races(self, key: str, **options) -> dict:
+        return self.call("races", {"key": key, **options})
+
+    def list(self, **filters) -> dict:
+        return self.call("store.list", filters)
+
+    def get_blob(self, sha: str) -> bytes:
+        result = self.call("store.get", {"sha": sha})
+        return base64.b64decode(result["blob"].encode("ascii"))
+
+    def gc(self) -> dict:
+        return self.call("store.gc")

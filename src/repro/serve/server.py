@@ -1,0 +1,410 @@
+"""The asyncio TCP front end of the debug service.
+
+One long-lived server process owns the pinball store's manifest and the
+worker pool; each client connection speaks newline-delimited JSON-RPC
+(:mod:`repro.serve.rpc`).  The division of labor keeps every layer
+single-writer:
+
+* the **event loop** only parses, validates and routes — compute-heavy
+  verbs are dispatched to the :class:`~repro.serve.workers.WorkerPool`
+  via an executor thread so slow slices never stall other connections;
+* **workers** read blobs by content key and return payloads;
+* the **server** performs every store-manifest write (uploads, recorded
+  pinballs, slice pinballs, tags, gc), so the manifest needs no
+  cross-process locking.
+
+Fault behavior follows the satellite spec: malformed, oversized or
+truncated request lines produce structured error responses (the
+connection survives malformed lines; oversized lines are answered then
+the connection is closed, since the line cannot be resynchronized);
+pool backpressure surfaces as ``BUSY``; per-request deadlines as
+``TIMEOUT``; corrupt blobs as ``BAD_PINBALL`` naming the blob path.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import binascii
+import time
+from functools import partial
+from typing import Optional
+
+from repro.obs.registry import OBS
+from repro.pinplay.pinball import Pinball, PinballFormatError
+from repro.serve import rpc
+from repro.serve.store import PinballStore
+from repro.serve.workers import (PoolBusyError, PoolTimeoutError,
+                                 RemoteOpError, WorkerCrashError, WorkerPool)
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 9178
+
+#: Methods executed on the worker pool (keyed by stored recording).
+_POOL_METHODS = ("replay", "slice", "last_reads", "races", "build")
+
+
+class DebugServer:
+    """TCP JSON-RPC server over one store + one worker pool."""
+
+    def __init__(self, store_root: str,
+                 host: str = DEFAULT_HOST, port: int = DEFAULT_PORT,
+                 workers: Optional[int] = None,
+                 queue_limit: int = 64,
+                 request_timeout: float = 120.0,
+                 lru_entries: int = 4,
+                 lru_bytes: int = 512 * 1024 * 1024,
+                 max_request_bytes: int = rpc.MAX_REQUEST_BYTES,
+                 slice_options=None) -> None:
+        self.store = PinballStore(store_root)
+        self.host = host
+        self.port = port
+        self.max_request_bytes = max_request_bytes
+        self.pool = WorkerPool(store_root=store_root, workers=workers,
+                               queue_limit=queue_limit,
+                               default_timeout=request_timeout,
+                               lru_entries=lru_entries, lru_bytes=lru_bytes,
+                               obs=OBS.enabled, slice_options=slice_options)
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._shutdown = asyncio.Event()
+        self.counts = {"connections": 0, "requests": 0, "errors": 0}
+        self.started_at = time.time()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> "DebugServer":
+        self.pool.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port,
+            limit=self.max_request_bytes + 2)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def serve_until_shutdown(self) -> None:
+        """Serve until a ``shutdown`` RPC (or :meth:`close`) arrives."""
+        await self._shutdown.wait()
+        await self.close()
+
+    async def close(self) -> None:
+        self._shutdown.set()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await asyncio.get_running_loop().run_in_executor(
+            None, self.pool.close)
+
+    # -- connection handling ------------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        self.counts["connections"] += 1
+        if OBS.enabled:
+            OBS.inc("serve.connections")
+        try:
+            while not self._shutdown.is_set():
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    # Line longer than the stream limit: the buffer can
+                    # not be resynchronized — answer, then hang up.
+                    response = rpc.make_error(
+                        None, rpc.OVERSIZED_REQUEST,
+                        "request line exceeds the %d byte cap"
+                        % self.max_request_bytes)
+                    await self._send(writer, response)
+                    break
+                if not line:
+                    break                      # clean EOF
+                if not line.strip():
+                    continue                   # keepalive blank line
+                try:
+                    request = rpc.parse_request(line,
+                                                self.max_request_bytes)
+                except rpc.RpcError as exc:
+                    self.counts["errors"] += 1
+                    if OBS.enabled:
+                        OBS.inc("serve.protocol_errors")
+                    await self._send(writer, exc.to_response())
+                    if exc.code == rpc.OVERSIZED_REQUEST:
+                        break
+                    continue
+                response, close_after = await self._dispatch(request)
+                await self._send(writer, response)
+                if close_after:
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _send(self, writer: asyncio.StreamWriter,
+                    message: dict) -> None:
+        try:
+            writer.write(rpc.encode_message(message))
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+    # -- dispatch ----------------------------------------------------------
+
+    async def _dispatch(self, request: dict):
+        """Route one validated request; returns (response, close_after)."""
+        method = request["method"]
+        params = request["params"]
+        req_id = request["id"]
+        self.counts["requests"] += 1
+        started = time.perf_counter()
+        if OBS.enabled:
+            OBS.inc("serve.requests")
+            OBS.inc("serve.requests/%s" % method)
+        close_after = False
+        try:
+            if method == "shutdown":
+                result = {"stopping": True}
+                self._shutdown.set()
+                close_after = True
+            else:
+                handler = getattr(self, "_rpc_" + method.replace(".", "_"),
+                                  None)
+                if handler is None:
+                    raise rpc.RpcError(rpc.METHOD_NOT_FOUND,
+                                       "unknown method %r" % method)
+                result = await handler(params)
+            response = rpc.make_response(req_id, result)
+        except Exception as exc:   # noqa: BLE001 — never crash the server
+            self.counts["errors"] += 1
+            if OBS.enabled:
+                OBS.inc("serve.errors")
+            response = self._error_response(req_id, exc)
+        if OBS.enabled:
+            OBS.observe("serve.request_latency_ms",
+                        (time.perf_counter() - started) * 1000.0)
+        return response, close_after
+
+    @staticmethod
+    def _error_response(req_id, exc: Exception) -> dict:
+        """Map one dispatch failure onto its structured error response."""
+        if isinstance(exc, rpc.RpcError):
+            return exc.to_response(req_id)
+        if isinstance(exc, RemoteOpError):
+            return rpc.make_error(req_id, rpc.INTERNAL_ERROR,
+                                  exc.remote_message,
+                                  data={"op": exc.op,
+                                        "type": exc.error_type})
+        for exc_types, code in (
+                ((KeyError, LookupError), rpc.NOT_FOUND),
+                ((PinballFormatError,), rpc.BAD_PINBALL),
+                ((PoolBusyError,), rpc.BUSY),
+                ((PoolTimeoutError,), rpc.TIMEOUT),
+                ((WorkerCrashError,), rpc.WORKER_CRASHED),
+                ((TypeError, ValueError), rpc.INVALID_PARAMS)):
+            if isinstance(exc, exc_types):
+                return rpc.make_error(req_id, code,
+                                      str(exc).strip("'\""))
+        return rpc.make_error(req_id, rpc.INTERNAL_ERROR,
+                              "%s: %s" % (type(exc).__name__, exc))
+
+    async def _pool_call(self, op: str, params: dict,
+                         key: Optional[str] = None):
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            None, partial(self.pool.call, op, params, key=key,
+                          timeout=params.get("timeout")))
+
+    # -- recording resolution ----------------------------------------------
+
+    def _recording_params(self, params: dict) -> dict:
+        """Expand a client ``key`` into worker params (source + name)."""
+        key = params.get("key")
+        if not key:
+            raise rpc.RpcError(rpc.INVALID_PARAMS,
+                               "missing recording 'key' parameter")
+        entry = self.store.entry(key)
+        source_sha = entry.meta.get("source_sha")
+        if not source_sha:
+            raise rpc.RpcError(
+                rpc.INVALID_PARAMS,
+                "recording %s has no linked source (store it with "
+                "store.put_recording or record)" % key)
+        out = dict(params)
+        out.pop("key", None)
+        out["pinball"] = key
+        out["source"] = source_sha
+        out["program_name"] = entry.meta.get("program_name", "program")
+        return out
+
+    # -- service verbs -----------------------------------------------------
+
+    async def _rpc_ping(self, params: dict) -> dict:
+        return {"pong": True, "uptime_sec": time.time() - self.started_at}
+
+    async def _rpc_stats(self, params: dict) -> dict:
+        serve_counters = {
+            name: value for name, value in OBS.counters().items()
+            if name.startswith("serve.")}
+        out = {
+            "server": dict(self.counts, uptime_sec=time.time()
+                           - self.started_at, port=self.port),
+            "pool": self.pool.stats(),
+            "store": self.store.stats(),
+            "obs": serve_counters,
+        }
+        if params.get("workers", True):
+            loop = asyncio.get_running_loop()
+            out["worker_sessions"] = await loop.run_in_executor(
+                None, self.pool.worker_stats)
+        return out
+
+    async def _rpc_record(self, params: dict) -> dict:
+        source = params.get("program")
+        if not source:
+            raise rpc.RpcError(rpc.INVALID_PARAMS,
+                               "record needs 'program' source text")
+        name = params.get("program_name", "program")
+        source_sha = self.store.put_source(source, name,
+                                           tags=params.get("tags", ()))
+        worker_params = {k: v for k, v in params.items()
+                        if k not in ("program", "tags")}
+        worker_params["source"] = source_sha
+        worker_params["program_name"] = name
+        result = await self._pool_call("record", worker_params)
+        pinball = Pinball.from_bytes(result.pop("pinball_raw"),
+                                     source="<recorded>")
+        key = self.store.put_pinball(
+            pinball, tags=params.get("tags", ()),
+            meta={"source_sha": source_sha, "program_name": name})
+        if OBS.enabled:
+            OBS.inc("serve.recordings")
+        return {"key": key, "source_sha": source_sha, **result}
+
+    async def _rpc_replay(self, params: dict) -> dict:
+        worker_params = self._recording_params(params)
+        return await self._pool_call("replay", worker_params,
+                                     key=worker_params["pinball"])
+
+    async def _rpc_slice(self, params: dict) -> dict:
+        worker_params = self._recording_params(params)
+        result = await self._pool_call("slice", worker_params,
+                                       key=worker_params["pinball"])
+        raw = result.pop("slice_pinball_raw", None)
+        if raw is not None:
+            slice_pb = Pinball.from_bytes(raw, source="<slice>")
+            sha = self.store.put_pinball(
+                slice_pb, tags=params.get("tags", ()),
+                meta={"source_sha": worker_params["source"],
+                      "program_name": worker_params["program_name"],
+                      "sliced_from": worker_params["pinball"]})
+            result["slice_pinball_key"] = sha
+        if OBS.enabled:
+            OBS.inc("serve.slices")
+        return result
+
+    async def _rpc_last_reads(self, params: dict) -> dict:
+        worker_params = self._recording_params(params)
+        return await self._pool_call("last_reads", worker_params,
+                                     key=worker_params["pinball"])
+
+    async def _rpc_races(self, params: dict) -> dict:
+        worker_params = self._recording_params(params)
+        return await self._pool_call("races", worker_params,
+                                     key=worker_params["pinball"])
+
+    async def _rpc_build(self, params: dict) -> dict:
+        worker_params = self._recording_params(params)
+        return await self._pool_call("build", worker_params,
+                                     key=worker_params["pinball"])
+
+    # -- store verbs -------------------------------------------------------
+
+    @staticmethod
+    def _b64decode(params: dict, field: str) -> bytes:
+        value = params.get(field)
+        if not isinstance(value, str):
+            raise rpc.RpcError(rpc.INVALID_PARAMS,
+                               "missing base64 %r parameter" % field)
+        try:
+            return base64.b64decode(value.encode("ascii"), validate=True)
+        except (binascii.Error, ValueError) as exc:
+            raise rpc.RpcError(rpc.INVALID_PARAMS,
+                               "%s is not valid base64: %s" % (field, exc))
+
+    async def _rpc_store_put(self, params: dict) -> dict:
+        data = self._b64decode(params, "blob")
+        sha, dedup = self.store.put(
+            data, kind=params.get("kind", "pinball"),
+            tags=params.get("tags", ()), meta=params.get("meta"))
+        return {"sha": sha, "deduplicated": dedup}
+
+    async def _rpc_store_put_recording(self, params: dict) -> dict:
+        """Upload program source + pinball blob as one linked recording."""
+        source = params.get("program")
+        if not isinstance(source, str) or not source:
+            raise rpc.RpcError(rpc.INVALID_PARAMS,
+                               "missing 'program' source text")
+        blob = self._b64decode(params, "pinball")
+        pinball = Pinball.from_bytes(blob, source="<upload>")
+        name = params.get("program_name") or pinball.program_name
+        tags = params.get("tags", ())
+        source_sha = self.store.put_source(source, name, tags=tags)
+        key = self.store.put_pinball(
+            pinball, tags=tags,
+            meta={"source_sha": source_sha, "program_name": name})
+        return {"key": key, "source_sha": source_sha,
+                "instructions": pinball.total_instructions,
+                "failure": (pinball.meta.get("failure") or {}).get("code")}
+
+    async def _rpc_store_get(self, params: dict) -> dict:
+        sha = params.get("sha") or params.get("key")
+        if not sha:
+            raise rpc.RpcError(rpc.INVALID_PARAMS, "missing 'sha'")
+        data = self.store.get(sha)
+        try:
+            entry = self.store.entry(sha).to_dict()
+        except KeyError:
+            entry = {"sha": sha}
+        return {"entry": entry,
+                "blob": base64.b64encode(data).decode("ascii")}
+
+    async def _rpc_store_list(self, params: dict) -> dict:
+        return {"entries": self.store.list(kind=params.get("kind"),
+                                           tag=params.get("tag"))}
+
+    async def _rpc_store_tag(self, params: dict) -> dict:
+        self.store.tag(params["sha"], *params.get("tags", []))
+        return {"sha": params["sha"],
+                "tags": self.store.entry(params["sha"]).tags}
+
+    async def _rpc_store_untag(self, params: dict) -> dict:
+        self.store.untag(params["sha"], *params.get("tags", []))
+        return {"sha": params["sha"],
+                "tags": self.store.entry(params["sha"]).tags}
+
+    async def _rpc_store_gc(self, params: dict) -> dict:
+        removed = self.store.gc()
+        # Cached worker sessions for removed recordings are stale now.
+        return {"removed": removed}
+
+    async def _rpc_store_stats(self, params: dict) -> dict:
+        return self.store.stats()
+
+
+def run_server(server: DebugServer,
+               port_file: Optional[str] = None,
+               announce=None) -> None:
+    """Blocking entry point: start, announce, serve until shutdown."""
+
+    async def _main() -> None:
+        await server.start()
+        if port_file:
+            with open(port_file, "w") as handle:
+                handle.write("%d\n" % server.port)
+        if announce is not None:
+            announce(server.host, server.port)
+        await server.serve_until_shutdown()
+
+    asyncio.run(_main())

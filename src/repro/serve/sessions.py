@@ -1,0 +1,236 @@
+"""Resident slicing sessions with a bounded LRU of built indexes.
+
+Opening a recording is the expensive part of every query: a traced
+replay (trace collection), the global-trace merge, and — under the
+default engine — the one-shot CSR dependence-index build.  The cyclic
+workflow then issues *many* queries against that state (paper Figure 2),
+so the :class:`SessionManager` keeps opened
+:class:`~repro.slicing.api.SlicingSession` objects resident behind an
+LRU bounded by **entry count** and **approximate bytes**.  A hot
+recording answers a slice query straight from the memoized index; a cold
+one pays one build and then stays hot until evicted.
+
+Also home to the canonical wire renderings (:func:`slice_payload`,
+:func:`race_payload`, :func:`replay_payload`): the worker pool and the
+in-process differential tests share these functions, which is what makes
+"served result == direct result" a byte-for-byte comparison.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+from repro.lang import compile_source
+from repro.obs.registry import OBS
+from repro.slicing.api import SlicingSession
+from repro.slicing.options import SliceOptions
+from repro.slicing.slice import DynamicSlice
+
+#: Rough per-trace-record resident cost (columns + index + memos), used
+#: for the byte bound.  Deliberately coarse: the bound exists to keep a
+#: runaway worker from swallowing the machine, not to be an allocator.
+BYTES_PER_TRACE_RECORD = 400
+
+DEFAULT_MAX_ENTRIES = 8
+DEFAULT_MAX_BYTES = 512 * 1024 * 1024
+
+SessionKey = Tuple[str, str, str]
+
+
+class SessionManager:
+    """LRU cache of opened slicing sessions over a pinball store."""
+
+    def __init__(self, store, max_entries: int = DEFAULT_MAX_ENTRIES,
+                 max_bytes: int = DEFAULT_MAX_BYTES,
+                 slice_options: Optional[SliceOptions] = None) -> None:
+        self.store = store
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self.slice_options = slice_options or SliceOptions()
+        self._sessions: "OrderedDict[SessionKey, Tuple[SlicingSession, int]]" \
+            = OrderedDict()
+        self._programs: Dict[str, object] = {}
+        self._bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # -- program cache -----------------------------------------------------
+
+    def program_for(self, source_sha: str, program_name: str):
+        """Compile (and cache) the stored source blob ``source_sha``."""
+        program = self._programs.get(source_sha)
+        if program is None:
+            source = self.store.get_source(source_sha)
+            program = compile_source(source, name=program_name)
+            self._programs[source_sha] = program
+        return program
+
+    # -- session LRU -------------------------------------------------------
+
+    def open(self, pinball_sha: str, source_sha: str,
+             program_name: str = "program",
+             index: Optional[str] = None) -> SlicingSession:
+        """The resident session for a stored recording (build on miss).
+
+        ``index`` selects the slice-query engine for cache-key purposes
+        (sessions built under different engines memoize differently);
+        the default is the manager's :class:`SliceOptions`.
+        """
+        options = self.slice_options
+        if index is not None and index != options.index:
+            options = dataclasses.replace(options, index=index)
+        key: SessionKey = (pinball_sha, source_sha, options.index)
+        cached = self._sessions.get(key)
+        if cached is not None:
+            self._sessions.move_to_end(key)
+            self.hits += 1
+            if OBS.enabled:
+                OBS.inc("serve.cache/hit")
+            return cached[0]
+        self.misses += 1
+        if OBS.enabled:
+            OBS.inc("serve.cache/miss")
+        with OBS.span("serve/session_build"):
+            program = self.program_for(source_sha, program_name)
+            pinball = self.store.get_pinball(pinball_sha)
+            session = SlicingSession(pinball, program, options)
+            if options.index == "ddg":
+                # Pre-build the dependence index so the first query is
+                # already hot — the whole point of keeping it resident.
+                session.slicer.ddg
+        cost = self._approx_bytes(session)
+        if self.max_entries > 0:
+            self._sessions[key] = (session, cost)
+            self._bytes += cost
+            self._evict()
+        return session
+
+    @staticmethod
+    def _approx_bytes(session: SlicingSession) -> int:
+        records = session.collector.store.total_records()
+        edges = session.slicer.index_stats().get("edge_count", 0)
+        return (records * BYTES_PER_TRACE_RECORD + edges * 24
+                + session.pinball.size_bytes(compress=False))
+
+    def _evict(self) -> None:
+        while self._sessions and (
+                len(self._sessions) > self.max_entries
+                or self._bytes > self.max_bytes):
+            _key, (_session, cost) = self._sessions.popitem(last=False)
+            self._bytes -= cost
+            self.evictions += 1
+            if OBS.enabled:
+                OBS.inc("serve.cache/evictions")
+
+    @property
+    def cached_bytes(self) -> int:
+        """Approximate bytes held by resident sessions (the LRU charge)."""
+        return self._bytes
+
+    def invalidate(self, pinball_sha: Optional[str] = None) -> int:
+        """Drop cached sessions (all, or those of one recording)."""
+        if pinball_sha is None:
+            dropped = len(self._sessions)
+            self._sessions.clear()
+            self._bytes = 0
+            return dropped
+        doomed = [key for key in self._sessions if key[0] == pinball_sha]
+        for key in doomed:
+            _session, cost = self._sessions.pop(key)
+            self._bytes -= cost
+        return len(doomed)
+
+    def stats(self) -> dict:
+        return {
+            "entries": len(self._sessions),
+            "max_entries": self.max_entries,
+            "approx_bytes": self._bytes,
+            "max_bytes": self.max_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "programs_cached": len(self._programs),
+        }
+
+
+# -- criterion resolution + canonical wire payloads ---------------------------
+
+def resolve_criterion(session: SlicingSession, params: dict):
+    """Map RPC slice params onto a concrete (tid, tindex) criterion.
+
+    Accepted forms (first match wins): an explicit ``criterion`` pair, a
+    global ``var`` (last write), a source ``line`` (last execution,
+    optionally per-``tid``) — defaulting to the recorded failure.
+    """
+    if params.get("criterion") is not None:
+        tid, tindex = params["criterion"]
+        return (int(tid), int(tindex))
+    if params.get("var"):
+        return session.last_write_to_global(params["var"],
+                                            tid=params.get("tid"))
+    if params.get("line") is not None:
+        return session.last_instance_at_line(int(params["line"]),
+                                             tid=params.get("tid"))
+    return session.failure_criterion()
+
+
+def slice_locations(session: SlicingSession, params: dict):
+    if params.get("var"):
+        return [session.global_location(params["var"])]
+    return None
+
+
+def slice_payload(session: SlicingSession, dslice: DynamicSlice) -> dict:
+    """Deterministic JSON rendering of a computed slice.
+
+    Sorted nodes/edges and explicit unresolved count: two independently
+    computed equal slices render to identical JSON bytes, which is the
+    contract the differential suite checks served results against.
+    """
+    nodes = sorted(
+        [node.tid, node.tindex, node.addr, node.line, node.func]
+        for node in dslice.nodes.values())
+    edges = sorted(
+        [list(consumer), list(producer), kind,
+         list(loc) if loc is not None else None]
+        for consumer, producer, kind, loc in dslice.edges)
+    statements = sorted(
+        ([func, line] for func, line in dslice.source_statements()),
+        key=lambda fl: (fl[0] or "", fl[1] or 0))
+    return {
+        "criterion": list(dslice.criterion),
+        "node_count": len(nodes),
+        "thread_count": len(dslice.threads()),
+        "nodes": nodes,
+        "edges": edges,
+        "unresolved_locations": dslice.stats.get("unresolved_locations", 0),
+        "source_statements": statements,
+    }
+
+
+def race_payload(races, program) -> dict:
+    """Deterministic JSON rendering of a race-detection result."""
+    rows = sorted(
+        ({"addr": race.addr, "kind": race.kind,
+          "first_pc": race.first_pc, "second_pc": race.second_pc,
+          "first_instance": list(race.first_instance),
+          "second_instance": list(race.second_instance),
+          "description": race.describe(program)}
+         for race in races),
+        key=lambda row: (row["addr"], row["kind"], row["first_pc"],
+                         row["second_pc"]))
+    return {"race_count": len(rows), "races": rows}
+
+
+def replay_payload(machine, result, pinball) -> dict:
+    return {
+        "steps": pinball.total_steps,
+        "instructions": pinball.total_instructions,
+        "reason": result.reason,
+        "output": list(machine.output),
+        "failure": result.failure,
+        "exit_code": machine.exit_code or 0,
+    }

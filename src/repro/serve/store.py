@@ -1,0 +1,348 @@
+"""Content-addressed pinball repository: sha256-keyed zlib blobs + manifest.
+
+The durable half of the debug service.  rr's engineering report stresses
+that record/replay artifacts only pay off when they are *durable,
+shareable objects*; this store gives pinballs (and the program sources
+needed to replay them) exactly that shape:
+
+* **Blobs** live under ``<root>/blobs/<sha[:2]>/<sha>.blob`` as
+  zlib-compressed payloads.  The key is the sha256 of the *uncompressed*
+  payload, so the address is the content: storing the same
+  program + schedule twice lands on the same key and the second put is a
+  no-op (dedup).  Blob writes are atomic (write-temp + ``os.replace``)
+  and idempotent.
+* **The manifest** (``<root>/manifest.json``) carries everything that is
+  *not* content: kind, tags, free-form metadata, sizes, creation time.
+  It is rewritten atomically (write-temp + ``os.replace``), so readers
+  never observe a torn manifest.  Worker processes never need it —
+  :meth:`PinballStore.get` derives the blob path from the key alone —
+  which is what lets the server own all manifest writes while the pool
+  reads blobs concurrently.
+* **Integrity**: every read decompresses and re-hashes.  Truncated,
+  bit-flipped or otherwise corrupt blobs surface as
+  :class:`~repro.pinplay.pinball.PinballFormatError` naming the on-disk
+  blob path.
+* **gc** removes untagged entries (and their blobs) plus any orphan
+  blob files on disk that the manifest no longer references.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.obs.registry import OBS
+from repro.pinplay.pinball import Pinball, PinballFormatError
+
+MANIFEST_NAME = "manifest.json"
+MANIFEST_VERSION = 1
+
+
+def _utcnow() -> str:
+    return time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+
+
+@dataclass
+class StoreEntry:
+    """One manifest row: everything about a blob that is not its content."""
+
+    sha: str
+    kind: str = "pinball"
+    tags: List[str] = field(default_factory=list)
+    meta: Dict[str, object] = field(default_factory=dict)
+    size: int = 0                 # uncompressed payload bytes
+    stored_size: int = 0          # zlib blob bytes on disk
+    created: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "sha": self.sha,
+            "kind": self.kind,
+            "tags": sorted(self.tags),
+            "meta": self.meta,
+            "size": self.size,
+            "stored_size": self.stored_size,
+            "created": self.created,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "StoreEntry":
+        return cls(sha=payload["sha"], kind=payload.get("kind", "pinball"),
+                   tags=list(payload.get("tags", [])),
+                   meta=dict(payload.get("meta", {})),
+                   size=int(payload.get("size", 0)),
+                   stored_size=int(payload.get("stored_size", 0)),
+                   created=payload.get("created", ""))
+
+
+class PinballStore:
+    """A content-addressed blob repository rooted at one directory."""
+
+    def __init__(self, root: str, create: bool = True) -> None:
+        self.root = os.path.abspath(root)
+        self.blob_root = os.path.join(self.root, "blobs")
+        self.manifest_path = os.path.join(self.root, MANIFEST_NAME)
+        if create:
+            os.makedirs(self.blob_root, exist_ok=True)
+        self._entries: Dict[str, StoreEntry] = {}
+        self._load_manifest()
+
+    # -- manifest ----------------------------------------------------------
+
+    def _load_manifest(self) -> None:
+        try:
+            with open(self.manifest_path) as handle:
+                payload = json.load(handle)
+        except FileNotFoundError:
+            return
+        except (OSError, ValueError) as exc:
+            raise PinballFormatError(
+                "%s: unreadable store manifest (%s)"
+                % (self.manifest_path, exc)) from exc
+        if (not isinstance(payload, dict)
+                or payload.get("manifest_version") != MANIFEST_VERSION):
+            raise PinballFormatError(
+                "%s: unsupported store manifest version %r"
+                % (self.manifest_path,
+                   payload.get("manifest_version")
+                   if isinstance(payload, dict) else None))
+        self._entries = {
+            sha: StoreEntry.from_dict(entry)
+            for sha, entry in payload.get("entries", {}).items()}
+
+    def reload(self) -> None:
+        """Re-read the manifest from disk (other-process writes)."""
+        self._entries = {}
+        self._load_manifest()
+
+    def _write_manifest(self) -> None:
+        """Atomic rewrite: serialize to a temp file, then ``os.replace``.
+
+        A crash mid-write leaves either the old manifest or the new one
+        on disk, never a torn hybrid; the temp file is cleaned up on
+        failure.
+        """
+        payload = {
+            "manifest_version": MANIFEST_VERSION,
+            "entries": {sha: entry.to_dict()
+                        for sha, entry in sorted(self._entries.items())},
+        }
+        tmp_path = self.manifest_path + ".tmp.%d" % os.getpid()
+        try:
+            with open(tmp_path, "w") as handle:
+                json.dump(payload, handle, indent=1, sort_keys=True)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_path, self.manifest_path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+
+    # -- blob addressing ---------------------------------------------------
+
+    def blob_path(self, sha: str) -> str:
+        return os.path.join(self.blob_root, sha[:2], sha + ".blob")
+
+    @staticmethod
+    def content_key(data: bytes) -> str:
+        return hashlib.sha256(data).hexdigest()
+
+    # -- writes ------------------------------------------------------------
+
+    def put(self, data: bytes, kind: str = "pinball",
+            tags: Iterable[str] = (), meta: Optional[dict] = None,
+            ) -> Tuple[str, bool]:
+        """Store ``data``; returns ``(sha, deduplicated)``.
+
+        Re-putting identical content merges tags/meta into the existing
+        entry and writes no second blob (``deduplicated=True``).
+        """
+        sha = self.content_key(data)
+        entry = self._entries.get(sha)
+        deduplicated = entry is not None
+        blob = zlib.compress(data, 6)
+        if entry is None:
+            path = self.blob_path(sha)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            if not os.path.exists(path):
+                tmp_path = path + ".tmp.%d" % os.getpid()
+                with open(tmp_path, "wb") as handle:
+                    handle.write(blob)
+                os.replace(tmp_path, path)
+            entry = StoreEntry(sha=sha, kind=kind, size=len(data),
+                               stored_size=len(blob), created=_utcnow())
+            self._entries[sha] = entry
+            if OBS.enabled:
+                OBS.add("serve.store/bytes_written", len(blob))
+        else:
+            if OBS.enabled:
+                OBS.inc("serve.store/dedup_hits")
+        for tag in tags:
+            if tag not in entry.tags:
+                entry.tags.append(tag)
+        if meta:
+            entry.meta.update(meta)
+        self._write_manifest()
+        if OBS.enabled:
+            OBS.inc("serve.store/puts")
+        return sha, deduplicated
+
+    def tag(self, sha: str, *tags: str) -> None:
+        entry = self._require(sha)
+        for tag in tags:
+            if tag not in entry.tags:
+                entry.tags.append(tag)
+        self._write_manifest()
+
+    def untag(self, sha: str, *tags: str) -> None:
+        entry = self._require(sha)
+        entry.tags = [t for t in entry.tags if t not in tags]
+        self._write_manifest()
+
+    def delete(self, sha: str) -> None:
+        self._require(sha)
+        del self._entries[sha]
+        try:
+            os.unlink(self.blob_path(sha))
+        except OSError:
+            pass
+        self._write_manifest()
+
+    def gc(self) -> List[str]:
+        """Remove untagged entries and orphan blob files; returns keys."""
+        removed = [sha for sha, entry in self._entries.items()
+                   if not entry.tags]
+        for sha in removed:
+            del self._entries[sha]
+            try:
+                os.unlink(self.blob_path(sha))
+            except OSError:
+                pass
+        # Orphan blobs: files on disk the manifest no longer references
+        # (e.g. a crash between blob write and manifest write).
+        for dirpath, _dirnames, filenames in os.walk(self.blob_root):
+            for filename in filenames:
+                if not filename.endswith(".blob"):
+                    continue
+                sha = filename[:-len(".blob")]
+                if sha not in self._entries:
+                    try:
+                        os.unlink(os.path.join(dirpath, filename))
+                    except OSError:
+                        pass
+                    if sha not in removed:
+                        removed.append(sha)
+        self._write_manifest()
+        if OBS.enabled:
+            OBS.add("serve.store/gc_removed", len(removed))
+        return removed
+
+    # -- reads -------------------------------------------------------------
+
+    def _require(self, sha: str) -> StoreEntry:
+        entry = self._entries.get(sha)
+        if entry is None:
+            raise KeyError("store has no entry %s" % sha)
+        return entry
+
+    def has(self, sha: str) -> bool:
+        return sha in self._entries or os.path.exists(self.blob_path(sha))
+
+    def entry(self, sha: str) -> StoreEntry:
+        return self._require(sha)
+
+    def get(self, sha: str) -> bytes:
+        """Read, decompress and *verify* the blob for ``sha``.
+
+        Works without the manifest (the path is derived from the key),
+        so pool workers can read blobs the server just wrote without a
+        manifest reload.  Any integrity failure raises
+        :class:`PinballFormatError` naming the blob path.
+        """
+        path = self.blob_path(sha)
+        try:
+            with open(path, "rb") as handle:
+                blob = handle.read()
+        except FileNotFoundError:
+            raise KeyError("store has no blob %s (expected at %s)"
+                           % (sha, path))
+        try:
+            data = zlib.decompress(blob)
+        except zlib.error as exc:
+            raise PinballFormatError(
+                "%s: corrupt store blob (zlib: %s)" % (path, exc)) from exc
+        actual = self.content_key(data)
+        if actual != sha:
+            raise PinballFormatError(
+                "%s: store blob content hash mismatch (manifest key %s, "
+                "content %s)" % (path, sha, actual))
+        if OBS.enabled:
+            OBS.inc("serve.store/gets")
+            OBS.add("serve.store/bytes_read", len(blob))
+        return data
+
+    def list(self, kind: Optional[str] = None,
+             tag: Optional[str] = None) -> List[dict]:
+        out = []
+        for sha in sorted(self._entries):
+            entry = self._entries[sha]
+            if kind is not None and entry.kind != kind:
+                continue
+            if tag is not None and tag not in entry.tags:
+                continue
+            out.append(entry.to_dict())
+        return out
+
+    def stats(self) -> dict:
+        by_kind: Dict[str, int] = {}
+        for entry in self._entries.values():
+            by_kind[entry.kind] = by_kind.get(entry.kind, 0) + 1
+        return {
+            "root": self.root,
+            "entries": len(self._entries),
+            "by_kind": by_kind,
+            "bytes_raw": sum(e.size for e in self._entries.values()),
+            "bytes_stored": sum(e.stored_size
+                                for e in self._entries.values()),
+        }
+
+    # -- pinball / source conveniences ------------------------------------
+
+    def put_pinball(self, pinball: Pinball, tags: Iterable[str] = (),
+                    meta: Optional[dict] = None) -> str:
+        """Store a pinball (uncompressed JSON payload; the store zlibs).
+
+        Content-addressing happens over the canonical uncompressed JSON,
+        so two recordings of the same program + schedule — byte-identical
+        payloads — deduplicate to one blob.
+        """
+        combined = dict(meta or {})
+        combined.setdefault("program_name", pinball.program_name)
+        combined.setdefault("kind_detail", pinball.kind)
+        combined.setdefault("instructions", pinball.total_instructions)
+        combined.setdefault(
+            "failure", (pinball.meta.get("failure") or {}).get("code"))
+        sha, _dedup = self.put(pinball.to_bytes(compress=False),
+                               kind="pinball", tags=tags, meta=combined)
+        return sha
+
+    def get_pinball(self, sha: str) -> Pinball:
+        data = self.get(sha)
+        return Pinball.from_bytes(data, source=self.blob_path(sha))
+
+    def put_source(self, source: str, program_name: str,
+                   tags: Iterable[str] = ()) -> str:
+        sha, _dedup = self.put(source.encode("utf-8"), kind="source",
+                               tags=tags, meta={"program_name": program_name})
+        return sha
+
+    def get_source(self, sha: str) -> str:
+        return self.get(sha).decode("utf-8")

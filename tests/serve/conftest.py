@@ -1,0 +1,75 @@
+"""Shared fixtures for the debug-service suites.
+
+The heavyweight pieces — a running TCP server, a recorded racy workload
+— are built once per module where possible; every fixture shuts its
+resources down deterministically so worker processes never outlive the
+test session.
+"""
+
+import threading
+from contextlib import contextmanager
+
+import pytest
+
+from repro.lang import compile_source
+from repro.pinplay import RegionSpec, record_region
+from repro.serve import DebugClient, DebugServer, run_server
+from repro.vm import RandomScheduler
+
+RACY_SOURCE = """
+int x;
+int bump(int unused) {
+    x = x + 1;
+    return 0;
+}
+int main() {
+    int a; int b;
+    a = spawn(bump, 0);
+    b = spawn(bump, 0);
+    join(a);
+    join(b);
+    print(x);
+    assert(x == 2, 9);
+    return 0;
+}
+"""
+
+
+def record_racy_pinball():
+    """A failing recording of the racy demo program (seed search)."""
+    program = compile_source(RACY_SOURCE, name="racy")
+    for seed in range(64):
+        pinball = record_region(
+            program, RandomScheduler(seed=seed, switch_prob=0.3),
+            RegionSpec())
+        if pinball.meta.get("failure"):
+            return program, pinball
+    raise AssertionError("no failing schedule in 64 seeds")
+
+
+@contextmanager
+def running_server(store_root, **kwargs):
+    """A live :class:`DebugServer` on a free port, torn down on exit."""
+    kwargs.setdefault("workers", 2)
+    kwargs.setdefault("request_timeout", 60.0)
+    server = DebugServer(str(store_root), port=0, **kwargs)
+    ready = threading.Event()
+    thread = threading.Thread(
+        target=run_server, args=(server,),
+        kwargs={"announce": lambda host, port: ready.set()}, daemon=True)
+    thread.start()
+    assert ready.wait(20), "server did not come up"
+    try:
+        yield server
+    finally:
+        try:
+            with DebugClient(port=server.port, timeout=10) as client:
+                client.shutdown()
+        except OSError:
+            pass
+        thread.join(20)
+
+
+@pytest.fixture(scope="module")
+def racy_recording():
+    return record_racy_pinball()

@@ -1,0 +1,203 @@
+"""Protocol robustness: hostile bytes on the wire never crash the server.
+
+Satellite spec, verbatim: feed malformed JSON-RPC (truncated JSON,
+wrong types, oversized payloads, unknown methods) at a live server and
+assert every one yields a structured error response — never an unhandled
+exception or a wedged connection — and that the request-size cap is
+enforced.
+
+Two levels: pure-function fuzz of :func:`repro.serve.rpc.parse_request`
+(fast, hundreds of seeded mutations) and socket-level fuzz against a
+real listening :class:`DebugServer`.
+"""
+
+import json
+import random
+import socket
+
+import pytest
+
+from repro.serve import DebugClient, rpc
+
+from tests.serve.conftest import running_server
+
+# ---------------------------------------------------------------------------
+# Level 1: parse_request never raises anything but RpcError.
+# ---------------------------------------------------------------------------
+
+MALFORMED_LINES = [
+    b"",
+    b"\n",
+    b"not json at all",
+    b"{",
+    b"{}",
+    b"[]",
+    b"[1, 2, 3]",
+    b'"just a string"',
+    b"42",
+    b"null",
+    b"true",
+    b'{"jsonrpc": "2.0"}',
+    b'{"method": 42}',
+    b'{"method": null}',
+    b'{"method": ["ping"]}',
+    b'{"method": "ping", "params": 7}',
+    b'{"method": "ping", "params": [1]}',
+    b'{"method": "ping", "params": "x"}',
+    b'{"method": "ping", "id": {"a": 1}}',
+    b'{"method": "ping", "id": [1]}',
+    b'{"method": "ping"',                      # truncated object
+    b'{"method": "ping", "params": {"a": ',    # truncated mid-value
+    b"\xff\xfe invalid utf8 \x80",
+    b'{"method": "\xc3"}',                     # broken utf-8 in value
+]
+
+
+class TestParseRequest:
+    @pytest.mark.parametrize("line", MALFORMED_LINES,
+                             ids=range(len(MALFORMED_LINES)))
+    def test_malformed_line_raises_only_rpcerror(self, line):
+        with pytest.raises(rpc.RpcError) as excinfo:
+            rpc.parse_request(line)
+        assert isinstance(excinfo.value.code, int)
+        assert excinfo.value.message
+
+    def test_oversized_line_is_rejected_with_typed_code(self):
+        line = json.dumps({"method": "ping",
+                           "params": {"pad": "x" * 1024}}).encode()
+        with pytest.raises(rpc.RpcError) as excinfo:
+            rpc.parse_request(line, max_bytes=128)
+        assert excinfo.value.code == rpc.OVERSIZED_REQUEST
+
+    def test_valid_request_parses(self):
+        line = rpc.encode_message(rpc.make_request("ping", {}, req_id=1))
+        request = rpc.parse_request(line)
+        assert request == {"method": "ping", "params": {}, "id": 1}
+
+    def test_seeded_mutation_fuzz(self):
+        """Random byte mutations of a valid frame: parse either succeeds
+        or raises RpcError — nothing else escapes."""
+        rng = random.Random(0xD2DEB)
+        base = rpc.encode_message(
+            rpc.make_request("slice", {"key": "ab" * 32, "count": 3},
+                             req_id=9)).rstrip(b"\n")
+        for _ in range(500):
+            mutated = bytearray(base)
+            for _ in range(rng.randint(1, 6)):
+                choice = rng.random()
+                if choice < 0.4 and mutated:            # flip a byte
+                    pos = rng.randrange(len(mutated))
+                    mutated[pos] ^= 1 << rng.randrange(8)
+                elif choice < 0.7 and mutated:          # delete a span
+                    pos = rng.randrange(len(mutated))
+                    del mutated[pos:pos + rng.randint(1, 9)]
+                else:                                    # insert junk
+                    pos = rng.randrange(len(mutated) + 1)
+                    mutated[pos:pos] = bytes(
+                        rng.randrange(256) for _ in range(rng.randint(1, 5)))
+            try:
+                request = rpc.parse_request(bytes(mutated))
+            except rpc.RpcError:
+                continue
+            assert isinstance(request["method"], str)
+            assert isinstance(request["params"], dict)
+
+
+# ---------------------------------------------------------------------------
+# Level 2: a live server survives the same hostility on a real socket.
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def fuzz_server(tmp_path_factory):
+    root = tmp_path_factory.mktemp("fuzz-store")
+    with running_server(root / "store", workers=1,
+                        max_request_bytes=64 * 1024) as server:
+        yield server
+
+
+def send_raw(server, payload: bytes, expect_reply: bool = True):
+    """One raw connection: write ``payload``, read at most one line."""
+    with socket.create_connection(("127.0.0.1", server.port),
+                                  timeout=10) as sock:
+        sock.sendall(payload)
+        if not expect_reply:
+            return b""
+        sock.settimeout(10)
+        handle = sock.makefile("rb")
+        return handle.readline()
+
+
+def assert_alive(server):
+    with DebugClient(port=server.port, timeout=10) as client:
+        assert client.ping()["pong"] is True
+
+
+class TestServerFuzz:
+    @pytest.mark.parametrize("line", [
+        pytest.param(b"garbage\n", id="not-json"),
+        pytest.param(b'{"method": 42}\n', id="non-string-method"),
+        pytest.param(b'{"method": "ping", "params": [1]}\n',
+                     id="list-params"),
+        pytest.param(b'{"method": "ping"\n', id="truncated-json"),
+        pytest.param(b"\xff\xfe\x80\n", id="invalid-utf8"),
+    ])
+    def test_malformed_gets_structured_error(self, fuzz_server, line):
+        reply = send_raw(fuzz_server, line)
+        response = json.loads(reply)
+        assert response["error"]["code"] < 0
+        assert response["error"]["message"]
+        assert_alive(fuzz_server)
+
+    def test_unknown_method_is_method_not_found(self, fuzz_server):
+        frame = rpc.encode_message(
+            rpc.make_request("no.such.verb", {}, req_id=3))
+        response = json.loads(send_raw(fuzz_server, frame))
+        assert response["error"]["code"] == rpc.METHOD_NOT_FOUND
+        assert response["id"] == 3
+
+    def test_wrong_param_types_are_invalid_params(self, fuzz_server):
+        frame = rpc.encode_message(
+            rpc.make_request("store.get", {"sha": 12345}, req_id=4))
+        response = json.loads(send_raw(fuzz_server, frame))
+        assert response["error"]["code"] in (rpc.INVALID_PARAMS,
+                                             rpc.NOT_FOUND)
+        assert_alive(fuzz_server)
+
+    def test_oversized_request_rejected_connection_level(self, fuzz_server):
+        pad = "x" * (2 * 64 * 1024)
+        frame = rpc.encode_message(
+            rpc.make_request("ping", {"pad": pad}, req_id=5))
+        reply = send_raw(fuzz_server, frame)
+        if reply:   # server may answer with the typed error before closing
+            response = json.loads(reply)
+            assert response["error"]["code"] == rpc.OVERSIZED_REQUEST
+        assert_alive(fuzz_server)
+
+    def test_half_request_then_disconnect(self, fuzz_server):
+        """A client that sends half a frame and vanishes leaves no mark."""
+        with socket.create_connection(("127.0.0.1", fuzz_server.port),
+                                      timeout=10) as sock:
+            sock.sendall(b'{"method": "pi')   # no newline, then RST-ish close
+        assert_alive(fuzz_server)
+
+    def test_many_hostile_connections_in_a_row(self, fuzz_server):
+        rng = random.Random(77)
+        for index in range(25):
+            junk = bytes(rng.randrange(1, 256) for _ in range(
+                rng.randint(1, 120))) + b"\n"
+            try:
+                send_raw(fuzz_server, junk)
+            except (OSError, ValueError):
+                pass   # a closed or empty reply is fine — a crash is not
+        assert_alive(fuzz_server)
+
+    def test_blank_lines_are_skipped(self, fuzz_server):
+        with socket.create_connection(("127.0.0.1", fuzz_server.port),
+                                      timeout=10) as sock:
+            handle = sock.makefile("rwb")
+            frame = rpc.encode_message(
+                rpc.make_request("ping", {}, req_id=6))
+            handle.write(b"\n\n" + frame)
+            handle.flush()
+            response = json.loads(handle.readline())
+            assert response["result"]["pong"] is True

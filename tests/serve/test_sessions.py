@@ -1,0 +1,124 @@
+"""Session-manager tests: LRU behaviour by entry count and by bytes.
+
+A resident session is the expensive artifact (compiled program + traced
+replay + built DDG index); the manager's job is to keep hot ones and
+evict cold ones.  These tests pin down hit/miss accounting, eviction
+order, the byte bound, and the cache-off mode (``max_entries=0``).
+"""
+
+import pytest
+
+from repro.serve import PinballStore, SessionManager
+
+from tests.support.progen import build_program, generate_source, \
+    record_pinball
+
+
+@pytest.fixture
+def store(tmp_path):
+    return PinballStore(str(tmp_path / "store"))
+
+
+def stash(store, seed):
+    """Record progen ``seed`` and store both pinball and source."""
+    program = build_program(seed)
+    pinball = record_pinball(program, seed)
+    source_sha = store.put_source(generate_source(seed), program.name,
+                                  tags=("t",))
+    pinball_sha = store.put_pinball(pinball, tags=("t",),
+                                    meta={"source_sha": source_sha})
+    return pinball_sha, source_sha, program.name
+
+
+class TestHitMiss:
+    def test_open_twice_is_one_miss_one_hit(self, store):
+        key = stash(store, 1)
+        manager = SessionManager(store, max_entries=4)
+        first = manager.open(*key)
+        second = manager.open(*key)
+        assert first is second
+        assert (manager.misses, manager.hits) == (1, 1)
+
+    def test_open_builds_usable_session(self, store):
+        key = stash(store, 2)
+        manager = SessionManager(store, max_entries=4)
+        session = manager.open(*key)
+        # The DDG index was pre-built and the session answers queries.
+        assert session.slicer.ddg is not None
+        criterion = session.last_reads(1)
+        assert criterion is not None
+
+    def test_distinct_keys_are_distinct_sessions(self, store):
+        key_a = stash(store, 3)
+        key_b = stash(store, 4)
+        manager = SessionManager(store, max_entries=4)
+        assert manager.open(*key_a) is not manager.open(*key_b)
+        assert manager.misses == 2
+
+
+class TestEntryEviction:
+    def test_lru_evicts_least_recently_used(self, store):
+        keys = [stash(store, seed) for seed in (10, 11, 12)]
+        manager = SessionManager(store, max_entries=2)
+        manager.open(*keys[0])
+        manager.open(*keys[1])
+        manager.open(*keys[0])        # refresh 0: now 1 is the LRU
+        manager.open(*keys[2])        # evicts 1
+        assert manager.evictions == 1
+        manager.open(*keys[0])        # still resident
+        assert manager.hits == 2
+        manager.open(*keys[1])        # gone: rebuild
+        assert manager.misses == 4
+
+    def test_cache_disabled_always_misses(self, store):
+        key = stash(store, 13)
+        manager = SessionManager(store, max_entries=0)
+        first = manager.open(*key)
+        second = manager.open(*key)
+        assert first is not second
+        assert manager.hits == 0
+        assert manager.misses == 2
+
+
+class TestByteEviction:
+    def test_byte_bound_evicts(self, store):
+        keys = [stash(store, seed) for seed in (20, 21)]
+        manager = SessionManager(store, max_entries=16)
+        manager.open(*keys[0])
+        one_session_bytes = manager.cached_bytes
+        assert one_session_bytes > 0
+        # A bound that fits the first resident session exactly: adding
+        # any second session must push the cache over and evict.
+        tight = SessionManager(store, max_entries=16,
+                               max_bytes=one_session_bytes)
+        tight.open(*keys[0])
+        assert tight.evictions == 0
+        tight.open(*keys[1])
+        assert tight.evictions >= 1
+        assert tight.cached_bytes <= one_session_bytes
+
+    def test_stats_shape(self, store):
+        key = stash(store, 22)
+        manager = SessionManager(store, max_entries=2)
+        manager.open(*key)
+        stats = manager.stats()
+        assert stats["entries"] == 1
+        assert stats["misses"] == 1
+        assert stats["approx_bytes"] > 0
+        assert stats["max_entries"] == 2
+
+
+class TestInvalidate:
+    def test_invalidate_drops_resident_session(self, store):
+        key = stash(store, 30)
+        manager = SessionManager(store, max_entries=4)
+        first = manager.open(*key)
+        manager.invalidate(key[0])
+        second = manager.open(*key)
+        assert first is not second
+        assert manager.misses == 2
+
+    def test_unknown_pinball_raises_keyerror(self, store):
+        manager = SessionManager(store, max_entries=4)
+        with pytest.raises(KeyError):
+            manager.open("0" * 64, "1" * 64, "nope")

@@ -1,0 +1,158 @@
+"""Worker-pool tests: compute ops, backpressure, timeouts, crash recovery.
+
+The pool's contract, verbatim from the spec: per-request timeout,
+bounded queue with explicit backpressure rejection (never unbounded
+blocking), and a worker crash mid-request is detected, the worker
+respawned, and the request retried once before surfacing an error.
+"""
+
+import time
+
+import pytest
+
+from repro.serve import (PinballStore, PoolBusyError, PoolTimeoutError,
+                         WorkerCrashError, WorkerPool)
+from repro.serve.workers import RemoteOpError
+
+from tests.support.progen import build_program, generate_source, \
+    record_pinball
+
+SEED = 7
+
+
+@pytest.fixture(scope="module")
+def stocked_store(tmp_path_factory):
+    """A store holding one progen recording, shared by the module."""
+    root = str(tmp_path_factory.mktemp("pool-store"))
+    store = PinballStore(root)
+    program = build_program(SEED)
+    pinball = record_pinball(program, SEED)
+    source_sha = store.put_source(generate_source(SEED), program.name,
+                                  tags=("t",))
+    pinball_sha = store.put_pinball(pinball, tags=("t",),
+                                    meta={"source_sha": source_sha})
+    return store, pinball_sha, source_sha, program.name
+
+
+@pytest.fixture(scope="module")
+def pool(stocked_store):
+    store, _, _, _ = stocked_store
+    with WorkerPool(store.root, workers=2, queue_limit=8,
+                    default_timeout=60) as running:
+        yield running
+
+
+class TestOps:
+    def test_ping(self, pool):
+        result = pool.call("ping", {})
+        assert result["pong"] is True
+        assert result["pid"] != 0
+
+    def test_replay_op(self, pool, stocked_store):
+        _store, pinball_sha, source_sha, name = stocked_store
+        result = pool.call("replay", {
+            "pinball": pinball_sha, "source": source_sha,
+            "program_name": name})
+        assert isinstance(result["reason"], str) and result["reason"]
+        assert result["instructions"] > 0
+
+    def test_slice_op_and_affinity(self, pool, stocked_store):
+        _store, pinball_sha, source_sha, name = stocked_store
+        params = {"pinball": pinball_sha, "source": source_sha,
+                  "program_name": name, "count": 3}
+        first = pool.call("last_reads", params, key=pinball_sha)
+        second = pool.call("last_reads", params, key=pinball_sha)
+        assert first == second
+        # Key affinity: the repeat query hit one worker's resident LRU.
+        stats = pool.worker_stats()
+        hits = sum(w["sessions"]["hits"] for w in stats)
+        assert hits >= 1
+
+    def test_unknown_op_is_remote_error(self, pool):
+        with pytest.raises(RemoteOpError) as excinfo:
+            pool.call("no_such_op", {})
+        assert "no_such_op" in str(excinfo.value)
+
+    def test_remote_exception_propagates_type_name(self, pool):
+        with pytest.raises(RemoteOpError) as excinfo:
+            pool.call("replay", {"pinball": "0" * 64,
+                                 "source": "1" * 64,
+                                 "program_name": "ghost"})
+        assert excinfo.value.error_type == "KeyError"
+
+
+class TestBackpressure:
+    def test_queue_limit_rejects_not_blocks(self, stocked_store):
+        store, _, _, _ = stocked_store
+        with WorkerPool(store.root, workers=1, queue_limit=2,
+                        default_timeout=30) as pool:
+            # Occupy the worker, then fill the bounded queue.
+            futures = [pool.submit("__sleep__", {"sec": 1.0})
+                       for _ in range(2)]
+            started = time.monotonic()
+            with pytest.raises(PoolBusyError):
+                for _ in range(8):
+                    futures.append(
+                        pool.submit("__sleep__", {"sec": 1.0}))
+            # Rejection was immediate — no hidden blocking.
+            assert time.monotonic() - started < 0.5
+            assert pool.stats()["rejected"] >= 1
+            for future in futures:
+                future.result(timeout=30)
+
+    def test_recovers_after_drain(self, stocked_store):
+        store, _, _, _ = stocked_store
+        with WorkerPool(store.root, workers=1, queue_limit=1,
+                        default_timeout=30) as pool:
+            future = pool.submit("__sleep__", {"sec": 0.2})
+            future.result(timeout=10)
+            assert pool.call("ping", {})["pong"] is True
+
+
+class TestTimeout:
+    def test_slow_request_times_out(self, stocked_store):
+        store, _, _, _ = stocked_store
+        with WorkerPool(store.root, workers=1, queue_limit=8,
+                        default_timeout=30) as pool:
+            with pytest.raises(PoolTimeoutError):
+                pool.call("__sleep__", {"sec": 5.0}, timeout=0.3)
+            assert pool.stats()["timeouts"] == 1
+            # The late result is discarded, not misdelivered: the next
+            # call gets its own answer.
+            assert pool.call("ping", {}, timeout=30)["pong"] is True
+
+
+class TestCrashRecovery:
+    def test_crash_is_requeued_once_then_succeeds(self, stocked_store):
+        """``__crash__`` with ``once`` kills the worker on first
+        delivery only; the retry (on the respawned worker) succeeds."""
+        store, _, _, _ = stocked_store
+        with WorkerPool(store.root, workers=1, queue_limit=8,
+                        default_timeout=60) as pool:
+            marker = str(store.root) + "/crash-once"
+            result = pool.call("__crash__", {"once_path": marker},
+                               timeout=30)
+            assert result["ok"] is True
+            assert pool.stats()["crashes"] == 1
+            assert pool.stats()["requeued"] == 1
+
+    def test_repeated_crash_surfaces_worker_crash_error(
+            self, stocked_store):
+        store, _, _, _ = stocked_store
+        with WorkerPool(store.root, workers=1, queue_limit=8,
+                        default_timeout=60) as pool:
+            with pytest.raises(WorkerCrashError):
+                pool.call("__crash__", {}, timeout=30)
+            assert pool.stats()["crashes"] >= 2
+
+    def test_pool_usable_after_crash(self, stocked_store):
+        store, pinball_sha, source_sha, name = stocked_store
+        with WorkerPool(store.root, workers=2, queue_limit=8,
+                        default_timeout=60) as pool:
+            with pytest.raises(WorkerCrashError):
+                pool.call("__crash__", {}, timeout=30)
+            # Respawned workers still serve real requests.
+            result = pool.call("replay", {
+                "pinball": pinball_sha, "source": source_sha,
+                "program_name": name}, timeout=60)
+            assert result["instructions"] > 0
