@@ -54,7 +54,9 @@ from repro.slicing import SliceOptions, SlicingSession
 from repro.vm import RandomScheduler
 from repro.workloads import get_parsec, get_specomp
 
-SMOKE = os.environ.get("REPRO_PERF_SMOKE", "") not in ("", "0")
+from repro.config import perf_smoke
+
+SMOKE = perf_smoke()
 
 #: (suite, kernel, build kwargs) — kept modest so the full benchmark stays
 #: under a couple of minutes while still retiring ~10^5 instructions per

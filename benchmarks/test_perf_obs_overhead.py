@@ -30,7 +30,9 @@ import os
 import subprocess
 import sys
 
-SMOKE = os.environ.get("REPRO_PERF_SMOKE", "") not in ("", "0")
+from repro.config import perf_smoke
+
+SMOKE = perf_smoke()
 
 REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__),
                                          os.pardir))

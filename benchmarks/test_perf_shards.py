@@ -1,0 +1,168 @@
+"""Region-sharded slicing-session build — parallel trace vs serial.
+
+The tentpole claim of :mod:`repro.slicing.shard` is twofold and this
+benchmark measures both halves over one recorded PARSEC region:
+
+* **Correctness (asserted in every mode)** — the sharded build produces
+  the *same* session as the serial pipeline: same trace record count,
+  same verified save/restore pairs, same slice for the same criterion.
+  The deep byte-level equivalence lives in
+  ``tests/slicing/test_shard_differential.py``; the benchmark re-checks
+  the observable fingerprint on a workload-sized region.
+* **Speed (asserted only where it can exist)** — with ``shards=K`` the
+  traced replay (the expensive phase) runs in ``K`` worker processes
+  over region windows while the parent scouts boundaries and absorbs
+  finished columnar shards.  The *trace* phase is the parallel part;
+  the DDG build stays a serial (fragmented) parent-side pass, so the
+  combined trace+DDG speedup is Amdahl-bounded.  Bars: trace-phase
+  speedup at 4 shards >= 1.5x on >= 4 CPUs and >= 2x on >= 8 CPUs
+  (4 workers + scout + absorber stop contending); smoke mode and
+  1-CPU runners print the measured ratios without asserting.
+
+Each sharded row carries an ``obs`` block harvested from an *untimed*
+instrumented re-run (scout/window/stitch spans, seam counters), so the
+timed sections stay obs-free.  Results go to ``BENCH_shards.json`` at
+the repo root.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_perf_shards.py -q -s
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+import time
+
+from repro.config import perf_smoke
+from repro.obs.registry import OBS
+from repro.pinplay import RegionSpec, record_region
+from repro.slicing import SliceOptions, SlicingSession
+from repro.vm import RandomScheduler
+from repro.workloads import get_parsec
+
+from benchmarks.harness import available_cpus, check_parallel_bar, timed
+
+SMOKE = perf_smoke()
+CPUS = available_cpus()
+
+KERNEL = "blackscholes"
+if SMOKE:
+    PARAMS = {"units": 40, "nthreads": 2}
+else:
+    PARAMS = {"units": 1500, "nthreads": 4}
+
+SHARD_COUNTS = (1, 2, 4)
+BENCH_PATH = os.path.join(os.path.dirname(__file__), os.pardir,
+                          "BENCH_shards.json")
+
+
+def _record_workload():
+    program = get_parsec(KERNEL).build(**PARAMS)
+    pinball = record_region(
+        program, RandomScheduler(seed=5, switch_prob=0.05), RegionSpec())
+    return program, pinball
+
+
+def _fingerprint(session, dslice) -> dict:
+    """The observable session identity the sharded build must preserve."""
+    return {
+        "trace_records": session.collector.store.total_records(),
+        "verified_pairs": session.collector.save_restore.pair_count,
+        "cfg_refinements": session.collector.registry.refinements,
+        "slice_nodes": len(dslice.nodes),
+        "slice_node_set": sorted(dslice.nodes),
+    }
+
+
+def _measure(program, pinball, shards: int) -> dict:
+    gc.collect()
+    started = time.perf_counter()
+    session = SlicingSession(pinball, program, SliceOptions(shards=shards))
+    build_wall = time.perf_counter() - started
+    criterion = session.last_reads(1)[0]
+    dslice, first_slice_time = timed(session.slice_for, criterion)
+
+    row = {
+        "phase": "session_build",
+        "shards": shards,
+        "build_wall_sec": build_wall,
+        "trace_time_sec": session.trace_time,
+        "preprocess_time_sec": session.preprocess_time,
+        "ddg_first_slice_sec": first_slice_time,
+        "trace_ddg_sec": session.trace_time + first_slice_time,
+        "fingerprint": _fingerprint(session, dslice),
+    }
+    if session.shard_plan is not None:
+        plan = session.shard_plan.to_dict()
+        plan.pop("boundaries", None)    # bulky, derivable from windows
+        row["shard_plan"] = plan
+        # Untimed instrumented re-run for the obs block (scout/stitch
+        # spans, per-seam carry counters, worker window spans).
+        with OBS.scope(enabled=True):
+            SlicingSession(pinball, program, SliceOptions(shards=shards))
+            snapshot = OBS.snapshot()
+        row["obs"] = {
+            "counters": {name: value
+                         for name, value in snapshot["counters"].items()
+                         if "shard" in name},
+            "spans": {name: round(span["total_sec"], 4)
+                      for name, span in snapshot.get("spans", {}).items()
+                      if "shard" in name},
+        }
+    return row
+
+
+def test_perf_shards():
+    program, pinball = _record_workload()
+    rows = [_measure(program, pinball, shards) for shards in SHARD_COUNTS]
+    by_shards = {row["shards"]: row for row in rows}
+
+    # Correctness fingerprint: asserted in every mode, on every machine.
+    serial = by_shards[1]
+    for shards in SHARD_COUNTS[1:]:
+        row = by_shards[shards]
+        assert row["shard_plan"]["fallback"] is None, row["shard_plan"]
+        assert row["fingerprint"] == serial["fingerprint"], (
+            "sharded build diverged at shards=%d" % shards)
+
+    speedups = {}
+    for shards in SHARD_COUNTS[1:]:
+        row = by_shards[shards]
+        speedups["trace_%d_shards" % shards] = (
+            serial["trace_time_sec"] / row["trace_time_sec"])
+        speedups["trace_ddg_%d_shards" % shards] = (
+            serial["trace_ddg_sec"] / row["trace_ddg_sec"])
+
+    report = {
+        "schema_version": 1,
+        "smoke": SMOKE,
+        "cpus": CPUS,
+        "kernel": KERNEL,
+        "params": PARAMS,
+        "region_steps": pinball.total_steps,
+        "phases": rows,
+        "speedups": speedups,
+    }
+    path = os.path.abspath(BENCH_PATH)
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+
+    print("\nshard speedups over serial (mode=%s): "
+          "trace %.2fx / %.2fx at 2/4 shards, trace+DDG %.2fx at 4"
+          % (by_shards[4]["shard_plan"]["mode"],
+             speedups["trace_2_shards"], speedups["trace_4_shards"],
+             speedups["trace_ddg_4_shards"]))
+    print("wrote %s" % path)
+
+    check_parallel_bar("sharded trace build (4 shards)",
+                       speedups["trace_4_shards"], 1.5,
+                       cpus_required=4, smoke=SMOKE, cpus=CPUS)
+    check_parallel_bar("sharded trace build (4 shards)",
+                       speedups["trace_4_shards"], 2.0,
+                       cpus_required=8, smoke=SMOKE, cpus=CPUS)
+    check_parallel_bar("sharded trace+DDG build (4 shards)",
+                       speedups["trace_ddg_4_shards"], 1.2,
+                       cpus_required=8, smoke=SMOKE, cpus=CPUS)

@@ -50,7 +50,9 @@ from repro.slicing import BackwardSlicer, SliceOptions, SlicingSession
 from repro.vm import RandomScheduler
 from repro.workloads import get_parsec, get_specomp
 
-SMOKE = os.environ.get("REPRO_PERF_SMOKE", "") not in ("", "0")
+from repro.config import perf_smoke
+
+SMOKE = perf_smoke()
 
 if SMOKE:
     WORKLOADS = [

@@ -26,13 +26,22 @@ builds on:
 
 Quickstart::
 
-    from repro import (compile_source, record_region, RegionSpec,
+    from repro import (compile_source, record, RegionSpec,
                        RandomScheduler, SlicingSession, DrDebugSession)
 
     program = compile_source(MINI_C_SOURCE)
-    pinball = record_region(program, RandomScheduler(seed=7), RegionSpec())
+    pinball = record(program, RandomScheduler(seed=7), RegionSpec())
     session = SlicingSession(pinball, program)
     dslice = session.slice_for(session.failure_criterion())
+
+This module is the *stable* public surface: everything in ``__all__``
+is blessed, everything else should be imported from its subpackage and
+may move.  Configuration (engine choice, slice index, shard count,
+observability, pool width) resolves through :mod:`repro.config` with
+one precedence rule: explicit argument > CLI flag > ``REPRO_*``
+environment variable > default.  A few pre-1.0 spellings remain
+importable as deprecated aliases (module ``__getattr__`` shims that
+emit :class:`DeprecationWarning`); see ``_DEPRECATED_ALIASES``.
 """
 
 __version__ = "1.0.0"
@@ -60,14 +69,23 @@ from repro.slicing import DynamicSlice, SliceOptions, SlicingSession
 from repro.debugger import DrDebugCLI, DrDebugSession, SliceNavigator
 from repro.maple import expose_and_record
 from repro.detect import detect_races
+from repro.serve import DebugClient
+from repro.obs import OBS
+from repro import config
+
+#: Blessed short name for the logger entry point: ``record(program,
+#: scheduler, region)`` — the paper's "log a region pinball" step.
+record = record_region
 
 __all__ = [
     "AssertionFailure",
     "CompileError",
+    "DebugClient",
     "DrDebugCLI",
     "DrDebugSession",
     "DynamicSlice",
     "Machine",
+    "OBS",
     "Pinball",
     "Program",
     "RandomScheduler",
@@ -82,11 +100,34 @@ __all__ = [
     "VMError",
     "assemble",
     "compile_source",
+    "config",
     "detect_races",
     "disassemble",
     "expose_and_record",
+    "record",
     "record_region",
     "relog",
     "replay",
     "__version__",
 ]
+
+#: Deprecated pre-1.0 spellings, served lazily with a warning.  Kept one
+#: release so downstream scripts keep importing; new code should use the
+#: right-hand names (all in ``__all__``).
+_DEPRECATED_ALIASES = {
+    "record_pinball": "record_region",
+    "replay_pinball": "replay",
+    "SliceSession": "SlicingSession",
+    "races": "detect_races",
+}
+
+
+def __getattr__(name: str):
+    """Module-level shim resolving :data:`_DEPRECATED_ALIASES`."""
+    target = _DEPRECATED_ALIASES.get(name)
+    if target is not None:
+        import warnings
+        warnings.warn("repro.%s is deprecated; use repro.%s"
+                      % (name, target), DeprecationWarning, stacklevel=2)
+        return globals()[target]
+    raise AttributeError("module 'repro' has no attribute %r" % name)

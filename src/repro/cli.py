@@ -28,6 +28,7 @@ import os
 import sys
 from typing import List, Optional, Sequence
 
+from repro import config
 from repro.debugger import DrDebugCLI, DrDebugSession
 from repro.detect import detect_races
 from repro.isa import disassemble
@@ -145,25 +146,35 @@ def cmd_slice(args) -> int:
     option_kwargs = dict(prune_save_restore=not args.no_prune,
                          refine_cfg=not args.no_refine)
     if args.index:
-        option_kwargs["index"] = args.index
+        option_kwargs["index"] = config.slice_index(cli=args.index)
+    if args.shards is not None:
+        option_kwargs["shards"] = config.slice_shards(cli=args.shards)
     session = SlicingSession(pinball, program, SliceOptions(**option_kwargs))
     if args.var:
         dslice = session.slice_for_global(args.var)
     else:
         dslice = session.slice_for(session.failure_criterion())
-    print("slice: %d instances, %d threads" % (
-        len(dslice), len(dslice.threads())))
     stats = session.stats()
-    print("[index=%s trace=%.3fs build=%.3fs query=%.3fs edges=%d "
-          "memo=%d/%d]"
-          % (stats["slice_index"], stats["trace_time_sec"],
+    if args.json:
+        # The canonical wire rendering — identical field names to the
+        # serve `slice` verb (repro.serve.sessions.slice_payload).
+        from repro.serve.sessions import slice_payload
+        print(json.dumps(slice_payload(session, dslice), indent=2,
+                         sort_keys=True))
+    else:
+        print("slice: %d instances, %d threads" % (
+            len(dslice), len(dslice.threads())))
+    print("[index=%s shards=%d trace=%.3fs build=%.3fs query=%.3fs "
+          "edges=%d memo=%d/%d]"
+          % (stats["slice_index"], stats["shards"], stats["trace_time_sec"],
              stats["ddg_build_time_sec"], session.last_slice_time,
              stats["edge_count"], stats["memo_hits"], stats["memo_misses"]),
           file=sys.stderr)
-    for func, line in sorted(dslice.source_statements(),
-                             key=lambda fl: (fl[0] or "", fl[1] or 0)):
-        if func is not None:
-            print("  %s:%s" % (func, line))
+    if not args.json:
+        for func, line in sorted(dslice.source_statements(),
+                                 key=lambda fl: (fl[0] or "", fl[1] or 0)):
+            if func is not None:
+                print("  %s:%s" % (func, line))
     if args.output:
         dslice.save(args.output)
         print("slice saved to %s" % args.output)
@@ -203,8 +214,15 @@ def cmd_races(args) -> int:
     pinball = Pinball.load(args.pinball)
     races = detect_races(pinball, program,
                          globals_only=not args.all_memory)
-    for race in races:
-        print(race.describe(program))
+    if args.json:
+        # Same field names as the serve `races` verb
+        # (repro.serve.sessions.race_payload).
+        from repro.serve.sessions import race_payload
+        print(json.dumps(race_payload(races, program), indent=2,
+                         sort_keys=True))
+    else:
+        for race in races:
+            print(race.describe(program))
     print("[%d unique racy site pairs]" % len(races), file=sys.stderr)
     return 0 if not races else 2
 
@@ -212,8 +230,12 @@ def cmd_races(args) -> int:
 def cmd_debug(args) -> int:
     program, source = _load_program(args.program)
     pinball = Pinball.load(args.pinball)
-    slice_options = (SliceOptions(index=args.slice_index)
-                     if args.slice_index else None)
+    option_kwargs = {}
+    if args.slice_index:
+        option_kwargs["index"] = config.slice_index(cli=args.slice_index)
+    if args.shards is not None:
+        option_kwargs["shards"] = config.slice_shards(cli=args.shards)
+    slice_options = SliceOptions(**option_kwargs) if option_kwargs else None
     session = DrDebugSession(pinball, program, source=source,
                              slice_options=slice_options)
     if args.reverse:
@@ -271,11 +293,16 @@ def cmd_obs(args) -> int:
 
 def cmd_serve(args) -> int:
     """``repro serve``: run the resident debug service until shutdown."""
+    slice_options = None
+    if args.shards is not None:
+        slice_options = SliceOptions(
+            shards=config.slice_shards(cli=args.shards))
     server = DebugServer(
         args.store, host=args.host, port=args.port, workers=args.workers,
         queue_limit=args.queue_limit, request_timeout=args.timeout,
         lru_entries=args.lru_entries, lru_bytes=args.lru_bytes,
-        max_request_bytes=args.max_request_bytes)
+        max_request_bytes=args.max_request_bytes,
+        slice_options=slice_options)
 
     def announce(host: str, port: int) -> None:
         print("repro debug service on %s:%d (store: %s, workers: %d)"
@@ -342,13 +369,19 @@ def cmd_client(args) -> int:
         elif verb == "slice":
             options = {}
             if args.var:
-                options["var"] = args.var
+                # Canonical wire vocabulary (legacy "var" still accepted
+                # server-side by resolve_criterion).
+                options["global_name"] = args.var
             if args.line is not None:
                 options["line"] = args.line
+            if args.tid is not None:
+                options["tid"] = args.tid
             if args.slice_pinball:
                 options["slice_pinball"] = True
             if args.index:
-                options["index"] = args.index
+                options["index"] = config.slice_index(cli=args.index)
+            if args.shards is not None:
+                options["shards"] = config.slice_shards(cli=args.shards)
             result = client.slice(args.key, **options)
         elif verb == "last-reads":
             result = client.last_reads(args.key, count=args.count)
@@ -472,6 +505,13 @@ def build_parser() -> argparse.ArgumentParser:
                     default=None,
                     help="slice-query engine (default: the build-once DDG "
                          "index, or $REPRO_SLICE_INDEX)")
+    sl.add_argument("--shards", type=int, default=None, metavar="K",
+                    help="trace the recording as K parallel region shards "
+                         "(default: 1 = serial, or $REPRO_SLICE_SHARDS; "
+                         "results are identical either way)")
+    sl.add_argument("--json", action="store_true",
+                    help="print the canonical slice payload (same field "
+                         "names as the serve `slice` verb)")
     sl.set_defaults(func=cmd_slice)
 
     dual = sub.add_parser(
@@ -489,6 +529,9 @@ def build_parser() -> argparse.ArgumentParser:
     races.add_argument("pinball")
     races.add_argument("--all-memory", action="store_true",
                        help="watch heap and stacks too, not just globals")
+    races.add_argument("--json", action="store_true",
+                       help="print the canonical race payload (same field "
+                            "names as the serve `races` verb)")
     races.set_defaults(func=cmd_races)
 
     debug = sub.add_parser("debug", help="gdb-style replay debugger")
@@ -504,6 +547,9 @@ def build_parser() -> argparse.ArgumentParser:
     debug.add_argument("--slice-index", choices=("ddg", "columnar", "rows"),
                        default=None,
                        help="slice-query engine for slicing commands")
+    debug.add_argument("--shards", type=int, default=None, metavar="K",
+                       help="region-sharded trace width for slicing "
+                            "commands (default: serial)")
     debug.set_defaults(func=cmd_debug)
 
     dis = sub.add_parser("disasm", help="disassemble a compiled program")
@@ -550,6 +596,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--port-file", default=None, metavar="PATH",
                        help="write the bound port here once listening "
                             "(for scripts using --port 0)")
+    serve.add_argument("--shards", type=int, default=None, metavar="K",
+                       help="build resident sessions as K parallel region "
+                            "shards (spawns non-daemonic workers so they "
+                            "can fork the shard tracers)")
     serve.set_defaults(func=cmd_serve)
 
     client = sub.add_parser(
@@ -587,12 +637,19 @@ def build_parser() -> argparse.ArgumentParser:
     crep.add_argument("key")
     csl = cverbs.add_parser("slice", help="slice a stored recording")
     csl.add_argument("key")
-    csl.add_argument("--var")
+    csl.add_argument("--var", help="slice for a global variable (sent as "
+                                   "the canonical 'global_name' field)")
     csl.add_argument("--line", type=int, default=None)
+    csl.add_argument("--tid", type=int, default=None,
+                     help="restrict --var/--line resolution to one thread")
     csl.add_argument("--slice-pinball", action="store_true",
                      help="store the relogged slice pinball too")
     csl.add_argument("--index", choices=("ddg", "columnar", "rows"),
                      default=None)
+    csl.add_argument("--shards", type=int, default=None, metavar="K",
+                     help="build the session region-sharded (needs a "
+                          "shard-capable server, see `repro serve "
+                          "--shards`)")
     clr = cverbs.add_parser("last-reads",
                             help="latest memory-reading instances")
     clr.add_argument("key")

@@ -437,17 +437,39 @@ class DrDebugSession:
             self.slicing.failure_criterion())
         return self.current_slice
 
-    def slice_for_variable(self, name: str,
+    def slice_for_variable(self, global_name: Optional[str] = None,
                            line: Optional[int] = None,
-                           tid: Optional[int] = None) -> DynamicSlice:
-        """Slice for the value of global ``name`` (optionally at a line)."""
+                           tid: Optional[int] = None,
+                           instance: Optional[tuple] = None, *,
+                           name: Optional[str] = None) -> DynamicSlice:
+        """Slice for the value of global ``global_name``.
+
+        The criterion instance is, in order of precedence, the explicit
+        ``instance`` pair, the last execution of source ``line``
+        (optionally per-``tid``), or the last write to the global.  Same
+        keyword vocabulary as
+        :meth:`~repro.slicing.api.SlicingSession.slice_for_global` and
+        the serve ``slice`` verb; the pre-unification ``name=`` spelling
+        still works but warns.
+        """
+        from repro.deprecation import deprecated_kwarg
+        global_name = deprecated_kwarg("name", name,
+                                       "global_name", global_name)
+        if global_name is None:
+            raise TypeError("slice_for_variable() missing the "
+                            "'global_name' argument")
         session = self.slicing
-        if line is not None:
+        if instance is not None:
+            self.current_slice = session.slice_for(
+                (int(instance[0]), int(instance[1])),
+                [session.global_location(global_name)])
+        elif line is not None:
             criterion = session.last_instance_at_line(line, tid)
             self.current_slice = session.slice_for(
-                criterion, [session.global_location(name)])
+                criterion, [session.global_location(global_name)])
         else:
-            self.current_slice = session.slice_for_global(name)
+            self.current_slice = session.slice_for_global(global_name,
+                                                          tid=tid)
         return self.current_slice
 
     def make_slice_pinball(self) -> Pinball:

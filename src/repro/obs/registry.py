@@ -35,9 +35,10 @@ Enabling: ``OBS.enable()`` (the CLI's ``--obs`` flag and
 from __future__ import annotations
 
 import json
-import os
 import time
 from typing import Dict, List, Optional
+
+from repro import config as _config
 
 __all__ = [
     "Counter", "NullCounter", "NULL_COUNTER",
@@ -354,5 +355,5 @@ class ObsRegistry:
 #: The process-wide registry every layer reports into.
 OBS = ObsRegistry()
 
-if os.environ.get("REPRO_OBS", "") not in ("", "0"):
+if _config.obs_enabled():
     OBS.enable()

@@ -60,11 +60,21 @@ class DebugServer:
         self.host = host
         self.port = port
         self.max_request_bytes = max_request_bytes
+        # Shard-capable pools need non-daemonic workers: a worker whose
+        # resident sessions build with ``SliceOptions(shards>1)`` forks
+        # the region-shard tracer processes itself, and multiprocessing
+        # forbids daemons from having children.  (A daemonic worker that
+        # receives a per-request ``shards`` anyway falls back to the
+        # serial build — counted under ``slicing.shard/fallbacks``.)
+        from repro import config as _config
+        effective_shards = (slice_options.shards if slice_options is not None
+                            else _config.slice_shards())
         self.pool = WorkerPool(store_root=store_root, workers=workers,
                                queue_limit=queue_limit,
                                default_timeout=request_timeout,
                                lru_entries=lru_entries, lru_bytes=lru_bytes,
-                               obs=OBS.enabled, slice_options=slice_options)
+                               obs=OBS.enabled, slice_options=slice_options,
+                               daemon=effective_shards <= 1)
         self._server: Optional[asyncio.AbstractServer] = None
         self._shutdown = asyncio.Event()
         self.counts = {"connections": 0, "requests": 0, "errors": 0}

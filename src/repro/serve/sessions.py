@@ -36,7 +36,7 @@ BYTES_PER_TRACE_RECORD = 400
 DEFAULT_MAX_ENTRIES = 8
 DEFAULT_MAX_BYTES = 512 * 1024 * 1024
 
-SessionKey = Tuple[str, str, str]
+SessionKey = Tuple[str, str, str, int]
 
 
 class SessionManager:
@@ -72,17 +72,24 @@ class SessionManager:
 
     def open(self, pinball_sha: str, source_sha: str,
              program_name: str = "program",
-             index: Optional[str] = None) -> SlicingSession:
+             index: Optional[str] = None,
+             shards: Optional[int] = None) -> SlicingSession:
         """The resident session for a stored recording (build on miss).
 
-        ``index`` selects the slice-query engine for cache-key purposes
-        (sessions built under different engines memoize differently);
-        the default is the manager's :class:`SliceOptions`.
+        ``index`` selects the slice-query engine and ``shards`` the
+        region-sharded build width — both are cache-key components
+        (sessions built under different engines memoize differently, and
+        a sharded build is a distinct construction even though its
+        results are byte-identical); defaults come from the manager's
+        :class:`SliceOptions`.
         """
         options = self.slice_options
         if index is not None and index != options.index:
             options = dataclasses.replace(options, index=index)
-        key: SessionKey = (pinball_sha, source_sha, options.index)
+        if shards is not None and int(shards) != options.shards:
+            options = dataclasses.replace(options, shards=int(shards))
+        key: SessionKey = (pinball_sha, source_sha, options.index,
+                           options.shards)
         cached = self._sessions.get(key)
         if cached is not None:
             self._sessions.move_to_end(key)
@@ -161,15 +168,20 @@ class SessionManager:
 def resolve_criterion(session: SlicingSession, params: dict):
     """Map RPC slice params onto a concrete (tid, tindex) criterion.
 
-    Accepted forms (first match wins): an explicit ``criterion`` pair, a
-    global ``var`` (last write), a source ``line`` (last execution,
+    Accepted forms (first match wins), in the unified entry-point
+    vocabulary (``instance=``, ``global_name=``, ``line=``, ``tid=``;
+    the pre-unification field names ``criterion`` and ``var`` remain
+    accepted aliases): an explicit ``instance`` pair, a global
+    ``global_name`` (last write), a source ``line`` (last execution,
     optionally per-``tid``) — defaulting to the recorded failure.
     """
-    if params.get("criterion") is not None:
-        tid, tindex = params["criterion"]
+    instance = params.get("instance", params.get("criterion"))
+    if instance is not None:
+        tid, tindex = instance
         return (int(tid), int(tindex))
-    if params.get("var"):
-        return session.last_write_to_global(params["var"],
+    global_name = params.get("global_name") or params.get("var")
+    if global_name:
+        return session.last_write_to_global(global_name,
                                             tid=params.get("tid"))
     if params.get("line") is not None:
         return session.last_instance_at_line(int(params["line"]),
@@ -178,8 +190,9 @@ def resolve_criterion(session: SlicingSession, params: dict):
 
 
 def slice_locations(session: SlicingSession, params: dict):
-    if params.get("var"):
-        return [session.global_location(params["var"])]
+    global_name = params.get("global_name") or params.get("var")
+    if global_name:
+        return [session.global_location(global_name)]
     return None
 
 

@@ -42,18 +42,14 @@ import multiprocessing as mp
 from repro.obs.registry import OBS
 
 #: Pool width default, overridable with ``REPRO_SERVE_WORKERS`` (next to
-#: ``REPRO_SLICE_INDEX`` / ``REPRO_OBS``).
+#: ``REPRO_SLICE_INDEX`` / ``REPRO_OBS``; see :mod:`repro.config`).
 DEFAULT_WORKERS = 2
 
 
 def default_workers() -> int:
-    value = os.environ.get("REPRO_SERVE_WORKERS", "").strip()
-    if value:
-        try:
-            return max(1, int(value))
-        except ValueError:
-            pass
-    return DEFAULT_WORKERS
+    """Pool width via :func:`repro.config.serve_workers`."""
+    from repro import config
+    return config.serve_workers()
 
 
 class PoolError(RuntimeError):
@@ -214,7 +210,8 @@ def _execute(op: str, params: dict, store, manager):
         return race_payload(races, program)
 
     session = manager.open(key, source, program_name=name,
-                           index=params.get("index"))
+                           index=params.get("index"),
+                           shards=params.get("shards"))
     if op == "build":
         return {"built": True, "trace_records":
                 session.collector.store.total_records(),
@@ -279,13 +276,34 @@ class WorkerPool:
                  lru_entries: int = 4,
                  lru_bytes: int = 512 * 1024 * 1024,
                  obs: bool = False,
-                 slice_options=None) -> None:
+                 slice_options=None,
+                 worker_target=None,
+                 worker_config: Optional[dict] = None,
+                 name: str = "serve",
+                 daemon: bool = True) -> None:
         self.store_root = store_root
         self.workers = workers if workers is not None else default_workers()
         self.queue_limit = queue_limit
         self.default_timeout = default_timeout
+        #: The function each worker process runs.  Defaults to the debug
+        #: service loop (:func:`_worker_main`); other subsystems reuse the
+        #: pool mechanics (bounded queue, deadlines, crash respawn) by
+        #: supplying their own module-level target with the same
+        #: ``(worker_id, task_q, result_q, store_root, config)``
+        #: signature — the region-shard tracer
+        #: (:mod:`repro.slicing.shard`) is one.
+        self._worker_target = worker_target or _worker_main
+        self._name = name
+        #: Daemonic workers die with the parent (the right default for a
+        #: service), but ``multiprocessing`` forbids a daemon from having
+        #: children of its own — a serve pool whose sessions build with
+        #: ``SliceOptions(shards>1)`` must pass ``daemon=False`` so its
+        #: workers can fork the region-shard tracers.
+        self._daemon = daemon
         self._config = {"lru_entries": lru_entries, "lru_bytes": lru_bytes,
                         "obs": obs, "slice_options": slice_options}
+        if worker_config:
+            self._config.update(worker_config)
         self._ctx = mp.get_context()
         self._task_qs = []
         self._procs = []
@@ -311,7 +329,8 @@ class WorkerPool:
             self._task_qs.append(self._ctx.Queue())
             self._procs.append(self._spawn(worker_id))
         self._collector = threading.Thread(target=self._collect_loop,
-                                           name="serve-pool-collector",
+                                           name="%s-pool-collector"
+                                           % self._name,
                                            daemon=True)
         self._collector.start()
         self.started = True
@@ -319,10 +338,11 @@ class WorkerPool:
 
     def _spawn(self, worker_id: int):
         proc = self._ctx.Process(
-            target=_worker_main,
+            target=self._worker_target,
             args=(worker_id, self._task_qs[worker_id], self._result_q,
                   self.store_root, self._config),
-            name="serve-worker-%d" % worker_id, daemon=True)
+            name="%s-worker-%d" % (self._name, worker_id),
+            daemon=self._daemon)
         proc.start()
         return proc
 

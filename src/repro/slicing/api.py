@@ -28,22 +28,35 @@ class SlicingSession:
 
     def __init__(self, pinball: Pinball, program: Program,
                  options: Optional[SliceOptions] = None,
-                 engine: Optional[str] = None) -> None:
+                 engine: Optional[str] = None,
+                 shard_boundaries: Optional[Sequence[int]] = None) -> None:
         self.pinball = pinball
         self.program = program
         self.options = options or SliceOptions()
         self.engine = engine
         if self.options.obs:
             OBS.enable()
+        #: Diagnostics of the region-sharded build (None while serial).
+        self.shard_plan = None
         # The phase timers live in the observability registry now
         # (``slicing.trace`` / ``slicing.preprocess`` spans); a Span
         # measures whether or not the registry is enabled, so the public
         # ``trace_time``/``preprocess_time`` attributes survive unchanged.
         with OBS.span("slicing.trace") as trace_span:
-            self.collector = TraceCollector(program, self.options)
-            self.machine, self.replay_result = replay(
-                pinball, program, tools=[self.collector], verify=False,
-                engine=engine)
+            sharded = None
+            if self.options.shards > 1 or shard_boundaries is not None:
+                from repro.slicing.shard import ShardPlan, trace_sharded
+                self.shard_plan = ShardPlan(self.options.shards, [])
+                sharded = trace_sharded(
+                    pinball, program, self.options, engine=engine,
+                    boundaries=shard_boundaries, plan_out=self.shard_plan)
+            if sharded is not None:
+                self.collector, self.machine, self.replay_result = sharded
+            else:
+                self.collector = TraceCollector(program, self.options)
+                self.machine, self.replay_result = replay(
+                    pinball, program, tools=[self.collector], verify=False,
+                    engine=engine)
         self.trace_time = trace_span.elapsed
 
         with OBS.span("slicing.preprocess") as prep_span:
@@ -193,13 +206,33 @@ class SlicingSession:
             OBS.observe("slicing.slice_nodes", len(result.nodes))
         return result
 
-    def slice_for_global(self, name: str,
-                         criterion: Optional[Instance] = None) -> DynamicSlice:
-        """Slice for the value of global ``name`` as of ``criterion``
-        (default: the last write to it)."""
-        if criterion is None:
-            criterion = self.last_write_to_global(name)
-        return self.slice_for(criterion, [self.global_location(name)])
+    def slice_for_global(self, global_name: Optional[str] = None,
+                         instance: Optional[Instance] = None,
+                         tid: Optional[int] = None, *,
+                         name: Optional[str] = None,
+                         criterion: Optional[Instance] = None
+                         ) -> DynamicSlice:
+        """Slice for the value of global ``global_name`` as of
+        ``instance`` (default: the last write to it, optionally
+        restricted to thread ``tid``).
+
+        Uses the unified entry-point vocabulary (``global_name=``,
+        ``instance=``, ``tid=``) shared with
+        :meth:`~repro.debugger.session.DrDebugSession.slice_for_variable`
+        and the serve ``slice`` verb; the pre-unification spellings
+        ``name=`` / ``criterion=`` still work but warn.
+        """
+        from repro.deprecation import deprecated_kwarg
+        global_name = deprecated_kwarg("name", name,
+                                       "global_name", global_name)
+        instance = deprecated_kwarg("criterion", criterion,
+                                    "instance", instance)
+        if global_name is None:
+            raise TypeError("slice_for_global() missing the 'global_name' "
+                            "argument")
+        if instance is None:
+            instance = self.last_write_to_global(global_name, tid)
+        return self.slice_for(instance, [self.global_location(global_name)])
 
     # -- slice pinball -----------------------------------------------------------------
 
@@ -230,7 +263,10 @@ class SlicingSession:
             "verified_save_restore_pairs":
                 self.collector.save_restore.pair_count,
             "threads": self.collector.store.threads(),
+            "shards": self.options.shards,
         }
+        if self.shard_plan is not None:
+            out["shard_plan"] = self.shard_plan.to_dict()
         # Amortization counters for the build-once DDG engine (zeros for
         # the scan engines, and until the first DDG query builds it).
         out.update(self.slicer.index_stats())

@@ -21,7 +21,6 @@ Design notes relevant to replay determinism:
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -47,10 +46,11 @@ ENGINES = ("predecoded", "legacy")
 def default_engine() -> str:
     """The engine used when a Machine is built without an explicit choice.
 
-    Overridable via ``REPRO_ENGINE`` so benchmarks and CI can pin either
+    Overridable via ``REPRO_ENGINE`` (resolved through
+    :func:`repro.config.engine`) so benchmarks and CI can pin either
     engine without threading a parameter through every entry point."""
-    engine = os.environ.get("REPRO_ENGINE", "predecoded")
-    return engine if engine in ENGINES else "predecoded"
+    from repro import config
+    return config.engine()
 
 _LCG_MULT = 6364136223846793005
 _LCG_INC = 1442695040888963407

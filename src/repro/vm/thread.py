@@ -102,6 +102,10 @@ class ThreadContext:
                 for f in self.frames
             ],
             "next_frame_id": self._next_frame_id,
+            # Mid-region snapshots (checkpoints, shard boundaries) may be
+            # taken after this thread exited; a later ``join`` must still
+            # observe the recorded exit value.
+            "exit_value": self.exit_value,
         }
 
     @classmethod
@@ -123,6 +127,7 @@ class ThreadContext:
             for f in snap["frames"]
         ]
         thread._next_frame_id = snap["next_frame_id"]
+        thread.exit_value = snap.get("exit_value", 0)
         return thread
 
     def __repr__(self) -> str:

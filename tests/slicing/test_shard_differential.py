@@ -1,0 +1,243 @@
+"""Region-sharded tracing is byte-identical to the serial pipeline.
+
+The tentpole invariant of the sharded build (:mod:`repro.slicing.shard`)
+is that splitting the traced replay into K windows changes *when* work
+happens but never *what* is produced.  This suite proves it three ways
+over the shared randomized corpus (:mod:`tests.support.progen`):
+
+* **10-seed differential** — for ``shards in {2, 4}``, the sharded
+  session's per-thread trace columns, verified save/restore pairs, CFG
+  refinements, CSR DDG arrays, slices (value-level fingerprints) and
+  slice-pinball bytes all equal the serial ``shards=1`` build's.
+* **Seam mid save/restore pair** — a boundary parked strictly between a
+  verified save and its restore (located via the replay's ``event.seq``
+  step clock) still stitches to the identical result, and the seam
+  diagnostics counter records the open save frame carried across it.
+* **Seam mid critical section** — same, with the boundary between a
+  ``lock`` and its matching ``unlock``.
+
+Explicit ``shard_boundaries`` bypass the minimum-window-size fallback
+gate, so the seams land exactly where the test computed them.
+"""
+
+import pytest
+
+from repro.obs.registry import OBS
+from repro.pinplay.replayer import replay
+from repro.slicing.api import SlicingSession
+from repro.slicing.options import SliceOptions
+from repro.vm.hooks import Tool
+
+from tests.support.progen import build_program, record_pinball
+
+SEEDS = range(10)
+SHARD_COUNTS = (2, 4)
+
+
+# -- fingerprints -------------------------------------------------------------
+
+def columns_of(collector):
+    """Value-level dump of the columnar store (statics, dyns, gpos)."""
+    store = collector.store
+    return {tid: (list(cols.statics), list(cols.dyns), list(cols.gpos))
+            for tid, cols in store._columns.items()}
+
+
+def slice_key(dslice):
+    """Value-level fingerprint of a slice (SliceNode has no ``__eq__``)."""
+    return (sorted(dslice.nodes),
+            sorted(dslice.edges),
+            dslice.criterion,
+            sorted((inst, node.addr, node.line, node.func, node.values)
+                   for inst, node in dslice.nodes.items()))
+
+
+def ddg_arrays(session):
+    """The CSR dependence-index arrays (forces the build)."""
+    ddg = session.slicer.ddg
+    return (list(ddg._indptr), list(ddg._preds), list(ddg._kinds),
+            list(ddg._elocs), list(ddg._unresolved), list(ddg._locs))
+
+
+def criteria_for(session):
+    """A few representative criteria: reads, global writes, the failure."""
+    criteria = list(session.last_reads(3))
+    for name in ("g0", "g1", "g2", "g3"):
+        try:
+            criteria.append(session.last_write_to_global(name))
+        except ValueError:
+            pass
+    try:
+        criteria.append(session.failure_criterion())
+    except ValueError:
+        pass
+    seen, out = set(), []
+    for criterion in criteria:
+        if criterion not in seen:
+            seen.add(criterion)
+            out.append(criterion)
+    return out
+
+
+def assert_sessions_identical(serial, sharded):
+    """Every observable artifact of the two sessions must match."""
+    assert sharded.shard_plan is not None
+    assert sharded.shard_plan.fallback is None, sharded.shard_plan.fallback
+    assert columns_of(sharded.collector) == columns_of(serial.collector)
+    assert (sharded.collector.save_restore.verified
+            == serial.collector.save_restore.verified)
+    assert (sharded.collector.save_restore.pair_count
+            == serial.collector.save_restore.pair_count)
+    assert (sharded.collector.registry.refinements
+            == serial.collector.registry.refinements)
+    assert ddg_arrays(sharded) == ddg_arrays(serial)
+    criteria = criteria_for(serial)
+    assert criteria, "corpus program produced no slice criteria"
+    for criterion in criteria:
+        assert (slice_key(sharded.slice_for(criterion))
+                == slice_key(serial.slice_for(criterion))), criterion
+    # The relogged slice pinball must match byte for byte.
+    chosen = criteria[0]
+    serial_pb = serial.make_slice_pinball(serial.slice_for(chosen))
+    sharded_pb = sharded.make_slice_pinball(sharded.slice_for(chosen))
+    assert (sharded_pb.to_bytes(compress=False)
+            == serial_pb.to_bytes(compress=False))
+
+
+# -- corpus -------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def corpus():
+    """Lazily built (program, pinball, serial session) per seed."""
+    cache = {}
+
+    def get(seed):
+        if seed not in cache:
+            program = build_program(seed)
+            pinball = record_pinball(program, seed)
+            serial = SlicingSession(pinball, program,
+                                    SliceOptions(shards=1))
+            cache[seed] = (program, pinball, serial)
+        return cache[seed]
+
+    return get
+
+
+# -- the 10-seed differential -------------------------------------------------
+
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+@pytest.mark.parametrize("seed", SEEDS)
+def test_sharded_matches_serial(corpus, seed, shards):
+    program, pinball, serial = corpus(seed)
+    sharded = SlicingSession(pinball, program, SliceOptions(shards=shards))
+    assert_sessions_identical(serial, sharded)
+    plan = sharded.shard_plan
+    assert len(plan.windows) == len(plan.boundaries) + 1
+    assert plan.rows == serial.collector.store.total_records()
+    stats = sharded.stats()
+    assert stats["shards"] == shards
+    assert stats["shard_plan"]["fallback"] is None
+
+
+# -- seam placement -----------------------------------------------------------
+
+class _SeqLog(Tool):
+    """Map each retired instance to its step clock; log syscalls."""
+
+    wants_instr_events = True
+    retains_instr_events = False
+
+    def __init__(self):
+        self.seq_of = {}
+        self.syscalls = []
+
+    def on_instr(self, event):
+        self.seq_of[(event.tid, event.tindex)] = event.seq
+
+    def on_syscall(self, event):
+        self.syscalls.append((event.seq, event.tid, event.name))
+
+
+def _step_log(pinball, program):
+    log = _SeqLog()
+    replay(pinball, program, tools=[log], verify=False)
+    return log
+
+
+def _save_restore_seam(serial, log):
+    """A step boundary strictly inside the widest verified pair."""
+    best = None
+    for restore, save in serial.collector.save_restore.verified.items():
+        seq_save = log.seq_of.get(save)
+        seq_restore = log.seq_of.get(restore)
+        if seq_save is None or seq_restore is None:
+            continue
+        if seq_restore - seq_save >= 4 and (
+                best is None or seq_restore - seq_save > best[1] - best[0]):
+            best = (seq_save, seq_restore)
+    assert best is not None, "no verified save/restore pair wide enough"
+    return (best[0] + best[1]) // 2
+
+
+def _critical_section_seam(log):
+    """A step boundary strictly inside the widest lock/unlock section."""
+    pending = {}
+    best = None
+    for seq, tid, name in log.syscalls:
+        if name == "lock":
+            pending[tid] = seq
+        elif name == "unlock" and tid in pending:
+            start = pending.pop(tid)
+            if seq - start >= 4 and (
+                    best is None or seq - start > best[1] - best[0]):
+                best = (start, seq)
+    assert best is not None, "no critical section wide enough"
+    return (best[0] + best[1]) // 2
+
+
+def _assert_seam_equivalent(corpus, seed, boundary, seam_counter):
+    program, pinball, serial = corpus(seed)
+    assert 0 < boundary < pinball.total_steps
+    with OBS.scope(enabled=True):
+        before = OBS.counters().get(seam_counter, 0)
+        sharded = SlicingSession(pinball, program, SliceOptions(shards=2),
+                                 shard_boundaries=[boundary])
+        carried = OBS.counters().get(seam_counter, 0) - before
+    assert sharded.shard_plan.boundaries == [boundary]
+    # The seam really was parked inside the pair/section: the stitch
+    # carried at least one open frame/region across it.
+    assert carried > 0, seam_counter
+    assert_sessions_identical(serial, sharded)
+
+
+@pytest.mark.parametrize("seed", (0, 3))
+def test_seam_mid_save_restore_pair(corpus, seed):
+    program, pinball, serial = corpus(seed)
+    log = _step_log(pinball, program)
+    boundary = _save_restore_seam(serial, log)
+    _assert_seam_equivalent(corpus, seed, boundary,
+                            "slicing.shard/seam_open_saves")
+
+
+@pytest.mark.parametrize("seed", (0, 3))
+def test_seam_mid_critical_section(corpus, seed):
+    program, pinball, serial = corpus(seed)
+    log = _step_log(pinball, program)
+    boundary = _critical_section_seam(log)
+    # Inside a lock-protected loop body the stitch necessarily carries
+    # open dynamic control regions across the seam (the lock ownership
+    # itself travels in the boundary snapshot).
+    _assert_seam_equivalent(corpus, seed, boundary,
+                            "slicing.shard/seam_open_regions")
+
+
+def test_explicit_boundaries_bypass_size_gate(corpus):
+    """A tiny window count from explicit boundaries still shards."""
+    program, pinball, serial = corpus(1)
+    quarter = pinball.total_steps // 4
+    sharded = SlicingSession(
+        pinball, program, SliceOptions(shards=1),
+        shard_boundaries=[quarter, 2 * quarter, 3 * quarter])
+    assert sharded.shard_plan.fallback is None
+    assert len(sharded.shard_plan.windows) == 4
+    assert_sessions_identical(serial, sharded)

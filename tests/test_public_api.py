@@ -1,6 +1,13 @@
-"""The public API surface: everything advertised exists and imports."""
+"""The public API surface: everything advertised exists and imports.
+
+Extended for the unified-surface redesign: the blessed top-level
+``__all__`` (including the serve client and the config resolver), the
+deprecated-alias shims (module ``__getattr__``) that must warn exactly
+once per use, and the ``repro.config`` precedence knobs.
+"""
 
 import importlib
+import warnings
 
 import pytest
 
@@ -12,22 +19,56 @@ class TestTopLevel:
         for name in repro.__all__:
             assert hasattr(repro, name), name
 
+    def test_all_is_sorted_and_unique(self):
+        names = [n for n in repro.__all__ if n != "__version__"]
+        assert names == sorted(names)
+        assert len(set(repro.__all__)) == len(repro.__all__)
+
     def test_version(self):
         assert repro.__version__
 
     def test_quickstart_snippet_names(self):
         # The README quickstart must keep working.
-        for name in ("compile_source", "record_region", "replay",
+        for name in ("compile_source", "record", "record_region", "replay",
                      "RandomScheduler", "RegionSpec", "SlicingSession",
                      "DrDebugSession", "DrDebugCLI", "expose_and_record",
-                     "detect_races"):
+                     "detect_races", "DebugClient", "SliceOptions", "OBS",
+                     "config"):
             assert hasattr(repro, name), name
+
+    def test_record_is_record_region(self):
+        assert repro.record is repro.record_region
+
+    def test_config_is_the_resolver_module(self):
+        assert repro.config.slice_shards() >= 1
+        assert repro.config.slice_index() in ("ddg", "columnar", "rows")
+
+
+class TestDeprecatedAliases:
+    @pytest.mark.parametrize("old,new", sorted(
+        repro._DEPRECATED_ALIASES.items()))
+    def test_alias_warns_and_resolves(self, old, new):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            value = getattr(repro, old)
+        assert value is getattr(repro, new)
+        assert any(issubclass(w.category, DeprecationWarning)
+                   and old in str(w.message) for w in caught)
+
+    def test_aliases_stay_out_of_all(self):
+        for old in repro._DEPRECATED_ALIASES:
+            assert old not in repro.__all__
+
+    def test_unknown_attribute_still_raises(self):
+        with pytest.raises(AttributeError):
+            repro.definitely_not_an_api  # noqa: B018
 
 
 SUBPACKAGES = [
     "repro.isa", "repro.lang", "repro.vm", "repro.pinplay",
     "repro.analysis", "repro.slicing", "repro.debugger", "repro.maple",
     "repro.detect", "repro.workloads", "repro.cli",
+    "repro.serve", "repro.obs", "repro.config", "repro.deprecation",
 ]
 
 
@@ -48,3 +89,28 @@ class TestSubpackages:
     def test_has_module_docstring(self, module_name):
         module = importlib.import_module(module_name)
         assert module.__doc__ and len(module.__doc__) > 40, module_name
+
+
+class TestConfigKnobs:
+    def test_every_knob_has_env_doc_and_default(self):
+        for knob in repro.config.KNOBS.values():
+            assert knob.env.startswith("REPRO_")
+            assert knob.doc
+            # The default must pass the knob's own validator.
+            assert knob.coerce(knob.default, "default") == knob.default
+
+    def test_precedence_explicit_beats_cli_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SLICE_SHARDS", "3")
+        assert repro.config.slice_shards() == 3
+        assert repro.config.slice_shards(cli=5) == 5
+        assert repro.config.slice_shards(explicit=7, cli=5) == 7
+
+    def test_invalid_env_raises_loudly(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SLICE_INDEX", "quantum")
+        with pytest.raises(ValueError):
+            repro.config.slice_index()
+
+    def test_precedence_table_mentions_every_env(self):
+        table = repro.config.precedence_table()
+        for knob in repro.config.KNOBS.values():
+            assert knob.env in table
