@@ -26,6 +26,27 @@ def timed(fn, *args, **kwargs):
     return result, time.perf_counter() - started
 
 
+def measure_peak_alloc(fn, *args, **kwargs):
+    """Run ``fn`` and return ``(result, peak_alloc_bytes)``.
+
+    Peak *Python-heap* allocation during the call, via ``tracemalloc`` —
+    a deterministic stand-in for peak-RSS deltas, which on a shared
+    runner are polluted by allocator reuse and page-cache noise.  Used by
+    the streamed-record flatness assertion (BENCH_pinball) and the
+    peak-alloc column of BENCH_slicequery rows.
+    """
+    import gc
+    import tracemalloc
+    gc.collect()
+    tracemalloc.start()
+    try:
+        result = fn(*args, **kwargs)
+        _current, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return result, peak
+
+
 # ---------------------------------------------------------------------------
 # Parallel-speedup bar gating (shared by the serve and shard benchmarks)
 # ---------------------------------------------------------------------------

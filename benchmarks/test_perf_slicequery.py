@@ -52,6 +52,8 @@ from repro.workloads import get_parsec, get_specomp
 
 from repro.config import perf_smoke
 
+from benchmarks.harness import measure_peak_alloc
+
 SMOKE = perf_smoke()
 
 if SMOKE:
@@ -150,6 +152,20 @@ def _bench_workload(suite: str, kernel: str, params: dict) -> List[dict]:
             if index not in best or total < best[index][0]:
                 best[index] = (total, build_time, query_time,
                                slicer.index_stats())
+    # Untimed peak-heap measurement of the same session per engine (the
+    # helper the streamed-record flat-memory assertion uses): what the
+    # index itself costs in memory — CSR arrays and memo tables for the
+    # DDG, block summaries for the scans.
+    peak_alloc: Dict[str, int] = {}
+    for index in INDEXES:
+        def _session(index=index):
+            slicer = BackwardSlicer(session.gtrace,
+                                    verified_restores=restores,
+                                    options=SliceOptions(index=index))
+            for criterion in queries:
+                slicer.slice(criterion)
+        _, peak_alloc[index] = measure_peak_alloc(_session)
+
     # Untimed instrumented re-run of the same query mix per engine: the
     # slicing-layer counters that explain the timings above.
     obs_stats: Dict[str, Dict[str, int]] = {}
@@ -182,6 +198,7 @@ def _bench_workload(suite: str, kernel: str, params: dict) -> List[dict]:
             "edge_count": stats["edge_count"],
             "slice_cache_hits": stats["slice_cache_hits"],
             "closure_memo_hits": stats["closure_memo_hits"],
+            "peak_alloc_bytes": peak_alloc[index],
             "obs": obs_stats[index],
         })
     return rows

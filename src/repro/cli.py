@@ -4,6 +4,7 @@ Subcommands mirror the workflow::
 
     python -m repro run prog.mc                      # plain execution
     python -m repro record prog.mc -o bug.pinball    # log (opt: expose)
+    python -m repro convert bug.pinball -o bug.v2    # migrate v1 <-> v2
     python -m repro replay prog.mc bug.pinball       # deterministic replay
     python -m repro slice prog.mc bug.pinball --failure
     python -m repro races prog.mc bug.pinball        # HB race detection
@@ -13,9 +14,12 @@ Subcommands mirror the workflow::
     python -m repro client record prog.mc --expose 64
     python -m repro client slice <key> --var x
 
-Programs are MiniC source files; pinballs are the zlib-compressed JSON
-files produced by ``record``.  The program name stored in a pinball is the
-source file's stem, so replaying requires the matching source.  The
+Programs are MiniC source files; pinballs are the files produced by
+``record`` — zlib-compressed JSON (format v1, the default) or streamed
+framed containers with embedded checkpoints (format v2, via ``--format
+v2`` or ``REPRO_PINBALL_FORMAT=v2``; readers auto-detect either).  The
+program name stored in a pinball is the source file's stem, so replaying
+requires the matching source.  The
 ``serve`` / ``client`` pair runs the same workflow as a long-lived TCP
 service over a content-addressed pinball store (see :mod:`repro.serve`).
 """
@@ -35,7 +39,8 @@ from repro.isa import disassemble
 from repro.lang import CompileError, compile_source
 from repro.maple import expose_and_record
 from repro.obs import OBS, format_report, layer_totals, run_demo_cycle
-from repro.pinplay import Pinball, RegionSpec, record_region, replay
+from repro.pinplay import (Pinball, RegionSpec, generate_checkpoints,
+                           record_region, replay)
 from repro.serve import DebugClient, DebugServer, RpcRemoteError, run_server
 from repro.serve.server import DEFAULT_HOST, DEFAULT_PORT
 from repro.slicing import SliceOptions, SlicingSession
@@ -83,6 +88,7 @@ def cmd_record(args) -> int:
     program, _source = _load_program(args.program)
     region = RegionSpec(skip=args.skip, length=args.length)
     inputs = _parse_inputs(args.inputs)
+    fmt = config.pinball_format(cli=args.format)
 
     if args.expose:
         if args.maple:
@@ -107,7 +113,9 @@ def cmd_record(args) -> int:
                     program,
                     RandomScheduler(seed=seed,
                                     switch_prob=args.switch_prob),
-                    region, inputs=inputs, rand_seed=args.rand_seed)
+                    region, inputs=inputs, rand_seed=args.rand_seed,
+                    pinball_format=fmt,
+                    checkpoint_interval=args.checkpoint_interval)
                 if candidate.meta.get("failure"):
                     pinball = candidate
                     print("failure exposed with seed %d" % seed,
@@ -118,10 +126,24 @@ def cmd_record(args) -> int:
                       file=sys.stderr)
                 return 1
     else:
-        pinball = record_region(program, _scheduler(args), region,
-                                inputs=inputs, rand_seed=args.rand_seed)
+        # v2 on the fast record path streams frames straight to the
+        # output file (flat peak memory); otherwise record in memory and
+        # save in the requested format below.
+        stream = fmt == "v2" and config.engine() == "predecoded"
+        pinball = record_region(
+            program, _scheduler(args), region,
+            inputs=inputs, rand_seed=args.rand_seed,
+            stream_path=args.output if stream else None,
+            pinball_format=fmt,
+            checkpoint_interval=args.checkpoint_interval)
+        if stream:
+            size = os.path.getsize(args.output)
+            print("wrote %s: %d instructions, %d bytes, failure=%r"
+                  % (args.output, pinball.total_instructions, size,
+                     (pinball.meta.get("failure") or {}).get("code")))
+            return 0
 
-    size = pinball.save(args.output)
+    size = pinball.save(args.output, format=fmt)
     print("wrote %s: %d instructions, %d bytes, failure=%r"
           % (args.output, pinball.total_instructions, size,
              (pinball.meta.get("failure") or {}).get("code")))
@@ -138,6 +160,29 @@ def cmd_replay(args) -> int:
           % (pinball.total_steps, result.reason,
              (result.failure or {}).get("code")), file=sys.stderr)
     return 0 if result.failure is None else 1
+
+
+def cmd_convert(args) -> int:
+    """``repro convert``: migrate a pinball between formats v1 and v2."""
+    pinball = Pinball.load(args.input)
+    source_fmt = pinball.format
+    target = args.format or ("v1" if source_fmt == "v2" else "v2")
+    if (target == "v2" and args.program
+            and not getattr(pinball, "checkpoints", None)
+            and not pinball.exclusions):
+        # One replay pass makes the v2 file seekable: without embedded
+        # checkpoints it is still valid, just O(region) to rewind.
+        program, _source = _load_program(args.program)
+        interval = config.checkpoint_interval(
+            explicit=args.checkpoint_interval)
+        pinball.checkpoints = generate_checkpoints(pinball, program,
+                                                   interval)
+    size = pinball.save(args.output, format=target)
+    checkpoints = len(getattr(pinball, "checkpoints", ()) or ())
+    print("wrote %s: %s -> %s, %d bytes, %d embedded checkpoint(s)"
+          % (args.output, source_fmt, target, size,
+             checkpoints if target == "v2" else 0))
+    return 0
 
 
 def cmd_slice(args) -> int:
@@ -482,7 +527,31 @@ def build_parser() -> argparse.ArgumentParser:
                         help="search up to N seeds for a failing schedule")
     record.add_argument("--maple", action="store_true",
                         help="with --expose: use Maple active scheduling")
+    record.add_argument("--format", choices=("v1", "v2"), default=None,
+                        help="pinball format (default: "
+                             "$REPRO_PINBALL_FORMAT or v1); v2 streams "
+                             "frames to disk and embeds checkpoints")
+    record.add_argument("--checkpoint-interval", type=int, default=None,
+                        metavar="N",
+                        help="steps between embedded checkpoints "
+                             "(default: $REPRO_CHECKPOINT_INTERVAL or 500)")
     record.set_defaults(func=cmd_record)
+
+    convert = sub.add_parser(
+        "convert", help="migrate a pinball between formats v1 and v2")
+    convert.add_argument("input", help="pinball file (either format)")
+    convert.add_argument("-o", "--output", required=True)
+    convert.add_argument("--format", choices=("v1", "v2"), default=None,
+                         help="target format (default: the other one)")
+    convert.add_argument("--program", default=None,
+                         help="MiniC source; with v2 output, replay once "
+                              "to embed checkpoints (O(chunk) rewind)")
+    convert.add_argument("--checkpoint-interval", type=int, default=None,
+                         metavar="N",
+                         help="steps between embedded checkpoints "
+                              "(default: $REPRO_CHECKPOINT_INTERVAL or "
+                              "500)")
+    convert.set_defaults(func=cmd_convert)
 
     rep = sub.add_parser("replay", help="deterministically replay a pinball")
     rep.add_argument("program")
@@ -543,7 +612,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="drop into the REPL after -x commands")
     debug.add_argument("--reverse", action="store_true",
                        help="enable checkpoint-based reverse debugging")
-    debug.add_argument("--checkpoint-interval", type=int, default=500)
+    debug.add_argument("--checkpoint-interval", type=int, default=None,
+                       help="steps between reverse-debug checkpoints "
+                            "(default: $REPRO_CHECKPOINT_INTERVAL or 500)")
     debug.add_argument("--slice-index", choices=("ddg", "columnar", "rows"),
                        default=None,
                        help="slice-query engine for slicing commands")

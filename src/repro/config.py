@@ -32,6 +32,8 @@ environment variable      resolver                   type        default
 ``REPRO_OBS``             :func:`obs_enabled`        bool        ``False``
 ``REPRO_SERVE_WORKERS``   :func:`serve_workers`      int >= 1    ``2``
 ``REPRO_PERF_SMOKE``      :func:`perf_smoke`         bool        ``False``
+``REPRO_PINBALL_FORMAT``  :func:`pinball_format`     choice      ``v1``
+``REPRO_CHECKPOINT_INTERVAL``  :func:`checkpoint_interval`  int >= 1  ``500``
 ========================  =========================  ==========  =======
 
 Semantics, uniform across every knob:
@@ -58,9 +60,11 @@ from typing import Callable, Dict, Optional, Tuple
 __all__ = [
     "KNOBS",
     "Knob",
+    "checkpoint_interval",
     "engine",
     "obs_enabled",
     "perf_smoke",
+    "pinball_format",
     "precedence_table",
     "resolve",
     "serve_workers",
@@ -72,6 +76,8 @@ __all__ = [
 _ENGINES = ("predecoded", "legacy")
 #: Recognised slice-query engines (mirrored by ``SLICE_INDEXES``).
 _SLICE_INDEXES = ("ddg", "columnar", "rows")
+#: Recognised pinball serialization formats.
+_PINBALL_FORMATS = ("v1", "v2")
 
 _FALSEY = ("", "0")
 
@@ -151,6 +157,12 @@ KNOBS: Dict[str, Knob] = {
              doc="debug-service worker-pool width"),
         Knob("perf_smoke", "REPRO_PERF_SMOKE", False, _parse_bool,
              doc="benchmarks: reduced sizes, no perf-ratio assertions"),
+        Knob("pinball_format", "REPRO_PINBALL_FORMAT", "v1", _identity,
+             _choice(_PINBALL_FORMATS),
+             doc="default pinball serialization (v1 JSON, v2 streamed)"),
+        Knob("checkpoint_interval", "REPRO_CHECKPOINT_INTERVAL", 500,
+             _parse_int, _positive,
+             doc="steps between embedded / reverse-debug checkpoints"),
     )
 }
 
@@ -209,6 +221,18 @@ def perf_smoke(explicit: Optional[bool] = None,
                cli: Optional[bool] = None) -> bool:
     """Benchmark smoke mode: small sizes, correctness-only assertions."""
     return resolve("perf_smoke", explicit, cli)
+
+
+def pinball_format(explicit: Optional[str] = None,
+                   cli: Optional[str] = None) -> str:
+    """Pinball serialization format: ``v1`` (default) or ``v2``."""
+    return resolve("pinball_format", explicit, cli)
+
+
+def checkpoint_interval(explicit: Optional[int] = None,
+                        cli: Optional[int] = None) -> int:
+    """Steps between embedded (v2) / reverse-debugging checkpoints."""
+    return resolve("checkpoint_interval", explicit, cli)
 
 
 def precedence_table() -> str:

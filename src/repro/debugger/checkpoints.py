@@ -39,17 +39,19 @@ class Checkpoint:
     """Everything needed to restart replay from one point."""
 
     __slots__ = ("steps_done", "snapshot", "injector_consumed",
-                 "global_seq", "output", "excl_arrivals")
+                 "global_seq", "output", "excl_arrivals", "instr_counts")
 
     def __init__(self, steps_done: int, snapshot: dict,
                  injector_consumed: Dict[int, int], global_seq: int,
-                 output: list, excl_arrivals: Dict[Tuple[int, int], int]) -> None:
+                 output: list, excl_arrivals: Dict[Tuple[int, int], int],
+                 instr_counts: Optional[Dict[int, int]] = None) -> None:
         self.steps_done = steps_done
         self.snapshot = snapshot
         self.injector_consumed = injector_consumed
         self.global_seq = global_seq
         self.output = output
         self.excl_arrivals = excl_arrivals
+        self.instr_counts = instr_counts
 
 
 def remaining_schedule(schedule, steps_done: int):
@@ -82,6 +84,15 @@ class CheckpointManager:
         self.program = program
         self.interval = interval
         self._checkpoints: List[Checkpoint] = []
+        #: Checkpoints embedded in the pinball itself (format v2): free
+        #: rewind targets that exist before the session replays anything,
+        #: which is what collapses the debugger.resume_distance histogram
+        #: for fresh sessions.  Materialized (decoded) lazily, at most
+        #: once each.
+        self._embedded = sorted(getattr(pinball, "checkpoints", ()) or (),
+                                key=lambda c: c.steps_done)
+        self._embedded_steps = [c.steps_done for c in self._embedded]
+        self._embedded_cache: Dict[int, Checkpoint] = {}
         #: Cumulative step counts of the RLE schedule runs: prefix[i] =
         #: steps retired once run i is fully consumed.  Computed once; a
         #: rewind binary-searches its resume run instead of re-walking
@@ -110,18 +121,50 @@ class CheckpointManager:
             global_seq=machine.global_seq,
             output=list(machine.output),
             excl_arrivals=dict(machine._excl_arrivals),
+            instr_counts={tid: thread.instr_count
+                          for tid, thread in machine.threads.items()},
         )
         self._checkpoints.append(checkpoint)
         OBS.add("debugger.checkpoints_captured", 1)
         return checkpoint
 
     def due(self, steps_done: int) -> bool:
-        """Is a checkpoint due at this step count?"""
-        if not self._checkpoints:
+        """Is a checkpoint due at this step count?
+
+        Embedded checkpoints count: when the pinball already carries one
+        within ``interval`` steps behind, a live capture would be
+        redundant snapshot memory.
+        """
+        last = (self._checkpoints[-1].steps_done
+                if self._checkpoints else None)
+        index = bisect_right(self._embedded_steps, steps_done)
+        if index:
+            embedded = self._embedded_steps[index - 1]
+            last = embedded if last is None else max(last, embedded)
+        if last is None:
             return True
-        return steps_done - self._checkpoints[-1].steps_done >= self.interval
+        return steps_done - last >= self.interval
 
     # -- restore -------------------------------------------------------------------
+
+    def _materialize(self, embedded) -> Checkpoint:
+        """Decode one embedded checkpoint into live-checkpoint form
+        (exclusion pinballs never embed checkpoints, so no arrivals)."""
+        checkpoint = self._embedded_cache.get(embedded.steps_done)
+        if checkpoint is None:
+            body = embedded.body()
+            checkpoint = Checkpoint(
+                steps_done=embedded.steps_done,
+                snapshot=body["snapshot"],
+                injector_consumed=body["consumed"],
+                global_seq=embedded.global_seq,
+                output=list(body["output"]),
+                excl_arrivals={},
+                instr_counts=body["instr_counts"],
+            )
+            self._embedded_cache[embedded.steps_done] = checkpoint
+            OBS.add("debugger.embedded_checkpoints_used", 1)
+        return checkpoint
 
     def latest_at_or_before(self, target_steps: int) -> Optional[Checkpoint]:
         best = None
@@ -130,6 +173,10 @@ class CheckpointManager:
                 best = checkpoint
             else:
                 break
+        index = bisect_right(self._embedded_steps, target_steps)
+        if index and (best is None
+                      or self._embedded_steps[index - 1] > best.steps_done):
+            best = self._materialize(self._embedded[index - 1])
         return best
 
     def drop_after(self, steps: int) -> None:
@@ -167,6 +214,14 @@ class CheckpointManager:
             scheduler=scheduler, syscall_injector=injector.inject)
         machine.global_seq = checkpoint.global_seq
         machine.output = list(checkpoint.output)
+        if checkpoint.instr_counts:
+            # Machine snapshots do not carry per-thread retired-instruction
+            # counters; restore them so region-relative tindexes stay
+            # correct after a rewind.
+            for tid, count in checkpoint.instr_counts.items():
+                thread = machine.threads.get(tid)
+                if thread is not None:
+                    thread.instr_count = count
         if self.pinball.exclusions:
             machine.install_exclusions(self.pinball.exclusions)
             machine._excl_arrivals = dict(checkpoint.excl_arrivals)

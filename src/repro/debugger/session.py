@@ -62,15 +62,21 @@ class DrDebugSession:
 
     # -- execution control ---------------------------------------------------
 
-    def enable_reverse_debugging(self, interval: int = 500) -> None:
+    def enable_reverse_debugging(self,
+                                 interval: Optional[int] = None) -> None:
         """Arm checkpoint-based reverse execution (paper Section 8).
 
         Replay will snapshot the machine every ``interval`` scheduler
-        steps; reverse commands rewind to the nearest checkpoint and
-        replay forward the remainder.  Call before (or between) runs.
+        steps (default: the ``checkpoint_interval`` config knob); reverse
+        commands rewind to the nearest checkpoint and replay forward the
+        remainder.  Call before (or between) runs.  Format-v2 pinballs
+        arrive with embedded checkpoints, so even the first rewind of a
+        fresh session is O(interval) rather than O(region).
         """
+        from repro import config
         self._checkpoints = CheckpointManager(
-            self.pinball, self.program, interval)
+            self.pinball, self.program,
+            config.checkpoint_interval(explicit=interval))
 
     @property
     def reverse_enabled(self) -> bool:
@@ -215,18 +221,26 @@ class DrDebugSession:
 
     # -- reverse execution (paper Section 8 extension) -------------------------
 
-    def _require_reverse(self) -> CheckpointManager:
+    def _require_reverse(self, need_machine: bool = True
+                         ) -> CheckpointManager:
         if self._checkpoints is None:
             raise DebuggerError(
                 "reverse debugging not enabled; call "
                 "enable_reverse_debugging() before run()")
-        if self.machine is None:
+        if need_machine and self.machine is None:
             raise DebuggerError("no replay running; use run()")
         return self._checkpoints
 
     def _rewind_to(self, target_steps: int) -> None:
-        """Restore replay state exactly at ``target_steps``."""
-        manager = self._require_reverse()
+        """Restore replay state exactly at ``target_steps``.
+
+        Works on a machine-less session too: the restore path always
+        builds its own machine (from the nearest checkpoint, or from the
+        region snapshot when none precedes the target), so a fresh
+        session's first seek never pays for a full-schedule machine it
+        would immediately throw away.
+        """
+        manager = self._require_reverse(need_machine=False)
         target_steps = max(0, target_steps)
         checkpoint = manager.latest_at_or_before(target_steps)
         if OBS.enabled:
@@ -255,6 +269,25 @@ class DrDebugSession:
             if stepped == 0:
                 break
         self.machine.breakpoints = self.breakpoints.active_addrs()
+
+    def seek(self, target_steps: int) -> str:
+        """Jump the replay to an absolute step count (forwards or back).
+
+        Uses the checkpoint machinery in both directions: the session
+        restores the nearest checkpoint at or before the target (an
+        embedded one for v2 pinballs) and replays only the suffix, so the
+        cost is bounded by the checkpoint interval, not by the region
+        length or the seek distance.
+        """
+        OBS.add("debugger.commands", 1)
+        if self._checkpoints is None:
+            raise DebuggerError(
+                "reverse debugging not enabled; call "
+                "enable_reverse_debugging() before seek()")
+        target_steps = max(0, min(target_steps, self.pinball.total_steps))
+        self._rewind_to(target_steps)
+        self.last_stop_reason = "seek"
+        return "at step %d; %s" % (self.steps_done, self.where())
 
     def reverse_stepi(self, count: int = 1) -> str:
         """Step ``count`` scheduler steps backwards."""

@@ -19,19 +19,26 @@ The three tools of the paper's substrate, reimplemented over our VM:
 """
 
 from repro.pinplay.pinball import Pinball, PinballFormatError
+from repro.pinplay.format_v2 import EmbeddedCheckpoint, LazyPinball
 from repro.pinplay.regions import RegionSpec
-from repro.pinplay.logger import LoggerTool, record_region
-from repro.pinplay.replayer import SyscallInjector, replay, replay_machine
+from repro.pinplay.logger import FastRecorder, LoggerTool, record_region
+from repro.pinplay.replayer import (SyscallInjector, generate_checkpoints,
+                                    replay, replay_machine, resume_machine)
 from repro.pinplay.relogger import relog
 
 __all__ = [
+    "EmbeddedCheckpoint",
+    "FastRecorder",
+    "LazyPinball",
     "LoggerTool",
     "Pinball",
     "PinballFormatError",
     "RegionSpec",
     "SyscallInjector",
+    "generate_checkpoints",
     "record_region",
     "relog",
     "replay",
     "replay_machine",
+    "resume_machine",
 ]

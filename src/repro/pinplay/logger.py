@@ -16,8 +16,12 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from repro import config
 from repro.isa.program import Program
 from repro.obs.registry import OBS
+from repro.pinplay.format_v2 import (EDGE_CHUNK, SCHEDULE_CHUNK,
+                                     EmbeddedCheckpoint, PinballWriter,
+                                     capture_state)
 from repro.pinplay.pinball import Pinball, state_hash
 from repro.pinplay.regions import RegionSpec
 from repro.vm.hooks import InstrEvent, SyscallEvent, Tool
@@ -103,6 +107,198 @@ class LoggerTool(Tool):
                 self._readers_since_write[addr] = {}
 
 
+class FastRecorder(Tool):
+    """The always-on record path: no per-instruction events at all.
+
+    Registered both as a machine tool (syscall results and thread
+    creations fire through the untraced syscall/lifecycle hooks) and as
+    the machine's *recorder* (:meth:`Machine.set_recorder`): the run
+    loop records the RLE schedule inline and calls :meth:`on_mem` only
+    for instructions that touched memory.  The mem-order algorithm is
+    the same as :class:`LoggerTool`'s, fed from the raw access lists
+    instead of events.
+
+    With a :class:`~repro.pinplay.format_v2.PinballWriter` attached,
+    full schedule/edge chunks are flushed to disk as they fill and a
+    machine-state checkpoint frame is emitted every
+    ``checkpoint_interval`` steps — peak memory stays flat in region
+    length.  Without a writer the same chunks simply accumulate in
+    memory (and checkpoints, if requested, are kept as
+    :class:`EmbeddedCheckpoint` objects on the resulting pinball).
+    """
+
+    wants_instr_events = False     # the whole point
+
+    def __init__(self, writer: Optional[PinballWriter] = None,
+                 checkpoint_interval: int = 0) -> None:
+        self.writer = writer
+        self.checkpoint_interval = int(checkpoint_interval or 0)
+        self.next_checkpoint = self.checkpoint_interval
+        self.steps_done = 0
+        self.schedule_runs: List[Tuple[int, int]] = []
+        self.syscalls: Dict[int, List[Tuple[str, object]]] = {}
+        self.mem_order: List[Tuple[int, int, int, int, int, str]] = []
+        self.thread_creates: List[Tuple[int, Optional[int], int]] = []
+        self.checkpoints: List[EmbeddedCheckpoint] = []
+        # Flushed-so-far totals (the live lists are cleared on flush).
+        self.run_count = 0
+        self.edge_count = 0
+        # Pending RLE run, owned by the machine loop between run() calls.
+        self._run_tid: Optional[int] = None
+        self._run_count = 0
+        # Per-address bookkeeping, semantically identical to LoggerTool's
+        # three dicts but merged into one record per address so the hot
+        # path does a single hash lookup:
+        #   addr -> [owner (sole tid, or -2 = shared),
+        #            readers-since-last-write {tid: tindex} or None,
+        #            last-writer tid or None, last-writer tindex]
+        self._mem_state: Dict[int, list] = {}
+        self._output_start = 0
+
+    def attach(self, machine: Machine, output_start: int) -> None:
+        machine.add_tool(self)
+        machine.set_recorder(self)
+        self._output_start = output_start
+
+    # -- feed from the machine loop -------------------------------------------
+
+    def append_run(self, tid: int, count: int) -> None:
+        runs = self.schedule_runs
+        runs.append((tid, count))
+        self.run_count += 1
+        if self.writer is not None and len(runs) >= SCHEDULE_CHUNK:
+            self.writer.write_schedule(runs)
+            del runs[:]
+
+    def on_syscall(self, event: SyscallEvent) -> None:
+        if event.name in NONDET_SYSCALLS:
+            self.syscalls.setdefault(event.tid, []).append(
+                (event.name, event.result))
+
+    def on_thread_start(self, tid, parent, start_pc, arg) -> None:
+        self.thread_creates.append((tid, parent, start_pc))
+
+    def on_mem(self, tid: int, tindex: int, read_addrs, write_addrs) -> None:
+        """Record access-order edges for one instruction's memory touches.
+
+        Takes bare address lists (the record micro-ops deposit addresses
+        only — edge detection never needs values) and emits the same
+        raw/waw/war edges, in the same order, as :class:`LoggerTool`'s
+        event-stream walk (the differential suite asserts this).
+        """
+        edges = self.mem_order
+        state = self._mem_state
+        for addr in read_addrs:
+            st = state.get(addr)
+            if st is None:
+                state[addr] = [tid, {tid: tindex}, None, 0]
+                continue
+            readers = st[1]
+            if st[0] != tid:
+                if st[0] != -2:
+                    st[0] = -2
+                if readers is None:
+                    st[1] = {tid: tindex}
+                    wtid = st[2]
+                    if wtid is not None and wtid != tid:
+                        edges.append((wtid, st[3], tid, tindex, addr, "raw"))
+                    continue
+                if tid not in readers:
+                    wtid = st[2]
+                    if wtid is not None and wtid != tid:
+                        edges.append((wtid, st[3], tid, tindex, addr, "raw"))
+            elif readers is None:
+                st[1] = {tid: tindex}
+                continue
+            readers[tid] = tindex
+        for addr in write_addrs:
+            st = state.get(addr)
+            if st is None:
+                state[addr] = [tid, None, tid, tindex]
+                continue
+            if st[0] != tid:
+                if st[0] != -2:
+                    st[0] = -2
+                wtid = st[2]
+                if wtid is not None and wtid != tid:
+                    edges.append((wtid, st[3], tid, tindex, addr, "waw"))
+                readers = st[1]
+                if readers:
+                    for reader_tid, reader_tindex in readers.items():
+                        if reader_tid != tid:
+                            edges.append((reader_tid, reader_tindex, tid,
+                                          tindex, addr, "war"))
+            st[2] = tid
+            st[3] = tindex
+            readers = st[1]
+            if readers:
+                readers.clear()
+        if self.writer is not None and len(edges) >= EDGE_CHUNK:
+            self.edge_count += len(edges)
+            self.writer.write_mem_order(edges)
+            del edges[:]
+
+    # -- checkpoints ----------------------------------------------------------
+
+    def capture(self, machine: Machine, steps_done: int) -> None:
+        """Emit one embedded checkpoint for the state after
+        ``steps_done`` region steps (called from the machine loop
+        *before* the next step executes)."""
+        consumed = {tid: len(log) for tid, log in self.syscalls.items()}
+        body = capture_state(machine, consumed,
+                             machine.output[self._output_start:])
+        if self.writer is not None:
+            self.writer.write_checkpoint(steps_done, machine.global_seq,
+                                         body)
+        else:
+            self.checkpoints.append(
+                EmbeddedCheckpoint(steps_done, machine.global_seq,
+                                   body=body))
+        self.next_checkpoint = steps_done + self.checkpoint_interval
+
+    def finish(self) -> None:
+        """Flush the pending RLE run (the machine loop syncs it back
+        between run() calls)."""
+        if self._run_count:
+            self.append_run(self._run_tid, self._run_count)
+            self._run_tid = None
+            self._run_count = 0
+
+    def total_edges(self) -> int:
+        return self.edge_count + len(self.mem_order)
+
+
+class _CheckpointHook(Tool):
+    """Checkpoint capture for the classic (event-based) record path.
+
+    ``on_step`` fires after ``self.steps`` region steps have completed
+    and before the pending one executes — the same capture point the
+    fast path uses — so v2 recordings made with extra tools or the
+    legacy engine embed byte-identical checkpoints.
+    """
+
+    def __init__(self, machine: Machine, logger: LoggerTool,
+                 interval: int, output_start: int) -> None:
+        self.machine = machine
+        self.logger = logger
+        self.interval = interval
+        self.steps = 0
+        self.checkpoints: List[EmbeddedCheckpoint] = []
+        self._output_start = output_start
+
+    def on_step(self, tid: int) -> None:
+        if self.steps and self.steps % self.interval == 0:
+            machine = self.machine
+            consumed = {t: len(log)
+                        for t, log in self.logger.syscalls.items()}
+            body = capture_state(machine, consumed,
+                                 machine.output[self._output_start:])
+            self.checkpoints.append(
+                EmbeddedCheckpoint(self.steps, machine.global_seq,
+                                   body=body))
+        self.steps += 1
+
+
 def _fast_forward(machine: Machine, skip: int) -> None:
     """Advance until the main thread has retired ``skip`` instructions."""
     main = machine.threads[MAIN_TID]
@@ -117,7 +313,10 @@ def record_region(program: Program,
                   region: Optional[RegionSpec] = None,
                   inputs=(), rand_seed: int = 0,
                   extra_tools=(),
-                  engine: Optional[str] = None) -> Pinball:
+                  engine: Optional[str] = None,
+                  stream_path: Optional[str] = None,
+                  pinball_format: Optional[str] = None,
+                  checkpoint_interval: Optional[int] = None) -> Pinball:
     """Log a region of a fresh run of ``program`` into a pinball.
 
     ``scheduler`` drives the interleaving of the *recording* run (e.g. a
@@ -127,8 +326,27 @@ def record_region(program: Program,
     interpreter (see :data:`repro.vm.machine.ENGINES`); the fast-forward
     phase runs with no tools attached, so the predecoded engine's
     untraced path gives it Pin-only speed.
+
+    The record phase itself uses the event-free :class:`FastRecorder`
+    whenever it can (predecoded engine, no extra tools) and falls back
+    to the classic :class:`LoggerTool` otherwise — both produce
+    identical pinballs (the differential suite asserts it).
+
+    ``pinball_format``/``checkpoint_interval`` default to the config
+    knobs.  Under format v2 the recorder embeds a machine checkpoint
+    every ``checkpoint_interval`` steps, and ``stream_path`` (fast path
+    only) streams frames to that file during recording — the returned
+    pinball is the lazily-opened file, and peak memory stays flat in
+    region length.
     """
     region = region or RegionSpec()
+    fmt = config.pinball_format(explicit=pinball_format)
+    if fmt == "v2" or checkpoint_interval is not None:
+        interval = config.checkpoint_interval(explicit=checkpoint_interval)
+    else:
+        interval = 0
+    if stream_path is not None and fmt != "v2":
+        raise ValueError("stream_path requires pinball format v2")
     machine = Machine(program, scheduler=scheduler, inputs=inputs,
                       rand_seed=rand_seed, engine=engine)
     if region.skip:
@@ -138,39 +356,86 @@ def record_region(program: Program,
     machine.reset_counters()
     snapshot = machine.snapshot().to_dict()
     output_start = len(machine.output)
-    tool = LoggerTool()
-    machine.add_tool(tool)
-    for extra in extra_tools:
-        machine.add_tool(extra)
+
+    use_fast = machine.engine == "predecoded" and not extra_tools
+    recorder = tool = hook = None
+    writer = stream_fh = None
+    if use_fast:
+        if stream_path is not None:
+            stream_fh = open(stream_path, "wb")
+            writer = PinballWriter(stream_fh, program.name,
+                                   checkpoint_interval=interval)
+            writer.write_snapshot(snapshot)
+        recorder = FastRecorder(writer=writer,
+                                checkpoint_interval=interval)
+        recorder.attach(machine, output_start)
+    else:
+        if stream_path is not None:
+            raise ValueError(
+                "stream_path requires the fast record path "
+                "(predecoded engine, no extra tools)")
+        tool = LoggerTool()
+        machine.add_tool(tool)
+        if interval:
+            hook = _CheckpointHook(machine, tool, interval, output_start)
+            machine.add_tool(hook)
+        for extra in extra_tools:
+            machine.add_tool(extra)
 
     main = machine.threads[MAIN_TID]
     end_reason = "program_end"
-    with OBS.span("pinplay.record"):
-        while True:
-            if machine.finished:
-                end_reason = ("failure" if machine.failure is not None
-                              else "program_end")
-                break
-            if region.length is not None:
-                remaining = region.length - main.instr_count
-                if remaining <= 0:
-                    end_reason = "length_reached"
+    try:
+        with OBS.span("pinplay.record"):
+            while True:
+                if machine.finished:
+                    end_reason = ("failure" if machine.failure is not None
+                                  else "program_end")
                     break
-                if main.status == ThreadStatus.FINISHED:
-                    end_reason = "main_finished"
-                    break
-                machine.run(max_steps=remaining)
-            else:
-                machine.run()
+                if region.length is not None:
+                    remaining = region.length - main.instr_count
+                    if remaining <= 0:
+                        end_reason = "length_reached"
+                        break
+                    if main.status == ThreadStatus.FINISHED:
+                        end_reason = "main_finished"
+                        break
+                    machine.run(max_steps=remaining)
+                else:
+                    machine.run()
+    except BaseException:
+        if stream_fh is not None:
+            stream_fh.close()
+        raise
+
+    if use_fast:
+        machine.set_recorder(None)
+        recorder.finish()
+        schedule_runs = recorder.schedule_runs
+        syscalls = recorder.syscalls
+        mem_order = recorder.mem_order
+        thread_creates = recorder.thread_creates
+        checkpoints = recorder.checkpoints
+        schedule_steps = recorder.steps_done
+        run_count = recorder.run_count
+        edge_count = recorder.total_edges()
+    else:
+        schedule_runs = tool.schedule.runs
+        syscalls = tool.syscalls
+        mem_order = tool.mem_order
+        thread_creates = tool.thread_creates
+        checkpoints = hook.checkpoints if hook is not None else []
+        schedule_steps = tool.schedule.total()
+        run_count = len(schedule_runs)
+        edge_count = len(mem_order)
 
     if OBS.enabled:
         OBS.add("pinplay.regions_recorded", 1)
-        OBS.add("pinplay.schedule_steps", tool.schedule.total())
-        OBS.add("pinplay.schedule_runs", len(tool.schedule.runs))
-        OBS.add("pinplay.mem_order_edges", len(tool.mem_order))
+        OBS.add("pinplay.schedule_steps", schedule_steps)
+        OBS.add("pinplay.schedule_runs", run_count)
+        OBS.add("pinplay.mem_order_edges", edge_count)
         OBS.add("pinplay.syscall_results_logged",
-                sum(len(log) for log in tool.syscalls.values()))
-        OBS.add("pinplay.thread_creates", len(tool.thread_creates))
+                sum(len(log) for log in syscalls.values()))
+        OBS.add("pinplay.thread_creates", len(thread_creates))
 
     counts = {str(tid): thread.instr_count
               for tid, thread in machine.threads.items()}
@@ -181,19 +446,36 @@ def record_region(program: Program,
         "end_reason": end_reason,
         "failure": machine.failure,
         "thread_instr_counts": counts,
-        "schedule_steps": tool.schedule.total(),
+        "schedule_steps": schedule_steps,
         "output": list(machine.output[output_start:]),
         "final_state_hash": state_hash(machine),
         "exit_code": machine.exit_code,
     }
-    return Pinball(
+    if writer is not None:
+        # Flush the final partial chunks and the epilogue, then hand the
+        # caller the lazily-opened file: the frames were never all in
+        # memory at once.
+        writer.write_schedule(schedule_runs)
+        writer.write_mem_order(mem_order)
+        writer.write_syscalls(syscalls)
+        writer.write_meta(meta)
+        stream_fh.close()
+        if OBS.enabled:
+            OBS.add("pinplay.pinballs_saved", 1)
+            OBS.add("pinplay.pinball_bytes_written", writer.bytes_written)
+        return Pinball.load(stream_path)
+    pinball = Pinball(
         program_name=program.name,
         snapshot=snapshot,
-        schedule=tool.schedule.runs,
-        syscalls=tool.syscalls,
-        mem_order=tool.mem_order,
+        schedule=schedule_runs,
+        syscalls=syscalls,
+        mem_order=mem_order,
         meta=meta,
         # The recorder structures are already canonical (int tids/counts,
         # str names): skip the constructor's per-element re-cast pass.
         trusted=True,
     )
+    pinball.checkpoints = checkpoints
+    if fmt == "v2":
+        pinball._native_format = "v2"
+    return pinball

@@ -17,14 +17,21 @@ A pinball captures one *region* of one run of one program:
   failure record, expected output, and a final-state hash the replayer can
   verify against.
 
-Pinballs serialize to zlib-compressed JSON; :meth:`Pinball.save` returns
-the on-disk byte size, which is what the Table 2/3 "Space" columns report.
+Two serialized forms exist.  Format **v1** is one zlib-compressed JSON
+blob (this module).  Format **v2** (:mod:`repro.pinplay.format_v2`) is a
+streaming container of framed binary segments with embedded machine
+checkpoints; :meth:`Pinball.from_bytes` auto-detects both, and
+``to_bytes``/``save`` take a ``format`` argument whose default follows
+the ``repro.config`` ``pinball_format`` knob.  :meth:`Pinball.save`
+returns the on-disk byte size, which is what the Table 2/3 "Space"
+columns report.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import mmap
 import os
 import zlib
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -82,6 +89,19 @@ class Pinball:
             self.mem_order = [tuple(edge) for edge in mem_order]
         self.exclusions = list(exclusions)
         self.meta = dict(meta or {})
+        #: :class:`~repro.pinplay.format_v2.EmbeddedCheckpoint` list —
+        #: populated by the recorder (v2) or checkpoint generation; not
+        #: part of the v1 serialized form.
+        self.checkpoints: list = []
+        #: Set to "v2" by a v2 recording: serialization then defaults to
+        #: v2 even when the config knob says v1 (the embedded
+        #: checkpoints would otherwise silently drop).
+        self._native_format = "v1"
+
+    @property
+    def format(self) -> str:
+        """The serialized form this pinball came from / natively uses."""
+        return self._native_format
 
     # -- derived quantities ---------------------------------------------------
 
@@ -91,7 +111,19 @@ class Pinball:
 
     @property
     def total_steps(self) -> int:
-        return sum(count for _, count in self.schedule)
+        # Cached: O(runs) to sum, and callers treat it as a cheap scalar
+        # (the debugger reads it per command).  The cache key guards the
+        # two ways the list could change under us — rebinding and
+        # appends — neither of which any current code path does after
+        # construction.
+        schedule = self.schedule
+        cached = self.__dict__.get("_total_steps")
+        if (cached is not None and cached[0] is schedule
+                and cached[1] == len(schedule)):
+            return cached[2]
+        total = sum(count for _, count in schedule)
+        self.__dict__["_total_steps"] = (schedule, len(schedule), total)
+        return total
 
     @property
     def total_instructions(self) -> int:
@@ -130,14 +162,16 @@ class Pinball:
                 "%s: unsupported pinball format version %r (expected %r)"
                 % (source, version, cls.FORMAT_VERSION))
         # Single-pass canonicalization from the (trusted, self-produced)
-        # serialized form: the constructor's normalization casts would
-        # re-copy every schedule entry, syscall record and edge a second
-        # time, which dominates Pinball.load for long regions.
+        # serialized form.  JSON already delivers ints, so the schedule
+        # needs only the shape-checking tuple unpack — the old
+        # ``int(t)``/``int(c)`` casts re-boxed every entry for nothing
+        # and dominated Pinball.load for long regions.  Syscall tids are
+        # the one real conversion (JSON object keys are strings).
         try:
             return cls(
                 program_name=payload["program_name"],
                 snapshot=payload["snapshot"],
-                schedule=[(int(t), int(c)) for t, c in payload["schedule"]],
+                schedule=[(t, c) for t, c in payload["schedule"]],
                 syscalls={int(tid): [(entry[0], entry[1]) for entry in log]
                           for tid, log in payload["syscalls"].items()},
                 mem_order=[tuple(edge) for edge in payload["mem_order"]],
@@ -150,12 +184,29 @@ class Pinball:
                 "%s: malformed pinball payload (%s: %s)"
                 % (source, type(exc).__name__, exc)) from exc
 
-    def to_bytes(self, compress: bool = True) -> bytes:
+    def to_bytes(self, compress: bool = True,
+                 format: Optional[str] = None) -> bytes:
+        """Serialize; ``format`` is ``"v1"``/``"v2"``, defaulting to the
+        pinball's native format if that is v2, else to the
+        ``pinball_format`` config knob (env ``REPRO_PINBALL_FORMAT``)."""
+        from repro import config
+        if format is None and self._native_format == "v2":
+            format = "v2"
+        if config.pinball_format(explicit=format) == "v2":
+            from repro.pinplay import format_v2
+            return format_v2.encode_pinball(self)
         raw = json.dumps(self.to_dict(), separators=(",", ":")).encode("utf-8")
         return zlib.compress(raw, level=6) if compress else raw
 
     @classmethod
     def from_bytes(cls, blob: bytes, source: str = "<bytes>") -> "Pinball":
+        if blob[:4] == b"RPB2":
+            from repro.pinplay import format_v2
+            pinball = format_v2.open_pinball(bytes(blob), source=source)
+            if OBS.enabled:
+                OBS.add("pinplay.pinballs_loaded", 1)
+                OBS.add("pinplay.pinball_bytes_read", len(blob))
+            return pinball
         try:
             raw = zlib.decompress(blob)
         except zlib.error:
@@ -175,9 +226,10 @@ class Pinball:
             OBS.add("pinplay.pinball_bytes_read", len(blob))
         return pinball
 
-    def save(self, path: str, compress: bool = True) -> int:
+    def save(self, path: str, compress: bool = True,
+             format: Optional[str] = None) -> int:
         """Write to ``path``; returns the stored size in bytes."""
-        blob = self.to_bytes(compress=compress)
+        blob = self.to_bytes(compress=compress, format=format)
         with open(path, "wb") as handle:
             handle.write(blob)
         if OBS.enabled:
@@ -188,11 +240,30 @@ class Pinball:
     @classmethod
     def load(cls, path: str) -> "Pinball":
         with open(path, "rb") as handle:
+            if handle.read(4) == b"RPB2":
+                # Map the container instead of copying it into the heap:
+                # the lazy open scans frame headers in place, and payload
+                # bytes are only materialized per-frame on first access.
+                # (The mapping outlives the closed handle.)
+                try:
+                    blob = mmap.mmap(handle.fileno(), 0,
+                                     access=mmap.ACCESS_READ)
+                except (ValueError, OSError):
+                    handle.seek(0)
+                    return cls.from_bytes(handle.read(), source=path)
+                from repro.pinplay import format_v2
+                pinball = format_v2.open_pinball(blob, source=path)
+                if OBS.enabled:
+                    OBS.add("pinplay.pinballs_loaded", 1)
+                    OBS.add("pinplay.pinball_bytes_read", len(blob))
+                return pinball
+            handle.seek(0)
             return cls.from_bytes(handle.read(), source=path)
 
-    def size_bytes(self, compress: bool = True) -> int:
+    def size_bytes(self, compress: bool = True,
+                   format: Optional[str] = None) -> int:
         """In-memory serialized size (no file needed)."""
-        return len(self.to_bytes(compress=compress))
+        return len(self.to_bytes(compress=compress, format=format))
 
 
 def state_hash(machine) -> str:

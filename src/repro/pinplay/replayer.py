@@ -19,6 +19,8 @@ from typing import Dict, Optional, Sequence, Tuple
 
 from repro.isa.program import Program
 from repro.obs.registry import OBS
+from repro.pinplay.format_v2 import (EmbeddedCheckpoint, capture_state,
+                                     schedule_suffix)
 from repro.pinplay.pinball import Pinball, state_hash
 from repro.vm.errors import ReplayDivergence
 from repro.vm.hooks import Tool
@@ -90,6 +92,91 @@ def replay_machine(pinball: Pinball, program: Program,
     if pinball.exclusions:
         machine.install_exclusions(pinball.exclusions)
     return machine
+
+
+def best_checkpoint(pinball: Pinball,
+                    steps: int) -> Optional[EmbeddedCheckpoint]:
+    """The latest embedded checkpoint at or before region step ``steps``
+    (None when the pinball carries none that early)."""
+    best = None
+    for checkpoint in getattr(pinball, "checkpoints", ()) or ():
+        if checkpoint.steps_done <= steps and (
+                best is None or checkpoint.steps_done > best.steps_done):
+            best = checkpoint
+    return best
+
+
+def resume_machine(pinball: Pinball, program: Program,
+                   checkpoint: EmbeddedCheckpoint,
+                   engine: Optional[str] = None
+                   ) -> Tuple[Machine, SyscallInjector]:
+    """A machine resumed *mid-region* from an embedded checkpoint.
+
+    This is the O(chunk) seek primitive: restoring the checkpoint's
+    snapshot and replaying only the schedule suffix reaches any step in
+    at most ``checkpoint_interval`` replayed steps, regardless of how
+    long the region is.  The injector is returned so callers (debugger,
+    shard scout) can capture further resume points of their own.
+    """
+    if program.name != pinball.program_name:
+        raise ReplayDivergence(
+            "pinball was recorded for %r, not %r"
+            % (pinball.program_name, program.name))
+    body = checkpoint.body()
+    scheduler = RecordedScheduler(
+        schedule_suffix(pinball.schedule, checkpoint.steps_done))
+    injector = SyscallInjector(pinball.syscalls)
+    injector.rewind_to(body["consumed"])
+    machine = Machine.from_snapshot(
+        program, MachineSnapshot.from_dict(body["snapshot"]),
+        scheduler=scheduler, syscall_injector=injector.inject,
+        engine=engine)
+    machine.global_seq = checkpoint.global_seq
+    machine.output = list(body["output"])
+    for tid, count in body["instr_counts"].items():
+        thread = machine.threads.get(tid)
+        if thread is not None:
+            thread.instr_count = count
+    if OBS.enabled:
+        OBS.add("pinplay.checkpoint_resumes", 1)
+    return machine, injector
+
+
+def generate_checkpoints(pinball: Pinball, program: Program,
+                         interval: int,
+                         engine: Optional[str] = None) -> list:
+    """Embedded checkpoints for a pinball recorded without them.
+
+    One replay pass, stopping every ``interval`` steps to capture a
+    resumable state — how ``repro convert`` upgrades a v1 pinball to a
+    fully seekable v2 one.  Slice pinballs (exclusions) are skipped:
+    their replay teleports, so interior machine states are not
+    checkpointable this way.
+    """
+    if interval < 1:
+        raise ValueError("checkpoint interval must be >= 1")
+    if pinball.exclusions:
+        return []
+    scheduler = RecordedScheduler(pinball.schedule)
+    injector = SyscallInjector(pinball.syscalls)
+    machine = Machine.from_snapshot(
+        program, MachineSnapshot.from_dict(pinball.snapshot),
+        scheduler=scheduler, syscall_injector=injector.inject,
+        engine=engine)
+    total = pinball.total_steps
+    checkpoints = []
+    done = 0
+    while done < total:
+        result = machine.run(max_steps=min(interval, total - done))
+        if result.steps == 0:
+            break
+        done += result.steps
+        if done < total:
+            checkpoints.append(EmbeddedCheckpoint(
+                done, machine.global_seq,
+                body=capture_state(machine, injector.consumed(),
+                                   machine.output)))
+    return checkpoints
 
 
 def replay(pinball: Pinball, program: Program,

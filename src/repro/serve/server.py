@@ -372,7 +372,9 @@ class DebugServer:
         sha = params.get("sha") or params.get("key")
         if not sha:
             raise rpc.RpcError(rpc.INVALID_PARAMS, "missing 'sha'")
-        data = self.store.get(sha)
+        # get_payload reassembles chunked (format-v2) pinballs; plain
+        # blobs pass through unchanged.
+        data = self.store.get_payload(sha)
         try:
             entry = self.store.entry(sha).to_dict()
         except KeyError:

@@ -22,8 +22,14 @@ needed to replay them) exactly that shape:
   bit-flipped or otherwise corrupt blobs surface as
   :class:`~repro.pinplay.pinball.PinballFormatError` naming the on-disk
   blob path.
+* **Chunked pinballs**: a format-v2 container is stored one blob *per
+  frame* plus a small self-describing index blob, so re-recording a
+  longer run of the same program dedups every frame of the shared
+  prefix.  :meth:`PinballStore.get_payload` reassembles the container
+  from the index alone (no manifest needed).
 * **gc** removes untagged entries (and their blobs) plus any orphan
-  blob files on disk that the manifest no longer references.
+  blob files on disk that the manifest no longer references; untagged
+  frame blobs survive while a surviving index entry references them.
 """
 
 from __future__ import annotations
@@ -37,6 +43,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.obs.registry import OBS
+from repro.pinplay.format_v2 import MAGIC as V2_MAGIC
 from repro.pinplay.pinball import Pinball, PinballFormatError
 
 MANIFEST_NAME = "manifest.json"
@@ -157,19 +164,17 @@ class PinballStore:
 
     # -- writes ------------------------------------------------------------
 
-    def put(self, data: bytes, kind: str = "pinball",
-            tags: Iterable[str] = (), meta: Optional[dict] = None,
-            ) -> Tuple[str, bool]:
-        """Store ``data``; returns ``(sha, deduplicated)``.
+    def _put_blob(self, data: bytes, kind: str) -> Tuple[str, bool]:
+        """Write one content-addressed blob + manifest entry in memory.
 
-        Re-putting identical content merges tags/meta into the existing
-        entry and writes no second blob (``deduplicated=True``).
+        Does *not* persist the manifest — callers batch several blob
+        writes (a v2 pinball's frames) under one ``_write_manifest``.
         """
         sha = self.content_key(data)
         entry = self._entries.get(sha)
         deduplicated = entry is not None
-        blob = zlib.compress(data, 6)
         if entry is None:
+            blob = zlib.compress(data, 6)
             path = self.blob_path(sha)
             os.makedirs(os.path.dirname(path), exist_ok=True)
             if not os.path.exists(path):
@@ -185,6 +190,18 @@ class PinballStore:
         else:
             if OBS.enabled:
                 OBS.inc("serve.store/dedup_hits")
+        return sha, deduplicated
+
+    def put(self, data: bytes, kind: str = "pinball",
+            tags: Iterable[str] = (), meta: Optional[dict] = None,
+            ) -> Tuple[str, bool]:
+        """Store ``data``; returns ``(sha, deduplicated)``.
+
+        Re-putting identical content merges tags/meta into the existing
+        entry and writes no second blob (``deduplicated=True``).
+        """
+        sha, deduplicated = self._put_blob(data, kind)
+        entry = self._entries[sha]
         for tag in tags:
             if tag not in entry.tags:
                 entry.tags.append(tag)
@@ -217,9 +234,20 @@ class PinballStore:
         self._write_manifest()
 
     def gc(self) -> List[str]:
-        """Remove untagged entries and orphan blob files; returns keys."""
-        removed = [sha for sha, entry in self._entries.items()
-                   if not entry.tags]
+        """Remove untagged entries and orphan blob files; returns keys.
+
+        Frame blobs of a chunked (v2) pinball are untagged by design:
+        they survive gc for as long as some surviving entry lists them in
+        ``meta["frames"]``, and go away with the last index that does.
+        """
+        candidates = {sha for sha, entry in self._entries.items()
+                      if not entry.tags}
+        referenced = set()
+        for sha, entry in self._entries.items():
+            if sha in candidates:
+                continue
+            referenced.update(entry.meta.get("frames", ()))
+        removed = sorted(candidates - referenced)
         for sha in removed:
             del self._entries[sha]
             try:
@@ -317,12 +345,19 @@ class PinballStore:
     # -- pinball / source conveniences ------------------------------------
 
     def put_pinball(self, pinball: Pinball, tags: Iterable[str] = (),
-                    meta: Optional[dict] = None) -> str:
-        """Store a pinball (uncompressed JSON payload; the store zlibs).
+                    meta: Optional[dict] = None,
+                    format: Optional[str] = None) -> str:
+        """Store a pinball; returns the sha to fetch it back by.
 
-        Content-addressing happens over the canonical uncompressed JSON,
-        so two recordings of the same program + schedule — byte-identical
-        payloads — deduplicate to one blob.
+        v1 pinballs are one blob, content-addressed over the canonical
+        uncompressed JSON, so two recordings of the same
+        program + schedule — byte-identical payloads — deduplicate to one
+        blob.  v2 containers are chunked *per frame*: each frame becomes
+        its own untagged blob and the addressed entry is a small index
+        listing them, so re-recording a longer run of the same program
+        dedups every frame of the shared prefix.  ``format`` defaults to
+        the pinball's own format (v1 stays v1, a lazily-opened v2 file
+        stays v2) unless the ``pinball_format`` config knob overrides.
         """
         combined = dict(meta or {})
         combined.setdefault("program_name", pinball.program_name)
@@ -330,12 +365,68 @@ class PinballStore:
         combined.setdefault("instructions", pinball.total_instructions)
         combined.setdefault(
             "failure", (pinball.meta.get("failure") or {}).get("code"))
-        sha, _dedup = self.put(pinball.to_bytes(compress=False),
-                               kind="pinball", tags=tags, meta=combined)
+        blob = pinball.to_bytes(compress=False, format=format)
+        if blob[:4] == V2_MAGIC:
+            return self._put_pinball_v2(blob, pinball.program_name,
+                                        tags, combined)
+        sha, _dedup = self.put(blob, kind="pinball", tags=tags,
+                               meta=combined)
         return sha
 
-    def get_pinball(self, sha: str) -> Pinball:
+    def _put_pinball_v2(self, blob: bytes, program_name: str,
+                        tags: Iterable[str], meta: dict) -> str:
+        from repro.pinplay.format_v2 import frame_chunks
+        frames = []
+        frame_dedups = 0
+        for chunk in frame_chunks(blob, source="<store put>"):
+            fsha, dedup = self._put_blob(chunk, kind="pinball-frame")
+            frames.append(fsha)
+            if dedup:
+                frame_dedups += 1
+        index = json.dumps(
+            {"repro_pinball_v2_index": 1, "program_name": program_name,
+             "frames": frames},
+            sort_keys=True).encode("utf-8")
+        meta = dict(meta)
+        meta["format"] = "v2"
+        meta["frames"] = frames
+        sha, _dedup = self.put(index, kind="pinball", tags=tags, meta=meta)
+        if OBS.enabled:
+            OBS.add("serve.store/frame_puts", len(frames))
+            OBS.add("serve.store/frame_dedup_hits", frame_dedups)
+        return sha
+
+    @staticmethod
+    def _v2_index_frames(data: bytes) -> Optional[List[str]]:
+        """The frame shas if ``data`` is a chunked-pinball index blob."""
+        if not data.startswith(b"{") or b"repro_pinball_v2_index" not in data:
+            return None
+        try:
+            payload = json.loads(data)
+        except ValueError:
+            return None
+        if (isinstance(payload, dict)
+                and payload.get("repro_pinball_v2_index") == 1):
+            return [str(sha) for sha in payload.get("frames", ())]
+        return None
+
+    def get_payload(self, sha: str) -> bytes:
+        """The stored pinball payload, reassembling chunked v2 entries.
+
+        Like :meth:`get`, works without the manifest: the index blob is
+        self-describing, so pool workers can fetch chunked pinballs the
+        server just wrote.
+        """
         data = self.get(sha)
+        frames = self._v2_index_frames(data)
+        if frames is None:
+            return data
+        if OBS.enabled:
+            OBS.inc("serve.store/frame_reassemblies")
+        return V2_MAGIC + b"".join(self.get(fsha) for fsha in frames)
+
+    def get_pinball(self, sha: str) -> Pinball:
+        data = self.get_payload(sha)
         return Pinball.from_bytes(data, source=self.blob_path(sha))
 
     def put_source(self, source: str, program_name: str,

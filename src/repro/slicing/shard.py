@@ -85,8 +85,10 @@ import multiprocessing as mp
 from repro.isa.instructions import Opcode
 from repro.isa.program import Program
 from repro.obs.registry import OBS
+from repro.pinplay.format_v2 import capture_state
 from repro.pinplay.pinball import Pinball
-from repro.pinplay.replayer import SyscallInjector, replay_machine
+from repro.pinplay.replayer import (SyscallInjector, best_checkpoint,
+                                    replay_machine, resume_machine)
 from repro.slicing.control_dep import ControlDepTracker, _Region
 from repro.slicing.options import SliceOptions
 from repro.slicing.save_restore import SaveRestoreDetector
@@ -978,10 +980,22 @@ def trace_sharded(pinball: Pinball, program: Program,
         # the window-start state; each later window is dispatched the
         # moment its boundary is captured.
         with OBS.span("shard.scout"):
-            machine, injector = _scout_machine(pinball, program, engine)
-            steps = retired = 0
+            # Window 0 replays from the region snapshot regardless, so the
+            # scout only needs to *reach* the first seam: a v2 pinball's
+            # embedded checkpoints let it skip straight to the latest one
+            # at or before bounds[0] instead of replaying the prefix.
+            checkpoint = best_checkpoint(pinball, bounds[0])
+            if checkpoint is not None and checkpoint.steps_done > 0:
+                machine, injector = resume_machine(
+                    pinball, program, checkpoint, engine=engine)
+                done = checkpoint.steps_done
+                retired = sum(checkpoint.body()["instr_counts"].values())
+                OBS.add("slicing.scout_checkpoint_resumes", 1)
+            else:
+                machine, injector = _scout_machine(pinball, program, engine)
+                done = retired = 0
+            steps = done
             reason = "limit"
-            done = 0
             for i, bound in enumerate(bounds):
                 result = machine.run(max_steps=bound - done)
                 steps += result.steps
@@ -990,14 +1004,13 @@ def trace_sharded(pinball: Pinball, program: Program,
                 reason = result.reason
                 if result.reason != "limit":
                     break               # region ended before this seam
+                state = capture_state(machine, injector.consumed(), ())
                 boundary = _Boundary(
                     step=done,
-                    snapshot=machine.snapshot().to_dict(),
-                    consumed=injector.consumed(),
-                    global_seq=machine.global_seq,
-                    instr_counts={tid: thread.instr_count
-                                  for tid, thread
-                                  in machine.threads.items()},
+                    snapshot=state["snapshot"],
+                    consumed=state["consumed"],
+                    global_seq=state["global_seq"],
+                    instr_counts=state["instr_counts"],
                 )
                 dispatch(i + 1, done, edges[i + 1] - done, boundary)
             else:

@@ -30,7 +30,7 @@ from repro.obs.registry import OBS
 from repro.vm.errors import AssertionFailure, DeadlockError, VMError
 from repro.vm.hooks import InstrEvent, SyscallEvent, Tool
 from repro.vm.memory import ADDRESS_SPACE_TOP, STACK_SIZE, Memory
-from repro.vm.microops import decode_program
+from repro.vm.microops import MEM_OPCODES, decode_program
 from repro.vm.scheduler import RoundRobinScheduler, Scheduler
 from repro.vm.syscalls import BLOCK, NONDET_SYSCALLS, SYSCALLS
 from repro.vm.thread import EXIT_SENTINEL, ThreadContext, ThreadStatus
@@ -41,6 +41,11 @@ Word = Union[int, float]
 #: closures (see :mod:`repro.vm.microops`); "legacy" is the seed
 #: if/elif interpreter, kept as the differential-testing baseline.
 ENGINES = ("predecoded", "legacy")
+
+#: Opcodes whose handlers can touch memory (SYS included because
+#: ``spawn`` writes the child's argument slot) — defined next to the
+#: record handlers they gate.
+_MEM_OPCODES = MEM_OPCODES
 
 
 def default_engine() -> str:
@@ -110,9 +115,10 @@ class Machine:
             raise VMError("unknown engine %r (expected one of %s)"
                           % (self.engine, ", ".join(ENGINES)))
         if self.engine == "predecoded":
-            self._uops_fast, self._uops_traced = decode_program(program)
+            (self._uops_fast, self._uops_traced,
+             self._uops_rec) = decode_program(program)
         else:
-            self._uops_fast = self._uops_traced = None
+            self._uops_fast = self._uops_traced = self._uops_rec = None
         self._code_len = len(self.instructions)
         #: Cached sorted runnable-tid list (predecoded engine only); None
         #: means stale.  Every thread-status mutation site invalidates it.
@@ -152,6 +158,12 @@ class Machine:
         self._last_tid: Optional[int] = None
         self._started = False
         self._cur_mem_writes: Optional[List[Tuple[int, Word]]] = None
+        #: Fast record path (see set_recorder): the recorder object and a
+        #: per-pc "can this instruction touch memory" bitmap.
+        self._recorder = None
+        self._rec_mem_pc: Optional[List[bool]] = None
+        self._rec_reads: List[int] = []
+        self._rec_writes: List[int] = []
         self._event_reuse_ok = False
         self._scratch_event: Optional[InstrEvent] = None
         self._instr_tools: List[Tool] = []
@@ -192,6 +204,33 @@ class Machine:
             t for t in self.tools
             if type(t).on_thread_start is not Tool.on_thread_start
             or type(t).on_thread_exit is not Tool.on_thread_exit]
+
+    def set_recorder(self, recorder) -> None:
+        """Arm (or with ``None`` disarm) the fast record path.
+
+        Instead of building an :class:`InstrEvent` per retired
+        instruction, the run loop records the RLE schedule inline and
+        calls ``recorder.on_mem`` only for instructions that actually
+        touched memory — everything else executes through the untraced
+        micro-op closures.  Requires the predecoded engine; the recorder
+        must also be registered as a tool (for syscall/lifecycle events,
+        which fire in untraced mode anyway).
+        """
+        if recorder is None:
+            self._recorder = None
+            self._rec_mem_pc = None
+            return
+        if self.engine != "predecoded":
+            raise VMError("fast recording requires the predecoded engine")
+        if self._excl_watch:
+            raise VMError("cannot record over installed exclusions")
+        self._rec_mem_pc = [instr.op in _MEM_OPCODES
+                            for instr in self.instructions]
+        # Scratch address lists reused across steps (cleared after each
+        # on_mem delivery) — the record path allocates nothing per step.
+        self._rec_reads: List[int] = []
+        self._rec_writes: List[int] = []
+        self._recorder = recorder
 
     # -- thread management -----------------------------------------------------
 
@@ -368,6 +407,32 @@ class Machine:
         reason = "done"
         predecoded = self.engine == "predecoded"
         step_thread = self._step_thread_uop if predecoded else self._step_thread
+        # Fast record path: RLE schedule recording is inlined into this
+        # loop (no per-step tool call), mem-order marking happens only on
+        # instructions whose opcode can touch memory, and the recorder's
+        # periodic checkpoint triggers on *step count* (global_seq can
+        # jump past sleep fast-forwards and must not drive the interval).
+        recorder = self._recorder
+        rec_on = (recorder is not None and predecoded
+                  and not self._instr_tools)
+        rec_tid = rec_count = rec_interval = rec_next = rec_base = 0
+        rec_append = rec_on_mem = None
+        rec_mem_pc = uops_rec = uops_fast = None
+        rec_mr = rec_mw = None
+        code_len = self._code_len
+        if rec_on:
+            rec_tid = recorder._run_tid
+            rec_count = recorder._run_count
+            rec_append = recorder.append_run
+            rec_on_mem = recorder.on_mem
+            rec_interval = recorder.checkpoint_interval
+            rec_base = recorder.steps_done
+            rec_next = recorder.next_checkpoint
+            rec_mem_pc = self._rec_mem_pc
+            uops_rec = self._uops_rec
+            uops_fast = self._uops_fast
+            rec_mr = self._rec_reads
+            rec_mw = self._rec_writes
         # Observability: one hoisted local; while disabled the per-step
         # cost is a single local-bool test (context-switch counting), and
         # everything else is aggregated from per-run deltas after the
@@ -468,16 +533,56 @@ class Machine:
             self._last_tid = tid
             for tool in self._step_tools:
                 tool.on_step(tid)
-            if step_thread(thread):
+            if rec_on:
+                if tid == rec_tid and rec_count:
+                    rec_count += 1
+                else:
+                    if rec_count:
+                        rec_append(rec_tid, rec_count)
+                    rec_tid = tid
+                    rec_count = 1
+                # Machine state here is "after rec_base + steps steps":
+                # the pending step has been scheduled but not executed.
+                if rec_interval and rec_base + steps >= rec_next:
+                    recorder.capture(self, rec_base + steps)
+                    rec_next = recorder.next_checkpoint
+                # The record step, inlined (see _step_thread_record for
+                # the readable form): untraced closures except where the
+                # opcode can touch memory, with every table a loop local.
+                pc = thread.pc
+                if not 0 <= pc < code_len:
+                    raise VMError("pc out of range", tid=tid, pc=pc)
+                if rec_mem_pc[pc]:
+                    if uops_rec[pc](self, thread, rec_mr, rec_mw):
+                        if rec_mr or rec_mw:
+                            rec_on_mem(tid, thread.instr_count,
+                                       rec_mr, rec_mw)
+                            del rec_mr[:]
+                            del rec_mw[:]
+                        thread.instr_count += 1
+                        retired += 1
+                    elif rec_mr or rec_mw:   # defensive: blocked syscall
+                        del rec_mr[:]
+                        del rec_mw[:]
+                elif uops_fast[pc](self, thread):
+                    thread.instr_count += 1
+                    retired += 1
+            elif step_thread(thread):
                 retired += 1
             steps += 1
             self.global_seq += 1
+        if rec_on:
+            recorder._run_tid = rec_tid
+            recorder._run_count = rec_count
+            recorder.steps_done = rec_base + steps
         if obs_on:
             OBS.add("vm.runs", 1)
             OBS.add("vm.steps", steps)
             OBS.add("vm.instructions_retired", retired)
             if self._instr_tools:
                 OBS.add("vm.steps_traced", steps)
+            elif rec_on:
+                OBS.add("vm.steps_recorded", steps)
             else:
                 OBS.add("vm.steps_untraced", steps)
             OBS.add("vm.context_switches", obs_switches)
@@ -647,6 +752,39 @@ class Machine:
             )
         for tool in self._instr_tools:
             tool.on_instr(event)
+        thread.instr_count += 1
+        return True
+
+    def _step_thread_record(self, thread: ThreadContext) -> bool:
+        """Fast-record step: untraced closures except where memory moves.
+
+        Instructions that cannot touch memory run through the untraced
+        fast closures exactly as a tool-free replay would; memory-capable
+        instructions run their record micro-op, which deposits bare
+        touched *addresses* (all the recorder's access-order edge
+        detection needs) into two scratch lists reused across steps.
+        """
+        pc = thread.pc
+        if not 0 <= pc < self._code_len:
+            raise VMError("pc out of range", tid=thread.tid, pc=pc)
+        if not self._rec_mem_pc[pc]:
+            if self._uops_fast[pc](self, thread):
+                thread.instr_count += 1
+                return True
+            return False
+        mem_reads = self._rec_reads
+        mem_writes = self._rec_writes
+        retired = self._uops_rec[pc](self, thread, mem_reads, mem_writes)
+        if not retired:
+            if mem_reads or mem_writes:     # defensive: blocked syscall
+                del mem_reads[:]
+                del mem_writes[:]
+            return False
+        if mem_reads or mem_writes:
+            self._recorder.on_mem(thread.tid, thread.instr_count,
+                                  mem_reads, mem_writes)
+            del mem_reads[:]
+            del mem_writes[:]
         thread.instr_count += 1
         return True
 

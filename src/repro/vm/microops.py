@@ -16,8 +16,15 @@ cached on the program object — into two parallel handler tables:
   the seed interpreter (:meth:`Machine._execute`) produced them, so
   :class:`~repro.vm.hooks.InstrEvent` streams are bit-for-bit identical
   between engines (the differential tests assert this).
+* ``rec[pc](machine, thread, mr, mw) -> bool`` — the *record* path,
+  present only for opcodes in :data:`MEM_OPCODES` (``None`` elsewhere).
+  The fast recorder needs just the memory *addresses* an instruction
+  touched (access-order edges carry no values), so these closures run at
+  untraced speed plus one bare-``int`` append per access: no tuples, no
+  register def/use plumbing.  Opcodes without a dedicated record shape
+  (SYS, fallbacks) wrap their traced closure and strip the addresses out.
 
-Both handlers return True iff the instruction retired (False: a syscall
+All handlers return True iff the instruction retired (False: a syscall
 blocked and will be retried).  Instructions the decoder does not recognize
 fall back to a closure that delegates to the machine's legacy
 ``_execute`` — decoding never changes observable behavior, including the
@@ -29,7 +36,7 @@ so a relinked or mutated program is transparently re-decoded.
 
 from __future__ import annotations
 
-from typing import Callable, List, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from repro.isa.instructions import Instr, Mem, Opcode
 from repro.vm.errors import VMError
@@ -37,19 +44,31 @@ from repro.vm.thread import EXIT_SENTINEL
 
 FastHandler = Callable[..., bool]
 TracedHandler = Callable[..., bool]
+RecordHandler = Callable[..., bool]
 
 _CACHE_ATTR = "_microop_tables"
 
+#: Opcodes whose handlers can touch memory.  SYS is included because
+#: ``spawn`` writes the child's argument slot through
+#: ``Machine._cur_mem_writes`` (see create_thread).  Only these pcs get
+#: a record handler; the fast record path runs everything else untraced.
+MEM_OPCODES = frozenset((
+    Opcode.LD, Opcode.ST, Opcode.PUSH, Opcode.POP,
+    Opcode.CALL, Opcode.ICALL, Opcode.RET, Opcode.SYS,
+))
 
-def decode_program(program) -> Tuple[List[FastHandler], List[TracedHandler]]:
-    """Return (and cache on ``program``) the fast/traced handler tables."""
+
+def decode_program(program) -> Tuple[List[FastHandler], List[TracedHandler],
+                                     List[Optional[RecordHandler]]]:
+    """Return (and cache on ``program``) the fast/traced/record tables."""
     cached = getattr(program, _CACHE_ATTR, None)
     if cached is not None and cached[0] is program.instructions:
-        return cached[1], cached[2]
+        return cached[1], cached[2], cached[3]
     instructions = program.instructions
     code_len = len(instructions)
     fast_table: List[FastHandler] = []
     traced_table: List[TracedHandler] = []
+    rec_table: List[Optional[RecordHandler]] = []
     for pc, instr in enumerate(instructions):
         try:
             fast, traced = _decode_instr(program, instr, pc, code_len)
@@ -59,11 +78,14 @@ def decode_program(program) -> Tuple[List[FastHandler], List[TracedHandler]]:
             fast, traced = _make_fallback(instr, pc)
         fast_table.append(fast)
         traced_table.append(traced)
+        rec_table.append(_record_handler(program, instr, pc, code_len,
+                                         traced))
     try:
-        setattr(program, _CACHE_ATTR, (instructions, fast_table, traced_table))
+        setattr(program, _CACHE_ATTR,
+                (instructions, fast_table, traced_table, rec_table))
     except AttributeError:
         pass   # exotic program object without a __dict__; just don't cache
-    return fast_table, traced_table
+    return fast_table, traced_table, rec_table
 
 
 def _make_fallback(instr: Instr, pc: int):
@@ -902,3 +924,225 @@ def _decode_nop(next_pc: int):
         return True
 
     return fast, traced
+
+
+# -- record handlers ----------------------------------------------------------
+#
+# The fast record path (Machine._step_thread_record) only needs the memory
+# addresses an instruction touched, in access order — the recorder's edge
+# detection never looks at values.  Each handler is the untraced closure
+# plus a bare-int append; anything without a dedicated shape below wraps
+# its traced closure and strips the addresses out afterwards.
+
+def _record_handler(program, instr: Instr, pc: int, code_len: int,
+                    traced) -> Optional[RecordHandler]:
+    if instr.op not in MEM_OPCODES:
+        return None
+    try:
+        ops = instr.operands
+        kinds = instr.operand_kinds()
+        next_pc = pc + 1
+        if instr.op == Opcode.LD:
+            return _rec_ld(ops[0].name, ops[1], next_pc)
+        if instr.op == Opcode.ST:
+            return _rec_st(ops[0], ops[1], kinds, next_pc)
+        if instr.op == Opcode.PUSH:
+            return _rec_push(ops[0], kinds, pc, next_pc)
+        if instr.op == Opcode.POP:
+            return _rec_pop(ops[0].name, next_pc)
+        if instr.op == Opcode.CALL:
+            return _rec_call(program, int(ops[0].value), pc, code_len)
+        if instr.op == Opcode.ICALL:
+            return _rec_icall(program, ops[0].name, pc, code_len)
+        if instr.op == Opcode.RET:
+            return _rec_ret(next_pc, code_len)
+    except Exception:
+        pass    # undecodable shape: the traced wrapper preserves behavior
+    return _rec_from_traced(traced)
+
+
+def _rec_from_traced(traced) -> RecordHandler:
+    """Record handler for SYS and fallback shapes: run the traced closure
+    against throwaway lists (plus ``_cur_mem_writes``, where ``spawn``
+    deposits the child's argument-slot write) and keep only addresses."""
+    def rec(machine, thread, mr, mw) -> bool:
+        rr: list = []
+        rw: list = []
+        tmr: list = []
+        tmw: list = []
+        machine._cur_mem_writes = tmw
+        retired = traced(machine, thread, rr, rw, tmr, tmw)
+        machine._cur_mem_writes = None
+        if retired:
+            for addr, _value in tmr:
+                mr.append(addr)
+            for addr, _value in tmw:
+                mw.append(addr)
+        return retired
+    return rec
+
+
+def _rec_ld(rd: str, mem: Mem, next_pc: int) -> RecordHandler:
+    rb = mem.base.name
+    offset = mem.offset
+
+    def rec(machine, thread, mr, mw) -> bool:
+        regs = thread.regs
+        addr = int(regs[rb]) + offset
+        regs[rd] = machine.memory.read(addr)
+        mr.append(addr)
+        thread.pc = next_pc
+        return True
+
+    return rec
+
+
+def _rec_st(mem: Mem, src, kinds: str, next_pc: int) -> RecordHandler:
+    rb = mem.base.name
+    offset = mem.offset
+    if kinds == "mi":
+        value = src.value
+
+        def rec(machine, thread, mr, mw) -> bool:
+            addr = int(thread.regs[rb]) + offset
+            machine.memory.write(addr, value)
+            mw.append(addr)
+            thread.pc = next_pc
+            return True
+
+        return rec
+    if kinds == "mr":
+        rs = src.name
+
+        def rec(machine, thread, mr, mw) -> bool:
+            regs = thread.regs
+            addr = int(regs[rb]) + offset
+            machine.memory.write(addr, regs[rs])
+            mw.append(addr)
+            thread.pc = next_pc
+            return True
+
+        return rec
+    raise ValueError("undecodable st shape %r" % (kinds,))
+
+
+def _rec_push(src, kinds: str, pc: int, next_pc: int) -> RecordHandler:
+    if kinds == "i":
+        value = src.value
+
+        def rec(machine, thread, mr, mw) -> bool:
+            regs = thread.regs
+            sp = int(regs["sp"]) - 1
+            if sp <= thread.stack_limit:
+                raise VMError("stack overflow", tid=thread.tid, pc=pc)
+            machine.memory.write(sp, value)
+            mw.append(sp)
+            regs["sp"] = sp
+            thread.pc = next_pc
+            return True
+
+        return rec
+    if kinds == "r":
+        rs = src.name
+
+        def rec(machine, thread, mr, mw) -> bool:
+            regs = thread.regs
+            value = regs[rs]
+            sp = int(regs["sp"]) - 1
+            if sp <= thread.stack_limit:
+                raise VMError("stack overflow", tid=thread.tid, pc=pc)
+            machine.memory.write(sp, value)
+            mw.append(sp)
+            regs["sp"] = sp
+            thread.pc = next_pc
+            return True
+
+        return rec
+    raise ValueError("undecodable push shape %r" % (kinds,))
+
+
+def _rec_pop(rd: str, next_pc: int) -> RecordHandler:
+    def rec(machine, thread, mr, mw) -> bool:
+        regs = thread.regs
+        sp = int(regs["sp"])
+        regs[rd] = machine.memory.read(sp)
+        mr.append(sp)
+        regs["sp"] = sp + 1
+        thread.pc = next_pc
+        return True
+
+    return rec
+
+
+def _rec_call(program, target: int, pc: int, code_len: int) -> RecordHandler:
+    ret_pc = pc + 1
+    target_ok = 0 <= target < code_len
+    if target_ok:
+        function = program.function_at(target)
+        func_name = function.name if function else "<anon>"
+    else:
+        func_name = "<anon>"
+
+    def rec(machine, thread, mr, mw) -> bool:
+        if not target_ok:
+            raise VMError("control transfer to bad address %d" % target,
+                          tid=thread.tid, pc=thread.pc)
+        regs = thread.regs
+        sp = int(regs["sp"]) - 1
+        if sp <= thread.stack_limit:
+            raise VMError("stack overflow", tid=thread.tid, pc=pc)
+        machine.memory.write(sp, ret_pc)
+        mw.append(sp)
+        regs["sp"] = sp
+        thread.push_frame(func_name, pc, ret_pc)
+        thread.pc = target
+        return True
+
+    return rec
+
+
+def _rec_icall(program, rt: str, pc: int, code_len: int) -> RecordHandler:
+    ret_pc = pc + 1
+    function_at = program.function_at
+
+    def rec(machine, thread, mr, mw) -> bool:
+        regs = thread.regs
+        target = int(regs[rt])
+        if not 0 <= target < code_len:
+            raise VMError("control transfer to bad address %d" % target,
+                          tid=thread.tid, pc=thread.pc)
+        sp = int(regs["sp"]) - 1
+        if sp <= thread.stack_limit:
+            raise VMError("stack overflow", tid=thread.tid, pc=pc)
+        machine.memory.write(sp, ret_pc)
+        mw.append(sp)
+        regs["sp"] = sp
+        function = function_at(target)
+        thread.push_frame(function.name if function else "<anon>",
+                          pc, ret_pc)
+        thread.pc = target
+        return True
+
+    return rec
+
+
+def _rec_ret(next_pc: int, code_len: int) -> RecordHandler:
+    def rec(machine, thread, mr, mw) -> bool:
+        regs = thread.regs
+        sp = int(regs["sp"])
+        ret_addr = int(machine.memory.read(sp))
+        mr.append(sp)
+        regs["sp"] = sp + 1
+        thread.pop_frame()
+        if ret_addr == EXIT_SENTINEL:
+            thread.pc = next_pc
+            machine._finish_thread(thread)
+        else:
+            if not 0 <= ret_addr < code_len:
+                raise VMError(
+                    "control transfer to bad address %d" % ret_addr,
+                    tid=thread.tid, pc=thread.pc)
+            thread.pc = ret_addr
+        return True
+
+    return rec

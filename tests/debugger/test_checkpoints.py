@@ -84,6 +84,10 @@ class TestRestore:
 
     def test_latest_at_or_before_selection(self, recorded):
         program, pinball = recorded
+        # This test exercises *live* checkpoint selection; drop any
+        # embedded (format-v2) checkpoints so the recording mode the
+        # suite runs under cannot shift the expected picks.
+        pinball.checkpoints = []
         manager = CheckpointManager(pinball, program, interval=10)
         machine, injector = fresh_replay(pinball, program)
         for steps in (0, 25, 50):
@@ -98,6 +102,77 @@ class TestRestore:
         program, pinball = recorded
         manager = CheckpointManager(pinball, program, interval=10)
         assert manager.latest_at_or_before(5) is None
+
+
+@pytest.fixture
+def v2_recorded():
+    program = compile_source(SOURCE, name="cp")
+    pinball = record_region(program, RoundRobinScheduler(), RegionSpec(),
+                            rand_seed=9, pinball_format="v2",
+                            checkpoint_interval=40)
+    return program, pinball
+
+
+class TestEmbeddedCheckpoints:
+    """Format-v2 pinballs arrive with checkpoints already embedded: free
+    rewind targets that exist before the session replays anything."""
+
+    def test_recording_embeds_interior_checkpoints(self, v2_recorded):
+        _program, pinball = v2_recorded
+        steps = [c.steps_done for c in pinball.checkpoints]
+        assert steps == sorted(steps)
+        assert steps, "expected interior checkpoints at interval 40"
+        assert all(s % 40 == 0 for s in steps)
+        assert all(0 < s <= pinball.total_steps for s in steps)
+
+    def test_due_counts_embedded(self, v2_recorded):
+        program, pinball = v2_recorded
+        manager = CheckpointManager(pinball, program, interval=40)
+        # Before the first embedded checkpoint nothing covers the replay:
+        # the session's step-0 live capture is still wanted.
+        first = pinball.checkpoints[0].steps_done
+        assert manager.due(0)
+        # From there on, embedded checkpoints cover the whole region at
+        # interval 40, so a live capture is never due inside it — zero
+        # redundant snapshot memory for a fully checkpointed pinball.
+        assert not any(manager.due(step)
+                       for step in range(first, pinball.total_steps + 1))
+        # Past the coverage horizon, live capture resumes.
+        last = pinball.checkpoints[-1].steps_done
+        assert manager.due(last + 40)
+
+    def test_latest_at_or_before_prefers_later_embedded(self, v2_recorded):
+        program, pinball = v2_recorded
+        manager = CheckpointManager(pinball, program, interval=40)
+        machine, injector = fresh_replay(pinball, program)
+        manager.capture(machine, injector, 0)       # live, at step 0
+        first = pinball.checkpoints[0].steps_done
+        chosen = manager.latest_at_or_before(first + 5)
+        assert chosen.steps_done == first           # embedded wins
+        assert manager.latest_at_or_before(first - 1).steps_done == 0
+
+    def test_materialize_decodes_once(self, v2_recorded):
+        program, pinball = v2_recorded
+        manager = CheckpointManager(pinball, program, interval=40)
+        first = pinball.checkpoints[0].steps_done
+        a = manager.latest_at_or_before(first)
+        b = manager.latest_at_or_before(first)
+        assert a is b                               # cached Checkpoint
+        assert list(manager._embedded_cache) == [first]
+
+    def test_restore_from_embedded_continues_identically(self,
+                                                         v2_recorded):
+        program, pinball = v2_recorded
+        reference, _ = fresh_replay(pinball, program)
+        reference.run(max_steps=pinball.total_steps)
+
+        manager = CheckpointManager(pinball, program, interval=40)
+        checkpoint = manager.latest_at_or_before(pinball.total_steps)
+        assert checkpoint.steps_done > 0            # an embedded one
+        machine, _injector = manager.restore(checkpoint)
+        machine.run(max_steps=pinball.total_steps - checkpoint.steps_done)
+        assert state_hash(machine) == state_hash(reference)
+        assert machine.output == reference.output
 
 
 class TestRemainingSchedule:

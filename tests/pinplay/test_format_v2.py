@@ -1,0 +1,277 @@
+"""Format v2 container: framing, laziness, diagnostics, conversion.
+
+The corrupt-frame suite mirrors the store's integrity tests: every way a
+v2 container can be structurally broken raises the one typed
+:class:`PinballFormatError` naming the frame kind, the byte offset and
+the source — and the CLI turns that into exit 65.
+"""
+
+import io
+
+import pytest
+
+from repro.pinplay import Pinball, PinballFormatError
+from repro.pinplay.format_v2 import (FRAME_NAMES, K_META, K_PROLOGUE,
+                                     K_SCHEDULE, MAGIC, LazyPinball,
+                                     PinballWriter, frame_chunks,
+                                     open_pinball, scan_frames)
+from repro.pinplay.pinball import state_hash
+from repro.pinplay.replayer import generate_checkpoints, replay
+from tests.support.progen import build_program, record_pinball
+
+SEED = 7
+
+
+@pytest.fixture(scope="module")
+def recorded():
+    program = build_program(SEED)
+    pinball = record_pinball(program, SEED, pinball_format="v2",
+                             checkpoint_interval=50)
+    return program, pinball
+
+
+@pytest.fixture(scope="module")
+def blob(recorded):
+    _program, pinball = recorded
+    return pinball.to_bytes(format="v2")
+
+
+# -- framing ------------------------------------------------------------------
+
+class TestFraming:
+    def test_magic_and_prologue(self, blob):
+        assert blob[:4] == MAGIC
+        frames = scan_frames(blob)
+        assert frames[0].kind == K_PROLOGUE
+        assert frames[-1].kind == K_META
+
+    def test_frame_chunks_reassemble_exactly(self, blob):
+        chunks = frame_chunks(blob)
+        assert MAGIC + b"".join(chunks) == blob
+
+    def test_deterministic_encoding(self, recorded):
+        _program, pinball = recorded
+        assert pinball.to_bytes(format="v2") == pinball.to_bytes(
+            format="v2")
+
+    def test_writer_and_encoder_agree(self, recorded, blob):
+        """Streaming the sections through a PinballWriter produces the
+        same container bytes as the in-memory encoder."""
+        _program, pinball = recorded
+        interval = (pinball.checkpoints[0].steps_done
+                    if pinball.checkpoints else 0)
+        out = io.BytesIO()
+        writer = PinballWriter(out, pinball.program_name,
+                               checkpoint_interval=interval)
+        writer.write_snapshot(pinball.snapshot)
+        for checkpoint in pinball.checkpoints:
+            writer.write_checkpoint(checkpoint.steps_done,
+                                    checkpoint.global_seq,
+                                    checkpoint.body())
+        writer.write_schedule(pinball.schedule)
+        writer.write_mem_order(pinball.mem_order)
+        writer.write_syscalls(pinball.syscalls)
+        writer.write_meta(pinball.meta)
+        # Same frames, not necessarily the same order: compare the
+        # reopened sections instead of raw bytes.
+        reopened = open_pinball(out.getvalue())
+        assert list(reopened.schedule) == list(pinball.schedule)
+        assert list(reopened.mem_order) == list(pinball.mem_order)
+        assert reopened.syscalls == pinball.syscalls
+        assert reopened.meta == pinball.meta
+        assert len(reopened.checkpoints) == len(pinball.checkpoints)
+
+    def test_prefix_frames_shared_with_longer_recording(self):
+        """Deterministic chunking: a longer re-recording of the same
+        program reproduces the shorter run's schedule/checkpoint frames
+        byte-for-byte (what the store's per-frame dedup rests on)."""
+        from repro.pinplay import RegionSpec, record_region
+        from tests.support.progen import inputs_for, scheduler_for
+        program = build_program(SEED)
+
+        def chunks(length):
+            pb = record_region(program, scheduler_for(SEED),
+                               RegionSpec(length=length),
+                               inputs=inputs_for(SEED), rand_seed=SEED,
+                               pinball_format="v2", checkpoint_interval=40)
+            return frame_chunks(pb.to_bytes(format="v2"))
+
+        short, full = chunks(120), chunks(480)
+        shared = set(short) & set(full)
+        # Prologue + snapshot are identical; so are full interior
+        # checkpoint frames of the common prefix.
+        assert len(shared) >= 3
+
+
+# -- laziness -----------------------------------------------------------------
+
+class TestLazyOpen:
+    def test_autodetected_and_lazy(self, blob):
+        pinball = Pinball.from_bytes(blob)
+        assert isinstance(pinball, LazyPinball)
+        assert pinball.format == "v2"
+        # Nothing decoded yet beyond the prologue.
+        assert "schedule" not in pinball._cache
+        assert "mem_order" not in pinball._cache
+        _ = pinball.total_steps
+        assert "schedule" in pinball._cache
+        assert "mem_order" not in pinball._cache
+
+    def test_checkpoint_bodies_load_on_demand(self, blob):
+        pinball = Pinball.from_bytes(blob)
+        checkpoints = pinball.checkpoints
+        assert checkpoints, "recording should embed checkpoints"
+        body = checkpoints[0].body()
+        assert set(body) >= {"snapshot", "consumed", "global_seq",
+                             "instr_counts", "output"}
+        assert all(isinstance(tid, int) for tid in body["instr_counts"])
+        assert all(isinstance(tid, int) for tid in body["consumed"])
+
+    def test_replays_identically_to_eager(self, recorded, blob):
+        program, pinball = recorded
+        machine_eager, _ = replay(pinball, program)
+        machine_lazy, _ = replay(Pinball.from_bytes(blob), program)
+        assert state_hash(machine_eager) == state_hash(machine_lazy)
+        assert machine_eager.output == machine_lazy.output
+
+    def test_section_assignment_overrides(self, blob):
+        pinball = Pinball.from_bytes(blob)
+        pinball.meta = {"kind": "region", "patched": True}
+        assert pinball.meta["patched"] is True
+
+    def test_to_bytes_roundtrip_is_identity(self, blob):
+        assert Pinball.from_bytes(blob).to_bytes() == blob
+
+    def test_v1_conversion_roundtrip(self, recorded, blob):
+        program, _pinball = recorded
+        lazy = Pinball.from_bytes(blob)
+        v1_blob = lazy.to_bytes(format="v1")
+        assert v1_blob[:4] != MAGIC
+        back = Pinball.from_bytes(v1_blob)
+        assert back.format == "v1"
+        assert list(back.schedule) == list(lazy.schedule)
+        assert back.syscalls == lazy.syscalls
+        assert back.meta == lazy.meta
+        machine, _ = replay(back, program)
+        machine2, _ = replay(lazy, program)
+        assert state_hash(machine) == state_hash(machine2)
+
+
+# -- checkpoint generation (convert path) -------------------------------------
+
+class TestGenerateCheckpoints:
+    def test_generated_match_recorded(self, recorded):
+        """`repro convert` checkpoints are resume-equivalent to the
+        recorder's: same positions, and resuming from either reaches the
+        same final state.  (Bodies differ representationally: a replay
+        never advances the live input/rng cursors — injection covers
+        them — so only resume behaviour is contractual.)"""
+        from repro.pinplay.replayer import resume_machine
+        program, pinball = recorded
+        generated = generate_checkpoints(pinball, program, 50)
+        assert ([c.steps_done for c in generated]
+                == [c.steps_done for c in pinball.checkpoints])
+        reference, _ = replay(pinball, program)
+        for checkpoint in (generated + list(pinball.checkpoints)):
+            machine, _injector = resume_machine(pinball, program,
+                                                checkpoint)
+            machine.run(max_steps=pinball.total_steps
+                        - checkpoint.steps_done)
+            assert state_hash(machine) == state_hash(reference), (
+                "resume from step %d diverged" % checkpoint.steps_done)
+            assert machine.output == reference.output
+
+    def test_interval_must_be_positive(self, recorded):
+        program, pinball = recorded
+        with pytest.raises(ValueError):
+            generate_checkpoints(pinball, program, 0)
+
+
+# -- corruption diagnostics ---------------------------------------------------
+
+def _flip_crc(blob):
+    """Corrupt one payload byte of the first SCHEDULE frame."""
+    for ref in scan_frames(blob):
+        if ref.kind == K_SCHEDULE:
+            index = ref.start
+            return blob[:index] + bytes([blob[index] ^ 0xFF]) \
+                + blob[index + 1:]
+    raise AssertionError("no schedule frame")
+
+
+def _with_unknown_kind(blob):
+    ref = scan_frames(blob)[1]
+    return blob[:ref.offset] + b"\x63" + blob[ref.offset + 1:]
+
+
+def _drop_prologue(blob):
+    ref = scan_frames(blob)[0]
+    return MAGIC + blob[ref.start + ref.length:]
+
+
+def _drop_meta(blob):
+    ref = scan_frames(blob)[-1]
+    return blob[:ref.offset]
+
+
+#: (name, mutate, fragments that must all appear in the error message)
+CORRUPT_FRAMES = [
+    ("bad-magic", lambda b: b"RPBX" + b[4:],
+     ["v2 container", "byte offset 0", "bad magic"]),
+    ("truncated-header", lambda b: b[:scan_frames(b)[-1].offset + 3],
+     ["byte offset", "truncated frame header"]),
+    ("truncated-payload", lambda b: b[:-5],
+     ["meta frame", "byte offset", "truncated payload"]),
+    ("unknown-kind", _with_unknown_kind,
+     ["byte offset", "unknown frame kind 99"]),
+    ("missing-prologue", _drop_prologue,
+     ["prologue frame", "missing prologue"]),
+    ("missing-meta", _drop_meta,
+     ["meta frame", "recording incomplete"]),
+    ("crc-mismatch", _flip_crc,
+     ["schedule frame", "byte offset", "CRC mismatch"]),
+]
+
+
+class TestCorruptFrames:
+    @pytest.mark.parametrize(
+        "mutate,fragments",
+        [case[1:] for case in CORRUPT_FRAMES],
+        ids=[case[0] for case in CORRUPT_FRAMES])
+    def test_corrupt_frame_raises_typed_error(self, blob, mutate,
+                                              fragments):
+        corrupt = mutate(blob)
+        with pytest.raises(PinballFormatError) as excinfo:
+            # open_pinball is the v2 entry point (from_bytes would route
+            # a bad-magic blob to the v1 parser).  Structural breaks
+            # raise at open; payload corruption (CRC) raises on first
+            # decode of the touched section.
+            pinball = open_pinball(corrupt, source="bug.pinball")
+            list(pinball.schedule)
+        message = str(excinfo.value)
+        assert "bug.pinball" in message
+        for fragment in fragments:
+            assert fragment in message, message
+
+    def test_cli_exits_65(self, tmp_path, capsys, blob):
+        """The debugger-facing contract: corrupt v2 file -> exit 65 and
+        a frame-level diagnostic on stderr."""
+        from repro.cli import main
+        # Program name must match the pinball's so the replay reaches
+        # the (corrupted) schedule decode rather than the name check.
+        source = tmp_path / "diff-7.mc"
+        source.write_text("int main() { return 0; }\n")
+        path = tmp_path / "bad.pinball"
+        path.write_bytes(_flip_crc(blob))
+        assert main(["replay", str(source), str(path)]) == 65
+        err = capsys.readouterr().err
+        assert "schedule frame" in err
+        assert "CRC mismatch" in err
+        assert "bad.pinball" in err
+
+
+# -- frame name table ---------------------------------------------------------
+
+def test_every_frame_kind_is_named():
+    assert sorted(FRAME_NAMES) == list(range(1, 9))
+    assert len(set(FRAME_NAMES.values())) == len(FRAME_NAMES)

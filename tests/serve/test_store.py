@@ -68,7 +68,11 @@ class TestDedup:
         assert sha1 == sha2
         blobs = [name for _dir, _sub, names in os.walk(store.blob_root)
                  for name in names if name.endswith(".blob")]
-        assert blobs == [sha1 + ".blob"]
+        # v1: one payload blob.  v2 (chunked): the index blob plus one
+        # blob per frame — still written exactly once each.
+        frames = store.entry(sha1).meta.get("frames", [])
+        assert sorted(blobs) == sorted(
+            {sha1 + ".blob"} | {sha + ".blob" for sha in frames})
         # Tags merged onto the single entry.
         assert set(store.entry(sha1).tags) == {"a", "b"}
 
@@ -112,6 +116,71 @@ class TestGc:
         assert os.path.exists(store.blob_path(sha))
         assert sha in store.gc()
         assert not os.path.exists(store.blob_path(sha))
+
+
+class TestV2Chunking:
+    """v2 pinballs are stored per-frame: the tagged entry is a small
+    JSON index whose ``frames`` list names one content-addressed blob
+    per container frame, so re-recording a longer run of the same
+    program dedups the shared prefix."""
+
+    def _record(self, length):
+        from repro.pinplay import RegionSpec, record_region
+        from tests.support.progen import inputs_for, scheduler_for
+        program = build_program(SEED)
+        return record_region(program, scheduler_for(SEED),
+                             RegionSpec(length=length),
+                             inputs=inputs_for(SEED), rand_seed=SEED,
+                             pinball_format="v2", checkpoint_interval=40)
+
+    def test_index_entry_and_reassembly(self, store):
+        pinball = self._record(200)
+        sha = store.put_pinball(pinball, tags=("t",))
+        entry = store.entry(sha)
+        assert entry.meta["format"] == "v2"
+        assert entry.meta["frames"]
+        # get_payload reassembles the container exactly.
+        assert store.get_payload(sha) == pinball.to_bytes(format="v2")
+        loaded = store.get_pinball(sha)
+        assert loaded.format == "v2"
+        assert list(loaded.schedule) == list(pinball.schedule)
+
+    def test_longer_rerecording_dedups_shared_prefix(self, store):
+        short = store.put_pinball(self._record(120), tags=("short",))
+        full = store.put_pinball(self._record(480), tags=("full",))
+        assert short != full
+        short_frames = set(store.entry(short).meta["frames"])
+        full_frames = set(store.entry(full).meta["frames"])
+        shared = short_frames & full_frames
+        # Prologue, snapshot and common-prefix checkpoint frames are
+        # byte-identical, hence stored once.
+        assert len(shared) >= 3
+        blobs = [name for _dir, _sub, names in os.walk(store.blob_root)
+                 for name in names if name.endswith(".blob")]
+        # One blob per distinct frame + the two index entries.
+        assert len(blobs) == len(short_frames | full_frames) + 2
+
+    def test_gc_keeps_frames_referenced_by_survivors(self, store):
+        short = store.put_pinball(self._record(120))          # untagged
+        full = store.put_pinball(self._record(480), tags=("keep",))
+        short_frames = set(store.entry(short).meta["frames"])
+        full_frames = set(store.entry(full).meta["frames"])
+        removed = store.gc()
+        # The short index and its unshared frames go; every frame the
+        # surviving entry references stays.
+        assert short in removed
+        assert set(removed) & full_frames == set()
+        assert set(removed) >= short_frames - full_frames
+        assert (store.get_payload(full)
+                == self._record(480).to_bytes(format="v2"))
+        with pytest.raises(KeyError):
+            store.entry(short)
+
+    def test_v1_pinball_is_not_chunked(self, store, recording):
+        _program, pinball = recording
+        sha = store.put_pinball(pinball, tags=("t",), format="v1")
+        assert "frames" not in store.entry(sha).meta
+        assert store.get_pinball(sha).format == "v1"
 
 
 class TestCorruptBlobs:
