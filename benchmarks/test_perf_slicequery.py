@@ -52,7 +52,7 @@ from repro.workloads import get_parsec, get_specomp
 
 from repro.config import perf_smoke
 
-from benchmarks.harness import measure_peak_alloc
+from benchmarks.harness import measure_peak_alloc, measure_peak_rss
 
 SMOKE = perf_smoke()
 
@@ -152,11 +152,14 @@ def _bench_workload(suite: str, kernel: str, params: dict) -> List[dict]:
             if index not in best or total < best[index][0]:
                 best[index] = (total, build_time, query_time,
                                slicer.index_stats())
-    # Untimed peak-heap measurement of the same session per engine (the
-    # helper the streamed-record flat-memory assertion uses): what the
-    # index itself costs in memory — CSR arrays and memo tables for the
-    # DDG, block summaries for the scans.
+    # Untimed peak-memory measurement of the same session per engine:
+    # what the index itself costs — CSR arrays and memo tables for the
+    # DDG, block summaries for the scans.  Two complementary views from
+    # the shared harness helpers: peak Python-heap allocation
+    # (deterministic, tracemalloc) and peak resident-set growth
+    # (forked-child ``ru_maxrss``, OS pages included).
     peak_alloc: Dict[str, int] = {}
+    peak_rss: Dict[str, int] = {}
     for index in INDEXES:
         def _session(index=index):
             slicer = BackwardSlicer(session.gtrace,
@@ -165,6 +168,7 @@ def _bench_workload(suite: str, kernel: str, params: dict) -> List[dict]:
             for criterion in queries:
                 slicer.slice(criterion)
         _, peak_alloc[index] = measure_peak_alloc(_session)
+        peak_rss[index] = measure_peak_rss(_session)
 
     # Untimed instrumented re-run of the same query mix per engine: the
     # slicing-layer counters that explain the timings above.
@@ -199,6 +203,7 @@ def _bench_workload(suite: str, kernel: str, params: dict) -> List[dict]:
             "slice_cache_hits": stats["slice_cache_hits"],
             "closure_memo_hits": stats["closure_memo_hits"],
             "peak_alloc_bytes": peak_alloc[index],
+            "peak_rss_bytes": peak_rss[index],
             "obs": obs_stats[index],
         })
     return rows
@@ -234,7 +239,7 @@ def test_perf_slicequery():
                               / totals["ddg"]["query_time_sec"]),
     }
     report = {
-        "schema_version": 2,      # 2: rows carry "obs" counter blocks
+        "schema_version": 3,      # 3: rows carry peak_rss_bytes too
         "smoke": SMOKE,
         "queries_per_workload": QUERIES,
         "distinct_criteria": CRITERIA,

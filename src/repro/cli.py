@@ -84,7 +84,25 @@ def cmd_run(args) -> int:
     return machine.exit_code or 0
 
 
+def _bad_checkpoint_interval(args) -> bool:
+    """Reject a non-positive ``--checkpoint-interval`` before any work.
+
+    Validated up front (before config resolution or loading anything):
+    the knob's resolver would reject it too, but only after the program
+    compile / pinball load, and with a traceback instead of a usage
+    message.
+    """
+    interval = getattr(args, "checkpoint_interval", None)
+    if interval is not None and interval <= 0:
+        print("repro: --checkpoint-interval must be a positive step "
+              "count (got %d)" % interval, file=sys.stderr)
+        return True
+    return False
+
+
 def cmd_record(args) -> int:
+    if _bad_checkpoint_interval(args):
+        return 64
     program, _source = _load_program(args.program)
     region = RegionSpec(skip=args.skip, length=args.length)
     inputs = _parse_inputs(args.inputs)
@@ -164,6 +182,8 @@ def cmd_replay(args) -> int:
 
 def cmd_convert(args) -> int:
     """``repro convert``: migrate a pinball between formats v1 and v2."""
+    if _bad_checkpoint_interval(args):
+        return 64
     pinball = Pinball.load(args.input)
     source_fmt = pinball.format
     target = args.format or ("v1" if source_fmt == "v2" else "v2")
@@ -534,7 +554,10 @@ def build_parser() -> argparse.ArgumentParser:
     record.add_argument("--checkpoint-interval", type=int, default=None,
                         metavar="N",
                         help="steps between embedded checkpoints "
-                             "(default: $REPRO_CHECKPOINT_INTERVAL or 500)")
+                             "(default: $REPRO_CHECKPOINT_INTERVAL or "
+                             "500); smaller N means bigger v2 files but "
+                             "cheaper --index reexec queries (each "
+                             "re-replay window is at most N steps)")
     record.set_defaults(func=cmd_record)
 
     convert = sub.add_parser(
@@ -550,7 +573,9 @@ def build_parser() -> argparse.ArgumentParser:
                          metavar="N",
                          help="steps between embedded checkpoints "
                               "(default: $REPRO_CHECKPOINT_INTERVAL or "
-                              "500)")
+                              "500); smaller N means bigger v2 files but "
+                              "cheaper --index reexec queries (each "
+                              "re-replay window is at most N steps)")
     convert.set_defaults(func=cmd_convert)
 
     rep = sub.add_parser("replay", help="deterministically replay a pinball")
@@ -570,7 +595,7 @@ def build_parser() -> argparse.ArgumentParser:
                     help="disable save/restore pruning")
     sl.add_argument("--no-refine", action="store_true",
                     help="disable indirect-jump CFG refinement")
-    sl.add_argument("--index", choices=("ddg", "columnar", "rows"),
+    sl.add_argument("--index", choices=("ddg", "columnar", "rows", "reexec"),
                     default=None,
                     help="slice-query engine (default: the build-once DDG "
                          "index, or $REPRO_SLICE_INDEX)")
@@ -615,7 +640,7 @@ def build_parser() -> argparse.ArgumentParser:
     debug.add_argument("--checkpoint-interval", type=int, default=None,
                        help="steps between reverse-debug checkpoints "
                             "(default: $REPRO_CHECKPOINT_INTERVAL or 500)")
-    debug.add_argument("--slice-index", choices=("ddg", "columnar", "rows"),
+    debug.add_argument("--slice-index", choices=("ddg", "columnar", "rows", "reexec"),
                        default=None,
                        help="slice-query engine for slicing commands")
     debug.add_argument("--shards", type=int, default=None, metavar="K",
@@ -715,7 +740,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="restrict --var/--line resolution to one thread")
     csl.add_argument("--slice-pinball", action="store_true",
                      help="store the relogged slice pinball too")
-    csl.add_argument("--index", choices=("ddg", "columnar", "rows"),
+    csl.add_argument("--index", choices=("ddg", "columnar", "rows", "reexec"),
                      default=None)
     csl.add_argument("--shards", type=int, default=None, metavar="K",
                      help="build the session region-sharded (needs a "

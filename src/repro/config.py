@@ -75,7 +75,7 @@ __all__ = [
 #: Recognised interpreter engines (mirrored by ``repro.vm.ENGINES``).
 _ENGINES = ("predecoded", "legacy")
 #: Recognised slice-query engines (mirrored by ``SLICE_INDEXES``).
-_SLICE_INDEXES = ("ddg", "columnar", "rows")
+_SLICE_INDEXES = ("ddg", "columnar", "rows", "reexec")
 #: Recognised pinball serialization formats.
 _PINBALL_FORMATS = ("v1", "v2")
 
@@ -146,7 +146,7 @@ KNOBS: Dict[str, Knob] = {
              doc="interpreter engine for new Machines"),
         Knob("slice_index", "REPRO_SLICE_INDEX", "ddg", _identity,
              _choice(_SLICE_INDEXES),
-             doc="slice-query engine (build-once DDG vs backward scans)"),
+             doc="slice-query engine (DDG, backward scans, or reexec)"),
         Knob("slice_shards", "REPRO_SLICE_SHARDS", 1, _parse_int,
              _positive,
              doc="regions traced in parallel by SlicingSession (1=serial)"),
@@ -162,7 +162,8 @@ KNOBS: Dict[str, Knob] = {
              doc="default pinball serialization (v1 JSON, v2 streamed)"),
         Knob("checkpoint_interval", "REPRO_CHECKPOINT_INTERVAL", 500,
              _parse_int, _positive,
-             doc="steps between embedded / reverse-debug checkpoints"),
+             doc="steps between embedded / reverse-debug checkpoints "
+                 "(bounds each reexec window pass)"),
     )
 }
 
@@ -195,7 +196,8 @@ def engine(explicit: Optional[str] = None, cli: Optional[str] = None) -> str:
 
 def slice_index(explicit: Optional[str] = None,
                 cli: Optional[str] = None) -> str:
-    """Slice-query engine: ``ddg`` (default), ``columnar`` or ``rows``."""
+    """Slice-query engine: ``ddg`` (default), ``columnar``, ``rows`` or
+    ``reexec`` (on-demand re-execution over the pinball)."""
     return resolve("slice_index", explicit, cli)
 
 

@@ -84,14 +84,13 @@ class CheckpointManager:
         self.program = program
         self.interval = interval
         self._checkpoints: List[Checkpoint] = []
-        #: Checkpoints embedded in the pinball itself (format v2): free
-        #: rewind targets that exist before the session replays anything,
-        #: which is what collapses the debugger.resume_distance histogram
-        #: for fresh sessions.  Materialized (decoded) lazily, at most
-        #: once each.
-        self._embedded = sorted(getattr(pinball, "checkpoints", ()) or (),
-                                key=lambda c: c.steps_done)
-        self._embedded_steps = [c.steps_done for c in self._embedded]
+        #: Decoded forms of checkpoints embedded in the pinball itself
+        #: (format v2): free rewind targets that exist before the session
+        #: replays anything, which is what collapses the
+        #: debugger.resume_distance histogram for fresh sessions.
+        #: Selection goes through :meth:`Pinball.nearest_checkpoint`
+        #: (the shared cached-bisect index); bodies are materialized
+        #: (decoded) lazily, at most once each.
         self._embedded_cache: Dict[int, Checkpoint] = {}
         #: Cumulative step counts of the RLE schedule runs: prefix[i] =
         #: steps retired once run i is fully consumed.  Computed once; a
@@ -137,10 +136,10 @@ class CheckpointManager:
         """
         last = (self._checkpoints[-1].steps_done
                 if self._checkpoints else None)
-        index = bisect_right(self._embedded_steps, steps_done)
-        if index:
-            embedded = self._embedded_steps[index - 1]
-            last = embedded if last is None else max(last, embedded)
+        embedded = self.pinball.nearest_checkpoint(steps_done)
+        if embedded is not None:
+            last = (embedded.steps_done if last is None
+                    else max(last, embedded.steps_done))
         if last is None:
             return True
         return steps_done - last >= self.interval
@@ -173,10 +172,10 @@ class CheckpointManager:
                 best = checkpoint
             else:
                 break
-        index = bisect_right(self._embedded_steps, target_steps)
-        if index and (best is None
-                      or self._embedded_steps[index - 1] > best.steps_done):
-            best = self._materialize(self._embedded[index - 1])
+        embedded = self.pinball.nearest_checkpoint(target_steps)
+        if embedded is not None and (
+                best is None or embedded.steps_done > best.steps_done):
+            best = self._materialize(embedded)
         return best
 
     def drop_after(self, steps: int) -> None:

@@ -5,8 +5,9 @@ as the grouped text table ``repro obs report`` prints.  :func:`run_demo_cycle`
 drives one complete DrDebug cyclic-debugging loop — Maple exposure,
 record, replay, slicing, slice pinball, reverse debugging, plus a pass
 through the debug service's store + session cache — so a single
-``repro obs report`` run exhibits nonzero counters from all six
-instrumented layers (vm, pinplay, slicing, debugger, maple, serve).
+``repro obs report`` run exhibits nonzero counters from all seven
+instrumented layers (vm, pinplay, slicing, reexec, debugger, maple,
+serve).
 """
 
 from __future__ import annotations
@@ -15,7 +16,8 @@ from repro.obs.registry import OBS
 
 #: The layer prefixes the report groups by (and the acceptance criterion
 #: checks): every one of these must show activity after a demo cycle.
-LAYERS = ("vm", "pinplay", "slicing", "debugger", "maple", "serve")
+LAYERS = ("vm", "pinplay", "slicing", "reexec", "debugger", "maple",
+          "serve")
 
 #: A lost-update atomicity bug (two unsynchronized increments): small
 #: enough to run in well under a second, racy enough that Maple's
@@ -72,6 +74,14 @@ def run_demo_cycle() -> dict:
         dslice = session.slice_for(session.failure_criterion())
         slice_pinball = session.make_slice_pinball(dslice)
         replay(slice_pinball, program, verify=False)
+
+        # Re-execution slicing: the same failure query answered by
+        # checkpoint-bounded window re-replays over the pinball instead
+        # of a resident full trace (``--index reexec``).
+        from repro.slicing import SliceOptions
+        reexec = SlicingSession(pinball, program,
+                                SliceOptions(index="reexec"))
+        reexec.slice_for(reexec.failure_criterion())
 
         # Debugger: reverse-capable cyclic session over the same pinball.
         debug = DrDebugSession(pinball, program)

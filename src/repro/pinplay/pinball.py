@@ -34,6 +34,7 @@ import json
 import mmap
 import os
 import zlib
+from bisect import bisect_right
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.obs.registry import OBS
@@ -134,6 +135,30 @@ class Pinball:
     def thread_instructions(self, tid: int) -> int:
         counts = self.meta.get("thread_instr_counts", {})
         return int(counts.get(str(tid), counts.get(tid, 0)))
+
+    def nearest_checkpoint(self, steps: int):
+        """The latest embedded checkpoint at or before region step
+        ``steps`` (None when the pinball carries none that early).
+
+        The one checkpoint-selection primitive: every consumer (the
+        replayer's resume path, the shard scout, the debugger's rewind,
+        the reexec slicer's window passes) binary-searches the same
+        cached ascending index instead of scanning CHECKPOINT frames
+        independently.  The cache key guards rebinding and appends,
+        the two ways the list could change after construction.
+        """
+        checkpoints = self.checkpoints
+        if not checkpoints:
+            return None
+        cached = self.__dict__.get("_ckpt_index")
+        if (cached is None or cached[0] is not checkpoints
+                or cached[1] != len(checkpoints)):
+            ordered = sorted(checkpoints, key=lambda c: c.steps_done)
+            cached = (checkpoints, len(checkpoints), ordered,
+                      [c.steps_done for c in ordered])
+            self.__dict__["_ckpt_index"] = cached
+        index = bisect_right(cached[3], steps)
+        return cached[2][index - 1] if index else None
 
     # -- serialization -----------------------------------------------------------
 

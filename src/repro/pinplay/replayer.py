@@ -97,13 +97,13 @@ def replay_machine(pinball: Pinball, program: Program,
 def best_checkpoint(pinball: Pinball,
                     steps: int) -> Optional[EmbeddedCheckpoint]:
     """The latest embedded checkpoint at or before region step ``steps``
-    (None when the pinball carries none that early)."""
-    best = None
-    for checkpoint in getattr(pinball, "checkpoints", ()) or ():
-        if checkpoint.steps_done <= steps and (
-                best is None or checkpoint.steps_done > best.steps_done):
-            best = checkpoint
-    return best
+    (None when the pinball carries none that early).
+
+    Thin compatibility wrapper: the selection logic (cached sorted
+    index + binary search) lives on :meth:`Pinball.nearest_checkpoint`
+    so every consumer shares one implementation.
+    """
+    return pinball.nearest_checkpoint(steps)
 
 
 def resume_machine(pinball: Pinball, program: Program,

@@ -117,9 +117,16 @@ class SessionManager:
 
     @staticmethod
     def _approx_bytes(session: SlicingSession) -> int:
-        records = session.collector.store.total_records()
+        # trace_record_count() answers without materializing the trace:
+        # a reexec session holds scaffold pc streams instead of full
+        # columns, so its resident charge is a fraction of a materialized
+        # session's and the byte-bounded LRU keeps more sessions hot.
+        records = session.trace_record_count()
         edges = session.slicer.index_stats().get("edge_count", 0)
-        return (records * BYTES_PER_TRACE_RECORD + edges * 24
+        per_record = (BYTES_PER_TRACE_RECORD // 20
+                      if session._reexec is not None
+                      else BYTES_PER_TRACE_RECORD)
+        return (records * per_record + edges * 24
                 + session.pinball.size_bytes(compress=False))
 
     def _evict(self) -> None:

@@ -213,8 +213,10 @@ def _execute(op: str, params: dict, store, manager):
                            index=params.get("index"),
                            shards=params.get("shards"))
     if op == "build":
+        # trace_record_count() answers without materializing the trace,
+        # which matters for reexec sessions (no full trace resident).
         return {"built": True, "trace_records":
-                session.collector.store.total_records(),
+                session.trace_record_count(),
                 "stats": {k: v for k, v in session.stats().items()
                           if isinstance(v, (int, float, str, bool))}}
     if op == "last_reads":

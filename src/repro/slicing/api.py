@@ -4,12 +4,22 @@ This is the workflow of paper Figure 4: replay the region pinball with the
 slicing pintool attached (collecting traces — the expensive part, done
 once), then answer interactive slice queries, and finally turn a chosen
 slice into a slice pinball via the relogger.
+
+With ``SliceOptions(index="reexec")`` the session skips the full traced
+replay entirely: a :class:`~repro.slicing.reexec.ReexecIndex` scaffold
+pass (selective tracing, near-untraced speed) seeds the session, and each
+query re-replays only the checkpoint-bounded windows it needs — peak
+memory proportional to the slice, not the region.  Configurations the
+reexec engine does not cover (sharded builds, exclusion pinballs, the
+legacy engine, programs the selective decoder rejects) fall back to the
+materialized pipeline transparently, answering with identical bytes.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import config
 from repro.isa.program import Program
 from repro.obs.registry import OBS
 from repro.pinplay.pinball import Pinball
@@ -17,6 +27,7 @@ from repro.pinplay.relogger import relog
 from repro.pinplay.replayer import replay
 from repro.slicing.global_trace import GlobalTrace, merge_traces
 from repro.slicing.options import SliceOptions
+from repro.slicing.reexec import ReexecIndex
 from repro.slicing.slice import DynamicSlice
 from repro.slicing.slicer import BackwardSlicer
 from repro.slicing.trace import Instance, Location
@@ -38,46 +49,114 @@ class SlicingSession:
             OBS.enable()
         #: Diagnostics of the region-sharded build (None while serial).
         self.shard_plan = None
-        # The phase timers live in the observability registry now
+        #: The materialized pipeline's state (collector + merged trace).
+        #: For reexec sessions these stay None until a consumer actually
+        #: needs the full trace (the :attr:`collector` / :attr:`gtrace`
+        #: properties materialize on demand — the escape hatch).
+        self._collector: Optional[TraceCollector] = None
+        self._gtrace: Optional[GlobalTrace] = None
+        self._reexec: Optional[ReexecIndex] = None
+
+        reexec_wanted = (
+            self.options.index == "reexec"
+            and self.options.shards == 1
+            and shard_boundaries is None
+            and not pinball.exclusions
+            and config.engine(explicit=engine) == "predecoded")
+        # The phase timers live in the observability registry
         # (``slicing.trace`` / ``slicing.preprocess`` spans); a Span
         # measures whether or not the registry is enabled, so the public
         # ``trace_time``/``preprocess_time`` attributes survive unchanged.
-        with OBS.span("slicing.trace") as trace_span:
-            sharded = None
-            if self.options.shards > 1 or shard_boundaries is not None:
-                from repro.slicing.shard import ShardPlan, trace_sharded
-                self.shard_plan = ShardPlan(self.options.shards, [])
-                sharded = trace_sharded(
-                    pinball, program, self.options, engine=engine,
-                    boundaries=shard_boundaries, plan_out=self.shard_plan)
-            if sharded is not None:
-                self.collector, self.machine, self.replay_result = sharded
-            else:
-                self.collector = TraceCollector(program, self.options)
-                self.machine, self.replay_result = replay(
-                    pinball, program, tools=[self.collector], verify=False,
-                    engine=engine)
-        self.trace_time = trace_span.elapsed
+        if reexec_wanted:
+            with OBS.span("slicing.trace") as trace_span:
+                try:
+                    self._reexec = ReexecIndex(pinball, program,
+                                               options=self.options,
+                                               engine=engine)
+                except ValueError:
+                    self._reexec = None
+            self.trace_time = trace_span.elapsed
+        if self._reexec is not None:
+            self.machine = self._reexec.final_machine
+            self.replay_result = self._reexec.final_result
+            with OBS.span("slicing.preprocess") as prep_span:
+                self._reexec.prepare()
+            self.preprocess_time = prep_span.elapsed
+            self.slicer = self._reexec
+        else:
+            with OBS.span("slicing.trace") as trace_span:
+                sharded = None
+                if self.options.shards > 1 or shard_boundaries is not None:
+                    from repro.slicing.shard import ShardPlan, trace_sharded
+                    self.shard_plan = ShardPlan(self.options.shards, [])
+                    sharded = trace_sharded(
+                        pinball, program, self.options, engine=engine,
+                        boundaries=shard_boundaries, plan_out=self.shard_plan)
+                if sharded is not None:
+                    self._collector, self.machine, self.replay_result = \
+                        sharded
+                else:
+                    self._collector = TraceCollector(program, self.options)
+                    self.machine, self.replay_result = replay(
+                        pinball, program, tools=[self._collector],
+                        verify=False, engine=engine)
+            self.trace_time = trace_span.elapsed
 
-        with OBS.span("slicing.preprocess") as prep_span:
-            self.gtrace: GlobalTrace = merge_traces(
-                self.collector.store, pinball.mem_order)
-            self.slicer = BackwardSlicer(
-                self.gtrace,
-                verified_restores=self.collector.save_restore.verified,
-                options=self.options)
-        self.preprocess_time = prep_span.elapsed
+            with OBS.span("slicing.preprocess") as prep_span:
+                self._gtrace = merge_traces(
+                    self._collector.store, pinball.mem_order)
+                self.slicer = BackwardSlicer(
+                    self._gtrace,
+                    verified_restores=self._collector.save_restore.verified,
+                    options=self.options)
+            self.preprocess_time = prep_span.elapsed
         self.last_slice_time = 0.0
         if OBS.enabled:
             OBS.add("slicing.sessions", 1)
-            OBS.add("slicing.trace_records",
-                    self.collector.store.total_records())
+            OBS.add("slicing.trace_records", self.trace_record_count())
         #: Lazily built reverse indexes serving the criterion helpers
         #: (line -> latest instance, written addr -> latest writer, read
         #: positions).  One pass over the trace columns on first use —
         #: interactive sessions resolve criteria repeatedly, and the seed
         #: implementation re-scanned the whole trace per call.
         self._criterion_index: Optional[tuple] = None
+
+    # -- materialized-trace access (lazy for reexec sessions) ----------------
+
+    @property
+    def collector(self) -> TraceCollector:
+        """The trace collector — for reexec sessions, accessing this runs
+        the full traced replay the engine was avoiding (once)."""
+        if self._collector is None:
+            self._materialize()
+        return self._collector
+
+    @property
+    def gtrace(self) -> GlobalTrace:
+        """The merged global trace (materialized on demand, see
+        :attr:`collector`)."""
+        if self._gtrace is None:
+            self._materialize()
+        return self._gtrace
+
+    def _materialize(self) -> None:
+        with OBS.span("slicing.trace"):
+            collector = TraceCollector(self.program, self.options)
+            self.machine, self.replay_result = replay(
+                self.pinball, self.program, tools=[collector],
+                verify=False, engine=self.engine)
+        with OBS.span("slicing.preprocess"):
+            self._gtrace = merge_traces(
+                collector.store, self.pinball.mem_order)
+        self._collector = collector
+
+    def trace_record_count(self) -> int:
+        """Retired-instruction count of the region — what a full trace
+        would hold.  Reexec sessions answer from the scaffold's pc
+        streams without materializing any trace."""
+        if self._reexec is not None:
+            return self._reexec.trace_records
+        return self.collector.store.total_records()
 
     # -- criterion resolution ----------------------------------------------------
 
@@ -150,6 +229,8 @@ class SlicingSession:
     def last_instance_at_line(self, line: int,
                               tid: Optional[int] = None) -> Instance:
         """The latest executed instance attributed to source ``line``."""
+        if self._reexec is not None:
+            return self._reexec.last_instance_at_line(line, tid)
         line_best, line_tid_best, _writes, _tid_writes, _reads = \
             self._indexes()
         best = (line_best.get(line) if tid is None
@@ -162,6 +243,8 @@ class SlicingSession:
     def last_write_to_global(self, name: str,
                              tid: Optional[int] = None) -> Instance:
         """The latest instance that wrote global variable ``name``."""
+        if self._reexec is not None:
+            return self._reexec.last_write_to_global(name, tid)
         var = self.program.globals.get(name)
         if var is None:
             raise ValueError("unknown global %r" % name)
@@ -190,6 +273,8 @@ class SlicingSession:
         This mirrors the paper's slicing-overhead experiment, which slices
         "the last 10 read instructions (spread across five threads)".
         """
+        if self._reexec is not None:
+            return self._reexec.last_reads(count)
         reads = self._indexes()[4]
         return [inst for _gpos, inst in reads[:-count - 1:-1]]
 
@@ -253,6 +338,21 @@ class SlicingSession:
         — plus pipeline-wide counters from every other layer — are
         available via ``repro.obs.OBS.snapshot()``.
         """
+        if self._reexec is not None:
+            out = {
+                "obs_enabled": OBS.enabled,
+                "trace_records": self.trace_record_count(),
+                "trace_time_sec": self.trace_time,
+                "preprocess_time_sec": self.preprocess_time,
+                "mem_order_edges": len(self.pinball.mem_order),
+                "cfg_refinements": self._reexec.registry.refinements,
+                "verified_save_restore_pairs":
+                    self._reexec.save_restore.pair_count,
+                "threads": self._reexec.threads(),
+                "shards": self.options.shards,
+            }
+            out.update(self._reexec.index_stats())
+            return out
         out = {
             "obs_enabled": OBS.enabled,
             "trace_records": self.collector.store.total_records(),

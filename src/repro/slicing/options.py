@@ -34,6 +34,20 @@ Every ablation benchmark flips one of these:
     the trace store is row-based).
   - ``"rows"``: the seed record-at-a-time backward scan, kept as the
     differential tests' reference and the benchmark baseline.
+  - ``"reexec"``: on-demand re-execution slicing — no full trace is
+    collected at all.  One *selective-mode* scaffold replay (a fourth
+    micro-op table: near-untraced speed, recording only per-thread pc
+    streams plus the few execution-time facts static analysis cannot
+    recover — branch region ends, syscall result presence, verified
+    save/restore pairs) seeds the session; each query then resolves
+    its dependences offline, re-replaying checkpoint-bounded windows
+    of the pinball on demand to recover memory-access addresses,
+    memoized into a sparse partial DDG that warms up across a
+    session's queries.  Slices are byte-identical to ``"ddg"``
+    (``tests/slicing/test_reexec_differential.py``); peak memory stays
+    proportional to the windows a query actually touches, not the
+    region.  Query cost scales with the pinball's checkpoint interval
+    (each window pass replays at most one interval of steps).
 
   The environment variable ``REPRO_SLICE_INDEX`` overrides the default
   (used by CI to run the tier-1 suite against every engine); resolution
@@ -65,7 +79,7 @@ from dataclasses import dataclass, field
 from repro import config
 
 #: The recognised slice-query engines (see the module docstring).
-SLICE_INDEXES = ("ddg", "columnar", "rows")
+SLICE_INDEXES = ("ddg", "columnar", "rows", "reexec")
 
 
 def _default_index() -> str:

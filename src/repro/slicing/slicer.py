@@ -48,7 +48,11 @@ class BackwardSlicer:
         self.restores = dict(verified_restores or {})
         self.index = self.options.index
         self._ddg: Optional[DependenceIndex] = None
-        if self.index == "ddg":
+        if self.index in ("ddg", "reexec"):
+            # "reexec" here means a reexec session fell back to the
+            # materialized pipeline (sharded build, exclusion pinball,
+            # legacy engine, undecodable program); the ddg engine answers
+            # with identical bytes, so the fallback is transparent.
             # The DDG engine builds its own flat edge columns (lazily, on
             # the first query); the LP block summaries are scan-only.
             self.blocks: List[TraceBlock] = []
@@ -112,7 +116,7 @@ class BackwardSlicer:
         criterion instruction's own uses — "the statements that played a
         role in the computation of the value".
         """
-        if self.index == "ddg":
+        if self.index in ("ddg", "reexec"):
             return self.ddg.slice(criterion, locations)
         crit_rec = self.gtrace.record_of(criterion)
         stats = {

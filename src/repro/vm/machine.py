@@ -164,6 +164,9 @@ class Machine:
         self._rec_mem_pc: Optional[List[bool]] = None
         self._rec_reads: List[int] = []
         self._rec_writes: List[int] = []
+        #: Selective-trace path (see set_selective): a sink-bound handler
+        #: table from repro.vm.microops.decode_selective, or None.
+        self._uops_sel = None
         self._event_reuse_ok = False
         self._scratch_event: Optional[InstrEvent] = None
         self._instr_tools: List[Tool] = []
@@ -231,6 +234,31 @@ class Machine:
         self._rec_reads: List[int] = []
         self._rec_writes: List[int] = []
         self._recorder = recorder
+
+    def set_selective(self, table) -> None:
+        """Arm (or with ``None`` disarm) the selective-trace path.
+
+        ``table`` comes from :func:`repro.vm.microops.decode_selective`:
+        a sink-bound handler per pc that executes at untraced speed and
+        reports only the event classes the sink watches.  This is how the
+        re-execution slicer replays a pinball (or a checkpoint-bounded
+        window of one) while recording a pc stream or bare memory
+        addresses instead of full instruction events.  Requires the
+        predecoded engine; mutually exclusive with exclusion skips (the
+        reexec path never sees slice pinballs) and ignored while a
+        recorder or per-instruction tools are attached.
+        """
+        if table is None:
+            self._uops_sel = None
+            return
+        if self.engine != "predecoded":
+            raise VMError("selective tracing requires the predecoded engine")
+        if self._excl_watch:
+            raise VMError(
+                "cannot trace selectively over installed exclusions")
+        if len(table) != self._code_len:
+            raise VMError("selective table does not match the program")
+        self._uops_sel = table
 
     # -- thread management -----------------------------------------------------
 
@@ -433,6 +461,12 @@ class Machine:
             uops_fast = self._uops_fast
             rec_mr = self._rec_reads
             rec_mw = self._rec_writes
+        # Selective-trace path (set_selective): like the record path, a
+        # dedicated per-pc handler table inlined into this loop; mutually
+        # exclusive with recording and with per-instruction tools.
+        uops_sel = self._uops_sel
+        sel_on = (uops_sel is not None and predecoded
+                  and not self._instr_tools and recorder is None)
         # Observability: one hoisted local; while disabled the per-step
         # cost is a single local-bool test (context-switch counting), and
         # everything else is aggregated from per-run deltas after the
@@ -567,6 +601,13 @@ class Machine:
                 elif uops_fast[pc](self, thread):
                     thread.instr_count += 1
                     retired += 1
+            elif sel_on:
+                pc = thread.pc
+                if not 0 <= pc < code_len:
+                    raise VMError("pc out of range", tid=tid, pc=pc)
+                if uops_sel[pc](self, thread):
+                    thread.instr_count += 1
+                    retired += 1
             elif step_thread(thread):
                 retired += 1
             steps += 1
@@ -583,6 +624,8 @@ class Machine:
                 OBS.add("vm.steps_traced", steps)
             elif rec_on:
                 OBS.add("vm.steps_recorded", steps)
+            elif sel_on:
+                OBS.add("vm.steps_selective", steps)
             else:
                 OBS.add("vm.steps_untraced", steps)
             OBS.add("vm.context_switches", obs_switches)

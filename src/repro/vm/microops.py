@@ -23,6 +23,17 @@ cached on the program object — into two parallel handler tables:
   untraced speed plus one bare-``int`` append per access: no tuples, no
   register def/use plumbing.  Opcodes without a dedicated record shape
   (SYS, fallbacks) wrap their traced closure and strip the addresses out.
+* ``sel[pc](machine, thread) -> bool`` — the *selective* path
+  (:func:`decode_selective`), the re-execution slicer's fourth table
+  variant.  Unlike the three tables above it is bound to a *sink* object
+  rather than cached on the program: only the event classes the sink
+  watches pay any per-step cost, everything else executes through the
+  untraced closure unchanged.  Two sink modes exist — ``"flow"``
+  (per-retire pc stream plus the few execution-time facts offline
+  analysis cannot recover: branch region ends, indirect-jump targets,
+  syscall result presence, save/restore stack traffic) and ``"mem"``
+  (memory addresses only, for replaying a bounded window of the region
+  on demand).
 
 All handlers return True iff the instruction retired (False: a syscall
 blocked and will be retried).  Instructions the decoder does not recognize
@@ -55,6 +66,15 @@ _CACHE_ATTR = "_microop_tables"
 MEM_OPCODES = frozenset((
     Opcode.LD, Opcode.ST, Opcode.PUSH, Opcode.POP,
     Opcode.CALL, Opcode.ICALL, Opcode.RET, Opcode.SYS,
+))
+
+#: Opcodes whose handlers can *write* memory (LD/POP/RET only read it;
+#: POP and RET write registers).  The flow-mode selective table reports
+#: these pcs' written addresses through ``sink.on_wset`` so a scaffold
+#: pass can collect the region's written-address set.  SYS is handled
+#: separately (its write arrives via ``Machine._cur_mem_writes``).
+_WRITING_MEM_OPCODES = frozenset((
+    Opcode.ST, Opcode.PUSH, Opcode.CALL, Opcode.ICALL,
 ))
 
 
@@ -1146,3 +1166,212 @@ def _rec_ret(next_pc: int, code_len: int) -> RecordHandler:
         return True
 
     return rec
+
+
+# -- selective handlers --------------------------------------------------------
+#
+# The re-execution slicer's table variant (see the module docstring).  The
+# tables are *sink-bound*: every closure captures the sink's callbacks at
+# decode time, so arming a table on a machine adds zero per-step dispatch
+# beyond what the sink asked to observe.  They are therefore never cached
+# on the program object.
+
+SelectiveHandler = Callable[..., bool]
+
+
+def decode_selective(program, sink) -> List[SelectiveHandler]:
+    """Compile the selective table for ``sink`` (mode ``"flow"`` / ``"mem"``).
+
+    A flow sink provides ``save_addrs``/``restore_addrs`` (static
+    save/restore candidate pcs) and the callbacks ``on_step(tid, pc)``
+    (every retire, first), then per class: ``on_branch(tid, pc)``,
+    ``on_ijmp(tid, pc, target)``, ``on_sys(tid, wrote_r0)``,
+    ``on_save(tid, pc, stack_addr, value, frame_id)``,
+    ``on_restore(tid, pc, stack_addr, value, frame_id)`` and
+    ``on_ret(tid, frame_id)`` (``frame_id`` is pre-execution, matching
+    :class:`~repro.vm.hooks.InstrEvent`), plus ``on_wset(addr)`` —
+    called once per memory address *written* by a non-save retire (save
+    pcs report their slot through ``on_save``), giving the sink the
+    region's written-address set without any ordering or attribution.
+    A mem sink provides only
+    ``on_mem(tid, tindex, reads, writes)``; the address lists are scratch
+    buffers reused across steps, so the sink must copy what it keeps.
+
+    Raises :class:`ValueError` for instructions the decoder cannot give a
+    dedicated shape — selective tracing has no fallback path because its
+    consumer (the reexec slicer) must also *statically* derive the
+    instruction's register defs/uses, which an opaque shape cannot supply.
+    """
+    mode = sink.mode
+    instructions = program.instructions
+    code_len = len(instructions)
+    table: List[SelectiveHandler] = []
+    if mode == "mem":
+        on_mem = sink.on_mem
+        mr: List[int] = []
+        mw: List[int] = []
+        for pc, instr in enumerate(instructions):
+            try:
+                _fast, traced = _decode_instr(program, instr, pc, code_len)
+            except Exception:
+                raise ValueError(
+                    "selective decode: undecodable instruction at pc %d (%r)"
+                    % (pc, instr.op))
+            if instr.op in MEM_OPCODES:
+                rec = _record_handler(program, instr, pc, code_len, traced)
+                table.append(_sel_mem(rec, on_mem, mr, mw))
+            else:
+                table.append(_fast)
+        return table
+    if mode != "flow":
+        raise ValueError("unknown selective mode %r" % (mode,))
+    on_step = sink.on_step
+    on_wset = sink.on_wset
+    save_addrs = sink.save_addrs
+    restore_addrs = sink.restore_addrs
+    wmr: List[int] = []
+    wmw: List[int] = []
+    for pc, instr in enumerate(instructions):
+        try:
+            fast, traced = _decode_instr(program, instr, pc, code_len)
+        except Exception:
+            raise ValueError(
+                "selective decode: undecodable instruction at pc %d (%r)"
+                % (pc, instr.op))
+        op = instr.op
+        if op == Opcode.BR or op == Opcode.BRZ:
+            table.append(_sel_flow_branch(fast, pc, on_step, sink.on_branch))
+        elif op == Opcode.IJMP:
+            table.append(_sel_flow_ijmp(fast, pc, on_step, sink.on_ijmp))
+        elif op == Opcode.SYS:
+            table.append(_sel_flow_sys(traced, pc, on_step, sink.on_sys,
+                                       on_wset))
+        elif op == Opcode.RET:
+            table.append(_sel_flow_ret(fast, pc, on_step, sink.on_ret))
+        elif (op == Opcode.PUSH and pc in save_addrs
+                and instr.operand_kinds() == "r"):
+            table.append(_sel_flow_save(fast, pc, instr.operands[0].name,
+                                        on_step, sink.on_save))
+        elif op == Opcode.POP and pc in restore_addrs:
+            table.append(_sel_flow_restore(fast, pc, on_step,
+                                           sink.on_restore))
+        elif op in _WRITING_MEM_OPCODES:
+            rec = _record_handler(program, instr, pc, code_len, traced)
+            table.append(_sel_flow_write(rec, pc, on_step, on_wset,
+                                         wmr, wmw))
+        else:
+            table.append(_sel_flow_plain(fast, pc, on_step))
+    return table
+
+
+def _sel_mem(rec, on_mem, mr, mw) -> SelectiveHandler:
+    def sel(machine, thread) -> bool:
+        retired = rec(machine, thread, mr, mw)
+        if mr or mw:
+            if retired:
+                on_mem(thread.tid, thread.instr_count, mr, mw)
+            del mr[:]
+            del mw[:]
+        return retired
+    return sel
+
+
+def _sel_flow_plain(fast, pc, on_step) -> SelectiveHandler:
+    def sel(machine, thread) -> bool:
+        fast(machine, thread)
+        on_step(thread.tid, pc)
+        return True
+    return sel
+
+
+def _sel_flow_branch(fast, pc, on_step, on_branch) -> SelectiveHandler:
+    def sel(machine, thread) -> bool:
+        fast(machine, thread)
+        tid = thread.tid
+        on_step(tid, pc)
+        on_branch(tid, pc)
+        return True
+    return sel
+
+
+def _sel_flow_ijmp(fast, pc, on_step, on_ijmp) -> SelectiveHandler:
+    def sel(machine, thread) -> bool:
+        fast(machine, thread)
+        tid = thread.tid
+        on_step(tid, pc)
+        on_ijmp(tid, pc, thread.pc)
+        return True
+    return sel
+
+
+def _sel_flow_sys(traced, pc, on_step, on_sys, on_wset) -> SelectiveHandler:
+    def sel(machine, thread) -> bool:
+        rr: list = []
+        rw: list = []
+        tmw: list = []
+        # spawn deposits the child's argument-slot write here (the SYS
+        # traced closure itself never touches its mem lists).
+        machine._cur_mem_writes = tmw
+        retired = traced(machine, thread, rr, rw, rr, rw)
+        machine._cur_mem_writes = None
+        if retired:
+            tid = thread.tid
+            on_step(tid, pc)
+            on_sys(tid, bool(rw))
+            for addr, _value in tmw:
+                on_wset(addr)
+        return retired
+    return sel
+
+
+def _sel_flow_write(rec, pc, on_step, on_wset, mr, mw) -> SelectiveHandler:
+    def sel(machine, thread) -> bool:
+        retired = rec(machine, thread, mr, mw)
+        if retired:
+            on_step(thread.tid, pc)
+            for addr in mw:
+                on_wset(addr)
+        del mr[:]
+        del mw[:]
+        return retired
+    return sel
+
+
+def _sel_flow_ret(fast, pc, on_step, on_ret) -> SelectiveHandler:
+    def sel(machine, thread) -> bool:
+        frames = thread.frames
+        frame_id = frames[-1].frame_id if frames else -1
+        fast(machine, thread)
+        tid = thread.tid
+        on_step(tid, pc)
+        on_ret(tid, frame_id)
+        return True
+    return sel
+
+
+def _sel_flow_save(fast, pc, rs, on_step, on_save) -> SelectiveHandler:
+    def sel(machine, thread) -> bool:
+        frames = thread.frames
+        frame_id = frames[-1].frame_id if frames else -1
+        value = thread.regs[rs]
+        fast(machine, thread)
+        tid = thread.tid
+        # Post-execution sp is exactly the slot the push wrote.
+        on_step(tid, pc)
+        on_save(tid, pc, int(thread.regs["sp"]), value, frame_id)
+        return True
+    return sel
+
+
+def _sel_flow_restore(fast, pc, on_step, on_restore) -> SelectiveHandler:
+    def sel(machine, thread) -> bool:
+        frames = thread.frames
+        frame_id = frames[-1].frame_id if frames else -1
+        sp = int(thread.regs["sp"])
+        value = machine.memory.read(sp)
+        fast(machine, thread)
+        tid = thread.tid
+        on_step(tid, pc)
+        on_restore(tid, pc, sp, value, frame_id)
+        return True
+    return sel

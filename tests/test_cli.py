@@ -336,6 +336,31 @@ class TestConvert:
         assert main(["convert", str(bad), "-o", out]) == 65
         assert "bad.pinball" in capsys.readouterr().err
 
+    @pytest.mark.parametrize("interval", ("0", "-5"))
+    def test_convert_rejects_nonpositive_interval(self, tmp_path, capsys,
+                                                  interval):
+        # Usage error (64) before the input is even opened: the missing
+        # pinball must not be the failure reported.
+        missing = str(tmp_path / "never-read.pinball")
+        out = str(tmp_path / "out.pinball")
+        assert main(["convert", missing, "-o", out,
+                     "--checkpoint-interval", interval]) == 64
+        err = capsys.readouterr().err
+        assert "--checkpoint-interval" in err
+        assert interval in err
+        assert not os.path.exists(out)
+
+    @pytest.mark.parametrize("interval", ("0", "-3"))
+    def test_record_rejects_nonpositive_interval(self, tmp_path, capsys,
+                                                 interval):
+        missing = str(tmp_path / "never-read.mc")
+        out = str(tmp_path / "out.pinball")
+        assert main(["record", missing, "-o", out,
+                     "--checkpoint-interval", interval]) == 64
+        err = capsys.readouterr().err
+        assert "--checkpoint-interval" in err
+        assert not os.path.exists(out)
+
 
 class TestCorruptPinball:
     def test_corrupt_pinball_exits_65_and_names_file(self, clean_file,

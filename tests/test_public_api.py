@@ -41,7 +41,7 @@ class TestTopLevel:
 
     def test_config_is_the_resolver_module(self):
         assert repro.config.slice_shards() >= 1
-        assert repro.config.slice_index() in ("ddg", "columnar", "rows")
+        assert repro.config.slice_index() in ("ddg", "columnar", "rows", "reexec")
 
 
 class TestDeprecatedAliases:
