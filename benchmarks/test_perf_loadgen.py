@@ -1,0 +1,334 @@
+"""Fleet load generation — latency/throughput under concurrent clients.
+
+ISSUE 8's scale-out claim has three measurable parts, and this benchmark
+drives all three into ``BENCH_loadgen.json``:
+
+* **Warm vs cold session opens** — the persistent index cache turns a
+  cold node's session open from O(trace + DDG build) into O(load).
+  Measured at the session-construction level (one
+  ``SessionManager.open`` per fresh manager); full mode asserts the
+  ≥ 5× bar.
+* **Single-node saturation** — the closed-loop load generator
+  (``repro client bench`` machinery) drives a zipf-popular request mix
+  (slice / last_reads / replay, plus a record-bearing mix row) at
+  several client counts against one server; each row carries p50/p99
+  latency and throughput, and the saturation point is the best row.
+* **Multi-node scale-out** — the same workload against a router over
+  two serve nodes vs a single node.  Node builds are CPU-bound
+  processes, so the speedup bar is gated on ≥ 4 usable CPUs via the
+  shared :func:`~benchmarks.harness.check_parallel_bar` (printed, not
+  asserted, on small boxes and in smoke mode).
+
+Set ``REPRO_PERF_SMOKE=1`` (CI) for a reduced run that still writes the
+JSON.  Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_perf_loadgen.py -q -s
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import threading
+import time
+from contextlib import contextmanager
+from typing import List
+
+from repro import config
+from repro.lang import compile_source
+from repro.pinplay import RegionSpec, record_region
+from repro.serve import (DebugClient, DebugServer, PinballStore,
+                         SessionManager, run_server)
+from repro.serve.loadgen import run_bench
+from repro.serve.router import Router, run_router
+from repro.vm import RandomScheduler
+from repro.workloads import get_parsec, get_specomp
+
+from repro.config import perf_smoke
+
+from benchmarks.harness import available_cpus, check_parallel_bar, timed
+
+SMOKE = perf_smoke()
+CPUS = available_cpus()
+
+if SMOKE:
+    RECORDINGS = 4
+    OPS = 24
+    CLIENT_COUNTS = (1, 4)
+    WARM_COLD_REPS = 2
+    KERNELS = [("parsec", "blackscholes", {"units": 20, "nthreads": 2})]
+else:
+    RECORDINGS = 8
+    OPS = 96
+    CLIENT_COUNTS = (1, 4, 8)
+    WARM_COLD_REPS = 4
+    KERNELS = [
+        ("parsec", "blackscholes", {"units": 60, "nthreads": 3}),
+        ("parsec", "fluidanimate", {"units": 40, "nthreads": 3}),
+        ("specomp", "ammp", {"units": 40}),
+        ("specomp", "mgrid", {"units": 30}),
+    ]
+
+BENCH_PATH = os.path.join(os.path.dirname(__file__), os.pardir,
+                          "BENCH_loadgen.json")
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__),
+                                         os.pardir))
+SRC_DIR = os.path.join(REPO_ROOT, "src")
+
+#: A small source for the record-bearing mix row (records server-side).
+RECORD_SOURCE = get_parsec("blackscholes").source(units=8, nthreads=2)
+
+
+def _kernel_source(index: int):
+    suite, kernel, params = KERNELS[index % len(KERNELS)]
+    workload = (get_parsec(kernel) if suite == "parsec"
+                else get_specomp(kernel))
+    sized = dict(params, units=params["units"] + 2 * (index // len(KERNELS)))
+    return "%s-%d" % (kernel, index), workload.source(**sized)
+
+
+def _build_corpus(root: str) -> List[tuple]:
+    """RECORDINGS stored kernel recordings; returns their open keys."""
+    store = PinballStore(root)
+    keys = []
+    for index in range(RECORDINGS):
+        name, source = _kernel_source(index)
+        program = compile_source(source, name=name)
+        pinball = record_region(program, RandomScheduler(seed=index),
+                                RegionSpec())
+        source_sha = store.put_source(source, name, tags=("bench",))
+        pinball_sha = store.put_pinball(
+            pinball, tags=("bench",),
+            meta={"source_sha": source_sha, "program_name": name})
+        keys.append((pinball_sha, source_sha, name))
+    return keys
+
+
+# ---------------------------------------------------------------------------
+# Phase 1: warm vs cold session opens (the persistent index cache).
+# ---------------------------------------------------------------------------
+
+def _bench_warm_cold(root: str, keys: List[tuple]) -> dict:
+    store = PinballStore(root)
+    sha, source_sha, name = keys[0]
+    # Seed the cache once (untimed) so every warm rep below is a hit.
+    SessionManager(store, max_entries=1).open(sha, source_sha, name)
+    cold_times = []
+    for _ in range(WARM_COLD_REPS):
+        manager = SessionManager(store, max_entries=1, index_cache=False)
+        _, elapsed = timed(manager.open, sha, source_sha, name)
+        cold_times.append(elapsed)
+    warm_times = []
+    for _ in range(WARM_COLD_REPS):
+        manager = SessionManager(store, max_entries=1)
+        _, elapsed = timed(manager.open, sha, source_sha, name)
+        warm_times.append(elapsed)
+        assert manager.index_cache_hits == 1, "warm rep missed the cache"
+    return {
+        "phase": "warm_vs_cold_open",
+        "recording": name,
+        "reps": WARM_COLD_REPS,
+        "cold_open_sec": min(cold_times),
+        "warm_open_sec": min(warm_times),
+        "speedup": min(cold_times) / min(warm_times),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Phase 2: single-node saturation sweep + mix rows.
+# ---------------------------------------------------------------------------
+
+@contextmanager
+def _running_server(root: str, workers: int = 2):
+    server = DebugServer(root, port=0, workers=workers,
+                         request_timeout=600.0, queue_limit=256)
+    ready = threading.Event()
+    thread = threading.Thread(
+        target=run_server, args=(server,),
+        kwargs={"announce": lambda host, port: ready.set()}, daemon=True)
+    thread.start()
+    assert ready.wait(60), "server did not come up"
+    try:
+        yield server
+    finally:
+        try:
+            with DebugClient(port=server.port, timeout=30) as client:
+                client.shutdown()
+        except OSError:
+            pass
+        thread.join(30)
+
+
+def _warm_fleet(port: int, keys: List[tuple]) -> None:
+    """Build every resident session once, outside the timed windows."""
+    with DebugClient(port=port, timeout=600) as client:
+        for sha, _source, _name in keys:
+            client.call("build", {"key": sha})
+
+
+def _bench_single_node(root: str, keys: List[tuple]) -> List[dict]:
+    shas = [sha for sha, _s, _n in keys]
+    rows = []
+    with _running_server(root) as server:
+        _warm_fleet(server.port, keys)
+        for clients in CLIENT_COUNTS:
+            report = run_bench("127.0.0.1", server.port, shas, ops=OPS,
+                               clients=clients, seed=17)
+            rows.append(dict(report, phase="single_node", nodes=1))
+        # A record-bearing mix: writes land in the shared store too.
+        report = run_bench(
+            "127.0.0.1", server.port, shas, ops=max(8, OPS // 4),
+            clients=max(CLIENT_COUNTS),
+            mix={"slice": 6, "last_reads": 3, "replay": 1, "record": 1},
+            seed=23, record_source=RECORD_SOURCE)
+        rows.append(dict(report, phase="record_mix", nodes=1))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Phase 3: multi-node (router + N serve subprocesses) vs one node.
+# ---------------------------------------------------------------------------
+
+def _spawn_node(root: str, scratch: str, name: str):
+    port_file = os.path.join(scratch, "%s.port" % name)
+    env = dict(os.environ, PYTHONPATH=SRC_DIR)
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--store", root,
+         "--port", "0", "--workers", "2", "--port-file", port_file],
+        env=env, cwd=REPO_ROOT,
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+    deadline = time.time() + 120
+    while time.time() < deadline:
+        if os.path.exists(port_file):
+            text = open(port_file).read().strip()
+            if text:
+                return proc, int(text)
+        if proc.poll() is not None:
+            raise AssertionError("node died at startup")
+        time.sleep(0.05)
+    proc.kill()
+    raise AssertionError("node never wrote its port file")
+
+
+@contextmanager
+def _routed_fleet(root: str, scratch: str, nodes: int):
+    procs = []
+    ports = []
+    try:
+        for index in range(nodes):
+            proc, port = _spawn_node(root, scratch, "bench-node%d" % index)
+            procs.append(proc)
+            ports.append(port)
+        router = Router([("127.0.0.1", port) for port in ports], port=0,
+                        health_interval=5.0)
+        ready = threading.Event()
+        thread = threading.Thread(
+            target=run_router, args=(router,),
+            kwargs={"announce": lambda host, port: ready.set()},
+            daemon=True)
+        thread.start()
+        assert ready.wait(30), "router did not come up"
+        try:
+            yield router
+        finally:
+            try:
+                with DebugClient(port=router.port, timeout=30) as client:
+                    client.shutdown()
+            except (OSError, Exception):   # noqa: BLE001 — teardown
+                pass
+            thread.join(30)
+    finally:
+        for proc in procs:
+            if proc.poll() is None:
+                proc.terminate()
+        for proc in procs:
+            try:
+                proc.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+
+
+def _bench_multi_node(root: str, scratch: str,
+                      keys: List[tuple]) -> List[dict]:
+    shas = [sha for sha, _s, _n in keys]
+    clients = max(CLIENT_COUNTS)
+    rows = []
+    for nodes in (1, 2):
+        with _routed_fleet(root, scratch, nodes) as router:
+            _warm_fleet(router.port, keys)
+            report = run_bench("127.0.0.1", router.port, shas, ops=OPS,
+                               clients=clients, seed=31)
+            rows.append(dict(report, phase="multi_node", nodes=nodes,
+                             router_counts=dict(router.counts)))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# The benchmark.
+# ---------------------------------------------------------------------------
+
+def test_perf_loadgen(tmp_path):
+    root = str(tmp_path / "store")
+    scratch = str(tmp_path)
+    keys = _build_corpus(root)
+
+    warm_cold = _bench_warm_cold(root, keys)
+    single = _bench_single_node(root, keys)
+    multi = _bench_multi_node(root, scratch, keys)
+
+    sweep = [row for row in single if row["phase"] == "single_node"]
+    saturation = max(sweep, key=lambda row: row["throughput_ops_per_sec"])
+    by_nodes = {row["nodes"]: row for row in multi}
+    speedups = {
+        "warm_vs_cold_open": warm_cold["speedup"],
+        "two_nodes_vs_one": (
+            by_nodes[2]["throughput_ops_per_sec"]
+            / by_nodes[1]["throughput_ops_per_sec"]),
+    }
+    report = {
+        "schema_version": 1,
+        "smoke": SMOKE,
+        "cpus": CPUS,
+        "recordings": RECORDINGS,
+        "ops": OPS,
+        "client_counts": list(CLIENT_COUNTS),
+        "phases": [warm_cold] + single + multi,
+        "saturation": {
+            "throughput_ops_per_sec": saturation["throughput_ops_per_sec"],
+            "at_clients": saturation["clients"],
+            "p50_ms": saturation["latency_ms"]["p50"],
+            "p99_ms": saturation["latency_ms"]["p99"],
+        },
+        "speedups": speedups,
+    }
+    path = os.path.abspath(BENCH_PATH)
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+
+    print("\nloadgen: warm-vs-cold open %.1fx; saturation %.1f ops/s at "
+          "%d clients (p50 %.1f ms, p99 %.1f ms); 2-node vs 1-node %.2fx"
+          % (speedups["warm_vs_cold_open"],
+             report["saturation"]["throughput_ops_per_sec"],
+             report["saturation"]["at_clients"],
+             report["saturation"]["p50_ms"],
+             report["saturation"]["p99_ms"],
+             speedups["two_nodes_vs_one"]))
+    print("wrote %s" % path)
+
+    # Every row completed its ops without protocol-level failures.
+    for row in single + multi:
+        assert row["error_responses"] == 0, row
+        assert row["completed"] >= row["ops"] * 0.95, row
+
+    # The index-cache bar is engine-specific; riders pin other engines.
+    if not SMOKE and config.slice_index() == "ddg":
+        assert speedups["warm_vs_cold_open"] >= 5.0, (
+            "warm session open only %.2fx over cold build (bar: 5x)"
+            % speedups["warm_vs_cold_open"])
+    # Node builds are CPU-bound: the scale-out bar needs cores to
+    # scale onto — printed, not asserted, below 4 CPUs / in smoke.
+    check_parallel_bar("loadgen 2-node vs 1-node throughput",
+                       speedups["two_nodes_vs_one"], 1.5,
+                       cpus_required=4, smoke=SMOKE, cpus=CPUS)

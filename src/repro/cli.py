@@ -379,6 +379,63 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def cmd_router(args) -> int:
+    """``repro router``: key-affinity front end over N serve nodes."""
+    from repro.serve.router import Router, parse_nodes, run_router
+    spec = args.nodes if args.nodes else config.router_nodes()
+    nodes = parse_nodes(spec)
+    if not nodes:
+        raise ValueError(
+            "no serve nodes: pass --nodes host:port,... or set "
+            "REPRO_ROUTER_NODES")
+    router = Router(nodes, host=args.host, port=args.port,
+                    health_interval=args.health_interval)
+
+    def announce(host: str, port: int) -> None:
+        print("repro router on %s:%d (%d nodes: %s)"
+              % (host, port, len(nodes),
+                 ",".join("%s:%d" % pair for pair in nodes)),
+              file=sys.stderr)
+
+    run_router(router, port_file=args.port_file, announce=announce)
+    print("router stopped", file=sys.stderr)
+    return 0
+
+
+def _parse_mix(spec: str) -> dict:
+    """``"slice=6,last_reads=3"`` → verb-weight dict (ValueError on junk)."""
+    mix = {}
+    for chunk in spec.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        verb, _, weight = chunk.partition("=")
+        if not _ or not verb:
+            raise ValueError("bad mix entry %r (want verb=weight)" % chunk)
+        mix[verb.strip()] = int(weight)
+    if not mix:
+        raise ValueError("empty mix %r" % spec)
+    return mix
+
+
+def cmd_client_bench(args) -> int:
+    """``repro client bench``: closed-loop load generation."""
+    from repro.serve.loadgen import run_bench
+    with _client_connect(args) as client:
+        listing = client.list(kind="pinball", tag=args.tag)
+    keys = [entry["sha"] for entry in listing.get("entries", [])]
+    mix = _parse_mix(args.mix) if args.mix else None
+    record_source = None
+    if args.record_program:
+        with open(args.record_program) as handle:
+            record_source = handle.read()
+    report = run_bench(args.host, args.port, keys, ops=args.ops,
+                       clients=args.clients, mix=mix, zipf_s=args.zipf,
+                       seed=args.seed, record_source=record_source)
+    print(json.dumps(report, indent=2, sort_keys=True))
+    return 0
+
+
 def _client_connect(args) -> DebugClient:
     return DebugClient(host=args.host, port=args.port, timeout=args.timeout)
 
@@ -386,6 +443,10 @@ def _client_connect(args) -> DebugClient:
 def cmd_client(args) -> int:
     """``repro client``: one scripted RPC against a running service."""
     verb = args.verb
+    if verb == "bench":
+        # The load generator opens its own asyncio connections; only the
+        # key listing goes through the one-shot client path below.
+        return cmd_client_bench(args)
     if verb == "call" and args.params:
         # Validate local input before dialing out: bad JSON is a usage
         # error (65), not a network problem.
@@ -698,6 +759,21 @@ def build_parser() -> argparse.ArgumentParser:
                             "can fork the shard tracers)")
     serve.set_defaults(func=cmd_serve)
 
+    router = sub.add_parser(
+        "router", help="key-affinity front end over N running serve nodes")
+    router.add_argument("--nodes", default=None, metavar="HOST:PORT,...",
+                        help="comma-separated serve nodes (default: "
+                             "$REPRO_ROUTER_NODES)")
+    router.add_argument("--host", default=DEFAULT_HOST)
+    router.add_argument("--port", type=int, default=0,
+                        help="TCP port (default 0 = pick a free port; "
+                             "see --port-file)")
+    router.add_argument("--port-file", default=None, metavar="PATH",
+                        help="write the bound port here once listening")
+    router.add_argument("--health-interval", type=float, default=2.0,
+                        help="seconds between node health probes")
+    router.set_defaults(func=cmd_router)
+
     client = sub.add_parser(
         "client", help="talk to a running debug service")
     client.add_argument("--host", default=DEFAULT_HOST)
@@ -756,6 +832,24 @@ def build_parser() -> argparse.ArgumentParser:
     cget = cverbs.add_parser("get", help="download a stored blob")
     cget.add_argument("key")
     cget.add_argument("-o", "--output", required=True)
+    cbench = cverbs.add_parser(
+        "bench", help="closed-loop load generator (zipf-popular keys)")
+    cbench.add_argument("--clients", type=int, default=8,
+                        help="concurrent closed-loop clients")
+    cbench.add_argument("--ops", type=int, default=100,
+                        help="total requests across all clients")
+    cbench.add_argument("--zipf", type=float, default=1.1,
+                        help="zipf skew over key popularity (higher = "
+                             "hotter head)")
+    cbench.add_argument("--seed", type=int, default=0,
+                        help="deterministic request-stream seed")
+    cbench.add_argument("--tag", default=None,
+                        help="bench only stored pinballs with this tag")
+    cbench.add_argument("--mix", default=None, metavar="VERB=W,...",
+                        help="request mix, e.g. slice=6,last_reads=3,"
+                             "replay=1 (the default)")
+    cbench.add_argument("--record-program", default=None, metavar="SRC",
+                        help="MiniC source for a 'record' mix component")
     ccall = cverbs.add_parser("call", help="raw JSON-RPC method call")
     ccall.add_argument("method")
     ccall.add_argument("params", nargs="?", default=None,

@@ -34,6 +34,8 @@ environment variable      resolver                   type        default
 ``REPRO_PERF_SMOKE``      :func:`perf_smoke`         bool        ``False``
 ``REPRO_PINBALL_FORMAT``  :func:`pinball_format`     choice      ``v1``
 ``REPRO_CHECKPOINT_INTERVAL``  :func:`checkpoint_interval`  int >= 1  ``500``
+``REPRO_INDEX_CACHE``     :func:`index_cache`        bool        ``True``
+``REPRO_ROUTER_NODES``    :func:`router_nodes`       str         ``""``
 ========================  =========================  ==========  =======
 
 Semantics, uniform across every knob:
@@ -62,11 +64,13 @@ __all__ = [
     "Knob",
     "checkpoint_interval",
     "engine",
+    "index_cache",
     "obs_enabled",
     "perf_smoke",
     "pinball_format",
     "precedence_table",
     "resolve",
+    "router_nodes",
     "serve_workers",
     "slice_index",
     "slice_shards",
@@ -164,6 +168,11 @@ KNOBS: Dict[str, Knob] = {
              _parse_int, _positive,
              doc="steps between embedded / reverse-debug checkpoints "
                  "(bounds each reexec window pass)"),
+        Knob("index_cache", "REPRO_INDEX_CACHE", True, _parse_bool,
+             doc="persist built DDG indexes in the store for warm starts"),
+        Knob("router_nodes", "REPRO_ROUTER_NODES", "", _identity,
+             doc="comma-separated host:port serve nodes for `repro "
+                 "router`"),
     )
 }
 
@@ -235,6 +244,20 @@ def checkpoint_interval(explicit: Optional[int] = None,
                         cli: Optional[int] = None) -> int:
     """Steps between embedded (v2) / reverse-debugging checkpoints."""
     return resolve("checkpoint_interval", explicit, cli)
+
+
+def index_cache(explicit: Optional[bool] = None,
+                cli: Optional[bool] = None) -> bool:
+    """Whether serve sessions persist/load built DDG indexes through the
+    store's index cache (default True)."""
+    return resolve("index_cache", explicit, cli)
+
+
+def router_nodes(explicit: Optional[str] = None,
+                 cli: Optional[str] = None) -> str:
+    """Comma-separated ``host:port`` list of serve nodes behind
+    ``repro router`` (empty = must be given on the command line)."""
+    return resolve("router_nodes", explicit, cli)
 
 
 def precedence_table() -> str:

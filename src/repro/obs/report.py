@@ -5,9 +5,9 @@ as the grouped text table ``repro obs report`` prints.  :func:`run_demo_cycle`
 drives one complete DrDebug cyclic-debugging loop — Maple exposure,
 record, replay, slicing, slice pinball, reverse debugging, plus a pass
 through the debug service's store + session cache — so a single
-``repro obs report`` run exhibits nonzero counters from all seven
+``repro obs report`` run exhibits nonzero counters from all eight
 instrumented layers (vm, pinplay, slicing, reexec, debugger, maple,
-serve).
+serve, index_cache).
 """
 
 from __future__ import annotations
@@ -17,7 +17,7 @@ from repro.obs.registry import OBS
 #: The layer prefixes the report groups by (and the acceptance criterion
 #: checks): every one of these must show activity after a demo cycle.
 LAYERS = ("vm", "pinplay", "slicing", "reexec", "debugger", "maple",
-          "serve")
+          "serve", "index_cache")
 
 #: A lost-update atomicity bug (two unsynchronized increments): small
 #: enough to run in well under a second, racy enough that Maple's

@@ -26,6 +26,15 @@ expensive derived state resident and serves concurrent clients:
   ``slice``, ``last_reads``, ``races``, the ``store.*`` verbs,
   ``stats`` and ``shutdown``; the CLI's ``repro serve`` / ``repro
   client`` verbs sit on top.
+* :mod:`repro.serve.router` — a thin asyncio front end for horizontal
+  scale-out (ISSUE 8): N serve processes share one store; the router
+  dispatches by key affinity (two-choice hashing on the recording sha),
+  health-checks nodes, and retries a request once when a node dies
+  mid-call.  Cold nodes warm-start from the store's persistent index
+  cache (``<root>/indexes/``, see :mod:`repro.slicing.ddg_serde`).
+* :mod:`repro.serve.loadgen` — the closed-loop load generator behind
+  ``repro client bench``: concurrent clients, zipf-distributed key
+  popularity, p50/p99/throughput reporting.
 
 All four layers report into the observability registry under the
 ``serve`` layer prefix (``serve.requests``, ``serve.cache/{hit,miss}``,
@@ -48,6 +57,8 @@ from repro.serve.workers import (
 from repro.serve.rpc import RpcError, RpcRemoteError
 from repro.serve.server import DebugServer, run_server
 from repro.serve.client import DebugClient
+from repro.serve.router import Router, parse_nodes, run_router
+from repro.serve.loadgen import run_bench
 
 __all__ = [
     "DEFAULT_WORKERS",
@@ -57,13 +68,17 @@ __all__ = [
     "PoolBusyError",
     "PoolError",
     "PoolTimeoutError",
+    "Router",
     "RpcError",
     "RpcRemoteError",
     "SessionManager",
     "StoreEntry",
     "WorkerCrashError",
     "WorkerPool",
+    "parse_nodes",
     "race_payload",
+    "run_bench",
+    "run_router",
     "run_server",
     "slice_payload",
 ]

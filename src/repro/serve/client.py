@@ -55,15 +55,31 @@ class DebugClient:
     # -- core call ---------------------------------------------------------
 
     def call(self, method: str, params: Optional[dict] = None):
-        """One request/response round trip; returns the ``result``."""
+        """One request/response round trip; returns the ``result``.
+
+        A connection that dies *mid-call* — the server process was
+        killed, the socket reset, the response truncated — surfaces as
+        :class:`~repro.serve.rpc.RpcRemoteError` with
+        ``NODE_UNAVAILABLE``, not as a raw ``ConnectionResetError``:
+        once the request is in flight the failure belongs to the remote
+        side, and the CLI maps it to exit 70 / EX_SOFTWARE like every
+        other server error.  Connect-phase failures still raise the
+        ``OSError`` family (exit 69 / EX_UNAVAILABLE).
+        """
         req_id = next(self._ids)
         frame = rpc.encode_message(
             rpc.make_request(method, params or {}, req_id=req_id))
-        self._file.write(frame)
-        self._file.flush()
-        line = self._file.readline()
+        try:
+            self._file.write(frame)
+            self._file.flush()
+            line = self._file.readline()
+        except (ConnectionResetError, BrokenPipeError) as exc:
+            raise rpc.RpcRemoteError(
+                rpc.NODE_UNAVAILABLE,
+                "connection lost mid-call (%s): %s" % (method, exc)) from exc
         if not line:
-            raise ConnectionResetError(
+            raise rpc.RpcRemoteError(
+                rpc.NODE_UNAVAILABLE,
                 "server closed the connection mid-call (%s)" % method)
         try:
             response = json.loads(line.decode("utf-8"))

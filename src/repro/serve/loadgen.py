@@ -1,0 +1,200 @@
+"""Closed-loop load generator for the debug service (``repro client bench``).
+
+iReplayer's argument for replay-backed analyses is that they must stay
+cheap *at fleet scale* — which is a claim about the service under
+concurrent load, not about one request.  This module drives that
+measurement: N concurrent clients (asyncio coroutines over the real
+wire protocol, one connection each) issue a weighted mix of
+record/replay/slice/last_reads requests against a server or router,
+with **zipf-distributed recording popularity** — a realistic fleet sees
+a few hot crash signatures and a long tail, which is exactly the
+distribution that exercises session LRUs, key-affinity routing and the
+persistent index cache at once.
+
+The loop is *closed*: each client waits for its response before issuing
+the next request, so offered load tracks service capacity and the
+reported throughput is the saturation rate at that concurrency.  The
+report carries p50/p99/mean latency, throughput, per-verb counts and
+error counts; ``benchmarks/test_perf_loadgen.py`` drives it across
+client counts into ``BENCH_loadgen.json``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+import time
+from bisect import bisect_left
+from typing import Dict, List, Optional, Sequence
+
+from repro.serve import rpc
+
+DEFAULT_MIX = {"slice": 6, "last_reads": 3, "replay": 1}
+DEFAULT_ZIPF_S = 1.1
+
+
+def zipf_cdf(population: int, s: float = DEFAULT_ZIPF_S) -> List[float]:
+    """Cumulative popularity over ranks 1..population (weights 1/rank^s)."""
+    weights = [1.0 / ((rank + 1) ** s) for rank in range(population)]
+    total = sum(weights)
+    cdf = []
+    acc = 0.0
+    for weight in weights:
+        acc += weight / total
+        cdf.append(acc)
+    return cdf
+
+
+def pick_rank(cdf: Sequence[float], rng: random.Random) -> int:
+    return min(bisect_left(cdf, rng.random()), len(cdf) - 1)
+
+
+class _AsyncClient:
+    """One persistent wire connection (the unit of closed-loop clients)."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._next_id = 1
+
+    async def connect(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port, limit=rpc.MAX_REQUEST_BYTES + 2)
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            try:
+                self._writer.close()
+            except Exception:   # noqa: BLE001 — teardown best-effort
+                pass
+            self._writer = None
+            self._reader = None
+
+    async def call(self, method: str, params: dict) -> dict:
+        """One round trip; returns the decoded response envelope."""
+        if self._writer is None:
+            await self.connect()
+        req_id = self._next_id
+        self._next_id += 1
+        frame = rpc.encode_message(
+            rpc.make_request(method, params, req_id=req_id))
+        self._writer.write(frame)
+        await self._writer.drain()
+        line = await self._reader.readline()
+        if not line:
+            raise ConnectionResetError("server closed mid-call")
+        return json.loads(line.decode("utf-8"))
+
+
+def _op_params(verb: str, key: str, record_source: Optional[str]) -> dict:
+    if verb == "record":
+        # A plain round-robin recording: benchmark sources generally run
+        # to completion, so a failure-exposing search would come up dry.
+        return {"program": record_source, "program_name": "loadgen"}
+    if verb == "last_reads":
+        return {"key": key, "count": 5}
+    if verb == "slice":
+        # Kernel recordings usually run to completion (no failure to
+        # default to); the last memory read is defined for every one.
+        return {"key": key, "last_read": True}
+    return {"key": key}
+
+
+async def _drive(host: str, port: int, keys: Sequence[str], ops: int,
+                 clients: int, mix: Dict[str, int], zipf_s: float,
+                 seed: int, record_source: Optional[str],
+                 latencies: List[float], counters: dict) -> None:
+    cdf = zipf_cdf(len(keys), zipf_s)
+    verbs = [verb for verb, weight in sorted(mix.items())
+             for _ in range(weight)]
+    budget = {"left": ops}
+
+    async def client_loop(client_id: int) -> None:
+        rng = random.Random(seed * 10007 + client_id)
+        client = _AsyncClient(host, port)
+        try:
+            while True:
+                if budget["left"] <= 0:
+                    return
+                budget["left"] -= 1
+                verb = rng.choice(verbs)
+                key = keys[pick_rank(cdf, rng)]
+                params = _op_params(verb, key, record_source)
+                started = time.perf_counter()
+                try:
+                    response = await client.call(verb, params)
+                except (ConnectionError, OSError):
+                    counters["connection_errors"] += 1
+                    await client.close()
+                    continue
+                latencies.append(time.perf_counter() - started)
+                counters["by_verb"][verb] = \
+                    counters["by_verb"].get(verb, 0) + 1
+                if response.get("error") is not None:
+                    counters["error_responses"] += 1
+        finally:
+            await client.close()
+
+    await asyncio.gather(*(client_loop(i) for i in range(clients)))
+
+
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1,
+                max(0, int(round(q * (len(sorted_values) - 1)))))
+    return sorted_values[index]
+
+
+def run_bench(host: str, port: int, keys: Sequence[str], ops: int = 100,
+              clients: int = 8, mix: Optional[Dict[str, int]] = None,
+              zipf_s: float = DEFAULT_ZIPF_S, seed: int = 0,
+              record_source: Optional[str] = None) -> dict:
+    """Drive ``ops`` requests through ``clients`` concurrent closed-loop
+    clients; returns the measurement report.
+
+    ``mix`` maps verb → integer weight (default slice-heavy, the cyclic
+    debugging shape); ``record`` in the mix requires ``record_source``.
+    ``keys`` are stored recording shas, ranked hot→cold for the zipf
+    draw.
+    """
+    if not keys:
+        raise ValueError("load generator needs at least one recording key")
+    mix = dict(mix or DEFAULT_MIX)
+    if any(weight < 0 for weight in mix.values()) or \
+            sum(mix.values()) <= 0:
+        raise ValueError("mix weights must be non-negative, sum > 0")
+    if mix.get("record") and not record_source:
+        raise ValueError("a 'record' mix weight needs record_source")
+    latencies: List[float] = []
+    counters = {"connection_errors": 0, "error_responses": 0,
+                "by_verb": {}}
+    started = time.perf_counter()
+    asyncio.run(_drive(host, port, keys, ops, clients, mix, zipf_s, seed,
+                       record_source, latencies, counters))
+    elapsed = time.perf_counter() - started
+    ordered = sorted(latencies)
+    completed = len(ordered)
+    return {
+        "ops": ops,
+        "completed": completed,
+        "clients": clients,
+        "distinct_keys": len(keys),
+        "zipf_s": zipf_s,
+        "mix": mix,
+        "elapsed_sec": elapsed,
+        "throughput_ops_per_sec": (completed / elapsed) if elapsed else 0.0,
+        "latency_ms": {
+            "p50": _percentile(ordered, 0.50) * 1000.0,
+            "p99": _percentile(ordered, 0.99) * 1000.0,
+            "mean": (sum(ordered) / completed * 1000.0) if completed
+            else 0.0,
+            "max": (ordered[-1] * 1000.0) if ordered else 0.0,
+        },
+        "connection_errors": counters["connection_errors"],
+        "error_responses": counters["error_responses"],
+        "by_verb": dict(sorted(counters["by_verb"].items())),
+    }

@@ -1,0 +1,466 @@
+"""Thin asyncio router fronting N ``repro serve`` nodes (fleet mode).
+
+The debug service scales horizontally by running independent server
+processes over one shared store; this router is the single address
+clients talk to.  It is deliberately *thin*: requests are relayed as
+raw wire lines (the JSON-RPC envelope, ids included, passes through
+untouched) and every expensive operation stays on the nodes.  What the
+router owns is placement and failure handling:
+
+* **Key affinity** — requests that name a recording hash to a home node
+  (:func:`affinity_choices`), generalizing the worker pool's
+  same-recording→same-worker routing to whole processes: a hot
+  recording's resident sessions keep getting hit no matter which client
+  connects.  **Power-of-two-choices** fallback: when the home node is
+  drowning (its in-flight depth far exceeds the alternative's), the
+  request goes to the second hash choice instead — bounded imbalance
+  without global coordination.
+* **Health** — a background loop pings every node; two consecutive
+  failures deregister a node (``router.deregistered``) until a later
+  probe revives it.  Keyless requests go to the least-loaded healthy
+  node.
+* **Retry-once-on-node-death** — a forward that dies mid-call (node
+  killed, connection reset, EOF before the response line) is retried
+  exactly once on a different healthy node; a second failure surfaces
+  as a structured ``NODE_UNAVAILABLE`` error, never a hung client.
+  Correctness leans on the shared store: any node can rebuild any
+  session (warm-started from the persistent index cache when possible),
+  so a retried request returns byte-identical payloads — asserted by
+  ``tests/serve/test_router_differential.py``.
+
+The router answers ``ping`` / ``stats`` / ``shutdown`` itself; every
+other method is forwarded.  Per-node connections are pooled and reused
+across requests (nodes serve one request per connection at a time, so a
+pooled connection is free exactly when no relay is using it).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+from zlib import crc32
+
+from repro.obs.registry import OBS
+from repro.serve import rpc
+
+DEFAULT_HEALTH_INTERVAL = 2.0
+#: Consecutive probe failures before a node is deregistered.
+DEREGISTER_AFTER = 2
+#: Power-of-two-choices pressure gate: prefer the affinity home unless
+#: its in-flight depth exceeds the alternative's by more than this.
+AFFINITY_PRESSURE = 4
+
+#: Params fields that carry a recording identity, in precedence order —
+#: the affinity key (mirrors the worker pool's routing key).
+_KEY_FIELDS = ("key", "pinball", "sha")
+
+
+def _hash_slot(text: str, nodes: int, offset: int) -> int:
+    window = text[offset:offset + 8]
+    try:
+        return int(window, 16) % nodes
+    except ValueError:
+        return crc32(window.encode("utf-8", "replace")) % nodes
+
+
+def affinity_choices(key: str, nodes: int) -> Tuple[int, int]:
+    """The two candidate node slots for ``key`` (home, alternative).
+
+    Two independent 32-bit windows of the (usually sha256) key give two
+    uniform choices; non-hex keys fall back to crc32 of the same
+    windows.  Pure so tests can pin the dispatch arithmetic.
+    """
+    if nodes <= 1:
+        return (0, 0)
+    home = _hash_slot(key, nodes, 0)
+    alt = _hash_slot(key, nodes, 8)
+    if alt == home:
+        alt = (home + 1) % nodes
+    return (home, alt)
+
+
+def parse_nodes(spec: str) -> List[Tuple[str, int]]:
+    """``"host:port,host:port"`` → address pairs (ValueError on junk)."""
+    out: List[Tuple[str, int]] = []
+    for chunk in spec.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        host, sep, port = chunk.rpartition(":")
+        if not sep or not host:
+            raise ValueError("node %r is not host:port" % chunk)
+        out.append((host, int(port)))
+    if not out:
+        raise ValueError("no serve nodes given (need host:port[,host:port])")
+    return out
+
+
+class NodeState:
+    """One backend node: address, health, load, pooled connections."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self.healthy = True
+        self.in_flight = 0
+        self.consecutive_failures = 0
+        self.forwarded = 0
+        self._pool: List[Tuple[asyncio.StreamReader,
+                               asyncio.StreamWriter]] = []
+
+    @property
+    def address(self) -> str:
+        return "%s:%d" % (self.host, self.port)
+
+    async def connection(self, limit: int):
+        while self._pool:
+            reader, writer = self._pool.pop()
+            if not writer.is_closing():
+                return reader, writer
+        return await asyncio.open_connection(self.host, self.port,
+                                             limit=limit)
+
+    def release(self, reader: asyncio.StreamReader,
+                writer: asyncio.StreamWriter) -> None:
+        if writer.is_closing():
+            return
+        self._pool.append((reader, writer))
+
+    def drop_connections(self) -> None:
+        while self._pool:
+            _reader, writer = self._pool.pop()
+            try:
+                writer.close()
+            except Exception:   # noqa: BLE001 — teardown best-effort
+                pass
+
+    def to_dict(self) -> dict:
+        return {
+            "address": self.address,
+            "healthy": self.healthy,
+            "in_flight": self.in_flight,
+            "forwarded": self.forwarded,
+            "consecutive_failures": self.consecutive_failures,
+        }
+
+
+class Router:
+    """Key-affinity request router over a fleet of serve nodes."""
+
+    def __init__(self, nodes: Sequence[Tuple[str, int]],
+                 host: str = "127.0.0.1", port: int = 0,
+                 health_interval: float = DEFAULT_HEALTH_INTERVAL,
+                 max_request_bytes: int = rpc.MAX_REQUEST_BYTES,
+                 chaos_drop_forwards: Optional[int] = None) -> None:
+        if not nodes:
+            raise ValueError("router needs at least one serve node")
+        self.nodes = [NodeState(host, port) for host, port in nodes]
+        self.host = host
+        self.port = port
+        self.health_interval = health_interval
+        self.max_request_bytes = max_request_bytes
+        self.started_at = time.time()
+        self.counts: Dict[str, int] = {
+            "connections": 0, "requests": 0, "forwarded": 0, "retries": 0,
+            "node_deaths": 0, "health_checks": 0, "deregistered": 0,
+            "errors": 0, "chaos_drops": 0,
+        }
+        #: Fault injection (chaos suite): fail this many forwards before
+        #: reading their response, as if the node connection dropped —
+        #: exercises the retry path without killing anything.
+        if chaos_drop_forwards is None:
+            chaos_drop_forwards = int(
+                os.environ.get("REPRO_CHAOS_DROP_FORWARDS", "0") or "0")
+        self._chaos_drops_left = chaos_drop_forwards
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._health_task: Optional[asyncio.Task] = None
+        self._shutdown = asyncio.Event()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port,
+            limit=self.max_request_bytes + 2)
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._health_task = asyncio.ensure_future(self._health_loop())
+
+    async def serve_until_shutdown(self) -> None:
+        await self._shutdown.wait()
+        await self.stop()
+
+    async def stop(self) -> None:
+        if self._health_task is not None:
+            self._health_task.cancel()
+            self._health_task = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for node in self.nodes:
+            node.drop_connections()
+
+    # -- placement ---------------------------------------------------------
+
+    def _affinity_key(self, params: dict) -> Optional[str]:
+        for field in _KEY_FIELDS:
+            value = params.get(field)
+            if isinstance(value, str) and value:
+                return value
+        return None
+
+    def _healthy_nodes(self) -> List[NodeState]:
+        return [node for node in self.nodes if node.healthy]
+
+    def pick_node(self, params: dict) -> Optional[NodeState]:
+        """The target node for one request, or None when the fleet is
+        entirely deregistered."""
+        healthy = self._healthy_nodes()
+        if not healthy:
+            return None
+        key = self._affinity_key(params)
+        if key is None:
+            return min(healthy, key=lambda node: node.in_flight)
+        home_slot, alt_slot = affinity_choices(key, len(self.nodes))
+        home = self.nodes[home_slot]
+        alt = self.nodes[alt_slot]
+        if not home.healthy:
+            home, alt = alt, home
+        if not home.healthy:
+            return min(healthy, key=lambda node: node.in_flight)
+        if (alt.healthy and alt is not home
+                and home.in_flight - alt.in_flight > AFFINITY_PRESSURE):
+            return alt
+        return home
+
+    # -- relay -------------------------------------------------------------
+
+    async def _forward_once(self, node: NodeState, line: bytes) -> bytes:
+        """Relay one raw request line to ``node``; returns the raw
+        response line.  Raises ``ConnectionError`` on any mid-call
+        death (including the chaos drop hook)."""
+        reader, writer = await node.connection(self.max_request_bytes + 2)
+        try:
+            writer.write(line)
+            await writer.drain()
+            if self._chaos_drops_left > 0:
+                self._chaos_drops_left -= 1
+                self.counts["chaos_drops"] += 1
+                raise ConnectionResetError("chaos: dropped forward")
+            response = await reader.readline()
+            if not response:
+                raise ConnectionResetError("node closed mid-call")
+        except Exception:
+            try:
+                writer.close()
+            except Exception:   # noqa: BLE001 — teardown best-effort
+                pass
+            raise
+        node.release(reader, writer)
+        return response
+
+    def _note_death(self, node: NodeState) -> None:
+        self.counts["node_deaths"] += 1
+        if OBS.enabled:
+            OBS.inc("router.node_deaths")
+        node.consecutive_failures += 1
+        node.drop_connections()
+        if node.consecutive_failures >= DEREGISTER_AFTER:
+            self._deregister(node)
+
+    def _deregister(self, node: NodeState) -> None:
+        if node.healthy:
+            node.healthy = False
+            self.counts["deregistered"] += 1
+            if OBS.enabled:
+                OBS.inc("router.deregistered")
+
+    async def _relay(self, request: dict, line: bytes) -> bytes:
+        """Forward with retry-once-on-node-death semantics."""
+        first = self.pick_node(request["params"])
+        if first is None:
+            return rpc.encode_message(rpc.make_error(
+                request["id"], rpc.NODE_UNAVAILABLE,
+                "no healthy serve node registered"))
+        tried = first
+        for attempt in (0, 1):
+            node = tried
+            node.in_flight += 1
+            node.forwarded += 1
+            self.counts["forwarded"] += 1
+            if OBS.enabled:
+                OBS.inc("router.forwarded")
+            try:
+                return await self._forward_once(node, line)
+            except (ConnectionError, OSError, asyncio.IncompleteReadError):
+                self._note_death(node)
+                if attempt == 1:
+                    break
+                self.counts["retries"] += 1
+                if OBS.enabled:
+                    OBS.inc("router.retries")
+                retry_pool = [n for n in self._healthy_nodes()
+                              if n is not node]
+                if not retry_pool:
+                    break
+                tried = min(retry_pool, key=lambda n: n.in_flight)
+            finally:
+                node.in_flight -= 1
+        self.counts["errors"] += 1
+        if OBS.enabled:
+            OBS.inc("router.errors")
+        return rpc.encode_message(rpc.make_error(
+            request["id"], rpc.NODE_UNAVAILABLE,
+            "node died mid-call and retry failed (%s)"
+            % request["method"]))
+
+    # -- router-local verbs -------------------------------------------------
+
+    async def _local_response(self, request: dict) -> Tuple[bytes, bool]:
+        method = request["method"]
+        req_id = request["id"]
+        if method == "ping":
+            result = {"pong": True, "router": True,
+                      "uptime_sec": time.time() - self.started_at,
+                      "nodes": len(self.nodes),
+                      "healthy_nodes": len(self._healthy_nodes())}
+            return rpc.encode_message(rpc.make_response(req_id, result)), \
+                False
+        if method == "stats":
+            counters = {"router.%s" % name: value
+                        for name, value in sorted(self.counts.items())}
+            result = {
+                "router": dict(self.counts,
+                               uptime_sec=time.time() - self.started_at,
+                               port=self.port),
+                "obs": counters,
+                "nodes": [node.to_dict() for node in self.nodes],
+            }
+            return rpc.encode_message(rpc.make_response(req_id, result)), \
+                False
+        # shutdown: stop the router; with {"nodes": true} also drain the
+        # fleet behind it (best-effort — a dead node is already down).
+        if request["params"].get("nodes"):
+            for node in self._healthy_nodes():
+                try:
+                    await self._forward_once(node, rpc.encode_message(
+                        rpc.make_request("shutdown", req_id=0)))
+                except (ConnectionError, OSError):
+                    pass
+        self._shutdown.set()
+        return rpc.encode_message(
+            rpc.make_response(req_id, {"stopping": True})), True
+
+    # -- connection handling ------------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        self.counts["connections"] += 1
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    writer.write(rpc.encode_message(rpc.make_error(
+                        None, rpc.OVERSIZED_REQUEST,
+                        "request line exceeds the router's size cap")))
+                    await writer.drain()
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                self.counts["requests"] += 1
+                if OBS.enabled:
+                    OBS.inc("router.requests")
+                try:
+                    request = rpc.parse_request(line, self.max_request_bytes)
+                except rpc.RpcError as exc:
+                    writer.write(rpc.encode_message(exc.to_response(None)))
+                    await writer.drain()
+                    if exc.code == rpc.OVERSIZED_REQUEST:
+                        break
+                    continue
+                if request["method"] in ("ping", "stats", "shutdown"):
+                    response, close_after = \
+                        await self._local_response(request)
+                else:
+                    response = await self._relay(request, line)
+                    close_after = False
+                writer.write(response)
+                await writer.drain()
+                if close_after:
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            try:
+                writer.close()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    # -- health ------------------------------------------------------------
+
+    async def _health_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.health_interval)
+            await self.check_health()
+
+    async def check_health(self) -> None:
+        """One probe round: ping every node, deregister the dead,
+        revive the recovered."""
+        for node in self.nodes:
+            self.counts["health_checks"] += 1
+            if OBS.enabled:
+                OBS.inc("router.health_checks")
+            try:
+                response = await asyncio.wait_for(
+                    self._forward_once(node, rpc.encode_message(
+                        rpc.make_request("ping", req_id=0))),
+                    timeout=max(1.0, self.health_interval))
+                json.loads(response.decode("utf-8"))
+            except (ConnectionError, OSError, ValueError,
+                    asyncio.TimeoutError):
+                node.drop_connections()
+                node.consecutive_failures += 1
+                if node.consecutive_failures >= DEREGISTER_AFTER:
+                    self._deregister(node)
+                continue
+            node.consecutive_failures = 0
+            if not node.healthy:
+                node.healthy = True
+                if OBS.enabled:
+                    OBS.inc("router.reregistered")
+
+    def stats(self) -> dict:
+        return {
+            "port": self.port,
+            "uptime_sec": time.time() - self.started_at,
+            "counts": dict(self.counts),
+            "nodes": [node.to_dict() for node in self.nodes],
+        }
+
+
+def run_router(router: Router, port_file: Optional[str] = None,
+               announce=None) -> None:
+    """Blocking entry point mirroring :func:`~repro.serve.server.run_server`."""
+
+    async def main() -> None:
+        loop = asyncio.get_running_loop()
+        try:
+            loop.add_signal_handler(signal.SIGTERM, router._shutdown.set)
+        except (NotImplementedError, RuntimeError):
+            pass                     # non-main thread or bare platform
+        await router.start()
+        if port_file:
+            with open(port_file, "w") as handle:
+                handle.write("%d\n" % router.port)
+        if announce is not None:
+            announce(router.host, router.port)
+        await router.serve_until_shutdown()
+
+    asyncio.run(main())

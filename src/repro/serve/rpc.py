@@ -39,6 +39,7 @@ WORKER_CRASHED = -32003       # request crashed its worker twice
 BAD_PINBALL = -32004          # corrupt blob / unloadable pinball
 SHUTTING_DOWN = -32005        # server is draining
 OVERSIZED_REQUEST = -32006    # request line beyond the size cap
+NODE_UNAVAILABLE = -32007     # node died mid-call / no healthy node left
 
 #: Default per-connection request-line cap.  Generous enough for a
 #: base64 pinball upload, small enough that one client cannot balloon

@@ -26,6 +26,8 @@ from __future__ import annotations
 import asyncio
 import base64
 import binascii
+import os
+import signal
 import time
 from functools import partial
 from typing import Optional
@@ -42,6 +44,35 @@ DEFAULT_PORT = 9178
 
 #: Methods executed on the worker pool (keyed by stored recording).
 _POOL_METHODS = ("replay", "slice", "last_reads", "races", "build")
+
+#: Chaos-testing exit status — distinctive so a test harness can tell a
+#: deliberately injected node death from a genuine crash.
+CHAOS_EXIT_STATUS = 17
+
+
+def _chaos_maybe_die(method: str) -> None:
+    """Fault-injection hook: die hard before serving ``method``.
+
+    ``REPRO_CHAOS_EXIT_ON=<method>`` makes the server process exit with
+    :data:`CHAOS_EXIT_STATUS` *before* touching the request — the client
+    sees the connection drop mid-call, exactly like a node loss.  With
+    ``REPRO_CHAOS_ONCE_PATH`` also set, the death happens only while the
+    marker file does not exist (it is created atomically first), so a
+    fleet of nodes sharing the marker loses exactly one member — the
+    shape the router's retry-once semantics are tested against.  Only
+    the chaos suite sets these variables.
+    """
+    target = os.environ.get("REPRO_CHAOS_EXIT_ON")
+    if not target or target != method:
+        return
+    once_path = os.environ.get("REPRO_CHAOS_ONCE_PATH")
+    if once_path:
+        try:
+            fd = os.open(once_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return
+        os.close(fd)
+    os._exit(CHAOS_EXIT_STATUS)
 
 
 class DebugServer:
@@ -169,6 +200,7 @@ class DebugServer:
         req_id = request["id"]
         self.counts["requests"] += 1
         started = time.perf_counter()
+        _chaos_maybe_die(method)
         if OBS.enabled:
             OBS.inc("serve.requests")
             OBS.inc("serve.requests/%s" % method)
@@ -256,7 +288,7 @@ class DebugServer:
     async def _rpc_stats(self, params: dict) -> dict:
         serve_counters = {
             name: value for name, value in OBS.counters().items()
-            if name.startswith("serve.")}
+            if name.startswith(("serve.", "index_cache."))}
         out = {
             "server": dict(self.counts, uptime_sec=time.time()
                            - self.started_at, port=self.port),
@@ -408,9 +440,20 @@ class DebugServer:
 def run_server(server: DebugServer,
                port_file: Optional[str] = None,
                announce=None) -> None:
-    """Blocking entry point: start, announce, serve until shutdown."""
+    """Blocking entry point: start, announce, serve until shutdown.
+
+    SIGTERM triggers the same graceful shutdown as the ``shutdown``
+    RPC — essential for subprocess-managed fleets: a bare SIGTERM
+    death would skip the pool teardown and orphan the daemonic worker
+    processes (atexit hooks don't run under the default handler).
+    """
 
     async def _main() -> None:
+        loop = asyncio.get_running_loop()
+        try:
+            loop.add_signal_handler(signal.SIGTERM, server._shutdown.set)
+        except (NotImplementedError, RuntimeError):
+            pass                     # non-main thread or bare platform
         await server.start()
         if port_file:
             with open(port_file, "w") as handle:

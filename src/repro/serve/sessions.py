@@ -10,6 +10,14 @@ LRU bounded by **entry count** and **approximate bytes**.  A hot
 recording answers a slice query straight from the memoized index; a cold
 one pays one build and then stays hot until evicted.
 
+A second, *persistent* cache layer sits underneath the LRU: built DDG
+indexes are serialized into the store keyed by ``(pinball sha, options
+fingerprint)`` (:mod:`repro.slicing.ddg_serde`), so a session that is
+cold *in this process* — a fresh worker, a different node sharing the
+store — warm-starts in O(load) instead of O(trace + build).  A corrupt
+cached blob is never an error: it is deleted and the session falls back
+to a full build (cache-miss semantics, counted separately).
+
 Also home to the canonical wire renderings (:func:`slice_payload`,
 :func:`race_payload`, :func:`replay_payload`): the worker pool and the
 in-process differential tests share these functions, which is what makes
@@ -22,9 +30,13 @@ import dataclasses
 from collections import OrderedDict
 from typing import Dict, Optional, Tuple
 
+from repro import config
 from repro.lang import compile_source
 from repro.obs.registry import OBS
+from repro.pinplay.pinball import PinballFormatError
 from repro.slicing.api import SlicingSession
+from repro.slicing.ddg_serde import (deserialize_index, options_fingerprint,
+                                     serialize_index)
 from repro.slicing.options import SliceOptions
 from repro.slicing.slice import DynamicSlice
 
@@ -44,11 +56,13 @@ class SessionManager:
 
     def __init__(self, store, max_entries: int = DEFAULT_MAX_ENTRIES,
                  max_bytes: int = DEFAULT_MAX_BYTES,
-                 slice_options: Optional[SliceOptions] = None) -> None:
+                 slice_options: Optional[SliceOptions] = None,
+                 index_cache: Optional[bool] = None) -> None:
         self.store = store
         self.max_entries = max_entries
         self.max_bytes = max_bytes
         self.slice_options = slice_options or SliceOptions()
+        self.index_cache = config.index_cache(explicit=index_cache)
         self._sessions: "OrderedDict[SessionKey, Tuple[SlicingSession, int]]" \
             = OrderedDict()
         self._programs: Dict[str, object] = {}
@@ -56,6 +70,10 @@ class SessionManager:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.index_cache_hits = 0
+        self.index_cache_misses = 0
+        self.index_cache_writes = 0
+        self.index_cache_corrupt = 0
 
     # -- program cache -----------------------------------------------------
 
@@ -103,17 +121,73 @@ class SessionManager:
         with OBS.span("serve/session_build"):
             program = self.program_for(source_sha, program_name)
             pinball = self.store.get_pinball(pinball_sha)
-            session = SlicingSession(pinball, program, options)
-            if options.index == "ddg":
-                # Pre-build the dependence index so the first query is
-                # already hot — the whole point of keeping it resident.
-                session.slicer.ddg
+            session = None
+            cacheable = self.index_cache and options.index == "ddg"
+            fingerprint = options_fingerprint(options) if cacheable else None
+            if cacheable:
+                session = self._open_warm(pinball_sha, fingerprint,
+                                          pinball, program, options)
+            if session is None:
+                session = SlicingSession(pinball, program, options)
+                if options.index == "ddg":
+                    # Pre-build the dependence index so the first query
+                    # is already hot — the whole point of keeping it
+                    # resident.
+                    session.slicer.ddg
+                    if cacheable:
+                        self._store_index(pinball_sha, fingerprint,
+                                          session.slicer.ddg)
         cost = self._approx_bytes(session)
         if self.max_entries > 0:
             self._sessions[key] = (session, cost)
             self._bytes += cost
             self._evict()
         return session
+
+    def _open_warm(self, pinball_sha: str, fingerprint: str, pinball,
+                   program, options) -> Optional[SlicingSession]:
+        """A warm session from the persistent index cache, or None.
+
+        Miss and corruption both fall through to a full build — a
+        cached index can speed a session up but never change (or fail)
+        an answer.  Corrupt blobs are additionally deleted so the
+        rebuild repopulates the slot.
+        """
+        try:
+            blob = self.store.get_index(pinball_sha, fingerprint)
+        except KeyError:
+            self.index_cache_misses += 1
+            if OBS.enabled:
+                OBS.inc("index_cache.misses")
+            return None
+        try:
+            frozen = deserialize_index(
+                blob, options=options,
+                source=self.store.index_path(pinball_sha, fingerprint),
+                fingerprint=fingerprint)
+        except PinballFormatError:
+            self.index_cache_corrupt += 1
+            if OBS.enabled:
+                OBS.inc("index_cache.corrupt")
+            self.store.delete_index(pinball_sha, fingerprint)
+            return None
+        self.index_cache_hits += 1
+        if OBS.enabled:
+            OBS.inc("index_cache.hits")
+        return SlicingSession.from_frozen_index(pinball, program, frozen,
+                                                options=options)
+
+    def _store_index(self, pinball_sha: str, fingerprint: str, ddg) -> None:
+        """Persist a freshly built index (best-effort: a full store or
+        read-only filesystem must not fail the query that built it)."""
+        try:
+            self.store.put_index(pinball_sha, fingerprint,
+                                 serialize_index(ddg, fingerprint))
+        except OSError:
+            return
+        self.index_cache_writes += 1
+        if OBS.enabled:
+            OBS.inc("index_cache.writes")
 
     @staticmethod
     def _approx_bytes(session: SlicingSession) -> int:
@@ -123,8 +197,12 @@ class SessionManager:
         # session's and the byte-bounded LRU keeps more sessions hot.
         records = session.trace_record_count()
         edges = session.slicer.index_stats().get("edge_count", 0)
+        # Reexec sessions hold scaffold pc streams, warm-started sessions
+        # hold only the frozen index — both charge a fraction of a fully
+        # materialized session's columns.
         per_record = (BYTES_PER_TRACE_RECORD // 20
-                      if session._reexec is not None
+                      if (session._reexec is not None
+                          or session._frozen is not None)
                       else BYTES_PER_TRACE_RECORD)
         return (records * per_record + edges * 24
                 + session.pinball.size_bytes(compress=False))
@@ -167,6 +245,13 @@ class SessionManager:
             "misses": self.misses,
             "evictions": self.evictions,
             "programs_cached": len(self._programs),
+            "index_cache": {
+                "enabled": self.index_cache,
+                "hits": self.index_cache_hits,
+                "misses": self.index_cache_misses,
+                "writes": self.index_cache_writes,
+                "corrupt": self.index_cache_corrupt,
+            },
         }
 
 
@@ -180,7 +265,10 @@ def resolve_criterion(session: SlicingSession, params: dict):
     the pre-unification field names ``criterion`` and ``var`` remain
     accepted aliases): an explicit ``instance`` pair, a global
     ``global_name`` (last write), a source ``line`` (last execution,
-    optionally per-``tid``) — defaulting to the recorded failure.
+    optionally per-``tid``), ``last_read=true`` (the recording's final
+    memory-reading instance — defined for *every* recording, which is
+    what the load generator slices on) — defaulting to the recorded
+    failure.
     """
     instance = params.get("instance", params.get("criterion"))
     if instance is not None:
@@ -193,6 +281,11 @@ def resolve_criterion(session: SlicingSession, params: dict):
     if params.get("line") is not None:
         return session.last_instance_at_line(int(params["line"]),
                                              tid=params.get("tid"))
+    if params.get("last_read"):
+        reads = session.last_reads(1)
+        if not reads:
+            raise ValueError("the recording performed no memory reads")
+        return reads[0]
     return session.failure_criterion()
 
 

@@ -30,6 +30,17 @@ needed to replay them) exactly that shape:
 * **gc** removes untagged entries (and their blobs) plus any orphan
   blob files on disk that the manifest no longer references; untagged
   frame blobs survive while a surviving index entry references them.
+* **Derived index blobs** (``<root>/indexes/<sha[:2]>/<sha>.<fp>.idx``)
+  persist built DDG indexes keyed by ``(pinball sha, SliceOptions
+  fingerprint)`` so any node can warm-start a slicing session without
+  re-tracing (see :mod:`repro.slicing.ddg_serde`).  They are derived
+  data — regenerable from the pinball — so they bypass the manifest
+  entirely: pool workers on any node write them with a plain atomic
+  rename, and gc sweeps those whose pinball no longer exists.
+* **Multi-node sharing**: every manifest mutation runs inside an
+  advisory ``flock`` transaction (``<root>/manifest.lock``) that
+  re-reads the manifest first, so N server processes on a shared
+  filesystem merge their writes instead of clobbering each other.
 """
 
 from __future__ import annotations
@@ -39,8 +50,14 @@ import json
 import os
 import time
 import zlib
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
+
+try:
+    import fcntl
+except ImportError:          # pragma: no cover - non-POSIX fallback
+    fcntl = None
 
 from repro.obs.registry import OBS
 from repro.pinplay.format_v2 import MAGIC as V2_MAGIC
@@ -48,6 +65,8 @@ from repro.pinplay.pinball import Pinball, PinballFormatError
 
 MANIFEST_NAME = "manifest.json"
 MANIFEST_VERSION = 1
+LOCK_NAME = "manifest.lock"
+INDEX_SUFFIX = ".idx"
 
 
 def _utcnow() -> str:
@@ -93,11 +112,55 @@ class PinballStore:
     def __init__(self, root: str, create: bool = True) -> None:
         self.root = os.path.abspath(root)
         self.blob_root = os.path.join(self.root, "blobs")
+        self.index_root = os.path.join(self.root, "indexes")
         self.manifest_path = os.path.join(self.root, MANIFEST_NAME)
+        self.lock_path = os.path.join(self.root, LOCK_NAME)
+        self._lock_depth = 0
+        self._lock_handle = None
         if create:
             os.makedirs(self.blob_root, exist_ok=True)
         self._entries: Dict[str, StoreEntry] = {}
         self._load_manifest()
+
+    @contextmanager
+    def _locked(self):
+        """Advisory cross-process manifest transaction (reentrant).
+
+        On outermost entry: take an exclusive ``flock`` on the lock
+        file, then re-read the manifest so writes from other server
+        processes sharing the store are merged before ours lands.  Blob
+        and index files never need this — they are content-addressed
+        and written atomically — only the read-modify-write of the
+        manifest does.  No-op degradation where ``flock`` is missing.
+        """
+        if self._lock_depth:
+            self._lock_depth += 1
+            try:
+                yield
+            finally:
+                self._lock_depth -= 1
+            return
+        handle = None
+        if fcntl is not None:
+            try:
+                handle = open(self.lock_path, "a+")
+                fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            except OSError:
+                handle = None
+        self._lock_depth = 1
+        self._lock_handle = handle
+        try:
+            self.reload()
+            yield
+        finally:
+            self._lock_depth = 0
+            self._lock_handle = None
+            if handle is not None:
+                try:
+                    fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+                except OSError:
+                    pass
+                handle.close()
 
     # -- manifest ----------------------------------------------------------
 
@@ -200,38 +263,42 @@ class PinballStore:
         Re-putting identical content merges tags/meta into the existing
         entry and writes no second blob (``deduplicated=True``).
         """
-        sha, deduplicated = self._put_blob(data, kind)
-        entry = self._entries[sha]
-        for tag in tags:
-            if tag not in entry.tags:
-                entry.tags.append(tag)
-        if meta:
-            entry.meta.update(meta)
-        self._write_manifest()
+        with self._locked():
+            sha, deduplicated = self._put_blob(data, kind)
+            entry = self._entries[sha]
+            for tag in tags:
+                if tag not in entry.tags:
+                    entry.tags.append(tag)
+            if meta:
+                entry.meta.update(meta)
+            self._write_manifest()
         if OBS.enabled:
             OBS.inc("serve.store/puts")
         return sha, deduplicated
 
     def tag(self, sha: str, *tags: str) -> None:
-        entry = self._require(sha)
-        for tag in tags:
-            if tag not in entry.tags:
-                entry.tags.append(tag)
-        self._write_manifest()
+        with self._locked():
+            entry = self._require(sha)
+            for tag in tags:
+                if tag not in entry.tags:
+                    entry.tags.append(tag)
+            self._write_manifest()
 
     def untag(self, sha: str, *tags: str) -> None:
-        entry = self._require(sha)
-        entry.tags = [t for t in entry.tags if t not in tags]
-        self._write_manifest()
+        with self._locked():
+            entry = self._require(sha)
+            entry.tags = [t for t in entry.tags if t not in tags]
+            self._write_manifest()
 
     def delete(self, sha: str) -> None:
-        self._require(sha)
-        del self._entries[sha]
-        try:
-            os.unlink(self.blob_path(sha))
-        except OSError:
-            pass
-        self._write_manifest()
+        with self._locked():
+            self._require(sha)
+            del self._entries[sha]
+            try:
+                os.unlink(self.blob_path(sha))
+            except OSError:
+                pass
+            self._write_manifest()
 
     def gc(self) -> List[str]:
         """Remove untagged entries and orphan blob files; returns keys.
@@ -239,38 +306,53 @@ class PinballStore:
         Frame blobs of a chunked (v2) pinball are untagged by design:
         they survive gc for as long as some surviving entry lists them in
         ``meta["frames"]``, and go away with the last index that does.
+        Cached DDG index files ride along: an index whose pinball entry
+        no longer survives is derived garbage and is swept too (tracked
+        by the ``serve.store/gc_index_removed`` counter, not the return
+        list — they are files, not manifest keys).
         """
-        candidates = {sha for sha, entry in self._entries.items()
-                      if not entry.tags}
-        referenced = set()
-        for sha, entry in self._entries.items():
-            if sha in candidates:
-                continue
-            referenced.update(entry.meta.get("frames", ()))
-        removed = sorted(candidates - referenced)
-        for sha in removed:
-            del self._entries[sha]
-            try:
-                os.unlink(self.blob_path(sha))
-            except OSError:
-                pass
-        # Orphan blobs: files on disk the manifest no longer references
-        # (e.g. a crash between blob write and manifest write).
-        for dirpath, _dirnames, filenames in os.walk(self.blob_root):
-            for filename in filenames:
-                if not filename.endswith(".blob"):
+        with self._locked():
+            candidates = {sha for sha, entry in self._entries.items()
+                          if not entry.tags}
+            referenced = set()
+            for sha, entry in self._entries.items():
+                if sha in candidates:
                     continue
-                sha = filename[:-len(".blob")]
-                if sha not in self._entries:
+                referenced.update(entry.meta.get("frames", ()))
+            removed = sorted(candidates - referenced)
+            for sha in removed:
+                del self._entries[sha]
+                try:
+                    os.unlink(self.blob_path(sha))
+                except OSError:
+                    pass
+            # Orphan blobs: files on disk the manifest no longer
+            # references (e.g. a crash between blob write and manifest
+            # write).
+            for dirpath, _dirnames, filenames in os.walk(self.blob_root):
+                for filename in filenames:
+                    if not filename.endswith(".blob"):
+                        continue
+                    sha = filename[:-len(".blob")]
+                    if sha not in self._entries:
+                        try:
+                            os.unlink(os.path.join(dirpath, filename))
+                        except OSError:
+                            pass
+                        if sha not in removed:
+                            removed.append(sha)
+            index_removed = 0
+            for pinball_sha, _fingerprint, path in self._index_files():
+                if pinball_sha not in self._entries:
                     try:
-                        os.unlink(os.path.join(dirpath, filename))
+                        os.unlink(path)
+                        index_removed += 1
                     except OSError:
                         pass
-                    if sha not in removed:
-                        removed.append(sha)
-        self._write_manifest()
+            self._write_manifest()
         if OBS.enabled:
             OBS.add("serve.store/gc_removed", len(removed))
+            OBS.add("serve.store/gc_index_removed", index_removed)
         return removed
 
     # -- reads -------------------------------------------------------------
@@ -285,7 +367,14 @@ class PinballStore:
         return sha in self._entries or os.path.exists(self.blob_path(sha))
 
     def entry(self, sha: str) -> StoreEntry:
-        return self._require(sha)
+        entry = self._entries.get(sha)
+        if entry is None:
+            # Another node may have registered the key since our last
+            # manifest read (shared-store multi-node mode): one reload
+            # before giving up makes cross-node keys visible.
+            self.reload()
+            entry = self._require(sha)
+        return entry
 
     def get(self, sha: str) -> bytes:
         """Read, decompress and *verify* the blob for ``sha``.
@@ -333,6 +422,14 @@ class PinballStore:
         by_kind: Dict[str, int] = {}
         for entry in self._entries.values():
             by_kind[entry.kind] = by_kind.get(entry.kind, 0) + 1
+        index_files = 0
+        index_bytes = 0
+        for _sha, _fp, path in self._index_files():
+            index_files += 1
+            try:
+                index_bytes += os.path.getsize(path)
+            except OSError:
+                pass
         return {
             "root": self.root,
             "entries": len(self._entries),
@@ -340,7 +437,90 @@ class PinballStore:
             "bytes_raw": sum(e.size for e in self._entries.values()),
             "bytes_stored": sum(e.stored_size
                                 for e in self._entries.values()),
+            "index_files": index_files,
+            "index_bytes": index_bytes,
         }
+
+    # -- derived index blobs (persistent DDG cache) ------------------------
+
+    def index_path(self, pinball_sha: str, fingerprint: str) -> str:
+        return os.path.join(self.index_root, pinball_sha[:2],
+                            "%s.%s%s" % (pinball_sha, fingerprint,
+                                         INDEX_SUFFIX))
+
+    def _index_files(self):
+        """Yield ``(pinball_sha, fingerprint, path)`` for every cached
+        index file on disk (skips names we did not write)."""
+        for dirpath, _dirnames, filenames in os.walk(self.index_root):
+            for filename in sorted(filenames):
+                if not filename.endswith(INDEX_SUFFIX):
+                    continue
+                stem = filename[:-len(INDEX_SUFFIX)]
+                pinball_sha, sep, fingerprint = stem.partition(".")
+                if sep:
+                    yield (pinball_sha, fingerprint,
+                           os.path.join(dirpath, filename))
+
+    def put_index(self, pinball_sha: str, fingerprint: str,
+                  data: bytes) -> str:
+        """Persist a serialized DDG index for ``(pinball, options)``.
+
+        Manifest-free by design: the payload is derived data any node
+        can regenerate, the name encodes the full key, and the write is
+        an atomic rename — so pool workers on any node store indexes
+        concurrently with zero coordination.  Returns the path.
+        """
+        path = self.index_path(pinball_sha, fingerprint)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        tmp_path = path + ".tmp.%d" % os.getpid()
+        try:
+            with open(tmp_path, "wb") as handle:
+                handle.write(data)
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+        if OBS.enabled:
+            OBS.inc("serve.store/index_puts")
+            OBS.add("serve.store/index_bytes_written", len(data))
+        return path
+
+    def get_index(self, pinball_sha: str, fingerprint: str) -> bytes:
+        """The serialized index blob, raw (the ``RIX1`` container does
+        its own CRC/version verification on deserialize).  Raises
+        :class:`KeyError` on a cache miss."""
+        path = self.index_path(pinball_sha, fingerprint)
+        try:
+            with open(path, "rb") as handle:
+                data = handle.read()
+        except FileNotFoundError:
+            raise KeyError("store has no cached index for %s/%s"
+                           % (pinball_sha, fingerprint))
+        if OBS.enabled:
+            OBS.inc("serve.store/index_gets")
+        return data
+
+    def delete_index(self, pinball_sha: str,
+                     fingerprint: Optional[str] = None) -> int:
+        """Drop cached indexes for a pinball (one fingerprint, or all);
+        returns the number of files removed.  Used when a cached blob
+        turns out corrupt, and by cache invalidation."""
+        removed = 0
+        if fingerprint is not None:
+            targets = [self.index_path(pinball_sha, fingerprint)]
+        else:
+            targets = [path for sha, _fp, path in self._index_files()
+                       if sha == pinball_sha]
+        for path in targets:
+            try:
+                os.unlink(path)
+                removed += 1
+            except OSError:
+                pass
+        return removed
 
     # -- pinball / source conveniences ------------------------------------
 
@@ -366,11 +546,15 @@ class PinballStore:
         combined.setdefault(
             "failure", (pinball.meta.get("failure") or {}).get("code"))
         blob = pinball.to_bytes(compress=False, format=format)
-        if blob[:4] == V2_MAGIC:
-            return self._put_pinball_v2(blob, pinball.program_name,
-                                        tags, combined)
-        sha, _dedup = self.put(blob, kind="pinball", tags=tags,
-                               meta=combined)
+        # One transaction around the whole put: a chunked container's
+        # frame blobs land in memory first and must not be discarded by
+        # the inner put()'s manifest merge.
+        with self._locked():
+            if blob[:4] == V2_MAGIC:
+                return self._put_pinball_v2(blob, pinball.program_name,
+                                            tags, combined)
+            sha, _dedup = self.put(blob, kind="pinball", tags=tags,
+                                   meta=combined)
         return sha
 
     def _put_pinball_v2(self, blob: bytes, program_name: str,

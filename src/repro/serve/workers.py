@@ -137,7 +137,7 @@ def _execute(op: str, params: dict, store, manager):
         return {"pong": True, "pid": os.getpid()}
     if op == "__stats__":
         counters = {name: value for name, value in OBS.counters().items()
-                    if name.startswith("serve.")}
+                    if name.startswith(("serve.", "index_cache."))}
         return {"pid": os.getpid(), "sessions": manager.stats(),
                 "counters": counters}
     if op == "__crash__":                       # test hook: hard death

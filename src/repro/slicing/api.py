@@ -25,6 +25,7 @@ from repro.obs.registry import OBS
 from repro.pinplay.pinball import Pinball
 from repro.pinplay.relogger import relog
 from repro.pinplay.replayer import replay
+from repro.slicing.ddg_serde import FrozenIndex
 from repro.slicing.global_trace import GlobalTrace, merge_traces
 from repro.slicing.options import SliceOptions
 from repro.slicing.reexec import ReexecIndex
@@ -32,6 +33,40 @@ from repro.slicing.slice import DynamicSlice
 from repro.slicing.slicer import BackwardSlicer
 from repro.slicing.trace import Instance, Location
 from repro.slicing.tracer import TraceCollector
+
+
+class FrozenSlicer:
+    """:class:`BackwardSlicer`-shaped facade over a deserialized
+    :class:`~repro.slicing.ddg_serde.FrozenIndex` — same ``slice`` /
+    ``index_stats`` / ``ddg`` surface, but the index arrived from the
+    persistent cache instead of a build pass, so there is no trace (and
+    no lazy build) behind it."""
+
+    def __init__(self, frozen: FrozenIndex) -> None:
+        self.index = "ddg"
+        self._ddg = frozen
+
+    @property
+    def ddg(self) -> FrozenIndex:
+        return self._ddg
+
+    def slice(self, criterion: Instance,
+              locations: Optional[Sequence[Location]] = None
+              ) -> DynamicSlice:
+        return self._ddg.slice(criterion, locations)
+
+    def index_stats(self) -> dict:
+        ddg = self._ddg
+        return {
+            "slice_index": self.index,
+            "ddg_build_time_sec": ddg.build_time,
+            "edge_count": ddg.edge_count,
+            "memo_hits": ddg.memo_hits + ddg.cache_hits,
+            "memo_misses": ddg.memo_misses + ddg.cache_misses,
+            "slice_cache_hits": ddg.cache_hits,
+            "closure_memo_hits": ddg.memo_hits,
+            "bypassed_edges": ddg.bypassed_edges,
+        }
 
 
 class SlicingSession:
@@ -56,6 +91,10 @@ class SlicingSession:
         self._collector: Optional[TraceCollector] = None
         self._gtrace: Optional[GlobalTrace] = None
         self._reexec: Optional[ReexecIndex] = None
+        #: A cache-loaded index (warm start) — set only by
+        #: :meth:`from_frozen_index`; the criterion helpers and stats
+        #: branch on it so no trace is ever materialized.
+        self._frozen: Optional[FrozenIndex] = None
 
         reexec_wanted = (
             self.options.index == "reexec"
@@ -121,6 +160,45 @@ class SlicingSession:
         #: implementation re-scanned the whole trace per call.
         self._criterion_index: Optional[tuple] = None
 
+    @classmethod
+    def from_frozen_index(cls, pinball: Pinball, program: Program,
+                          frozen: FrozenIndex,
+                          options: Optional[SliceOptions] = None,
+                          engine: Optional[str] = None) -> "SlicingSession":
+        """Warm-start a session from a cache-loaded dependence index.
+
+        Skips replay, tracing and the index build entirely: slice
+        queries, the criterion helpers and ``make_slice_pinball`` (the
+        relogger consumes only the pinball + the keep-set) all answer
+        from the frozen index, byte-identical to a cold build.  The
+        materialized-trace escape hatches (:attr:`collector` /
+        :attr:`gtrace`) still work — touching them runs the full traced
+        replay the warm start avoided.
+        """
+        session = cls.__new__(cls)
+        session.pinball = pinball
+        session.program = program
+        session.options = options or SliceOptions()
+        session.engine = engine
+        if session.options.obs:
+            OBS.enable()
+        session.shard_plan = None
+        session._collector = None
+        session._gtrace = None
+        session._reexec = None
+        session._frozen = frozen
+        session.machine = None
+        session.replay_result = None
+        session.trace_time = 0.0
+        session.preprocess_time = 0.0
+        session.slicer = FrozenSlicer(frozen)
+        session.last_slice_time = 0.0
+        session._criterion_index = None
+        if OBS.enabled:
+            OBS.add("slicing.sessions", 1)
+            OBS.add("slicing.warm_sessions", 1)
+        return session
+
     # -- materialized-trace access (lazy for reexec sessions) ----------------
 
     @property
@@ -154,6 +232,8 @@ class SlicingSession:
         """Retired-instruction count of the region — what a full trace
         would hold.  Reexec sessions answer from the scaffold's pc
         streams without materializing any trace."""
+        if self._frozen is not None:
+            return self._frozen.node_count
         if self._reexec is not None:
             return self._reexec.trace_records
         return self.collector.store.total_records()
@@ -229,6 +309,8 @@ class SlicingSession:
     def last_instance_at_line(self, line: int,
                               tid: Optional[int] = None) -> Instance:
         """The latest executed instance attributed to source ``line``."""
+        if self._frozen is not None:
+            return self._frozen.last_instance_at_line(line, tid)
         if self._reexec is not None:
             return self._reexec.last_instance_at_line(line, tid)
         line_best, line_tid_best, _writes, _tid_writes, _reads = \
@@ -243,6 +325,15 @@ class SlicingSession:
     def last_write_to_global(self, name: str,
                              tid: Optional[int] = None) -> Instance:
         """The latest instance that wrote global variable ``name``."""
+        if self._frozen is not None:
+            var = self.program.globals.get(name)
+            if var is None:
+                raise ValueError("unknown global %r" % name)
+            best = self._frozen.last_write_to_addr_range(
+                var.addr, var.addr + max(1, var.size), tid)
+            if best is None:
+                raise ValueError("global %r was never written" % name)
+            return best
         if self._reexec is not None:
             return self._reexec.last_write_to_global(name, tid)
         var = self.program.globals.get(name)
@@ -273,6 +364,8 @@ class SlicingSession:
         This mirrors the paper's slicing-overhead experiment, which slices
         "the last 10 read instructions (spread across five threads)".
         """
+        if self._frozen is not None:
+            return self._frozen.last_reads(count)
         if self._reexec is not None:
             return self._reexec.last_reads(count)
         reads = self._indexes()[4]
@@ -338,6 +431,19 @@ class SlicingSession:
         — plus pipeline-wide counters from every other layer — are
         available via ``repro.obs.OBS.snapshot()``.
         """
+        if self._frozen is not None:
+            out = {
+                "obs_enabled": OBS.enabled,
+                "warm_start": True,
+                "trace_records": self._frozen.node_count,
+                "trace_time_sec": self.trace_time,
+                "preprocess_time_sec": self.preprocess_time,
+                "mem_order_edges": len(self.pinball.mem_order),
+                "threads": len(self._frozen._columns),
+                "shards": self.options.shards,
+            }
+            out.update(self.slicer.index_stats())
+            return out
         if self._reexec is not None:
             out = {
                 "obs_enabled": OBS.enabled,

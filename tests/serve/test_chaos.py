@@ -1,0 +1,341 @@
+"""Chaos suite: injected faults across the scale-out stack (ISSUE 8).
+
+Satellite spec, verbatim: env-gated fault injection — kill a serve node
+mid-request, corrupt a cached index blob, drop router→node connections —
+asserting the router retries exactly once onto a healthy node, a corrupt
+cache entry falls back to a cold rebuild (**never** a wrong answer), and
+every failure surfaces as a typed error, parametrized over the failure
+points.
+
+Real processes where it matters: node-kill tests spawn actual ``repro
+serve`` subprocesses sharing one store (``os._exit`` cannot be faked
+in-process); the router runs in-process so its counters are assertable.
+"""
+
+import json
+import os
+import socket
+import subprocess
+import sys
+import threading
+import time
+from contextlib import contextmanager
+
+import pytest
+
+from repro import config
+from repro.serve import DebugClient, PinballStore, SessionManager, rpc
+from repro.serve.router import Router, run_router
+from repro.serve.server import CHAOS_EXIT_STATUS
+from repro.serve.sessions import (resolve_criterion, slice_locations,
+                                  slice_payload)
+from repro.slicing import SlicingSession
+
+from tests.support.progen import build_program, generate_source, \
+    record_pinball
+
+REPO_ROOT = os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__))))
+SRC_DIR = os.path.join(REPO_ROOT, "src")
+
+SEEDS = (1, 2)
+
+
+def _kill_matching(needle: str) -> None:
+    """SIGKILL any process whose cmdline mentions ``needle``.
+
+    A chaos-killed node dies via ``os._exit``, which skips the
+    ``multiprocessing`` atexit hook that would reap its daemonic
+    workers; the store path is unique per test, so this sweep is exact.
+    """
+    for pid in os.listdir("/proc"):
+        if not pid.isdigit() or int(pid) == os.getpid():
+            continue
+        try:
+            with open("/proc/%s/cmdline" % pid, "rb") as handle:
+                cmdline = handle.read().decode("utf-8", "replace")
+        except OSError:
+            continue
+        if needle in cmdline:
+            try:
+                os.kill(int(pid), 9)
+            except OSError:
+                pass
+
+
+def spawn_node(store_root, tmp_path, name, extra_env=None):
+    """One real ``repro serve`` process on a free port (port-file dance)."""
+    port_file = os.path.join(str(tmp_path), "%s.port" % name)
+    env = dict(os.environ, PYTHONPATH=SRC_DIR)
+    env.update(extra_env or {})
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--store", str(store_root),
+         "--port", "0", "--workers", "1", "--port-file", port_file],
+        env=env, cwd=REPO_ROOT,
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+    deadline = time.time() + 60
+    while time.time() < deadline:
+        if os.path.exists(port_file):
+            text = open(port_file).read().strip()
+            if text:
+                return proc, int(text)
+        if proc.poll() is not None:
+            raise AssertionError("node %s died at startup (%s)"
+                                 % (name, proc.returncode))
+        time.sleep(0.05)
+    proc.kill()
+    raise AssertionError("node %s never wrote its port file" % name)
+
+
+@contextmanager
+def node_fleet(store_root, tmp_path, count, extra_env=None):
+    procs = []
+    ports = []
+    try:
+        for index in range(count):
+            proc, port = spawn_node(store_root, tmp_path, "node%d" % index,
+                                    extra_env=extra_env)
+            procs.append(proc)
+            ports.append(port)
+        yield procs, ports
+    finally:
+        for proc in procs:
+            if proc.poll() is None:
+                proc.terminate()
+        for proc in procs:
+            try:
+                proc.wait(timeout=20)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+        _kill_matching(str(store_root))
+
+
+@contextmanager
+def running_router(ports, **kwargs):
+    kwargs.setdefault("health_interval", 0.5)
+    router = Router([("127.0.0.1", port) for port in ports], port=0,
+                    **kwargs)
+    ready = threading.Event()
+    thread = threading.Thread(
+        target=run_router, args=(router,),
+        kwargs={"announce": lambda host, port: ready.set()}, daemon=True)
+    thread.start()
+    assert ready.wait(20), "router did not come up"
+    try:
+        yield router
+    finally:
+        try:
+            with DebugClient(port=router.port, timeout=10) as client:
+                client.shutdown()
+        except (OSError, rpc.RpcRemoteError):
+            pass
+        thread.join(20)
+
+
+@pytest.fixture(scope="module")
+def corpus(tmp_path_factory):
+    """A shared store with two recordings plus in-process slice oracles."""
+    root = str(tmp_path_factory.mktemp("chaos") / "store")
+    store = PinballStore(root)
+    entries = {}
+    for seed in SEEDS:
+        program = build_program(seed)
+        pinball = record_pinball(program, seed)
+        source_sha = store.put_source(generate_source(seed), program.name,
+                                      tags=("chaos",))
+        pinball_sha = store.put_pinball(
+            pinball, tags=("chaos",),
+            meta={"source_sha": source_sha, "program_name": program.name})
+        session = SlicingSession(pinball, program)
+        var = next(name for name in ("g0", "g1", "g2", "g3")
+                   if _writes(session, name))
+        params = {"var": var}
+        criterion = resolve_criterion(session, params)
+        payload = slice_payload(
+            session, session.slice_for(criterion,
+                                       slice_locations(session, params)))
+        entries[seed] = {"pinball_sha": pinball_sha, "var": var,
+                         "payload": payload}
+    return root, entries
+
+
+def _writes(session, name):
+    try:
+        resolve_criterion(session, {"var": name})
+        return True
+    except ValueError:
+        return False
+
+
+def canonical(payload: dict) -> bytes:
+    return json.dumps(payload, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+
+
+# ---------------------------------------------------------------------------
+# Failure point 1: a node process dies mid-request, per verb family.
+# ---------------------------------------------------------------------------
+
+class TestNodeDeathMidRequest:
+    @pytest.mark.parametrize("verb", ("slice", "last_reads", "replay"))
+    def test_router_retries_once_onto_the_survivor(self, corpus, tmp_path,
+                                                   verb):
+        root, entries = corpus
+        seed = SEEDS[0]
+        marker = str(tmp_path / ("die-once-%s" % verb))
+        chaos_env = {"REPRO_CHAOS_EXIT_ON": verb,
+                     "REPRO_CHAOS_ONCE_PATH": marker}
+        with node_fleet(root, tmp_path, 2, extra_env=chaos_env) as \
+                (procs, ports):
+            with running_router(ports) as router:
+                with DebugClient(port=router.port, timeout=120) as client:
+                    key = entries[seed]["pinball_sha"]
+                    if verb == "slice":
+                        result = client.slice(key,
+                                              global_name=entries[seed]["var"])
+                        # The retried answer is the *right* answer.
+                        result.pop("kept_instructions", None)
+                        result.pop("slice_pinball_raw", None)
+                        assert canonical(result) \
+                            == canonical(entries[seed]["payload"])
+                    elif verb == "last_reads":
+                        result = client.last_reads(key, count=5)
+                        assert result["reads"]
+                    else:
+                        result = client.replay(key)
+                        assert result["steps"] > 0
+                assert router.counts["node_deaths"] >= 1
+                assert router.counts["retries"] >= 1
+            # Exactly one node took the chaos exit (the shared marker
+            # makes the second arming a no-op).
+            time.sleep(0.2)
+            codes = [proc.poll() for proc in procs]
+            assert codes.count(CHAOS_EXIT_STATUS) == 1
+            assert os.path.exists(marker)
+
+    def test_whole_fleet_down_is_a_typed_error(self, corpus, tmp_path):
+        root, entries = corpus
+        with node_fleet(root, tmp_path, 1) as (procs, ports):
+            pass    # fleet torn down: the port below is dead
+        with running_router(ports) as router:
+            # Probe until health-checking deregisters the dead node.
+            with DebugClient(port=router.port, timeout=30) as client:
+                code = None
+                for _ in range(4):
+                    try:
+                        client.list()
+                        break
+                    except rpc.RpcRemoteError as exc:
+                        code = exc.code
+                assert code == rpc.NODE_UNAVAILABLE
+
+
+# ---------------------------------------------------------------------------
+# Failure point 2: a cached index blob is corrupt on disk.
+# ---------------------------------------------------------------------------
+
+CORRUPTIONS = [
+    ("garbage", lambda blob: b"\x00garbage\xff" * 64),
+    ("truncated", lambda blob: blob[:len(blob) // 3]),
+    ("bit_flip", lambda blob: blob[:40]
+     + bytes([blob[40] ^ 0xFF]) + blob[41:]),
+]
+
+
+class TestCorruptIndexBlob:
+    @pytest.mark.parametrize(
+        "mutilate", [row[1] for row in CORRUPTIONS],
+        ids=[row[0] for row in CORRUPTIONS])
+    def test_falls_back_to_rebuild_never_a_wrong_answer(
+            self, corpus, tmp_path, mutilate):
+        if config.slice_index() != "ddg":
+            pytest.skip("index cache only serves the ddg engine")
+        root, entries = corpus
+        seed = SEEDS[1]
+        sha = entries[seed]["pinball_sha"]
+        store = PinballStore(root)
+        warmer = SessionManager(store, max_entries=2)
+        warmer.open(sha, *self._rest(store, sha))
+        # First parametrization writes the blob; later ones warm-hit the
+        # rebuilt copy — either way it exists and is valid afterwards.
+        assert warmer.index_cache_writes + warmer.index_cache_hits >= 1
+        # Exactly one cached index for this recording: mutilate it.
+        paths = [path for psha, _fp, path in store._index_files()
+                 if psha == sha]
+        assert len(paths) == 1
+        blob = open(paths[0], "rb").read()
+        with open(paths[0], "wb") as handle:
+            handle.write(mutilate(blob))
+
+        manager = SessionManager(store, max_entries=2)
+        session = manager.open(sha, *self._rest(store, sha))
+        assert manager.index_cache_corrupt == 1
+        assert manager.index_cache_hits == 0
+        # The rebuild wrote a fresh blob and the answer is the oracle's.
+        assert manager.index_cache_writes == 1
+        params = {"var": entries[seed]["var"]}
+        criterion = resolve_criterion(session, params)
+        payload = slice_payload(
+            session, session.slice_for(criterion,
+                                       slice_locations(session, params)))
+        assert canonical(payload) == canonical(entries[seed]["payload"])
+
+    @staticmethod
+    def _rest(store, sha):
+        meta = store.entry(sha).meta
+        return meta["source_sha"], meta.get("program_name", "program")
+
+
+# ---------------------------------------------------------------------------
+# Failure point 3: the router→node connection drops mid-forward.
+# ---------------------------------------------------------------------------
+
+class TestDroppedForward:
+    @pytest.mark.parametrize("via", ("arg", "env"))
+    def test_drop_is_retried_and_counted(self, corpus, tmp_path,
+                                         monkeypatch, via):
+        root, entries = corpus
+        if via == "env":
+            monkeypatch.setenv("REPRO_CHAOS_DROP_FORWARDS", "1")
+            kwargs = {}
+        else:
+            kwargs = {"chaos_drop_forwards": 1}
+        with node_fleet(root, tmp_path, 2) as (_procs, ports):
+            with running_router(ports, **kwargs) as router:
+                with DebugClient(port=router.port, timeout=60) as client:
+                    listing = client.list(kind="pinball")
+                assert listing["entries"]
+                assert router.counts["chaos_drops"] == 1
+                assert router.counts["retries"] >= 1
+                # A single drop never deregisters a healthy node.
+                assert router.counts["deregistered"] == 0
+
+
+# ---------------------------------------------------------------------------
+# Failure point 4: the *client's* node dies mid-call (typed, not a
+# raw ConnectionResetError).
+# ---------------------------------------------------------------------------
+
+class TestClientMidCallDeath:
+    def test_mid_call_death_is_node_unavailable(self):
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        port = listener.getsockname()[1]
+
+        def vanish():
+            conn, _ = listener.accept()
+            conn.recv(65536)          # swallow the request line...
+            conn.close()              # ...and die without answering
+
+        thread = threading.Thread(target=vanish, daemon=True)
+        thread.start()
+        try:
+            with DebugClient(port=port, timeout=10) as client:
+                with pytest.raises(rpc.RpcRemoteError) as excinfo:
+                    client.ping()
+            assert excinfo.value.code == rpc.NODE_UNAVAILABLE
+            assert "mid-call" in excinfo.value.remote_message
+        finally:
+            thread.join(10)
+            listener.close()

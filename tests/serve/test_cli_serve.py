@@ -95,6 +95,37 @@ class TestExitCodes:
         assert code == 65
         assert "error:" in capsys.readouterr().err
 
+    def test_mid_call_node_death_is_70_not_a_traceback(self, capsys):
+        """Regression: the server accepting the connection and then dying
+        mid-response used to escape as a raw ConnectionResetError.  The
+        client wraps it as a typed remote error → exit 70 (the existing
+        'reset' row above covers the *connect*-phase reset, which stays
+        69)."""
+        import threading
+
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        port = listener.getsockname()[1]
+
+        def vanish():
+            conn, _ = listener.accept()
+            conn.recv(65536)       # accept the request line...
+            conn.close()           # ...and die without answering
+
+        thread = threading.Thread(target=vanish, daemon=True)
+        thread.start()
+        try:
+            code = main(["client", "--port", str(port), "ping"])
+        finally:
+            thread.join(10)
+            listener.close()
+        assert code == 70
+        err = capsys.readouterr().err
+        assert "server error" in err
+        assert "mid-call" in err
+        assert "Traceback" not in err
+
 
 # ---------------------------------------------------------------------------
 # Happy-path round trip through the real CLI verbs.

@@ -83,14 +83,18 @@ class TestEntryEviction:
 class TestByteEviction:
     def test_byte_bound_evicts(self, store):
         keys = [stash(store, seed) for seed in (20, 21)]
-        manager = SessionManager(store, max_entries=16)
+        # index_cache off: this test reasons about the byte charge of
+        # *cold* builds, and a persistent-cache warm start would make
+        # the second manager's sessions cheaper than the bound below.
+        manager = SessionManager(store, max_entries=16, index_cache=False)
         manager.open(*keys[0])
         one_session_bytes = manager.cached_bytes
         assert one_session_bytes > 0
         # A bound that fits the first resident session exactly: adding
         # any second session must push the cache over and evict.
         tight = SessionManager(store, max_entries=16,
-                               max_bytes=one_session_bytes)
+                               max_bytes=one_session_bytes,
+                               index_cache=False)
         tight.open(*keys[0])
         assert tight.evictions == 0
         tight.open(*keys[1])
