@@ -1,7 +1,8 @@
 """Engine benchmark — predecoded micro-op engine vs the seed interpreter.
 
 Measures steps/sec for the four phases of the DrDebug workflow on
-PARSEC-like and SPECOMP-like workloads, running *both* engines in the same
+PARSEC-like, SPECOMP-like and pointer-chasing (struct/heap) workloads,
+running *both* engines in the same
 process so the comparison is apples-to-apples on the same machine state:
 
 * **record** — ``record_region`` with the logger tool attached;
@@ -52,7 +53,7 @@ from repro.pinplay import (Pinball, RegionSpec, record_region, replay,
                            replay_machine)
 from repro.slicing import SliceOptions, SlicingSession
 from repro.vm import RandomScheduler
-from repro.workloads import get_parsec, get_specomp
+from repro.workloads import get_parsec, get_pointer, get_specomp
 
 from repro.config import perf_smoke
 
@@ -64,6 +65,7 @@ SMOKE = perf_smoke()
 if SMOKE:
     WORKLOADS = [
         ("parsec", "blackscholes", {"units": 40, "nthreads": 4}),
+        ("pointers", "list_chase", {"units": 25, "nthreads": 4}),
     ]
     REPLAY_REPEATS = 1
     PIPELINE_REPEATS = 1
@@ -74,6 +76,8 @@ else:
         ("parsec", "fluidanimate", {"units": 120, "nthreads": 4}),
         ("specomp", "ammp", {"units": 120}),
         ("specomp", "mgrid", {"units": 80}),
+        ("pointers", "list_chase", {"units": 120, "nthreads": 4}),
+        ("pointers", "hashchain", {"units": 90, "nthreads": 4}),
     ]
     REPLAY_REPEATS = 3
     PIPELINE_REPEATS = 3
@@ -100,6 +104,8 @@ def _quiesced():
 def _build(suite: str, kernel: str, params: dict):
     if suite == "parsec":
         return get_parsec(kernel).build(**params)
+    if suite == "pointers":
+        return get_pointer(kernel).build(**params)
     return get_specomp(kernel).build(**params)
 
 

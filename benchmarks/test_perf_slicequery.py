@@ -48,7 +48,7 @@ from repro.obs import OBS
 from repro.pinplay import RegionSpec, record_region
 from repro.slicing import BackwardSlicer, SliceOptions, SlicingSession
 from repro.vm import RandomScheduler
-from repro.workloads import get_parsec, get_specomp
+from repro.workloads import get_parsec, get_pointer, get_specomp
 
 from repro.config import perf_smoke
 
@@ -59,6 +59,7 @@ SMOKE = perf_smoke()
 if SMOKE:
     WORKLOADS = [
         ("parsec", "blackscholes", {"units": 40, "nthreads": 4}),
+        ("pointers", "list_chase", {"units": 25, "nthreads": 4}),
     ]
     REPEATS = 1
 else:
@@ -67,6 +68,8 @@ else:
         ("parsec", "fluidanimate", {"units": 120, "nthreads": 4}),
         ("specomp", "ammp", {"units": 120}),
         ("specomp", "mgrid", {"units": 80}),
+        ("pointers", "list_chase", {"units": 120, "nthreads": 4}),
+        ("pointers", "tree_sum", {"units": 60, "nthreads": 4}),
     ]
     REPEATS = 5
 
@@ -99,6 +102,8 @@ def _quiesced():
 def _build(suite: str, kernel: str, params: dict):
     if suite == "parsec":
         return get_parsec(kernel).build(**params)
+    if suite == "pointers":
+        return get_pointer(kernel).build(**params)
     return get_specomp(kernel).build(**params)
 
 

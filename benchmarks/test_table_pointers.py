@@ -1,0 +1,222 @@
+"""Pointer-band slice precision — engineered bars over heap objects.
+
+Dynamic slicing's advantage over static slicing (the paper's motivation
+for computing slices from the *executed* dependences) is sharpest on
+pointer code: two heap objects of the same struct type are
+indistinguishable statically — every ``->value`` store aliases every
+``->value`` load — but the recorded execution knows the base addresses
+and keeps them apart.  This suite asserts that precision as hard bars:
+
+* **non-aliasing exclusion** — a criterion read of ``a->value`` slices
+  to the ``a`` chain only; the same-field writes to distractor objects
+  are excluded, and the slice's node count does not move when the
+  number of distractor objects is tripled;
+* **use-after-free attribution** — the poison-mode UAF analog's failure
+  slice contains the racing ``delete`` site (the allocator's poison
+  writes are attributed to the freeing instruction, so the stale read's
+  memory dependence lands on it);
+* **dangling-reuse attribution** — the reuse analog's failure slice
+  contains the recycling thread's field overwrite of the reused block.
+
+Node counts and line sets are recorded per case into
+``BENCH_pointers.json`` at the repo root and the paper-style
+``table_pointers`` experiment table.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from benchmarks.conftest import record_table
+from repro.lang import compile_source
+from repro.pinplay import RegionSpec, record_region
+from repro.slicing import SliceOptions, SlicingSession
+from repro.vm import RandomScheduler
+from repro.workloads import get_pointer_bug
+
+BENCH_PATH = os.path.join(os.path.dirname(__file__), os.pardir,
+                          "BENCH_pointers.json")
+
+_ROWS = []
+_EXPECTED_ROWS = 3
+
+#: Distractor template: %(distractors)s declares/updates extra heap
+#: objects whose writes go through the same field offsets as the
+#: criterion chain but through different base pointers.
+_PRECISION_TEMPLATE = """\
+struct Cell { int value; int pad; };
+
+int main() {
+    struct Cell* a;
+%(decls)s
+    int i; int va;
+    a = new Cell;
+    a->value = 1;
+%(inits)s
+    for (i = 0; i < %(iters)d; i = i + 1) {
+        a->value = a->value + 2;
+%(updates)s
+    }
+    va = a->value;
+    print(va);
+    return 0;
+}
+"""
+
+
+#: Upper bound on distractor objects; every variant declares this many
+#: locals so the stack frame (and therefore main's prologue) is
+#: identical across variants and the node-count bar compares slices of
+#: structurally identical programs.
+_MAX_DISTRACTORS = 3
+
+
+def _precision_source(distractors: int, iters: int = 12) -> str:
+    assert distractors <= _MAX_DISTRACTORS
+    names = ["b%d" % i for i in range(distractors)]
+    return _PRECISION_TEMPLATE % {
+        "iters": iters,
+        "decls": "\n".join("    struct Cell* b%d;" % i
+                           for i in range(_MAX_DISTRACTORS)),
+        "inits": "\n".join("    %s = new Cell;\n    %s->value = 100;"
+                           % (n, n) for n in names),
+        "updates": "\n".join("        %s->value = %s->value + 3;"
+                             % (n, n) for n in names),
+    }
+
+
+def _session_for(source, name, heap_poison=False, seed=7, switch_prob=0.25):
+    program = compile_source(source, name=name)
+    pinball = record_region(
+        program, RandomScheduler(seed=seed, switch_prob=switch_prob),
+        RegionSpec(), heap_poison=heap_poison)
+    session = SlicingSession(pinball, program, SliceOptions(index="ddg"),
+                             engine="predecoded")
+    return program, pinball, session
+
+
+def _slice_lines(dslice):
+    return {node.line for node in dslice.nodes.values()
+            if node.line is not None}
+
+
+def _line_of(source, snippet):
+    for lineno, text in enumerate(source.splitlines(), 1):
+        if snippet in text:
+            return lineno
+    raise AssertionError("snippet %r not in source" % snippet)
+
+
+def _finish_rows():
+    if len(_ROWS) != _EXPECTED_ROWS:
+        return
+    record_table(
+        "table_pointers", "Pointer-band slice precision bars",
+        ["case", "criterion", "slice_nodes", "bar"],
+        sorted(_ROWS, key=lambda r: r["case"]),
+        notes=("Dynamic slices keep same-typed heap objects apart by "
+               "base address; free()'s poison writes attribute "
+               "use-after-free reads to the racing delete site."))
+    report = {
+        "schema_version": 1,
+        "cases": {row["case"]: row for row in _ROWS},
+    }
+    path = os.path.abspath(BENCH_PATH)
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+    print("\nwrote %s" % path)
+
+
+def test_nonaliasing_writes_excluded():
+    """Same-field stores through other base pointers stay out of the
+    slice, and distractor traffic does not grow it."""
+    counts = {}
+    for distractors in (1, 3):
+        source = _precision_source(distractors)
+        _program, _pinball, session = _session_for(
+            source, "precision-%d" % distractors)
+        criterion = session.last_instance_at_line(
+            _line_of(source, "va = a->value"))
+        dslice = session.slice_for(criterion)
+        lines = _slice_lines(dslice)
+
+        # The aliasing chain is in the slice...
+        assert _line_of(source, "a->value = a->value + 2") in lines
+        assert _line_of(source, "a = new Cell") in lines
+        # ...every distractor write is excluded, base-address precision.
+        for b_index in range(distractors):
+            name = "b%d" % b_index
+            assert _line_of(source, "%s->value = %s->value + 3"
+                            % (name, name)) not in lines
+            assert _line_of(source, "%s->value = 100" % name) not in lines
+        counts[distractors] = len(dslice.nodes)
+
+    # The precision bar: tripling the non-aliasing traffic must not
+    # move the slice's node count at all.
+    assert counts[1] == counts[3], (
+        "slice grew with non-aliasing traffic: %r" % counts)
+
+    _ROWS.append({
+        "case": "nonaliasing_exclusion",
+        "criterion": "last read of a->value",
+        "slice_nodes": counts[1],
+        "bar": "node count invariant under 3x distractor objects",
+    })
+    _finish_rows()
+
+
+def test_uaf_slice_contains_delete_site():
+    """The use-after-free failure slices back to the racing delete."""
+    workload = get_pointer_bug("uaf_chase")
+    source = workload.source()
+    program = workload.build()
+    pinball, seed = workload.expose(program, seeds=range(64))
+    assert pinball is not None, "uaf_chase did not expose"
+    session = SlicingSession(pinball, program, SliceOptions(index="ddg"),
+                             engine="predecoded")
+    dslice = session.slice_for(session.failure_criterion())
+    lines = _slice_lines(dslice)
+
+    delete_line = _line_of(source, "delete n;")
+    assert delete_line in lines, (
+        "UAF slice is missing the racing delete site (line %d); slice "
+        "lines: %s" % (delete_line, sorted(lines)))
+    # The symptom chain is also present: the poisoned field load.
+    assert _line_of(source, "v = n->value") in lines
+
+    _ROWS.append({
+        "case": "uaf_delete_attribution",
+        "criterion": "failure assert (code 104)",
+        "slice_nodes": len(dslice.nodes),
+        "bar": "slice contains the racing delete site",
+    })
+    _finish_rows()
+
+
+def test_dangle_slice_contains_recycling_write():
+    """The dangling-read failure slices back to the overwrite of the
+    recycled block."""
+    workload = get_pointer_bug("dangle_reuse")
+    source = workload.source()
+    program = workload.build()
+    pinball, seed = workload.expose(program, seeds=range(64))
+    assert pinball is not None, "dangle_reuse did not expose"
+    session = SlicingSession(pinball, program, SliceOptions(index="ddg"),
+                             engine="predecoded")
+    dslice = session.slice_for(session.failure_criterion())
+    lines = _slice_lines(dslice)
+
+    overwrite_line = _line_of(source, "fresh->tag = 9")
+    assert overwrite_line in lines, (
+        "dangling-reuse slice is missing the recycling write (line %d); "
+        "slice lines: %s" % (overwrite_line, sorted(lines)))
+    assert _line_of(source, "t = q->tag") in lines
+
+    _ROWS.append({
+        "case": "dangle_reuse_attribution",
+        "criterion": "failure assert (code 105)",
+        "slice_nodes": len(dslice.nodes),
+        "bar": "slice contains the reused block's overwrite",
+    })
+    _finish_rows()

@@ -15,13 +15,30 @@ than raw assembly, because the paper's two precision problems only arise in
 Language summary::
 
     int g;  float f;  int table[8];          // globals (arrays allowed)
+    struct Node {                            // struct declarations:
+        int value;                           //   word-sized field offsets
+        struct Node* next;                   //   pointer + nested-struct
+    };                                       //   fields, sizeof-driven
     int worker(int arg) {                    // functions, int/float params
         int i; int acc = 0;                  // locals (regs or stack)
+        struct Node* n = new Node;           // heap objects: new/delete
+        n->value = arg;                      // -> and (*p).field access
         for (i = 0; i < arg; i = i + 1) {    // for / while / if / switch
             acc = acc + table[i % 8];
         }
-        return acc;                          // expressions: full C operator
-    }                                        //   set incl. && || ! & * (ptr)
+        delete n;                            // lowers to the free syscall
+        return worker(acc / 2);              // recursion (self and mutual)
+    }                                        // expressions: full C operator
+                                             //   set incl. && || ! & * (ptr)
+
+Structs are laid out with word-sized fields at sizeof-driven offsets;
+struct-typed locals/globals/params work by value, and ``p->field`` /
+``(*p).field`` compile to base+offset loads and stores through the
+pointer register.  ``new T`` / ``delete p`` lower to the ``malloc`` /
+``free`` syscalls (deterministic heap addresses; exact-size free-list
+reuse), so heap topology replays bit-identically.  Field-access and
+``delete`` misuse raise :class:`CompileError` with line/column
+positions.
 
 Builtins map 1:1 to VM syscalls: ``spawn(fn, arg)``, ``join(tid)``,
 ``lock(&m)``, ``unlock(&m)``, ``print(v)``, ``input()``, ``rand(n)``,

@@ -74,6 +74,34 @@ class Conditional(Expr):
     otherwise: Optional[Expr] = None
 
 
+@dataclass
+class Member(Expr):
+    """``base.field`` (``arrow=False``) or ``base->field`` (``arrow=True``).
+
+    ``col`` is the column of the field-name token, so struct-misuse
+    diagnostics can point at the offending token.
+    """
+    base: Optional[Expr] = None
+    name: str = ""
+    arrow: bool = False
+    col: int = 0
+
+
+@dataclass
+class New(Expr):
+    """``new T`` — heap-allocate one ``struct T``; sugar for
+    ``malloc(sizeof(struct T))``."""
+    type_name: str = ""
+    col: int = 0
+
+
+@dataclass
+class SizeOf(Expr):
+    """``sizeof(type)`` — resolved to a word-count immediate in codegen."""
+    type_name: str = ""
+    col: int = 0
+
+
 # --------------------------------------------------------------------------
 # Statements
 # --------------------------------------------------------------------------
@@ -172,6 +200,14 @@ class Return(Stmt):
     value: Optional[Expr] = None
 
 
+@dataclass
+class Delete(Stmt):
+    """``delete p;`` — free the heap object ``p`` points to; sugar for
+    ``free(p)`` with a pointer-type check at compile time."""
+    target: Optional[Expr] = None
+    col: int = 0
+
+
 # --------------------------------------------------------------------------
 # Top level
 # --------------------------------------------------------------------------
@@ -196,6 +232,17 @@ class FuncDef:
 
 
 @dataclass
+class StructDecl:
+    """``struct Name { type field; ... };`` — fields are (type, name)
+    pairs; field types may be scalars, pointers, or other structs
+    (by value, giving nested cumulative offsets)."""
+    name: str = ""
+    fields: List[Tuple[str, str]] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
 class TranslationUnit:
     globals: List[GlobalDecl] = field(default_factory=list)
     functions: List[FuncDef] = field(default_factory=list)
+    structs: List[StructDecl] = field(default_factory=list)

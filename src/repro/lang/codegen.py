@@ -29,7 +29,9 @@ from repro.isa.instructions import Imm, Instr, Label, Mem, Opcode, Reg
 from repro.isa.program import DataDef, Function, GlobalVar, Program
 from repro.lang import ast
 from repro.lang.errors import CompileError
-from repro.lang.symbols import FunctionLayout, LocalSlot, layout_function
+from repro.lang.symbols import (FunctionLayout, LocalSlot, StructField,
+                                build_struct_table, is_struct_value,
+                                layout_function, type_size)
 
 #: Syscall builtins: name -> (number of args, produces result).
 BUILTINS = {
@@ -71,7 +73,11 @@ class _FunctionCompiler:
     def __init__(self, module: "ModuleCompiler", func: ast.FuncDef) -> None:
         self.module = module
         self.func = func
-        self.layout: FunctionLayout = layout_function(func)
+        if is_struct_value(func.return_type, module.structs):
+            raise CompileError(
+                "function %r cannot return a struct by value "
+                "(return a pointer)" % func.name, func.line)
+        self.layout: FunctionLayout = layout_function(func, module.structs)
         self.instrs: List[Instr] = []
         self.labels: Dict[str, int] = {}
         self._label_counter = 0
@@ -99,6 +105,106 @@ class _FunctionCompiler:
 
     def _reg(self, depth: int) -> Reg:
         return Reg(_EVAL_REGS[min(depth, len(_EVAL_REGS) - 1)])
+
+    # -- static types ---------------------------------------------------------
+
+    def _static_type(self, expr: ast.Expr) -> str:
+        """Best-effort compile-time type of ``expr`` as a type string.
+
+        Pointers end with ``"*"``; struct values are the bare struct
+        name.  Legacy programs that traffic raw addresses in ``int``s
+        stay legal: dereferencing a non-pointer yields ``"int"`` rather
+        than an error.  The only hard failures are struct misuse
+        (diagnosed in :meth:`_member_field`).
+        """
+        if isinstance(expr, ast.NumberLit):
+            return "float" if isinstance(expr.value, float) else "int"
+        if isinstance(expr, ast.VarRef):
+            slot = self.layout.slots.get(expr.name)
+            if slot is not None:
+                if slot.array_size is not None:
+                    return slot.type_name + "*"
+                return slot.type_name
+            gtype = self.module.global_types.get(expr.name)
+            if gtype is not None:
+                var = self.module.global_vars.get(expr.name)
+                if var is not None and var.is_array:
+                    return gtype + "*"
+                return gtype
+            if expr.name in self.module.function_names:
+                return "int*"
+            return "int"
+        if isinstance(expr, ast.FuncRef):
+            return "int*"
+        if isinstance(expr, ast.Unary):
+            if expr.op == "*":
+                return self._peel_pointer(self._static_type(expr.operand))
+            if expr.op == "&":
+                return self._static_type(expr.operand) + "*"
+            return "int"
+        if isinstance(expr, ast.Member):
+            return self._member_field(expr).type_name
+        if isinstance(expr, ast.New):
+            return expr.type_name + "*"
+        if isinstance(expr, ast.SizeOf):
+            return "int"
+        if isinstance(expr, ast.Index):
+            return self._peel_pointer(self._static_type(expr.base))
+        if isinstance(expr, ast.Call):
+            if expr.name in BUILTINS:
+                return "int*" if expr.name == "malloc" else "int"
+            return self.module.signatures.get(expr.name, "int")
+        if isinstance(expr, ast.Binary):
+            left = self._static_type(expr.left)
+            right = self._static_type(expr.right)
+            if expr.op in ("+", "-") and left.endswith("*"):
+                return left
+            if expr.op == "+" and right.endswith("*"):
+                return right
+            if "float" in (left, right):
+                return "float"
+            return "int"
+        if isinstance(expr, ast.Conditional):
+            return self._static_type(expr.then)
+        return "int"
+
+    @staticmethod
+    def _peel_pointer(type_name: str) -> str:
+        """Pointee (or array element) type; lenient for int-as-address:
+        dereferencing an ``int`` holding a raw address stays ``int``."""
+        return type_name[:-1] if type_name.endswith("*") else type_name
+
+    def _member_field(self, expr: ast.Member) -> StructField:
+        """Resolve ``base.f`` / ``base->f`` to its field, or diagnose."""
+        base_type = self._static_type(expr.base)
+        structs = self.module.structs
+        if expr.arrow:
+            if not base_type.endswith("*"):
+                raise CompileError(
+                    "'->%s' applied to non-pointer value of type %r"
+                    % (expr.name, base_type), expr.line, expr.col)
+            layout = structs.get(base_type[:-1])
+            if layout is None:
+                raise CompileError(
+                    "'->%s' through pointer to non-struct type %r"
+                    % (expr.name, base_type), expr.line, expr.col)
+        else:
+            layout = structs.get(base_type)
+            if layout is None:
+                if base_type.endswith("*"):
+                    raise CompileError(
+                        "'.%s' applied to pointer of type %r (use '->%s')"
+                        % (expr.name, base_type, expr.name),
+                        expr.line, expr.col)
+                raise CompileError(
+                    "'.%s' applied to non-struct value of type %r"
+                    % (expr.name, base_type), expr.line, expr.col)
+        field = layout.fields.get(expr.name)
+        if field is None:
+            raise CompileError(
+                "struct %s has no field %r" % (layout.name, expr.name),
+                expr.line, expr.col)
+        return field
 
     # -- top level -----------------------------------------------------------
 
@@ -175,6 +281,14 @@ class _FunctionCompiler:
             if target is None:
                 raise CompileError("continue outside loop", stmt.line)
             self.emit(Opcode.JMP, Label(target))
+        elif isinstance(stmt, ast.Delete):
+            target_type = self._static_type(stmt.target)
+            if not target_type.endswith("*"):
+                raise CompileError(
+                    "delete of a non-pointer expression (type %r)"
+                    % target_type, stmt.line, stmt.col)
+            self._eval(stmt.target, 0)
+            self.emit(Opcode.SYS, subop="free")
         elif isinstance(stmt, ast.Return):
             if stmt.value is not None:
                 self._eval(stmt.value, 0)
@@ -187,6 +301,11 @@ class _FunctionCompiler:
 
     def _assign(self, stmt: ast.Assign) -> None:
         target = stmt.target
+        if (stmt.op is None
+                and is_struct_value(self._static_type(target),
+                                    self.module.structs)):
+            self._assign_struct_copy(stmt)
+            return
         if isinstance(target, ast.VarRef):
             value = stmt.value
             if stmt.op is not None:
@@ -200,9 +319,18 @@ class _FunctionCompiler:
             addr_eval = lambda depth: self._eval_addr_index(target, depth)
         elif isinstance(target, ast.Unary) and target.op == "*":
             addr_eval = lambda depth: self._eval(target.operand, depth)
+        elif isinstance(target, ast.Member):
+            addr_eval = lambda depth: self._eval_addr_of(target, depth)
         else:
             raise CompileError("bad assignment target", stmt.line)
         if stmt.op is None:
+            if isinstance(target, ast.Member):
+                # value in r0, struct base address in r1, static field
+                # offset folded into the store's addressing mode.
+                self._eval(stmt.value, 0)
+                offset = self._member_addr(target, 1)
+                self.emit(Opcode.ST, Mem(Reg("r1"), offset), Reg("r0"))
+                return
             # value in r0, element address in r1.
             self._eval(stmt.value, 0)
             addr_eval(1)
@@ -241,6 +369,68 @@ class _FunctionCompiler:
             self.emit(Opcode.ST, Mem(Reg(_SCRATCH)), Reg("r0"))
             return
         raise CompileError("assignment to unknown variable %r" % name, line)
+
+    def _assign_struct_copy(self, stmt: ast.Assign) -> None:
+        """Whole-struct assignment: an unrolled word-by-word copy."""
+        target_type = self._static_type(stmt.target)
+        value_type = self._static_type(stmt.value)
+        if value_type != target_type:
+            raise CompileError(
+                "cannot assign %r to struct %r" % (value_type, target_type),
+                stmt.line)
+        size = self.module.structs[target_type].size
+        # Source struct address in r0, destination address in r1.
+        self._eval_struct_addr(stmt.value, 0)
+        self._eval_struct_addr(stmt.target, 1)
+        for index in range(size):
+            self.emit(Opcode.LD, Reg("r2"), Mem(Reg("r0"), index))
+            self.emit(Opcode.ST, Mem(Reg("r1"), index), Reg("r2"))
+
+    def _member_addr(self, expr: ast.Member, depth: int) -> int:
+        """Struct base address of ``base.f`` / ``base->f`` into
+        ``r{min(depth,2)}``; returns the field's static word offset
+        (folded through nested ``.``-chains) for the caller's
+        base+offset addressing mode."""
+        field = self._member_field(expr)
+        if expr.arrow:
+            # The pointer's value *is* the struct base address.
+            self._eval(expr.base, depth)
+            return field.offset
+        if isinstance(expr.base, ast.Member):
+            return self._member_addr(expr.base, depth) + field.offset
+        self._eval_struct_addr(expr.base, depth)
+        return field.offset
+
+    def _eval_struct_addr(self, expr: ast.Expr, depth: int) -> None:
+        """Address of a struct-typed lvalue into ``r{min(depth,2)}``."""
+        target = self._reg(depth)
+        if isinstance(expr, ast.VarRef):
+            slot = self.layout.slots.get(expr.name)
+            if slot is not None:
+                if slot.storage == "reg":
+                    raise CompileError(
+                        "internal: struct local %r in a register" % expr.name,
+                        expr.line)
+                self.emit(Opcode.BINOP, target, Reg("fp"), Imm(slot.offset),
+                          subop="add")
+                return
+            if expr.name in self.module.global_vars:
+                self.emit(Opcode.LEA, target, Label(expr.name))
+                return
+            raise CompileError("unknown variable %r" % expr.name, expr.line)
+        if isinstance(expr, ast.Member):
+            offset = self._member_addr(expr, depth)
+            if offset:
+                self.emit(Opcode.BINOP, target, target, Imm(offset),
+                          subop="add")
+            return
+        if isinstance(expr, ast.Unary) and expr.op == "*":
+            self._eval(expr.operand, depth)
+            return
+        if isinstance(expr, ast.Index):
+            self._eval_addr_index(expr, depth)
+            return
+        raise CompileError("expected a struct lvalue", expr.line)
 
     def _if(self, stmt: ast.If) -> None:
         else_label = self._new_label("else")
@@ -396,17 +586,50 @@ class _FunctionCompiler:
             self._eval_conditional(expr, depth)
         elif isinstance(expr, ast.Call):
             self._eval_call(expr, depth)
+        elif isinstance(expr, ast.Member):
+            self._eval_member(expr, depth)
+        elif isinstance(expr, ast.New):
+            self._eval_new(expr, depth)
+        elif isinstance(expr, ast.SizeOf):
+            self.emit(Opcode.MOV, target,
+                      Imm(type_size(expr.type_name, self.module.structs,
+                                    expr.line, expr.col)))
         else:
             raise CompileError("unsupported expression %r" % type(expr).__name__,
                                expr.line)
+
+    def _eval_member(self, expr: ast.Member, depth: int) -> None:
+        """``base->f`` / ``base.f`` rvalue: base+offset load through the
+        pointer register (a struct-valued field decays to its address)."""
+        target = self._reg(depth)
+        field = self._member_field(expr)
+        offset = self._member_addr(expr, depth)
+        if is_struct_value(field.type_name, self.module.structs):
+            if offset:
+                self.emit(Opcode.BINOP, target, target, Imm(offset),
+                          subop="add")
+            return
+        self.emit(Opcode.LD, target, Mem(target, offset))
+
+    def _eval_new(self, expr: ast.New, depth: int) -> None:
+        """``new T`` — ``malloc(sizeof(struct T))`` through the syscall."""
+        layout = self.module.structs.get(expr.type_name)
+        if layout is None:
+            raise CompileError("new of unknown struct %r" % expr.type_name,
+                               expr.line, expr.col)
+        call = ast.Call(line=expr.line, name="malloc",
+                        args=[ast.NumberLit(line=expr.line,
+                                            value=layout.size)])
+        self._eval_builtin(call, depth, BUILTINS["malloc"])
 
     def _eval_varref(self, expr: ast.VarRef, target: Reg) -> None:
         slot = self.layout.slots.get(expr.name)
         if slot is not None:
             if slot.storage == "reg":
                 self.emit(Opcode.MOV, target, Reg(slot.reg))
-            elif slot.array_size is not None:
-                # Array name decays to its base address.
+            elif (slot.array_size is not None
+                    or is_struct_value(slot.type_name, self.module.structs)):
+                # Array and struct-value names decay to their base address.
                 self.emit(Opcode.BINOP, target, Reg("fp"), Imm(slot.offset),
                           subop="add")
             else:
@@ -414,8 +637,10 @@ class _FunctionCompiler:
             return
         var = self.module.global_vars.get(expr.name)
         if var is not None:
+            gtype = self.module.global_types.get(expr.name, "int")
             self.emit(Opcode.LEA, target, Label(expr.name))
-            if not var.is_array:
+            if not var.is_array and not is_struct_value(gtype,
+                                                       self.module.structs):
                 self.emit(Opcode.LD, target, Mem(target))
             return
         if expr.name in self.module.function_names:
@@ -424,17 +649,27 @@ class _FunctionCompiler:
         raise CompileError("unknown variable %r" % expr.name, expr.line)
 
     def _eval_addr_index(self, expr: ast.Index, depth: int) -> None:
-        """Element address of ``base[index]`` into ``r{min(depth,2)}``."""
+        """Element address of ``base[index]`` into ``r{min(depth,2)}``.
+
+        Struct elements scale the index by the element word size.
+        """
         target = self._reg(depth)
+        element = self._peel_pointer(self._static_type(expr.base))
+        scale = type_size(element, self.module.structs, expr.line)
         self._eval_addr_base(expr.base, depth)
         if (isinstance(expr.index, ast.NumberLit)
                 and isinstance(expr.index.value, int)):
             if expr.index.value:
                 self.emit(Opcode.BINOP, target, target,
-                          Imm(expr.index.value), subop="add")
+                          Imm(expr.index.value * scale), subop="add")
             return
-        self._eval_spillsafe(expr.index, depth, lambda dest, a, b: self.emit(
-            Opcode.BINOP, dest, a, b, subop="add"))
+
+        def combine(dest, left, right):
+            if scale != 1:
+                self.emit(Opcode.BINOP, right, right, Imm(scale), subop="mul")
+            self.emit(Opcode.BINOP, dest, left, right, subop="add")
+
+        self._eval_spillsafe(expr.index, depth, combine)
 
     def _eval_addr_base(self, base: ast.Expr, depth: int) -> None:
         """Base address of an indexable expression into ``r{min(depth,2)}``."""
@@ -484,6 +719,12 @@ class _FunctionCompiler:
             return
         if isinstance(expr, ast.Unary) and expr.op == "*":
             self._eval(expr.operand, depth)
+            return
+        if isinstance(expr, ast.Member):
+            offset = self._member_addr(expr, depth)
+            if offset:
+                self.emit(Opcode.BINOP, target, target, Imm(offset),
+                          subop="add")
             return
         raise CompileError("cannot take address of this expression", expr.line)
 
@@ -587,14 +828,27 @@ class _FunctionCompiler:
                 if name != target.name]
         for reg in live:
             self.emit(Opcode.PUSH, reg)
-        # Args right-to-left so arg 0 ends at the top of the stack.
+        # Args right-to-left so arg 0 ends at the top of the stack.  A
+        # struct-by-value argument pushes all its words (last word first,
+        # so the callee sees them ascending from its parameter slot).
+        arg_words = 0
         for arg in reversed(expr.args):
+            arg_type = self._static_type(arg)
+            if is_struct_value(arg_type, self.module.structs):
+                size = self.module.structs[arg_type].size
+                self._eval_struct_addr(arg, 0)
+                for index in reversed(range(size)):
+                    self.emit(Opcode.LD, Reg("r1"), Mem(Reg("r0"), index))
+                    self.emit(Opcode.PUSH, Reg("r1"))
+                arg_words += size
+                continue
             self._eval(arg, 0)
             self.emit(Opcode.PUSH, Reg("r0"))
+            arg_words += 1
         self.emit(Opcode.CALL, Label(expr.name))
-        if expr.args:
+        if arg_words:
             self.emit(Opcode.BINOP, Reg("sp"), Reg("sp"),
-                      Imm(len(expr.args)), subop="add")
+                      Imm(arg_words), subop="add")
         if target.name != "r0":
             self.emit(Opcode.MOV, target, Reg("r0"))
         for reg in reversed(live):
@@ -626,7 +880,8 @@ class _FunctionCompiler:
             first = expr.args[0]
             is_func = (isinstance(first, ast.VarRef)
                        and first.name in self.module.function_names)
-            if not is_func and not isinstance(first, (ast.Index, ast.Unary)):
+            if not is_func and not isinstance(
+                    first, (ast.Index, ast.Unary, ast.Member)):
                 raise CompileError("spawn() needs a function or pointer",
                                    expr.line)
         self.emit(Opcode.SYS, subop=expr.name)
@@ -643,7 +898,11 @@ class ModuleCompiler:
         self.unit = unit
         self.program = Program(name=name)
         self.global_vars: Dict[str, GlobalVar] = {}
+        self.global_types: Dict[str, str] = {}
         self.function_names = {func.name for func in unit.functions}
+        self.signatures: Dict[str, str] = {
+            func.name: func.return_type for func in unit.functions}
+        self.structs = build_struct_table(unit.structs)
         self._table_id = 0
 
     def next_table_id(self) -> int:
@@ -652,7 +911,11 @@ class ModuleCompiler:
 
     def compile(self) -> Program:
         for decl in self.unit.globals:
-            size = decl.array_size or 1
+            if decl.type_name == "void":
+                raise CompileError("global %r cannot have type void"
+                                   % decl.name, decl.line)
+            element = type_size(decl.type_name, self.structs, decl.line)
+            size = (decl.array_size or 1) * element
             init = None
             if decl.init is not None:
                 if len(decl.init) > size:
@@ -664,6 +927,7 @@ class ModuleCompiler:
                             is_array=decl.array_size is not None)
             self.program.add_global(var)
             self.global_vars[decl.name] = var
+            self.global_types[decl.name] = decl.type_name
 
         labels_by_function: Dict[str, Dict[str, int]] = {}
         for func in self.unit.functions:

@@ -16,16 +16,17 @@ from repro.lang.errors import CompileError
 KEYWORDS = frozenset((
     "int", "float", "void", "if", "else", "while", "do", "for", "switch",
     "case", "default", "break", "continue", "return",
+    "struct", "new", "delete", "sizeof",
 ))
 
 #: Multi-character operators, longest first so maximal munch works.
 _MULTI_OPS = (
     "<<=", ">>=",
     "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
-    "++", "--",
+    "++", "--", "->",
     "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
 )
-_SINGLE_OPS = "+-*/%<>=!&|^~(){}[];,?:"
+_SINGLE_OPS = "+-*/%<>=!&|^~(){}[];,?:."
 
 
 @dataclass(frozen=True)

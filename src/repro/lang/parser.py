@@ -2,18 +2,26 @@
 
 Grammar (informally)::
 
-    unit      := (global | funcdef)*
+    unit      := (structdecl | global | funcdef)*
+    structdecl:= 'struct' ident '{' (type ident ';')* '}' ';'
+    type      := ('int' | 'float' | 'void' | 'struct' ident) '*'*
     global    := type ident ('[' int ']')? ('=' init)? ';'
     funcdef   := type ident '(' params? ')' block
     block     := '{' stmt* '}'
     stmt      := decl | assign ';' | exprstmt ';' | if | while | for
                | switch | 'break' ';' | 'continue' ';' | 'return' expr? ';'
-               | block
+               | 'delete' expr ';' | block
     assign    := lvalue '=' expr
-    expr      := ternary with C precedence; unary - ! ~ * & ; calls; indexing
+    expr      := ternary with C precedence; unary - ! ~ * & ; calls;
+                 indexing; member access '.' / '->'; 'new' ident;
+                 'sizeof' '(' type | ident ')'
 
-Assignment is a statement (not an expression), which keeps data flow in
-generated code easy to follow in slices.
+Struct types always use the ``struct`` keyword (C style, no typedefs),
+which keeps declarations unambiguous.  Type names are plain strings:
+``"int"``, ``"float"``, a struct name like ``"Node"``, and pointers
+append ``"*"`` (``"Node*"``).  Assignment is a statement (not an
+expression), which keeps data flow in generated code easy to follow in
+slices.
 """
 
 from __future__ import annotations
@@ -75,26 +83,79 @@ class _Parser:
                 token.line, token.col)
         return self.advance()
 
+    # -- types ---------------------------------------------------------------
+
+    def _parse_type(self) -> Tuple[str, Token]:
+        """A type: ``int`` / ``float`` / ``void`` / ``struct Name``, each
+        optionally followed by ``*``s.  Returns (type string, first token).
+        """
+        token = self.expect("kw")
+        if token.text == "struct":
+            name_token = self.expect("ident")
+            type_name = name_token.text
+        elif token.text in _TYPE_NAMES:
+            type_name = token.text
+        else:
+            raise CompileError("expected a type, found %r" % token.text,
+                               token.line, token.col)
+        while self.accept("op", "*"):
+            type_name += "*"
+        return type_name, token
+
+    def _at_type(self) -> bool:
+        token = self.peek()
+        return token.kind == "kw" and (token.text in _TYPE_NAMES
+                                       or token.text == "struct")
+
     # -- top level -----------------------------------------------------------
 
     def parse_unit(self) -> ast.TranslationUnit:
         unit = ast.TranslationUnit()
         while not self.check("eof"):
-            type_token = self.expect("kw")
-            if type_token.text not in _TYPE_NAMES:
-                raise CompileError("expected a type, found %r" % type_token.text,
-                                   type_token.line, type_token.col)
+            if (self.check("kw", "struct")
+                    and self.peek(1).kind == "ident"
+                    and self.peek(2).kind == "op"
+                    and self.peek(2).text == "{"):
+                unit.structs.append(self._parse_struct_decl())
+                continue
+            type_name, type_token = self._parse_type()
             name_token = self.expect("ident")
             if self.check("op", "("):
                 unit.functions.append(
-                    self._parse_funcdef(type_token, name_token))
+                    self._parse_funcdef(type_name, type_token, name_token))
             else:
                 unit.globals.append(
-                    self._parse_global(type_token, name_token))
+                    self._parse_global(type_name, type_token, name_token))
         return unit
 
-    def _parse_global(self, type_token: Token, name_token: Token) -> ast.GlobalDecl:
-        decl = ast.GlobalDecl(type_name=type_token.text, name=name_token.text,
+    def _parse_struct_decl(self) -> ast.StructDecl:
+        struct_token = self.advance()             # 'struct'
+        name_token = self.expect("ident")
+        decl = ast.StructDecl(name=name_token.text, line=struct_token.line)
+        self.expect("op", "{")
+        while not self.check("op", "}"):
+            ftype, ftoken = self._parse_type()
+            if ftype == "void":
+                raise CompileError("struct field cannot have type void",
+                                   ftoken.line, ftoken.col)
+            fname = self.expect("ident")
+            if self.check("op", "["):
+                raise CompileError(
+                    "array fields are not supported in structs",
+                    fname.line, fname.col)
+            self.expect("op", ";")
+            if any(existing == fname.text for _, existing in decl.fields):
+                raise CompileError(
+                    "duplicate field %r in struct %s"
+                    % (fname.text, decl.name), fname.line, fname.col)
+            decl.fields.append((ftype, fname.text))
+        self.expect("op", "}")
+        self.expect("op", ";")
+        return decl
+
+    def _parse_global(self, type_name: str, type_token: Token,
+                      name_token: Token) -> ast.GlobalDecl:
+        decl = ast.GlobalDecl(type_name=type_name, name=name_token.text,
                               line=type_token.line)
         if self.accept("op", "["):
             size_token = self.expect("int")
@@ -125,18 +186,19 @@ class _Parser:
         value = token.value
         return -value if negative else value
 
-    def _parse_funcdef(self, type_token: Token, name_token: Token) -> ast.FuncDef:
-        func = ast.FuncDef(name=name_token.text, return_type=type_token.text,
+    def _parse_funcdef(self, type_name: str, type_token: Token,
+                       name_token: Token) -> ast.FuncDef:
+        func = ast.FuncDef(name=name_token.text, return_type=type_name,
                            line=type_token.line)
         self.expect("op", "(")
         if not self.check("op", ")"):
             while True:
-                ptype = self.expect("kw")
-                if ptype.text not in ("int", "float"):
-                    raise CompileError("bad parameter type %r" % ptype.text,
-                                       ptype.line, ptype.col)
+                ptype, ptoken = self._parse_type()
+                if ptype == "void":
+                    raise CompileError("bad parameter type %r" % ptype,
+                                       ptoken.line, ptoken.col)
                 pname = self.expect("ident")
-                func.params.append((ptype.text, pname.text))
+                func.params.append((ptype, pname.text))
                 if not self.accept("op", ","):
                     break
         self.expect("op", ")")
@@ -158,8 +220,14 @@ class _Parser:
         if token.kind == "op" and token.text == "{":
             return self.parse_block()
         if token.kind == "kw":
-            if token.text in ("int", "float"):
+            if token.text in ("int", "float", "struct"):
                 return self._parse_local_decl()
+            if token.text == "delete":
+                self.advance()
+                target = self.parse_expr()
+                self.expect("op", ";")
+                return ast.Delete(line=token.line, target=target,
+                                  col=token.col)
             if token.text == "if":
                 return self._parse_if()
             if token.text == "while":
@@ -192,9 +260,12 @@ class _Parser:
         return stmt
 
     def _parse_local_decl(self) -> ast.LocalDecl:
-        type_token = self.advance()
+        type_name, type_token = self._parse_type()
+        if type_name == "void":
+            raise CompileError("local cannot have type void",
+                               type_token.line, type_token.col)
         name_token = self.expect("ident")
-        decl = ast.LocalDecl(type_name=type_token.text, name=name_token.text,
+        decl = ast.LocalDecl(type_name=type_name, name=name_token.text,
                              line=type_token.line)
         if self.accept("op", "["):
             size_token = self.expect("int")
@@ -359,11 +430,36 @@ class _Parser:
                 index = self.parse_expr()
                 self.expect("op", "]")
                 expr = ast.Index(line=expr.line, base=expr, index=index)
+            elif self.check("op", ".") or self.check("op", "->"):
+                arrow = self.advance().text == "->"
+                field_token = self.expect("ident")
+                expr = ast.Member(line=field_token.line, base=expr,
+                                  name=field_token.text, arrow=arrow,
+                                  col=field_token.col)
             else:
                 return expr
 
     def _parse_primary(self) -> ast.Expr:
         token = self.peek()
+        if token.kind == "kw" and token.text == "new":
+            self.advance()
+            name_token = self.expect("ident")
+            return ast.New(line=token.line, type_name=name_token.text,
+                           col=name_token.col)
+        if token.kind == "kw" and token.text == "sizeof":
+            self.advance()
+            self.expect("op", "(")
+            if self.check("ident"):
+                # Bare struct name, matching `new Name` (no keyword).
+                type_token = self.advance()
+                type_name = type_token.text
+                while self.accept("op", "*"):
+                    type_name += "*"
+            else:
+                type_name, type_token = self._parse_type()
+            self.expect("op", ")")
+            return ast.SizeOf(line=token.line, type_name=type_name,
+                              col=type_token.col)
         if token.kind in ("int", "float"):
             self.advance()
             return ast.NumberLit(line=token.line, value=token.value)

@@ -33,6 +33,94 @@ PARAM_BASE_OFFSET = 2
 
 
 @dataclass
+class StructField:
+    """One named field: its word offset inside the struct and word size."""
+
+    name: str
+    type_name: str
+    offset: int
+    size: int
+
+
+@dataclass
+class StructLayout:
+    """Field offsets and total word size of one ``struct`` declaration."""
+
+    name: str
+    fields: Dict[str, StructField] = field(default_factory=dict)
+    size: int = 0
+
+
+def is_struct_value(type_name: str, structs: Dict[str, StructLayout]) -> bool:
+    """True for a struct *by value* (not a pointer to one)."""
+    return not type_name.endswith("*") and type_name in structs
+
+
+def type_size(type_name: str, structs: Dict[str, StructLayout],
+              line: Optional[int] = None, col: Optional[int] = None) -> int:
+    """Word size of a type: scalars and pointers are one word; a struct
+    by value is the sum of its field sizes."""
+    if type_name.endswith("*"):
+        return 1
+    if type_name in ("int", "float", "void"):
+        return 1
+    layout = structs.get(type_name)
+    if layout is None:
+        raise CompileError("unknown struct type %r" % type_name, line, col)
+    return layout.size
+
+
+def build_struct_table(
+        decls: List[ast.StructDecl]) -> Dict[str, StructLayout]:
+    """Resolve field offsets and sizes for every ``struct`` declaration.
+
+    Pointer fields are one word regardless of pointee; struct-by-value
+    fields embed the nested struct at a cumulative offset.  Recursive
+    by-value embedding is rejected (the size would be infinite) — use a
+    pointer field, which is how the workloads build lists and trees.
+    """
+    by_name: Dict[str, ast.StructDecl] = {}
+    for decl in decls:
+        if decl.name in by_name:
+            raise CompileError("duplicate struct %r" % decl.name, decl.line)
+        by_name[decl.name] = decl
+
+    table: Dict[str, StructLayout] = {}
+    resolving: List[str] = []
+
+    def resolve(name: str, line: int) -> StructLayout:
+        done = table.get(name)
+        if done is not None:
+            return done
+        decl = by_name.get(name)
+        if decl is None:
+            raise CompileError("unknown struct type %r" % name, line)
+        if name in resolving:
+            raise CompileError(
+                "recursive struct %r embeds itself by value "
+                "(use a pointer field)" % name, decl.line)
+        resolving.append(name)
+        layout = StructLayout(name=name)
+        offset = 0
+        for ftype, fname in decl.fields:
+            if ftype.endswith("*") or ftype in ("int", "float"):
+                size = 1
+            else:
+                size = resolve(ftype, decl.line).size
+            layout.fields[fname] = StructField(
+                name=fname, type_name=ftype, offset=offset, size=size)
+            offset += size
+        layout.size = max(offset, 1)
+        resolving.pop()
+        table[name] = layout
+        return layout
+
+    for decl in decls:
+        resolve(decl.name, decl.line)
+    return table
+
+
+@dataclass
 class LocalSlot:
     """Where one local lives."""
 
@@ -42,6 +130,7 @@ class LocalSlot:
     offset: int = 0              # fp-relative, for "stack"/"param"
     array_size: Optional[int] = None
     type_name: str = "int"
+    size: int = 1                # word size (struct values occupy several)
 
 
 @dataclass
@@ -113,21 +202,32 @@ def _walk_address_taken(func: ast.FuncDef) -> Set[str]:
     return taken
 
 
-def layout_function(func: ast.FuncDef) -> FunctionLayout:
+def layout_function(func: ast.FuncDef,
+                    structs: Optional[Dict[str, StructLayout]] = None
+                    ) -> FunctionLayout:
     """Compute the storage layout for ``func``.
+
+    Struct-valued locals live on the stack occupying their full word
+    size; struct-valued parameters are passed by value (the caller
+    pushes every word), so parameter offsets accumulate by size.
+    Pointer-typed scalars register-allocate exactly like ints.
 
     Raises :class:`CompileError` on duplicate locals or param shadowing.
     """
+    structs = structs or {}
     layout = FunctionLayout(name=func.name)
     taken = _walk_address_taken(func)
 
-    for index, (ptype, pname) in enumerate(func.params):
+    param_offset = PARAM_BASE_OFFSET
+    for ptype, pname in func.params:
         if pname in layout.slots:
             raise CompileError("duplicate parameter %r" % pname, func.line)
+        psize = type_size(ptype, structs, func.line)
         layout.slots[pname] = LocalSlot(
             name=pname, storage="param",
-            offset=PARAM_BASE_OFFSET + index, type_name=ptype)
+            offset=param_offset, type_name=ptype, size=psize)
         layout.params.append(pname)
+        param_offset += psize
 
     decls: List[ast.LocalDecl] = []
     if func.body is not None:
@@ -139,25 +239,31 @@ def layout_function(func: ast.FuncDef) -> FunctionLayout:
         if decl.name in layout.slots:
             raise CompileError(
                 "duplicate local %r in %s" % (decl.name, func.name), decl.line)
-        if (decl.array_size is None and decl.name not in taken and free_regs):
+        size = type_size(decl.type_name, structs, decl.line)
+        struct_value = is_struct_value(decl.type_name, structs)
+        if (decl.array_size is None and not struct_value
+                and decl.name not in taken and free_regs):
             reg = free_regs.pop(0)
             layout.slots[decl.name] = LocalSlot(
                 name=decl.name, storage="reg", reg=reg,
                 type_name=decl.type_name)
             layout.used_callee_saved.append(reg)
         elif decl.array_size is None:
+            base_offset = -(cursor + size - 1)
             layout.slots[decl.name] = LocalSlot(
-                name=decl.name, storage="stack", offset=-cursor,
-                type_name=decl.type_name)
-            cursor += 1
+                name=decl.name, storage="stack", offset=base_offset,
+                type_name=decl.type_name, size=size)
+            cursor += size
         else:
             if decl.array_size <= 0:
                 raise CompileError(
                     "array %r must have positive size" % decl.name, decl.line)
-            base_offset = -(cursor + decl.array_size - 1)
+            words = decl.array_size * size
+            base_offset = -(cursor + words - 1)
             layout.slots[decl.name] = LocalSlot(
                 name=decl.name, storage="stack", offset=base_offset,
-                array_size=decl.array_size, type_name=decl.type_name)
-            cursor += decl.array_size
+                array_size=decl.array_size, type_name=decl.type_name,
+                size=size)
+            cursor += words
     layout.stack_words = cursor - 1
     return layout

@@ -316,7 +316,8 @@ def record_region(program: Program,
                   engine: Optional[str] = None,
                   stream_path: Optional[str] = None,
                   pinball_format: Optional[str] = None,
-                  checkpoint_interval: Optional[int] = None) -> Pinball:
+                  checkpoint_interval: Optional[int] = None,
+                  heap_poison: bool = False) -> Pinball:
     """Log a region of a fresh run of ``program`` into a pinball.
 
     ``scheduler`` drives the interleaving of the *recording* run (e.g. a
@@ -338,6 +339,11 @@ def record_region(program: Program,
     only) streams frames to that file during recording — the returned
     pinball is the lazily-opened file, and peak memory stays flat in
     region length.
+
+    ``heap_poison`` enables the allocator's poison-on-free mode for the
+    recorded run (see :class:`repro.vm.memory.Memory`); the flag rides
+    in the region snapshot, so replays reproduce the poisoned reads
+    exactly.
     """
     region = region or RegionSpec()
     fmt = config.pinball_format(explicit=pinball_format)
@@ -348,7 +354,8 @@ def record_region(program: Program,
     if stream_path is not None and fmt != "v2":
         raise ValueError("stream_path requires pinball format v2")
     machine = Machine(program, scheduler=scheduler, inputs=inputs,
-                      rand_seed=rand_seed, engine=engine)
+                      rand_seed=rand_seed, engine=engine,
+                      heap_poison=heap_poison)
     if region.skip:
         with OBS.span("pinplay.fast_forward"):
             _fast_forward(machine, region.skip)

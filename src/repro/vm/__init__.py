@@ -19,12 +19,13 @@ those, which is what makes pinball-based replay exact.
 from repro.vm.errors import (
     AssertionFailure,
     DeadlockError,
+    HeapError,
     ReplayDivergence,
     VMError,
 )
 from repro.vm.hooks import InstrEvent, SyscallEvent, Tool
 from repro.vm.machine import Machine, MachineSnapshot, RunResult
-from repro.vm.memory import Memory
+from repro.vm.memory import HEAP_POISON, Memory
 from repro.vm.scheduler import (
     PriorityScheduler,
     RandomScheduler,
@@ -37,6 +38,8 @@ from repro.vm.thread import ThreadContext, ThreadStatus
 __all__ = [
     "AssertionFailure",
     "DeadlockError",
+    "HEAP_POISON",
+    "HeapError",
     "InstrEvent",
     "Machine",
     "MachineSnapshot",

@@ -34,6 +34,13 @@ class DeadlockError(VMError):
     """All live threads are blocked; nothing can make progress."""
 
 
+class HeapError(VMError):
+    """A heap-discipline fault: freeing an address that is not the base
+    of a live allocation (double free, free of garbage, free of an
+    interior pointer).  Loud and deterministic, so heap-bug analogs fail
+    the same way on record and on every replay."""
+
+
 class ReplayDivergence(VMError):
     """Deterministic replay observed state inconsistent with the pinball.
 

@@ -107,7 +107,8 @@ class Machine:
                  rand_seed: int = 0,
                  syscall_injector: Optional[Callable[[str, int], Optional[Word]]] = None,
                  start_main: bool = True,
-                 engine: Optional[str] = None) -> None:
+                 engine: Optional[str] = None,
+                 heap_poison: bool = False) -> None:
         self.program = program
         self.instructions = program.instructions
         self.engine = engine if engine is not None else default_engine()
@@ -126,7 +127,8 @@ class Machine:
         #: Tids currently blocked in a sleep; lets the hot loop skip the
         #: all-threads sleeper scan when nobody is sleeping.
         self._sleeping: set = set()
-        self.memory = Memory(heap_base=program.data_size)
+        self.memory = Memory(heap_base=program.data_size,
+                             poison_freed=heap_poison)
         self.memory.load_image(program.initial_data_image())
         self.scheduler = scheduler or RoundRobinScheduler()
         self.scheduler.attach(self)

@@ -9,9 +9,9 @@ guarantees.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Tuple, Union
+from typing import Dict, Iterator, List, Optional, Tuple, Union
 
-from repro.vm.errors import VMError
+from repro.vm.errors import HeapError, VMError
 
 Word = Union[int, float]
 
@@ -20,14 +20,27 @@ ADDRESS_SPACE_TOP = 1 << 22
 #: Words reserved per thread stack.
 STACK_SIZE = 1 << 14
 
+#: The value poison mode fills freed blocks with (0xDEADBEEF as a signed
+#: 32-bit word).  Distinctive enough that a guest assertion can test for
+#: it, and nonzero so the sparse store keeps the words resident.
+HEAP_POISON = -559038737
+
 
 class Memory:
-    """Sparse word memory plus heap allocation state."""
+    """Sparse word memory plus heap allocation state.
 
-    def __init__(self, heap_base: int) -> None:
+    With ``poison_freed`` enabled, :meth:`free` overwrites every word of
+    the released block with :data:`HEAP_POISON` — a use-after-free then
+    reads a loud, recognizable value instead of silently stale data, and
+    does so *deterministically* on record and on every replay (the flag
+    rides in the snapshot).
+    """
+
+    def __init__(self, heap_base: int, poison_freed: bool = False) -> None:
         self._words: Dict[int, Word] = {}
         self.heap_base = heap_base
         self.heap_next = heap_base
+        self.poison_freed = poison_freed
         # Free list: size -> list of base addresses available for reuse.
         self._free: Dict[int, List[int]] = {}
         # Block sizes for free(); addr -> size.
@@ -69,18 +82,34 @@ class Memory:
         self._block_sizes[addr] = size
         return addr
 
-    def free(self, addr: int) -> None:
+    def free(self, addr: int) -> Optional[List[Tuple[int, Word]]]:
+        """Release a block; returns the poison writes performed (address,
+        value pairs) when poison mode is on, else None.
+
+        The caller (the ``free`` syscall) attributes those writes to the
+        freeing instruction, so a slice of a use-after-free read reaches
+        the ``delete`` site through an ordinary memory dependence.
+        """
         size = self._block_sizes.pop(addr, None)
         if size is None:
-            raise VMError("free of unallocated address %d" % addr)
+            raise HeapError("free of unallocated address %d" % addr)
         self._free.setdefault(size, []).append(addr)
+        if not self.poison_freed:
+            return None
+        writes: List[Tuple[int, Word]] = []
+        for offset in range(size):
+            self._words[addr + offset] = HEAP_POISON
+            writes.append((addr + offset, HEAP_POISON))
+        return writes
 
     # -- snapshot / restore ----------------------------------------------------
 
     def snapshot(self) -> dict:
         """JSON-serializable state for region pinballs (pair lists, since
-        JSON cannot carry int-keyed dicts)."""
-        return {
+        JSON cannot carry int-keyed dicts).  The poison flag is only
+        present when enabled, so pinballs of ordinary runs are
+        byte-identical to those recorded before the flag existed."""
+        snap = {
             "words": sorted(self._words.items()),
             "heap_base": self.heap_base,
             "heap_next": self.heap_next,
@@ -88,10 +117,14 @@ class Memory:
                            for size, addrs in self._free.items()),
             "block_sizes": sorted(self._block_sizes.items()),
         }
+        if self.poison_freed:
+            snap["poison"] = True
+        return snap
 
     @classmethod
     def from_snapshot(cls, snap: dict) -> "Memory":
-        memory = cls(heap_base=snap["heap_base"])
+        memory = cls(heap_base=snap["heap_base"],
+                     poison_freed=bool(snap.get("poison", False)))
         memory._words = {int(addr): value for addr, value in snap["words"]}
         memory.heap_next = snap["heap_next"]
         memory._free = {int(size): [int(a) for a in addrs]

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Optional, Union
 
-from repro.vm.errors import VMError
+from repro.vm.errors import HeapError, VMError
 from repro.vm.thread import ThreadStatus
 
 Word = Union[int, float]
@@ -107,8 +107,22 @@ def sys_malloc(machine, thread) -> Word:
 
 
 def sys_free(machine, thread) -> None:
-    """``free(addr)`` — heap release."""
-    machine.memory.free(int(thread.regs["r0"]))
+    """``free(addr)`` — heap release.
+
+    In poison mode the allocator fills the block with
+    :data:`~repro.vm.memory.HEAP_POISON`; those writes are deposited
+    into ``machine._cur_mem_writes`` (the same channel ``spawn`` uses
+    for the child's argument slot), so every engine attributes them to
+    this instruction and a use-after-free slice lands on the freeing
+    ``delete`` site through an ordinary memory dependence.
+    """
+    addr = int(thread.regs["r0"])
+    try:
+        poison_writes = machine.memory.free(addr)
+    except HeapError as exc:
+        raise HeapError(str(exc), tid=thread.tid, pc=thread.pc) from None
+    if poison_writes and machine._cur_mem_writes is not None:
+        machine._cur_mem_writes.extend(poison_writes)
     return None
 
 

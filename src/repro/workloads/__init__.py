@@ -11,11 +11,23 @@ Three families, matching the paper's experimental setup:
   parameter that scales the main-thread region length;
 * :mod:`~repro.workloads.specomp` — five call-dense numeric kernels
   standing in for the SPECOMP programs of Figure 13 (deep call chains
-  maximize save/restore pairs, the pruning opportunity).
+  maximize save/restore pairs, the pruning opportunity);
+* :mod:`~repro.workloads.pointers` — pointer-chasing kernels over
+  heap-allocated structs (linked lists, binary trees, a chained hash
+  table) plus two heap-bug analogs (use-after-free under poison mode,
+  dangling pointer after free-list reuse).
 """
 
 from repro.workloads.bugs import BUG_WORKLOADS, BugWorkload, get_bug
 from repro.workloads.parsec import PARSEC_KERNELS, ParsecKernel, get_parsec
+from repro.workloads.pointers import (
+    POINTER_BUGS,
+    POINTER_KERNELS,
+    PointerBug,
+    PointerKernel,
+    get_pointer,
+    get_pointer_bug,
+)
 from repro.workloads.specomp import SPECOMP_KERNELS, SpecOmpKernel, get_specomp
 from repro.workloads.util import PhaseMarkerTool, find_marker_skip
 
@@ -23,12 +35,18 @@ __all__ = [
     "BUG_WORKLOADS",
     "BugWorkload",
     "PARSEC_KERNELS",
+    "POINTER_BUGS",
+    "POINTER_KERNELS",
     "ParsecKernel",
     "PhaseMarkerTool",
+    "PointerBug",
+    "PointerKernel",
     "SPECOMP_KERNELS",
     "SpecOmpKernel",
     "find_marker_skip",
     "get_bug",
     "get_parsec",
+    "get_pointer",
+    "get_pointer_bug",
     "get_specomp",
 ]

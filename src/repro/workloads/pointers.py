@@ -1,0 +1,426 @@
+"""Pointer-chasing workloads over heap-allocated structs.
+
+A fourth workload family, exercising the struct/heap/recursion surface
+of MiniC the way the PARSEC family exercises arrays and locks:
+
+* **kernels** — scalable multithreaded pointer chasers built on
+  ``new``/``delete`` and ``->`` field access: per-worker linked lists
+  (``list_chase``), recursively built and summed binary search trees
+  (``tree_sum``), and a struct-based chained hash table (``hashchain``
+  — the Mozilla Table-1 analog's hash table rewritten natively with
+  heap-allocated chain entries instead of a flat int array);
+* **bug analogs** — two more Table-1-style heap bugs: a use-after-free
+  where a walker races a reaper freeing the list out from under it
+  (``uaf_chase``, needs the allocator's poison-on-free mode so the
+  stale read is loud), and a dangling pointer read through a struct
+  field after the allocator reuses the freed block for a fresh object
+  (``dangle_reuse``, needs no poison — deterministic free-list reuse
+  by exact size makes the recycled object land at the old address).
+
+Kernels mirror :class:`~repro.workloads.parsec.ParsecKernel`'s
+interface (``units`` scales per-thread work, ``nthreads`` counts active
+threads, main participates as worker 0); bug analogs mirror
+:class:`~repro.workloads.bugs.BugWorkload` (warmup phase, phase
+markers, ``expose()`` seed search) with one extension: a workload can
+demand heap poisoning, which ``expose`` threads through
+:func:`~repro.pinplay.logger.record_region` so the flag rides in the
+pinball and replays reproduce the poisoned reads exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.isa.program import Program
+from repro.lang import compile_source
+from repro.pinplay.logger import record_region
+from repro.pinplay.pinball import Pinball
+from repro.pinplay.regions import RegionSpec
+from repro.vm.scheduler import RandomScheduler
+from repro.workloads.bugs import BugWorkload
+
+
+@dataclass
+class PointerKernel:
+    """One scalable multithreaded pointer-chasing kernel."""
+
+    name: str
+    description: str
+    source_template: str
+    defaults: dict = field(default_factory=dict)
+
+    def source(self, units: int = 50, nthreads: int = 4, **overrides) -> str:
+        params = dict(self.defaults)
+        params.update({"units": units, "nworkers": nthreads - 1})
+        params.update(overrides)
+        return self.source_template % params
+
+    def build(self, units: int = 50, nthreads: int = 4,
+              **overrides) -> Program:
+        return compile_source(self.source(units, nthreads, **overrides),
+                              name=self.name)
+
+
+@dataclass
+class PointerBug(BugWorkload):
+    """A heap-bug analog; may require the allocator's poison mode."""
+
+    heap_poison: bool = False
+
+    def expose(self, program: Program, seeds=range(64),
+               region: Optional[RegionSpec] = None
+               ) -> Tuple[Optional[Pinball], Optional[int]]:
+        """Like :meth:`BugWorkload.expose`, with poison mode threaded
+        through to the recording machine."""
+        for seed in seeds:
+            pinball = record_region(
+                program,
+                RandomScheduler(seed=seed, switch_prob=self.switch_prob),
+                region or RegionSpec(),
+                heap_poison=self.heap_poison)
+            failure = pinball.meta.get("failure")
+            if failure and failure["code"] == self.failure_code:
+                return pinball, seed
+        return None, None
+
+
+_PTR_MAIN = r"""
+int main() {
+    int tids[8];
+    int i; int acc;
+    for (i = 0; i < %(nworkers)d; i = i + 1) {
+        tids[i] = spawn(worker, i + 1);
+    }
+    acc = worker(0);
+    for (i = 0; i < %(nworkers)d; i = i + 1) {
+        acc = acc + join(tids[i]);
+    }
+    print(total);
+    print(acc);
+    return 0;
+}
+"""
+
+_LIST_CHASE = r"""
+struct Node { int value; struct Node* next; };
+
+int acc_mut;
+int total;
+
+int worker(int wid) {
+    struct Node* head; struct Node* n; struct Node* nx;
+    int u; int sum;
+    head = 0;
+    for (u = 0; u < %(units)d; u = u + 1) {
+        n = new Node;
+        n->value = u * 3 + wid;
+        n->next = head;
+        head = n;
+    }
+    sum = 0;
+    n = head;
+    while (n != 0) {
+        sum = sum + n->value;
+        n = n->next;
+    }
+    n = head;
+    while (n != 0) {
+        nx = n->next;
+        delete n;
+        n = nx;
+    }
+    lock(&acc_mut);
+    total = total + sum;
+    unlock(&acc_mut);
+    return 1;
+}
+""" + _PTR_MAIN
+
+_TREE_SUM = r"""
+struct Tree { int key; struct Tree* left; struct Tree* right; };
+
+int acc_mut;
+int total;
+
+struct Tree* insert(struct Tree* t, int key) {
+    if (t == 0) {
+        t = new Tree;
+        t->key = key;
+        t->left = 0;
+        t->right = 0;
+        return t;
+    }
+    if (key < t->key) {
+        t->left = insert(t->left, key);
+    } else {
+        t->right = insert(t->right, key);
+    }
+    return t;
+}
+
+int sum_tree(struct Tree* t) {
+    if (t == 0) { return 0; }
+    return t->key + sum_tree(t->left) + sum_tree(t->right);
+}
+
+int drop_tree(struct Tree* t) {
+    if (t == 0) { return 0; }
+    drop_tree(t->left);
+    drop_tree(t->right);
+    delete t;
+    return 1;
+}
+
+int worker(int wid) {
+    struct Tree* root;
+    int u; int sum;
+    root = 0;
+    for (u = 0; u < %(units)d; u = u + 1) {
+        root = insert(root, (u * 37 + wid * 101) %% 1024);
+    }
+    sum = sum_tree(root);
+    drop_tree(root);
+    lock(&acc_mut);
+    total = total + sum;
+    unlock(&acc_mut);
+    return 1;
+}
+""" + _PTR_MAIN
+
+_HASHCHAIN = r"""
+struct Entry { int key; int value; struct Entry* next; };
+
+struct Entry* buckets[64];
+int table_mut;
+int acc_mut;
+int total;
+
+int htput(int key, int value) {
+    int b; struct Entry* e;
+    b = key %% 64;
+    e = buckets[b];
+    while (e != 0) {
+        if (e->key == key) {
+            e->value = e->value + value;
+            return 0;
+        }
+        e = e->next;
+    }
+    e = new Entry;
+    e->key = key;
+    e->value = value;
+    e->next = buckets[b];
+    buckets[b] = e;
+    return 1;
+}
+
+int htget(int key) {
+    int b; struct Entry* e;
+    b = key %% 64;
+    e = buckets[b];
+    while (e != 0) {
+        if (e->key == key) { return e->value; }
+        e = e->next;
+    }
+    return 0;
+}
+
+int worker(int wid) {
+    int u; int k; int sum;
+    sum = 0;
+    for (u = 0; u < %(units)d; u = u + 1) {
+        k = (u * 13 + wid * 57) %% 192;
+        lock(&table_mut);
+        htput(k, u %% 9 + 1);
+        sum = sum + htget(k);
+        unlock(&table_mut);
+    }
+    lock(&acc_mut);
+    total = total + sum;
+    unlock(&acc_mut);
+    return 1;
+}
+""" + _PTR_MAIN
+
+_UAF_CHASE_SOURCE = r"""
+struct Node { int value; struct Node* next; };
+
+struct Node* head;
+int poison;
+int walked;
+int warmup_sink;
+
+int walker(int rounds) {
+    struct Node* n; struct Node* nx;
+    int r; int v;
+    for (r = 0; r < rounds; r = r + 1) {
+        n = head;
+        while (n != 0) {
+            v = n->value;
+            nx = n->next;
+            assert(v != poison, 104);
+            walked = walked + v;
+            yield();
+            if (nx > 0) { n = nx; } else { n = 0; }
+        }
+    }
+    return 0;
+}
+
+int reaper(int work) {
+    struct Node* n; struct Node* nx;
+    int i; int spin;
+    spin = 0;
+    for (i = 0; i < work; i = i + 1) {
+        spin = spin + (i & 31);
+    }
+    n = head;
+    while (n != 0) {
+        nx = n->next;
+        delete n;
+        n = nx;
+    }
+    return spin;
+}
+
+int main() {
+    struct Node* n;
+    int tw; int tr; int i;
+    poison = 0 - 559038737;
+    for (i = 0; i < %(warmup)d; i = i + 1) {
+        warmup_sink = warmup_sink + (i ^ (i >> 2));
+    }
+    print(-1000001);
+    head = 0;
+    for (i = 0; i < %(nodes)d; i = i + 1) {
+        n = new Node;
+        n->value = i + 1;
+        n->next = head;
+        head = n;
+    }
+    print(-1000002);
+    tw = spawn(walker, %(rounds)d);
+    tr = spawn(reaper, %(reap_work)d);
+    join(tw);
+    join(tr);
+    print(walked);
+    return 0;
+}
+"""
+
+_DANGLE_REUSE_SOURCE = r"""
+struct Slot { int tag; int payload; };
+
+struct Slot* shared;
+struct Slot* fresh;
+int observed;
+int warmup_sink;
+
+int reader(int rounds) {
+    struct Slot* q;
+    int r; int t; int v;
+    q = shared;
+    for (r = 0; r < rounds; r = r + 1) {
+        t = q->tag;
+        v = q->payload;
+        assert(t == 7, 105);
+        observed = observed + v;
+        yield();
+    }
+    return 0;
+}
+
+int recycler(int work) {
+    int i; int spin;
+    spin = 0;
+    for (i = 0; i < work; i = i + 1) {
+        spin = spin + (i * 3 & 63);
+    }
+    delete shared;
+    fresh = new Slot;
+    fresh->tag = 9;
+    fresh->payload = 1;
+    return spin;
+}
+
+int main() {
+    int tr; int tc; int i;
+    for (i = 0; i < %(warmup)d; i = i + 1) {
+        warmup_sink = warmup_sink + (i * 5 %% 23);
+    }
+    print(-1000001);
+    shared = new Slot;
+    shared->tag = 7;
+    shared->payload = 42;
+    print(-1000002);
+    tr = spawn(reader, %(rounds)d);
+    tc = spawn(recycler, %(recycle_work)d);
+    join(tr);
+    join(tc);
+    print(observed);
+    return 0;
+}
+"""
+
+
+POINTER_KERNELS: Dict[str, PointerKernel] = {
+    "list_chase": PointerKernel(
+        "list_chase",
+        "Per-worker linked lists: build, chase-sum, then delete",
+        _LIST_CHASE),
+    "tree_sum": PointerKernel(
+        "tree_sum",
+        "Binary search trees: recursive insert, recursive sum, "
+        "recursive teardown",
+        _TREE_SUM),
+    "hashchain": PointerKernel(
+        "hashchain",
+        "Chained hash table with heap-allocated struct entries "
+        "(the Mozilla analog's table, rewritten natively)",
+        _HASHCHAIN),
+}
+
+POINTER_BUGS: Dict[str, PointerBug] = {
+    "uaf_chase": PointerBug(
+        name="uaf_chase",
+        description="Linked-list walker racing a reaper's deletes",
+        bug_analog_of=("Use-after-free: one thread frees the list's nodes "
+                       "while another still chases them; with "
+                       "poison-on-free the stale read returns HEAP_POISON "
+                       "and the symptom assert fires"),
+        source_template=_UAF_CHASE_SOURCE,
+        failure_code=104,
+        defaults={"warmup": 400, "nodes": 24, "rounds": 3,
+                  "reap_work": 150},
+        heap_poison=True,
+    ),
+    "dangle_reuse": PointerBug(
+        name="dangle_reuse",
+        description="Dangling struct pointer read after block reuse",
+        bug_analog_of=("Dangling pointer: the allocator's exact-size "
+                       "free list hands the freed Slot's address to a "
+                       "fresh allocation, so a stale pointer reads the "
+                       "new object's fields (realloc-style reuse)"),
+        source_template=_DANGLE_REUSE_SOURCE,
+        failure_code=105,
+        defaults={"warmup": 400, "rounds": 24, "recycle_work": 35},
+        heap_poison=False,
+    ),
+}
+
+
+def get_pointer(name: str) -> PointerKernel:
+    try:
+        return POINTER_KERNELS[name]
+    except KeyError:
+        raise KeyError("unknown pointer kernel %r (have: %s)"
+                       % (name, sorted(POINTER_KERNELS)))
+
+
+def get_pointer_bug(name: str) -> PointerBug:
+    try:
+        return POINTER_BUGS[name]
+    except KeyError:
+        raise KeyError("unknown pointer bug %r (have: %s)"
+                       % (name, sorted(POINTER_BUGS)))

@@ -1,0 +1,171 @@
+"""Recursion regression tests: MiniC functions are first-class
+recursive — deep self-recursion, mutual recursion, recursion inside
+spawned threads, and save/restore pruning across recursive frames."""
+
+from repro.lang import compile_source
+from repro.pinplay import RegionSpec, record_region, replay
+from repro.slicing import SliceOptions, TraceCollector
+from repro.vm import RoundRobinScheduler
+
+from tests.conftest import run_and_output
+
+
+class TestSelfRecursion:
+    def test_factorial(self):
+        assert run_and_output("""
+int fact(int n) {
+    if (n < 2) { return 1; }
+    return n * fact(n - 1);
+}
+int main() { print(fact(10)); return 0; }
+""") == [3628800]
+
+    def test_fibonacci_tree_recursion(self):
+        assert run_and_output("""
+int fib(int n) {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+int main() { print(fib(15)); return 0; }
+""") == [610]
+
+    def test_deep_recursion_hundreds_of_frames(self):
+        assert run_and_output("""
+int down(int n) {
+    if (n == 0) { return 0; }
+    return 1 + down(n - 1);
+}
+int main() { print(down(500)); return 0; }
+""") == [500]
+
+    def test_recursion_with_locals_per_frame(self):
+        """Each frame's locals must be independent (no static storage)."""
+        assert run_and_output("""
+int mix(int n) {
+    int here; int below;
+    here = n * n;
+    if (n == 0) { return 0; }
+    below = mix(n - 1);
+    return here + below;
+}
+int main() { print(mix(6)); return 0; }
+""") == [91]
+
+    def test_recursive_struct_walk(self):
+        assert run_and_output("""
+struct Node { int v; struct Node* next; };
+int length(struct Node* n) {
+    if (n == 0) { return 0; }
+    return 1 + length(n->next);
+}
+int main() {
+    struct Node* head; struct Node* n;
+    int i;
+    head = 0;
+    for (i = 0; i < 7; i = i + 1) {
+        n = new Node;
+        n->next = head;
+        head = n;
+    }
+    print(length(head));
+    return 0;
+}
+""") == [7]
+
+
+class TestMutualRecursion:
+    def test_even_odd(self):
+        assert run_and_output("""
+int is_even(int n) {
+    if (n == 0) { return 1; }
+    return is_odd(n - 1);
+}
+int is_odd(int n) {
+    if (n == 0) { return 0; }
+    return is_even(n - 1);
+}
+int main() {
+    print(is_even(10));
+    print(is_odd(10));
+    print(is_even(7));
+    return 0;
+}
+""") == [1, 0, 0]
+
+
+class TestRecursionUnderThreads:
+    def test_recursive_workers(self):
+        assert run_and_output("""
+int fib(int n) {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+int worker(int n) { return fib(n); }
+int main() {
+    int t1; int t2; int total;
+    t1 = spawn(worker, 10);
+    t2 = spawn(worker, 11);
+    total = fib(9) + join(t1) + join(t2);
+    print(total);
+    return 0;
+}
+""") == [34 + 55 + 89]
+
+    def test_independent_stacks(self):
+        """Deep recursion in one thread must not disturb another's."""
+        assert run_and_output("""
+int down(int n) {
+    if (n == 0) { return 0; }
+    return 1 + down(n - 1);
+}
+int worker(int n) { return down(n); }
+int main() {
+    int t;
+    t = spawn(worker, 300);
+    print(down(200));
+    print(join(t));
+    return 0;
+}
+""") == [200, 300]
+
+
+class TestSaveRestoreOnRecursiveFrames:
+    def _collect(self, source):
+        program = compile_source(source)
+        pinball = record_region(program, RoundRobinScheduler(), RegionSpec())
+        collector = TraceCollector(program, SliceOptions(max_save=10))
+        replay(pinball, program, tools=[collector], verify=False)
+        return collector
+
+    def test_pairs_verified_once_per_recursive_frame(self):
+        depth = 12
+        collector = self._collect("""
+int down(int n) {
+    int t;
+    if (n == 0) { return 0; }
+    t = down(n - 1);
+    return 1 + t;
+}
+int main() { return down(%d); }
+""" % depth)
+        detector = collector.save_restore
+        # Every one of the depth+1 dynamic calls to down() verifies at
+        # least its fp push/pop, plus main's own pair.
+        assert detector.pair_count >= depth + 2
+
+    def test_interleaved_frames_pair_correctly(self):
+        """Tree recursion interleaves save/restore pairs from sibling
+        calls; each restore must link to *its* frame's save."""
+        collector = self._collect("""
+int fib(int n) {
+    int a; int b;
+    if (n < 2) { return n; }
+    a = fib(n - 1);
+    b = fib(n - 2);
+    return a + b;
+}
+int main() { return fib(8); }
+""")
+        for restore, save in collector.save_restore.verified.items():
+            assert restore[0] == save[0]
+            assert save[1] < restore[1]

@@ -1,0 +1,103 @@
+"""Table-driven tests for the struct/pointer diagnostics.
+
+Every diagnostic must carry the source position (line and column of the
+offending token), so debugger users get pointed at the exact field
+access or delete that is wrong."""
+
+import pytest
+
+from repro.lang import CompileError, compile_source, parse
+
+#: (source, message fragment, line, col) — compile must fail exactly there.
+CASES = [
+    # Unknown field.
+    ("""struct P { int x; };
+int main() { struct P* p; p = new P; p->zz = 1; }""",
+     "struct P has no field 'zz'", 2, 41),
+    ("""struct P { int x; };
+int main() { struct P q; print(q.nope); }""",
+     "struct P has no field 'nope'", 2, 34),
+    # Field access through a non-pointer (arrow on a plain int).
+    ("""struct P { int x; };
+int main() { int v; v->x = 1; }""",
+     "'->x' applied to non-pointer value of type 'int'", 2, 24),
+    # Arrow through a pointer whose pointee is not a struct.
+    ("int main() { int* v; v->x = 1; }",
+     "'->x' through pointer to non-struct type 'int*'", 1, 25),
+    # Dot on a pointer (should have been an arrow).
+    ("""struct P { int x; };
+int main() { struct P* p; p.x = 1; }""",
+     "'.x' applied to pointer of type 'P*'", 2, 29),
+    # Dot on a non-struct value.
+    ("int main() { int v; int w; w = v.x; }",
+     "'.x' applied to non-struct value of type 'int'", 1, 34),
+    # Arrow through a pointer to an undeclared struct.
+    ("int main() { struct Q* p; p->x = 1; }",
+     "'->x' through pointer to non-struct type 'Q*'", 1, 30),
+    # delete of a non-pointer expression (anchored on the keyword).
+    ("int main() { int v; delete v; }",
+     "delete of a non-pointer expression (type 'int')", 1, 21),
+    ("""struct P { int x; };
+int main() { struct P q; delete q; }""",
+     "delete of a non-pointer expression (type 'P')", 2, 26),
+    # new of an undeclared struct.
+    ("int main() { int p; p = new Q; }",
+     "new of unknown struct 'Q'", 1, 29),
+]
+
+
+@pytest.mark.parametrize("source,fragment,line,col", CASES,
+                         ids=[c[1][:40] for c in CASES])
+def test_diagnostic_message_and_position(source, fragment, line, col):
+    with pytest.raises(CompileError) as excinfo:
+        compile_source(source)
+    err = excinfo.value
+    assert fragment in str(err)
+    assert err.line == line
+    assert err.col == col
+
+
+#: Parse-time struct declaration errors (position on the bad token).
+PARSE_CASES = [
+    ("struct P { void x; };", "struct field cannot have type void"),
+    ("struct P { int xs[4]; };", "array fields are not supported"),
+    ("struct P { int x; int x; };", "duplicate field 'x'"),
+]
+
+
+@pytest.mark.parametrize("source,fragment", PARSE_CASES,
+                         ids=[c[1][:40] for c in PARSE_CASES])
+def test_struct_decl_errors(source, fragment):
+    with pytest.raises(CompileError) as excinfo:
+        parse(source)
+    err = excinfo.value
+    assert fragment in str(err)
+    assert err.line is not None
+
+
+def test_struct_by_value_return_rejected():
+    with pytest.raises(CompileError, match="return a pointer"):
+        compile_source("""
+struct P { int x; };
+struct P f() { struct P p; return p; }
+int main() { return 0; }
+""")
+
+
+def test_mismatched_struct_copy_rejected():
+    with pytest.raises(CompileError, match="cannot assign"):
+        compile_source("""
+struct A { int x; };
+struct B { int x; int y; };
+int main() { struct A a; struct B b; a = b; return 0; }
+""")
+
+
+def test_positions_survive_real_indentation():
+    """Columns count from 1 and track the offending token, not the
+    statement start."""
+    source = "struct P { int x; };\nint main() {\n    struct P* p;\n    p = new P;\n    p->oops = 1;\n}\n"
+    with pytest.raises(CompileError) as excinfo:
+        compile_source(source)
+    assert excinfo.value.line == 5
+    assert excinfo.value.col == source.splitlines()[4].index("oops") + 1

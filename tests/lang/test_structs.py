@@ -1,0 +1,314 @@
+"""Structs, heap objects and pointer-chasing: parsing, layout, and
+end-to-end semantics of the MiniC struct surface."""
+
+import pytest
+
+from repro.lang import CompileError, compile_source, parse
+from repro.lang import ast
+from repro.lang.symbols import build_struct_table, type_size
+
+from tests.conftest import run_and_output
+
+
+class TestParsing:
+    def test_struct_decl_fields(self):
+        unit = parse("struct Point { int x; int y; };")
+        assert len(unit.structs) == 1
+        decl = unit.structs[0]
+        assert decl.name == "Point"
+        assert decl.fields == [("int", "x"), ("int", "y")]
+
+    def test_struct_decl_requires_trailing_semicolon(self):
+        with pytest.raises(CompileError):
+            parse("struct Point { int x; }")
+
+    def test_pointer_fields_use_struct_keyword(self):
+        unit = parse("struct Node { int v; struct Node* next; };")
+        assert unit.structs[0].fields == [("int", "v"), ("Node*", "next")]
+
+    def test_member_arrow_vs_dot(self):
+        unit = parse("""
+struct P { int x; };
+int main() { struct P p; struct P* q; p.x = 1; q->x = 2; }
+""")
+        dot, arrow = unit.functions[0].body.body[2:4]
+        assert isinstance(dot.target, ast.Member) and not dot.target.arrow
+        assert isinstance(arrow.target, ast.Member) and arrow.target.arrow
+
+    def test_new_delete_sizeof_nodes(self):
+        unit = parse("""
+struct P { int x; };
+int main() { struct P* p; p = new P; print(sizeof(P)); delete p; }
+""")
+        body = unit.functions[0].body.body
+        assert isinstance(body[1].value, ast.New)
+        assert body[1].value.type_name == "P"
+        assert isinstance(body[3], ast.Delete)
+
+    def test_void_field_rejected(self):
+        with pytest.raises(CompileError):
+            parse("struct P { void x; };")
+
+    def test_array_field_rejected(self):
+        with pytest.raises(CompileError):
+            parse("struct P { int xs[4]; };")
+
+    def test_duplicate_field_rejected(self):
+        with pytest.raises(CompileError):
+            parse("struct P { int x; int x; };")
+
+
+class TestLayout:
+    def test_field_offsets_are_cumulative(self):
+        unit = parse("struct P { int x; float y; int z; };")
+        table = build_struct_table(unit.structs)
+        layout = table["P"]
+        assert [layout.fields[n].offset for n in ("x", "y", "z")] == [0, 1, 2]
+        assert layout.size == 3
+
+    def test_nested_by_value_embedding(self):
+        unit = parse("""
+struct Inner { int a; int b; };
+struct Outer { int before; struct Inner mid; int after; };
+""")
+        table = build_struct_table(unit.structs)
+        outer = table["Outer"]
+        assert outer.fields["mid"].offset == 1
+        assert outer.fields["mid"].size == 2
+        assert outer.fields["after"].offset == 3
+        assert outer.size == 4
+
+    def test_pointer_fields_are_one_word(self):
+        unit = parse("struct Node { int v; struct Node* next; };")
+        table = build_struct_table(unit.structs)
+        assert table["Node"].size == 2
+        assert type_size("Node*", table) == 1
+        assert type_size("Node", table) == 2
+
+    def test_recursive_by_value_rejected(self):
+        unit = parse("struct Node { int v; struct Node inner; };")
+        with pytest.raises(CompileError, match="pointer"):
+            build_struct_table(unit.structs)
+
+    def test_duplicate_struct_rejected(self):
+        unit = parse("struct P { int x; }; struct P { int y; };")
+        with pytest.raises(CompileError):
+            build_struct_table(unit.structs)
+
+
+class TestSemantics:
+    def test_heap_object_field_roundtrip(self):
+        assert run_and_output("""
+struct Point { int x; int y; };
+int main() {
+    struct Point* p;
+    p = new Point;
+    p->x = 3;
+    p->y = 4;
+    print(p->x * p->x + p->y * p->y);
+    delete p;
+    return 0;
+}
+""") == [25]
+
+    def test_deref_dot_equivalent_to_arrow(self):
+        assert run_and_output("""
+struct P { int x; };
+int main() {
+    struct P* p;
+    p = new P;
+    (*p).x = 11;
+    print(p->x);
+    return 0;
+}
+""") == [11]
+
+    def test_linked_list_build_and_chase(self):
+        assert run_and_output("""
+struct Node { int value; struct Node* next; };
+int main() {
+    struct Node* head; struct Node* n;
+    int i; int sum;
+    head = 0;
+    for (i = 1; i <= 5; i = i + 1) {
+        n = new Node;
+        n->value = i * i;
+        n->next = head;
+        head = n;
+    }
+    sum = 0;
+    n = head;
+    while (n != 0) { sum = sum + n->value; n = n->next; }
+    print(sum);
+    return 0;
+}
+""") == [55]
+
+    def test_struct_local_and_dot_access(self):
+        assert run_and_output("""
+struct P { int x; int y; };
+int main() {
+    struct P p;
+    p.x = 7;
+    p.y = p.x + 1;
+    print(p.x); print(p.y);
+    return 0;
+}
+""") == [7, 8]
+
+    def test_global_struct_value(self):
+        assert run_and_output("""
+struct P { int x; int y; };
+struct P origin;
+int main() {
+    origin.x = 2;
+    origin.y = 3;
+    print(origin.x + origin.y);
+    return 0;
+}
+""") == [5]
+
+    def test_nested_struct_field_chains(self):
+        assert run_and_output("""
+struct Inner { int a; int b; };
+struct Outer { int before; struct Inner mid; int after; };
+int main() {
+    struct Outer o;
+    o.before = 1;
+    o.mid.a = 8;
+    o.mid.b = 99;
+    o.after = 4;
+    print(o.before); print(o.mid.a); print(o.mid.b); print(o.after);
+    return 0;
+}
+""") == [1, 8, 99, 4]
+
+    def test_struct_array_indexing(self):
+        assert run_and_output("""
+struct P { int x; int y; };
+int main() {
+    struct P pts[3];
+    int i;
+    for (i = 0; i < 3; i = i + 1) {
+        pts[i].x = i;
+        pts[i].y = i * 10;
+    }
+    print(pts[0].y + pts[1].y + pts[2].y + pts[2].x);
+    return 0;
+}
+""") == [32]
+
+    def test_array_of_struct_pointers(self):
+        assert run_and_output("""
+struct P { int x; };
+struct P* slots[4];
+int main() {
+    int i;
+    for (i = 0; i < 4; i = i + 1) {
+        slots[i] = new P;
+        slots[i]->x = i + 1;
+    }
+    print(slots[0]->x + slots[1]->x + slots[2]->x + slots[3]->x);
+    return 0;
+}
+""") == [10]
+
+    def test_struct_copy_assignment(self):
+        assert run_and_output("""
+struct P { int x; int y; };
+int main() {
+    struct P a; struct P b;
+    a.x = 5; a.y = 6;
+    b = a;
+    a.x = 0;
+    print(b.x); print(b.y);
+    return 0;
+}
+""") == [5, 6]
+
+    def test_struct_by_value_parameter(self):
+        assert run_and_output("""
+struct P { int x; int y; };
+int dist2(struct P p) {
+    p.x = p.x * p.x;
+    return p.x + p.y * p.y;
+}
+int main() {
+    struct P q;
+    q.x = 3; q.y = 4;
+    print(dist2(q));
+    print(q.x);
+    return 0;
+}
+""") == [25, 3]
+
+    def test_pointer_returning_function(self):
+        assert run_and_output("""
+struct Node { int v; struct Node* next; };
+struct Node* cons(int v, struct Node* rest) {
+    struct Node* n;
+    n = new Node;
+    n->v = v;
+    n->next = rest;
+    return n;
+}
+int main() {
+    struct Node* xs;
+    xs = cons(1, cons(2, cons(3, 0)));
+    print(xs->v + xs->next->v * 10 + xs->next->next->v * 100);
+    return 0;
+}
+""") == [321]
+
+    def test_sizeof_matches_layout(self):
+        assert run_and_output("""
+struct Inner { int a; int b; };
+struct Outer { int before; struct Inner mid; int after; };
+int main() {
+    print(sizeof(Inner));
+    print(sizeof(Outer));
+    return 0;
+}
+""") == [2, 4]
+
+    def test_new_delete_reuses_address(self):
+        assert run_and_output("""
+struct P { int x; int y; };
+int main() {
+    struct P* a; struct P* b;
+    a = new P;
+    delete a;
+    b = new P;
+    print(a == b);
+    return 0;
+}
+""") == [1]
+
+    def test_address_of_field(self):
+        assert run_and_output("""
+struct P { int x; int y; };
+int main() {
+    struct P p;
+    int q;
+    p.x = 1;
+    q = &p.y;
+    *q = 42;
+    print(p.y);
+    return 0;
+}
+""") == [42]
+
+    def test_struct_field_through_malloc_free_sugar(self):
+        """``new``/``delete`` are sugar over the malloc/free syscalls —
+        a raw malloc of sizeof(T) words is interchangeable."""
+        assert run_and_output("""
+struct P { int x; int y; };
+int main() {
+    struct P* p;
+    p = malloc(sizeof(P));
+    p->y = 9;
+    print(p->y);
+    delete p;
+    return 0;
+}
+""") == [9]

@@ -13,6 +13,13 @@ calls, nondeterministic syscalls (``rand``/``time``/``input``) and
 explicit ``yield`` points.  Everything is derived from a single integer
 seed, so any two harnesses passing the same seed operate on the very
 same program.
+
+A second corpus (:func:`generate_struct_source` /
+:func:`build_struct_program`) covers the struct/heap surface: linked
+lists built with ``new``, chased through ``->`` field loads (by loop or
+by self-recursion), struct-value locals with ``.`` access, ``delete``
+teardown, and the same lock/racy-read/nondet seasoning as the flat
+corpus.  The pointer-band differential suites draw from it.
 """
 
 import random
@@ -117,6 +124,128 @@ def generate_source(seed: int) -> str:
 def build_program(seed: int):
     """Compile the generated source for ``seed``."""
     return compile_source(generate_source(seed), name="diff-%d" % seed)
+
+
+# -- struct / pointer / recursion corpus --------------------------------------
+
+_STRUCT_PRELUDE = """\
+struct Node { int value; struct Node* next; };
+struct Pair { int a; int b; };
+int total; int m;
+int rsum(struct Node* n) {
+    if (n == 0) { return 0; }
+    return n->value + rsum(n->next);
+}
+int rlen(struct Node* n) {
+    if (n == 0) { return 0; }
+    return 1 + rlen(n->next);
+}
+"""
+
+
+def _struct_worker(rng: random.Random, index: int) -> str:
+    """One worker: builds a heap list, chases it (loop or recursion),
+    mixes in struct-value locals, and tears some of it down."""
+    op = rng.choice(_BINOPS)
+    c = rng.randint(1, 9)
+    nodes = rng.randint(3, 6)
+    recursive = rng.random() < 0.5
+    lines = [
+        "int sworker%d(int n) {" % index,
+        "    struct Node* head; struct Node* cur; struct Node* nx;",
+        "    struct Pair p;",
+        "    int i; int t;",
+        "    head = 0;",
+        "    for (i = 0; i < n + %d; i = i + 1) {" % nodes,
+        "        cur = new Node;",
+        "        cur->value = i %s %d;" % (op, c),
+        "        cur->next = head;",
+        "        head = cur;",
+    ]
+    if rng.random() < 0.4:
+        lines.append("        yield();")
+    lines.append("    }")
+    if recursive:
+        lines.append("    t = rsum(head) + rlen(head);")
+    else:
+        lines += [
+            "    t = 0;",
+            "    cur = head;",
+            "    while (cur != 0) {",
+            "        t = t + cur->value;",
+            "        cur = cur->next;",
+            "    }",
+        ]
+    lines += [
+        "    p.a = t % 101;",
+        "    p.b = p.a %s %d;" % (rng.choice(_BINOPS), rng.randint(1, 5)),
+        "    lock(&m);",
+        "    total = total + p.b;",
+        "    unlock(&m);",
+        # Racy unlocked read of the shared accumulator.
+        "    t = t + total;",
+    ]
+    if rng.random() < 0.7:
+        lines += [
+            "    cur = head;",
+            "    while (cur != 0) {",
+            "        nx = cur->next;",
+            "        delete cur;",
+            "        cur = nx;",
+            "    }",
+        ]
+    if rng.random() < 0.4:
+        lines.append("    t = t + rand(%d);" % rng.randint(2, 6))
+    lines += [
+        "    return t;",
+        "}",
+    ]
+    return "\n".join(lines)
+
+
+def generate_struct_source(seed: int) -> str:
+    """A deterministic, seed-randomized struct/pointer/recursion
+    program: heap lists built with ``new``, chased through ``->`` (by
+    loop or by recursion), struct-value locals, and a lock-protected
+    shared total with a racy unlocked read."""
+    rng = random.Random(seed * 7919 + 17)
+    nworkers = rng.randint(1, 2)
+    parts = [_STRUCT_PRELUDE]
+    for index in range(nworkers):
+        parts.append(_struct_worker(rng, index))
+    main = [
+        "int main() {",
+        "    struct Node* scratch;",
+        "    int x; int r;",
+        "    " + " ".join("int t%d;" % i for i in range(nworkers)),
+        "    x = input();",
+        "    scratch = new Node;",
+        "    scratch->value = x + %d;" % rng.randint(0, 9),
+        "    scratch->next = 0;",
+        "    total = scratch->value;",
+    ]
+    for index in range(nworkers):
+        main.append("    t%d = spawn(sworker%d, %d);"
+                    % (index, index, rng.randint(1, 4)))
+    main.append("    r = sworker%d(%d);"
+                % (rng.randrange(nworkers), rng.randint(1, 3)))
+    if rng.random() < 0.6:
+        main.append("    delete scratch;")
+    for index in range(nworkers):
+        main.append("    r = r + join(t%d);" % index)
+    main += [
+        "    print(total); print(r);",
+        "    return 0;",
+        "}",
+    ]
+    parts.append("\n".join(main))
+    return "\n".join(parts)
+
+
+def build_struct_program(seed: int):
+    """Compile the generated struct/pointer source for ``seed``."""
+    return compile_source(generate_struct_source(seed),
+                          name="sdiff-%d" % seed)
 
 
 # -- shared execution / recording helpers -------------------------------------

@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.vm.errors import VMError
-from repro.vm.memory import ADDRESS_SPACE_TOP, Memory
+from repro.vm.errors import HeapError, VMError
+from repro.vm.memory import ADDRESS_SPACE_TOP, HEAP_POISON, Memory
 
 
 @pytest.fixture
@@ -75,12 +75,55 @@ class TestHeap:
     def test_double_free_rejected(self, mem):
         a = mem.malloc(4)
         mem.free(a)
-        with pytest.raises(VMError):
+        with pytest.raises(HeapError):
             mem.free(a)
 
     def test_free_unallocated_rejected(self, mem):
+        with pytest.raises(HeapError):
+            mem.free(12345)
+
+    def test_heap_error_is_vmerror(self, mem):
         with pytest.raises(VMError):
             mem.free(12345)
+
+
+class TestPoisonMode:
+    def test_free_without_poison_leaves_words(self, mem):
+        a = mem.malloc(2)
+        mem.write(a, 7)
+        assert mem.free(a) is None
+        assert mem.read(a) == 7
+
+    def test_free_poisons_whole_block(self):
+        mem = Memory(heap_base=100, poison_freed=True)
+        a = mem.malloc(3)
+        mem.write(a, 1)
+        writes = mem.free(a)
+        assert writes == [(a, HEAP_POISON), (a + 1, HEAP_POISON),
+                          (a + 2, HEAP_POISON)]
+        for offset in range(3):
+            assert mem.read(a + offset) == HEAP_POISON
+
+    def test_poisoned_block_still_reused(self):
+        mem = Memory(heap_base=100, poison_freed=True)
+        a = mem.malloc(4)
+        mem.free(a)
+        assert mem.malloc(4) == a
+
+    def test_poison_flag_rides_snapshot(self):
+        mem = Memory(heap_base=100, poison_freed=True)
+        a = mem.malloc(2)
+        mem.free(a)
+        restored = Memory.from_snapshot(mem.snapshot())
+        assert restored.poison_freed
+        assert restored == mem
+        b = restored.malloc(1)
+        assert restored.free(b) is not None
+
+    def test_plain_snapshot_has_no_poison_key(self, mem):
+        assert "poison" not in mem.snapshot()
+        restored = Memory.from_snapshot(mem.snapshot())
+        assert not restored.poison_freed
 
 
 class TestSnapshot:

@@ -1,0 +1,140 @@
+"""Tests for the pointer-chasing workload family (struct/heap band)."""
+
+import pytest
+
+from repro.pinplay import replay
+from repro.vm import Machine, RandomScheduler, RoundRobinScheduler
+from repro.vm.memory import HEAP_POISON
+from repro.workloads import (
+    POINTER_BUGS,
+    POINTER_KERNELS,
+    get_pointer,
+    get_pointer_bug,
+)
+
+
+class TestRegistries:
+    def test_three_kernels(self):
+        assert set(POINTER_KERNELS) == {"list_chase", "tree_sum",
+                                        "hashchain"}
+
+    def test_two_bug_analogs(self):
+        assert set(POINTER_BUGS) == {"uaf_chase", "dangle_reuse"}
+        assert POINTER_BUGS["uaf_chase"].heap_poison
+        assert not POINTER_BUGS["dangle_reuse"].heap_poison
+
+    def test_unknown_names_rejected(self):
+        with pytest.raises(KeyError):
+            get_pointer("nope")
+        with pytest.raises(KeyError):
+            get_pointer_bug("nope")
+
+
+class TestPointerKernels:
+    @pytest.mark.parametrize("name", sorted(POINTER_KERNELS))
+    def test_compiles_and_runs_clean(self, name):
+        kernel = get_pointer(name)
+        program = kernel.build(units=15, nthreads=4)
+        machine = Machine(program, scheduler=RoundRobinScheduler(25))
+        result = machine.run(max_steps=500_000)
+        assert machine.failure is None
+        assert result.reason in ("done", "exit")
+        assert len(machine.threads) == 4
+
+    @pytest.mark.parametrize("name", sorted(POINTER_KERNELS))
+    def test_units_scale_instructions(self, name):
+        kernel = get_pointer(name)
+        counts = []
+        for units in (10, 20):
+            program = kernel.build(units=units, nthreads=2)
+            machine = Machine(program, scheduler=RoundRobinScheduler(25))
+            machine.run(max_steps=500_000)
+            counts.append(machine.threads[0].instr_count)
+        assert counts[1] > counts[0] * 1.4
+
+    @pytest.mark.parametrize("name", sorted(POINTER_KERNELS))
+    def test_deterministic_under_fixed_schedule(self, name):
+        kernel = get_pointer(name)
+        outputs = []
+        for _ in range(2):
+            program = kernel.build(units=12, nthreads=3)
+            machine = Machine(program, scheduler=RoundRobinScheduler(25))
+            machine.run(max_steps=500_000)
+            outputs.append(list(machine.output))
+        assert outputs[0] == outputs[1]
+
+    def test_list_chase_sum_matches_model(self):
+        program = get_pointer("list_chase").build(units=20, nthreads=3)
+        machine = Machine(program, scheduler=RoundRobinScheduler(25))
+        machine.run(max_steps=500_000)
+        expected = sum(u * 3 + wid
+                       for wid in range(3) for u in range(20))
+        assert machine.output[0] == expected
+
+    def test_hashchain_allocates_chain_entries(self):
+        """The table's entries live on the heap (new Entry per insert)."""
+        program = get_pointer("hashchain").build(units=25, nthreads=2)
+        machine = Machine(program, scheduler=RoundRobinScheduler(25))
+        machine.run(max_steps=500_000)
+        assert machine.memory.heap_next > machine.memory.heap_base
+
+
+class TestPointerBugs:
+    @pytest.mark.parametrize("name", sorted(POINTER_BUGS))
+    def test_bug_exposed_and_replayable(self, name):
+        workload = get_pointer_bug(name)
+        program = workload.build(warmup=150)
+        pinball, seed = workload.expose(program, seeds=range(48))
+        assert pinball is not None, "no seed exposed %s" % name
+        machine, result = replay(pinball, program)
+        assert result.failure is not None
+        assert result.failure["code"] == workload.failure_code
+
+    @pytest.mark.parametrize("name", sorted(POINTER_BUGS))
+    def test_some_schedule_is_benign(self, name):
+        workload = get_pointer_bug(name)
+        program = workload.build(warmup=50)
+        benign = False
+        for seed in range(60):
+            machine = Machine(
+                program,
+                scheduler=RandomScheduler(seed=seed,
+                                          switch_prob=workload.switch_prob),
+                heap_poison=workload.heap_poison)
+            machine.run(max_steps=1_000_000)
+            if machine.failure is None:
+                benign = True
+                break
+        assert benign, "%s fails under every schedule — not a race" % name
+
+    def test_uaf_pinball_carries_poison_flag(self):
+        workload = get_pointer_bug("uaf_chase")
+        program = workload.build(warmup=150)
+        pinball, _seed = workload.expose(program, seeds=range(48))
+        assert pinball is not None
+        snapshot = pinball.to_dict()["snapshot"]
+        assert snapshot["memory"].get("poison") is True
+
+    def test_uaf_symptom_is_the_poison_value(self):
+        """The walker's assert trips on reading HEAP_POISON through the
+        freed node's value field."""
+        workload = get_pointer_bug("uaf_chase")
+        program = workload.build(warmup=150)
+        pinball, seed = workload.expose(program, seeds=range(48))
+        machine, result = replay(pinball, program)
+        failure = result.failure
+        tid = failure["tid"]
+        # r0 at the assert held the condition; the walker's local v was
+        # compared against the poison constant, so the poisoned word is
+        # still resident in memory.
+        assert HEAP_POISON in dict(machine.memory.nonzero_items()).values()
+
+    def test_dangle_reuse_needs_no_poison(self):
+        """The dangling read observes the *recycled* object's fields —
+        the failure reproduces with poisoning off."""
+        workload = get_pointer_bug("dangle_reuse")
+        assert not workload.heap_poison
+        program = workload.build(warmup=150)
+        pinball, _seed = workload.expose(program, seeds=range(48))
+        assert pinball is not None
+        assert "poison" not in pinball.to_dict()["snapshot"]["memory"]
