@@ -8,6 +8,12 @@ successors — and supports **dynamic refinement**: as the tracer observes
 indirect-jump targets at replay time, edges are added and the immediate
 post-dominator information is recomputed.  Refined post-dominators are what
 make dynamic control dependences (and hence slices) precise.
+
+The package also hosts the *dynamic* analysis front ends that sit on top
+of replay: the unified analysis-report schema
+(:mod:`repro.analysis.report` — one typed JSON surface shared by the
+race detector, maple, and the hunt pipeline across library, CLI and
+serve) and the in-situ bug-hunt pipeline (:mod:`repro.analysis.hunt`).
 """
 
 from repro.analysis.cfg import CFG, BasicBlock, build_cfg
@@ -15,13 +21,37 @@ from repro.analysis.dominators import (
     compute_ipostdoms,
     postdominators_brute_force,
 )
+from repro.analysis.hunt import HuntResult, PerturbedScheduler, hunt
 from repro.analysis.registry import CfgRegistry
+from repro.analysis.report import (
+    SCHEMA,
+    SCHEMA_VERSION,
+    HuntFinding,
+    RaceFinding,
+    SliceReport,
+    hunt_report_payload,
+    maple_report_payload,
+    races_report_payload,
+    validate_report,
+)
 
 __all__ = [
     "BasicBlock",
     "CFG",
     "CfgRegistry",
+    "HuntFinding",
+    "HuntResult",
+    "PerturbedScheduler",
+    "RaceFinding",
+    "SCHEMA",
+    "SCHEMA_VERSION",
+    "SliceReport",
     "build_cfg",
     "compute_ipostdoms",
+    "hunt",
+    "hunt_report_payload",
+    "maple_report_payload",
     "postdominators_brute_force",
+    "races_report_payload",
+    "validate_report",
 ]

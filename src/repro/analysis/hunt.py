@@ -1,0 +1,494 @@
+"""The bug firehose: in-situ schedule hunting over a recorded envelope.
+
+The iReplayer-inspired capstone pipeline (see PAPERS.md): instead of
+merely *flagging* suspected concurrency bugs, validate them by cheap
+repeated in-situ re-execution.  Three stages:
+
+1. **Detect** — one online race-detection pass over the recording
+   (:func:`repro.detect.detect_races`, untraced fast path) plus maple
+   interleaving profiling yields racy site pairs and predicted iRoots.
+2. **Permute** — each candidate becomes a fresh schedule of the same
+   program/region/inputs: racy pairs and iRoots are *forced* (both
+   orders) with the maple active scheduler; remaining budget goes to
+   seeded random perturbations.  All nondeterminism besides the
+   schedule is pinned (inputs, rand seed, heap poison ride along from
+   the recording), so each candidate run is fully deterministic.
+3. **Classify & shrink** — every outcome is classified **crash** (the
+   VM failure fired), **wrong-output** (differs from the deterministic
+   round-robin reference), or **benign**.  Each distinct confirmed
+   failure is then greedily minimized — context switches are removed
+   from the exposing schedule while the failure keeps reproducing —
+   and re-recorded into a *minimized pinball*, with a pre-computed
+   slice report rooted at the failing instruction.
+
+Everything is deterministic by construction: candidates are generated
+in sorted order, evaluated independently, and merged by candidate id —
+so a hunt distributed over the serve worker pool yields byte-identical
+minimized pinballs to an in-process one (the differential suite
+asserts it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro import config
+from repro.analysis.report import (HuntFinding, RaceFinding, SliceReport,
+                                   hunt_report_payload)
+from repro.detect import detect_races
+from repro.isa.program import Program
+from repro.maple.active_scheduler import ActiveScheduler, ActiveSchedulerWatch
+from repro.maple.idioms import IRoot, MemAccess
+from repro.maple.profiler import InterleavingProfiler
+from repro.obs.registry import OBS
+from repro.pinplay.logger import record_region
+from repro.pinplay.pinball import Pinball
+from repro.pinplay.regions import RegionSpec
+from repro.vm.scheduler import (RandomScheduler, RoundRobinScheduler,
+                                Scheduler)
+
+__all__ = ["HuntResult", "PerturbedScheduler", "confirm", "evaluate",
+           "hunt", "hunt_context", "make_candidates", "scan"]
+
+#: Preemption rate for seeded filler candidates.
+SEED_SWITCH_PROB = 0.3
+#: Active-scheduler delay budget per forced candidate.
+GIVE_UP_BUDGET = 4_000
+#: Hard ceiling on candidate run length (multiple of the recording).
+STEP_CAP_FACTOR = 8
+#: Floor for the step cap (tiny recordings still need room to finish).
+STEP_CAP_MIN = 50_000
+
+
+class PerturbedScheduler(Scheduler):
+    """Follow an RLE run list *leniently*; round-robin past its end.
+
+    Unlike :class:`~repro.vm.scheduler.RecordedScheduler` this never
+    raises on divergence: when the intended thread is not runnable the
+    rest of its run is dropped, and when the list is exhausted a
+    round-robin tail takes over.  That makes any mutation of a recorded
+    schedule executable — the property minimization relies on.
+    Deterministic for a fixed run list.
+    """
+
+    def __init__(self, runs: Sequence[Tuple[int, int]],
+                 quantum: int = 50) -> None:
+        self._runs = [(int(tid), int(count)) for tid, count in runs
+                      if int(count) > 0]
+        self._index = 0
+        self._used = 0
+        self._tail = RoundRobinScheduler(quantum=quantum)
+
+    def pick(self, runnable: Sequence[int], last: Optional[int]) -> int:
+        runs = self._runs
+        while self._index < len(runs):
+            tid, count = runs[self._index]
+            if self._used >= count:
+                self._index += 1
+                self._used = 0
+                continue
+            if tid in runnable:
+                return tid
+            # Intended thread blocked or finished early under this
+            # perturbation: drop the rest of its run.  (Mutating here is
+            # safe: hunt runs never discard picks — no breakpoints.)
+            self._index += 1
+            self._used = 0
+        return self._tail.pick(runnable, last)
+
+    def commit(self, tid: int) -> None:
+        runs = self._runs
+        if self._index < len(runs) and tid == runs[self._index][0]:
+            self._used += 1
+        else:
+            self._tail.commit(tid)
+
+
+# -- context / candidates -----------------------------------------------------
+
+def hunt_context(pinball: Pinball, program: Program,
+                 inputs: Optional[Sequence] = None,
+                 rand_seed: Optional[int] = None) -> dict:
+    """Everything a candidate re-execution must pin, as a plain dict.
+
+    The reference output comes from one deterministic round-robin run
+    of the same region: schedule-independent programs always match it,
+    so any mismatch under a candidate schedule is an order violation.
+    """
+    meta = pinball.meta
+    if inputs is None:
+        inputs = meta.get("inputs", [])
+    if rand_seed is None:
+        rand_seed = int(meta.get("rand_seed", 0))
+    memory_snap = (pinball.snapshot or {}).get("memory", {})
+    ctx = {
+        "inputs": list(inputs),
+        "rand_seed": int(rand_seed),
+        "skip": int(meta.get("skip", 0) or 0),
+        "length": meta.get("length"),
+        "heap_poison": bool(memory_snap.get("poison", False)),
+        "step_cap": max(STEP_CAP_MIN,
+                        STEP_CAP_FACTOR * int(meta.get("schedule_steps", 0))),
+        "recorded_runs": [list(run) for run in pinball.schedule],
+        "reference_output": None,
+    }
+    reference = _execute(program, RoundRobinScheduler(), ctx)
+    if not reference.meta.get("failure"):
+        ctx["reference_output"] = list(reference.meta.get("output", []))
+    return ctx
+
+
+def _region(ctx: dict) -> RegionSpec:
+    length = ctx.get("length")
+    return RegionSpec(skip=int(ctx.get("skip", 0) or 0),
+                      length=int(length) if length is not None else None)
+
+
+def _execute(program: Program, scheduler: Scheduler, ctx: dict,
+             extra_tools=()) -> Pinball:
+    """One pinned re-execution of the hunted region."""
+    return record_region(program, scheduler, _region(ctx),
+                         inputs=ctx.get("inputs", ()),
+                         rand_seed=int(ctx.get("rand_seed", 0)),
+                         extra_tools=extra_tools,
+                         heap_poison=bool(ctx.get("heap_poison", False)))
+
+
+def _access_kinds(kind: str) -> Tuple[bool, bool]:
+    """(first_is_write, second_is_write) for a race kind."""
+    return (kind != "read-write", kind != "write-read")
+
+
+def make_candidates(races, predicted_iroots: Sequence[IRoot],
+                    budget: int) -> List[dict]:
+    """Candidate schedules, as wire-friendly dicts in evaluation order.
+
+    The recorded schedule itself comes first (a failing recording is
+    its own best witness — replaying it in situ confirms and seeds
+    minimization).  Then both orders of every detected race pair, the
+    maple-predicted iRoots, and seeded random perturbations filling
+    the remaining budget (at least two, so even a race-free recording
+    gets a nonzero fleet).
+    """
+    candidates: List[dict] = [
+        {"cid": "c000-recorded", "origin": "recorded", "mode": "recorded"},
+    ]
+    seen: set = set()
+
+    def force(first_pc: int, first_w: bool, second_pc: int, second_w: bool,
+              origin: str) -> None:
+        key = (first_pc, first_w, second_pc, second_w)
+        if key in seen:
+            return
+        seen.add(key)
+        candidates.append({
+            "cid": "c%03d-%s" % (len(candidates), origin),
+            "origin": origin, "mode": "force",
+            "first_pc": first_pc, "first_write": first_w,
+            "second_pc": second_pc, "second_write": second_w,
+        })
+
+    for race in sorted(races, key=lambda r: (r.addr, r.kind,
+                                             r.first_pc, r.second_pc)):
+        first_w, second_w = _access_kinds(race.kind)
+        # The recorded order already happened; the reversed order is the
+        # untested interleaving — force it first.
+        force(race.second_pc, second_w, race.first_pc, first_w, "race")
+        force(race.first_pc, first_w, race.second_pc, second_w, "race")
+
+    for iroot in sorted(predicted_iroots,
+                        key=lambda r: (r.first.pc, r.second.pc)):
+        force(iroot.first.pc, iroot.first.is_write,
+              iroot.second.pc, iroot.second.is_write, "iroot")
+
+    candidates = candidates[:budget]
+    fill = max(2, budget - len(candidates))
+    for seed in range(fill):
+        candidates.append({
+            "cid": "c%03d-seed" % len(candidates),
+            "origin": "seed", "mode": "seed", "seed": seed,
+        })
+    return candidates[:max(budget, 2)]
+
+
+# -- stages -------------------------------------------------------------------
+
+def scan(pinball: Pinball, program: Program,
+         budget: Optional[int] = None,
+         profile_seeds: int = 4,
+         inputs: Optional[Sequence] = None,
+         rand_seed: Optional[int] = None) -> Tuple[list, List[dict], dict]:
+    """Stage 1: detect races, predict iRoots, build the candidate list."""
+    budget = config.hunt_budget(explicit=budget)
+    with OBS.span("hunt.scan"):
+        races = detect_races(pinball, program)
+        ctx = hunt_context(pinball, program, inputs=inputs,
+                           rand_seed=rand_seed)
+        profiler = InterleavingProfiler(program, inputs=ctx["inputs"])
+        profiler.run(list(range(profile_seeds)),
+                     switch_prob=SEED_SWITCH_PROB)
+        candidates = make_candidates(races, profiler.predicted(), budget)
+    if OBS.enabled:
+        OBS.add("hunt.scans", 1)
+        OBS.add("hunt.races_found", len(races))
+        OBS.add("hunt.candidates", len(candidates))
+    return races, candidates, ctx
+
+
+def _scheduler_for(candidate: dict, ctx: dict):
+    """(scheduler, extra_tools) realizing one candidate."""
+    if candidate["mode"] == "recorded":
+        return (PerturbedScheduler(ctx.get("recorded_runs", ())), ())
+    if candidate["mode"] == "seed":
+        return (RandomScheduler(seed=int(candidate["seed"]),
+                                switch_prob=SEED_SWITCH_PROB), ())
+    iroot = IRoot(MemAccess(int(candidate["first_pc"]),
+                            bool(candidate["first_write"])),
+                  MemAccess(int(candidate["second_pc"]),
+                            bool(candidate["second_write"])))
+    watch = ActiveSchedulerWatch(iroot)
+    return (ActiveScheduler(watch, give_up_budget=GIVE_UP_BUDGET), (watch,))
+
+
+def _classify(pinball: Pinball, ctx: dict) -> Tuple[str, Optional[dict]]:
+    failure = pinball.meta.get("failure")
+    if failure:
+        return "crash", failure
+    reference = ctx.get("reference_output")
+    if (reference is not None
+            and list(pinball.meta.get("output", [])) != list(reference)):
+        return "wrong-output", None
+    return "benign", None
+
+
+def evaluate(program: Program, candidates: Sequence[dict],
+             ctx: dict) -> List[dict]:
+    """Stage 2: run each candidate schedule and classify its outcome.
+
+    Returns one row per candidate, in order.  Rows are plain dicts so a
+    serve worker can evaluate a chunk and ship the rows back; confirmed
+    rows carry the exposing RLE schedule (the minimization seed).
+    """
+    rows: List[dict] = []
+    for candidate in candidates:
+        scheduler, extras = _scheduler_for(candidate, ctx)
+        with OBS.span("hunt.candidate_run"):
+            pinball = _execute(program, scheduler, ctx, extra_tools=extras)
+        outcome, failure = _classify(pinball, ctx)
+        row = {"cid": candidate["cid"], "outcome": outcome,
+               "failure": failure,
+               "output": list(pinball.meta.get("output", []))}
+        if outcome != "benign":
+            row["schedule_runs"] = [list(run) for run in pinball.schedule]
+        rows.append(row)
+        if OBS.enabled:
+            OBS.add("hunt.candidate_runs", 1)
+            OBS.add("hunt.outcome_%s" % outcome.replace("-", "_"), 1)
+    return rows
+
+
+def _reproduces(pinball: Pinball, outcome: str, failure: Optional[dict],
+                ctx: dict) -> bool:
+    got, got_failure = _classify(pinball, ctx)
+    if outcome == "crash":
+        return (got == "crash" and got_failure is not None
+                and failure is not None
+                and got_failure.get("code") == failure.get("code"))
+    return got == outcome
+
+
+def _normalize(runs: List[List[int]]) -> List[List[int]]:
+    """Coalesce adjacent same-tid runs and drop empties."""
+    out: List[List[int]] = []
+    for tid, count in runs:
+        if count <= 0:
+            continue
+        if out and out[-1][0] == tid:
+            out[-1][1] += count
+        else:
+            out.append([tid, count])
+    return out
+
+
+def minimize_schedule(program: Program, runs, outcome: str,
+                      failure: Optional[dict], ctx: dict,
+                      budget: int = 64
+                      ) -> Tuple[List[List[int]], Pinball, int]:
+    """Stage 3a: greedy schedule-delta reduction.
+
+    Repeatedly tries to remove one context switch — merging a run into
+    its predecessor's thread — keeping any mutation under which the
+    failure still reproduces.  Returns the minimized run list, the
+    re-recorded minimized pinball, and the trial count.
+    """
+    current = _normalize([list(run) for run in runs])
+    best: Optional[Pinball] = None
+    trials = 0
+
+    def attempt(candidate_runs) -> Optional[Pinball]:
+        pinball = _execute(program, PerturbedScheduler(candidate_runs), ctx)
+        if _reproduces(pinball, outcome, failure, ctx):
+            return pinball
+        return None
+
+    with OBS.span("hunt.minimize"):
+        improved = True
+        while improved and trials < budget:
+            improved = False
+            index = 0
+            while index < len(current) - 1 and trials < budget:
+                merged = [list(run) for run in current]
+                merged[index][1] += merged[index + 1][1]
+                del merged[index + 1]
+                merged = _normalize(merged)
+                trials += 1
+                pinball = attempt(merged)
+                if pinball is not None:
+                    current = merged
+                    best = pinball
+                    improved = True
+                else:
+                    index += 1
+    if best is None:
+        # Nothing could be removed: re-record the original schedule so
+        # the minimized pinball is still a PerturbedScheduler product
+        # (deterministic bytes either way).
+        best = _execute(program, PerturbedScheduler(current), ctx)
+        if not _reproduces(best, outcome, failure, ctx):
+            raise RuntimeError(
+                "exposing schedule did not reproduce under re-execution")
+    if OBS.enabled:
+        OBS.add("hunt.minimize_trials", trials)
+    return current, best, trials
+
+
+def confirm(program: Program, candidate: dict, row: dict, ctx: dict,
+            races: Sequence = (),
+            minimize_budget: int = 64,
+            slice_reports: bool = True
+            ) -> Tuple[HuntFinding, Pinball]:
+    """Stage 3: minimize one confirmed outcome and pre-slice its report."""
+    outcome = row["outcome"]
+    failure = row.get("failure")
+    runs = row["schedule_runs"]
+    minimized, pinball, trials = minimize_schedule(
+        program, runs, outcome, failure, ctx, budget=minimize_budget)
+
+    slice_report = None
+    if slice_reports and outcome == "crash":
+        from repro.slicing import SlicingSession
+        with OBS.span("hunt.slice"):
+            session = SlicingSession(pinball, program)
+            dslice = session.slice_for(session.failure_criterion())
+            slice_report = SliceReport.from_slice(dslice)
+
+    race_finding = None
+    if candidate.get("origin") == "race":
+        pair = {candidate["first_pc"], candidate["second_pc"]}
+        for race in races:
+            if {race.first_pc, race.second_pc} == pair:
+                race_finding = (race if isinstance(race, RaceFinding)
+                                else RaceFinding.from_race(race, program))
+                break
+
+    descr = "%s via %s schedule" % (outcome, candidate.get("origin"))
+    if failure:
+        descr += " (failure code %s at pc %s)" % (failure.get("code"),
+                                                  failure.get("pc"))
+    finding = HuntFinding(
+        candidate=candidate["cid"], origin=candidate.get("origin", "?"),
+        outcome=outcome,
+        failure_code=(failure or {}).get("code"),
+        failure=failure,
+        schedule_runs=len(_normalize([list(r) for r in runs])),
+        minimized_runs=len(minimized),
+        race=race_finding,
+        slice_report=slice_report,
+        description=descr)
+    if OBS.enabled:
+        OBS.add("hunt.confirmed", 1)
+    return finding, pinball
+
+
+def _signature(row: dict) -> tuple:
+    if row["outcome"] == "crash":
+        failure = row.get("failure") or {}
+        return ("crash", failure.get("code"), failure.get("pc"))
+    return ("wrong-output", tuple(row.get("output", ())))
+
+
+def dedupe_rows(candidates: Sequence[dict],
+                rows: Sequence[dict]) -> List[Tuple[dict, dict]]:
+    """Confirmed (candidate, row) pairs, first occurrence per distinct
+    failure signature, in candidate order — the one dedup rule both the
+    in-process and the served pipeline apply."""
+    by_cid = {c["cid"]: c for c in candidates}
+    seen: set = set()
+    out: List[Tuple[dict, dict]] = []
+    for row in rows:
+        if row["outcome"] == "benign":
+            continue
+        signature = _signature(row)
+        if signature in seen:
+            continue
+        seen.add(signature)
+        out.append((by_cid[row["cid"]], row))
+    return out
+
+
+@dataclass
+class HuntResult:
+    """Everything one hunt produced."""
+
+    findings: List[HuntFinding] = field(default_factory=list)
+    minimized: Dict[str, Pinball] = field(default_factory=dict)
+    races: List[RaceFinding] = field(default_factory=list)
+    candidates_tried: int = 0
+    benign: int = 0
+
+    @property
+    def confirmed(self) -> bool:
+        return bool(self.findings)
+
+    def payload(self) -> dict:
+        """The shared report-schema envelope (kind ``hunt``)."""
+        return hunt_report_payload(self.findings, races=self.races,
+                                   candidates_tried=self.candidates_tried,
+                                   benign=self.benign)
+
+
+def hunt(pinball: Pinball, program: Program,
+         budget: Optional[int] = None,
+         inputs: Optional[Sequence] = None,
+         rand_seed: Optional[int] = None,
+         profile_seeds: int = 4,
+         minimize_budget: int = 64,
+         slice_reports: bool = True) -> HuntResult:
+    """The full in-process pipeline: scan, evaluate, confirm.
+
+    The serve ``hunt`` verb runs the same three stages with stage 2
+    sharded across the worker pool; results are identical (and the
+    minimized pinballs byte-identical) because every stage is
+    deterministic and merged in candidate order.
+    """
+    with OBS.span("hunt.total"):
+        races, candidates, ctx = scan(pinball, program, budget=budget,
+                                      profile_seeds=profile_seeds,
+                                      inputs=inputs, rand_seed=rand_seed)
+        rows = evaluate(program, candidates, ctx)
+        result = HuntResult(
+            races=[RaceFinding.from_race(race, program) for race in races],
+            candidates_tried=len(rows),
+            benign=sum(1 for row in rows if row["outcome"] == "benign"))
+        for candidate, row in dedupe_rows(candidates, rows):
+            finding, minimized = confirm(
+                program, candidate, row, ctx, races=result.races,
+                minimize_budget=minimize_budget,
+                slice_reports=slice_reports)
+            result.findings.append(finding)
+            result.minimized[finding.candidate] = minimized
+    if OBS.enabled:
+        OBS.add("hunt.runs", 1)
+        OBS.add("hunt.findings", len(result.findings))
+    return result

@@ -280,16 +280,54 @@ def cmd_races(args) -> int:
     races = detect_races(pinball, program,
                          globals_only=not args.all_memory)
     if args.json:
-        # Same field names as the serve `races` verb
-        # (repro.serve.sessions.race_payload).
-        from repro.serve.sessions import race_payload
-        print(json.dumps(race_payload(races, program), indent=2,
+        # The unified analysis-report envelope — identical field names
+        # across library, CLI and the serve `races` verb.
+        from repro.analysis.report import races_report_payload
+        print(json.dumps(races_report_payload(races, program), indent=2,
                          sort_keys=True))
     else:
         for race in races:
             print(race.describe(program))
     print("[%d unique racy site pairs]" % len(races), file=sys.stderr)
     return 0 if not races else 2
+
+
+def cmd_hunt(args) -> int:
+    """``repro hunt``: the in-process bug firehose over one recording."""
+    from repro.analysis.hunt import hunt
+    program, _source = _load_program(args.program)
+    pinball = Pinball.load(args.pinball)
+    result = hunt(pinball, program,
+                  budget=args.budget,
+                  profile_seeds=args.profile_seeds,
+                  minimize_budget=args.minimize_budget)
+    payload = result.payload()
+    if args.out_dir:
+        os.makedirs(args.out_dir, exist_ok=True)
+        paths = {}
+        for cid, minimized in sorted(result.minimized.items()):
+            path = os.path.join(args.out_dir,
+                                "minimized-%s.pinball" % cid)
+            minimized.save(path)
+            paths[cid] = path
+        for row in payload["findings"]:
+            if row["candidate"] in paths:
+                row["minimized_path"] = paths[row["candidate"]]
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for finding in result.findings:
+            print(finding.description)
+            if finding.slice_report is not None:
+                print("  slice: %d instances over lines %s" % (
+                    finding.slice_report.instance_count,
+                    ",".join(str(l) for l in
+                             sorted(finding.slice_report.lines)[:12])))
+    print("[hunt: %d candidates, %d benign, %d confirmed finding(s), "
+          "%d race(s)]" % (result.candidates_tried, result.benign,
+                           len(result.findings), len(result.races)),
+          file=sys.stderr)
+    return 2 if result.findings else 0
 
 
 def cmd_debug(args) -> int:
@@ -513,6 +551,14 @@ def cmd_client(args) -> int:
             result = client.last_reads(args.key, count=args.count)
         elif verb == "races":
             result = client.races(args.key, all_memory=args.all_memory)
+        elif verb == "hunt":
+            options = {"minimize_budget": args.minimize_budget,
+                       "profile_seeds": args.profile_seeds}
+            if args.budget is not None:
+                options["budget"] = args.budget
+            if args.workers is not None:
+                options["workers"] = args.workers
+            result = client.hunt(args.key, **options)
         elif verb == "get":
             blob = client.get_blob(args.key)
             with open(args.output, "wb") as handle:
@@ -529,6 +575,11 @@ def cmd_client(args) -> int:
         print(json.dumps(result, indent=2, sort_keys=True))
     else:
         _print_client_result(verb, result)
+    if verb in ("races", "hunt"):
+        # Same exit-code contract as the local `repro races`/`repro
+        # hunt` commands: 2 when the analysis found something.
+        return 2 if result.get("finding_count",
+                               result.get("race_count", 0)) else 0
     return 0
 
 
@@ -554,9 +605,23 @@ def _print_client_result(verb: str, result) -> None:
                   % result["slice_pinball_key"])
         return
     if verb == "races":
-        for race in result.get("races", []):
+        for race in result.get("findings", result.get("races", [])):
             print(race["description"])
-        print("[%d unique racy site pairs]" % result["race_count"],
+        print("[%d unique racy site pairs]"
+              % result.get("finding_count", result.get("race_count", 0)),
+              file=sys.stderr)
+        return
+    if verb == "hunt":
+        for finding in result.get("findings", []):
+            print(finding["description"])
+            if finding.get("minimized_key"):
+                print("  minimized pinball stored as %s"
+                      % finding["minimized_key"])
+        print("[hunt: %d candidates, %d benign, %d confirmed finding(s), "
+              "%d race(s)]" % (result.get("candidates_tried", 0),
+                               result.get("benign", 0),
+                               result.get("finding_count", 0),
+                               len(result.get("race_findings", []))),
               file=sys.stderr)
         return
     if verb == "replay":
@@ -688,6 +753,26 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print the canonical race payload (same field "
                             "names as the serve `races` verb)")
     races.set_defaults(func=cmd_races)
+
+    hunt_p = sub.add_parser(
+        "hunt", help="in-situ bug hunt: detect races online, permute "
+                     "schedules, minimize confirmed failures")
+    hunt_p.add_argument("program")
+    hunt_p.add_argument("pinball")
+    hunt_p.add_argument("--budget", type=int, default=None,
+                        help="max candidate schedules "
+                             "(default: REPRO_HUNT_BUDGET)")
+    hunt_p.add_argument("--profile-seeds", type=int, default=4,
+                        help="maple profiling runs feeding iRoot "
+                             "candidates")
+    hunt_p.add_argument("--minimize-budget", type=int, default=64,
+                        help="max re-executions per finding during "
+                             "schedule minimization")
+    hunt_p.add_argument("--out-dir", default=None, metavar="DIR",
+                        help="save each finding's minimized pinball here")
+    hunt_p.add_argument("--json", action="store_true",
+                        help="print the unified analysis-report payload")
+    hunt_p.set_defaults(func=cmd_hunt)
 
     debug = sub.add_parser("debug", help="gdb-style replay debugger")
     debug.add_argument("program")
@@ -829,6 +914,15 @@ def build_parser() -> argparse.ArgumentParser:
     crc = cverbs.add_parser("races", help="race-detect a stored recording")
     crc.add_argument("key")
     crc.add_argument("--all-memory", action="store_true")
+    chunt = cverbs.add_parser(
+        "hunt", help="run the bug firehose on a stored recording "
+                     "(sharded over the service's worker pool)")
+    chunt.add_argument("key")
+    chunt.add_argument("--budget", type=int, default=None)
+    chunt.add_argument("--profile-seeds", type=int, default=4)
+    chunt.add_argument("--minimize-budget", type=int, default=64)
+    chunt.add_argument("--workers", type=int, default=None,
+                       help="evaluation lanes (default: REPRO_HUNT_WORKERS)")
     cget = cverbs.add_parser("get", help="download a stored blob")
     cget.add_argument("key")
     cget.add_argument("-o", "--output", required=True)

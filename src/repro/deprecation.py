@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import warnings
 
-__all__ = ["deprecated_kwarg"]
+__all__ = ["deprecated_field", "deprecated_kwarg"]
 
 
 def deprecated_kwarg(old_name: str, old_value, new_name: str, new_value,
@@ -34,3 +34,29 @@ def deprecated_kwarg(old_name: str, old_value, new_name: str, new_value,
         raise TypeError("got both %r and its deprecated alias %r"
                         % (new_name, old_name))
     return old_value
+
+
+_MISSING = object()
+
+
+def deprecated_field(payload: dict, old_name: str, new_name: str,
+                     default=_MISSING, stacklevel: int = 3):
+    """Read ``payload[new_name]``, accepting the deprecated spelling.
+
+    Analysis-report payloads (``races``, ``hunt``, maple) are produced
+    under one versioned schema (:mod:`repro.analysis.report`); pre-schema
+    payloads spelled some fields differently (``race_count``,
+    ``candidates``).  This reads the canonical key, falls back to the old
+    spelling with a :class:`DeprecationWarning`, and raises ``KeyError``
+    (or returns ``default`` when given) if neither is present.
+    """
+    if new_name in payload:
+        return payload[new_name]
+    if old_name in payload:
+        warnings.warn("payload field %r is deprecated; use %r"
+                      % (old_name, new_name), DeprecationWarning,
+                      stacklevel=stacklevel)
+        return payload[old_name]
+    if default is not _MISSING:
+        return default
+    raise KeyError(new_name)

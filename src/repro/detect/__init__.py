@@ -26,10 +26,18 @@ from repro.detect.race_detector import (
     RaceReport,
     detect_races,
 )
+from repro.detect.online import (
+    OnlineRaceDetector,
+    detect_races_online,
+    online_capable,
+)
 
 __all__ = [
+    "OnlineRaceDetector",
     "RaceDetectorTool",
     "RaceReport",
     "VectorClock",
     "detect_races",
+    "detect_races_online",
+    "online_capable",
 ]

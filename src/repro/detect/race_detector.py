@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.detect.vector_clock import VectorClock
 from repro.isa.program import Program
+from repro.obs.registry import OBS
 from repro.pinplay.pinball import Pinball
 from repro.pinplay.replayer import replay
 from repro.vm.hooks import InstrEvent, SyscallEvent, Tool
@@ -234,17 +235,35 @@ class RaceDetectorTool(Tool):
 
 
 def detect_races(pinball: Pinball, program: Program,
-                 globals_only: bool = True) -> List[RaceReport]:
+                 globals_only: bool = True,
+                 online: Optional[bool] = None) -> List[RaceReport]:
     """Replay ``pinball`` under the race detector; returns unique races.
 
     ``globals_only`` restricts the watch to the globals segment (program-
     level shared state); pass False to watch the full address space
     (heap and stacks too — slower, and cross-thread stack accesses are
     rare by construction).
+
+    ``online`` selects the detector path: True runs the recorder-protocol
+    detector over an *untraced* replay (one fast pass, no events — see
+    :mod:`repro.detect.online`), False forces the classic traced tool.
+    The default resolves through :func:`repro.config.detect_online` and
+    falls back to the traced path automatically when the pinball cannot
+    ride the fast path (slice pinballs, legacy engine).  Both paths
+    report the same races.
     """
+    from repro import config
+    from repro.detect.online import detect_races_online, online_capable
+    if online is None:
+        online = config.detect_online()
+    if online and online_capable(pinball):
+        return detect_races_online(pinball, program,
+                                   globals_only=globals_only)
     from repro.isa.program import GLOBAL_BASE
     tool = RaceDetectorTool(
         watch_low=GLOBAL_BASE,
         watch_high=program.data_size if globals_only else None)
     replay(pinball, program, tools=[tool], verify=False)
+    if OBS.enabled:
+        OBS.add("detect.traced_runs", 1)
     return tool.races

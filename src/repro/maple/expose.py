@@ -41,6 +41,13 @@ class MapleResult:
     def exposed(self) -> bool:
         return self.pinball is not None
 
+    def payload(self) -> dict:
+        """The shared analysis-report envelope (kind ``maple``) — the
+        one JSON shape CLI/library/serve all emit; replaces the ad-hoc
+        per-caller dicts."""
+        from repro.analysis.report import maple_report_payload
+        return maple_report_payload(self)
+
 
 def expose_and_record(program: Program,
                       inputs: Sequence = (),

@@ -3,11 +3,11 @@
 :func:`format_report` renders :meth:`~repro.obs.registry.ObsRegistry.snapshot`
 as the grouped text table ``repro obs report`` prints.  :func:`run_demo_cycle`
 drives one complete DrDebug cyclic-debugging loop — Maple exposure,
-record, replay, slicing, slice pinball, reverse debugging, plus a pass
-through the debug service's store + session cache — so a single
-``repro obs report`` run exhibits nonzero counters from all eight
-instrumented layers (vm, pinplay, slicing, reexec, debugger, maple,
-serve, index_cache).
+record, replay, slicing, slice pinball, reverse debugging, online race
+detection, a short bug hunt, plus a pass through the debug service's
+store + session cache — so a single ``repro obs report`` run exhibits
+nonzero counters from every instrumented layer (vm, pinplay, slicing,
+reexec, debugger, maple, serve, index_cache, detect, hunt).
 """
 
 from __future__ import annotations
@@ -17,7 +17,7 @@ from repro.obs.registry import OBS
 #: The layer prefixes the report groups by (and the acceptance criterion
 #: checks): every one of these must show activity after a demo cycle.
 LAYERS = ("vm", "pinplay", "slicing", "reexec", "debugger", "maple",
-          "serve", "index_cache")
+          "serve", "index_cache", "detect", "hunt")
 
 #: A lost-update atomicity bug (two unsynchronized increments): small
 #: enough to run in well under a second, racy enough that Maple's
@@ -82,6 +82,15 @@ def run_demo_cycle() -> dict:
         reexec = SlicingSession(pinball, program,
                                 SliceOptions(index="reexec"))
         reexec.slice_for(reexec.failure_criterion())
+
+        # Detect + hunt: one online race-detection pass over the
+        # recording, then the bug firehose — candidate schedules within
+        # the recorded envelope, classification, minimization.
+        from repro.analysis.hunt import hunt as run_hunt
+        from repro.detect import detect_races
+        detect_races(pinball, program)
+        run_hunt(pinball, program, budget=4, profile_seeds=2,
+                 minimize_budget=8, slice_reports=False)
 
         # Debugger: reverse-capable cyclic session over the same pinball.
         debug = DrDebugSession(pinball, program)

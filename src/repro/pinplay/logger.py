@@ -178,13 +178,17 @@ class FastRecorder(Tool):
     def on_thread_start(self, tid, parent, start_pc, arg) -> None:
         self.thread_creates.append((tid, parent, start_pc))
 
-    def on_mem(self, tid: int, tindex: int, read_addrs, write_addrs) -> None:
+    def on_mem(self, tid: int, tindex: int, read_addrs, write_addrs,
+               pc: int = -1) -> None:
         """Record access-order edges for one instruction's memory touches.
 
         Takes bare address lists (the record micro-ops deposit addresses
         only — edge detection never needs values) and emits the same
         raw/waw/war edges, in the same order, as :class:`LoggerTool`'s
-        event-stream walk (the differential suite asserts this).
+        event-stream walk (the differential suite asserts this).  ``pc``
+        identifies the accessing instruction; edge detection ignores it
+        (only site-reporting recorders like the online race detector
+        need it).
         """
         edges = self.mem_order
         state = self._mem_state
@@ -457,6 +461,11 @@ def record_region(program: Program,
         "output": list(machine.output[output_start:]),
         "final_state_hash": state_hash(machine),
         "exit_code": machine.exit_code,
+        # Re-execution provenance: fresh runs of the same program (the
+        # hunt pipeline's candidate schedules) need the original
+        # nondeterminism sources, not just the recorded log.
+        "inputs": list(inputs),
+        "rand_seed": rand_seed,
     }
     if writer is not None:
         # Flush the final partial chunks and the epilogue, then hand the

@@ -137,6 +137,9 @@ class DebugClient:
     def races(self, key: str, **options) -> dict:
         return self.call("races", {"key": key, **options})
 
+    def hunt(self, key: str, **options) -> dict:
+        return self.call("hunt", {"key": key, **options})
+
     def list(self, **filters) -> dict:
         return self.call("store.list", filters)
 

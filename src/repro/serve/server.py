@@ -43,7 +43,7 @@ DEFAULT_HOST = "127.0.0.1"
 DEFAULT_PORT = 9178
 
 #: Methods executed on the worker pool (keyed by stored recording).
-_POOL_METHODS = ("replay", "slice", "last_reads", "races", "build")
+_POOL_METHODS = ("replay", "slice", "last_reads", "races", "build", "hunt")
 
 #: Chaos-testing exit status — distinctive so a test harness can tell a
 #: deliberately injected node death from a genuine crash.
@@ -360,6 +360,74 @@ class DebugServer:
         worker_params = self._recording_params(params)
         return await self._pool_call("build", worker_params,
                                      key=worker_params["pinball"])
+
+    async def _rpc_hunt(self, params: dict) -> dict:
+        """The bug firehose, sharded over the pool.
+
+        Stage 1 (scan) runs on the recording's affine worker; stage 2
+        shards the candidate list into up to ``REPRO_HUNT_WORKERS``
+        contiguous chunks evaluated concurrently (chunk order preserves
+        candidate order, so the merge — and therefore every downstream
+        artifact — is byte-identical to an in-process hunt); stage 3
+        minimizes each distinct confirmed failure and stores its
+        minimized pinball in the blob store.
+        """
+        import math
+        from dataclasses import replace as dc_replace
+
+        from repro import config as knobs
+        from repro.analysis.hunt import dedupe_rows
+        from repro.analysis.report import (HuntFinding, RaceFinding,
+                                           hunt_report_payload)
+
+        worker_params = self._recording_params(params)
+        key = worker_params["pinball"]
+        scanned = await self._pool_call("hunt_scan", worker_params, key=key)
+        candidates = scanned["candidates"]
+        ctx = scanned["ctx"]
+
+        lanes = max(1, knobs.hunt_workers(explicit=params.get("workers")))
+        lanes = min(lanes, len(candidates)) or 1
+        size = math.ceil(len(candidates) / lanes)
+        chunks = [candidates[i:i + size]
+                  for i in range(0, len(candidates), size)]
+        lane_results = await asyncio.gather(*[
+            self._pool_call("hunt_eval",
+                            dict(worker_params, candidates=chunk, ctx=ctx))
+            for chunk in chunks])
+        rows = [row for lane in lane_results for row in lane["rows"]]
+
+        minimize_budget = int(params.get("minimize_budget", 64))
+        findings = []
+        minimized_keys = {}
+        for candidate, row in dedupe_rows(candidates, rows):
+            confirmed = await self._pool_call(
+                "hunt_confirm",
+                dict(worker_params, candidate=candidate, row=row, ctx=ctx,
+                     races=scanned["races"],
+                     minimize_budget=minimize_budget),
+                key=key)
+            minimized = Pinball.from_bytes(confirmed["pinball_raw"],
+                                           source="<hunt>")
+            sha = self.store.put_pinball(
+                minimized, tags=params.get("tags", ()),
+                meta={"source_sha": worker_params["source"],
+                      "program_name": worker_params["program_name"],
+                      "hunted_from": key})
+            finding = dc_replace(
+                HuntFinding.from_payload(confirmed["finding"]),
+                minimized_key=sha)
+            findings.append(finding)
+            minimized_keys[finding.candidate] = sha
+        if OBS.enabled:
+            OBS.inc("serve.hunts")
+        return hunt_report_payload(
+            findings,
+            races=[RaceFinding.from_payload(item)
+                   for item in scanned["races"]],
+            candidates_tried=len(rows),
+            benign=sum(1 for row in rows if row["outcome"] == "benign"),
+            minimized_keys=minimized_keys)
 
     # -- store verbs -------------------------------------------------------
 

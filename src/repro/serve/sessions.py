@@ -325,17 +325,15 @@ def slice_payload(session: SlicingSession, dslice: DynamicSlice) -> dict:
 
 
 def race_payload(races, program) -> dict:
-    """Deterministic JSON rendering of a race-detection result."""
-    rows = sorted(
-        ({"addr": race.addr, "kind": race.kind,
-          "first_pc": race.first_pc, "second_pc": race.second_pc,
-          "first_instance": list(race.first_instance),
-          "second_instance": list(race.second_instance),
-          "description": race.describe(program)}
-         for race in races),
-        key=lambda row: (row["addr"], row["kind"], row["first_pc"],
-                         row["second_pc"]))
-    return {"race_count": len(rows), "races": rows}
+    """Deterministic JSON rendering of a race-detection result.
+
+    Thin wrapper over the unified report schema
+    (:func:`repro.analysis.report.races_report_payload`); the legacy
+    ``race_count``/``races`` spellings ride along in the envelope for
+    one deprecation cycle.
+    """
+    from repro.analysis.report import races_report_payload
+    return races_report_payload(races, program)
 
 
 def replay_payload(machine, result, pinball) -> dict:

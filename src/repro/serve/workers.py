@@ -137,7 +137,8 @@ def _execute(op: str, params: dict, store, manager):
         return {"pong": True, "pid": os.getpid()}
     if op == "__stats__":
         counters = {name: value for name, value in OBS.counters().items()
-                    if name.startswith(("serve.", "index_cache."))}
+                    if name.startswith(("serve.", "index_cache.",
+                                        "hunt.", "detect."))}
         return {"pid": os.getpid(), "sessions": manager.stats(),
                 "counters": counters}
     if op == "__crash__":                       # test hook: hard death
@@ -208,6 +209,55 @@ def _execute(op: str, params: dict, store, manager):
         races = detect_races(pinball, program,
                              globals_only=not params.get("all_memory", False))
         return race_payload(races, program)
+
+    if op == "hunt":
+        # The whole firehose on one worker (used by `repro client hunt`
+        # against a single-lane pool, and as the differential baseline).
+        from repro.analysis.hunt import hunt
+        program = manager.program_for(source, name)
+        pinball = store.get_pinball(key)
+        result = hunt(pinball, program,
+                      budget=params.get("budget"),
+                      profile_seeds=int(params.get("profile_seeds", 4)),
+                      minimize_budget=int(params.get("minimize_budget", 64)))
+        payload = result.payload()
+        payload["minimized_raw"] = {
+            cid: pb.to_bytes(compress=False)
+            for cid, pb in result.minimized.items()}
+        return payload
+
+    if op == "hunt_scan":
+        # Stage 1 — the server shards the resulting candidate list
+        # across hunt_eval lanes and merges by candidate order.
+        from repro.analysis.hunt import scan
+        from repro.analysis.report import RaceFinding
+        program = manager.program_for(source, name)
+        pinball = store.get_pinball(key)
+        races, candidates, ctx = scan(
+            pinball, program, budget=params.get("budget"),
+            profile_seeds=int(params.get("profile_seeds", 4)))
+        return {"races": [RaceFinding.from_race(race, program).to_payload()
+                          for race in races],
+                "candidates": candidates, "ctx": ctx}
+
+    if op == "hunt_eval":
+        from repro.analysis.hunt import evaluate
+        program = manager.program_for(source, name)
+        return {"rows": evaluate(program, params["candidates"],
+                                 params["ctx"])}
+
+    if op == "hunt_confirm":
+        from repro.analysis.hunt import confirm
+        from repro.analysis.report import RaceFinding
+        program = manager.program_for(source, name)
+        races = [RaceFinding.from_payload(item)
+                 for item in params.get("races", [])]
+        finding, pinball = confirm(
+            program, params["candidate"], params["row"], params["ctx"],
+            races=races,
+            minimize_budget=int(params.get("minimize_budget", 64)))
+        return {"finding": finding.to_payload(),
+                "pinball_raw": pinball.to_bytes(compress=False)}
 
     session = manager.open(key, source, program_name=name,
                            index=params.get("index"),

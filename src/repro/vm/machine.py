@@ -592,7 +592,7 @@ class Machine:
                     if uops_rec[pc](self, thread, rec_mr, rec_mw):
                         if rec_mr or rec_mw:
                             rec_on_mem(tid, thread.instr_count,
-                                       rec_mr, rec_mw)
+                                       rec_mr, rec_mw, pc)
                             del rec_mr[:]
                             del rec_mw[:]
                         thread.instr_count += 1
@@ -827,7 +827,7 @@ class Machine:
             return False
         if mem_reads or mem_writes:
             self._recorder.on_mem(thread.tid, thread.instr_count,
-                                  mem_reads, mem_writes)
+                                  mem_reads, mem_writes, pc)
             del mem_reads[:]
             del mem_writes[:]
         thread.instr_count += 1

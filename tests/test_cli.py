@@ -178,6 +178,80 @@ class TestRaces:
         capsys.readouterr()
         assert main(["races", clean_file, out]) == 0
 
+    def test_json_is_the_report_schema(self, racy_file, racy_pinball,
+                                       capsys):
+        capsys.readouterr()
+        assert main(["races", racy_file, racy_pinball, "--json"]) == 2
+        payload = json.loads(capsys.readouterr().out)
+        from repro.analysis.report import validate_report
+        validate_report(payload)
+        assert payload["kind"] == "races"
+        assert payload["race_count"] == payload["finding_count"]
+
+
+#: Exit-code contract for the analysis verbs: 2 exactly when the
+#: analysis found something, 0 otherwise — identical for the local
+#: commands and (tests/serve/test_cli_serve.py) the client verbs.
+ANALYSIS_EXIT_TABLE = [
+    ("races-racy", ["races"], "racy", 2),
+    ("races-clean", ["races"], "clean", 0),
+    ("hunt-racy", ["hunt", "--budget", "4", "--profile-seeds", "2",
+                   "--minimize-budget", "6"], "racy", 2),
+    ("hunt-clean", ["hunt", "--budget", "3", "--profile-seeds", "2",
+                    "--minimize-budget", "6"], "clean", 0),
+]
+
+
+class TestAnalysisExitCodes:
+    @pytest.mark.parametrize(
+        "verb_args,which,expected",
+        [row[1:] for row in ANALYSIS_EXIT_TABLE],
+        ids=[row[0] for row in ANALYSIS_EXIT_TABLE])
+    def test_exit_code(self, racy_file, racy_pinball, clean_file,
+                       tmp_path, capsys, verb_args, which, expected):
+        if which == "racy":
+            program, pinball = racy_file, racy_pinball
+        else:
+            program = clean_file
+            pinball = str(tmp_path / "clean.pinball")
+            assert main(["record", clean_file, "-o", pinball]) == 0
+        capsys.readouterr()
+        assert main(verb_args + [program, pinball]) == expected
+
+
+class TestHunt:
+    def test_confirms_and_minimizes_the_racy_bug(self, racy_file,
+                                                 racy_pinball, tmp_path,
+                                                 capsys):
+        out_dir = str(tmp_path / "mins")
+        capsys.readouterr()
+        code = main(["hunt", racy_file, racy_pinball, "--budget", "4",
+                     "--profile-seeds", "2", "--minimize-budget", "8",
+                     "--out-dir", out_dir, "--json"])
+        assert code == 2
+        payload = json.loads(capsys.readouterr().out)
+        from repro.analysis.report import validate_report
+        validate_report(payload)
+        assert payload["kind"] == "hunt"
+        crash = [f for f in payload["findings"]
+                 if f["outcome"] == "crash"][0]
+        assert crash["failure_code"] == 9
+        assert os.path.exists(crash["minimized_path"])
+        # The minimized pinball replays to the same failure.
+        capsys.readouterr()
+        assert main(["replay", racy_file, crash["minimized_path"]]) == 1
+        # The pre-sliced report reaches the racing increment.
+        assert crash["slice"]["instance_count"] > 0
+
+    def test_human_output_names_outcome(self, racy_file, racy_pinball,
+                                        capsys):
+        capsys.readouterr()
+        assert main(["hunt", racy_file, racy_pinball, "--budget", "4",
+                     "--profile-seeds", "2",
+                     "--minimize-budget", "6"]) == 2
+        out = capsys.readouterr().out
+        assert "crash via" in out
+
 
 class TestDebug:
     def test_scripted_session(self, racy_file, racy_pinball, capsys):

@@ -114,3 +114,110 @@ class TestConfigKnobs:
         table = repro.config.precedence_table()
         for knob in repro.config.KNOBS.values():
             assert knob.env in table
+
+
+class TestReportSchema:
+    """The unified analysis-report surface (repro.analysis.report)."""
+
+    def _racy(self):
+        from repro.detect import detect_races
+        from repro.lang import compile_source
+        from repro.pinplay import RegionSpec, record_region
+        from repro.vm import RandomScheduler
+        source = """
+        int x;
+        int bump(int u) { x = x + 1; return 0; }
+        int main() {
+            int a; int b;
+            a = spawn(bump, 0); b = spawn(bump, 0);
+            join(a); join(b);
+            print(x);
+            return 0;
+        }
+        """
+        program = compile_source(source, name="schema_demo")
+        pinball = record_region(
+            program, RandomScheduler(seed=1, switch_prob=0.3), RegionSpec())
+        return program, pinball, detect_races(pinball, program)
+
+    def test_races_payload_validates_and_keeps_legacy_fields(self):
+        from repro.analysis.report import (SCHEMA, SCHEMA_VERSION,
+                                           races_report_payload,
+                                           validate_report)
+        program, _pinball, races = self._racy()
+        payload = races_report_payload(races, program)
+        validate_report(payload)
+        assert payload["schema"] == SCHEMA
+        assert payload["schema_version"] == SCHEMA_VERSION
+        # Legacy spellings ride along for one deprecation cycle and
+        # mirror the canonical fields exactly.
+        assert payload["race_count"] == payload["finding_count"]
+        assert payload["races"] == payload["findings"]
+
+    def test_race_payload_wrapper_is_schema_shaped(self):
+        from repro.analysis.report import races_report_payload
+        from repro.serve.sessions import race_payload
+        program, _pinball, races = self._racy()
+        assert race_payload(races, program) == races_report_payload(
+            races, program)
+
+    def test_maple_result_payload_validates(self):
+        from repro.analysis.report import validate_report
+        from repro.maple import expose_and_record
+        from repro.lang import compile_source
+        source = """
+        int x;
+        int bump(int u) { x = x + 1; return 0; }
+        int main() {
+            int a; int b;
+            a = spawn(bump, 0); b = spawn(bump, 0);
+            join(a); join(b);
+            assert(x == 2, 11);
+            return 0;
+        }
+        """
+        program = compile_source(source, name="maple_demo")
+        result = expose_and_record(program, profile_seeds=range(4))
+        payload = result.payload()
+        validate_report(payload)
+        assert payload["kind"] == "maple"
+        # Legacy integer spelling of the candidate count rides along.
+        assert payload["candidates"] == payload["candidate_count"]
+
+    def test_hunt_payload_validates(self):
+        from repro.analysis.hunt import hunt
+        from repro.analysis.report import HuntFinding, validate_report
+        program, pinball, _races = self._racy()
+        result = hunt(pinball, program, budget=4, profile_seeds=2,
+                      minimize_budget=4, slice_reports=False)
+        payload = result.payload()
+        validate_report(payload)
+        assert payload["kind"] == "hunt"
+        for row in payload["findings"]:
+            finding = HuntFinding.from_payload(row)
+            assert finding.to_payload() == row
+
+    def test_deprecated_field_reads_old_spelling_with_warning(self):
+        from repro.deprecation import deprecated_field
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert deprecated_field({"race_count": 3}, "race_count",
+                                    "finding_count") == 3
+        assert len(caught) == 1
+        assert issubclass(caught[0].category, DeprecationWarning)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert deprecated_field({"finding_count": 4}, "race_count",
+                                    "finding_count") == 4
+        assert not caught
+
+    def test_validate_report_rejects_malformed(self):
+        from repro.analysis.report import validate_report
+        with pytest.raises(ValueError):
+            validate_report({"schema": "something.else",
+                             "schema_version": 1, "kind": "races",
+                             "finding_count": 0, "findings": []})
+        with pytest.raises(ValueError):
+            validate_report({"schema": "repro.report", "schema_version": 1,
+                             "kind": "nope", "finding_count": 0,
+                             "findings": []})
